@@ -1,0 +1,33 @@
+// Shared helpers for the experiment drivers (one binary per paper
+// table/figure). Each driver accepts --quick (or env
+// DELTACLUS_BENCH_QUICK=1) to run a reduced sweep, and prints
+// column-aligned tables mirroring the paper's.
+#ifndef DELTACLUS_BENCH_BENCH_COMMON_H_
+#define DELTACLUS_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace deltaclus::bench {
+
+/// True when a reduced sweep was requested via --quick or
+/// DELTACLUS_BENCH_QUICK=1.
+inline bool QuickMode(int argc, char** argv) {
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--quick") == 0) return true;
+  }
+  const char* env = std::getenv("DELTACLUS_BENCH_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Worker threads for FLOC's gain-determination phase.
+inline int Threads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace deltaclus::bench
+
+#endif  // DELTACLUS_BENCH_BENCH_COMMON_H_

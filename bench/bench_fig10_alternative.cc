@@ -1,0 +1,89 @@
+// Reproduces paper Figure 10 (Section 6.2.1, "Comparison with
+// Alternative Algorithm"): FLOC response time vs the derived-attribute
+// subspace-clustering pipeline of Section 4.4, as the number of
+// attributes grows (objects fixed). The alternative's derived
+// dimensionality is N(N-1)/2 and a delta-cluster over m attributes needs
+// an m(m-1)/2-dimensional subspace cluster, so its cost explodes; the
+// paper could only plot it to 100 attributes while FLOC stays almost
+// flat to 500.
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baseline/alternative.h"
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+#include "src/eval/table.h"
+#include "src/util/stopwatch.h"
+
+using namespace deltaclus;  // NOLINT
+
+int main(int argc, char** argv) {
+  bool quick = bench::QuickMode(argc, argv);
+  // Paper scale: 3000 objects, k = 100, attributes swept to 500 (the
+  // alternative plotted only to 100). Scaled down for one core; the
+  // asymptotic contrast is unchanged.
+  size_t rows = quick ? 300 : 600;
+  size_t k = quick ? 10 : 25;
+  std::vector<size_t> attribute_counts =
+      quick ? std::vector<size_t>{10, 20, 40}
+            : std::vector<size_t>{20, 40, 80, 150, 250};
+  // Beyond this many attributes the alternative is skipped, like the
+  // paper's plot that stops at 100 of 500.
+  size_t alternative_cutoff = quick ? 20 : 60;
+
+  std::printf(
+      "Figure 10 (paper Section 6.2.1): response time vs number of\n"
+      "attributes, FLOC vs the derived-attribute + CLIQUE alternative.\n"
+      "%zu objects, k=%zu.%s\n\n",
+      rows, k, quick ? " [--quick]" : "");
+
+  TextTable table(
+      {"attributes", "derived attrs", "FLOC (s)", "alternative (s)"});
+  for (size_t cols : attribute_counts) {
+    SyntheticConfig data_config;
+    data_config.rows = rows;
+    data_config.cols = cols;
+    data_config.num_clusters = 20;
+    data_config.volume_mean = (0.04 * rows) * (0.1 * cols);
+    data_config.noise_stddev = 1.0;
+    data_config.seed = 55;
+    SyntheticDataset data = GenerateSynthetic(data_config);
+
+    FlocConfig config;
+    config.num_clusters = k;
+    config.seeding.row_probability = 0.05;
+    config.seeding.col_probability = 0.2;
+    config.refine_passes = 0;
+    config.reseed_rounds = 0;
+    config.fresh_gains_at_apply = false;
+    config.relative_improvement = 0.01;
+    config.threads = bench::Threads();
+    config.rng_seed = 5;
+    FlocResult floc_result = Floc(config).Run(data.matrix);
+
+    std::string alt_cell = "(skipped)";
+    size_t derived = cols * (cols - 1) / 2;
+    if (cols <= alternative_cutoff) {
+      AlternativeConfig alt;
+      alt.clique.num_intervals = 20;
+      alt.clique.density_threshold = 0.02;
+      alt.clique.max_subspace_dims = 10;
+      alt.clique.max_dense_units = 200000;
+      alt.top_k = k;
+      AlternativeResult alt_result = RunAlternative(data.matrix, alt);
+      alt_cell = TextTable::Num(alt_result.elapsed_seconds, 2);
+      if (alt_result.truncated) alt_cell += " (truncated)";
+    }
+    table.AddRow({TextTable::Int(cols), TextTable::Int(derived),
+                  TextTable::Num(floc_result.elapsed_seconds, 2), alt_cell});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: the alternative's curve rises much faster than FLOC's and\n"
+      "leaves the plot by 100 attributes; FLOC grows gently to 500.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces paper Figure 9 (Section 6.2.1): performance under
+// heterogeneous embedded-cluster volumes. Clusters with
+// Erlang-distributed volumes (average 300, variance index swept on the x
+// axis) are embedded in a 3000x100 matrix; four families of initial
+// clusters are generated whose volumes follow Erlang distributions of
+// variance index 0, 1, 3, 5 (same mean 300). The paper finds performance
+// is best when seed volumes match embedded volumes, and that the most
+// *divergent* seed-volume distribution tolerates embedded-volume
+// heterogeneity best.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+#include "src/eval/table.h"
+
+using namespace deltaclus;  // NOLINT
+
+int main(int argc, char** argv) {
+  bool quick = bench::QuickMode(argc, argv);
+  // Paper scale is 3000x100, k = 100; scaled down for one core.
+  size_t rows = quick ? 500 : 1000;
+  size_t cols = quick ? 40 : 50;
+  size_t embedded = quick ? 15 : 40;
+  size_t k = quick ? 15 : 40;
+  double volume_mean = quick ? 120 : 200;
+  double unit = volume_mean / 3;
+
+  std::vector<int> embedded_variances =
+      quick ? std::vector<int>{0, 3, 5} : std::vector<int>{0, 1, 2, 3, 4, 5};
+  std::vector<int> seed_variances =
+      quick ? std::vector<int>{0, 5} : std::vector<int>{0, 1, 3, 5};
+
+  std::printf(
+      "Figure 9 (paper Section 6.2.1): iterations (a) and response time\n"
+      "(b) vs embedded-volume variance, one curve per seed-volume\n"
+      "variance. %zux%zu matrix, %zu embedded clusters, mean volume %.0f,\n"
+      "k=%zu.%s\n\n",
+      rows, cols, embedded, volume_mean, k, quick ? " [--quick]" : "");
+
+  std::vector<std::string> header = {"embedded var"};
+  for (int sv : seed_variances) {
+    header.push_back("seeds var " + std::to_string(sv));
+  }
+  TextTable iterations(header);
+  TextTable seconds(header);
+
+  for (int ev : embedded_variances) {
+    SyntheticConfig data_config;
+    data_config.rows = rows;
+    data_config.cols = cols;
+    data_config.num_clusters = embedded;
+    data_config.volume_mean = volume_mean;
+    data_config.volume_variance = ev * unit * unit;
+    data_config.noise_stddev = 2.0;
+    data_config.seed = 300 + ev;
+    SyntheticDataset data = GenerateSynthetic(data_config);
+
+    std::vector<std::string> iter_row = {TextTable::Int(ev)};
+    std::vector<std::string> time_row = {TextTable::Int(ev)};
+    int repetitions = quick ? 1 : 3;
+    for (int sv : seed_variances) {
+      double iters = 0;
+      double secs = 0;
+      for (int rep = 0; rep < repetitions; ++rep) {
+        FlocConfig config;
+        config.num_clusters = k;
+        config.seeding.mixed_volumes = true;
+        config.seeding.volume_mean = volume_mean;
+        config.seeding.volume_variance = sv * unit * unit;
+        config.ordering = ActionOrdering::kWeightedRandom;
+        config.refine_passes = 0;
+        config.reseed_rounds = 0;
+        config.fresh_gains_at_apply = false;
+        config.relative_improvement = 0.01;
+        config.threads = bench::Threads();
+        config.rng_seed = 77 + rep;
+        FlocResult result = Floc(config).Run(data.matrix);
+        iters += static_cast<double>(result.iterations);
+        secs += result.elapsed_seconds;
+      }
+      iter_row.push_back(TextTable::Num(iters / repetitions, 1));
+      time_row.push_back(TextTable::Num(secs / repetitions, 2));
+      std::fflush(stdout);
+    }
+    iterations.AddRow(iter_row);
+    seconds.AddRow(time_row);
+  }
+
+  std::printf("Figure 9(a): iterations\n");
+  iterations.Print(std::cout);
+  std::printf("\nFigure 9(b): response time (seconds)\n");
+  seconds.Print(std::cout);
+  std::printf(
+      "\npaper: each seed-variance curve is minimized where embedded\n"
+      "variance matches it, and high-variance seeds degrade most slowly\n"
+      "as the embedded volumes become more heterogeneous.\n");
+  return 0;
+}

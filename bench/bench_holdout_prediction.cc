@@ -1,0 +1,159 @@
+// Hold-out rating prediction: quantifies the paper's introduction claim
+// that delta-clusters support collaborative-filtering projection ("we can
+// project that the third viewer may rank this movie as 4").
+//
+// Protocol: mine delta-clusters from a MovieLens-shaped ratings matrix,
+// hold out a fraction of the ratings covered by the clusters, predict
+// them from the cluster bases (d_iJ + d_Ij - d_IJ), and compare MAE/RMSE
+// against three standard strawmen evaluated on the same held-out
+// entries: the global mean rating, the user's mean, and the movie's
+// mean.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/floc.h"
+#include "src/core/predict.h"
+#include "src/data/movielens_synth.h"
+#include "src/eval/table.h"
+#include "src/util/rng.h"
+
+using namespace deltaclus;  // NOLINT
+
+namespace {
+
+struct Errors {
+  double mae = 0.0;
+  double rmse = 0.0;
+  size_t n = 0;
+};
+
+// Accumulates errors of a simple predictor over the held-out entries.
+template <typename Predictor>
+Errors Evaluate(const DataMatrix& truth,
+                const std::vector<std::pair<uint32_t, uint32_t>>& held,
+                Predictor&& predict) {
+  Errors e;
+  double abs_sum = 0;
+  double sq_sum = 0;
+  for (auto [i, j] : held) {
+    std::optional<double> p = predict(i, j);
+    if (!p) continue;
+    double err = *p - truth.Value(i, j);
+    abs_sum += std::abs(err);
+    sq_sum += err * err;
+    ++e.n;
+  }
+  if (e.n > 0) {
+    e.mae = abs_sum / e.n;
+    e.rmse = std::sqrt(sq_sum / e.n);
+  }
+  return e;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::QuickMode(argc, argv);
+  MovieLensSynthConfig data_config;
+  data_config.users = quick ? 300 : 600;
+  data_config.movies = quick ? 400 : 800;
+  data_config.target_ratings = quick ? 15000 : 45000;
+  data_config.num_groups = quick ? 4 : 8;
+  data_config.group_noise = 0.5;
+  data_config.seed = 3;
+  MovieLensSynthDataset data = GenerateMovieLens(data_config);
+
+  std::printf(
+      "Hold-out rating prediction on a %zux%zu MovieLens-shaped matrix\n"
+      "(%zu ratings). Mining delta-clusters, then predicting 10%% held-out\n"
+      "in-cluster ratings.%s\n\n",
+      data.matrix.rows(), data.matrix.cols(), data.matrix.NumSpecified(),
+      quick ? " [--quick]" : "");
+
+  FlocConfig config;
+  config.num_clusters = quick ? 6 : 12;
+  config.seeding.row_probability = 0.06;
+  config.seeding.col_probability = 0.04;
+  config.constraints.alpha = 0.6;
+  config.constraints.min_rows = 8;
+  config.constraints.min_cols = 8;
+  config.target_residue = 0.8;
+  config.perform_negative_actions = false;
+  config.reseed_rounds = 2;
+  config.threads = bench::Threads();
+  config.rng_seed = 7;
+  FlocResult result = Floc(config).Run(data.matrix);
+  std::printf("mined %zu clusters, average residue %.3f (%.1f s)\n\n",
+              result.clusters.size(), result.average_residue,
+              result.elapsed_seconds);
+
+  // Build the held-out set over cluster-covered specified entries.
+  Rng rng(13);
+  DataMatrix masked = data.matrix;
+  std::vector<std::pair<uint32_t, uint32_t>> held;
+  for (const Cluster& cluster : result.clusters) {
+    for (uint32_t i : cluster.row_ids()) {
+      for (uint32_t j : cluster.col_ids()) {
+        if (!masked.IsSpecified(i, j)) continue;
+        if (!rng.Bernoulli(0.1)) continue;
+        masked.SetMissing(i, j);
+        held.emplace_back(i, j);
+      }
+    }
+  }
+  std::printf("held out %zu ratings\n\n", held.size());
+
+  // Baseline statistics from the masked matrix.
+  double global_sum = 0;
+  size_t global_n = 0;
+  std::vector<double> row_sum(masked.rows(), 0);
+  std::vector<size_t> row_n(masked.rows(), 0);
+  std::vector<double> col_sum(masked.cols(), 0);
+  std::vector<size_t> col_n(masked.cols(), 0);
+  for (size_t i = 0; i < masked.rows(); ++i) {
+    for (size_t j = 0; j < masked.cols(); ++j) {
+      if (!masked.IsSpecified(i, j)) continue;
+      double v = masked.Value(i, j);
+      global_sum += v;
+      ++global_n;
+      row_sum[i] += v;
+      ++row_n[i];
+      col_sum[j] += v;
+      ++col_n[j];
+    }
+  }
+  double global_mean = global_n ? global_sum / global_n : 0.0;
+
+  ClusterPredictor predictor(masked, result.clusters);
+
+  TextTable table({"predictor", "predicted", "MAE", "RMSE"});
+  auto add = [&](const char* name, const Errors& e) {
+    table.AddRow({name, TextTable::Int(e.n), TextTable::Num(e.mae, 3),
+                  TextTable::Num(e.rmse, 3)});
+  };
+  add("global mean", Evaluate(data.matrix, held, [&](uint32_t, uint32_t) {
+        return std::optional<double>(global_mean);
+      }));
+  add("user mean", Evaluate(data.matrix, held, [&](uint32_t i, uint32_t) {
+        return row_n[i] ? std::optional<double>(row_sum[i] / row_n[i])
+                        : std::nullopt;
+      }));
+  add("movie mean", Evaluate(data.matrix, held, [&](uint32_t, uint32_t j) {
+        return col_n[j] ? std::optional<double>(col_sum[j] / col_n[j])
+                        : std::nullopt;
+      }));
+  add("delta-clusters", Evaluate(data.matrix, held, [&](uint32_t i,
+                                                        uint32_t j) {
+        return predictor.Predict(i, j);
+      }));
+  table.Print(std::cout);
+  std::printf(
+      "\nexpected shape: the cluster predictor beats all three mean\n"
+      "baselines because it models per-user bias *and* per-movie profile\n"
+      "jointly within each coherent group.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks for the core kernels: residue evaluation, virtual
+// toggles (the gain kernel), incremental vs full-rebuild ClusterStats,
+// and seed generation. These quantify the design choices DESIGN.md calls
+// out: stats-backed residue passes vs naive recomputation, and
+// virtual-toggle gain evaluation vs copy-then-toggle.
+#include <benchmark/benchmark.h>
+
+#include "src/core/cluster_stats.h"
+#include "src/core/floc.h"
+#include "src/core/residue.h"
+#include "src/core/seeding.h"
+#include "src/data/synthetic.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+SyntheticDataset MakeData(size_t rows, size_t cols) {
+  SyntheticConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  config.num_clusters = 10;
+  config.noise_stddev = 2.0;
+  config.seed = 5;
+  return GenerateSynthetic(config);
+}
+
+Cluster MakeCluster(size_t rows, size_t cols, size_t n_rows, size_t n_cols) {
+  Rng rng(77);
+  return Cluster::FromMembers(rows, cols,
+                              rng.SampleWithoutReplacement(rows, n_rows),
+                              rng.SampleWithoutReplacement(cols, n_cols));
+}
+
+void BM_ResidueNaive(benchmark::State& state) {
+  size_t n = state.range(0);
+  SyntheticDataset data = MakeData(1000, 100);
+  Cluster c = MakeCluster(1000, 100, n, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ClusterResidueNaive(data.matrix, c));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ResidueNaive)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_ResidueEngine(benchmark::State& state) {
+  size_t n = state.range(0);
+  SyntheticDataset data = MakeData(1000, 100);
+  ClusterView view(data.matrix, MakeCluster(1000, 100, n, 20));
+  ResidueEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Residue(view));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ResidueEngine)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_GainVirtualToggleRow(benchmark::State& state) {
+  size_t n = state.range(0);
+  SyntheticDataset data = MakeData(1000, 100);
+  ClusterView view(data.matrix, MakeCluster(1000, 100, n, 20));
+  ResidueEngine engine;
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.ResidueAfterToggleRow(view, row % 1000));
+    ++row;
+  }
+}
+BENCHMARK(BM_GainVirtualToggleRow)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GainCopyToggleRow(benchmark::State& state) {
+  // The alternative the engine's virtual toggles avoid: copy the view,
+  // apply the toggle, recompute.
+  size_t n = state.range(0);
+  SyntheticDataset data = MakeData(1000, 100);
+  ClusterView view(data.matrix, MakeCluster(1000, 100, n, 20));
+  ResidueEngine engine;
+  size_t row = 0;
+  for (auto _ : state) {
+    ClusterView copy = view;
+    copy.ToggleRow(row % 1000);
+    benchmark::DoNotOptimize(engine.Residue(copy));
+    ++row;
+  }
+}
+BENCHMARK(BM_GainCopyToggleRow)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_StatsIncrementalToggle(benchmark::State& state) {
+  SyntheticDataset data = MakeData(1000, 100);
+  ClusterView view(data.matrix, MakeCluster(1000, 100, 64, 20));
+  size_t row = 0;
+  for (auto _ : state) {
+    view.ToggleRow(row % 1000);
+    benchmark::DoNotOptimize(view.stats().Volume());
+    ++row;
+  }
+}
+BENCHMARK(BM_StatsIncrementalToggle);
+
+void BM_StatsFullRebuild(benchmark::State& state) {
+  SyntheticDataset data = MakeData(1000, 100);
+  Cluster c = MakeCluster(1000, 100, 64, 20);
+  ClusterStats stats;
+  for (auto _ : state) {
+    stats.Build(data.matrix, c);
+    benchmark::DoNotOptimize(stats.Volume());
+  }
+}
+BENCHMARK(BM_StatsFullRebuild);
+
+void BM_SeedGeneration(benchmark::State& state) {
+  SyntheticDataset data = MakeData(3000, 100);
+  SeedingConfig config;
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateSeeds(data.matrix, config, state.range(0), rng));
+  }
+}
+BENCHMARK(BM_SeedGeneration)->Arg(10)->Arg(100);
+
+void BM_FlocSmall(benchmark::State& state) {
+  SyntheticConfig config;
+  config.rows = 200;
+  config.cols = 30;
+  config.num_clusters = 5;
+  config.noise_stddev = 1.0;
+  config.seed = 11;
+  SyntheticDataset data = GenerateSynthetic(config);
+  FlocConfig floc_config;
+  floc_config.num_clusters = 5;
+  floc_config.rng_seed = 13;
+  for (auto _ : state) {
+    Floc floc(floc_config);
+    benchmark::DoNotOptimize(floc.Run(data.matrix));
+  }
+}
+BENCHMARK(BM_FlocSmall)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace deltaclus
+
+BENCHMARK_MAIN();

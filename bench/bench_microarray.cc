@@ -1,0 +1,95 @@
+// Reproduces the yeast-microarray comparison of paper Section 6.1.2:
+// FLOC vs the Cheng & Church bicluster miner, k = 100 clusters each, on
+// a 2884-gene x 17-condition expression matrix. The real Cho/Tavazoie
+// data set is unavailable offline, so a matrix of identical shape with
+// planted shift-coherent blocks and spiky outlier genes is generated
+// (see DESIGN.md); both algorithms run on the *same* matrix.
+//
+// Paper result: FLOC average residue 10.34 vs 12.54 for [3]; FLOC's
+// aggregated volume ~20% larger; FLOC an order of magnitude faster
+// (Cheng & Church restart from the full, progressively masked matrix for
+// every bicluster).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/baseline/cheng_church.h"
+#include "src/core/floc.h"
+#include "src/data/microarray_synth.h"
+#include "src/eval/metrics.h"
+#include "src/eval/table.h"
+
+using namespace deltaclus;  // NOLINT
+
+int main(int argc, char** argv) {
+  bool quick = bench::QuickMode(argc, argv);
+  MicroarraySynthConfig data_config;
+  if (quick) {
+    data_config.genes = 700;
+    data_config.num_blocks = 12;
+  }
+  MicroarraySynthDataset data = GenerateMicroarray(data_config);
+  size_t k = quick ? 25 : 100;
+
+  std::printf(
+      "Section 6.1.2: FLOC vs Cheng & Church on a %zu x %zu yeast-shaped\n"
+      "expression matrix, k = %zu clusters each.%s\n\n",
+      data.matrix.rows(), data.matrix.cols(), k, quick ? " [--quick]" : "");
+
+  // --- FLOC ---
+  FlocConfig floc_config;
+  floc_config.num_clusters = k;
+  floc_config.seeding.row_probability = 0.02;
+  floc_config.seeding.col_probability = 0.4;
+  floc_config.target_residue = 10.0;
+  floc_config.perform_negative_actions = false;
+  floc_config.constraints.min_rows = 8;
+  floc_config.constraints.min_cols = 4;
+  floc_config.refine_passes = 2;
+  floc_config.reseed_rounds = 1;
+  floc_config.threads = bench::Threads();
+  floc_config.rng_seed = 31;
+  FlocResult floc_result = Floc(floc_config).Run(data.matrix);
+
+  // --- Cheng & Church ---
+  ChengChurchConfig cc_config;
+  cc_config.num_clusters = k;
+  cc_config.msr_threshold = 250.0;
+  cc_config.mask_lo = data_config.value_lo;
+  cc_config.mask_hi = data_config.value_hi;
+  cc_config.seed = 37;
+  ChengChurchResult cc_result = RunChengChurch(data.matrix, cc_config);
+
+  // Residues for both algorithms measured with the paper's metric (mean
+  // absolute residue) against the ORIGINAL matrix.
+  double cc_residue = AverageResidue(data.matrix, cc_result.clusters);
+
+  TextTable table({"algorithm", "clusters", "avg residue", "agg volume",
+                   "seconds"});
+  table.AddRow({"FLOC", TextTable::Int(floc_result.clusters.size()),
+                TextTable::Num(floc_result.average_residue, 2),
+                TextTable::Int(AggregateVolume(data.matrix,
+                                               floc_result.clusters)),
+                TextTable::Num(floc_result.elapsed_seconds, 2)});
+  table.AddRow({"Cheng-Church", TextTable::Int(cc_result.clusters.size()),
+                TextTable::Num(cc_residue, 2),
+                TextTable::Int(AggregateVolume(data.matrix,
+                                               cc_result.clusters)),
+                TextTable::Num(cc_result.elapsed_seconds, 2)});
+  table.Print(std::cout);
+
+  MatchQuality floc_q = EntryRecallPrecision(data.matrix, data.planted_blocks,
+                                             floc_result.clusters);
+  MatchQuality cc_q = EntryRecallPrecision(data.matrix, data.planted_blocks,
+                                           cc_result.clusters);
+  std::printf(
+      "\nplanted-block recovery: FLOC recall %.2f / precision %.2f;\n"
+      "Cheng-Church recall %.2f / precision %.2f\n",
+      floc_q.recall, floc_q.precision, cc_q.recall, cc_q.precision);
+  std::printf(
+      "\npaper: FLOC residue 10.34 vs 12.54, ~20%% more aggregated volume,\n"
+      "an order of magnitude faster. Expected shape: FLOC wins residue\n"
+      "and volume; the speed gap reflects Cheng & Church's per-cluster\n"
+      "full-matrix restarts.\n");
+  return 0;
+}

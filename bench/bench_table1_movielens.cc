@@ -1,0 +1,110 @@
+// Reproduces paper Table 1 (Section 6.1.1): delta-clusters discovered in
+// the MovieLens data set. The real MovieLens 100K snapshot is not
+// available offline, so a matrix of identical shape and structure is
+// generated (943 users x 1682 movies, ~100k integer ratings, >= 20 per
+// user, planted shift-coherent viewer groups -- see DESIGN.md).
+//
+// The paper reports, for alpha = 0.6 and k in {5, 10, 20}, clusters with
+// volume ~2000-2800, 36-72 movies, 48-88 viewers, residue ~0.5, and a
+// diameter orders of magnitude above the residue -- the signature of
+// viewers who are *coherent* without being *close*.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/floc.h"
+#include "src/data/movielens_synth.h"
+#include "src/eval/metrics.h"
+#include "src/eval/table.h"
+
+using namespace deltaclus;  // NOLINT
+
+int main(int argc, char** argv) {
+  bool quick = bench::QuickMode(argc, argv);
+  MovieLensSynthConfig data_config;
+  if (quick) {
+    data_config.users = 300;
+    data_config.movies = 500;
+    data_config.target_ratings = 15000;
+    data_config.num_groups = 4;
+  }
+  MovieLensSynthDataset data = GenerateMovieLens(data_config);
+  std::printf(
+      "Table 1 (paper Section 6.1.1): delta-clusters in MovieLens-shaped\n"
+      "ratings (%zu users x %zu movies, %zu ratings, density %.1f%%),\n"
+      "alpha = 0.6.%s\n\n",
+      data.matrix.rows(), data.matrix.cols(), data.matrix.NumSpecified(),
+      100.0 * data.matrix.Density(), quick ? " [--quick]" : "");
+
+  std::vector<size_t> ks = quick ? std::vector<size_t>{5}
+                                 : std::vector<size_t>{5, 10, 20};
+  for (size_t k : ks) {
+    FlocConfig config;
+    config.num_clusters = k;
+    config.seeding.row_probability = 0.06;
+    config.seeding.col_probability = 0.03;
+    config.constraints.alpha = 0.6;
+    config.constraints.min_rows = 8;
+    config.constraints.min_cols = 8;
+    config.target_residue = 0.8;
+    config.perform_negative_actions = false;
+    config.refine_passes = 3;
+    config.reseed_rounds = 2;
+    config.threads = bench::Threads();
+    config.rng_seed = 19;
+    FlocResult result = Floc(config).Run(data.matrix);
+
+    // Report the largest discovered clusters, Table-1 style.
+    std::vector<size_t> order(result.clusters.size());
+    for (size_t c = 0; c < order.size(); ++c) order[c] = c;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      ClusterView va(data.matrix, result.clusters[a]);
+      ClusterView vb(data.matrix, result.clusters[b]);
+      return va.stats().Volume() > vb.stats().Volume();
+    });
+
+    std::printf("k = %zu (%zu iterations, %.1f s):\n", k, result.iterations,
+                result.elapsed_seconds);
+    // Two diameters: over the cluster's own movies (subspace bounding
+    // box) and over all movies (the viewers as full-space points, the
+    // paper's framing "a viewer's rating can be regarded as a point in
+    // high dimension space").
+    TextTable table({"cluster", "volume", "movies", "viewers", "residue",
+                     "diam(cluster)", "diam(full)"});
+    size_t shown = std::min<size_t>(3, order.size());
+    for (size_t t = 0; t < shown; ++t) {
+      size_t c = order[t];
+      const Cluster& cluster = result.clusters[c];
+      ClusterView view(data.matrix, cluster);
+      std::vector<size_t> all_movies(data.matrix.cols());
+      for (size_t j = 0; j < all_movies.size(); ++j) all_movies[j] = j;
+      Cluster full_space = Cluster::FromMembers(
+          data.matrix.rows(), data.matrix.cols(),
+          std::vector<size_t>(cluster.row_ids().begin(),
+                              cluster.row_ids().end()),
+          all_movies);
+      table.AddRow({TextTable::Int(t + 1),
+                    TextTable::Int(view.stats().Volume()),
+                    TextTable::Int(cluster.NumCols()),
+                    TextTable::Int(cluster.NumRows()),
+                    TextTable::Num(result.residues[c], 2),
+                    TextTable::Num(ClusterDiameter(data.matrix, cluster), 0),
+                    TextTable::Num(ClusterDiameter(data.matrix, full_space),
+                                   0)});
+    }
+    table.Print(std::cout);
+    MatchQuality q = EntryRecallPrecision(data.matrix, data.planted_groups,
+                                          result.clusters);
+    std::printf(
+        "planted-group recovery: recall %.2f, precision %.2f\n\n",
+        q.recall, q.precision);
+  }
+  std::printf(
+      "paper (real MovieLens): volumes 1998-2755, 36-72 movies, 48-88\n"
+      "viewers, residue 0.47-0.56, diameters 1037-1822. The expected\n"
+      "shape: large coherent viewer x movie clusters whose residue is\n"
+      "~3 orders of magnitude below their bounding-box diameter.\n");
+  return 0;
+}

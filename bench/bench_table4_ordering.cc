@@ -1,0 +1,93 @@
+// Reproduces paper Table 4 (Section 6.2.2, "Order of Actions"): quality
+// of the FLOC clustering under the three action orderings --
+//   fixed     rows 1..N then columns 1..M every iteration,
+//   random    uniform shuffle at the start of each iteration,
+//   weighted  gain-weighted random order.
+// Paper result: fixed < random < weighted on residue (12.5/11.5/11),
+// recall (.75/.82/.86) and precision (.77/.84/.88); the fixed order
+// loses because early negative-gain actions starve late positive ones.
+//
+// Workload per the paper: embedded clusters with Erlang-distributed
+// volumes, seed volumes Erlang with variance index 3, results averaged
+// over several matrices/seeds. FLOC runs in paper-literal mode (negative
+// actions performed) so the ordering effect is isolated.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+#include "src/eval/table.h"
+
+using namespace deltaclus;  // NOLINT
+
+int main(int argc, char** argv) {
+  bool quick = bench::QuickMode(argc, argv);
+  size_t rows = quick ? 400 : 600;
+  size_t cols = quick ? 40 : 50;
+  size_t embedded = quick ? 8 : 12;
+  size_t k = quick ? 24 : 36;
+  int repetitions = quick ? 2 : 6;
+
+  std::printf(
+      "Table 4 (paper Section 6.2.2): clustering quality vs action\n"
+      "ordering, %d repetitions on %zux%zu matrices with %zu embedded\n"
+      "clusters (Erlang volumes), k=%zu, paper-literal FLOC.%s\n\n",
+      repetitions, rows, cols, embedded, k, quick ? " [--quick]" : "");
+
+  TextTable table({"ordering", "residue", "recall", "precision"});
+  for (ActionOrdering ordering :
+       {ActionOrdering::kFixed, ActionOrdering::kRandom,
+        ActionOrdering::kWeightedRandom}) {
+    double residue = 0;
+    double recall = 0;
+    double precision = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      SyntheticConfig data_config;
+      data_config.rows = rows;
+      data_config.cols = cols;
+      data_config.num_clusters = embedded;
+      data_config.volume_mean = (0.04 * rows) * (0.1 * cols);
+      data_config.volume_variance =
+          3.0 * (data_config.volume_mean / 3) * (data_config.volume_mean / 3);
+      data_config.noise_stddev = 6.0;  // embedded residue ~ 5
+      data_config.seed = 100 + rep;
+      SyntheticDataset data = GenerateSynthetic(data_config);
+
+      FlocConfig config;
+      config.num_clusters = k;
+      config.seeding.mixed_volumes = true;
+      config.seeding.volume_mean = data_config.volume_mean;
+      config.seeding.volume_variance = data_config.volume_variance;
+      config.ordering = ordering;
+      config.target_residue = 7.0;
+      config.constraints.min_cols = 4;
+      config.constraints.min_rows = 4;
+      // Move phase only: refinement/restarts would mask the ordering
+      // effect (they re-optimize every cluster regardless of order).
+      config.refine_passes = 0;
+      config.reseed_rounds = 0;
+      config.threads = bench::Threads();
+      config.rng_seed = 1000 + rep;
+      FlocResult result = Floc(config).Run(data.matrix);
+
+      MatchQuality q =
+          EntryRecallPrecision(data.matrix, data.embedded, result.clusters);
+      residue += result.average_residue;
+      recall += q.recall;
+      precision += q.precision;
+    }
+    table.AddRow({ToString(ordering), TextTable::Num(residue / repetitions, 2),
+                  TextTable::Num(recall / repetitions, 2),
+                  TextTable::Num(precision / repetitions, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: residue 12.5 / 11.5 / 11, recall .75 / .82 / .86,\n"
+      "precision .77 / .84 / .88 -- fixed < random < weighted. The\n"
+      "reproduction target is the residue ranking (the optimization\n"
+      "objective); recall/precision are noisier at this reduced scale.\n");
+  return 0;
+}

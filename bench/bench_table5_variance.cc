@@ -1,0 +1,96 @@
+// Reproduces paper Table 5 (Section 6.2.2, "Initial Cluster Volume"):
+// clustering quality vs the variance of the embedded clusters' volume
+// distribution. The paper embeds 100 clusters (average residue 5,
+// average volume 300, Erlang-distributed volumes with variance index
+// 0..5) in a 3000x100 matrix, runs FLOC with weighted ordering and
+// mixed initial volumes (Erlang variance 3), and finds quality is
+// *flat*: residue ~11, recall .86-.87, precision .87-.90 across the
+// sweep -- heterogeneous cluster volumes affect efficiency, not quality.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+#include "src/eval/table.h"
+
+using namespace deltaclus;  // NOLINT
+
+int main(int argc, char** argv) {
+  bool quick = bench::QuickMode(argc, argv);
+  // Paper scale is 3000x100 with 100 embedded clusters and k = 100;
+  // scaled down for one core, keeping k ~ 6x the embedded count so most
+  // planted clusters get a seed that can lock onto them.
+  size_t rows = quick ? 500 : 1000;
+  size_t cols = quick ? 40 : 50;
+  size_t embedded = quick ? 10 : 20;
+  size_t k = quick ? 60 : 120;
+  double volume_mean = quick ? 150 : 200;
+
+  std::printf(
+      "Table 5 (paper Section 6.2.2): quality vs embedded-cluster volume\n"
+      "variance. %zux%zu matrix, %zu embedded clusters (mean volume %.0f,\n"
+      "residue ~5), k=%zu, weighted order, mixed Erlang seeds (var 3).%s\n\n",
+      rows, cols, embedded, volume_mean, k, quick ? " [--quick]" : "");
+
+  // The paper's dimensionless variance index 0..5; index v maps to an
+  // Erlang variance of v * (mean/3)^2, so index 3 gives a coefficient of
+  // variation around 0.58 and index 5 close to 0.75.
+  std::vector<int> variance_indices = quick ? std::vector<int>{0, 3, 5}
+                                            : std::vector<int>{0, 1, 2, 3, 4, 5};
+
+  int repetitions = quick ? 1 : 2;
+  TextTable table({"variance", "residue", "recall", "precision"});
+  for (int v : variance_indices) {
+    double unit = volume_mean / 3;
+    double residue = 0;
+    double recall = 0;
+    double precision = 0;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      SyntheticConfig data_config;
+      data_config.rows = rows;
+      data_config.cols = cols;
+      data_config.num_clusters = embedded;
+      data_config.volume_mean = volume_mean;
+      data_config.volume_variance = v * unit * unit;
+      data_config.noise_stddev = 6.25;  // mean abs residue ~ 5
+      data_config.seed = 41 + v + 1000 * rep;
+      SyntheticDataset data = GenerateSynthetic(data_config);
+
+      FlocConfig config;
+      config.num_clusters = k;
+      config.seeding.mixed_volumes = true;
+      config.seeding.volume_mean = volume_mean;
+      config.seeding.volume_variance = 3 * unit * unit;
+      config.ordering = ActionOrdering::kWeightedRandom;
+      config.target_residue = 6.0;
+      config.perform_negative_actions = false;
+      config.constraints.min_rows = 4;
+      config.constraints.min_cols = 4;
+      config.refine_passes = 3;
+      config.reseed_rounds = 3;
+      config.threads = bench::Threads();
+      config.rng_seed = 4242 + rep;
+      FlocResult result = Floc(config).Run(data.matrix);
+
+      MatchQuality q =
+          EntryRecallPrecision(data.matrix, data.embedded, result.clusters);
+      residue += result.average_residue;
+      recall += q.recall;
+      precision += q.precision;
+    }
+    table.AddRow({TextTable::Int(v),
+                  TextTable::Num(residue / repetitions, 2),
+                  TextTable::Num(recall / repetitions, 2),
+                  TextTable::Num(precision / repetitions, 2)});
+    std::fflush(stdout);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\npaper: residue 10.9-11.1, recall .86-.87, precision .87-.90 --\n"
+      "flat across the variance sweep. The expected reproduction shape is\n"
+      "the same flatness (volume heterogeneity costs time, not quality).\n");
+  return 0;
+}

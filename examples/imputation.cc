@@ -1,0 +1,113 @@
+// Missing-value imputation with delta-clusters.
+//
+// Generates a matrix with planted coherent structure, knocks out a
+// fraction of the entries, mines clusters from what remains, and fills
+// the holes back in via ClusterPredictor -- comparing the imputed values
+// against the ground truth the generator knows.
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/cluster_tools.h"
+#include "src/core/floc.h"
+#include "src/core/predict.h"
+#include "src/data/synthetic.h"
+#include "src/util/rng.h"
+
+using namespace deltaclus;  // NOLINT: example brevity
+
+int main() {
+  // 1. Ground truth: a fully-specified matrix with coherent blocks.
+  SyntheticConfig data_config;
+  data_config.rows = 300;
+  data_config.cols = 30;
+  data_config.num_clusters = 4;
+  data_config.volume_mean = 240;  // 40 rows x 6 cols
+  data_config.col_fraction = 0.2;
+  data_config.noise_stddev = 0.5;
+  data_config.seed = 21;
+  SyntheticDataset truth = GenerateSynthetic(data_config);
+
+  // 2. Knock out 15% of the entries.
+  Rng rng(5);
+  DataMatrix observed = truth.matrix;
+  size_t knocked_out = 0;
+  for (size_t i = 0; i < observed.rows(); ++i) {
+    for (size_t j = 0; j < observed.cols(); ++j) {
+      if (rng.Bernoulli(0.15)) {
+        observed.SetMissing(i, j);
+        ++knocked_out;
+      }
+    }
+  }
+  std::printf("observed matrix: %zux%zu, %zu entries missing (%.0f%%)\n",
+              observed.rows(), observed.cols(), knocked_out,
+              100.0 * knocked_out / (observed.rows() * observed.cols()));
+
+  // 3. Mine clusters from the observed (incomplete) matrix. The model
+  //    handles the missing entries natively; alpha keeps clusters from
+  //    leaning on rows/columns that are mostly holes.
+  FlocConfig config;
+  config.num_clusters = 16;
+  config.seeding.row_probability = 0.12;
+  config.seeding.col_probability = 0.2;
+  config.constraints.alpha = 0.3;
+  config.constraints.min_rows = 6;
+  config.constraints.min_cols = 3;
+  config.target_residue = 2.0;
+  config.perform_negative_actions = false;
+  config.reseed_rounds = 4;
+  config.rng_seed = 9;
+  FlocResult result = Floc(config).Run(observed);
+  // Only trust coherent *and substantial* clusters for imputation: seeds
+  // that never locked onto planted structure would predict noise from
+  // noise, and tiny clusters can be coincidentally coherent.
+  std::vector<Cluster> clusters = FilterClusters(
+      observed, result.clusters, /*max_residue=*/2.5, /*min_volume=*/40);
+  clusters = DeduplicateClusters(observed, clusters, 0.6);
+  std::printf(
+      "mined %zu clusters; %zu survive the residue<=2.5 filter + dedup\n",
+      result.clusters.size(), clusters.size());
+
+  // 4. Impute and score against the ground truth.
+  ClusterPredictor predictor(observed, clusters);
+  DataMatrix imputed = predictor.Impute();
+  size_t filled = imputed.NumSpecified() - observed.NumSpecified();
+
+  // Score separately: holes inside a planted block are predictable (the
+  // coherent structure determines them); holes in the random background
+  // are unpredictable by *any* method -- counting them against the
+  // imputer would only measure the background's variance.
+  auto in_planted_block = [&](size_t i, size_t j) {
+    for (const Cluster& block : truth.embedded) {
+      if (block.HasRow(i) && block.HasCol(j)) return true;
+    }
+    return false;
+  };
+  double abs_err = 0.0;
+  double sq_err = 0.0;
+  size_t scored = 0;
+  size_t unpredictable = 0;
+  for (size_t i = 0; i < imputed.rows(); ++i) {
+    for (size_t j = 0; j < imputed.cols(); ++j) {
+      if (observed.IsSpecified(i, j) || !imputed.IsSpecified(i, j)) continue;
+      if (!in_planted_block(i, j)) {
+        ++unpredictable;
+        continue;
+      }
+      double err = imputed.Value(i, j) - truth.matrix.Value(i, j);
+      abs_err += std::abs(err);
+      sq_err += err * err;
+      ++scored;
+    }
+  }
+  std::printf("imputed %zu of %zu missing entries\n", filled, knocked_out);
+  std::printf("  %zu inside planted blocks (predictable), %zu in the\n"
+              "  random background (unpredictable by construction)\n",
+              scored, unpredictable);
+  if (scored > 0) {
+    std::printf("in-block imputation error: MAE %.3f, RMSE %.3f "
+                "(value scale 0..600, in-cluster noise sigma 0.5)\n",
+                abs_err / scored, std::sqrt(sq_err / scored));
+  }
+  return 0;
+}

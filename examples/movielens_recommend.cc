@@ -1,0 +1,108 @@
+// Collaborative filtering with delta-clusters (paper Sections 1 / 6.1.1).
+//
+// Mines coherent viewer groups from a sparse MovieLens-shaped ratings
+// matrix, then uses a discovered cluster to predict a held-out rating the
+// way the paper's introduction sketches: if two viewers in a cluster rank
+// a new movie as 2 and 3, a third member's rank is projected by carrying
+// the cluster's bias structure forward (predicted = movie's column base +
+// viewer's row bias within the cluster).
+#include <cstdio>
+#include <optional>
+
+#include "src/core/floc.h"
+#include "src/data/movielens_synth.h"
+#include "src/eval/metrics.h"
+
+using namespace deltaclus;  // NOLINT: example brevity
+
+namespace {
+
+// Predicts viewer `user`'s rating of `movie` from one delta-cluster that
+// contains the user: column base of the movie over the cluster's other
+// members, shifted by the user's bias (row base - cluster base).
+std::optional<double> PredictRating(const DataMatrix& ratings,
+                                    const Cluster& cluster, size_t user,
+                                    size_t movie) {
+  if (!cluster.HasRow(user)) return std::nullopt;
+  double movie_sum = 0.0;
+  size_t movie_cnt = 0;
+  for (uint32_t i : cluster.row_ids()) {
+    if (i == user || !ratings.IsSpecified(i, movie)) continue;
+    movie_sum += ratings.Value(i, movie);
+    ++movie_cnt;
+  }
+  if (movie_cnt == 0) return std::nullopt;
+
+  ClusterView view(ratings, cluster);
+  double user_bias = view.stats().RowBase(user) - view.stats().ClusterBase();
+  return movie_sum / movie_cnt + user_bias;
+}
+
+}  // namespace
+
+int main() {
+  // A reduced MovieLens-shaped data set so the example runs in seconds.
+  MovieLensSynthConfig data_config;
+  data_config.users = 300;
+  data_config.movies = 400;
+  data_config.target_ratings = 12000;
+  data_config.num_groups = 4;
+  data_config.group_users = 40;
+  data_config.group_movies = 40;
+  data_config.seed = 5;
+  MovieLensSynthDataset data = GenerateMovieLens(data_config);
+  std::printf("ratings matrix: %zu users x %zu movies, density %.1f%%\n",
+              data.matrix.rows(), data.matrix.cols(),
+              100.0 * data.matrix.Density());
+
+  FlocConfig config;
+  config.num_clusters = 4;
+  config.seeding.row_probability = 0.10;
+  config.seeding.col_probability = 0.08;
+  config.constraints.alpha = 0.6;  // the paper's occupancy for MovieLens
+  config.constraints.min_rows = 4;
+  config.constraints.min_cols = 4;
+  // Volume-seeking objective: grow each group while members stay
+  // coherent to within ~0.8 rating points.
+  config.target_residue = 0.8;
+  config.perform_negative_actions = false;
+  config.reseed_rounds = 2;
+  config.rng_seed = 11;
+  Floc floc(config);
+  FlocResult result = floc.Run(data.matrix);
+
+  std::printf("FLOC found %zu viewer groups (avg residue %.3f) in %zu "
+              "iterations\n",
+              result.clusters.size(), result.average_residue,
+              result.iterations);
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    std::printf("  group %zu: %zu viewers x %zu movies, residue %.3f\n", c,
+                result.clusters[c].NumRows(), result.clusters[c].NumCols(),
+                result.residues[c]);
+  }
+
+  // Recommendation demo: hide one rated entry inside a discovered group,
+  // predict it from the rest of the group, and compare.
+  size_t demos = 0;
+  for (const Cluster& cluster : result.clusters) {
+    if (demos >= 3 || cluster.NumRows() < 3) continue;
+    for (uint32_t user : cluster.row_ids()) {
+      if (demos >= 3) break;
+      for (uint32_t movie : cluster.col_ids()) {
+        if (!data.matrix.IsSpecified(user, movie)) continue;
+        double truth = data.matrix.Value(user, movie);
+        DataMatrix held_out = data.matrix;
+        held_out.SetMissing(user, movie);
+        std::optional<double> predicted =
+            PredictRating(held_out, cluster, user, movie);
+        if (!predicted) continue;
+        std::printf(
+            "  predict viewer %u on movie %u: predicted %.2f, actual %.0f\n",
+            user, movie, *predicted, truth);
+        ++demos;
+        break;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full reproduction pass: build, run the test suite, and regenerate every
+# paper table/figure. Outputs land in test_output.txt / bench_output.txt
+# at the repository root.
+#
+# Usage:
+#   scripts/reproduce.sh            # full sweeps (~25 min on one core)
+#   scripts/reproduce.sh --quick    # reduced sweeps (a few minutes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=""
+if [[ "${1:-}" == "--quick" ]]; then
+  QUICK="--quick"
+fi
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "===== $b ====="
+    "$b" ${QUICK}
+    echo
+  done
+} 2>&1 | tee bench_output.txt

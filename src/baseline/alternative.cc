@@ -1,0 +1,67 @@
+#include "src/baseline/alternative.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/baseline/derived_transform.h"
+#include "src/core/cluster_stats.h"
+#include "src/core/residue.h"
+#include "src/util/stopwatch.h"
+
+namespace deltaclus {
+
+AlternativeResult RunAlternative(const DataMatrix& matrix,
+                                 const AlternativeConfig& config) {
+  Stopwatch stopwatch;
+  AlternativeResult result;
+
+  // Step 1: derived pairwise-difference attributes.
+  std::vector<std::pair<size_t, size_t>> pair_index;
+  DataMatrix derived = DerivedDifferenceMatrix(matrix, &pair_index);
+  result.derived_attributes = derived.cols();
+
+  // Step 2: subspace clustering on the derived matrix.
+  CliqueResult clique = RunClique(derived, config.clique);
+  result.dense_units = clique.dense_units;
+  result.truncated = clique.truncated;
+
+  // Step 3: delta-clusters via attribute-graph cliques; deduplicate.
+  std::set<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> seen;
+  std::vector<Cluster> candidates;
+  for (const SubspaceCluster& sc : clique.clusters) {
+    if (sc.points.size() < 2) continue;
+    std::vector<Cluster> found = DeltaClustersFromSubspaceCluster(
+        matrix.rows(), matrix.cols(), sc, pair_index, config.min_attributes,
+        config.max_cliques_per_subspace);
+    for (Cluster& c : found) {
+      auto key = std::make_pair(c.row_ids(), c.col_ids());
+      if (seen.insert(std::move(key)).second) {
+        candidates.push_back(std::move(c));
+      }
+    }
+  }
+
+  // Rank by residue.
+  ResidueEngine engine;
+  std::vector<std::pair<double, size_t>> ranked;
+  ranked.reserve(candidates.size());
+  for (size_t t = 0; t < candidates.size(); ++t) {
+    ClusterView view(matrix, candidates[t]);
+    ranked.emplace_back(engine.Residue(view), t);
+  }
+  std::sort(ranked.begin(), ranked.end());
+
+  size_t keep = config.top_k == 0
+                    ? ranked.size()
+                    : std::min(config.top_k, ranked.size());
+  result.clusters.reserve(keep);
+  result.residues.reserve(keep);
+  for (size_t t = 0; t < keep; ++t) {
+    result.clusters.push_back(std::move(candidates[ranked[t].second]));
+    result.residues.push_back(ranked[t].first);
+  }
+  result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltaclus

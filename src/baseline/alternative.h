@@ -1,0 +1,58 @@
+// The complete "alternative algorithm" of paper Section 4.4:
+//   (1) derive all pairwise-difference attributes,
+//   (2) run CLIQUE subspace clustering on the derived matrix,
+//   (3) extract delta-clusters from each subspace cluster's attribute
+//       graph via maximal cliques,
+// then deduplicate and rank the candidates by residue. The paper uses
+// this pipeline as the comparison point for FLOC's efficiency
+// (Figure 10): its cost explodes with the number of attributes because
+// the derived dimensionality is quadratic and a delta-cluster with m
+// attributes requires an m(m-1)/2-dimensional subspace cluster.
+#ifndef DELTACLUS_BASELINE_ALTERNATIVE_H_
+#define DELTACLUS_BASELINE_ALTERNATIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/baseline/clique.h"
+#include "src/core/cluster.h"
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// Parameters for the alternative pipeline.
+struct AlternativeConfig {
+  /// CLIQUE parameters applied to the derived matrix. The density
+  /// threshold doubles as the minimum delta-cluster row count (as a
+  /// fraction of all objects).
+  CliqueConfig clique;
+
+  /// Minimum attributes a reported delta-cluster must span.
+  size_t min_attributes = 2;
+
+  /// Keep only the `top_k` lowest-residue clusters (0 = all).
+  size_t top_k = 0;
+
+  /// Cap on maximal cliques extracted per subspace cluster (0 = all).
+  size_t max_cliques_per_subspace = 64;
+};
+
+/// Result of the alternative pipeline.
+struct AlternativeResult {
+  std::vector<Cluster> clusters;  // ranked by ascending residue
+  std::vector<double> residues;   // aligned with `clusters`
+  /// Derived-matrix width actually processed: N(N-1)/2.
+  size_t derived_attributes = 0;
+  /// Stats from the embedded CLIQUE run.
+  size_t dense_units = 0;
+  bool truncated = false;
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs the full pipeline on `matrix`.
+AlternativeResult RunAlternative(const DataMatrix& matrix,
+                                 const AlternativeConfig& config);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_BASELINE_ALTERNATIVE_H_

@@ -1,0 +1,108 @@
+#include "src/baseline/bron_kerbosch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace deltaclus {
+
+UndirectedGraph::UndirectedGraph(size_t num_vertices)
+    : n_(num_vertices), adj_(num_vertices * num_vertices, 0) {}
+
+void UndirectedGraph::AddEdge(size_t a, size_t b) {
+  assert(a < n_ && b < n_ && a != b);
+  adj_[a * n_ + b] = 1;
+  adj_[b * n_ + a] = 1;
+}
+
+size_t UndirectedGraph::Degree(size_t v) const {
+  size_t d = 0;
+  for (size_t u = 0; u < n_; ++u) d += adj_[v * n_ + u];
+  return d;
+}
+
+namespace {
+
+struct BkState {
+  const UndirectedGraph* graph;
+  size_t min_size;
+  size_t max_cliques;
+  std::vector<std::vector<size_t>>* out;
+  bool stopped = false;
+};
+
+// Classic Bron-Kerbosch with pivoting:
+//   R: current clique, P: candidates, X: already-explored vertices.
+void Expand(BkState& state, std::vector<size_t>& r, std::vector<size_t> p,
+            std::vector<size_t> x) {
+  if (state.stopped) return;
+  if (p.empty() && x.empty()) {
+    if (r.size() >= state.min_size) {
+      std::vector<size_t> clique = r;
+      std::sort(clique.begin(), clique.end());
+      state.out->push_back(std::move(clique));
+      if (state.max_cliques != 0 && state.out->size() >= state.max_cliques) {
+        state.stopped = true;
+      }
+    }
+    return;
+  }
+
+  // Pivot: the vertex of P ∪ X with the most neighbours in P minimizes
+  // the branching factor.
+  const UndirectedGraph& g = *state.graph;
+  size_t pivot = 0;
+  size_t best_cover = 0;
+  bool have_pivot = false;
+  auto consider_pivot = [&](size_t u) {
+    size_t cover = 0;
+    for (size_t v : p) cover += g.HasEdge(u, v);
+    if (!have_pivot || cover > best_cover) {
+      pivot = u;
+      best_cover = cover;
+      have_pivot = true;
+    }
+  };
+  for (size_t u : p) consider_pivot(u);
+  for (size_t u : x) consider_pivot(u);
+
+  // Branch on P \ N(pivot).
+  std::vector<size_t> branch;
+  for (size_t v : p) {
+    if (!g.HasEdge(pivot, v)) branch.push_back(v);
+  }
+
+  for (size_t v : branch) {
+    std::vector<size_t> p_next;
+    std::vector<size_t> x_next;
+    for (size_t u : p) {
+      if (g.HasEdge(v, u)) p_next.push_back(u);
+    }
+    for (size_t u : x) {
+      if (g.HasEdge(v, u)) x_next.push_back(u);
+    }
+    r.push_back(v);
+    Expand(state, r, std::move(p_next), std::move(x_next));
+    r.pop_back();
+    if (state.stopped) return;
+
+    // Move v from P to X.
+    p.erase(std::find(p.begin(), p.end(), v));
+    x.push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<size_t>> MaximalCliques(const UndirectedGraph& graph,
+                                                size_t min_size,
+                                                size_t max_cliques) {
+  std::vector<std::vector<size_t>> cliques;
+  std::vector<size_t> p(graph.num_vertices());
+  for (size_t v = 0; v < graph.num_vertices(); ++v) p[v] = v;
+  std::vector<size_t> r;
+  BkState state{&graph, min_size, max_cliques, &cliques};
+  Expand(state, r, std::move(p), {});
+  return cliques;
+}
+
+}  // namespace deltaclus

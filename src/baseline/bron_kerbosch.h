@@ -1,0 +1,47 @@
+// Bron-Kerbosch maximal-clique enumeration with pivoting.
+//
+// Step 3 of the paper's "alternative algorithm" (Section 4.4) converts a
+// subspace cluster found on the derived pairwise-difference attributes
+// back into delta-clusters: build a graph whose vertices are original
+// attributes with an edge per derived attribute in the cluster's
+// subspace; every clique of that graph yields a delta-cluster. We
+// enumerate *maximal* cliques with the classic Bron-Kerbosch algorithm
+// (pivot variant).
+#ifndef DELTACLUS_BASELINE_BRON_KERBOSCH_H_
+#define DELTACLUS_BASELINE_BRON_KERBOSCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deltaclus {
+
+/// Simple undirected graph over vertices 0..n-1 with an adjacency matrix
+/// (the attribute graphs here are small and dense).
+class UndirectedGraph {
+ public:
+  explicit UndirectedGraph(size_t num_vertices);
+
+  size_t num_vertices() const { return n_; }
+
+  void AddEdge(size_t a, size_t b);
+  bool HasEdge(size_t a, size_t b) const { return adj_[a * n_ + b] != 0; }
+
+  /// Degree of vertex v.
+  size_t Degree(size_t v) const;
+
+ private:
+  size_t n_;
+  std::vector<uint8_t> adj_;
+};
+
+/// Enumerates all maximal cliques of `graph` with at least `min_size`
+/// vertices, stopping after `max_cliques` results (0 = unbounded). Each
+/// clique is returned as a sorted vertex list.
+std::vector<std::vector<size_t>> MaximalCliques(const UndirectedGraph& graph,
+                                                size_t min_size = 1,
+                                                size_t max_cliques = 0);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_BASELINE_BRON_KERBOSCH_H_

@@ -1,0 +1,253 @@
+#include "src/baseline/cheng_church.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "src/core/cluster_stats.h"
+#include "src/core/residue.h"
+#include "src/util/rng.h"
+#include "src/util/stopwatch.h"
+
+namespace deltaclus {
+
+namespace {
+
+// Mean squared residue contribution of member row i:
+// (1/|J'|) sum_j (d_ij - d_iJ - d_Ij + d_IJ)^2.
+double MemberRowScore(const ClusterView& view, size_t i) {
+  const DataMatrix& m = view.matrix();
+  const ClusterStats& stats = view.stats();
+  double row_base = stats.RowBase(i);
+  double cluster_base = stats.ClusterBase();
+  double acc = 0.0;
+  size_t count = 0;
+  for (uint32_t j : view.cluster().col_ids()) {
+    if (!m.IsSpecified(i, j)) continue;
+    double r = m.Value(i, j) - row_base - stats.ColBase(j) + cluster_base;
+    acc += r * r;
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / count;
+}
+
+double MemberColScore(const ClusterView& view, size_t j) {
+  const DataMatrix& m = view.matrix();
+  const ClusterStats& stats = view.stats();
+  double col_base = stats.ColBase(j);
+  double cluster_base = stats.ClusterBase();
+  double acc = 0.0;
+  size_t count = 0;
+  for (uint32_t i : view.cluster().row_ids()) {
+    if (!m.IsSpecified(i, j)) continue;
+    double r = m.Value(i, j) - stats.RowBase(i) - col_base + cluster_base;
+    acc += r * r;
+    ++count;
+  }
+  return count == 0 ? 0.0 : acc / count;
+}
+
+// Score of a *candidate* (non-member) column j against the current
+// bicluster: mean squared residue it would contribute, using the current
+// bases and the candidate's own column base over I.
+double CandidateColScore(const ClusterView& view, size_t j) {
+  const DataMatrix& m = view.matrix();
+  const ClusterStats& stats = view.stats();
+  double col_sum;
+  size_t col_cnt;
+  ClusterStats::ColSumOverRows(m, view.cluster().row_ids(), j, &col_sum,
+                               &col_cnt);
+  if (col_cnt == 0) return std::numeric_limits<double>::infinity();
+  double col_base = col_sum / col_cnt;
+  double cluster_base = stats.ClusterBase();
+  double acc = 0.0;
+  for (uint32_t i : view.cluster().row_ids()) {
+    if (!m.IsSpecified(i, j)) continue;
+    double r = m.Value(i, j) - stats.RowBase(i) - col_base + cluster_base;
+    acc += r * r;
+  }
+  return acc / col_cnt;
+}
+
+// Score of a candidate (non-member) row; `inverted` scores the row's
+// mirror image (-d_ij + d_iJ - d_Ij + d_IJ), Cheng & Church's extension
+// for co-regulated but anti-correlated genes.
+double CandidateRowScore(const ClusterView& view, size_t i, bool inverted) {
+  const DataMatrix& m = view.matrix();
+  const ClusterStats& stats = view.stats();
+  double row_sum;
+  size_t row_cnt;
+  ClusterStats::RowSumOverCols(m, view.cluster().col_ids(), i, &row_sum,
+                               &row_cnt);
+  if (row_cnt == 0) return std::numeric_limits<double>::infinity();
+  double row_base = row_sum / row_cnt;
+  double cluster_base = stats.ClusterBase();
+  double acc = 0.0;
+  for (uint32_t j : view.cluster().col_ids()) {
+    if (!m.IsSpecified(i, j)) continue;
+    double r;
+    if (inverted) {
+      r = -m.Value(i, j) + row_base - stats.ColBase(j) + cluster_base;
+    } else {
+      r = m.Value(i, j) - row_base - stats.ColBase(j) + cluster_base;
+    }
+    acc += r * r;
+  }
+  return acc / row_cnt;
+}
+
+// Mines a single low-MSR bicluster from `work` (Cheng & Church
+// Algorithms 1-3 chained).
+Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
+                ResidueEngine& engine, double* out_msr) {
+  // Start from the full matrix.
+  std::vector<size_t> all_rows(work.rows());
+  std::vector<size_t> all_cols(work.cols());
+  for (size_t i = 0; i < work.rows(); ++i) all_rows[i] = i;
+  for (size_t j = 0; j < work.cols(); ++j) all_cols[j] = j;
+  ClusterView view(
+      work, Cluster::FromMembers(work.rows(), work.cols(), all_rows, all_cols));
+
+  double msr = engine.Residue(view);
+
+  // --- Algorithm 2: multiple node deletion. ---
+  while (msr > config.msr_threshold) {
+    bool removed = false;
+    if (view.cluster().NumRows() > config.multiple_deletion_min) {
+      std::vector<uint32_t> victims;
+      for (uint32_t i : view.cluster().row_ids()) {
+        if (MemberRowScore(view, i) > config.deletion_threshold * msr) {
+          victims.push_back(i);
+        }
+      }
+      // Never delete everything.
+      if (victims.size() + 2 <= view.cluster().NumRows()) {
+        for (uint32_t i : victims) view.ToggleRow(i);
+        removed = !victims.empty();
+      }
+      msr = engine.Residue(view);
+      if (msr <= config.msr_threshold) break;
+    }
+    if (view.cluster().NumCols() > config.multiple_deletion_min) {
+      std::vector<uint32_t> victims;
+      for (uint32_t j : view.cluster().col_ids()) {
+        if (MemberColScore(view, j) > config.deletion_threshold * msr) {
+          victims.push_back(j);
+        }
+      }
+      if (victims.size() + 2 <= view.cluster().NumCols()) {
+        for (uint32_t j : victims) view.ToggleCol(j);
+        removed = removed || !victims.empty();
+      }
+      msr = engine.Residue(view);
+    }
+    if (!removed) break;
+  }
+
+  // --- Algorithm 1: single node deletion. ---
+  while (msr > config.msr_threshold &&
+         (view.cluster().NumRows() > 2 || view.cluster().NumCols() > 2)) {
+    double best_row_score = -1.0;
+    uint32_t best_row = 0;
+    if (view.cluster().NumRows() > 2) {
+      for (uint32_t i : view.cluster().row_ids()) {
+        double s = MemberRowScore(view, i);
+        if (s > best_row_score) {
+          best_row_score = s;
+          best_row = i;
+        }
+      }
+    }
+    double best_col_score = -1.0;
+    uint32_t best_col = 0;
+    if (view.cluster().NumCols() > 2) {
+      for (uint32_t j : view.cluster().col_ids()) {
+        double s = MemberColScore(view, j);
+        if (s > best_col_score) {
+          best_col_score = s;
+          best_col = j;
+        }
+      }
+    }
+    if (best_row_score < 0 && best_col_score < 0) break;
+    if (best_row_score >= best_col_score) {
+      view.ToggleRow(best_row);
+    } else {
+      view.ToggleCol(best_col);
+    }
+    msr = engine.Residue(view);
+  }
+
+  // --- Algorithm 3: node addition. ---
+  for (int pass = 0; pass < 50; ++pass) {
+    bool changed = false;
+    msr = engine.Residue(view);
+    // Columns first, then rows, as in the original.
+    std::vector<uint32_t> add_cols;
+    for (size_t j = 0; j < work.cols(); ++j) {
+      if (view.cluster().HasCol(j)) continue;
+      if (CandidateColScore(view, j) <= msr) {
+        add_cols.push_back(static_cast<uint32_t>(j));
+      }
+    }
+    for (uint32_t j : add_cols) view.ToggleCol(j);
+    changed = changed || !add_cols.empty();
+
+    msr = engine.Residue(view);
+    std::vector<uint32_t> add_rows;
+    for (size_t i = 0; i < work.rows(); ++i) {
+      if (view.cluster().HasRow(i)) continue;
+      bool qualifies = CandidateRowScore(view, i, /*inverted=*/false) <= msr;
+      if (!qualifies && config.add_inverted_rows) {
+        qualifies = CandidateRowScore(view, i, /*inverted=*/true) <= msr;
+      }
+      if (qualifies) add_rows.push_back(static_cast<uint32_t>(i));
+    }
+    for (uint32_t i : add_rows) view.ToggleRow(i);
+    changed = changed || !add_rows.empty();
+
+    if (!changed) break;
+  }
+
+  *out_msr = engine.Residue(view);
+  return view.cluster();
+}
+
+}  // namespace
+
+double MeanSquaredResidue(const DataMatrix& matrix, const Cluster& cluster) {
+  return ClusterResidueNaive(matrix, cluster, ResidueNorm::kMeanSquared);
+}
+
+ChengChurchResult RunChengChurch(const DataMatrix& matrix,
+                                 const ChengChurchConfig& config) {
+  if (matrix.NumSpecified() != matrix.rows() * matrix.cols()) {
+    throw std::invalid_argument(
+        "RunChengChurch: the bicluster model requires a fully specified "
+        "matrix");
+  }
+  Stopwatch stopwatch;
+  Rng rng(config.seed);
+  ResidueEngine engine(ResidueNorm::kMeanSquared);
+
+  DataMatrix work = matrix;  // masked as clusters are discovered
+  ChengChurchResult result;
+  for (size_t c = 0; c < config.num_clusters; ++c) {
+    double msr = 0.0;
+    Cluster found = MineOne(work, config, engine, &msr);
+    if (found.Empty()) break;
+    // Mask the discovered bicluster with random values so the next round
+    // does not rediscover it (the step the paper criticizes).
+    for (uint32_t i : found.row_ids()) {
+      for (uint32_t j : found.col_ids()) {
+        work.Set(i, j, rng.Uniform(config.mask_lo, config.mask_hi));
+      }
+    }
+    result.clusters.push_back(std::move(found));
+    result.msr.push_back(msr);
+  }
+  result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,317 @@
+#include "src/baseline/clique.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+namespace deltaclus {
+
+namespace {
+
+// A unit is identified by its sorted list of (dimension, bin) codes,
+// encoded as dim * num_intervals + bin.
+using UnitKey = std::vector<uint64_t>;
+
+struct Unit {
+  UnitKey key;
+  std::vector<uint32_t> points;  // sorted
+};
+
+uint64_t Encode(size_t dim, size_t bin, size_t num_intervals) {
+  return static_cast<uint64_t>(dim) * num_intervals + bin;
+}
+
+size_t DecodeDim(uint64_t code, size_t num_intervals) {
+  return static_cast<size_t>(code / num_intervals);
+}
+
+size_t DecodeBin(uint64_t code, size_t num_intervals) {
+  return static_cast<size_t>(code % num_intervals);
+}
+
+std::vector<uint32_t> IntersectSorted(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Union-find for unit connectivity.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// True if two units of the same subspace share a face: equal bins in all
+// dimensions except exactly one, where they differ by one.
+bool Connected(const UnitKey& a, const UnitKey& b, size_t num_intervals) {
+  assert(a.size() == b.size());
+  size_t diffs = 0;
+  for (size_t t = 0; t < a.size(); ++t) {
+    if (a[t] == b[t]) continue;
+    if (DecodeDim(a[t], num_intervals) != DecodeDim(b[t], num_intervals)) {
+      return false;
+    }
+    size_t bin_a = DecodeBin(a[t], num_intervals);
+    size_t bin_b = DecodeBin(b[t], num_intervals);
+    if (bin_a + 1 != bin_b && bin_b + 1 != bin_a) return false;
+    if (++diffs > 1) return false;
+  }
+  return diffs == 1;
+}
+
+// MDL pruning (Agrawal et al. Section 3.2): given per-subspace coverages
+// sorted descending, returns how many leading subspaces to KEEP -- the
+// cut that minimizes the two-part code length
+//   CL(i) = log2(mu_S + 1) + sum_{j<=i} log2(|x_j - mu_S| + 1)
+//         + log2(mu_P + 1) + sum_{j>i} log2(|x_j - mu_P| + 1).
+size_t MdlCut(const std::vector<double>& coverages_desc) {
+  size_t n = coverages_desc.size();
+  if (n <= 1) return n;
+  // Prefix sums for O(1) means.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (size_t t = 0; t < n; ++t) {
+    prefix[t + 1] = prefix[t] + coverages_desc[t];
+  }
+  double best_cost = std::numeric_limits<double>::infinity();
+  size_t best_cut = n;
+  for (size_t cut = 1; cut <= n; ++cut) {
+    double mu_s = prefix[cut] / cut;
+    double mu_p = cut == n ? 0.0 : (prefix[n] - prefix[cut]) / (n - cut);
+    double cost =
+        std::log2(mu_s + 1.0) + (cut == n ? 0.0 : std::log2(mu_p + 1.0));
+    for (size_t t = 0; t < n; ++t) {
+      double mu = t < cut ? mu_s : mu_p;
+      cost += std::log2(std::abs(coverages_desc[t] - mu) + 1.0);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_cut = cut;
+    }
+  }
+  return best_cut;
+}
+
+}  // namespace
+
+size_t BinIndex(double value, double lo, double hi, size_t num_intervals) {
+  if (hi <= lo) return 0;
+  double width = (hi - lo) / num_intervals;
+  auto bin = static_cast<long long>((value - lo) / width);
+  if (bin < 0) bin = 0;
+  if (bin >= static_cast<long long>(num_intervals)) {
+    bin = static_cast<long long>(num_intervals) - 1;
+  }
+  return static_cast<size_t>(bin);
+}
+
+CliqueResult RunClique(const DataMatrix& data, const CliqueConfig& config) {
+  CliqueResult result;
+  size_t num_points = data.rows();
+  size_t num_dims = data.cols();
+  size_t xi = config.num_intervals;
+  if (num_points == 0 || num_dims == 0) return result;
+  size_t min_count = static_cast<size_t>(
+      std::max(1.0, config.density_threshold * num_points));
+
+  // --- Level 1: dense 1-dimensional units. ---
+  std::vector<Unit> level;
+  for (size_t d = 0; d < num_dims; ++d) {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool seen = false;
+    for (size_t i = 0; i < num_points; ++i) {
+      if (!data.IsSpecified(i, d)) continue;
+      double v = data.Value(i, d);
+      if (!seen) {
+        lo = hi = v;
+        seen = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!seen) continue;
+    std::vector<std::vector<uint32_t>> bins(xi);
+    for (size_t i = 0; i < num_points; ++i) {
+      if (!data.IsSpecified(i, d)) continue;
+      bins[BinIndex(data.Value(i, d), lo, hi, xi)].push_back(
+          static_cast<uint32_t>(i));
+    }
+    for (size_t b = 0; b < xi; ++b) {
+      if (bins[b].size() < min_count) continue;
+      Unit u;
+      u.key = {Encode(d, b, xi)};
+      u.points = std::move(bins[b]);
+      level.push_back(std::move(u));
+    }
+  }
+
+  // All dense units across levels, grouped by subspace for the cluster
+  // extraction step.
+  std::vector<Unit> all_units = level;
+  result.dense_units = level.size();
+  result.max_level = level.empty() ? 0 : 1;
+
+  // --- Bottom-up Apriori growth. ---
+  std::set<UnitKey> dense_keys;
+  for (const Unit& u : level) dense_keys.insert(u.key);
+
+  size_t level_num = 1;
+  while (!level.empty() && !result.truncated) {
+    if (config.max_subspace_dims != 0 &&
+        level_num >= config.max_subspace_dims) {
+      break;
+    }
+    ++level_num;
+    // Sort so join partners (shared prefix) are adjacent.
+    std::sort(level.begin(), level.end(),
+              [](const Unit& a, const Unit& b) { return a.key < b.key; });
+
+    std::vector<Unit> next;
+    std::set<UnitKey> next_keys;
+    for (size_t a = 0; a < level.size() && !result.truncated; ++a) {
+      for (size_t b = a + 1; b < level.size(); ++b) {
+        const UnitKey& ka = level[a].key;
+        const UnitKey& kb = level[b].key;
+        // Joinable: equal prefix, last codes in distinct dimensions.
+        if (!std::equal(ka.begin(), ka.end() - 1, kb.begin())) break;
+        size_t dim_a = DecodeDim(ka.back(), xi);
+        size_t dim_b = DecodeDim(kb.back(), xi);
+        if (dim_a == dim_b) continue;
+
+        UnitKey candidate = ka;
+        candidate.push_back(kb.back());
+        // Apriori prune: every (k-1)-subset must be dense. The two
+        // parents cover two of them; check the rest.
+        bool pruned = false;
+        for (size_t drop = 0; drop + 2 < candidate.size() && !pruned;
+             ++drop) {
+          UnitKey sub;
+          sub.reserve(candidate.size() - 1);
+          for (size_t t = 0; t < candidate.size(); ++t) {
+            if (t != drop) sub.push_back(candidate[t]);
+          }
+          if (!dense_keys.count(sub)) pruned = true;
+        }
+        if (pruned) continue;
+        if (next_keys.count(candidate)) continue;
+
+        std::vector<uint32_t> pts =
+            IntersectSorted(level[a].points, level[b].points);
+        if (pts.size() < min_count) continue;
+
+        Unit u;
+        u.key = candidate;
+        u.points = std::move(pts);
+        next_keys.insert(u.key);
+        next.push_back(std::move(u));
+        if (result.dense_units + next.size() > config.max_dense_units) {
+          result.truncated = true;
+          break;
+        }
+      }
+    }
+    if (config.mdl_pruning && !next.empty()) {
+      // Group this level's units by subspace, rank subspaces by
+      // coverage, and keep only the MDL-selected head.
+      std::map<std::vector<size_t>, std::vector<size_t>> groups;
+      for (size_t u = 0; u < next.size(); ++u) {
+        std::vector<size_t> dims;
+        dims.reserve(next[u].key.size());
+        for (uint64_t code : next[u].key) {
+          dims.push_back(DecodeDim(code, xi));
+        }
+        groups[dims].push_back(u);
+      }
+      std::vector<std::pair<double, const std::vector<size_t>*>> ranked;
+      ranked.reserve(groups.size());
+      for (const auto& [dims, unit_ids] : groups) {
+        double coverage = 0;
+        for (size_t u : unit_ids) coverage += next[u].points.size();
+        ranked.emplace_back(coverage, &unit_ids);
+      }
+      std::sort(ranked.rbegin(), ranked.rend());
+      std::vector<double> coverages;
+      coverages.reserve(ranked.size());
+      for (const auto& [coverage, unit_ids] : ranked) {
+        coverages.push_back(coverage);
+      }
+      size_t keep_subspaces = MdlCut(coverages);
+      std::vector<uint8_t> keep(next.size(), 0);
+      for (size_t s = 0; s < keep_subspaces; ++s) {
+        for (size_t u : *ranked[s].second) keep[u] = 1;
+      }
+      std::vector<Unit> kept;
+      kept.reserve(next.size());
+      for (size_t u = 0; u < next.size(); ++u) {
+        if (keep[u]) kept.push_back(std::move(next[u]));
+      }
+      next = std::move(kept);
+    }
+
+    for (const Unit& u : next) dense_keys.insert(u.key);
+    result.dense_units += next.size();
+    if (!next.empty()) result.max_level = level_num;
+    all_units.insert(all_units.end(), next.begin(), next.end());
+    level = std::move(next);
+  }
+
+  // --- Cluster extraction: connected dense units per subspace. ---
+  // Group unit indices by subspace (the sorted dimension list).
+  std::map<std::vector<size_t>, std::vector<size_t>> by_subspace;
+  for (size_t u = 0; u < all_units.size(); ++u) {
+    std::vector<size_t> dims;
+    dims.reserve(all_units[u].key.size());
+    for (uint64_t code : all_units[u].key) dims.push_back(DecodeDim(code, xi));
+    by_subspace[dims].push_back(u);
+  }
+
+  for (const auto& [dims, unit_ids] : by_subspace) {
+    DisjointSets ds(unit_ids.size());
+    for (size_t a = 0; a < unit_ids.size(); ++a) {
+      for (size_t b = a + 1; b < unit_ids.size(); ++b) {
+        if (Connected(all_units[unit_ids[a]].key, all_units[unit_ids[b]].key,
+                      xi)) {
+          ds.Union(a, b);
+        }
+      }
+    }
+    std::map<size_t, std::vector<size_t>> components;
+    for (size_t t = 0; t < unit_ids.size(); ++t) {
+      components[ds.Find(t)].push_back(unit_ids[t]);
+    }
+    for (const auto& [root, members] : components) {
+      (void)root;
+      std::set<uint32_t> pts;
+      for (size_t u : members) {
+        pts.insert(all_units[u].points.begin(), all_units[u].points.end());
+      }
+      SubspaceCluster cluster;
+      cluster.dims = dims;
+      cluster.points.assign(pts.begin(), pts.end());
+      result.clusters.push_back(std::move(cluster));
+    }
+  }
+  return result;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,61 @@
+#include "src/baseline/derived_transform.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/baseline/bron_kerbosch.h"
+
+namespace deltaclus {
+
+DataMatrix DerivedDifferenceMatrix(
+    const DataMatrix& source,
+    std::vector<std::pair<size_t, size_t>>* pair_index) {
+  size_t n = source.cols();
+  size_t derived_cols = n * (n - 1) / 2;
+  DataMatrix out(source.rows(), derived_cols);
+  if (pair_index != nullptr) {
+    pair_index->clear();
+    pair_index->reserve(derived_cols);
+  }
+
+  size_t t = 0;
+  for (size_t j1 = 0; j1 < n; ++j1) {
+    for (size_t j2 = j1 + 1; j2 < n; ++j2, ++t) {
+      if (pair_index != nullptr) pair_index->emplace_back(j1, j2);
+      for (size_t i = 0; i < source.rows(); ++i) {
+        if (source.IsSpecified(i, j1) && source.IsSpecified(i, j2)) {
+          out.Set(i, t, source.Value(i, j1) - source.Value(i, j2));
+        }
+      }
+    }
+  }
+  assert(t == derived_cols);
+  return out;
+}
+
+std::vector<Cluster> DeltaClustersFromSubspaceCluster(
+    size_t original_rows, size_t original_cols,
+    const SubspaceCluster& subspace_cluster,
+    const std::vector<std::pair<size_t, size_t>>& pair_index,
+    size_t min_attributes, size_t max_cliques) {
+  // Build the graph over original attributes: derived dimension t in the
+  // subspace adds the edge pair_index[t].
+  UndirectedGraph graph(original_cols);
+  for (size_t t : subspace_cluster.dims) {
+    assert(t < pair_index.size());
+    graph.AddEdge(pair_index[t].first, pair_index[t].second);
+  }
+
+  std::vector<std::vector<size_t>> cliques =
+      MaximalCliques(graph, std::max<size_t>(min_attributes, 2), max_cliques);
+
+  std::vector<Cluster> clusters;
+  clusters.reserve(cliques.size());
+  for (const std::vector<size_t>& clique : cliques) {
+    clusters.push_back(Cluster::FromMembers(
+        original_rows, original_cols, subspace_cluster.points, clique));
+  }
+  return clusters;
+}
+
+}  // namespace deltaclus

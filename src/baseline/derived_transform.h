@@ -1,0 +1,50 @@
+// The derived-attribute transform of the paper's "alternative algorithm"
+// (Section 4.4, Figure 7).
+//
+// Step 1 maps the delta-cluster problem to ordinary subspace clustering:
+// for every pair of original attributes (j1, j2), j1 < j2, a derived
+// attribute stores the difference d[j1] - d[j2]. A set of objects forming
+// a perfect delta-cluster on attributes J is constant on every derived
+// attribute built from a pair within J, i.e. it is a (trivially tight)
+// subspace cluster on the m(m-1)/2 derived attributes.
+//
+// Step 3 maps back: a subspace cluster over derived attributes induces a
+// graph on original attributes (one edge per derived attribute in its
+// subspace); each clique of that graph spans a delta-cluster over the
+// subspace cluster's objects.
+#ifndef DELTACLUS_BASELINE_DERIVED_TRANSFORM_H_
+#define DELTACLUS_BASELINE_DERIVED_TRANSFORM_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/baseline/clique.h"
+#include "src/core/cluster.h"
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// Builds the derived pairwise-difference matrix. Derived column t
+/// corresponds to `(*pair_index)[t] = {j1, j2}` and holds
+/// d[j1] - d[j2]; the entry is missing when either source entry is.
+/// The output has N * (N - 1) / 2 columns -- the quadratic blow-up that
+/// makes this approach expensive (paper Figure 10).
+DataMatrix DerivedDifferenceMatrix(
+    const DataMatrix& source,
+    std::vector<std::pair<size_t, size_t>>* pair_index);
+
+/// Converts one subspace cluster over the derived matrix back into
+/// delta-clusters over the original attributes (step 3): builds the
+/// attribute graph and returns one cluster per maximal clique with at
+/// least `min_attributes` vertices (capped at `max_cliques` cliques,
+/// 0 = unbounded).
+std::vector<Cluster> DeltaClustersFromSubspaceCluster(
+    size_t original_rows, size_t original_cols,
+    const SubspaceCluster& subspace_cluster,
+    const std::vector<std::pair<size_t, size_t>>& pair_index,
+    size_t min_attributes = 2, size_t max_cliques = 0);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_BASELINE_DERIVED_TRANSFORM_H_

@@ -1,0 +1,335 @@
+#include "src/cli/cli.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/core/cluster_tools.h"
+#include "src/core/floc.h"
+#include "src/core/predict.h"
+#include "src/data/cluster_io.h"
+#include "src/data/matrix_io.h"
+#include "src/data/microarray_synth.h"
+#include "src/data/movielens_synth.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+#include "src/eval/table.h"
+#include "src/util/flags.h"
+
+namespace deltaclus {
+
+namespace {
+
+constexpr const char* kUsage = R"(deltaclus_cli <command> [flags]
+
+commands:
+  generate  synthesize a data set
+            --kind=synthetic|movielens|microarray  (default synthetic)
+            --rows N --cols N --clusters N --noise S --missing F
+            --volume-mean V --volume-variance V --seed S
+            --out matrix.csv [--truth-out clusters.txt]
+  mine      run FLOC on a CSV matrix
+            --input matrix.csv --k N [--alpha A] [--target-residue R]
+            [--min-rows N] [--min-cols N] [--max-overlap F]
+            [--ordering fixed|random|weighted] [--paper-mode]
+            [--refine N] [--reseed N] [--threads N] [--seed S]
+            [--dedupe F] --out clusters.txt
+  stats     summarize a clustering
+            --input matrix.csv --clusters clusters.txt
+            [--truth truth.txt]
+  impute    fill missing entries from a clustering
+            --input matrix.csv --clusters clusters.txt --out imputed.csv
+            [--combine best|weighted]
+  holdout   hold-out prediction evaluation
+            --input matrix.csv --clusters clusters.txt
+            [--fraction F] [--seed S] [--combine best|weighted]
+  help      print this message
+
+Matrices are dense CSV with "NA" (or empty) for missing entries.
+)";
+
+int UsageError(std::ostream& err, const std::string& message) {
+  err << "error: " << message << "\n\n" << kUsage;
+  return 1;
+}
+
+// Validates that every provided flag was consumed and no parse errors
+// accumulated. Returns 0 on success.
+int FinishFlags(FlagParser& flags, std::ostream& err) {
+  for (const std::string& problem : flags.errors()) {
+    err << "error: " << problem << "\n";
+  }
+  std::vector<std::string> unclaimed = flags.Unclaimed();
+  for (const std::string& flag : unclaimed) {
+    err << "error: unknown flag " << flag << "\n";
+  }
+  return (flags.errors().empty() && unclaimed.empty()) ? 0 : 1;
+}
+
+int CmdGenerate(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  std::string kind = flags.StringOr("kind", "synthetic");
+  std::string out_path = flags.StringOr("out", "");
+  std::string truth_path = flags.StringOr("truth-out", "");
+  uint64_t seed = static_cast<uint64_t>(flags.IntOr("seed", 1));
+
+  DataMatrix matrix(0, 0);
+  std::vector<Cluster> truth;
+  if (kind == "synthetic") {
+    SyntheticConfig config;
+    config.rows = static_cast<size_t>(flags.IntOr("rows", 1000));
+    config.cols = static_cast<size_t>(flags.IntOr("cols", 50));
+    config.num_clusters = static_cast<size_t>(flags.IntOr("clusters", 20));
+    config.noise_stddev = flags.DoubleOr("noise", 2.0);
+    config.missing_fraction = flags.DoubleOr("missing", 0.0);
+    config.volume_mean = flags.DoubleOr("volume-mean", 0.0);
+    config.volume_variance = flags.DoubleOr("volume-variance", 0.0);
+    config.seed = seed;
+    SyntheticDataset data = GenerateSynthetic(config);
+    matrix = std::move(data.matrix);
+    truth = std::move(data.embedded);
+  } else if (kind == "movielens") {
+    MovieLensSynthConfig config;
+    config.users = static_cast<size_t>(flags.IntOr("rows", 943));
+    config.movies = static_cast<size_t>(flags.IntOr("cols", 1682));
+    config.num_groups = static_cast<size_t>(flags.IntOr("clusters", 10));
+    config.seed = seed;
+    MovieLensSynthDataset data = GenerateMovieLens(config);
+    matrix = std::move(data.matrix);
+    truth = std::move(data.planted_groups);
+  } else if (kind == "microarray") {
+    MicroarraySynthConfig config;
+    config.genes = static_cast<size_t>(flags.IntOr("rows", 2884));
+    config.conditions = static_cast<size_t>(flags.IntOr("cols", 17));
+    config.num_blocks = static_cast<size_t>(flags.IntOr("clusters", 30));
+    config.seed = seed;
+    MicroarraySynthDataset data = GenerateMicroarray(config);
+    matrix = std::move(data.matrix);
+    truth = std::move(data.planted_blocks);
+  } else {
+    return UsageError(err, "unknown --kind '" + kind + "'");
+  }
+  if (int rc = FinishFlags(flags, err)) return rc;
+
+  if (out_path.empty()) {
+    WriteCsv(matrix, out);
+  } else {
+    WriteCsvFile(matrix, out_path);
+    out << "wrote " << matrix.rows() << "x" << matrix.cols() << " matrix ("
+        << matrix.NumSpecified() << " specified) to " << out_path << "\n";
+  }
+  if (!truth_path.empty()) {
+    WriteClustersFile(truth, truth_path);
+    out << "wrote " << truth.size() << " planted clusters to " << truth_path
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto input = flags.GetString("input");
+  auto out_path = flags.GetString("out");
+  if (!input) return UsageError(err, "mine requires --input");
+
+  FlocConfig config;
+  config.num_clusters = static_cast<size_t>(flags.IntOr("k", 10));
+  config.constraints.alpha = flags.DoubleOr("alpha", 0.0);
+  config.target_residue = flags.DoubleOr("target-residue", 0.0);
+  config.constraints.min_rows =
+      static_cast<size_t>(flags.IntOr("min-rows", 2));
+  config.constraints.min_cols =
+      static_cast<size_t>(flags.IntOr("min-cols", 2));
+  config.constraints.max_overlap = flags.DoubleOr("max-overlap", 1.0);
+  config.seeding.row_probability = flags.DoubleOr("row-probability", 0.05);
+  config.seeding.col_probability = flags.DoubleOr("col-probability", 0.2);
+  config.refine_passes = static_cast<size_t>(flags.IntOr("refine", 2));
+  config.reseed_rounds = static_cast<size_t>(flags.IntOr("reseed", 2));
+  config.threads = static_cast<int>(flags.IntOr("threads", 1));
+  config.rng_seed = static_cast<uint64_t>(flags.IntOr("seed", 1));
+  // Paper-literal mode: stale decisions and forced negative actions.
+  if (flags.GetBool("paper-mode")) {
+    config.fresh_gains_at_apply = false;
+    config.perform_negative_actions = true;
+  } else {
+    config.perform_negative_actions = false;
+  }
+  std::string ordering = flags.StringOr("ordering", "weighted");
+  if (ordering == "fixed") {
+    config.ordering = ActionOrdering::kFixed;
+  } else if (ordering == "random") {
+    config.ordering = ActionOrdering::kRandom;
+  } else if (ordering == "weighted") {
+    config.ordering = ActionOrdering::kWeightedRandom;
+  } else {
+    return UsageError(err, "unknown --ordering '" + ordering + "'");
+  }
+  double dedupe = flags.DoubleOr("dedupe", 1.0);
+  if (int rc = FinishFlags(flags, err)) return rc;
+
+  DataMatrix matrix(0, 0);
+  try {
+    matrix = ReadCsvFile(*input);
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  out << "mining " << matrix.rows() << "x" << matrix.cols() << " matrix ("
+      << 100.0 * matrix.Density() << "% dense), k = "
+      << config.num_clusters << "\n";
+
+  FlocResult result = Floc(config).Run(matrix);
+  std::vector<Cluster> clusters = result.clusters;
+  if (dedupe < 1.0) {
+    clusters = DeduplicateClusters(matrix, clusters, dedupe);
+    out << "deduplicated " << result.clusters.size() << " -> "
+        << clusters.size() << " clusters\n";
+  }
+
+  out << "FLOC: " << result.iterations << " iterations, average residue "
+      << result.average_residue << ", " << result.elapsed_seconds << " s\n";
+  TextTable table({"cluster", "rows", "cols", "volume", "occupancy",
+                   "residue"});
+  std::vector<ClusterSummary> summaries = SummarizeClusters(matrix, clusters);
+  for (const ClusterSummary& s : summaries) {
+    table.AddRow({TextTable::Int(s.index), TextTable::Int(s.rows),
+                  TextTable::Int(s.cols), TextTable::Int(s.volume),
+                  TextTable::Num(s.occupancy, 2),
+                  TextTable::Num(s.residue, 3)});
+  }
+  table.Print(out);
+
+  if (out_path) {
+    WriteClustersFile(clusters, *out_path);
+    out << "wrote " << clusters.size() << " clusters to " << *out_path
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdStats(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto input = flags.GetString("input");
+  auto clusters_path = flags.GetString("clusters");
+  auto truth_path = flags.GetString("truth");
+  if (!input || !clusters_path) {
+    return UsageError(err, "stats requires --input and --clusters");
+  }
+  if (int rc = FinishFlags(flags, err)) return rc;
+
+  try {
+    DataMatrix matrix = ReadCsvFile(*input);
+    std::vector<Cluster> clusters =
+        ReadClustersFile(*clusters_path, matrix.rows(), matrix.cols());
+    TextTable table({"cluster", "rows", "cols", "volume", "occupancy",
+                     "residue", "diameter"});
+    for (const ClusterSummary& s : SummarizeClusters(matrix, clusters)) {
+      table.AddRow({TextTable::Int(s.index), TextTable::Int(s.rows),
+                    TextTable::Int(s.cols), TextTable::Int(s.volume),
+                    TextTable::Num(s.occupancy, 2),
+                    TextTable::Num(s.residue, 3),
+                    TextTable::Num(s.diameter, 1)});
+    }
+    table.Print(out);
+    out << "aggregate volume: " << AggregateVolume(matrix, clusters) << "\n";
+    if (truth_path) {
+      std::vector<Cluster> truth =
+          ReadClustersFile(*truth_path, matrix.rows(), matrix.cols());
+      MatchQuality q = EntryRecallPrecision(matrix, truth, clusters);
+      out << "vs truth: recall " << q.recall << ", precision " << q.precision
+          << ", F1 " << q.F1() << "\n";
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+PredictCombine ParseCombine(const std::string& raw, bool* ok) {
+  *ok = true;
+  if (raw == "best") return PredictCombine::kBestResidue;
+  if (raw == "weighted") return PredictCombine::kWeightedAverage;
+  *ok = false;
+  return PredictCombine::kBestResidue;
+}
+
+int CmdImpute(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto input = flags.GetString("input");
+  auto clusters_path = flags.GetString("clusters");
+  auto out_path = flags.GetString("out");
+  std::string combine_raw = flags.StringOr("combine", "best");
+  if (!input || !clusters_path || !out_path) {
+    return UsageError(err, "impute requires --input, --clusters and --out");
+  }
+  bool ok = false;
+  PredictCombine combine = ParseCombine(combine_raw, &ok);
+  if (!ok) return UsageError(err, "unknown --combine '" + combine_raw + "'");
+  if (int rc = FinishFlags(flags, err)) return rc;
+
+  try {
+    DataMatrix matrix = ReadCsvFile(*input);
+    std::vector<Cluster> clusters =
+        ReadClustersFile(*clusters_path, matrix.rows(), matrix.cols());
+    ClusterPredictor predictor(matrix, clusters);
+    DataMatrix imputed = predictor.Impute(combine);
+    WriteCsvFile(imputed, *out_path);
+    out << "imputed " << (imputed.NumSpecified() - matrix.NumSpecified())
+        << " entries; wrote " << *out_path << "\n";
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+int CmdHoldout(FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto input = flags.GetString("input");
+  auto clusters_path = flags.GetString("clusters");
+  double fraction = flags.DoubleOr("fraction", 0.1);
+  uint64_t seed = static_cast<uint64_t>(flags.IntOr("seed", 1));
+  std::string combine_raw = flags.StringOr("combine", "best");
+  if (!input || !clusters_path) {
+    return UsageError(err, "holdout requires --input and --clusters");
+  }
+  bool ok = false;
+  PredictCombine combine = ParseCombine(combine_raw, &ok);
+  if (!ok) return UsageError(err, "unknown --combine '" + combine_raw + "'");
+  if (int rc = FinishFlags(flags, err)) return rc;
+
+  try {
+    DataMatrix matrix = ReadCsvFile(*input);
+    std::vector<Cluster> clusters =
+        ReadClustersFile(*clusters_path, matrix.rows(), matrix.cols());
+    ClusterPredictor predictor(matrix, clusters);
+    HoldoutResult result = predictor.EvaluateHoldout(fraction, seed, combine);
+    out << "held out " << result.held_out << " entries, predicted "
+        << result.predicted << " (coverage " << result.coverage() << ")\n";
+    out << "MAE " << result.mae << ", RMSE " << result.rmse << "\n";
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 1;
+  }
+  const std::string& command = args[0];
+  FlagParser flags(std::vector<std::string>(args.begin() + 1, args.end()));
+  if (command == "help" || flags.GetBool("help")) {
+    out << kUsage;
+    return 0;
+  }
+  if (command == "generate") return CmdGenerate(flags, out, err);
+  if (command == "mine") return CmdMine(flags, out, err);
+  if (command == "stats") return CmdStats(flags, out, err);
+  if (command == "impute") return CmdImpute(flags, out, err);
+  if (command == "holdout") return CmdHoldout(flags, out, err);
+  return UsageError(err, "unknown command '" + command + "'");
+}
+
+}  // namespace deltaclus

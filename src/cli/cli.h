@@ -1,0 +1,30 @@
+// The deltaclus command-line interface, exposed as a library function so
+// the test suite can drive it without spawning processes. The `tools/`
+// binary is a three-line main around RunCli.
+//
+// Subcommands:
+//   generate  synthesize a data set (synthetic / movielens / microarray)
+//   mine      run FLOC on a CSV matrix, write a clusters file
+//   stats     summarize a clusters file against a matrix
+//   impute    fill missing entries from a clustering
+//   holdout   hold-out prediction evaluation (MAE / RMSE)
+//
+// Run `deltaclus_cli help` (or any subcommand with --help) for usage.
+#ifndef DELTACLUS_CLI_CLI_H_
+#define DELTACLUS_CLI_CLI_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deltaclus {
+
+/// Executes one CLI invocation. `args` excludes argv[0]. Normal output
+/// goes to `out`, diagnostics to `err`. Returns a process exit code
+/// (0 = success, 1 = usage error, 2 = runtime failure).
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CLI_CLI_H_

@@ -1,0 +1,41 @@
+// Action: FLOC's unit of clustering change (paper Section 4.1).
+//
+// An action is defined with respect to a row (or column) x and a cluster
+// c: Action(x, c) flips x's membership in c. During each FLOC iteration,
+// every row and column is assigned its best action (the one among the k
+// clusters with the highest gain), and those N + M best actions are then
+// performed sequentially in a configurable order.
+#ifndef DELTACLUS_CORE_ACTIONS_H_
+#define DELTACLUS_CORE_ACTIONS_H_
+
+#include <cstddef>
+#include <limits>
+
+namespace deltaclus {
+
+/// Whether an action toggles a row (object) or a column (attribute).
+enum class ActionTarget { kRow, kCol };
+
+/// The gain assigned to actions blocked by a constraint (Section 4.3:
+/// "the gain is assigned to -inf").
+inline constexpr double kBlockedGain = -std::numeric_limits<double>::infinity();
+
+/// One membership-toggle action and the gain it was assigned when the
+/// iteration's best actions were determined.
+struct Action {
+  ActionTarget target = ActionTarget::kRow;
+  /// Row id (target == kRow) or column id (target == kCol).
+  size_t index = 0;
+  /// Which of the k clusters the toggle applies to.
+  size_t cluster = 0;
+  /// Expected residue reduction of `cluster` (positive = improvement).
+  /// kBlockedGain means every candidate action for this row/column was
+  /// blocked and nothing will be performed.
+  double gain = kBlockedGain;
+
+  bool blocked() const { return gain == kBlockedGain; }
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_ACTIONS_H_

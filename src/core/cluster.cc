@@ -1,0 +1,97 @@
+#include "src/core/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace deltaclus {
+
+Cluster::Cluster(size_t num_rows, size_t num_cols)
+    : in_row_(num_rows, 0), in_col_(num_cols, 0) {}
+
+Cluster Cluster::FromMembers(size_t num_rows, size_t num_cols,
+                             const std::vector<size_t>& row_ids,
+                             const std::vector<size_t>& col_ids) {
+  Cluster c(num_rows, num_cols);
+  for (size_t i : row_ids) {
+    if (!c.HasRow(i)) c.AddRow(i);
+  }
+  for (size_t j : col_ids) {
+    if (!c.HasCol(j)) c.AddCol(j);
+  }
+  return c;
+}
+
+void Cluster::AddRow(size_t i) {
+  assert(i < in_row_.size());
+  assert(!HasRow(i));
+  in_row_[i] = 1;
+  InsertSorted(row_ids_, static_cast<uint32_t>(i));
+}
+
+void Cluster::RemoveRow(size_t i) {
+  assert(i < in_row_.size());
+  assert(HasRow(i));
+  in_row_[i] = 0;
+  EraseSorted(row_ids_, static_cast<uint32_t>(i));
+}
+
+void Cluster::AddCol(size_t j) {
+  assert(j < in_col_.size());
+  assert(!HasCol(j));
+  in_col_[j] = 1;
+  InsertSorted(col_ids_, static_cast<uint32_t>(j));
+}
+
+void Cluster::RemoveCol(size_t j) {
+  assert(j < in_col_.size());
+  assert(HasCol(j));
+  in_col_[j] = 0;
+  EraseSorted(col_ids_, static_cast<uint32_t>(j));
+}
+
+void Cluster::ToggleRow(size_t i) {
+  if (HasRow(i)) {
+    RemoveRow(i);
+  } else {
+    AddRow(i);
+  }
+}
+
+void Cluster::ToggleCol(size_t j) {
+  if (HasCol(j)) {
+    RemoveCol(j);
+  } else {
+    AddCol(j);
+  }
+}
+
+size_t Cluster::SharedRows(const Cluster& other) const {
+  assert(parent_rows() == other.parent_rows());
+  size_t count = 0;
+  // Iterate the smaller member list, probe the other's mask.
+  const Cluster& small = NumRows() <= other.NumRows() ? *this : other;
+  const Cluster& big = NumRows() <= other.NumRows() ? other : *this;
+  for (uint32_t i : small.row_ids_) count += big.HasRow(i);
+  return count;
+}
+
+size_t Cluster::SharedCols(const Cluster& other) const {
+  assert(parent_cols() == other.parent_cols());
+  size_t count = 0;
+  const Cluster& small = NumCols() <= other.NumCols() ? *this : other;
+  const Cluster& big = NumCols() <= other.NumCols() ? other : *this;
+  for (uint32_t j : small.col_ids_) count += big.HasCol(j);
+  return count;
+}
+
+void Cluster::InsertSorted(std::vector<uint32_t>& ids, uint32_t id) {
+  ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+}
+
+void Cluster::EraseSorted(std::vector<uint32_t>& ids, uint32_t id) {
+  auto it = std::lower_bound(ids.begin(), ids.end(), id);
+  assert(it != ids.end() && *it == id);
+  ids.erase(it);
+}
+
+}  // namespace deltaclus

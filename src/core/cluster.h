@@ -1,0 +1,86 @@
+// Cluster: the (I, J) row/column membership pair identifying a
+// delta-cluster (paper Definition 3.1). Membership is tracked against a
+// fixed parent-matrix shape so toggles are O(1) membership tests plus an
+// O(|I|) / O(|J|) sorted-list edit.
+#ifndef DELTACLUS_CORE_CLUSTER_H_
+#define DELTACLUS_CORE_CLUSTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deltaclus {
+
+/// Row and column membership of one delta-cluster over a parent matrix of
+/// fixed dimensions. Provides both O(1) membership tests (byte masks) and
+/// sorted member-id lists for tight submatrix scans.
+class Cluster {
+ public:
+  /// Creates an empty cluster over a parent matrix with `num_rows` objects
+  /// and `num_cols` attributes.
+  Cluster(size_t num_rows, size_t num_cols);
+
+  /// Builds a cluster from explicit member ids (need not be sorted;
+  /// duplicates are ignored).
+  static Cluster FromMembers(size_t num_rows, size_t num_cols,
+                             const std::vector<size_t>& row_ids,
+                             const std::vector<size_t>& col_ids);
+
+  Cluster(const Cluster&) = default;
+  Cluster& operator=(const Cluster&) = default;
+  Cluster(Cluster&&) = default;
+  Cluster& operator=(Cluster&&) = default;
+
+  /// Parent matrix dimensions this cluster is defined over.
+  size_t parent_rows() const { return in_row_.size(); }
+  size_t parent_cols() const { return in_col_.size(); }
+
+  bool HasRow(size_t i) const { return in_row_[i] != 0; }
+  bool HasCol(size_t j) const { return in_col_[j] != 0; }
+
+  /// Number of member rows |I| / columns |J|.
+  size_t NumRows() const { return row_ids_.size(); }
+  size_t NumCols() const { return col_ids_.size(); }
+
+  /// True if the cluster has no member rows or no member columns.
+  bool Empty() const { return row_ids_.empty() || col_ids_.empty(); }
+
+  /// Sorted ids of member rows / columns.
+  const std::vector<uint32_t>& row_ids() const { return row_ids_; }
+  const std::vector<uint32_t>& col_ids() const { return col_ids_; }
+
+  /// Adds row i. Must not already be a member.
+  void AddRow(size_t i);
+  /// Removes row i. Must be a member.
+  void RemoveRow(size_t i);
+  /// Adds column j. Must not already be a member.
+  void AddCol(size_t j);
+  /// Removes column j. Must be a member.
+  void RemoveCol(size_t j);
+
+  /// Flips membership of row i / column j (the paper's Action(x, c)).
+  void ToggleRow(size_t i);
+  void ToggleCol(size_t j);
+
+  /// Number of rows shared with `other` (same parent shape required).
+  size_t SharedRows(const Cluster& other) const;
+  /// Number of columns shared with `other`.
+  size_t SharedCols(const Cluster& other) const;
+
+  friend bool operator==(const Cluster& a, const Cluster& b) {
+    return a.in_row_ == b.in_row_ && a.in_col_ == b.in_col_;
+  }
+
+ private:
+  static void InsertSorted(std::vector<uint32_t>& ids, uint32_t id);
+  static void EraseSorted(std::vector<uint32_t>& ids, uint32_t id);
+
+  std::vector<uint8_t> in_row_;
+  std::vector<uint8_t> in_col_;
+  std::vector<uint32_t> row_ids_;  // sorted
+  std::vector<uint32_t> col_ids_;  // sorted
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_CLUSTER_H_

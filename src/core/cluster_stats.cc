@@ -1,0 +1,181 @@
+#include "src/core/cluster_stats.h"
+
+#include <cassert>
+
+namespace deltaclus {
+
+void ClusterStats::Build(const DataMatrix& m, const Cluster& c) {
+  row_sum_.assign(m.rows(), 0.0);
+  row_cnt_.assign(m.rows(), 0);
+  col_sum_.assign(m.cols(), 0.0);
+  col_cnt_.assign(m.cols(), 0);
+  total_ = 0.0;
+  volume_ = 0;
+
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  for (uint32_t i : c.row_ids()) {
+    size_t row_off = m.RawIndex(i, 0);
+    for (uint32_t j : c.col_ids()) {
+      if (!mask[row_off + j]) continue;
+      double v = values[row_off + j];
+      row_sum_[i] += v;
+      ++row_cnt_[i];
+      col_sum_[j] += v;
+      ++col_cnt_[j];
+      total_ += v;
+      ++volume_;
+    }
+  }
+}
+
+void ClusterStats::AddRow(const DataMatrix& m, const Cluster& c, size_t i) {
+  assert(i < m.rows());
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  size_t row_off = m.RawIndex(i, 0);
+  double sum = 0.0;
+  size_t cnt = 0;
+  for (uint32_t j : c.col_ids()) {
+    if (!mask[row_off + j]) continue;
+    double v = values[row_off + j];
+    col_sum_[j] += v;
+    ++col_cnt_[j];
+    sum += v;
+    ++cnt;
+  }
+  row_sum_[i] = sum;
+  row_cnt_[i] = cnt;
+  total_ += sum;
+  volume_ += cnt;
+}
+
+void ClusterStats::RemoveRow(const DataMatrix& m, const Cluster& c, size_t i) {
+  assert(i < m.rows());
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  size_t row_off = m.RawIndex(i, 0);
+  for (uint32_t j : c.col_ids()) {
+    if (!mask[row_off + j]) continue;
+    double v = values[row_off + j];
+    col_sum_[j] -= v;
+    --col_cnt_[j];
+  }
+  total_ -= row_sum_[i];
+  volume_ -= row_cnt_[i];
+  row_sum_[i] = 0.0;
+  row_cnt_[i] = 0;
+}
+
+void ClusterStats::AddCol(const DataMatrix& m, const Cluster& c, size_t j) {
+  assert(j < m.cols());
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  double sum = 0.0;
+  size_t cnt = 0;
+  for (uint32_t i : c.row_ids()) {
+    size_t idx = m.RawIndex(i, j);
+    if (!mask[idx]) continue;
+    double v = values[idx];
+    row_sum_[i] += v;
+    ++row_cnt_[i];
+    sum += v;
+    ++cnt;
+  }
+  col_sum_[j] = sum;
+  col_cnt_[j] = cnt;
+  total_ += sum;
+  volume_ += cnt;
+}
+
+void ClusterStats::RemoveCol(const DataMatrix& m, const Cluster& c, size_t j) {
+  assert(j < m.cols());
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  for (uint32_t i : c.row_ids()) {
+    size_t idx = m.RawIndex(i, j);
+    if (!mask[idx]) continue;
+    double v = values[idx];
+    row_sum_[i] -= v;
+    --row_cnt_[i];
+  }
+  total_ -= col_sum_[j];
+  volume_ -= col_cnt_[j];
+  col_sum_[j] = 0.0;
+  col_cnt_[j] = 0;
+}
+
+void ClusterStats::RowSumOverCols(const DataMatrix& m,
+                                  const std::vector<uint32_t>& col_ids,
+                                  size_t i, double* sum, size_t* count) {
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  size_t row_off = m.RawIndex(i, 0);
+  double s = 0.0;
+  size_t c = 0;
+  for (uint32_t j : col_ids) {
+    if (!mask[row_off + j]) continue;
+    s += values[row_off + j];
+    ++c;
+  }
+  *sum = s;
+  *count = c;
+}
+
+void ClusterStats::ColSumOverRows(const DataMatrix& m,
+                                  const std::vector<uint32_t>& row_ids,
+                                  size_t j, double* sum, size_t* count) {
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  double s = 0.0;
+  size_t c = 0;
+  for (uint32_t i : row_ids) {
+    size_t idx = m.RawIndex(i, j);
+    if (!mask[idx]) continue;
+    s += values[idx];
+    ++c;
+  }
+  *sum = s;
+  *count = c;
+}
+
+ClusterView::ClusterView(const DataMatrix& matrix)
+    : matrix_(&matrix), cluster_(matrix.rows(), matrix.cols()) {
+  stats_.Build(*matrix_, cluster_);
+}
+
+ClusterView::ClusterView(const DataMatrix& matrix, Cluster cluster)
+    : matrix_(&matrix), cluster_(std::move(cluster)) {
+  assert(cluster_.parent_rows() == matrix.rows());
+  assert(cluster_.parent_cols() == matrix.cols());
+  stats_.Build(*matrix_, cluster_);
+}
+
+void ClusterView::Reset(Cluster cluster) {
+  assert(cluster.parent_rows() == matrix_->rows());
+  assert(cluster.parent_cols() == matrix_->cols());
+  cluster_ = std::move(cluster);
+  stats_.Build(*matrix_, cluster_);
+}
+
+void ClusterView::ToggleRow(size_t i) {
+  if (cluster_.HasRow(i)) {
+    stats_.RemoveRow(*matrix_, cluster_, i);
+    cluster_.RemoveRow(i);
+  } else {
+    stats_.AddRow(*matrix_, cluster_, i);
+    cluster_.AddRow(i);
+  }
+}
+
+void ClusterView::ToggleCol(size_t j) {
+  if (cluster_.HasCol(j)) {
+    stats_.RemoveCol(*matrix_, cluster_, j);
+    cluster_.RemoveCol(j);
+  } else {
+    stats_.AddCol(*matrix_, cluster_, j);
+    cluster_.AddCol(j);
+  }
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,69 @@
+// Post-processing utilities for sets of discovered delta-clusters:
+// deduplication, ranking, filtering, and per-cluster summaries. FLOC with
+// k larger than the number of true clusters (a recommended setting, see
+// DESIGN.md) routinely converges several slots onto the same structure;
+// these helpers turn the raw k-slot output into a clean report.
+#ifndef DELTACLUS_CORE_CLUSTER_TOOLS_H_
+#define DELTACLUS_CORE_CLUSTER_TOOLS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/data_matrix.h"
+#include "src/core/residue.h"
+
+namespace deltaclus {
+
+/// Per-cluster report card.
+struct ClusterSummary {
+  size_t index = 0;        // position in the input vector
+  size_t rows = 0;         // |I|
+  size_t cols = 0;         // |J|
+  size_t volume = 0;       // specified entries
+  double occupancy = 0.0;  // volume / (|I| * |J|)
+  double residue = 0.0;    // mean absolute residue
+  double diameter = 0.0;   // bounding-box diagonal over the cluster cols
+};
+
+/// Summaries for every cluster, in input order.
+std::vector<ClusterSummary> SummarizeClusters(
+    const DataMatrix& matrix, const std::vector<Cluster>& clusters);
+
+/// Fraction of the *smaller* cluster's grid (|I| x |J|) shared with the
+/// other: 1 when one contains the other, 0 when disjoint.
+double OverlapFraction(const Cluster& a, const Cluster& b);
+
+/// Removes near-duplicates: processes clusters in ascending-residue
+/// order and drops any cluster whose OverlapFraction with an already
+/// kept one exceeds `max_overlap`. Returns the kept clusters, best
+/// first.
+std::vector<Cluster> DeduplicateClusters(const DataMatrix& matrix,
+                                         const std::vector<Cluster>& clusters,
+                                         double max_overlap = 0.75);
+
+/// Sorts clusters by ascending residue (ties broken by descending
+/// volume).
+std::vector<Cluster> RankByResidue(const DataMatrix& matrix,
+                                   const std::vector<Cluster>& clusters);
+
+/// Keeps only clusters with residue <= max_residue and volume >=
+/// min_volume.
+std::vector<Cluster> FilterClusters(const DataMatrix& matrix,
+                                    const std::vector<Cluster>& clusters,
+                                    double max_residue,
+                                    size_t min_volume = 0);
+
+/// Transposed copy of a matrix (objects <-> attributes). The residue of
+/// a delta-cluster is symmetric in rows and columns, so mining the
+/// transpose with swapped cluster axes is equivalent; exposed for tests
+/// and for workloads where attributes outnumber objects.
+DataMatrix Transposed(const DataMatrix& matrix);
+
+/// The same cluster viewed on the transposed matrix (rows <-> cols).
+Cluster TransposedCluster(const Cluster& cluster);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_CLUSTER_TOOLS_H_

@@ -1,0 +1,304 @@
+#include "src/core/constraints.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace deltaclus {
+
+namespace {
+
+// Number of specified entries of row i over the cluster's columns.
+size_t RowSpecifiedCount(const DataMatrix& m, const Cluster& c, size_t i) {
+  double sum;
+  size_t cnt;
+  ClusterStats::RowSumOverCols(m, c.col_ids(), i, &sum, &cnt);
+  return cnt;
+}
+
+size_t ColSpecifiedCount(const DataMatrix& m, const Cluster& c, size_t j) {
+  double sum;
+  size_t cnt;
+  ClusterStats::ColSumOverRows(m, c.row_ids(), j, &sum, &cnt);
+  return cnt;
+}
+
+}  // namespace
+
+ConstraintTracker::ConstraintTracker(const DataMatrix& matrix,
+                                     Constraints constraints)
+    : matrix_(&matrix),
+      constraints_(constraints),
+      row_cover_count_(matrix.rows(), 0),
+      col_cover_count_(matrix.cols(), 0) {}
+
+void ConstraintTracker::Rebuild(const std::vector<ClusterView>& views) {
+  std::fill(row_cover_count_.begin(), row_cover_count_.end(), 0);
+  std::fill(col_cover_count_.begin(), col_cover_count_.end(), 0);
+  for (const ClusterView& v : views) {
+    for (uint32_t i : v.cluster().row_ids()) ++row_cover_count_[i];
+    for (uint32_t j : v.cluster().col_ids()) ++col_cover_count_[j];
+  }
+  covered_rows_ = 0;
+  for (uint32_t c : row_cover_count_) covered_rows_ += (c > 0);
+  covered_cols_ = 0;
+  for (uint32_t c : col_cover_count_) covered_cols_ += (c > 0);
+
+  num_clusters_ = views.size();
+  if (constraints_.overlap_active()) {
+    shared_rows_.assign(num_clusters_ * num_clusters_, 0);
+    shared_cols_.assign(num_clusters_ * num_clusters_, 0);
+    for (size_t a = 0; a < num_clusters_; ++a) {
+      for (size_t b = a + 1; b < num_clusters_; ++b) {
+        uint32_t sr = static_cast<uint32_t>(
+            views[a].cluster().SharedRows(views[b].cluster()));
+        uint32_t sc = static_cast<uint32_t>(
+            views[a].cluster().SharedCols(views[b].cluster()));
+        shared_rows_[SharedIndex(a, b)] = sr;
+        shared_rows_[SharedIndex(b, a)] = sr;
+        shared_cols_[SharedIndex(a, b)] = sc;
+        shared_cols_[SharedIndex(b, a)] = sc;
+      }
+    }
+  } else {
+    shared_rows_.clear();
+    shared_cols_.clear();
+  }
+}
+
+bool ConstraintTracker::RowToggleAllowed(const std::vector<ClusterView>& views,
+                                         size_t c, size_t i) const {
+  const ClusterView& view = views[c];
+  const Cluster& cluster = view.cluster();
+  const ClusterStats& stats = view.stats();
+  bool adding = !cluster.HasRow(i);
+
+  size_t num_rows = cluster.NumRows();
+  size_t num_cols = cluster.NumCols();
+  size_t new_rows = adding ? num_rows + 1 : num_rows - 1;
+  if (new_rows < constraints_.min_rows || new_rows > constraints_.max_rows) {
+    return false;
+  }
+
+  size_t row_cnt =
+      adding ? RowSpecifiedCount(*matrix_, cluster, i) : stats.RowCount(i);
+  size_t new_volume =
+      adding ? stats.Volume() + row_cnt : stats.Volume() - row_cnt;
+  if (new_volume < constraints_.min_volume ||
+      new_volume > constraints_.max_volume) {
+    return false;
+  }
+
+  if (constraints_.alpha > 0.0 && num_cols > 0 && new_rows > 0) {
+    if (adding) {
+      // The incoming row itself must be alpha-occupied...
+      if (static_cast<double>(row_cnt) < constraints_.alpha * num_cols) {
+        return false;
+      }
+    }
+    // ...and every member column must stay alpha-occupied. A removal of a
+    // specified entry can also lower a column's occupancy ratio.
+    const uint8_t* mask = matrix_->raw_mask();
+    size_t row_off = matrix_->RawIndex(i, 0);
+    for (uint32_t j : cluster.col_ids()) {
+      size_t cnt = stats.ColCount(j);
+      if (mask[row_off + j]) cnt = adding ? cnt + 1 : cnt - 1;
+      if (static_cast<double>(cnt) < constraints_.alpha * new_rows) {
+        return false;
+      }
+    }
+  }
+
+  if (constraints_.coverage_active() && !adding &&
+      constraints_.min_row_coverage > 0.0 && row_cover_count_[i] == 1) {
+    double new_coverage =
+        static_cast<double>(covered_rows_ - 1) / matrix_->rows();
+    if (new_coverage < constraints_.min_row_coverage) return false;
+  }
+
+  if (constraints_.overlap_active() &&
+      !OverlapAllowedAfterRowToggle(views, c, i, adding)) {
+    return false;
+  }
+  return true;
+}
+
+bool ConstraintTracker::ColToggleAllowed(const std::vector<ClusterView>& views,
+                                         size_t c, size_t j) const {
+  const ClusterView& view = views[c];
+  const Cluster& cluster = view.cluster();
+  const ClusterStats& stats = view.stats();
+  bool adding = !cluster.HasCol(j);
+
+  size_t num_rows = cluster.NumRows();
+  size_t num_cols = cluster.NumCols();
+  size_t new_cols = adding ? num_cols + 1 : num_cols - 1;
+  if (new_cols < constraints_.min_cols || new_cols > constraints_.max_cols) {
+    return false;
+  }
+
+  size_t col_cnt =
+      adding ? ColSpecifiedCount(*matrix_, cluster, j) : stats.ColCount(j);
+  size_t new_volume =
+      adding ? stats.Volume() + col_cnt : stats.Volume() - col_cnt;
+  if (new_volume < constraints_.min_volume ||
+      new_volume > constraints_.max_volume) {
+    return false;
+  }
+
+  if (constraints_.alpha > 0.0 && num_rows > 0 && new_cols > 0) {
+    if (adding) {
+      if (static_cast<double>(col_cnt) < constraints_.alpha * num_rows) {
+        return false;
+      }
+    }
+    const uint8_t* mask = matrix_->raw_mask();
+    for (uint32_t i : cluster.row_ids()) {
+      size_t cnt = stats.RowCount(i);
+      if (mask[matrix_->RawIndex(i, j)]) cnt = adding ? cnt + 1 : cnt - 1;
+      if (static_cast<double>(cnt) < constraints_.alpha * new_cols) {
+        return false;
+      }
+    }
+  }
+
+  if (constraints_.coverage_active() && !adding &&
+      constraints_.min_col_coverage > 0.0 && col_cover_count_[j] == 1) {
+    double new_coverage =
+        static_cast<double>(covered_cols_ - 1) / matrix_->cols();
+    if (new_coverage < constraints_.min_col_coverage) return false;
+  }
+
+  if (constraints_.overlap_active() &&
+      !OverlapAllowedAfterColToggle(views, c, j, adding)) {
+    return false;
+  }
+  return true;
+}
+
+bool ConstraintTracker::OverlapAllowedAfterRowToggle(
+    const std::vector<ClusterView>& views, size_t c, size_t i,
+    bool adding) const {
+  const Cluster& cluster = views[c].cluster();
+  size_t new_rows = adding ? cluster.NumRows() + 1 : cluster.NumRows() - 1;
+  size_t size_c = new_rows * cluster.NumCols();
+  for (size_t d = 0; d < num_clusters_; ++d) {
+    if (d == c) continue;
+    const Cluster& other = views[d].cluster();
+    long delta = other.HasRow(i) ? (adding ? 1 : -1) : 0;
+    size_t sr = shared_rows_[SharedIndex(c, d)] + delta;
+    size_t sc = shared_cols_[SharedIndex(c, d)];
+    size_t shared = sr * sc;
+    size_t size_d = other.NumRows() * other.NumCols();
+    size_t smaller = std::min(size_c, size_d);
+    if (smaller == 0) continue;
+    if (static_cast<double>(shared) >
+        constraints_.max_overlap * static_cast<double>(smaller)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConstraintTracker::OverlapAllowedAfterColToggle(
+    const std::vector<ClusterView>& views, size_t c, size_t j,
+    bool adding) const {
+  const Cluster& cluster = views[c].cluster();
+  size_t new_cols = adding ? cluster.NumCols() + 1 : cluster.NumCols() - 1;
+  size_t size_c = cluster.NumRows() * new_cols;
+  for (size_t d = 0; d < num_clusters_; ++d) {
+    if (d == c) continue;
+    const Cluster& other = views[d].cluster();
+    long delta = other.HasCol(j) ? (adding ? 1 : -1) : 0;
+    size_t sr = shared_rows_[SharedIndex(c, d)];
+    size_t sc = shared_cols_[SharedIndex(c, d)] + delta;
+    size_t shared = sr * sc;
+    size_t size_d = other.NumRows() * other.NumCols();
+    size_t smaller = std::min(size_c, size_d);
+    if (smaller == 0) continue;
+    if (static_cast<double>(shared) >
+        constraints_.max_overlap * static_cast<double>(smaller)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ConstraintTracker::OnRowToggled(const std::vector<ClusterView>& views,
+                                     size_t c, size_t i) {
+  bool added = views[c].cluster().HasRow(i);
+  if (added) {
+    if (row_cover_count_[i]++ == 0) ++covered_rows_;
+  } else {
+    if (--row_cover_count_[i] == 0) --covered_rows_;
+  }
+  if (constraints_.overlap_active()) {
+    for (size_t d = 0; d < num_clusters_; ++d) {
+      if (d == c) continue;
+      if (!views[d].cluster().HasRow(i)) continue;
+      uint32_t delta = added ? 1 : static_cast<uint32_t>(-1);
+      shared_rows_[SharedIndex(c, d)] += delta;
+      shared_rows_[SharedIndex(d, c)] += delta;
+    }
+  }
+}
+
+void ConstraintTracker::OnColToggled(const std::vector<ClusterView>& views,
+                                     size_t c, size_t j) {
+  bool added = views[c].cluster().HasCol(j);
+  if (added) {
+    if (col_cover_count_[j]++ == 0) ++covered_cols_;
+  } else {
+    if (--col_cover_count_[j] == 0) --covered_cols_;
+  }
+  if (constraints_.overlap_active()) {
+    for (size_t d = 0; d < num_clusters_; ++d) {
+      if (d == c) continue;
+      if (!views[d].cluster().HasCol(j)) continue;
+      uint32_t delta = added ? 1 : static_cast<uint32_t>(-1);
+      shared_cols_[SharedIndex(c, d)] += delta;
+      shared_cols_[SharedIndex(d, c)] += delta;
+    }
+  }
+}
+
+double ConstraintTracker::RowCoverage() const {
+  return matrix_->rows() == 0
+             ? 0.0
+             : static_cast<double>(covered_rows_) / matrix_->rows();
+}
+
+double ConstraintTracker::ColCoverage() const {
+  return matrix_->cols() == 0
+             ? 0.0
+             : static_cast<double>(covered_cols_) / matrix_->cols();
+}
+
+bool SatisfiesUnaryConstraints(const ClusterView& view,
+                               const Constraints& constraints) {
+  const Cluster& cluster = view.cluster();
+  const ClusterStats& stats = view.stats();
+  size_t rows = cluster.NumRows();
+  size_t cols = cluster.NumCols();
+  if (rows < constraints.min_rows || rows > constraints.max_rows) return false;
+  if (cols < constraints.min_cols || cols > constraints.max_cols) return false;
+  if (stats.Volume() < constraints.min_volume ||
+      stats.Volume() > constraints.max_volume) {
+    return false;
+  }
+  if (constraints.alpha > 0.0 && rows > 0 && cols > 0) {
+    for (uint32_t i : cluster.row_ids()) {
+      if (static_cast<double>(stats.RowCount(i)) < constraints.alpha * cols) {
+        return false;
+      }
+    }
+    for (uint32_t j : cluster.col_ids()) {
+      if (static_cast<double>(stats.ColCount(j)) < constraints.alpha * rows) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace deltaclus

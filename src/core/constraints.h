@@ -1,0 +1,129 @@
+// Optional delta-cluster constraints (paper Section 3 "additional
+// constraints" and Section 4.3 "Additional Feature").
+//
+// The paper lists three user constraints beyond the occupancy threshold
+// alpha of Definition 3.1:
+//   Cons_o -- maximum overlap allowed between any pair of clusters,
+//   Cons_c -- minimum coverage: a fraction of objects/attributes that must
+//             be covered by at least one cluster,
+//   Cons_v -- bounds on cluster volume (statistical significance).
+// FLOC enforces them by *blocking* (gain := -inf) any action whose
+// execution would violate a constraint.
+#ifndef DELTACLUS_CORE_CONSTRAINTS_H_
+#define DELTACLUS_CORE_CONSTRAINTS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "src/core/cluster_stats.h"
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// User-specified constraints on the clustering. Defaults leave every
+/// optional constraint off except a 2x2 minimum cluster size, which rules
+/// out the degenerate single-row / single-column clusters whose residue is
+/// identically zero (they would otherwise be absorbing states for any
+/// residue-minimizing search).
+struct Constraints {
+  /// Occupancy threshold alpha of Definition 3.1 in (0, 1]; 0 disables the
+  /// check (appropriate for fully-specified matrices, where occupancy is
+  /// always 1).
+  double alpha = 0.0;
+
+  /// Minimum / maximum number of member rows and columns per cluster.
+  size_t min_rows = 2;
+  size_t min_cols = 2;
+  size_t max_rows = std::numeric_limits<size_t>::max();
+  size_t max_cols = std::numeric_limits<size_t>::max();
+
+  /// Cons_v: bounds on cluster volume (specified entries).
+  size_t min_volume = 0;
+  size_t max_volume = std::numeric_limits<size_t>::max();
+
+  /// Cons_o: maximum fraction of a cluster's grid cells (|I| * |J|) that
+  /// may be shared with any other cluster; 1 allows arbitrary overlap
+  /// (FLOC = FLexible Overlapped Clustering), 0 forbids any overlap.
+  double max_overlap = 1.0;
+
+  /// Cons_c: minimum fraction of all rows / columns that must be covered
+  /// by at least one cluster. Only removals can violate coverage.
+  double min_row_coverage = 0.0;
+  double min_col_coverage = 0.0;
+
+  bool overlap_active() const { return max_overlap < 1.0; }
+  bool coverage_active() const {
+    return min_row_coverage > 0.0 || min_col_coverage > 0.0;
+  }
+};
+
+/// Tracks the clustering-wide state needed to evaluate constraints in
+/// O(|I|), O(|J|) or O(k) per candidate action: per-row/column cover
+/// counts and, when an overlap bound is active, pairwise shared-row and
+/// shared-column counts between clusters.
+class ConstraintTracker {
+ public:
+  ConstraintTracker(const DataMatrix& matrix, Constraints constraints);
+
+  const Constraints& constraints() const { return constraints_; }
+
+  /// Rebuilds all tracked state from the given clustering.
+  void Rebuild(const std::vector<ClusterView>& views);
+
+  /// True if toggling row i's membership in cluster `c` keeps every
+  /// constraint satisfied. `views[c]` must be in its pre-toggle state.
+  bool RowToggleAllowed(const std::vector<ClusterView>& views, size_t c,
+                        size_t i) const;
+
+  /// True if toggling column j's membership in cluster `c` keeps every
+  /// constraint satisfied.
+  bool ColToggleAllowed(const std::vector<ClusterView>& views, size_t c,
+                        size_t j) const;
+
+  /// Must be called after a row/column toggle is actually applied, with
+  /// `views` already in post-toggle state.
+  void OnRowToggled(const std::vector<ClusterView>& views, size_t c,
+                    size_t i);
+  void OnColToggled(const std::vector<ClusterView>& views, size_t c,
+                    size_t j);
+
+  /// Fraction of rows / columns covered by at least one cluster.
+  double RowCoverage() const;
+  double ColCoverage() const;
+
+ private:
+  bool OverlapAllowedAfterRowToggle(const std::vector<ClusterView>& views,
+                                    size_t c, size_t i, bool adding) const;
+  bool OverlapAllowedAfterColToggle(const std::vector<ClusterView>& views,
+                                    size_t c, size_t j, bool adding) const;
+
+  const DataMatrix* matrix_;
+  Constraints constraints_;
+
+  // Coverage state.
+  std::vector<uint32_t> row_cover_count_;
+  std::vector<uint32_t> col_cover_count_;
+  size_t covered_rows_ = 0;
+  size_t covered_cols_ = 0;
+
+  // Pairwise overlap state (row-major k x k), maintained only when the
+  // overlap constraint is active.
+  size_t num_clusters_ = 0;
+  std::vector<uint32_t> shared_rows_;
+  std::vector<uint32_t> shared_cols_;
+  size_t SharedIndex(size_t a, size_t b) const {
+    return a * num_clusters_ + b;
+  }
+};
+
+/// Convenience: true if `view`'s cluster satisfies all *unary* constraints
+/// (size, volume, occupancy) as it stands. Used to validate seeds and
+/// final results; overlap/coverage are clustering-wide and checked by the
+/// tracker.
+bool SatisfiesUnaryConstraints(const ClusterView& view,
+                               const Constraints& constraints);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_CONSTRAINTS_H_

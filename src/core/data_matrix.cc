@@ -1,0 +1,130 @@
+#include "src/core/data_matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace deltaclus {
+
+DataMatrix::DataMatrix(size_t rows, size_t cols)
+    : rows_(rows),
+      cols_(cols),
+      values_(rows * cols, 0.0),
+      mask_(rows * cols, 0) {}
+
+DataMatrix::DataMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows),
+      cols_(cols),
+      values_(rows * cols, fill),
+      mask_(rows * cols, 1) {}
+
+DataMatrix DataMatrix::FromRows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  size_t num_rows = rows.size();
+  size_t num_cols = num_rows == 0 ? 0 : rows.begin()->size();
+  DataMatrix m(num_rows, num_cols);
+  size_t i = 0;
+  for (const auto& row : rows) {
+    if (row.size() != num_cols) {
+      throw std::invalid_argument("DataMatrix::FromRows: ragged rows");
+    }
+    size_t j = 0;
+    for (double v : row) m.Set(i, j++, v);
+    ++i;
+  }
+  return m;
+}
+
+DataMatrix DataMatrix::FromOptionalRows(
+    const std::vector<std::vector<std::optional<double>>>& rows) {
+  size_t num_rows = rows.size();
+  size_t num_cols = num_rows == 0 ? 0 : rows.front().size();
+  DataMatrix m(num_rows, num_cols);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (rows[i].size() != num_cols) {
+      throw std::invalid_argument("DataMatrix::FromOptionalRows: ragged rows");
+    }
+    for (size_t j = 0; j < num_cols; ++j) {
+      if (rows[i][j].has_value()) m.Set(i, j, *rows[i][j]);
+    }
+  }
+  return m;
+}
+
+std::optional<double> DataMatrix::ValueOrMissing(size_t i, size_t j) const {
+  if (!IsSpecified(i, j)) return std::nullopt;
+  return Value(i, j);
+}
+
+void DataMatrix::Set(size_t i, size_t j, double value) {
+  assert(i < rows_ && j < cols_);
+  values_[Index(i, j)] = value;
+  mask_[Index(i, j)] = 1;
+}
+
+void DataMatrix::SetMissing(size_t i, size_t j) {
+  assert(i < rows_ && j < cols_);
+  values_[Index(i, j)] = 0.0;
+  mask_[Index(i, j)] = 0;
+}
+
+size_t DataMatrix::NumSpecified() const {
+  size_t count = 0;
+  for (uint8_t m : mask_) count += m;
+  return count;
+}
+
+size_t DataMatrix::NumSpecifiedInRow(size_t i) const {
+  assert(i < rows_);
+  size_t count = 0;
+  for (size_t j = 0; j < cols_; ++j) count += mask_[Index(i, j)];
+  return count;
+}
+
+size_t DataMatrix::NumSpecifiedInCol(size_t j) const {
+  assert(j < cols_);
+  size_t count = 0;
+  for (size_t i = 0; i < rows_; ++i) count += mask_[Index(i, j)];
+  return count;
+}
+
+double DataMatrix::Density() const {
+  if (values_.empty()) return 0.0;
+  return static_cast<double>(NumSpecified()) / values_.size();
+}
+
+DataMatrix DataMatrix::LogTransformed() const {
+  DataMatrix out(rows_, cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      if (!IsSpecified(i, j)) continue;
+      double v = Value(i, j);
+      if (v <= 0) {
+        throw std::domain_error(
+            "DataMatrix::LogTransformed: non-positive specified entry");
+      }
+      out.Set(i, j, std::log(v));
+    }
+  }
+  return out;
+}
+
+std::optional<double> DataMatrix::MinSpecified() const {
+  std::optional<double> best;
+  for (size_t idx = 0; idx < values_.size(); ++idx) {
+    if (!mask_[idx]) continue;
+    if (!best || values_[idx] < *best) best = values_[idx];
+  }
+  return best;
+}
+
+std::optional<double> DataMatrix::MaxSpecified() const {
+  std::optional<double> best;
+  for (size_t idx = 0; idx < values_.size(); ++idx) {
+    if (!mask_[idx]) continue;
+    if (!best || values_[idx] > *best) best = values_[idx];
+  }
+  return best;
+}
+
+}  // namespace deltaclus

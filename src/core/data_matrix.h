@@ -1,0 +1,106 @@
+// DataMatrix: the object x attribute matrix underlying the delta-cluster
+// model (paper Section 3, Figure 2). Entries may be *missing*
+// ("unspecified" in the paper); all model quantities (bases, residues,
+// volume, occupancy) are computed over specified entries only.
+#ifndef DELTACLUS_CORE_DATA_MATRIX_H_
+#define DELTACLUS_CORE_DATA_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <vector>
+
+namespace deltaclus {
+
+/// Dense row-major matrix of doubles with a per-entry specified/missing
+/// mask. Rows are objects (e.g. viewers, genes) and columns are attributes
+/// (e.g. movies, experiment conditions).
+///
+/// The representation is intentionally dense: the paper's algorithms scan
+/// submatrices entry-by-entry, and a dense value array plus a byte mask is
+/// both the fastest layout for those scans and the simplest one to reason
+/// about. Sparse data sets (MovieLens is ~6% dense) still fit comfortably
+/// in memory at the scales the paper evaluates (<= 3000 x 1700).
+class DataMatrix {
+ public:
+  /// Creates a rows x cols matrix with every entry missing.
+  DataMatrix(size_t rows, size_t cols);
+
+  /// Creates a rows x cols matrix with every entry specified as `fill`.
+  DataMatrix(size_t rows, size_t cols, double fill);
+
+  /// Builds a fully-specified matrix from a nested initializer list.
+  /// All inner lists must have equal length.
+  static DataMatrix FromRows(
+      std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds a matrix with missing entries from optionals; std::nullopt
+  /// marks a missing entry. All inner vectors must have equal length.
+  static DataMatrix FromOptionalRows(
+      const std::vector<std::vector<std::optional<double>>>& rows);
+
+  DataMatrix(const DataMatrix&) = default;
+  DataMatrix& operator=(const DataMatrix&) = default;
+  DataMatrix(DataMatrix&&) = default;
+  DataMatrix& operator=(DataMatrix&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// True if entry (i, j) has a value.
+  bool IsSpecified(size_t i, size_t j) const {
+    return mask_[Index(i, j)] != 0;
+  }
+
+  /// Value of entry (i, j). Must be specified.
+  double Value(size_t i, size_t j) const { return values_[Index(i, j)]; }
+
+  /// Value if specified, std::nullopt otherwise.
+  std::optional<double> ValueOrMissing(size_t i, size_t j) const;
+
+  /// Sets entry (i, j) to `value` (marking it specified).
+  void Set(size_t i, size_t j, double value);
+
+  /// Marks entry (i, j) missing.
+  void SetMissing(size_t i, size_t j);
+
+  /// Number of specified entries in the whole matrix.
+  size_t NumSpecified() const;
+
+  /// Number of specified entries in row i / column j.
+  size_t NumSpecifiedInRow(size_t i) const;
+  size_t NumSpecifiedInCol(size_t j) const;
+
+  /// Fraction of entries that are specified.
+  double Density() const;
+
+  /// Returns a copy with every specified entry replaced by log(value).
+  /// This is the paper's prescribed reduction from *amplification*
+  /// (multiplicative) coherence to *shifting* (additive) coherence
+  /// (Section 3). All specified entries must be > 0.
+  DataMatrix LogTransformed() const;
+
+  /// Minimum / maximum specified value; nullopt if the matrix is empty of
+  /// specified entries.
+  std::optional<double> MinSpecified() const;
+  std::optional<double> MaxSpecified() const;
+
+  /// Raw storage for hot loops. `raw_values()[RawIndex(i, j)]` is the value
+  /// and `raw_mask()[RawIndex(i, j)] != 0` means specified.
+  const double* raw_values() const { return values_.data(); }
+  const uint8_t* raw_mask() const { return mask_.data(); }
+  size_t RawIndex(size_t i, size_t j) const { return Index(i, j); }
+
+ private:
+  size_t Index(size_t i, size_t j) const { return i * cols_ + j; }
+
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> values_;
+  std::vector<uint8_t> mask_;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_DATA_MATRIX_H_

@@ -1,0 +1,669 @@
+#include "src/core/floc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "src/util/stopwatch.h"
+
+namespace deltaclus {
+
+namespace {
+
+// Determines the best action for one row (is_row) or column across the k
+// clusters: the candidate toggle with the highest gain among those not
+// blocked by constraints. Gains are measured on the per-cluster objective
+// (`scores`), which equals the residue when target_residue == 0.
+struct GainContext {
+  const std::vector<ClusterView>* views;
+  const std::vector<double>* scores;
+  const ConstraintTracker* tracker;
+  double target_residue;
+  size_t matrix_entries;
+};
+
+double ScoreOf(double residue, size_t volume, double target_residue,
+               size_t matrix_entries) {
+  (void)matrix_entries;
+  if (target_residue <= 0.0) return residue;
+  // Volume-seeking objective for mining maximal r-residue clusters: the
+  // logarithmic volume reward gives a marginal bonus of ~target/V per
+  // absorbed entry, so growth is accepted exactly while the absorbed
+  // entries' residue stays within ~target of the cluster's coherence --
+  // independent of the cluster's current size.
+  return residue -
+         target_residue * std::log(static_cast<double>(std::max<size_t>(volume, 1)));
+}
+
+Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
+                     ResidueEngine& engine) {
+  Action best;
+  best.target = is_row ? ActionTarget::kRow : ActionTarget::kCol;
+  best.index = index;
+  const std::vector<ClusterView>& views = *ctx.views;
+  for (size_t c = 0; c < views.size(); ++c) {
+    bool allowed = is_row ? ctx.tracker->RowToggleAllowed(views, c, index)
+                          : ctx.tracker->ColToggleAllowed(views, c, index);
+    if (!allowed) continue;
+    size_t new_volume = 0;
+    double after_residue =
+        is_row ? engine.ResidueAfterToggleRow(views[c], index, &new_volume)
+               : engine.ResidueAfterToggleCol(views[c], index, &new_volume);
+    double after_score = ScoreOf(after_residue, new_volume,
+                                 ctx.target_residue, ctx.matrix_entries);
+    double gain = (*ctx.scores)[c] - after_score;
+    if (best.blocked() || gain > best.gain) {
+      best.gain = gain;
+      best.cluster = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<std::string> FlocConfig::Validate() const {
+  std::vector<std::string> problems;
+  auto in_unit = [](double v) { return v >= 0.0 && v <= 1.0; };
+
+  if (num_clusters == 0) problems.push_back("num_clusters must be >= 1");
+  if (!in_unit(seeding.row_probability)) {
+    problems.push_back("seeding.row_probability must be in [0, 1]");
+  }
+  if (!in_unit(seeding.col_probability)) {
+    problems.push_back("seeding.col_probability must be in [0, 1]");
+  }
+  if (seeding.mixed_volumes) {
+    if (seeding.volume_mean < 0) {
+      problems.push_back("seeding.volume_mean must be >= 0");
+    }
+    if (seeding.volume_variance < 0) {
+      problems.push_back("seeding.volume_variance must be >= 0");
+    }
+  }
+  if (!in_unit(constraints.alpha)) {
+    problems.push_back("constraints.alpha must be in [0, 1]");
+  }
+  if (constraints.min_rows > constraints.max_rows) {
+    problems.push_back("constraints.min_rows exceeds max_rows");
+  }
+  if (constraints.min_cols > constraints.max_cols) {
+    problems.push_back("constraints.min_cols exceeds max_cols");
+  }
+  if (constraints.min_volume > constraints.max_volume) {
+    problems.push_back("constraints.min_volume exceeds max_volume");
+  }
+  if (constraints.max_overlap < 0) {
+    problems.push_back("constraints.max_overlap must be >= 0");
+  }
+  if (!in_unit(constraints.min_row_coverage)) {
+    problems.push_back("constraints.min_row_coverage must be in [0, 1]");
+  }
+  if (!in_unit(constraints.min_col_coverage)) {
+    problems.push_back("constraints.min_col_coverage must be in [0, 1]");
+  }
+  if (target_residue < 0) problems.push_back("target_residue must be >= 0");
+  if (annealing_temperature < 0) {
+    problems.push_back("annealing_temperature must be >= 0");
+  }
+  if (min_improvement < 0) problems.push_back("min_improvement must be >= 0");
+  if (relative_improvement < 0) {
+    problems.push_back("relative_improvement must be >= 0");
+  }
+  if (threads < 1) problems.push_back("threads must be >= 1");
+  return problems;
+}
+
+Floc::Floc(FlocConfig config) : config_(std::move(config)) {
+  std::vector<std::string> problems = config_.Validate();
+  if (!problems.empty()) {
+    std::string message = "invalid FlocConfig:";
+    for (const std::string& p : problems) message += "\n  - " + p;
+    throw std::invalid_argument(message);
+  }
+}
+
+double Floc::ClusterScore(double residue, size_t volume,
+                          size_t matrix_entries) const {
+  return ScoreOf(residue, volume, config_.target_residue, matrix_entries);
+}
+
+FlocResult Floc::Run(const DataMatrix& matrix) {
+  Rng rng(config_.rng_seed);
+  std::vector<Cluster> seeds =
+      GenerateSeeds(matrix, config_.seeding, config_.num_clusters, rng);
+  // Section 4.3: initial clusters must comply with the constraints; the
+  // action-blocking machinery then preserves compliance throughout.
+  for (Cluster& seed : seeds) {
+    RepairSeed(matrix, config_.constraints, &seed, rng);
+  }
+  return RunWithSeeds(matrix, std::move(seeds));
+}
+
+std::vector<Action> Floc::DetermineBestActions(
+    const DataMatrix& matrix, const std::vector<ClusterView>& views,
+    const std::vector<double>& scores, const ConstraintTracker& tracker) {
+  size_t num_rows = matrix.rows();
+  size_t num_cols = matrix.cols();
+  size_t total = num_rows + num_cols;
+  std::vector<Action> actions(total);
+
+  GainContext ctx{&views, &scores, &tracker, config_.target_residue,
+                  num_rows * num_cols};
+
+  auto work = [&](size_t begin, size_t end) {
+    ResidueEngine engine(config_.norm);
+    for (size_t t = begin; t < end; ++t) {
+      bool is_row = t < num_rows;
+      size_t index = is_row ? t : t - num_rows;
+      actions[t] = BestActionFor(is_row, index, ctx, engine);
+    }
+  };
+
+  int threads = std::max(1, config_.threads);
+  if (threads == 1 || total < 64) {
+    work(0, total);
+  } else {
+    size_t chunk = (total + threads - 1) / threads;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int w = 0; w < threads; ++w) {
+      size_t begin = w * chunk;
+      size_t end = std::min(total, begin + chunk);
+      if (begin >= end) break;
+      pool.emplace_back(work, begin, end);
+    }
+    for (std::thread& th : pool) th.join();
+  }
+  return actions;
+}
+
+size_t Floc::RefineSweep(const DataMatrix& matrix,
+                         std::vector<ClusterView>& views,
+                         std::vector<double>& scores,
+                         ConstraintTracker& tracker) {
+  size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
+  size_t num_rows = matrix.rows();
+  size_t num_cols = matrix.cols();
+  ResidueEngine engine(config_.norm);
+  size_t applied = 0;
+
+  struct Candidate {
+    double gain;
+    ActionTarget target;
+    size_t index;
+  };
+
+  for (size_t c = 0; c < views.size(); ++c) {
+    // Rank every candidate toggle for this cluster by its score gain...
+    std::vector<Candidate> candidates;
+    candidates.reserve(num_rows + num_cols);
+    for (size_t i = 0; i < num_rows; ++i) {
+      if (!tracker.RowToggleAllowed(views, c, i)) continue;
+      size_t new_volume = 0;
+      double r = engine.ResidueAfterToggleRow(views[c], i, &new_volume);
+      double gain = scores[c] - ClusterScore(r, new_volume, matrix_entries);
+      if (gain > config_.min_improvement) {
+        candidates.push_back({gain, ActionTarget::kRow, i});
+      }
+    }
+    for (size_t j = 0; j < num_cols; ++j) {
+      if (!tracker.ColToggleAllowed(views, c, j)) continue;
+      size_t new_volume = 0;
+      double r = engine.ResidueAfterToggleCol(views[c], j, &new_volume);
+      double gain = scores[c] - ClusterScore(r, new_volume, matrix_entries);
+      if (gain > config_.min_improvement) {
+        candidates.push_back({gain, ActionTarget::kCol, j});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.gain > b.gain;
+              });
+
+    // ...then apply them best-first, re-validating each against the
+    // cluster's current state (earlier toggles shift later gains).
+    for (const Candidate& cand : candidates) {
+      bool is_row = cand.target == ActionTarget::kRow;
+      bool allowed = is_row ? tracker.RowToggleAllowed(views, c, cand.index)
+                            : tracker.ColToggleAllowed(views, c, cand.index);
+      if (!allowed) continue;
+      size_t new_volume = 0;
+      double r = is_row
+                     ? engine.ResidueAfterToggleRow(views[c], cand.index,
+                                                    &new_volume)
+                     : engine.ResidueAfterToggleCol(views[c], cand.index,
+                                                    &new_volume);
+      double fresh_gain =
+          scores[c] - ClusterScore(r, new_volume, matrix_entries);
+      if (fresh_gain <= config_.min_improvement) continue;
+      if (is_row) {
+        views[c].ToggleRow(cand.index);
+        tracker.OnRowToggled(views, c, cand.index);
+      } else {
+        views[c].ToggleCol(cand.index);
+        tracker.OnColToggled(views, c, cand.index);
+      }
+      scores[c] = ClusterScore(engine.Residue(views[c]),
+                               views[c].stats().Volume(), matrix_entries);
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+bool Floc::ReanchorCluster(const DataMatrix& matrix,
+                           std::vector<ClusterView>& views, size_t c,
+                           double* score) {
+  ClusterView& view = views[c];
+  const double threshold = config_.target_residue;
+  if (threshold <= 0.0) return false;
+  size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
+  size_t num_rows = matrix.rows();
+  size_t num_cols = matrix.cols();
+  const Constraints& cons = config_.constraints;
+  const double* values = matrix.raw_values();
+  const uint8_t* mask = matrix.raw_mask();
+  ResidueEngine engine(config_.norm);
+
+  Cluster candidate = view.cluster();
+  for (int round = 0; round < 2; ++round) {
+    // --- Column pick, holding the candidate's rows. ---
+    ClusterView tmp(matrix, candidate);
+    const auto& rows = tmp.cluster().row_ids();
+    if (rows.empty()) return false;
+    // Score each column by the *median* absolute deviation (around the
+    // median) of the row-centered values d_ij - d_iJ across the member
+    // rows: ~0 on a column coherent with the majority of the rows,
+    // ~background spread otherwise. The median makes the score robust to
+    // the very junk rows the reassignment is trying to shed -- a mean
+    // would let two bad rows disqualify a perfectly coherent column.
+    std::vector<std::pair<double, size_t>> col_scores;
+    col_scores.reserve(num_cols);
+    std::vector<double> centered;
+    centered.reserve(rows.size());
+    for (size_t j = 0; j < num_cols; ++j) {
+      centered.clear();
+      for (uint32_t i : rows) {
+        size_t pos = matrix.RawIndex(i, j);
+        if (!mask[pos]) continue;
+        centered.push_back(values[pos] - tmp.stats().RowBase(i));
+      }
+      if (centered.empty() ||
+          (cons.alpha > 0.0 &&
+           static_cast<double>(centered.size()) < cons.alpha * rows.size())) {
+        continue;
+      }
+      auto mid = centered.begin() + centered.size() / 2;
+      std::nth_element(centered.begin(), mid, centered.end());
+      double center = *mid;
+      for (double& v : centered) v = std::abs(v - center);
+      std::nth_element(centered.begin(), mid, centered.end());
+      col_scores.emplace_back(*mid, j);
+    }
+    std::sort(col_scores.begin(), col_scores.end());
+    std::vector<size_t> new_cols;
+    for (const auto& [s, j] : col_scores) {
+      if (new_cols.size() >= cons.max_cols) break;
+      if (s <= threshold || new_cols.size() < cons.min_cols) {
+        new_cols.push_back(j);
+      } else {
+        break;
+      }
+    }
+    if (new_cols.size() < 2) return false;
+    candidate = Cluster::FromMembers(
+        num_rows, num_cols,
+        std::vector<size_t>(rows.begin(), rows.end()), new_cols);
+
+    // --- Row pick, holding the candidate's columns. ---
+    ClusterView tmp2(matrix, candidate);
+    double cluster_base = tmp2.stats().ClusterBase();
+    std::vector<std::pair<double, size_t>> row_scores;
+    row_scores.reserve(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      double row_sum;
+      size_t row_cnt;
+      ClusterStats::RowSumOverCols(matrix, candidate.col_ids(), i, &row_sum,
+                                   &row_cnt);
+      if (row_cnt == 0 ||
+          (cons.alpha > 0.0 && static_cast<double>(row_cnt) <
+                                   cons.alpha * candidate.NumCols())) {
+        continue;
+      }
+      double row_base = row_sum / row_cnt;
+      double dev = 0.0;
+      size_t row_off = matrix.RawIndex(i, 0);
+      for (uint32_t j : candidate.col_ids()) {
+        size_t pos = row_off + j;
+        if (!mask[pos]) continue;
+        dev += std::abs(values[pos] - row_base - tmp2.stats().ColBase(j) +
+                        cluster_base);
+      }
+      row_scores.emplace_back(dev / row_cnt, i);
+    }
+    std::sort(row_scores.begin(), row_scores.end());
+    std::vector<size_t> new_rows;
+    for (const auto& [s, i] : row_scores) {
+      if (new_rows.size() >= cons.max_rows) break;
+      if (s <= threshold || new_rows.size() < cons.min_rows) {
+        new_rows.push_back(i);
+      } else {
+        break;
+      }
+    }
+    if (new_rows.size() < 2) return false;
+    candidate = Cluster::FromMembers(
+        num_rows, num_cols, new_rows,
+        std::vector<size_t>(candidate.col_ids().begin(),
+                            candidate.col_ids().end()));
+  }
+
+  if (candidate == view.cluster()) return false;
+  ClusterView cand_view(matrix, candidate);
+  if (!SatisfiesUnaryConstraints(cand_view, cons)) return false;
+  if (cons.overlap_active()) {
+    size_t cand_size = candidate.NumRows() * candidate.NumCols();
+    for (size_t d = 0; d < views.size(); ++d) {
+      if (d == c) continue;
+      const Cluster& other = views[d].cluster();
+      size_t shared =
+          candidate.SharedRows(other) * candidate.SharedCols(other);
+      size_t smaller =
+          std::min(cand_size, other.NumRows() * other.NumCols());
+      if (smaller > 0 && static_cast<double>(shared) >
+                             cons.max_overlap * static_cast<double>(smaller)) {
+        return false;
+      }
+    }
+  }
+  double cand_score =
+      ScoreOf(engine.Residue(cand_view), cand_view.stats().Volume(),
+              config_.target_residue, matrix_entries);
+  if (cand_score >= *score - config_.min_improvement) return false;
+  view.Reset(std::move(candidate));
+  *score = cand_score;
+  return true;
+}
+
+FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
+                              std::vector<Cluster> seeds) {
+  Stopwatch stopwatch;
+  Rng rng(config_.rng_seed ^ 0x5eedf10cULL);
+  size_t k = seeds.size();
+  FlocResult result;
+  if (k == 0) return result;
+  size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
+
+  ResidueEngine engine(config_.norm);
+
+  // The clustering being mutated during an iteration.
+  std::vector<ClusterView> views;
+  views.reserve(k);
+  for (Cluster& seed : seeds) {
+    views.emplace_back(matrix, std::move(seed));
+  }
+
+  ConstraintTracker tracker(matrix, config_.constraints);
+  tracker.Rebuild(views);
+
+  // Per-cluster objective values of the current clustering.
+  std::vector<double> scores(k);
+  auto recompute_scores = [&]() {
+    double sum = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      scores[c] = ClusterScore(engine.Residue(views[c]),
+                               views[c].stats().Volume(), matrix_entries);
+      sum += scores[c];
+    }
+    return sum;
+  };
+  double score_sum = recompute_scores();
+
+  // best_clustering: the best set of clusters seen so far (paper's
+  // best_clustering). Starts as the seeds.
+  std::vector<Cluster> best_clusters;
+  best_clusters.reserve(k);
+  for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+  double best_average = score_sum / k;
+
+  // --- Phase 2: the move-based iteration loop. Runs until an iteration
+  // fails to improve best_clusters / best_average. Invoked once normally,
+  // and once more per reseed round. ---
+  auto move_phase = [&]() {
+  for (size_t iteration = 0; iteration < config_.max_iterations;
+       ++iteration) {
+    ++result.iterations;
+
+    // --- Determine the best action for every row and column. ---
+    std::vector<Action> actions =
+        DetermineBestActions(matrix, views, scores, tracker);
+
+    // --- Order the actions. ---
+    std::vector<double> gains(actions.size());
+    for (size_t t = 0; t < actions.size(); ++t) gains[t] = actions[t].gain;
+    std::vector<size_t> order = MakeActionOrder(config_.ordering, gains, rng);
+
+    // --- Perform actions sequentially, tracking the best intermediate
+    // clustering. ---
+    std::vector<Cluster> start_clusters;
+    start_clusters.reserve(k);
+    for (const ClusterView& v : views) start_clusters.push_back(v.cluster());
+
+    std::vector<AppliedAction> applied;
+    applied.reserve(actions.size());
+    double iter_best_average = best_average;
+    size_t iter_best_prefix = 0;  // #applied actions in the best prefix
+    bool iter_has_best = false;
+
+    GainContext apply_ctx{&views, &scores, &tracker, config_.target_residue,
+                          matrix_entries};
+    // Whether a non-positive-gain action should still be performed:
+    // always in the paper's mode; with probability exp(gain / T) under
+    // annealing; never in pure greedy mode.
+    auto accept_negative = [&](double gain) {
+      if (config_.perform_negative_actions) return true;
+      if (config_.annealing_temperature <= 0) return false;
+      double temperature = config_.annealing_temperature *
+                           std::pow(0.8, static_cast<double>(iteration));
+      if (temperature <= 0) return false;
+      return rng.Bernoulli(std::exp(gain / temperature));
+    };
+    for (size_t t : order) {
+      Action action = actions[t];
+      bool is_row = action.target == ActionTarget::kRow;
+      if (config_.fresh_gains_at_apply) {
+        // Re-decide this row/column's best action against the current
+        // state: earlier actions in the sweep have already moved it.
+        action = BestActionFor(is_row, action.index, apply_ctx, engine);
+        if (action.blocked()) continue;
+        if (action.gain <= 0 && !accept_negative(action.gain)) continue;
+      } else {
+        if (action.blocked()) continue;
+        if (action.gain <= 0 && !accept_negative(action.gain)) continue;
+        // Re-check constraints against the *current* state: earlier
+        // actions in this iteration may have changed what is admissible.
+        bool allowed =
+            is_row
+                ? tracker.RowToggleAllowed(views, action.cluster, action.index)
+                : tracker.ColToggleAllowed(views, action.cluster,
+                                           action.index);
+        if (!allowed) continue;
+      }
+
+      ClusterView& view = views[action.cluster];
+      if (is_row) {
+        view.ToggleRow(action.index);
+        tracker.OnRowToggled(views, action.cluster, action.index);
+      } else {
+        view.ToggleCol(action.index);
+        tracker.OnColToggled(views, action.cluster, action.index);
+      }
+      applied.push_back({action.target, action.index, action.cluster});
+
+      double new_score = ClusterScore(engine.Residue(view),
+                                      view.stats().Volume(), matrix_entries);
+      score_sum += new_score - scores[action.cluster];
+      scores[action.cluster] = new_score;
+
+      double average = score_sum / k;
+      if (!iter_has_best || average < iter_best_average) {
+        iter_best_average = average;
+        iter_best_prefix = applied.size();
+        iter_has_best = true;
+      }
+    }
+
+    double needed = std::max(
+        config_.min_improvement,
+        config_.relative_improvement * std::abs(best_average));
+    bool improved =
+        iter_has_best && iter_best_average < best_average - needed;
+    result.history.push_back(
+        {iter_has_best ? iter_best_average : best_average, applied.size(),
+         improved});
+
+    if (!improved) break;
+
+    // Rewind to the start of the iteration and replay the winning prefix;
+    // that clustering both becomes best_clustering and seeds the next
+    // iteration.
+    for (size_t c = 0; c < k; ++c) {
+      views[c].Reset(std::move(start_clusters[c]));
+    }
+    for (size_t a = 0; a < iter_best_prefix; ++a) {
+      const AppliedAction& act = applied[a];
+      if (act.target == ActionTarget::kRow) {
+        views[act.cluster].ToggleRow(act.index);
+      } else {
+        views[act.cluster].ToggleCol(act.index);
+      }
+    }
+    // Rebuild stats-derived state from scratch: cheap relative to the
+    // iteration and keeps floating-point drift from accumulating.
+    for (size_t c = 0; c < k; ++c) {
+      views[c].Reset(views[c].cluster());
+    }
+    score_sum = recompute_scores();
+    tracker.Rebuild(views);
+
+    best_average = score_sum / k;
+    best_clusters.clear();
+    for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+  }
+  };  // move_phase
+
+  // Cluster-centric refinement of the best clustering (see
+  // FlocConfig::refine_passes). The last move-phase iteration left `views`
+  // dirty (its sweep did not improve), so restore the best clustering
+  // first.
+  auto refine = [&]() {
+  if (config_.refine_passes > 0) {
+    for (size_t c = 0; c < k; ++c) views[c].Reset(best_clusters[c]);
+    recompute_scores();
+    tracker.Rebuild(views);
+    // Wholesale reassignment cannot shrink coverage-constrained
+    // clusterings safely, so it only runs when coverage is off; overlap
+    // bounds are validated directly against the candidate.
+    bool can_reanchor = !config_.constraints.coverage_active();
+    for (size_t pass = 0; pass < config_.refine_passes; ++pass) {
+      size_t changes = 0;
+      if (can_reanchor) {
+        for (size_t c = 0; c < k; ++c) {
+          changes += ReanchorCluster(matrix, views, c, &scores[c]);
+        }
+        tracker.Rebuild(views);
+      }
+      changes += RefineSweep(matrix, views, scores, tracker);
+      if (changes == 0) break;
+    }
+    score_sum = recompute_scores();
+    best_average = score_sum / k;
+    best_clusters.clear();
+    for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+  }
+  };  // refine
+
+  move_phase();
+  refine();
+
+  // --- Restart rounds: re-seed stagnant slots and retry (see
+  // FlocConfig::reseed_rounds). ---
+  for (size_t round = 0;
+       round < config_.reseed_rounds && config_.target_residue > 0; ++round) {
+    // `views` holds best_clusters after refine().
+    std::vector<size_t> stagnant;
+    for (size_t c = 0; c < k; ++c) {
+      if (engine.Residue(views[c]) > 2.0 * config_.target_residue) {
+        stagnant.push_back(c);
+      }
+    }
+    if (stagnant.empty()) break;
+
+    std::vector<Cluster> saved;
+    std::vector<double> saved_scores;
+    saved.reserve(stagnant.size());
+    for (size_t c : stagnant) {
+      saved.push_back(views[c].cluster());
+      saved_scores.push_back(scores[c]);
+      std::vector<Cluster> fresh =
+          GenerateSeeds(matrix, config_.seeding, 1, rng);
+      RepairSeed(matrix, config_.constraints, &fresh[0], rng);
+      views[c].Reset(std::move(fresh[0]));
+    }
+    score_sum = recompute_scores();
+    tracker.Rebuild(views);
+    best_average = score_sum / k;
+    best_clusters.clear();
+    for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+
+    move_phase();
+    refine();
+
+    // Restore any slot the restart left worse than before.
+    bool restored = false;
+    for (size_t t = 0; t < stagnant.size(); ++t) {
+      size_t c = stagnant[t];
+      if (scores[c] > saved_scores[t] - config_.min_improvement) {
+        views[c].Reset(std::move(saved[t]));
+        restored = true;
+      }
+    }
+    if (restored) {
+      score_sum = recompute_scores();
+      tracker.Rebuild(views);
+      best_average = score_sum / k;
+      best_clusters.clear();
+      for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+    }
+  }
+
+  result.clusters = std::move(best_clusters);
+  result.residues.resize(k);
+  double sum = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    ClusterView v(matrix, result.clusters[c]);
+    result.residues[c] = engine.Residue(v);
+    sum += result.residues[c];
+  }
+  result.average_residue = k == 0 ? 0.0 : sum / k;
+  result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  return result;
+}
+
+double AverageResidue(const DataMatrix& matrix,
+                      const std::vector<Cluster>& clusters,
+                      ResidueNorm norm) {
+  if (clusters.empty()) return 0.0;
+  ResidueEngine engine(norm);
+  double sum = 0.0;
+  for (const Cluster& c : clusters) {
+    ClusterView view(matrix, c);
+    sum += engine.Residue(view);
+  }
+  return sum / clusters.size();
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,47 @@
+// Action-ordering schemes for FLOC iterations (paper Sections 4.1 / 5.2).
+//
+// The order in which the N + M best actions are performed matters: a fixed
+// order lets early negative-gain actions starve late positive-gain ones.
+// The paper proposes (a) a random order produced by g = 2(M + N) random
+// position swaps and (b) a weighted random order where a swap of two
+// randomly chosen actions happens with probability
+//     p(i, j) = 0.5 + (g_j - g_i) / (2 * Gamma)
+// (g_i = gain of the action currently in front, Gamma = max gain - min
+// gain), so high-gain actions tend to migrate forward while low-gain ones
+// drift back -- enough bias to act early on good moves, enough randomness
+// to escape local optima. Table 4 of the paper measures the three schemes.
+#ifndef DELTACLUS_CORE_ORDERING_H_
+#define DELTACLUS_CORE_ORDERING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace deltaclus {
+
+/// Which ordering scheme an iteration uses.
+enum class ActionOrdering {
+  /// Rows 1..N then columns 1..M, every iteration (Section 4.1).
+  kFixed,
+  /// Uniform random order via 2n random swaps (Section 5.2.1).
+  kRandom,
+  /// Gain-weighted random order (Section 5.2.2).
+  kWeightedRandom,
+};
+
+/// Human-readable name ("fixed", "random", "weighted").
+std::string ToString(ActionOrdering ordering);
+
+/// Produces the order in which `gains.size()` actions are performed:
+/// a permutation `order` such that the action performed t-th is
+/// `order[t]`. Gains are only consulted by kWeightedRandom. Blocked
+/// actions participate like any other (they are skipped at apply time).
+std::vector<size_t> MakeActionOrder(ActionOrdering ordering,
+                                    const std::vector<double>& gains,
+                                    Rng& rng);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_ORDERING_H_

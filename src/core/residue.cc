@@ -1,0 +1,252 @@
+#include "src/core/residue.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace deltaclus {
+
+size_t VolumeNaive(const DataMatrix& m, const Cluster& c) {
+  size_t volume = 0;
+  for (uint32_t i : c.row_ids()) {
+    for (uint32_t j : c.col_ids()) {
+      if (m.IsSpecified(i, j)) ++volume;
+    }
+  }
+  return volume;
+}
+
+double RowBaseNaive(const DataMatrix& m, const Cluster& c, size_t i) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (uint32_t j : c.col_ids()) {
+    if (!m.IsSpecified(i, j)) continue;
+    sum += m.Value(i, j);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+double ColBaseNaive(const DataMatrix& m, const Cluster& c, size_t j) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (uint32_t i : c.row_ids()) {
+    if (!m.IsSpecified(i, j)) continue;
+    sum += m.Value(i, j);
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+double ClusterBaseNaive(const DataMatrix& m, const Cluster& c) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (uint32_t i : c.row_ids()) {
+    for (uint32_t j : c.col_ids()) {
+      if (!m.IsSpecified(i, j)) continue;
+      sum += m.Value(i, j);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / count;
+}
+
+double EntryResidueNaive(const DataMatrix& m, const Cluster& c, size_t i,
+                         size_t j) {
+  if (!m.IsSpecified(i, j)) return 0.0;
+  return m.Value(i, j) - RowBaseNaive(m, c, i) - ColBaseNaive(m, c, j) +
+         ClusterBaseNaive(m, c);
+}
+
+double ClusterResidueNaive(const DataMatrix& m, const Cluster& c,
+                           ResidueNorm norm) {
+  size_t volume = VolumeNaive(m, c);
+  if (volume == 0) return 0.0;
+  double acc = 0.0;
+  for (uint32_t i : c.row_ids()) {
+    for (uint32_t j : c.col_ids()) {
+      if (!m.IsSpecified(i, j)) continue;
+      double r = EntryResidueNaive(m, c, i, j);
+      acc += norm == ResidueNorm::kMeanAbsolute ? std::abs(r) : r * r;
+    }
+  }
+  return acc / volume;
+}
+
+double ResidueEngine::Residue(const ClusterView& view) {
+  const DataMatrix& m = view.matrix();
+  const Cluster& c = view.cluster();
+  const ClusterStats& stats = view.stats();
+  if (stats.Volume() == 0) return 0.0;
+
+  const auto& col_ids = c.col_ids();
+  scratch_col_base_.resize(col_ids.size());
+  for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+    scratch_col_base_[idx] = stats.ColBase(col_ids[idx]);
+  }
+  double cluster_base = stats.ClusterBase();
+
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  double acc = 0.0;
+  for (uint32_t i : c.row_ids()) {
+    size_t row_off = m.RawIndex(i, 0);
+    double row_base = stats.RowBase(i);
+    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+      size_t pos = row_off + col_ids[idx];
+      if (!mask[pos]) continue;
+      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
+                        cluster_base);
+    }
+  }
+  return acc / stats.Volume();
+}
+
+double ResidueEngine::ResidueAfterToggleRow(const ClusterView& view, size_t i,
+                                            size_t* new_volume_out) {
+  const DataMatrix& m = view.matrix();
+  const Cluster& c = view.cluster();
+  const ClusterStats& stats = view.stats();
+  const auto& col_ids = c.col_ids();
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+
+  bool removing = c.HasRow(i);
+  size_t row_off = m.RawIndex(i, 0);
+
+  // Row i's sums over the cluster's columns.
+  double toggled_sum;
+  size_t toggled_cnt;
+  if (removing) {
+    toggled_sum = stats.RowSum(i);
+    toggled_cnt = stats.RowCount(i);
+  } else {
+    ClusterStats::RowSumOverCols(m, col_ids, i, &toggled_sum, &toggled_cnt);
+  }
+
+  double new_total =
+      removing ? stats.Total() - toggled_sum : stats.Total() + toggled_sum;
+  size_t new_volume =
+      removing ? stats.Volume() - toggled_cnt : stats.Volume() + toggled_cnt;
+  if (new_volume_out != nullptr) *new_volume_out = new_volume;
+  if (new_volume == 0) return 0.0;
+  double cluster_base = new_total / new_volume;
+
+  // Adjusted column bases: only the columns where row i is specified move.
+  scratch_col_base_.resize(col_ids.size());
+  for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+    uint32_t j = col_ids[idx];
+    double sum = stats.ColSum(j);
+    size_t cnt = stats.ColCount(j);
+    if (mask[row_off + j]) {
+      double v = values[row_off + j];
+      if (removing) {
+        sum -= v;
+        --cnt;
+      } else {
+        sum += v;
+        ++cnt;
+      }
+    }
+    scratch_col_base_[idx] = cnt == 0 ? 0.0 : sum / cnt;
+  }
+
+  double acc = 0.0;
+  // Existing member rows (their row bases are unchanged by a row toggle).
+  for (uint32_t r : c.row_ids()) {
+    if (removing && r == i) continue;
+    size_t off = m.RawIndex(r, 0);
+    double row_base = stats.RowBase(r);
+    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+      size_t pos = off + col_ids[idx];
+      if (!mask[pos]) continue;
+      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
+                        cluster_base);
+    }
+  }
+  // The newly-added row, if this is an addition.
+  if (!removing && toggled_cnt > 0) {
+    double row_base = toggled_sum / toggled_cnt;
+    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+      size_t pos = row_off + col_ids[idx];
+      if (!mask[pos]) continue;
+      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
+                        cluster_base);
+    }
+  }
+  return acc / new_volume;
+}
+
+double ResidueEngine::ResidueAfterToggleCol(const ClusterView& view, size_t j,
+                                            size_t* new_volume_out) {
+  const DataMatrix& m = view.matrix();
+  const Cluster& c = view.cluster();
+  const ClusterStats& stats = view.stats();
+  const auto& col_ids = c.col_ids();
+  const auto& row_ids = c.row_ids();
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+
+  bool removing = c.HasCol(j);
+
+  double toggled_sum;
+  size_t toggled_cnt;
+  if (removing) {
+    toggled_sum = stats.ColSum(j);
+    toggled_cnt = stats.ColCount(j);
+  } else {
+    ClusterStats::ColSumOverRows(m, row_ids, j, &toggled_sum, &toggled_cnt);
+  }
+
+  double new_total =
+      removing ? stats.Total() - toggled_sum : stats.Total() + toggled_sum;
+  size_t new_volume =
+      removing ? stats.Volume() - toggled_cnt : stats.Volume() + toggled_cnt;
+  if (new_volume_out != nullptr) *new_volume_out = new_volume;
+  if (new_volume == 0) return 0.0;
+  double cluster_base = new_total / new_volume;
+
+  // Column bases of surviving member columns are unchanged by a column
+  // toggle; cache them once.
+  scratch_col_base_.resize(col_ids.size());
+  for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+    scratch_col_base_[idx] = stats.ColBase(col_ids[idx]);
+  }
+  double toggled_col_base =
+      toggled_cnt == 0 ? 0.0 : toggled_sum / toggled_cnt;
+
+  double acc = 0.0;
+  for (uint32_t i : row_ids) {
+    size_t off = m.RawIndex(i, 0);
+    // Adjusted row base: moves only if (i, j) is specified.
+    double row_sum = stats.RowSum(i);
+    size_t row_cnt = stats.RowCount(i);
+    size_t pos_j = off + j;
+    if (mask[pos_j]) {
+      double v = values[pos_j];
+      if (removing) {
+        row_sum -= v;
+        --row_cnt;
+      } else {
+        row_sum += v;
+        ++row_cnt;
+      }
+    }
+    double row_base = row_cnt == 0 ? 0.0 : row_sum / row_cnt;
+
+    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+      uint32_t col = col_ids[idx];
+      if (removing && col == j) continue;
+      size_t pos = off + col;
+      if (!mask[pos]) continue;
+      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
+                        cluster_base);
+    }
+    if (!removing && mask[pos_j]) {
+      acc += Accumulate(values[pos_j], row_base, toggled_col_base,
+                        cluster_base);
+    }
+  }
+  return acc / new_volume;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,115 @@
+// Residue computation for delta-clusters (paper Definitions 3.4 / 3.5).
+//
+// The residue of a specified entry is
+//     r_ij = d_ij - d_iJ - d_Ij + d_IJ
+// and the residue of a cluster is the arithmetic mean of |r_ij| over its
+// specified entries (the paper also mentions square mean; both are
+// supported via ResidueNorm).
+//
+// ResidueEngine additionally evaluates the residue a cluster *would* have
+// after toggling one row or column membership, without mutating the
+// cluster and without copying its stats -- this is the kernel behind
+// FLOC's gain computation (Section 4.1), where gain(Action(x, c)) is the
+// reduction of c's residue caused by the action.
+#ifndef DELTACLUS_CORE_RESIDUE_H_
+#define DELTACLUS_CORE_RESIDUE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/cluster_stats.h"
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// How per-entry residues are aggregated into a cluster residue.
+enum class ResidueNorm {
+  /// Arithmetic mean of |r_ij| (the paper's choice, Definition 3.5).
+  kMeanAbsolute,
+  /// Mean of r_ij^2 (the Cheng & Church mean squared residue; listed by
+  /// the paper as an admissible alternative).
+  kMeanSquared,
+};
+
+// ---------------------------------------------------------------------------
+// Reference (naive) implementations. These recompute everything from the
+// matrix on each call; they are the executable specification used by the
+// tests and by small examples, not by the hot path.
+// ---------------------------------------------------------------------------
+
+/// Volume v_IJ: number of specified entries in the (I, J) submatrix.
+size_t VolumeNaive(const DataMatrix& m, const Cluster& c);
+
+/// Row base d_iJ (0 if row i has no specified entry over J).
+double RowBaseNaive(const DataMatrix& m, const Cluster& c, size_t i);
+
+/// Column base d_Ij (0 if column j has no specified entry over I).
+double ColBaseNaive(const DataMatrix& m, const Cluster& c, size_t j);
+
+/// Cluster base d_IJ (0 for volume-0 clusters).
+double ClusterBaseNaive(const DataMatrix& m, const Cluster& c);
+
+/// Residue of entry (i, j); 0 when the entry is missing (Definition 3.4).
+double EntryResidueNaive(const DataMatrix& m, const Cluster& c, size_t i,
+                         size_t j);
+
+/// Cluster residue under the given norm (Definition 3.5).
+double ClusterResidueNaive(const DataMatrix& m, const Cluster& c,
+                           ResidueNorm norm = ResidueNorm::kMeanAbsolute);
+
+// ---------------------------------------------------------------------------
+// ResidueEngine: stats-backed fast path.
+// ---------------------------------------------------------------------------
+
+/// Computes cluster residues and virtual-toggle residues using a cluster's
+/// incrementally-maintained ClusterStats. One engine may serve many
+/// clusters over the same matrix; it only holds scratch buffers.
+class ResidueEngine {
+ public:
+  explicit ResidueEngine(ResidueNorm norm = ResidueNorm::kMeanAbsolute)
+      : norm_(norm) {}
+
+  ResidueNorm norm() const { return norm_; }
+
+  /// Residue of the cluster as it stands. O(volume).
+  double Residue(const ClusterView& view);
+
+  /// Residue the cluster would have after toggling row i's membership.
+  /// Does not modify the cluster. O(volume + |J|). If `new_volume` is
+  /// non-null it receives the post-toggle volume.
+  double ResidueAfterToggleRow(const ClusterView& view, size_t i,
+                               size_t* new_volume = nullptr);
+
+  /// Residue the cluster would have after toggling column j's membership.
+  /// Does not modify the cluster. O(volume + |I|). If `new_volume` is
+  /// non-null it receives the post-toggle volume.
+  double ResidueAfterToggleCol(const ClusterView& view, size_t j,
+                               size_t* new_volume = nullptr);
+
+  /// Gain of the action "toggle row i in this cluster": current residue
+  /// minus post-action residue. Positive gain = improvement.
+  double GainToggleRow(const ClusterView& view, size_t i) {
+    return Residue(view) - ResidueAfterToggleRow(view, i);
+  }
+
+  /// Gain of the action "toggle column j in this cluster".
+  double GainToggleCol(const ClusterView& view, size_t j) {
+    return Residue(view) - ResidueAfterToggleCol(view, j);
+  }
+
+ private:
+  double Accumulate(double value, double row_base, double col_base,
+                    double cluster_base) const {
+    double r = value - row_base - col_base + cluster_base;
+    return norm_ == ResidueNorm::kMeanAbsolute ? (r < 0 ? -r : r) : r * r;
+  }
+
+  ResidueNorm norm_;
+  // Scratch: adjusted column bases aligned with the cluster's col_ids list.
+  std::vector<double> scratch_col_base_;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_RESIDUE_H_

@@ -1,0 +1,108 @@
+#include "src/data/cluster_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace deltaclus {
+
+void WriteClusters(const std::vector<Cluster>& clusters, std::ostream& os) {
+  os << "# deltaclus clustering: " << clusters.size() << " clusters\n";
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    const Cluster& cluster = clusters[c];
+    os << "cluster " << c << "\n";
+    os << "rows";
+    for (uint32_t i : cluster.row_ids()) os << ' ' << i;
+    os << "\ncols";
+    for (uint32_t j : cluster.col_ids()) os << ' ' << j;
+    os << "\n\n";
+  }
+}
+
+void WriteClustersFile(const std::vector<Cluster>& clusters,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteClustersFile: cannot open " + path);
+  WriteClusters(clusters, out);
+  if (!out) throw std::runtime_error("WriteClustersFile: write failed");
+}
+
+std::vector<Cluster> ReadClusters(std::istream& is, size_t rows,
+                                  size_t cols) {
+  std::vector<Cluster> clusters;
+  std::vector<size_t> row_ids;
+  std::vector<size_t> col_ids;
+  bool in_record = false;
+  bool have_rows = false;
+  bool have_cols = false;
+
+  auto flush = [&]() {
+    if (!in_record) return;
+    if (!have_rows || !have_cols) {
+      throw std::runtime_error(
+          "ReadClusters: record missing rows or cols line");
+    }
+    clusters.push_back(Cluster::FromMembers(rows, cols, row_ids, col_ids));
+    row_ids.clear();
+    col_ids.clear();
+    in_record = false;
+    have_rows = false;
+    have_cols = false;
+  };
+
+  auto parse_ids = [&](std::istringstream& ss, size_t bound,
+                       std::vector<size_t>* out, const char* what) {
+    long long id;
+    while (ss >> id) {
+      if (id < 0 || static_cast<size_t>(id) >= bound) {
+        throw std::runtime_error(std::string("ReadClusters: ") + what +
+                                 " id out of range: " + std::to_string(id));
+      }
+      out->push_back(static_cast<size_t>(id));
+    }
+    if (!ss.eof()) {
+      throw std::runtime_error(std::string("ReadClusters: malformed ") +
+                               what + " line");
+    }
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    // Trim whitespace-only lines to empties.
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      flush();
+      continue;
+    }
+    if (line[first] == '#') continue;
+    std::istringstream ss(line);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "cluster") {
+      flush();
+      in_record = true;
+    } else if (keyword == "rows") {
+      if (!in_record) in_record = true;
+      parse_ids(ss, rows, &row_ids, "row");
+      have_rows = true;
+    } else if (keyword == "cols") {
+      if (!in_record) in_record = true;
+      parse_ids(ss, cols, &col_ids, "col");
+      have_cols = true;
+    } else {
+      throw std::runtime_error("ReadClusters: unknown keyword '" + keyword +
+                               "'");
+    }
+  }
+  flush();
+  return clusters;
+}
+
+std::vector<Cluster> ReadClustersFile(const std::string& path, size_t rows,
+                                      size_t cols) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadClustersFile: cannot open " + path);
+  return ReadClusters(in, rows, cols);
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,38 @@
+// Serialization of discovered clusterings. The text format is one
+// cluster per record:
+//
+//   cluster <index>
+//   rows <id> <id> ...
+//   cols <id> <id> ...
+//
+// separated by blank lines; '#' starts a comment line. Indices are the
+// 0-based row/column positions in the mined matrix.
+#ifndef DELTACLUS_DATA_CLUSTER_IO_H_
+#define DELTACLUS_DATA_CLUSTER_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+
+namespace deltaclus {
+
+/// Writes `clusters` to `os` in the text format above.
+void WriteClusters(const std::vector<Cluster>& clusters, std::ostream& os);
+
+/// Writes to `path`; throws std::runtime_error on I/O failure.
+void WriteClustersFile(const std::vector<Cluster>& clusters,
+                       const std::string& path);
+
+/// Parses clusters for a matrix of the given dimensions. Throws
+/// std::runtime_error on malformed input or out-of-range ids.
+std::vector<Cluster> ReadClusters(std::istream& is, size_t rows, size_t cols);
+
+/// Reads from `path`.
+std::vector<Cluster> ReadClustersFile(const std::string& path, size_t rows,
+                                      size_t cols);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_DATA_CLUSTER_IO_H_

@@ -1,0 +1,171 @@
+#include "src/data/matrix_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace deltaclus {
+
+namespace {
+
+std::vector<std::string> SplitFields(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, sep)) fields.push_back(field);
+  if (!line.empty() && line.back() == sep) fields.emplace_back();
+  return fields;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+void WriteCsv(const DataMatrix& matrix, std::ostream& os,
+              const std::string& missing_token) {
+  // Round-trip exactness: max_digits10 guarantees the parsed double is
+  // bit-identical to the written one.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (j > 0) os << ',';
+      if (matrix.IsSpecified(i, j)) {
+        os << matrix.Value(i, j);
+      } else {
+        os << missing_token;
+      }
+    }
+    os << '\n';
+  }
+}
+
+void WriteCsvFile(const DataMatrix& matrix, const std::string& path,
+                  const std::string& missing_token) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteCsvFile: cannot open " + path);
+  WriteCsv(matrix, out, missing_token);
+  if (!out) throw std::runtime_error("WriteCsvFile: write failed: " + path);
+}
+
+DataMatrix ReadCsv(std::istream& is, const std::string& missing_token) {
+  std::vector<std::vector<std::optional<double>>> rows;
+  std::string line;
+  size_t expected_cols = 0;
+  while (std::getline(is, line)) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    std::vector<std::string> fields = SplitFields(trimmed, ',');
+    if (rows.empty()) {
+      expected_cols = fields.size();
+    } else if (fields.size() != expected_cols) {
+      throw std::runtime_error("ReadCsv: ragged row at line " +
+                               std::to_string(rows.size() + 1));
+    }
+    std::vector<std::optional<double>> row;
+    row.reserve(fields.size());
+    for (const std::string& raw : fields) {
+      std::string f = Trim(raw);
+      if (f.empty() || f == missing_token) {
+        row.push_back(std::nullopt);
+        continue;
+      }
+      try {
+        size_t pos = 0;
+        double v = std::stod(f, &pos);
+        if (pos != f.size()) throw std::invalid_argument(f);
+        row.push_back(v);
+      } catch (const std::exception&) {
+        throw std::runtime_error("ReadCsv: bad number '" + f + "'");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return DataMatrix::FromOptionalRows(rows);
+}
+
+DataMatrix ReadCsvFile(const std::string& path,
+                       const std::string& missing_token) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadCsvFile: cannot open " + path);
+  return ReadCsv(in, missing_token);
+}
+
+void WriteTriples(const DataMatrix& matrix, std::ostream& os) {
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      os << i << ',' << j << ',' << matrix.Value(i, j) << '\n';
+    }
+  }
+}
+
+DataMatrix ReadTriples(std::istream& is, size_t rows, size_t cols) {
+  DataMatrix m(rows, cols);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    // Accept comma-, tab-, or space-separated triples.
+    for (char& ch : trimmed) {
+      if (ch == ',' || ch == '\t') ch = ' ';
+    }
+    std::istringstream ss(trimmed);
+    long long row;
+    long long col;
+    double value;
+    if (!(ss >> row >> col >> value)) {
+      throw std::runtime_error("ReadTriples: malformed line " +
+                               std::to_string(line_no));
+    }
+    if (row < 0 || static_cast<size_t>(row) >= rows || col < 0 ||
+        static_cast<size_t>(col) >= cols) {
+      throw std::runtime_error("ReadTriples: index out of range at line " +
+                               std::to_string(line_no));
+    }
+    m.Set(static_cast<size_t>(row), static_cast<size_t>(col), value);
+  }
+  return m;
+}
+
+DataMatrix ReadMovieLens100K(std::istream& is, size_t users, size_t movies) {
+  DataMatrix m(users, movies);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    for (char& ch : trimmed) {
+      if (ch == ',' || ch == '\t') ch = ' ';
+    }
+    std::istringstream ss(trimmed);
+    long long user;
+    long long item;
+    double rating;
+    if (!(ss >> user >> item >> rating)) {
+      throw std::runtime_error("ReadMovieLens100K: malformed line " +
+                               std::to_string(line_no));
+    }
+    // u.data ids are 1-based.
+    if (user < 1 || static_cast<size_t>(user) > users || item < 1 ||
+        static_cast<size_t>(item) > movies) {
+      throw std::runtime_error("ReadMovieLens100K: id out of range at line " +
+                               std::to_string(line_no));
+    }
+    m.Set(static_cast<size_t>(user - 1), static_cast<size_t>(item - 1),
+          rating);
+  }
+  return m;
+}
+
+}  // namespace deltaclus

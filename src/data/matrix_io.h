@@ -1,0 +1,55 @@
+// CSV / triple-list serialization of DataMatrix, including missing values.
+//
+// Two interchange formats are supported:
+//   * dense CSV: one line per object, comma-separated attribute values,
+//     missing entries written as a configurable token (default "NA");
+//   * sparse triples: "row,col,value" lines (the format of the real
+//     MovieLens u.data ratings, modulo its tab separator, which is also
+//     accepted), all unlisted entries missing.
+#ifndef DELTACLUS_DATA_MATRIX_IO_H_
+#define DELTACLUS_DATA_MATRIX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// Writes `matrix` as dense CSV to `os`.
+void WriteCsv(const DataMatrix& matrix, std::ostream& os,
+              const std::string& missing_token = "NA");
+
+/// Writes `matrix` as dense CSV to `path`. Throws std::runtime_error on
+/// I/O failure.
+void WriteCsvFile(const DataMatrix& matrix, const std::string& path,
+                  const std::string& missing_token = "NA");
+
+/// Parses dense CSV from `is`. Every line must have the same number of
+/// fields; a field equal to `missing_token` (or empty) is missing.
+/// Throws std::runtime_error on malformed input.
+DataMatrix ReadCsv(std::istream& is, const std::string& missing_token = "NA");
+
+/// Parses dense CSV from `path`.
+DataMatrix ReadCsvFile(const std::string& path,
+                       const std::string& missing_token = "NA");
+
+/// Writes the specified entries of `matrix` as "row,col,value" lines.
+void WriteTriples(const DataMatrix& matrix, std::ostream& os);
+
+/// Parses "row,col,value" (or whitespace-separated) lines into a matrix
+/// of the given dimensions; row/col indices are 0-based. Out-of-range
+/// indices throw std::runtime_error. Extra trailing fields per line (e.g.
+/// MovieLens timestamps) are ignored.
+DataMatrix ReadTriples(std::istream& is, size_t rows, size_t cols);
+
+/// Loads the real MovieLens 100K ratings file (`u.data`: tab-separated
+/// "user item rating timestamp" with 1-based ids) into a users x movies
+/// matrix. Defaults match the 100K snapshot the paper used (943 users,
+/// 1682 movies).
+DataMatrix ReadMovieLens100K(std::istream& is, size_t users = 943,
+                             size_t movies = 1682);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_DATA_MATRIX_IO_H_

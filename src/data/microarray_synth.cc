@@ -1,0 +1,77 @@
+#include "src/data/microarray_synth.h"
+
+#include <algorithm>
+
+#include "src/data/synthetic.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+
+MicroarraySynthDataset GenerateMicroarray(
+    const MicroarraySynthConfig& config) {
+  Rng rng(config.seed);
+  MicroarraySynthDataset out;
+  out.matrix = DataMatrix(config.genes, config.conditions);
+  DataMatrix& m = out.matrix;
+
+  // Noisy background.
+  for (size_t i = 0; i < config.genes; ++i) {
+    for (size_t j = 0; j < config.conditions; ++j) {
+      m.Set(i, j, rng.Uniform(config.value_lo, config.value_hi));
+    }
+  }
+
+  // Planted coexpressed blocks. Gene sets are drawn from a shared
+  // shuffled pool so blocks do not overlap in genes -- a later block
+  // overwriting entries of an earlier one would destroy the earlier
+  // block's coherence. (Conditions may overlap freely; with disjoint
+  // genes no entry is written twice.)
+  std::vector<size_t> gene_pool(config.genes);
+  for (size_t g = 0; g < config.genes; ++g) gene_pool[g] = g;
+  rng.Shuffle(gene_pool);
+  size_t pool_next = 0;
+  for (size_t b = 0; b < config.num_blocks; ++b) {
+    size_t block_genes = static_cast<size_t>(rng.UniformInt(
+        static_cast<int>(config.block_genes_min),
+        static_cast<int>(config.block_genes_max)));
+    size_t block_conditions = static_cast<size_t>(rng.UniformInt(
+        static_cast<int>(config.block_conditions_min),
+        static_cast<int>(std::min(config.block_conditions_max,
+                                  config.conditions))));
+    std::vector<size_t> genes;
+    genes.reserve(block_genes);
+    while (genes.size() < block_genes && pool_next < gene_pool.size()) {
+      genes.push_back(gene_pool[pool_next++]);
+    }
+    if (genes.size() < 2) break;  // gene pool exhausted
+    std::vector<size_t> conditions =
+        rng.SampleWithoutReplacement(config.conditions, block_conditions);
+    Cluster block = Cluster::FromMembers(config.genes, config.conditions,
+                                         genes, conditions);
+    double base = rng.Uniform(config.value_lo + config.offset_range,
+                              config.value_hi - config.offset_range);
+    PlantShiftCluster(&m, block, base, config.offset_range,
+                      config.block_noise, rng);
+    out.planted_blocks.push_back(std::move(block));
+  }
+
+  // Outlier genes: rows whose values dwarf the rest of the matrix, like
+  // CTFC3 / FUN14 in the paper's Figure 4 excerpt. Drawn from the genes
+  // left over after block assignment so planted blocks stay coherent.
+  size_t num_outliers =
+      static_cast<size_t>(config.outlier_fraction * config.genes);
+  std::vector<size_t> outliers;
+  while (outliers.size() < num_outliers && pool_next < gene_pool.size()) {
+    outliers.push_back(gene_pool[pool_next++]);
+  }
+  for (size_t i : outliers) {
+    for (size_t j = 0; j < config.conditions; ++j) {
+      if (rng.Bernoulli(0.4)) {
+        m.Set(i, j, m.Value(i, j) * config.outlier_scale);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,86 @@
+#include "src/data/movielens_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace deltaclus {
+
+MovieLensSynthDataset GenerateMovieLens(const MovieLensSynthConfig& config) {
+  Rng rng(config.seed);
+  MovieLensSynthDataset out;
+  out.matrix = DataMatrix(config.users, config.movies);
+  DataMatrix& m = out.matrix;
+
+  auto clamp_rating = [&](double r) {
+    r = std::round(r);
+    return std::clamp(r, config.rating_min, config.rating_max);
+  };
+
+  // --- Planted coherent viewer groups. ---
+  size_t group_users = std::min(config.group_users, config.users);
+  size_t group_movies = std::min(config.group_movies, config.movies);
+  for (size_t g = 0; g < config.num_groups; ++g) {
+    std::vector<size_t> users =
+        rng.SampleWithoutReplacement(config.users, group_users);
+    std::vector<size_t> movies =
+        rng.SampleWithoutReplacement(config.movies, group_movies);
+
+    // Movie profile: the group's shared opinion of each movie; user bias:
+    // how generous each user is. rating = profile + bias (+ noise), which
+    // is exactly the shift-coherence the delta-cluster model captures.
+    std::vector<double> profile(movies.size());
+    for (double& p : profile) p = rng.Uniform(3.0, 8.0);
+    std::vector<double> bias(users.size());
+    for (double& b : bias) b = rng.Uniform(-2.0, 2.0);
+
+    std::vector<size_t> member_users;
+    std::vector<size_t> member_movies(movies.begin(), movies.end());
+    for (size_t u = 0; u < users.size(); ++u) {
+      bool rated_any = false;
+      for (size_t v = 0; v < movies.size(); ++v) {
+        if (!rng.Bernoulli(config.group_fill)) continue;
+        double noise =
+            config.group_noise > 0 ? rng.Normal(0.0, config.group_noise) : 0.0;
+        m.Set(users[u], movies[v], clamp_rating(profile[v] + bias[u] + noise));
+        rated_any = true;
+      }
+      if (rated_any) member_users.push_back(users[u]);
+    }
+    out.planted_groups.push_back(Cluster::FromMembers(
+        config.users, config.movies, member_users, member_movies));
+  }
+
+  // --- Background ratings. ---
+  // First guarantee the per-user minimum, then fill towards the global
+  // target with random (user, movie) ratings.
+  for (size_t u = 0; u < config.users; ++u) {
+    size_t have = m.NumSpecifiedInRow(u);
+    size_t attempts = 0;
+    while (have < config.min_ratings_per_user &&
+           attempts < config.movies * 4) {
+      size_t v = rng.UniformIndex(config.movies);
+      ++attempts;
+      if (m.IsSpecified(u, v)) continue;
+      m.Set(u, v, clamp_rating(rng.Uniform(config.rating_min,
+                                           config.rating_max + 0.999)));
+      ++have;
+    }
+  }
+  size_t specified = m.NumSpecified();
+  size_t attempts = 0;
+  size_t max_attempts = config.target_ratings * 4;
+  while (specified < config.target_ratings && attempts < max_attempts) {
+    ++attempts;
+    size_t u = rng.UniformIndex(config.users);
+    size_t v = rng.UniformIndex(config.movies);
+    if (m.IsSpecified(u, v)) continue;
+    m.Set(u, v, clamp_rating(
+                    rng.Uniform(config.rating_min, config.rating_max + 0.999)));
+    ++specified;
+  }
+  return out;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,150 @@
+#include "src/data/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace deltaclus {
+
+namespace {
+
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+  size_t count = 0;
+};
+
+Moments RowMoments(const DataMatrix& m, size_t i) {
+  Moments out;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t j = 0; j < m.cols(); ++j) {
+    if (!m.IsSpecified(i, j)) continue;
+    double v = m.Value(i, j);
+    sum += v;
+    sum_sq += v * v;
+    ++out.count;
+  }
+  if (out.count == 0) return out;
+  out.mean = sum / out.count;
+  double var = sum_sq / out.count - out.mean * out.mean;
+  out.stddev = var > 0 ? std::sqrt(var) : 0.0;
+  return out;
+}
+
+}  // namespace
+
+DataMatrix StandardizeGlobal(const DataMatrix& matrix) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      double v = matrix.Value(i, j);
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+    }
+  }
+  DataMatrix out(matrix.rows(), matrix.cols());
+  if (count == 0) return out;
+  double mean = sum / count;
+  double var = sum_sq / count - mean * mean;
+  double scale = var > 0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      out.Set(i, j, (matrix.Value(i, j) - mean) * scale);
+    }
+  }
+  return out;
+}
+
+DataMatrix ZScoreRows(const DataMatrix& matrix) {
+  DataMatrix out(matrix.rows(), matrix.cols());
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    Moments m = RowMoments(matrix, i);
+    if (m.count == 0) continue;
+    double scale = m.stddev > 0 ? 1.0 / m.stddev : 1.0;
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      out.Set(i, j, (matrix.Value(i, j) - m.mean) * scale);
+    }
+  }
+  return out;
+}
+
+DataMatrix ZScoreCols(const DataMatrix& matrix) {
+  // Reuse the row implementation through a transpose-free direct pass.
+  DataMatrix out(matrix.rows(), matrix.cols());
+  for (size_t j = 0; j < matrix.cols(); ++j) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    size_t count = 0;
+    for (size_t i = 0; i < matrix.rows(); ++i) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      double v = matrix.Value(i, j);
+      sum += v;
+      sum_sq += v * v;
+      ++count;
+    }
+    if (count == 0) continue;
+    double mean = sum / count;
+    double var = sum_sq / count - mean * mean;
+    double scale = var > 0 ? 1.0 / std::sqrt(var) : 1.0;
+    for (size_t i = 0; i < matrix.rows(); ++i) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      out.Set(i, j, (matrix.Value(i, j) - mean) * scale);
+    }
+  }
+  return out;
+}
+
+DataMatrix RankTransformRows(const DataMatrix& matrix) {
+  DataMatrix out(matrix.rows(), matrix.cols());
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    std::vector<std::pair<double, size_t>> entries;  // (value, col)
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (matrix.IsSpecified(i, j)) entries.emplace_back(matrix.Value(i, j), j);
+    }
+    if (entries.empty()) continue;
+    if (entries.size() == 1) {
+      out.Set(i, entries[0].second, 0.5);
+      continue;
+    }
+    std::sort(entries.begin(), entries.end());
+    // Average ranks over tie groups, then map rank r in [0, n-1] to
+    // r / (n - 1).
+    size_t n = entries.size();
+    size_t t = 0;
+    while (t < n) {
+      size_t u = t;
+      while (u + 1 < n && entries[u + 1].first == entries[t].first) ++u;
+      double avg_rank = (static_cast<double>(t) + u) / 2.0;
+      double scaled = avg_rank / (n - 1);
+      for (size_t s = t; s <= u; ++s) out.Set(i, entries[s].second, scaled);
+      t = u + 1;
+    }
+  }
+  return out;
+}
+
+DataMatrix MinMaxScale(const DataMatrix& matrix, double lo, double hi) {
+  auto min = matrix.MinSpecified();
+  auto max = matrix.MaxSpecified();
+  DataMatrix out(matrix.rows(), matrix.cols());
+  if (!min || !max) return out;
+  double range = *max - *min;
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      double v = matrix.Value(i, j);
+      double scaled = range > 0 ? (v - *min) / range : 0.5;
+      out.Set(i, j, lo + scaled * (hi - lo));
+    }
+  }
+  return out;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,43 @@
+// Matrix preprocessing transforms.
+//
+// The delta-cluster model absorbs *additive* per-object/per-attribute
+// bias natively, and Section 3 prescribes a log transform for
+// multiplicative coherence (DataMatrix::LogTransformed). Real pipelines
+// often want a few more standard normalizations before mining --
+// z-scoring to compare residues across data sets, rank transforms for
+// ordinal ratings -- all missing-value-aware.
+#ifndef DELTACLUS_DATA_TRANSFORMS_H_
+#define DELTACLUS_DATA_TRANSFORMS_H_
+
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// Shifts and scales every specified entry so the matrix has (global)
+/// mean 0 and standard deviation 1. No-op scale if the deviation is 0.
+DataMatrix StandardizeGlobal(const DataMatrix& matrix);
+
+/// Z-scores each row over its specified entries: subtract the row mean,
+/// divide by the row standard deviation (rows with zero deviation are
+/// only centered). Note: the paper explicitly warns that global per-row
+/// normalization does NOT substitute for the delta-cluster model --
+/// biases localize to clusters (Section 3) -- but z-scoring is still
+/// useful to bring heterogeneous scales together before mining.
+DataMatrix ZScoreRows(const DataMatrix& matrix);
+
+/// Z-scores each column over its specified entries.
+DataMatrix ZScoreCols(const DataMatrix& matrix);
+
+/// Replaces each row's specified entries by their ranks within the row
+/// (average rank for ties), mapped to [0, 1]. Rows with one entry map to
+/// 0.5. Useful for ordinal ratings with per-user scale quirks.
+DataMatrix RankTransformRows(const DataMatrix& matrix);
+
+/// Linearly rescales all specified entries to [lo, hi]. No-op if the
+/// matrix is constant.
+DataMatrix MinMaxScale(const DataMatrix& matrix, double lo = 0.0,
+                       double hi = 1.0);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_DATA_TRANSFORMS_H_

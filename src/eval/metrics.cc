@@ -1,0 +1,93 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deltaclus {
+
+std::vector<uint8_t> CoveredEntries(const DataMatrix& matrix,
+                                    const std::vector<Cluster>& clusters) {
+  std::vector<uint8_t> covered(matrix.rows() * matrix.cols(), 0);
+  const uint8_t* mask = matrix.raw_mask();
+  for (const Cluster& c : clusters) {
+    for (uint32_t i : c.row_ids()) {
+      size_t off = matrix.RawIndex(i, 0);
+      for (uint32_t j : c.col_ids()) {
+        if (mask[off + j]) covered[off + j] = 1;
+      }
+    }
+  }
+  return covered;
+}
+
+MatchQuality EntryRecallPrecision(const DataMatrix& matrix,
+                                  const std::vector<Cluster>& truth,
+                                  const std::vector<Cluster>& found) {
+  std::vector<uint8_t> u = CoveredEntries(matrix, truth);
+  std::vector<uint8_t> v = CoveredEntries(matrix, found);
+  size_t u_size = 0;
+  size_t v_size = 0;
+  size_t inter = 0;
+  for (size_t idx = 0; idx < u.size(); ++idx) {
+    u_size += u[idx];
+    v_size += v[idx];
+    inter += (u[idx] & v[idx]);
+  }
+  MatchQuality q;
+  q.recall = u_size == 0 ? 0.0 : static_cast<double>(inter) / u_size;
+  q.precision = v_size == 0 ? 0.0 : static_cast<double>(inter) / v_size;
+  return q;
+}
+
+size_t AggregateVolume(const DataMatrix& matrix,
+                       const std::vector<Cluster>& clusters) {
+  size_t total = 0;
+  const uint8_t* mask = matrix.raw_mask();
+  for (const Cluster& c : clusters) {
+    for (uint32_t i : c.row_ids()) {
+      size_t off = matrix.RawIndex(i, 0);
+      for (uint32_t j : c.col_ids()) total += mask[off + j];
+    }
+  }
+  return total;
+}
+
+double ClusterDiameter(const DataMatrix& matrix, const Cluster& cluster) {
+  double sum_sq = 0.0;
+  for (uint32_t j : cluster.col_ids()) {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool seen = false;
+    for (uint32_t i : cluster.row_ids()) {
+      if (!matrix.IsSpecified(i, j)) continue;
+      double v = matrix.Value(i, j);
+      if (!seen) {
+        lo = hi = v;
+        seen = true;
+      } else {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    double extent = seen ? hi - lo : 0.0;
+    sum_sq += extent * extent;
+  }
+  return std::sqrt(sum_sq);
+}
+
+size_t FullySpecifiedRows(const DataMatrix& matrix, const Cluster& cluster) {
+  size_t count = 0;
+  for (uint32_t i : cluster.row_ids()) {
+    bool full = true;
+    for (uint32_t j : cluster.col_ids()) {
+      if (!matrix.IsSpecified(i, j)) {
+        full = false;
+        break;
+      }
+    }
+    count += full;
+  }
+  return count;
+}
+
+}  // namespace deltaclus

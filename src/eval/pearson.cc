@@ -1,0 +1,64 @@
+#include "src/eval/pearson.h"
+
+#include <cmath>
+
+namespace deltaclus {
+
+double PearsonR(const std::vector<double>& a, const std::vector<double>& b) {
+  size_t n = std::min(a.size(), b.size());
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    mean_a += a[t];
+    mean_b += b[t];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    double da = a[t] - mean_a;
+    double db = b[t] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double RowPearsonR(const DataMatrix& matrix, size_t i1, size_t i2,
+                   const std::vector<uint32_t>* cols) {
+  std::vector<double> a;
+  std::vector<double> b;
+  auto consider = [&](size_t j) {
+    if (matrix.IsSpecified(i1, j) && matrix.IsSpecified(i2, j)) {
+      a.push_back(matrix.Value(i1, j));
+      b.push_back(matrix.Value(i2, j));
+    }
+  };
+  if (cols != nullptr) {
+    for (uint32_t j : *cols) consider(j);
+  } else {
+    for (size_t j = 0; j < matrix.cols(); ++j) consider(j);
+  }
+  return PearsonR(a, b);
+}
+
+double MeanPairwisePearson(const DataMatrix& matrix, const Cluster& cluster) {
+  const auto& rows = cluster.row_ids();
+  if (rows.size() < 2) return 0.0;
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t a = 0; a < rows.size(); ++a) {
+    for (size_t b = a + 1; b < rows.size(); ++b) {
+      sum += RowPearsonR(matrix, rows[a], rows[b], &cluster.col_ids());
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / pairs;
+}
+
+}  // namespace deltaclus

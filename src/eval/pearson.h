@@ -1,0 +1,37 @@
+// Pearson R correlation (paper Section 1).
+//
+// The paper contrasts the delta-cluster model with Pearson correlation:
+// Pearson R measures *global* shifting coherence between two objects over
+// all attributes, so it misses coherence confined to an attribute subset
+// (the two-viewers / six-movies example in the introduction). These
+// helpers exist to reproduce that discussion and for use as a reporting
+// metric.
+#ifndef DELTACLUS_EVAL_PEARSON_H_
+#define DELTACLUS_EVAL_PEARSON_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// Pearson R of two equally-sized vectors. Returns 0 when either vector
+/// has zero variance or fewer than 2 elements.
+double PearsonR(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Pearson R between rows i1 and i2 of `matrix`, computed over the columns
+/// where *both* entries are specified (pairwise-complete). If `cols` is
+/// non-null, only those columns are considered (e.g. a cluster's columns).
+double RowPearsonR(const DataMatrix& matrix, size_t i1, size_t i2,
+                   const std::vector<uint32_t>* cols = nullptr);
+
+/// Mean pairwise Pearson R among a cluster's member rows over its member
+/// columns. A perfect (zero-residue) delta-cluster scores 1 when the rows
+/// are non-constant.
+double MeanPairwisePearson(const DataMatrix& matrix, const Cluster& cluster);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_EVAL_PEARSON_H_

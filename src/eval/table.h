@@ -1,0 +1,43 @@
+// Minimal aligned text-table printer used by the experiment drivers to
+// emit tables in the shape of the paper's Tables 1-5.
+#ifndef DELTACLUS_EVAL_TABLE_H_
+#define DELTACLUS_EVAL_TABLE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deltaclus {
+
+/// Builds and prints a column-aligned text table:
+///
+///   Table t({"k", "residue"});
+///   t.AddRow({"10", TextTable::Num(10.34, 2)});
+///   t.Print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string Num(double value, int precision = 2);
+  /// Formats an integer.
+  static std::string Int(long long value);
+
+  /// Appends a data row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints the table with a separator under the header. Columns are
+  /// right-aligned except the first, which is left-aligned.
+  void Print(std::ostream& os) const;
+
+  size_t NumRows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_EVAL_TABLE_H_

@@ -1,0 +1,179 @@
+#include "src/ext/categorical.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "src/core/residue.h"
+
+namespace deltaclus {
+
+namespace {
+
+// Splits a cluster's columns into numeric and categorical id lists.
+void SplitColumns(const HybridMatrix& matrix, const Cluster& cluster,
+                  std::vector<size_t>* numeric,
+                  std::vector<size_t>* categorical) {
+  for (uint32_t j : cluster.col_ids()) {
+    if (matrix.IsCategorical(j)) {
+      categorical->push_back(j);
+    } else {
+      numeric->push_back(j);
+    }
+  }
+}
+
+}  // namespace
+
+double CategoricalMismatch(const HybridMatrix& matrix,
+                           const Cluster& cluster) {
+  const DataMatrix& m = matrix.values;
+  double mismatches = 0;
+  size_t specified = 0;
+  for (uint32_t j : cluster.col_ids()) {
+    if (!matrix.IsCategorical(j)) continue;
+    // In-cluster mode of column j.
+    std::map<double, size_t> counts;
+    for (uint32_t i : cluster.row_ids()) {
+      if (m.IsSpecified(i, j)) ++counts[m.Value(i, j)];
+    }
+    if (counts.empty()) continue;
+    size_t mode_count = 0;
+    size_t total = 0;
+    for (const auto& [value, count] : counts) {
+      mode_count = std::max(mode_count, count);
+      total += count;
+    }
+    specified += total;
+    mismatches += static_cast<double>(total - mode_count);
+  }
+  return specified == 0 ? 0.0 : mismatches / specified;
+}
+
+double HybridResidue(const HybridMatrix& matrix, const Cluster& cluster,
+                     double categorical_weight) {
+  std::vector<size_t> numeric;
+  std::vector<size_t> categorical;
+  SplitColumns(matrix, cluster, &numeric, &categorical);
+
+  double numeric_residue = 0.0;
+  if (!numeric.empty()) {
+    Cluster numeric_view = Cluster::FromMembers(
+        cluster.parent_rows(), cluster.parent_cols(),
+        std::vector<size_t>(cluster.row_ids().begin(),
+                            cluster.row_ids().end()),
+        numeric);
+    numeric_residue = ClusterResidueNaive(matrix.values, numeric_view);
+  }
+  return numeric_residue +
+         categorical_weight * CategoricalMismatch(matrix, cluster);
+}
+
+HybridMinerResult MineHybridClusters(const HybridMatrix& matrix,
+                                     const HybridMinerConfig& config) {
+  const DataMatrix& m = matrix.values;
+  size_t rows = m.rows();
+  size_t cols = m.cols();
+  Rng rng(config.rng_seed);
+  HybridMinerResult result;
+
+  auto score = [&](const Cluster& c) {
+    size_t volume = VolumeNaive(m, c);
+    double vol_bonus =
+        config.target_residue > 0
+            ? config.target_residue *
+                  std::log(static_cast<double>(std::max<size_t>(volume, 1)))
+            : 0.0;
+    return HybridResidue(matrix, c, config.categorical_weight) - vol_bonus;
+  };
+
+  // Seeds.
+  std::vector<Cluster> clusters;
+  for (size_t k = 0; k < config.num_clusters; ++k) {
+    Cluster c(rows, cols);
+    for (size_t i = 0; i < rows; ++i) {
+      if (rng.Bernoulli(config.row_probability)) c.AddRow(i);
+    }
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(config.col_probability)) c.AddCol(j);
+    }
+    while (c.NumRows() < std::min(config.min_rows, rows)) {
+      size_t i = rng.UniformIndex(rows);
+      if (!c.HasRow(i)) c.AddRow(i);
+    }
+    while (c.NumCols() < std::min(config.min_cols, cols)) {
+      size_t j = rng.UniformIndex(cols);
+      if (!c.HasCol(j)) c.AddCol(j);
+    }
+    clusters.push_back(std::move(c));
+  }
+
+  // Greedy coordinate sweeps.
+  for (size_t sweep = 0; sweep < config.max_sweeps; ++sweep) {
+    ++result.sweeps;
+    bool changed = false;
+    for (Cluster& c : clusters) {
+      double current = score(c);
+      for (size_t i = 0; i < rows; ++i) {
+        bool removing = c.HasRow(i);
+        if (removing && c.NumRows() <= config.min_rows) continue;
+        c.ToggleRow(i);
+        double candidate = score(c);
+        if (candidate < current - 1e-12) {
+          current = candidate;
+          changed = true;
+        } else {
+          c.ToggleRow(i);  // revert
+        }
+      }
+      for (size_t j = 0; j < cols; ++j) {
+        bool removing = c.HasCol(j);
+        if (removing && c.NumCols() <= config.min_cols) continue;
+        c.ToggleCol(j);
+        double candidate = score(c);
+        if (candidate < current - 1e-12) {
+          current = candidate;
+          changed = true;
+        } else {
+          c.ToggleCol(j);
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.clusters = std::move(clusters);
+  result.residues.reserve(result.clusters.size());
+  for (const Cluster& c : result.clusters) {
+    result.residues.push_back(
+        HybridResidue(matrix, c, config.categorical_weight));
+  }
+  return result;
+}
+
+void PlantHybridCluster(HybridMatrix* matrix, const Cluster& members,
+                        double base, double offset_range, Rng& rng,
+                        size_t categorical_cardinality) {
+  DataMatrix& m = matrix->values;
+  std::vector<double> row_offset(members.NumRows());
+  for (double& v : row_offset) v = rng.Uniform(-offset_range, offset_range);
+
+  const auto& rows = members.row_ids();
+  const auto& cols = members.col_ids();
+  for (size_t c = 0; c < cols.size(); ++c) {
+    uint32_t j = cols[c];
+    if (matrix->IsCategorical(j)) {
+      double code = static_cast<double>(
+          rng.UniformIndex(std::max<size_t>(categorical_cardinality, 1)));
+      for (uint32_t i : rows) m.Set(i, j, code);
+    } else {
+      double col_offset = rng.Uniform(-offset_range, offset_range);
+      for (size_t r = 0; r < rows.size(); ++r) {
+        m.Set(rows[r], j, base + row_offset[r] + col_offset);
+      }
+    }
+  }
+}
+
+}  // namespace deltaclus

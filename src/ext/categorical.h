@@ -1,0 +1,108 @@
+// Categorical and hybrid delta-clusters -- the extension the paper
+// explicitly defers to its full version ("In general, the attributes can
+// take either numerical or categorical values... The scenario of having
+// categorical attributes or even hybrid attribute types is left to the
+// full version of this paper", Section 3, footnote 2).
+//
+// Model. Shifting coherence has no meaning for categorical values, so on
+// a categorical attribute a cluster is coherent when its member objects
+// *agree*: the natural analogue of the residue is the per-entry mismatch
+// against the column's in-cluster mode,
+//     r_ij = [ d_ij != mode_j(I) ]          (missing entries contribute 0)
+// and the categorical residue of a cluster is the mean mismatch over its
+// specified categorical entries -- 0 for perfect agreement, approaching
+// 1 - 1/#values for random data. For hybrid matrices the combined
+// objective is
+//     residue(c) = numeric_residue(c) + categorical_weight * mismatch(c)
+// with the numeric part computed by the ordinary engine over the numeric
+// columns only. Occupancy, volume and all Cluster machinery carry over
+// unchanged; categorical values are stored as non-negative integer codes
+// in the same DataMatrix.
+#ifndef DELTACLUS_EXT_CATEGORICAL_H_
+#define DELTACLUS_EXT_CATEGORICAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/data_matrix.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+
+/// Column types of a hybrid matrix.
+enum class ColumnType : uint8_t { kNumeric = 0, kCategorical = 1 };
+
+/// A DataMatrix plus per-column types. Categorical entries hold integer
+/// codes (stored as doubles; values are compared exactly).
+struct HybridMatrix {
+  DataMatrix values;
+  std::vector<ColumnType> column_types;
+
+  HybridMatrix() : values(0, 0) {}
+  HybridMatrix(DataMatrix v, std::vector<ColumnType> t)
+      : values(std::move(v)), column_types(std::move(t)) {}
+
+  bool IsCategorical(size_t j) const {
+    return column_types[j] == ColumnType::kCategorical;
+  }
+};
+
+/// Mean mismatch of the cluster's specified *categorical* entries against
+/// their column's in-cluster mode. Returns 0 when the cluster touches no
+/// categorical entries.
+double CategoricalMismatch(const HybridMatrix& matrix, const Cluster& cluster);
+
+/// Combined hybrid residue: mean absolute numeric residue over the
+/// cluster's numeric columns plus `categorical_weight` times the
+/// categorical mismatch. With no categorical columns this equals the
+/// ordinary residue; with no numeric columns it is the weighted mismatch.
+double HybridResidue(const HybridMatrix& matrix, const Cluster& cluster,
+                     double categorical_weight = 1.0);
+
+/// Configuration for the hybrid miner.
+struct HybridMinerConfig {
+  size_t num_clusters = 10;
+  /// Seed inclusion probabilities (as in FLOC phase 1).
+  double row_probability = 0.05;
+  double col_probability = 0.2;
+  /// Weight of the categorical mismatch in the objective.
+  double categorical_weight = 1.0;
+  /// Volume-seeking target (same semantics as FlocConfig::target_residue;
+  /// must be > 0 for growth).
+  double target_residue = 0.5;
+  /// Minimum cluster dimensions.
+  size_t min_rows = 2;
+  size_t min_cols = 2;
+  /// Greedy sweeps over (clusters x rows+cols) until no sweep improves.
+  size_t max_sweeps = 30;
+  uint64_t rng_seed = 1;
+};
+
+/// Result of a hybrid mining run.
+struct HybridMinerResult {
+  std::vector<Cluster> clusters;
+  std::vector<double> residues;  // HybridResidue of each cluster
+  size_t sweeps = 0;
+};
+
+/// A greedy coordinate-sweep miner for hybrid delta-clusters: seeds k
+/// random clusters, then repeatedly applies, per cluster, every
+/// membership toggle that improves score(c) = hybrid_residue(c)
+/// - target * ln(volume(c)). Simpler than full FLOC (no orderings /
+/// constraints beyond minimum sizes) -- this is the reference
+/// implementation of the model extension, not a tuned search.
+HybridMinerResult MineHybridClusters(const HybridMatrix& matrix,
+                                     const HybridMinerConfig& config);
+
+/// Test/demo helper: plants a coherent hybrid block into `matrix`
+/// (shift-coherent values on its numeric columns, one agreed code per
+/// categorical column) over the given members.
+void PlantHybridCluster(HybridMatrix* matrix, const Cluster& members,
+                        double base, double offset_range, Rng& rng,
+                        size_t categorical_cardinality = 5);
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_EXT_CATEGORICAL_H_

@@ -1,0 +1,98 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace deltaclus {
+
+FlagParser::FlagParser(const std::vector<std::string>& args) {
+  for (size_t t = 0; t < args.size(); ++t) {
+    const std::string& token = args[t];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(token);
+      continue;
+    }
+    std::string body = token.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // Peek at the next token: a non-flag becomes this flag's value.
+    if (t + 1 < args.size() && args[t + 1].rfind("--", 0) != 0) {
+      values_[body] = args[t + 1];
+      ++t;
+    } else {
+      values_[body] = "";
+    }
+  }
+}
+
+FlagParser::FlagParser(int argc, char** argv)
+    : FlagParser(std::vector<std::string>(argv + (argc > 0 ? 1 : 0),
+                                          argv + argc)) {}
+
+std::optional<std::string> FlagParser::GetString(const std::string& name) {
+  claimed_.insert(name);
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> FlagParser::GetDouble(const std::string& name) {
+  auto raw = GetString(name);
+  if (!raw) return std::nullopt;
+  try {
+    size_t pos = 0;
+    double v = std::stod(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument(*raw);
+    return v;
+  } catch (const std::exception&) {
+    errors_.push_back("--" + name + ": expected a number, got '" + *raw +
+                      "'");
+    return std::nullopt;
+  }
+}
+
+std::optional<long long> FlagParser::GetInt(const std::string& name) {
+  auto raw = GetString(name);
+  if (!raw) return std::nullopt;
+  try {
+    size_t pos = 0;
+    long long v = std::stoll(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument(*raw);
+    return v;
+  } catch (const std::exception&) {
+    errors_.push_back("--" + name + ": expected an integer, got '" + *raw +
+                      "'");
+    return std::nullopt;
+  }
+}
+
+bool FlagParser::GetBool(const std::string& name) {
+  claimed_.insert(name);
+  return values_.count(name) > 0;
+}
+
+std::string FlagParser::StringOr(const std::string& name,
+                                 const std::string& def) {
+  return GetString(name).value_or(def);
+}
+
+double FlagParser::DoubleOr(const std::string& name, double def) {
+  return GetDouble(name).value_or(def);
+}
+
+long long FlagParser::IntOr(const std::string& name, long long def) {
+  return GetInt(name).value_or(def);
+}
+
+std::vector<std::string> FlagParser::Unclaimed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!claimed_.count(name)) out.push_back("--" + name);
+  }
+  return out;
+}
+
+}  // namespace deltaclus

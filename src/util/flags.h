@@ -1,0 +1,59 @@
+// Minimal command-line flag parsing for the deltaclus CLI. Supports
+// `--name=value`, `--name value`, boolean `--name`, and positional
+// arguments; unknown-flag detection is the caller's job via Unclaimed().
+#ifndef DELTACLUS_UTIL_FLAGS_H_
+#define DELTACLUS_UTIL_FLAGS_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace deltaclus {
+
+/// Parses argv once; typed getters claim flags so leftovers can be
+/// reported as errors.
+class FlagParser {
+ public:
+  /// Parses `args` (argv[0] excluded). A token starting with "--" is a
+  /// flag; "--name=v" carries its value inline, otherwise the next
+  /// non-flag token (if any) is consumed as the value; a flag without a
+  /// value is boolean. Everything else is positional.
+  explicit FlagParser(const std::vector<std::string>& args);
+
+  /// Convenience for (argc, argv) mains.
+  FlagParser(int argc, char** argv);
+
+  /// Typed getters; each records `name` as known. Getters returning
+  /// std::nullopt mean the flag was absent. Malformed numeric values
+  /// register an error.
+  std::optional<std::string> GetString(const std::string& name);
+  std::optional<double> GetDouble(const std::string& name);
+  std::optional<long long> GetInt(const std::string& name);
+  /// True if --name was present (with or without a value).
+  bool GetBool(const std::string& name);
+
+  /// Getters with defaults.
+  std::string StringOr(const std::string& name, const std::string& def);
+  double DoubleOr(const std::string& name, double def);
+  long long IntOr(const std::string& name, long long def);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never claimed by a getter.
+  std::vector<std::string> Unclaimed() const;
+
+  /// Parse errors accumulated by the typed getters.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> values_;  // "" = boolean presence
+  std::set<std::string> claimed_;
+  std::vector<std::string> positional_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_UTIL_FLAGS_H_

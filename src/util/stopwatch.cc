@@ -1,0 +1,9 @@
+#include "src/util/stopwatch.h"
+
+namespace deltaclus {
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(Clock::now() - start_).count();
+}
+
+}  // namespace deltaclus

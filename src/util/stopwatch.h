@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the experiment drivers to report response
+// times in the shape of the paper's Tables 3 and Figures 8-10.
+#ifndef DELTACLUS_UTIL_STOPWATCH_H_
+#define DELTACLUS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace deltaclus {
+
+/// Measures elapsed wall-clock time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_UTIL_STOPWATCH_H_

@@ -1,0 +1,160 @@
+#include "src/baseline/bron_kerbosch.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+using CliqueSet = std::set<std::vector<size_t>>;
+
+CliqueSet ToSet(const std::vector<std::vector<size_t>>& cliques) {
+  return CliqueSet(cliques.begin(), cliques.end());
+}
+
+// Brute-force maximal clique enumeration for cross-checking.
+CliqueSet BruteForceMaximalCliques(const UndirectedGraph& g,
+                                   size_t min_size) {
+  size_t n = g.num_vertices();
+  std::vector<std::vector<size_t>> cliques;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<size_t> members;
+    for (size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) members.push_back(v);
+    }
+    bool clique = true;
+    for (size_t a = 0; a < members.size() && clique; ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        if (!g.HasEdge(members[a], members[b])) {
+          clique = false;
+          break;
+        }
+      }
+    }
+    if (!clique) continue;
+    // Maximal: no vertex outside connects to all members.
+    bool maximal = true;
+    for (size_t v = 0; v < n && maximal; ++v) {
+      if (mask & (1u << v)) continue;
+      bool connects_all = true;
+      for (size_t u : members) {
+        if (!g.HasEdge(v, u)) {
+          connects_all = false;
+          break;
+        }
+      }
+      if (connects_all) maximal = false;
+    }
+    if (maximal && members.size() >= min_size) cliques.push_back(members);
+  }
+  return ToSet(cliques);
+}
+
+TEST(UndirectedGraphTest, EdgesAreSymmetric) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 2);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(0, 1));
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 1u);
+  EXPECT_EQ(g.Degree(1), 0u);
+}
+
+TEST(BronKerboschTest, TriangleIsOneClique) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  auto cliques = MaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(BronKerboschTest, PathHasEdgeCliques) {
+  UndirectedGraph g(4);  // path 0-1-2-3
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  auto cliques = ToSet(MaximalCliques(g));
+  CliqueSet expected = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(cliques, expected);
+}
+
+TEST(BronKerboschTest, EmptyGraphYieldsSingletons) {
+  UndirectedGraph g(3);
+  auto cliques = ToSet(MaximalCliques(g));
+  CliqueSet expected = {{0}, {1}, {2}};
+  EXPECT_EQ(cliques, expected);
+}
+
+TEST(BronKerboschTest, MinSizeFilters) {
+  UndirectedGraph g(5);  // triangle + isolated edge
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 4);
+  auto cliques = ToSet(MaximalCliques(g, 3));
+  CliqueSet expected = {{0, 1, 2}};
+  EXPECT_EQ(cliques, expected);
+}
+
+TEST(BronKerboschTest, MaxCliquesCapStopsEnumeration) {
+  // A complete bipartite-ish structure with many maximal cliques.
+  UndirectedGraph g(10);
+  for (size_t a = 0; a < 5; ++a) {
+    for (size_t b = 5; b < 10; ++b) g.AddEdge(a, b);
+  }
+  auto all = MaximalCliques(g);
+  EXPECT_GT(all.size(), 3u);
+  auto capped = MaximalCliques(g, 1, 3);
+  EXPECT_EQ(capped.size(), 3u);
+}
+
+TEST(BronKerboschTest, TwoOverlappingCliques) {
+  // The paper's Figure 7(b)-style situation: conditions {1I, 1D, 2B}
+  // form a clique in the attribute graph.
+  UndirectedGraph g(5);
+  // Clique {0,1,2} and clique {2,3,4}.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  g.AddEdge(2, 4);
+  auto cliques = ToSet(MaximalCliques(g, 3));
+  CliqueSet expected = {{0, 1, 2}, {2, 3, 4}};
+  EXPECT_EQ(cliques, expected);
+}
+
+TEST(BronKerboschTest, MatchesBruteForceOnRandomGraphs) {
+  Rng rng(42);
+  for (int rep = 0; rep < 30; ++rep) {
+    size_t n = 4 + rng.UniformIndex(5);  // 4..8 vertices
+    UndirectedGraph g(n);
+    for (size_t a = 0; a < n; ++a) {
+      for (size_t b = a + 1; b < n; ++b) {
+        if (rng.Bernoulli(0.5)) g.AddEdge(a, b);
+      }
+    }
+    EXPECT_EQ(ToSet(MaximalCliques(g)), BruteForceMaximalCliques(g, 1))
+        << "rep " << rep << " n=" << n;
+  }
+}
+
+TEST(BronKerboschTest, CompleteGraphIsOneClique) {
+  UndirectedGraph g(7);
+  for (size_t a = 0; a < 7; ++a) {
+    for (size_t b = a + 1; b < 7; ++b) g.AddEdge(a, b);
+  }
+  auto cliques = MaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 7u);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,159 @@
+#include "src/ext/categorical.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/residue.h"
+#include "src/eval/metrics.h"
+
+namespace deltaclus {
+namespace {
+
+// A hybrid matrix: first `numeric` columns numeric, rest categorical.
+HybridMatrix MakeHybrid(size_t rows, size_t numeric, size_t categorical,
+                        uint64_t seed, size_t cardinality = 5) {
+  Rng rng(seed);
+  size_t cols = numeric + categorical;
+  DataMatrix m(rows, cols);
+  std::vector<ColumnType> types(cols, ColumnType::kNumeric);
+  for (size_t j = numeric; j < cols; ++j) {
+    types[j] = ColumnType::kCategorical;
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (j < numeric) {
+        m.Set(i, j, rng.Uniform(0, 100));
+      } else {
+        m.Set(i, j, static_cast<double>(rng.UniformIndex(cardinality)));
+      }
+    }
+  }
+  return HybridMatrix(std::move(m), std::move(types));
+}
+
+TEST(CategoricalTest, PerfectAgreementHasZeroMismatch) {
+  HybridMatrix h = MakeHybrid(10, 0, 4, 1);
+  // Make rows 0..4 agree on all four columns.
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 4; ++j) h.values.Set(i, j, 2.0);
+  }
+  Cluster c = Cluster::FromMembers(10, 4, {0, 1, 2, 3, 4}, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(CategoricalMismatch(h, c), 0.0);
+}
+
+TEST(CategoricalTest, SingleDissenterMismatch) {
+  HybridMatrix h = MakeHybrid(6, 0, 1, 2);
+  for (size_t i = 0; i < 5; ++i) h.values.Set(i, 0, 1.0);
+  h.values.Set(5, 0, 3.0);  // dissenting row
+  Cluster c =
+      Cluster::FromMembers(6, 1, {0, 1, 2, 3, 4, 5}, {0});
+  EXPECT_NEAR(CategoricalMismatch(h, c), 1.0 / 6.0, 1e-12);
+}
+
+TEST(CategoricalTest, MissingEntriesExcluded) {
+  HybridMatrix h = MakeHybrid(4, 0, 1, 3);
+  h.values.Set(0, 0, 1.0);
+  h.values.Set(1, 0, 1.0);
+  h.values.Set(2, 0, 2.0);
+  h.values.SetMissing(3, 0);
+  Cluster c = Cluster::FromMembers(4, 1, {0, 1, 2, 3}, {0});
+  EXPECT_NEAR(CategoricalMismatch(h, c), 1.0 / 3.0, 1e-12);
+}
+
+TEST(CategoricalTest, MismatchIgnoresNumericColumns) {
+  HybridMatrix h = MakeHybrid(5, 2, 1, 4);
+  for (size_t i = 0; i < 5; ++i) h.values.Set(i, 2, 0.0);  // all agree
+  Cluster c = Cluster::FromMembers(5, 3, {0, 1, 2, 3, 4}, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(CategoricalMismatch(h, c), 0.0);
+}
+
+TEST(CategoricalTest, HybridResidueCombinesBothParts) {
+  HybridMatrix h = MakeHybrid(6, 2, 1, 5);
+  // Numeric part: shift-coherent (residue 0). Categorical: one dissenter.
+  for (size_t i = 0; i < 6; ++i) {
+    h.values.Set(i, 0, 10.0 + static_cast<double>(i));
+    h.values.Set(i, 1, 20.0 + static_cast<double>(i));
+    h.values.Set(i, 2, i == 5 ? 4.0 : 1.0);
+  }
+  Cluster c = Cluster::FromMembers(6, 3, {0, 1, 2, 3, 4, 5}, {0, 1, 2});
+  EXPECT_NEAR(HybridResidue(h, c, 1.0), 1.0 / 6.0, 1e-9);
+  EXPECT_NEAR(HybridResidue(h, c, 3.0), 3.0 / 6.0, 1e-9);
+}
+
+TEST(CategoricalTest, PurelyNumericEqualsOrdinaryResidue) {
+  HybridMatrix h = MakeHybrid(8, 4, 0, 6);
+  Rng rng(7);
+  Cluster c = Cluster::FromMembers(8, 4, rng.SampleWithoutReplacement(8, 4),
+                                   rng.SampleWithoutReplacement(4, 3));
+  EXPECT_NEAR(HybridResidue(h, c, 1.0), ClusterResidueNaive(h.values, c),
+              1e-12);
+}
+
+TEST(CategoricalTest, PlantHybridClusterIsPerfect) {
+  HybridMatrix h = MakeHybrid(40, 4, 3, 8);
+  Rng rng(9);
+  Cluster block = Cluster::FromMembers(
+      40, 7, rng.SampleWithoutReplacement(40, 12), {0, 1, 4, 5});
+  PlantHybridCluster(&h, block, 50.0, 20.0, rng);
+  EXPECT_NEAR(HybridResidue(h, block, 1.0), 0.0, 1e-9);
+}
+
+TEST(CategoricalTest, MinerRecoversPlantedHybridBlock) {
+  HybridMatrix h = MakeHybrid(120, 6, 4, 10);
+  Rng rng(11);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < 30; ++i) rows.push_back(i);
+  Cluster block =
+      Cluster::FromMembers(120, 10, rows, {0, 1, 2, 6, 7});
+  PlantHybridCluster(&h, block, 50.0, 15.0, rng);
+
+  HybridMinerConfig config;
+  config.num_clusters = 8;
+  config.row_probability = 0.1;
+  config.col_probability = 0.3;
+  config.target_residue = 0.5;
+  config.min_rows = 4;
+  config.min_cols = 3;
+  config.rng_seed = 13;
+  HybridMinerResult result = MineHybridClusters(h, config);
+  ASSERT_EQ(result.clusters.size(), 8u);
+  MatchQuality q =
+      EntryRecallPrecision(h.values, {block}, result.clusters);
+  EXPECT_GT(q.recall, 0.5);
+}
+
+TEST(CategoricalTest, MinerRespectsMinSizes) {
+  HybridMatrix h = MakeHybrid(50, 3, 3, 12);
+  HybridMinerConfig config;
+  config.num_clusters = 4;
+  config.min_rows = 3;
+  config.min_cols = 3;
+  config.rng_seed = 14;
+  HybridMinerResult result = MineHybridClusters(h, config);
+  for (const Cluster& c : result.clusters) {
+    EXPECT_GE(c.NumRows(), 3u);
+    EXPECT_GE(c.NumCols(), 3u);
+  }
+}
+
+TEST(CategoricalTest, MinerIsDeterministic) {
+  HybridMatrix h = MakeHybrid(60, 4, 2, 15);
+  HybridMinerConfig config;
+  config.num_clusters = 3;
+  config.rng_seed = 16;
+  config.max_sweeps = 5;
+  HybridMinerResult a = MineHybridClusters(h, config);
+  HybridMinerResult b = MineHybridClusters(h, config);
+  for (size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_TRUE(a.clusters[c] == b.clusters[c]);
+  }
+}
+
+TEST(CategoricalTest, EmptyCategoricalColumnsContributeNothing) {
+  HybridMatrix h = MakeHybrid(5, 1, 1, 17);
+  for (size_t i = 0; i < 5; ++i) h.values.SetMissing(i, 1);
+  Cluster c = Cluster::FromMembers(5, 2, {0, 1, 2}, {0, 1});
+  EXPECT_DOUBLE_EQ(CategoricalMismatch(h, c), 0.0);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,154 @@
+// In-process tests of the command-line interface (RunCli). Files go to
+// gtest's temp dir.
+#include "src/cli/cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/data/cluster_io.h"
+#include "src/data/matrix_io.h"
+
+namespace deltaclus {
+namespace {
+
+struct CliRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliRun RunCliArgs(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  int code = RunCli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string Tmp(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, NoArgumentsIsUsageError) {
+  CliRun r = RunCliArgs({});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("deltaclus_cli"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  CliRun r = RunCliArgs({"help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("commands:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CliRun r = RunCliArgs({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, UnknownFlagIsReported) {
+  CliRun r = RunCliArgs({"generate", "--bogus=1", "--out", Tmp("x.csv")});
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("--bogus"), std::string::npos);
+}
+
+TEST(CliTest, GenerateToStdout) {
+  CliRun r = RunCliArgs({"generate", "--rows=5", "--cols=4", "--clusters=1",
+                  "--seed=3"});
+  EXPECT_EQ(r.exit_code, 0);
+  std::istringstream ss(r.out);
+  DataMatrix m = ReadCsv(ss);
+  EXPECT_EQ(m.rows(), 5u);
+  EXPECT_EQ(m.cols(), 4u);
+}
+
+TEST(CliTest, GenerateWritesFiles) {
+  std::string matrix_path = Tmp("cli_gen.csv");
+  std::string truth_path = Tmp("cli_truth.txt");
+  CliRun r = RunCliArgs({"generate", "--rows=40", "--cols=12", "--clusters=2",
+                  "--seed=5", "--out", matrix_path, "--truth-out",
+                  truth_path});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  DataMatrix m = ReadCsvFile(matrix_path);
+  EXPECT_EQ(m.rows(), 40u);
+  std::vector<Cluster> truth = ReadClustersFile(truth_path, 40, 12);
+  EXPECT_EQ(truth.size(), 2u);
+}
+
+TEST(CliTest, EndToEndMineStatsHoldout) {
+  std::string matrix_path = Tmp("cli_e2e.csv");
+  std::string truth_path = Tmp("cli_e2e_truth.txt");
+  std::string found_path = Tmp("cli_e2e_found.txt");
+
+  ASSERT_EQ(RunCliArgs({"generate", "--rows=150", "--cols=25", "--clusters=2",
+                 "--noise=0.5", "--volume-mean=150", "--seed=9", "--out",
+                 matrix_path, "--truth-out", truth_path})
+                .exit_code,
+            0);
+
+  CliRun mine = RunCliArgs({"mine", "--input", matrix_path, "--k=8",
+                     "--target-residue=1.0", "--min-rows=4", "--min-cols=3",
+                     "--reseed=2", "--seed=11", "--out", found_path});
+  ASSERT_EQ(mine.exit_code, 0) << mine.err;
+  EXPECT_NE(mine.out.find("average residue"), std::string::npos);
+
+  CliRun stats = RunCliArgs({"stats", "--input", matrix_path, "--clusters",
+                      found_path, "--truth", truth_path});
+  ASSERT_EQ(stats.exit_code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("vs truth"), std::string::npos);
+
+  CliRun holdout = RunCliArgs({"holdout", "--input", matrix_path, "--clusters",
+                        found_path, "--fraction=0.1", "--seed=13"});
+  ASSERT_EQ(holdout.exit_code, 0) << holdout.err;
+  EXPECT_NE(holdout.out.find("RMSE"), std::string::npos);
+}
+
+TEST(CliTest, ImputeFillsMissing) {
+  std::string matrix_path = Tmp("cli_imp.csv");
+  std::string clusters_path = Tmp("cli_imp_clusters.txt");
+  std::string out_path = Tmp("cli_imp_out.csv");
+
+  // A small perfect cluster with one missing entry.
+  DataMatrix m(6, 5, 0.0);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      m.Set(i, j, 10.0 + 2.0 * i + 3.0 * j);
+    }
+  }
+  m.SetMissing(1, 2);
+  WriteCsvFile(m, matrix_path);
+  WriteClustersFile(
+      {Cluster::FromMembers(6, 5, {0, 1, 2, 3}, {0, 1, 2, 3})},
+      clusters_path);
+
+  CliRun r = RunCliArgs({"impute", "--input", matrix_path, "--clusters",
+                  clusters_path, "--out", out_path});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  DataMatrix imputed = ReadCsvFile(out_path);
+  ASSERT_TRUE(imputed.IsSpecified(1, 2));
+  // Bases are means over *specified* entries, so one missing entry
+  // biases them slightly (cf. Figure 3(b)); the prediction is close but
+  // not exact.
+  EXPECT_NEAR(imputed.Value(1, 2), 10.0 + 2.0 + 6.0, 0.3);
+}
+
+TEST(CliTest, MineMissingInputFails) {
+  CliRun r = RunCliArgs({"mine", "--input", "/nonexistent.csv", "--k=2"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+}
+
+TEST(CliTest, BadOrderingRejected) {
+  CliRun r = RunCliArgs({"mine", "--input", "/x.csv", "--ordering=sorted"});
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(CliTest, StatsRequiresFlags) {
+  CliRun r = RunCliArgs({"stats"});
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,238 @@
+#include "src/baseline/clique.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+TEST(CliqueTest, BinIndexBasics) {
+  EXPECT_EQ(BinIndex(0.0, 0.0, 10.0, 10), 0u);
+  EXPECT_EQ(BinIndex(0.99, 0.0, 10.0, 10), 0u);
+  EXPECT_EQ(BinIndex(1.0, 0.0, 10.0, 10), 1u);
+  EXPECT_EQ(BinIndex(9.5, 0.0, 10.0, 10), 9u);
+  // The max value falls in the last (closed) bin.
+  EXPECT_EQ(BinIndex(10.0, 0.0, 10.0, 10), 9u);
+  // Degenerate range.
+  EXPECT_EQ(BinIndex(5.0, 5.0, 5.0, 10), 0u);
+}
+
+TEST(CliqueTest, EmptyMatrixYieldsNothing) {
+  DataMatrix m(0, 0);
+  CliqueResult result = RunClique(m, CliqueConfig{});
+  EXPECT_TRUE(result.clusters.empty());
+  EXPECT_EQ(result.dense_units, 0u);
+}
+
+TEST(CliqueTest, SingleDenseRegionIn2D) {
+  // 100 points: 60 clustered tightly near (5, 5), 40 spread out.
+  Rng rng(1);
+  DataMatrix m(100, 2);
+  for (size_t i = 0; i < 60; ++i) {
+    m.Set(i, 0, rng.Uniform(4.8, 5.2));
+    m.Set(i, 1, rng.Uniform(4.8, 5.2));
+  }
+  for (size_t i = 60; i < 100; ++i) {
+    m.Set(i, 0, rng.Uniform(0.0, 10.0));
+    m.Set(i, 1, rng.Uniform(0.0, 10.0));
+  }
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.2;
+  CliqueResult result = RunClique(m, config);
+  // Some cluster in the full 2-d space must contain the dense blob.
+  bool found = false;
+  for (const SubspaceCluster& c : result.clusters) {
+    if (c.dims.size() != 2) continue;
+    size_t blob = 0;
+    for (size_t p : c.points) blob += (p < 60);
+    if (blob >= 50) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(result.max_level, 2u);
+}
+
+TEST(CliqueTest, FindsSubspaceNotFullSpace) {
+  // Dense only in dimension 0; dimension 1 uniform. The 1-d cluster on
+  // dim 0 must appear; no 2-d cluster should hold most of the blob.
+  Rng rng(2);
+  DataMatrix m(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    m.Set(i, 0, i < 120 ? rng.Uniform(2.0, 2.5) : rng.Uniform(0.0, 50.0));
+    m.Set(i, 1, rng.Uniform(0.0, 100.0));
+  }
+  CliqueConfig config;
+  config.num_intervals = 20;
+  config.density_threshold = 0.25;
+  CliqueResult result = RunClique(m, config);
+  bool found_1d = false;
+  for (const SubspaceCluster& c : result.clusters) {
+    if (c.dims == std::vector<size_t>{0} && c.points.size() >= 110) {
+      found_1d = true;
+    }
+  }
+  EXPECT_TRUE(found_1d);
+}
+
+TEST(CliqueTest, ConnectedUnitsMergeIntoOneCluster) {
+  // Points spread evenly along dim 0 in [0, 10): every bin is dense and
+  // adjacent, so they merge into a single 1-d cluster with all points.
+  DataMatrix m(100, 1);
+  for (size_t i = 0; i < 100; ++i) {
+    m.Set(i, 0, static_cast<double>(i) / 10.0);
+  }
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.05;
+  CliqueResult result = RunClique(m, config);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0].points.size(), 100u);
+}
+
+TEST(CliqueTest, SeparatedBlobsStayDistinct) {
+  // Two well-separated blobs on one dimension: two clusters.
+  Rng rng(3);
+  DataMatrix m(100, 1);
+  for (size_t i = 0; i < 50; ++i) m.Set(i, 0, rng.Uniform(0.0, 1.0));
+  for (size_t i = 50; i < 100; ++i) m.Set(i, 0, rng.Uniform(9.0, 10.0));
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.1;
+  CliqueResult result = RunClique(m, config);
+  EXPECT_EQ(result.clusters.size(), 2u);
+}
+
+TEST(CliqueTest, AprioriPruningBoundsUnits) {
+  // Uniform data: with a high threshold no unit is dense, nothing grows.
+  Rng rng(4);
+  DataMatrix m(100, 5);
+  for (size_t i = 0; i < 100; ++i) {
+    for (size_t j = 0; j < 5; ++j) m.Set(i, j, rng.Uniform(0.0, 1.0));
+  }
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.5;
+  CliqueResult result = RunClique(m, config);
+  EXPECT_EQ(result.dense_units, 0u);
+  EXPECT_TRUE(result.clusters.empty());
+}
+
+TEST(CliqueTest, MissingValuesAreExcluded) {
+  // A point missing dim 0 cannot appear in clusters over dim 0.
+  DataMatrix m(40, 1);
+  for (size_t i = 0; i < 30; ++i) m.Set(i, 0, 5.0);
+  // rows 30..39 stay missing
+  CliqueConfig config;
+  config.num_intervals = 4;
+  config.density_threshold = 0.2;
+  CliqueResult result = RunClique(m, config);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  for (size_t p : result.clusters[0].points) EXPECT_LT(p, 30u);
+}
+
+TEST(CliqueTest, MaxSubspaceDimsCapsGrowth) {
+  Rng rng(5);
+  DataMatrix m(60, 4);
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      m.Set(i, j, i < 40 ? rng.Uniform(0, 1) : rng.Uniform(0, 100));
+    }
+  }
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.3;
+  config.max_subspace_dims = 2;
+  CliqueResult result = RunClique(m, config);
+  EXPECT_LE(result.max_level, 2u);
+  for (const SubspaceCluster& c : result.clusters) {
+    EXPECT_LE(c.dims.size(), 2u);
+  }
+}
+
+TEST(CliqueTest, TruncationFlagHonoursCap) {
+  // Constant data: every dimension has one fully-dense unit, so every
+  // subspace of every dimensionality is dense -> the unit count explodes
+  // combinatorially and must hit the cap.
+  DataMatrix m(60, 8, 5.0);
+  CliqueConfig config;
+  config.num_intervals = 5;
+  config.density_threshold = 0.5;
+  config.max_dense_units = 10;
+  CliqueResult result = RunClique(m, config);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_LE(result.dense_units, 10u + 1u);
+}
+
+TEST(CliqueTest, MdlPruningKeepsDominantSubspace) {
+  // One strongly covered subspace pair {0,1} (a tight blob) and a weakly
+  // covered one {2,3}: MDL pruning should keep the dominant structure.
+  Rng rng(8);
+  DataMatrix m(200, 4);
+  for (size_t i = 0; i < 200; ++i) {
+    bool blob = i < 150;
+    m.Set(i, 0, blob ? rng.Uniform(0, 0.5) : rng.Uniform(0, 10));
+    m.Set(i, 1, blob ? rng.Uniform(0, 0.5) : rng.Uniform(0, 10));
+    bool weak = i < 40;
+    m.Set(i, 2, weak ? rng.Uniform(0, 0.5) : rng.Uniform(0, 10));
+    m.Set(i, 3, weak ? rng.Uniform(0, 0.5) : rng.Uniform(0, 10));
+  }
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.15;
+  config.mdl_pruning = true;
+  CliqueResult result = RunClique(m, config);
+  bool found_dominant = false;
+  for (const SubspaceCluster& c : result.clusters) {
+    if (c.dims == std::vector<size_t>{0, 1} && c.points.size() >= 120) {
+      found_dominant = true;
+    }
+  }
+  EXPECT_TRUE(found_dominant);
+}
+
+TEST(CliqueTest, MdlPruningNeverIncreasesUnitCount) {
+  Rng rng(9);
+  DataMatrix m(150, 6);
+  for (size_t i = 0; i < 150; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      m.Set(i, j, i < 100 ? rng.Uniform(0, 1) : rng.Uniform(0, 30));
+    }
+  }
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.2;
+  CliqueResult full = RunClique(m, config);
+  config.mdl_pruning = true;
+  CliqueResult pruned = RunClique(m, config);
+  EXPECT_LE(pruned.dense_units, full.dense_units);
+}
+
+TEST(CliqueTest, HigherDimensionalPlantedSubspace) {
+  // Blob dense in dims {0, 2} only.
+  Rng rng(7);
+  DataMatrix m(150, 4);
+  for (size_t i = 0; i < 150; ++i) {
+    bool in_blob = i < 90;
+    m.Set(i, 0, in_blob ? rng.Uniform(1.0, 1.4) : rng.Uniform(0.0, 20.0));
+    m.Set(i, 1, rng.Uniform(0.0, 20.0));
+    m.Set(i, 2, in_blob ? rng.Uniform(3.0, 3.4) : rng.Uniform(0.0, 20.0));
+    m.Set(i, 3, rng.Uniform(0.0, 20.0));
+  }
+  CliqueConfig config;
+  config.num_intervals = 10;
+  config.density_threshold = 0.3;
+  CliqueResult result = RunClique(m, config);
+  bool found = false;
+  for (const SubspaceCluster& c : result.clusters) {
+    if (c.dims == std::vector<size_t>{0, 2} && c.points.size() >= 80) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace deltaclus

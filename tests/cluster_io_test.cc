@@ -1,0 +1,80 @@
+#include "src/data/cluster_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(ClusterIoTest, RoundTrip) {
+  std::vector<Cluster> clusters = {
+      Cluster::FromMembers(10, 8, {0, 3, 7}, {1, 2}),
+      Cluster::FromMembers(10, 8, {5}, {0, 4, 6}),
+  };
+  std::stringstream ss;
+  WriteClusters(clusters, ss);
+  std::vector<Cluster> back = ReadClusters(ss, 10, 8);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_TRUE(back[0] == clusters[0]);
+  EXPECT_TRUE(back[1] == clusters[1]);
+}
+
+TEST(ClusterIoTest, EmptyListRoundTrip) {
+  std::stringstream ss;
+  WriteClusters({}, ss);
+  EXPECT_TRUE(ReadClusters(ss, 5, 5).empty());
+}
+
+TEST(ClusterIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "# a comment\n\ncluster 0\nrows 1 2\ncols 3\n\n# trailing\n");
+  std::vector<Cluster> clusters = ReadClusters(ss, 5, 5);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].NumRows(), 2u);
+  EXPECT_TRUE(clusters[0].HasCol(3));
+}
+
+TEST(ClusterIoTest, RecordWithoutClusterKeywordAccepted) {
+  std::stringstream ss("rows 0 1\ncols 0\n");
+  std::vector<Cluster> clusters = ReadClusters(ss, 3, 3);
+  ASSERT_EQ(clusters.size(), 1u);
+}
+
+TEST(ClusterIoTest, RejectsOutOfRangeIds) {
+  std::stringstream ss("cluster 0\nrows 99\ncols 0\n");
+  EXPECT_THROW(ReadClusters(ss, 10, 10), std::runtime_error);
+}
+
+TEST(ClusterIoTest, RejectsMalformedIds) {
+  std::stringstream ss("cluster 0\nrows 1 banana\ncols 0\n");
+  EXPECT_THROW(ReadClusters(ss, 10, 10), std::runtime_error);
+}
+
+TEST(ClusterIoTest, RejectsUnknownKeyword) {
+  std::stringstream ss("cluster 0\nfoo 1\n");
+  EXPECT_THROW(ReadClusters(ss, 10, 10), std::runtime_error);
+}
+
+TEST(ClusterIoTest, RejectsIncompleteRecord) {
+  std::stringstream ss("cluster 0\nrows 1 2\n");
+  EXPECT_THROW(ReadClusters(ss, 10, 10), std::runtime_error);
+}
+
+TEST(ClusterIoTest, FileRoundTrip) {
+  std::vector<Cluster> clusters = {
+      Cluster::FromMembers(6, 6, {0, 1, 2}, {3, 4, 5})};
+  std::string path = testing::TempDir() + "/deltaclus_clusters_test.txt";
+  WriteClustersFile(clusters, path);
+  std::vector<Cluster> back = ReadClustersFile(path, 6, 6);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0] == clusters[0]);
+}
+
+TEST(ClusterIoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadClustersFile("/nonexistent/clusters.txt", 4, 4),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deltaclus

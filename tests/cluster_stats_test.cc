@@ -1,0 +1,170 @@
+#include "src/core/cluster_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/data_matrix.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+// Random matrix with the given density of specified entries.
+DataMatrix RandomMatrix(size_t rows, size_t cols, double density,
+                        uint64_t seed) {
+  Rng rng(seed);
+  DataMatrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) m.Set(i, j, rng.Uniform(-100.0, 100.0));
+    }
+  }
+  return m;
+}
+
+void ExpectStatsEqual(const ClusterStats& a, const ClusterStats& b,
+                      const DataMatrix& m, const Cluster& c) {
+  EXPECT_EQ(a.Volume(), b.Volume());
+  EXPECT_NEAR(a.Total(), b.Total(), 1e-6);
+  for (uint32_t i : c.row_ids()) {
+    EXPECT_NEAR(a.RowSum(i), b.RowSum(i), 1e-6) << "row " << i;
+    EXPECT_EQ(a.RowCount(i), b.RowCount(i)) << "row " << i;
+  }
+  for (uint32_t j : c.col_ids()) {
+    EXPECT_NEAR(a.ColSum(j), b.ColSum(j), 1e-6) << "col " << j;
+    EXPECT_EQ(a.ColCount(j), b.ColCount(j)) << "col " << j;
+  }
+  (void)m;
+}
+
+TEST(ClusterStatsTest, BuildComputesSumsAndCounts) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  Cluster c = Cluster::FromMembers(3, 3, {0, 2}, {0, 2});
+  ClusterStats s;
+  s.Build(m, c);
+  EXPECT_EQ(s.Volume(), 4u);
+  EXPECT_DOUBLE_EQ(s.Total(), 1 + 3 + 7 + 9);
+  EXPECT_DOUBLE_EQ(s.RowSum(0), 4);
+  EXPECT_DOUBLE_EQ(s.RowSum(2), 16);
+  EXPECT_DOUBLE_EQ(s.ColSum(0), 8);
+  EXPECT_DOUBLE_EQ(s.ColSum(2), 12);
+  EXPECT_EQ(s.RowCount(0), 2u);
+  EXPECT_EQ(s.ColCount(2), 2u);
+}
+
+TEST(ClusterStatsTest, BasesMatchDefinition) {
+  DataMatrix m = DataMatrix::FromRows({{2, 4}, {6, 8}});
+  Cluster c = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});
+  ClusterStats s;
+  s.Build(m, c);
+  EXPECT_DOUBLE_EQ(s.RowBase(0), 3.0);
+  EXPECT_DOUBLE_EQ(s.RowBase(1), 7.0);
+  EXPECT_DOUBLE_EQ(s.ColBase(0), 4.0);
+  EXPECT_DOUBLE_EQ(s.ColBase(1), 6.0);
+  EXPECT_DOUBLE_EQ(s.ClusterBase(), 5.0);
+}
+
+TEST(ClusterStatsTest, MissingEntriesExcluded) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{1.0, std::nullopt}, {std::nullopt, 4.0}});
+  Cluster c = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});
+  ClusterStats s;
+  s.Build(m, c);
+  EXPECT_EQ(s.Volume(), 2u);
+  EXPECT_DOUBLE_EQ(s.Total(), 5.0);
+  EXPECT_DOUBLE_EQ(s.RowBase(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.RowBase(1), 4.0);
+  EXPECT_EQ(s.RowCount(0), 1u);
+  EXPECT_EQ(s.ColCount(1), 1u);
+}
+
+TEST(ClusterStatsTest, EmptyClusterHasZeroEverything) {
+  DataMatrix m(3, 3, 1.0);
+  Cluster c(3, 3);
+  ClusterStats s;
+  s.Build(m, c);
+  EXPECT_EQ(s.Volume(), 0u);
+  EXPECT_DOUBLE_EQ(s.ClusterBase(), 0.0);
+}
+
+TEST(ClusterStatsTest, ViewToggleMatchesRebuild) {
+  DataMatrix m = RandomMatrix(20, 15, 0.8, 101);
+  ClusterView view(m, Cluster::FromMembers(20, 15, {0, 1, 2}, {0, 1, 2}));
+  Rng rng(202);
+  for (int step = 0; step < 500; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      view.ToggleRow(rng.UniformIndex(20));
+    } else {
+      view.ToggleCol(rng.UniformIndex(15));
+    }
+    if (step % 25 == 0) {
+      ClusterStats reference;
+      reference.Build(m, view.cluster());
+      ExpectStatsEqual(view.stats(), reference, m, view.cluster());
+    }
+  }
+}
+
+TEST(ClusterStatsTest, ViewToggleMatchesRebuildSparse) {
+  DataMatrix m = RandomMatrix(25, 10, 0.3, 303);
+  ClusterView view(m);
+  Rng rng(404);
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      view.ToggleRow(rng.UniformIndex(25));
+    } else {
+      view.ToggleCol(rng.UniformIndex(10));
+    }
+    if (step % 20 == 0) {
+      ClusterStats reference;
+      reference.Build(m, view.cluster());
+      ExpectStatsEqual(view.stats(), reference, m, view.cluster());
+    }
+  }
+}
+
+TEST(ClusterStatsTest, ToggleRoundTripRestoresStats) {
+  DataMatrix m = RandomMatrix(10, 10, 0.7, 505);
+  ClusterView view(m, Cluster::FromMembers(10, 10, {1, 3, 5}, {2, 4, 6}));
+  double total_before = view.stats().Total();
+  size_t volume_before = view.stats().Volume();
+  view.ToggleRow(7);
+  view.ToggleRow(7);
+  view.ToggleCol(8);
+  view.ToggleCol(8);
+  EXPECT_NEAR(view.stats().Total(), total_before, 1e-9);
+  EXPECT_EQ(view.stats().Volume(), volume_before);
+}
+
+TEST(ClusterStatsTest, RowSumOverColsHelper) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{1.0, 2.0, std::nullopt, 4.0}});
+  std::vector<uint32_t> cols = {0, 2, 3};
+  double sum;
+  size_t cnt;
+  ClusterStats::RowSumOverCols(m, cols, 0, &sum, &cnt);
+  EXPECT_DOUBLE_EQ(sum, 5.0);
+  EXPECT_EQ(cnt, 2u);
+}
+
+TEST(ClusterStatsTest, ColSumOverRowsHelper) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{1.0}, {std::nullopt}, {3.0}, {5.0}});
+  std::vector<uint32_t> rows = {0, 1, 2};
+  double sum;
+  size_t cnt;
+  ClusterStats::ColSumOverRows(m, rows, 0, &sum, &cnt);
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+  EXPECT_EQ(cnt, 2u);
+}
+
+TEST(ClusterStatsTest, ViewResetRebinds) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2}, {3, 4}});
+  ClusterView view(m, Cluster::FromMembers(2, 2, {0}, {0}));
+  EXPECT_EQ(view.stats().Volume(), 1u);
+  view.Reset(Cluster::FromMembers(2, 2, {0, 1}, {0, 1}));
+  EXPECT_EQ(view.stats().Volume(), 4u);
+  EXPECT_DOUBLE_EQ(view.stats().ClusterBase(), 2.5);
+}
+
+}  // namespace
+}  // namespace deltaclus

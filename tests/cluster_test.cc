@@ -1,0 +1,113 @@
+#include "src/core/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(ClusterTest, StartsEmpty) {
+  Cluster c(5, 4);
+  EXPECT_EQ(c.parent_rows(), 5u);
+  EXPECT_EQ(c.parent_cols(), 4u);
+  EXPECT_EQ(c.NumRows(), 0u);
+  EXPECT_EQ(c.NumCols(), 0u);
+  EXPECT_TRUE(c.Empty());
+}
+
+TEST(ClusterTest, AddRemoveRow) {
+  Cluster c(5, 4);
+  c.AddRow(2);
+  EXPECT_TRUE(c.HasRow(2));
+  EXPECT_EQ(c.NumRows(), 1u);
+  c.RemoveRow(2);
+  EXPECT_FALSE(c.HasRow(2));
+  EXPECT_EQ(c.NumRows(), 0u);
+}
+
+TEST(ClusterTest, AddRemoveCol) {
+  Cluster c(5, 4);
+  c.AddCol(3);
+  EXPECT_TRUE(c.HasCol(3));
+  EXPECT_EQ(c.NumCols(), 1u);
+  c.RemoveCol(3);
+  EXPECT_FALSE(c.HasCol(3));
+}
+
+TEST(ClusterTest, MemberIdsStaySorted) {
+  Cluster c(10, 10);
+  c.AddRow(7);
+  c.AddRow(2);
+  c.AddRow(5);
+  ASSERT_EQ(c.row_ids().size(), 3u);
+  EXPECT_EQ(c.row_ids()[0], 2u);
+  EXPECT_EQ(c.row_ids()[1], 5u);
+  EXPECT_EQ(c.row_ids()[2], 7u);
+  c.RemoveRow(5);
+  ASSERT_EQ(c.row_ids().size(), 2u);
+  EXPECT_EQ(c.row_ids()[0], 2u);
+  EXPECT_EQ(c.row_ids()[1], 7u);
+}
+
+TEST(ClusterTest, ToggleFlipsMembership) {
+  Cluster c(4, 4);
+  c.ToggleRow(1);
+  EXPECT_TRUE(c.HasRow(1));
+  c.ToggleRow(1);
+  EXPECT_FALSE(c.HasRow(1));
+  c.ToggleCol(0);
+  EXPECT_TRUE(c.HasCol(0));
+  c.ToggleCol(0);
+  EXPECT_FALSE(c.HasCol(0));
+}
+
+TEST(ClusterTest, FromMembersIgnoresDuplicates) {
+  Cluster c = Cluster::FromMembers(10, 10, {1, 3, 1, 3}, {2, 2});
+  EXPECT_EQ(c.NumRows(), 2u);
+  EXPECT_EQ(c.NumCols(), 1u);
+  EXPECT_TRUE(c.HasRow(1));
+  EXPECT_TRUE(c.HasRow(3));
+  EXPECT_TRUE(c.HasCol(2));
+}
+
+TEST(ClusterTest, EmptyRequiresBothAxes) {
+  Cluster c(4, 4);
+  c.AddRow(0);
+  EXPECT_TRUE(c.Empty());  // no columns yet
+  c.AddCol(0);
+  EXPECT_FALSE(c.Empty());
+}
+
+TEST(ClusterTest, SharedRowsAndCols) {
+  Cluster a = Cluster::FromMembers(10, 10, {1, 2, 3}, {0, 1});
+  Cluster b = Cluster::FromMembers(10, 10, {2, 3, 4, 5}, {1, 2});
+  EXPECT_EQ(a.SharedRows(b), 2u);
+  EXPECT_EQ(b.SharedRows(a), 2u);
+  EXPECT_EQ(a.SharedCols(b), 1u);
+  EXPECT_EQ(b.SharedCols(a), 1u);
+}
+
+TEST(ClusterTest, SharedWithDisjointIsZero) {
+  Cluster a = Cluster::FromMembers(10, 10, {0, 1}, {0});
+  Cluster b = Cluster::FromMembers(10, 10, {8, 9}, {9});
+  EXPECT_EQ(a.SharedRows(b), 0u);
+  EXPECT_EQ(a.SharedCols(b), 0u);
+}
+
+TEST(ClusterTest, EqualityComparesMembership) {
+  Cluster a = Cluster::FromMembers(5, 5, {1, 2}, {3});
+  Cluster b = Cluster::FromMembers(5, 5, {2, 1}, {3});
+  Cluster c = Cluster::FromMembers(5, 5, {1}, {3});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ClusterTest, CopyIsIndependent) {
+  Cluster a = Cluster::FromMembers(5, 5, {1}, {1});
+  Cluster b = a;
+  b.AddRow(2);
+  EXPECT_FALSE(a.HasRow(2));
+  EXPECT_TRUE(b.HasRow(2));
+}
+
+}  // namespace
+}  // namespace deltaclus

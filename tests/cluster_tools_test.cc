@@ -1,0 +1,146 @@
+#include "src/core/cluster_tools.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+
+namespace deltaclus {
+namespace {
+
+TEST(ClusterToolsTest, SummaryFields) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, 2.0, std::nullopt},
+      {3.0, 4.0, 5.0},
+  });
+  Cluster c = Cluster::FromMembers(2, 3, {0, 1}, {0, 1, 2});
+  std::vector<ClusterSummary> s = SummarizeClusters(m, {c});
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].rows, 2u);
+  EXPECT_EQ(s[0].cols, 3u);
+  EXPECT_EQ(s[0].volume, 5u);
+  EXPECT_NEAR(s[0].occupancy, 5.0 / 6.0, 1e-12);
+  EXPECT_GE(s[0].residue, 0.0);
+  EXPECT_GT(s[0].diameter, 0.0);
+}
+
+TEST(ClusterToolsTest, OverlapFractionExtremes) {
+  Cluster a = Cluster::FromMembers(10, 10, {0, 1}, {0, 1});
+  Cluster b = Cluster::FromMembers(10, 10, {0, 1, 2}, {0, 1, 2});
+  Cluster c = Cluster::FromMembers(10, 10, {8, 9}, {8, 9});
+  EXPECT_DOUBLE_EQ(OverlapFraction(a, b), 1.0);  // a inside b
+  EXPECT_DOUBLE_EQ(OverlapFraction(a, c), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapFraction(a, a), 1.0);
+}
+
+TEST(ClusterToolsTest, OverlapFractionPartial) {
+  Cluster a = Cluster::FromMembers(10, 10, {0, 1}, {0, 1});     // 4 cells
+  Cluster b = Cluster::FromMembers(10, 10, {1, 2}, {0, 1, 2});  // 6 cells
+  // Shared 1 row x 2 cols = 2 of min(4, 6).
+  EXPECT_DOUBLE_EQ(OverlapFraction(a, b), 0.5);
+}
+
+TEST(ClusterToolsTest, RankByResidueOrdersAscending) {
+  DataMatrix m = DataMatrix::FromRows({
+      {1, 2, 90},
+      {2, 3, 10},
+      {3, 4, 50},
+  });
+  Cluster good = Cluster::FromMembers(3, 3, {0, 1, 2}, {0, 1});  // perfect
+  Cluster bad = Cluster::FromMembers(3, 3, {0, 1, 2}, {0, 2});
+  std::vector<Cluster> ranked = RankByResidue(m, {bad, good});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_TRUE(ranked[0] == good);
+  EXPECT_TRUE(ranked[1] == bad);
+}
+
+TEST(ClusterToolsTest, DeduplicateDropsNearCopies) {
+  DataMatrix m(20, 20, 1.0);
+  Cluster a = Cluster::FromMembers(20, 20, {0, 1, 2, 3}, {0, 1, 2, 3});
+  Cluster a_copy = Cluster::FromMembers(20, 20, {0, 1, 2, 3}, {0, 1, 2});
+  Cluster distinct = Cluster::FromMembers(20, 20, {10, 11}, {10, 11});
+  std::vector<Cluster> kept =
+      DeduplicateClusters(m, {a, a_copy, distinct}, 0.75);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(ClusterToolsTest, DeduplicateKeepsAllWhenDisjoint) {
+  DataMatrix m(20, 20, 1.0);
+  Cluster a = Cluster::FromMembers(20, 20, {0, 1}, {0, 1});
+  Cluster b = Cluster::FromMembers(20, 20, {5, 6}, {5, 6});
+  Cluster c = Cluster::FromMembers(20, 20, {10, 11}, {10, 11});
+  EXPECT_EQ(DeduplicateClusters(m, {a, b, c}, 0.5).size(), 3u);
+}
+
+TEST(ClusterToolsTest, FilterByResidueAndVolume) {
+  DataMatrix m = DataMatrix::FromRows({
+      {1, 2, 90},
+      {2, 3, 10},
+      {3, 4, 50},
+  });
+  Cluster good = Cluster::FromMembers(3, 3, {0, 1, 2}, {0, 1});
+  Cluster bad = Cluster::FromMembers(3, 3, {0, 1, 2}, {0, 2});
+  std::vector<Cluster> kept = FilterClusters(m, {good, bad}, 1.0);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_TRUE(kept[0] == good);
+  EXPECT_TRUE(FilterClusters(m, {good}, 1.0, 100).empty());  // volume gate
+}
+
+TEST(ClusterToolsTest, TransposeRoundTrip) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, std::nullopt, 3.0},
+      {4.0, 5.0, std::nullopt},
+  });
+  DataMatrix t = Transposed(m);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.Value(0, 0), 1.0);
+  EXPECT_FALSE(t.IsSpecified(1, 0));
+  EXPECT_DOUBLE_EQ(t.Value(2, 0), 3.0);
+  DataMatrix back = Transposed(t);
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      ASSERT_EQ(back.IsSpecified(i, j), m.IsSpecified(i, j));
+      if (m.IsSpecified(i, j)) {
+        EXPECT_DOUBLE_EQ(back.Value(i, j), m.Value(i, j));
+      }
+    }
+  }
+}
+
+TEST(ClusterToolsTest, ResidueIsTransposeInvariant) {
+  // The residue formula is symmetric in rows and columns, so the residue
+  // of (I, J) on D equals that of (J, I) on D^T -- a metamorphic
+  // property of the model.
+  SyntheticConfig sc;
+  sc.rows = 30;
+  sc.cols = 15;
+  sc.num_clusters = 2;
+  sc.noise_stddev = 3.0;
+  sc.missing_fraction = 0.2;
+  sc.seed = 3;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  DataMatrix transposed = Transposed(data.matrix);
+  Rng rng(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    Cluster c = Cluster::FromMembers(
+        30, 15, rng.SampleWithoutReplacement(30, 5 + rng.UniformIndex(10)),
+        rng.SampleWithoutReplacement(15, 3 + rng.UniformIndex(8)));
+    EXPECT_NEAR(ClusterResidueNaive(data.matrix, c),
+                ClusterResidueNaive(transposed, TransposedCluster(c)), 1e-9)
+        << "rep " << rep;
+  }
+}
+
+TEST(ClusterToolsTest, TransposedClusterSwapsAxes) {
+  Cluster c = Cluster::FromMembers(10, 20, {1, 2}, {3, 4, 5});
+  Cluster t = TransposedCluster(c);
+  EXPECT_EQ(t.parent_rows(), 20u);
+  EXPECT_EQ(t.parent_cols(), 10u);
+  EXPECT_TRUE(t.HasRow(3));
+  EXPECT_TRUE(t.HasCol(1));
+  EXPECT_EQ(t.NumRows(), 3u);
+  EXPECT_EQ(t.NumCols(), 2u);
+}
+
+}  // namespace
+}  // namespace deltaclus

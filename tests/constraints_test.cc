@@ -1,0 +1,228 @@
+#include "src/core/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/data_matrix.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+DataMatrix Dense(size_t rows, size_t cols) {
+  return DataMatrix(rows, cols, 1.0);
+}
+
+std::vector<ClusterView> MakeViews(const DataMatrix& m,
+                                   std::vector<Cluster> clusters) {
+  std::vector<ClusterView> views;
+  views.reserve(clusters.size());
+  for (Cluster& c : clusters) views.emplace_back(m, std::move(c));
+  return views;
+}
+
+TEST(ConstraintsTest, DefaultsLeaveOptionalConstraintsOff) {
+  Constraints c;
+  EXPECT_FALSE(c.overlap_active());
+  EXPECT_FALSE(c.coverage_active());
+  EXPECT_EQ(c.min_rows, 2u);
+  EXPECT_EQ(c.min_cols, 2u);
+}
+
+TEST(ConstraintsTest, MinSizeBlocksShrinkingBelowMinimum) {
+  DataMatrix m = Dense(10, 10);
+  auto views = MakeViews(m, {Cluster::FromMembers(10, 10, {0, 1}, {0, 1, 2})});
+  Constraints cons;  // min 2x2
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  // Removing a row would leave 1 row: blocked.
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 0));
+  // Adding a row is fine.
+  EXPECT_TRUE(tracker.RowToggleAllowed(views, 0, 5));
+  // Removing a column leaves 2: allowed.
+  EXPECT_TRUE(tracker.ColToggleAllowed(views, 0, 0));
+}
+
+TEST(ConstraintsTest, MaxSizeBlocksGrowth) {
+  DataMatrix m = Dense(10, 10);
+  auto views =
+      MakeViews(m, {Cluster::FromMembers(10, 10, {0, 1, 2}, {0, 1})});
+  Constraints cons;
+  cons.max_rows = 3;
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 5));
+  EXPECT_TRUE(tracker.RowToggleAllowed(views, 0, 0));  // removal fine
+}
+
+TEST(ConstraintsTest, VolumeBounds) {
+  DataMatrix m = Dense(10, 10);
+  auto views =
+      MakeViews(m, {Cluster::FromMembers(10, 10, {0, 1, 2}, {0, 1, 2})});
+  Constraints cons;
+  cons.min_volume = 9;   // exactly current volume
+  cons.max_volume = 11;  // adding a full row (3 entries) would exceed
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 0));  // would drop to 6
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 5));  // would grow to 12
+}
+
+TEST(ConstraintsTest, OccupancyBlocksSparseRowAddition) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, 2.0, 3.0},
+      {4.0, 5.0, 6.0},
+      {7.0, std::nullopt, std::nullopt},
+  });
+  auto views = MakeViews(m, {Cluster::FromMembers(3, 3, {0, 1}, {0, 1, 2})});
+  Constraints cons;
+  cons.alpha = 0.6;
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  // Row 2 is specified on only 1 of the 3 cluster columns: 1/3 < 0.6.
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 2));
+}
+
+TEST(ConstraintsTest, OccupancyBlocksColumnDilution) {
+  // Column 2 is specified for only 2 of 4 candidate rows; adding the two
+  // rows missing it would dilute its occupancy below alpha.
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, 2.0, 3.0},
+      {4.0, 5.0, 6.0},
+      {7.0, 8.0, std::nullopt},
+      {9.0, 1.0, std::nullopt},
+  });
+  auto views =
+      MakeViews(m, {Cluster::FromMembers(4, 3, {0, 1, 2}, {0, 1, 2})});
+  Constraints cons;
+  cons.alpha = 0.6;
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  // With rows {0,1,2}, col 2 has 2/3 = 0.67 >= 0.6. Adding row 3 (missing
+  // col 2) would make it 2/4 = 0.5 < 0.6: blocked.
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 3));
+}
+
+TEST(ConstraintsTest, CoverageBlocksUncoveringRemoval) {
+  DataMatrix m = Dense(4, 4);
+  auto views = MakeViews(
+      m, {Cluster::FromMembers(4, 4, {0, 1, 2}, {0, 1}),
+          Cluster::FromMembers(4, 4, {1, 2, 3}, {2, 3})});
+  Constraints cons;
+  cons.min_row_coverage = 1.0;  // every row must stay covered
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  EXPECT_DOUBLE_EQ(tracker.RowCoverage(), 1.0);
+  // Row 0 is covered only by cluster 0: removal blocked.
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 0));
+  // Row 1 is covered by both: removing from one is fine.
+  EXPECT_TRUE(tracker.RowToggleAllowed(views, 0, 1));
+}
+
+TEST(ConstraintsTest, CoverageTracksToggles) {
+  DataMatrix m = Dense(4, 4);
+  auto views = MakeViews(m, {Cluster::FromMembers(4, 4, {0, 1}, {0, 1})});
+  Constraints cons;
+  cons.min_row_coverage = 0.25;
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  EXPECT_DOUBLE_EQ(tracker.RowCoverage(), 0.5);
+  views[0].ToggleRow(2);
+  tracker.OnRowToggled(views, 0, 2);
+  EXPECT_DOUBLE_EQ(tracker.RowCoverage(), 0.75);
+  views[0].ToggleRow(2);
+  tracker.OnRowToggled(views, 0, 2);
+  EXPECT_DOUBLE_EQ(tracker.RowCoverage(), 0.5);
+}
+
+TEST(ConstraintsTest, OverlapBlocksConvergingClusters) {
+  DataMatrix m = Dense(6, 6);
+  auto views = MakeViews(
+      m, {Cluster::FromMembers(6, 6, {0, 1, 2}, {0, 1, 2}),
+          Cluster::FromMembers(6, 6, {0, 1, 3}, {0, 1, 2})});
+  Constraints cons;
+  cons.max_overlap = 0.7;
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  // Overlap now: shared rows {0,1} x shared cols {0,1,2} = 6 of min(9,9)
+  // = 0.67 <= 0.7. Adding row 3 to cluster 0 would make shared rows 3,
+  // overlap 9/9 = 1: blocked.
+  EXPECT_FALSE(tracker.RowToggleAllowed(views, 0, 3));
+  // Adding a row in neither cluster keeps shared rows at 2 and grows
+  // cluster 0: overlap 6/9 stays: allowed.
+  EXPECT_TRUE(tracker.RowToggleAllowed(views, 0, 5));
+}
+
+TEST(ConstraintsTest, OverlapCountsStayConsistentUnderToggles) {
+  DataMatrix m = Dense(12, 12);
+  Rng rng(31);
+  auto views = MakeViews(
+      m, {Cluster::FromMembers(12, 12, {0, 1, 2, 3}, {0, 1, 2, 3}),
+          Cluster::FromMembers(12, 12, {2, 3, 4, 5}, {2, 3, 4, 5}),
+          Cluster::FromMembers(12, 12, {6, 7}, {6, 7})});
+  Constraints cons;
+  cons.max_overlap = 0.99;
+  cons.min_rows = 1;
+  cons.min_cols = 1;
+  ConstraintTracker tracker(m, cons);
+  tracker.Rebuild(views);
+  // Apply random toggles through the tracker, then verify the tracked
+  // state equals a from-scratch rebuild by comparing decisions.
+  for (int step = 0; step < 200; ++step) {
+    size_t c = rng.UniformIndex(3);
+    if (rng.Bernoulli(0.5)) {
+      size_t i = rng.UniformIndex(12);
+      if (!tracker.RowToggleAllowed(views, c, i)) continue;
+      views[c].ToggleRow(i);
+      tracker.OnRowToggled(views, c, i);
+    } else {
+      size_t j = rng.UniformIndex(12);
+      if (!tracker.ColToggleAllowed(views, c, j)) continue;
+      views[c].ToggleCol(j);
+      tracker.OnColToggled(views, c, j);
+    }
+    if (step % 20 == 0) {
+      ConstraintTracker fresh(m, cons);
+      fresh.Rebuild(views);
+      for (size_t cc = 0; cc < 3; ++cc) {
+        for (size_t i = 0; i < 12; ++i) {
+          EXPECT_EQ(tracker.RowToggleAllowed(views, cc, i),
+                    fresh.RowToggleAllowed(views, cc, i))
+              << "step " << step << " cluster " << cc << " row " << i;
+        }
+        for (size_t j = 0; j < 12; ++j) {
+          EXPECT_EQ(tracker.ColToggleAllowed(views, cc, j),
+                    fresh.ColToggleAllowed(views, cc, j));
+        }
+      }
+    }
+  }
+}
+
+TEST(ConstraintsTest, SatisfiesUnaryConstraintsChecksEverything) {
+  DataMatrix m = Dense(10, 10);
+  ClusterView view(m, Cluster::FromMembers(10, 10, {0, 1, 2}, {0, 1, 2}));
+  Constraints cons;
+  EXPECT_TRUE(SatisfiesUnaryConstraints(view, cons));
+  cons.min_rows = 4;
+  EXPECT_FALSE(SatisfiesUnaryConstraints(view, cons));
+  cons.min_rows = 2;
+  cons.max_volume = 8;
+  EXPECT_FALSE(SatisfiesUnaryConstraints(view, cons));
+}
+
+TEST(ConstraintsTest, SatisfiesUnaryConstraintsChecksOccupancy) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, 2.0, std::nullopt},
+      {4.0, 5.0, 6.0},
+      {7.0, 8.0, 9.0},
+  });
+  ClusterView view(m, Cluster::FromMembers(3, 3, {0, 1, 2}, {0, 1, 2}));
+  Constraints cons;
+  cons.alpha = 0.5;
+  EXPECT_TRUE(SatisfiesUnaryConstraints(view, cons));
+  cons.alpha = 0.9;  // row 0 has 2/3 < 0.9
+  EXPECT_FALSE(SatisfiesUnaryConstraints(view, cons));
+}
+
+}  // namespace
+}  // namespace deltaclus

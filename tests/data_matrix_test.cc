@@ -1,0 +1,157 @@
+#include "src/core/data_matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(DataMatrixTest, StartsAllMissing) {
+  DataMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.NumSpecified(), 0u);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_FALSE(m.IsSpecified(i, j));
+      EXPECT_FALSE(m.ValueOrMissing(i, j).has_value());
+    }
+  }
+}
+
+TEST(DataMatrixTest, FillConstructorSpecifiesEverything) {
+  DataMatrix m(2, 3, 7.5);
+  EXPECT_EQ(m.NumSpecified(), 6u);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_TRUE(m.IsSpecified(i, j));
+      EXPECT_DOUBLE_EQ(m.Value(i, j), 7.5);
+    }
+  }
+}
+
+TEST(DataMatrixTest, SetAndGetRoundTrip) {
+  DataMatrix m(2, 2);
+  m.Set(0, 1, 3.25);
+  EXPECT_TRUE(m.IsSpecified(0, 1));
+  EXPECT_DOUBLE_EQ(m.Value(0, 1), 3.25);
+  EXPECT_FALSE(m.IsSpecified(1, 0));
+}
+
+TEST(DataMatrixTest, SetMissingClearsEntry) {
+  DataMatrix m(2, 2, 1.0);
+  m.SetMissing(1, 1);
+  EXPECT_FALSE(m.IsSpecified(1, 1));
+  EXPECT_EQ(m.NumSpecified(), 3u);
+}
+
+TEST(DataMatrixTest, FromRowsBuildsCorrectly) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.Value(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m.Value(1, 2), 6);
+  EXPECT_EQ(m.NumSpecified(), 6u);
+}
+
+TEST(DataMatrixTest, FromRowsRejectsRagged) {
+  EXPECT_THROW(DataMatrix::FromRows({{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(DataMatrixTest, FromOptionalRowsHandlesMissing) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{1.0, std::nullopt, 3.0}, {std::nullopt, 5.0, 6.0}});
+  EXPECT_EQ(m.NumSpecified(), 4u);
+  EXPECT_FALSE(m.IsSpecified(0, 1));
+  EXPECT_FALSE(m.IsSpecified(1, 0));
+  EXPECT_DOUBLE_EQ(m.Value(1, 1), 5.0);
+}
+
+TEST(DataMatrixTest, RowAndColCounts) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{1.0, std::nullopt, 3.0}, {std::nullopt, std::nullopt, 6.0}});
+  EXPECT_EQ(m.NumSpecifiedInRow(0), 2u);
+  EXPECT_EQ(m.NumSpecifiedInRow(1), 1u);
+  EXPECT_EQ(m.NumSpecifiedInCol(0), 1u);
+  EXPECT_EQ(m.NumSpecifiedInCol(1), 0u);
+  EXPECT_EQ(m.NumSpecifiedInCol(2), 2u);
+}
+
+TEST(DataMatrixTest, DensityIsFractionSpecified) {
+  DataMatrix m(2, 2);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.0);
+  m.Set(0, 0, 1);
+  m.Set(1, 1, 2);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.5);
+}
+
+TEST(DataMatrixTest, LogTransformAppliesElementwise) {
+  DataMatrix m = DataMatrix::FromRows({{1.0, std::exp(1.0)}, {10.0, 100.0}});
+  DataMatrix lg = m.LogTransformed();
+  EXPECT_DOUBLE_EQ(lg.Value(0, 0), 0.0);
+  EXPECT_NEAR(lg.Value(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(lg.Value(1, 1), std::log(100.0), 1e-12);
+}
+
+TEST(DataMatrixTest, LogTransformPreservesMissing) {
+  DataMatrix m(2, 2);
+  m.Set(0, 0, 5.0);
+  DataMatrix lg = m.LogTransformed();
+  EXPECT_TRUE(lg.IsSpecified(0, 0));
+  EXPECT_FALSE(lg.IsSpecified(0, 1));
+  EXPECT_FALSE(lg.IsSpecified(1, 1));
+}
+
+TEST(DataMatrixTest, LogTransformRejectsNonPositive) {
+  DataMatrix m(1, 1, 0.0);
+  EXPECT_THROW(m.LogTransformed(), std::domain_error);
+  DataMatrix n(1, 1, -2.0);
+  EXPECT_THROW(n.LogTransformed(), std::domain_error);
+}
+
+TEST(DataMatrixTest, LogTransformTurnsAmplificationIntoShift) {
+  // Amplification coherence: row2 = 3 * row1. After log transform the two
+  // rows differ by the constant log(3) -- shifting coherence, exactly the
+  // reduction the paper prescribes in Section 3.
+  DataMatrix m = DataMatrix::FromRows({{2, 4, 8}, {6, 12, 24}});
+  DataMatrix lg = m.LogTransformed();
+  double d0 = lg.Value(1, 0) - lg.Value(0, 0);
+  double d1 = lg.Value(1, 1) - lg.Value(0, 1);
+  double d2 = lg.Value(1, 2) - lg.Value(0, 2);
+  EXPECT_NEAR(d0, std::log(3.0), 1e-12);
+  EXPECT_NEAR(d1, d0, 1e-12);
+  EXPECT_NEAR(d2, d0, 1e-12);
+}
+
+TEST(DataMatrixTest, MinMaxSpecified) {
+  DataMatrix m(2, 2);
+  EXPECT_FALSE(m.MinSpecified().has_value());
+  EXPECT_FALSE(m.MaxSpecified().has_value());
+  m.Set(0, 0, 5.0);
+  m.Set(1, 1, -2.0);
+  EXPECT_DOUBLE_EQ(*m.MinSpecified(), -2.0);
+  EXPECT_DOUBLE_EQ(*m.MaxSpecified(), 5.0);
+}
+
+TEST(DataMatrixTest, RawAccessMatchesAccessors) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2}, {3, 4}});
+  m.SetMissing(0, 1);
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  EXPECT_DOUBLE_EQ(values[m.RawIndex(1, 0)], 3);
+  EXPECT_EQ(mask[m.RawIndex(0, 1)], 0);
+  EXPECT_EQ(mask[m.RawIndex(1, 1)], 1);
+}
+
+TEST(DataMatrixTest, CopySemantics) {
+  DataMatrix a(2, 2, 1.0);
+  DataMatrix b = a;
+  b.Set(0, 0, 99.0);
+  EXPECT_DOUBLE_EQ(a.Value(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.Value(0, 0), 99.0);
+}
+
+}  // namespace
+}  // namespace deltaclus

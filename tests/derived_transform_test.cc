@@ -1,0 +1,151 @@
+#include "src/baseline/derived_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/alternative.h"
+#include "src/core/residue.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+
+namespace deltaclus {
+namespace {
+
+TEST(DerivedTransformTest, PairCountAndValues) {
+  DataMatrix m = DataMatrix::FromRows({{1, 4, 9}, {2, 6, 12}});
+  std::vector<std::pair<size_t, size_t>> pairs;
+  DataMatrix d = DerivedDifferenceMatrix(m, &pairs);
+  ASSERT_EQ(d.cols(), 3u);  // 3*2/2
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<size_t, size_t>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<size_t, size_t>{0, 2}));
+  EXPECT_EQ(pairs[2], (std::pair<size_t, size_t>{1, 2}));
+  EXPECT_DOUBLE_EQ(d.Value(0, 0), 1 - 4);
+  EXPECT_DOUBLE_EQ(d.Value(0, 1), 1 - 9);
+  EXPECT_DOUBLE_EQ(d.Value(0, 2), 4 - 9);
+  EXPECT_DOUBLE_EQ(d.Value(1, 2), 6 - 12);
+}
+
+TEST(DerivedTransformTest, MissingPropagates) {
+  DataMatrix m = DataMatrix::FromOptionalRows({{1.0, std::nullopt, 3.0}});
+  DataMatrix d = DerivedDifferenceMatrix(m, nullptr);
+  EXPECT_FALSE(d.IsSpecified(0, 0));  // involves missing col 1
+  EXPECT_TRUE(d.IsSpecified(0, 1));   // cols 0,2 both present
+  EXPECT_FALSE(d.IsSpecified(0, 2));
+}
+
+TEST(DerivedTransformTest, ShiftCoherentRowsAreConstantOnDerived) {
+  // Rows shifted by constants: every derived attribute is constant
+  // across the rows -- the paper's reduction (Section 4.4).
+  DataMatrix m = DataMatrix::FromRows({
+      {1, 5, 23, 12},
+      {11, 15, 33, 22},
+      {111, 115, 133, 122},
+  });
+  DataMatrix d = DerivedDifferenceMatrix(m, nullptr);
+  for (size_t t = 0; t < d.cols(); ++t) {
+    double v0 = d.Value(0, t);
+    EXPECT_DOUBLE_EQ(d.Value(1, t), v0);
+    EXPECT_DOUBLE_EQ(d.Value(2, t), v0);
+  }
+}
+
+TEST(DerivedTransformTest, CliqueGraphRecoversAttributeSet) {
+  // A subspace cluster over derived attributes {0-1, 0-2, 1-2} induces a
+  // triangle on attributes {0, 1, 2} -> one delta-cluster over them.
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  SubspaceCluster sc;
+  sc.dims = {0, 1, 3};  // pairs (0,1), (0,2), (1,2)
+  sc.points = {5, 6, 7};
+  std::vector<Cluster> clusters =
+      DeltaClustersFromSubspaceCluster(10, 4, sc, pairs, 3);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].NumRows(), 3u);
+  EXPECT_TRUE(clusters[0].HasCol(0));
+  EXPECT_TRUE(clusters[0].HasCol(1));
+  EXPECT_TRUE(clusters[0].HasCol(2));
+  EXPECT_FALSE(clusters[0].HasCol(3));
+}
+
+TEST(DerivedTransformTest, MultipleCliquesYieldMultipleClusters) {
+  std::vector<std::pair<size_t, size_t>> pairs = {
+      {0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  SubspaceCluster sc;
+  sc.dims = {0, 5};  // edges (0,1) and (2,3): two separate 2-cliques
+  sc.points = {1, 2};
+  std::vector<Cluster> clusters =
+      DeltaClustersFromSubspaceCluster(5, 4, sc, pairs, 2);
+  EXPECT_EQ(clusters.size(), 2u);
+}
+
+TEST(AlternativeTest, RecoversPerfectPlantedCluster) {
+  // One perfect (zero-noise) planted delta-cluster; the pipeline must
+  // return a cluster matching it with low residue.
+  SyntheticConfig sc;
+  sc.rows = 80;
+  sc.cols = 8;
+  sc.num_clusters = 1;
+  sc.volume_mean = 120;  // 30 rows x 4 cols
+  sc.col_fraction = 0.5;
+  sc.noise_stddev = 0.0;
+  sc.offset_range = 20.0;
+  sc.background_lo = 0;
+  sc.background_hi = 600;
+  sc.seed = 3;
+  SyntheticDataset data = GenerateSynthetic(sc);
+
+  AlternativeConfig config;
+  config.clique.num_intervals = 40;
+  config.clique.density_threshold = 0.15;
+  config.clique.max_subspace_dims = 6;
+  config.min_attributes = 3;
+  config.top_k = 3;
+  AlternativeResult result = RunAlternative(data.matrix, config);
+  ASSERT_FALSE(result.clusters.empty());
+  EXPECT_EQ(result.derived_attributes, 8u * 7 / 2);
+  // The best-ranked cluster should be (a fragment of) the planted one.
+  EXPECT_LT(result.residues[0], 1.0);
+  MatchQuality q = EntryRecallPrecision(data.matrix, data.embedded,
+                                        {result.clusters[0]});
+  EXPECT_GT(q.precision, 0.8);
+}
+
+TEST(AlternativeTest, RanksByResidue) {
+  SyntheticConfig sc;
+  sc.rows = 60;
+  sc.cols = 6;
+  sc.num_clusters = 1;
+  sc.volume_mean = 60;
+  sc.col_fraction = 0.5;
+  sc.noise_stddev = 0.0;
+  sc.seed = 5;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  AlternativeConfig config;
+  config.clique.num_intervals = 30;
+  config.clique.density_threshold = 0.1;
+  AlternativeResult result = RunAlternative(data.matrix, config);
+  for (size_t t = 1; t < result.residues.size(); ++t) {
+    EXPECT_LE(result.residues[t - 1], result.residues[t] + 1e-12);
+  }
+}
+
+TEST(AlternativeTest, TopKLimitsOutput) {
+  SyntheticConfig sc;
+  sc.rows = 60;
+  sc.cols = 6;
+  sc.num_clusters = 2;
+  sc.noise_stddev = 0.0;
+  sc.volume_mean = 60;
+  sc.col_fraction = 0.5;
+  sc.seed = 7;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  AlternativeConfig config;
+  config.clique.num_intervals = 30;
+  config.clique.density_threshold = 0.1;
+  config.top_k = 2;
+  AlternativeResult result = RunAlternative(data.matrix, config);
+  EXPECT_LE(result.clusters.size(), 2u);
+}
+
+}  // namespace
+}  // namespace deltaclus

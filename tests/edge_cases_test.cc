@@ -1,0 +1,182 @@
+// Edge cases and failure injection across the public API: degenerate
+// matrices, extreme constraint settings, adversarial cluster shapes.
+#include <gtest/gtest.h>
+
+#include "src/baseline/alternative.h"
+#include "src/core/floc.h"
+#include "src/core/residue.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+
+namespace deltaclus {
+namespace {
+
+TEST(EdgeCaseTest, FlocOnAllMissingMatrix) {
+  DataMatrix m(20, 10);  // nothing specified
+  FlocConfig config;
+  config.num_clusters = 3;
+  config.rng_seed = 1;
+  FlocResult result = Floc(config).Run(m);
+  EXPECT_EQ(result.clusters.size(), 3u);
+  for (double r : result.residues) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(EdgeCaseTest, FlocOnConstantMatrix) {
+  DataMatrix m(30, 10, 5.0);
+  FlocConfig config;
+  config.num_clusters = 2;
+  config.rng_seed = 2;
+  FlocResult result = Floc(config).Run(m);
+  // Everything is perfectly coherent; residues must be 0.
+  for (double r : result.residues) EXPECT_NEAR(r, 0.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, FlocOnTinyMatrix) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2}, {3, 4}});
+  FlocConfig config;
+  config.num_clusters = 1;
+  config.rng_seed = 3;
+  FlocResult result = Floc(config).Run(m);
+  EXPECT_EQ(result.clusters.size(), 1u);
+}
+
+TEST(EdgeCaseTest, FlocSingleColumnMatrix) {
+  Rng rng(4);
+  DataMatrix m(50, 1);
+  for (size_t i = 0; i < 50; ++i) m.Set(i, 0, rng.Uniform(0, 10));
+  FlocConfig config;
+  config.num_clusters = 2;
+  config.constraints.min_cols = 1;
+  config.rng_seed = 5;
+  FlocResult result = Floc(config).Run(m);
+  EXPECT_EQ(result.clusters.size(), 2u);
+  // A single-column cluster is trivially perfect.
+  for (double r : result.residues) EXPECT_NEAR(r, 0.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, FlocWithMoreClustersThanRows) {
+  DataMatrix m(4, 4, 1.0);
+  FlocConfig config;
+  config.num_clusters = 10;
+  config.rng_seed = 6;
+  FlocResult result = Floc(config).Run(m);
+  EXPECT_EQ(result.clusters.size(), 10u);
+}
+
+TEST(EdgeCaseTest, ImpossibleVolumeConstraintDoesNotCrash) {
+  DataMatrix m(10, 10, 1.0);
+  FlocConfig config;
+  config.num_clusters = 2;
+  config.constraints.min_volume = 1000;  // larger than the matrix
+  config.rng_seed = 7;
+  FlocResult result = Floc(config).Run(m);
+  EXPECT_EQ(result.clusters.size(), 2u);
+}
+
+TEST(EdgeCaseTest, ContradictoryMinMaxClampBehaviour) {
+  DataMatrix m(20, 20, 1.0);
+  FlocConfig config;
+  config.num_clusters = 2;
+  config.constraints.min_rows = 5;
+  config.constraints.max_rows = 5;  // exactly five rows
+  config.rng_seed = 8;
+  FlocResult result = Floc(config).Run(m);
+  for (const Cluster& c : result.clusters) {
+    EXPECT_EQ(c.NumRows(), 5u);
+  }
+}
+
+TEST(EdgeCaseTest, AlphaOneRequiresFullOccupancy) {
+  SyntheticConfig sc;
+  sc.rows = 60;
+  sc.cols = 12;
+  sc.num_clusters = 1;
+  sc.missing_fraction = 0.1;
+  sc.seed = 9;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  FlocConfig config;
+  config.num_clusters = 2;
+  config.constraints.alpha = 1.0;
+  config.rng_seed = 10;
+  FlocResult result = Floc(config).Run(data.matrix);
+  for (const Cluster& c : result.clusters) {
+    for (uint32_t i : c.row_ids()) {
+      for (uint32_t j : c.col_ids()) {
+        EXPECT_TRUE(data.matrix.IsSpecified(i, j))
+            << "entry (" << i << "," << j << ") missing at alpha=1";
+      }
+    }
+  }
+}
+
+TEST(EdgeCaseTest, ResidueWithExtremeValues) {
+  DataMatrix m = DataMatrix::FromRows({
+      {1e12, 1e12 + 1},
+      {-1e12, -1e12 + 1},
+  });
+  Cluster c = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});
+  // Shift-coherent despite the enormous magnitudes.
+  EXPECT_NEAR(ClusterResidueNaive(m, c), 0.0, 1e-3);
+}
+
+TEST(EdgeCaseTest, NegativeValuesWork) {
+  DataMatrix m = DataMatrix::FromRows({
+      {-10, -5, -20},
+      {-13, -8, -23},
+  });
+  Cluster c = Cluster::FromMembers(2, 3, {0, 1}, {0, 1, 2});
+  EXPECT_NEAR(ClusterResidueNaive(m, c), 0.0, 1e-12);
+}
+
+TEST(EdgeCaseTest, AlternativeOnTinyMatrix) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2, 3}, {2, 3, 4}, {9, 1, 5}});
+  AlternativeConfig config;
+  config.clique.num_intervals = 4;
+  config.clique.density_threshold = 0.3;
+  AlternativeResult result = RunAlternative(m, config);
+  EXPECT_EQ(result.derived_attributes, 3u);
+  // Must not crash; any clusters found must be valid.
+  for (const Cluster& c : result.clusters) {
+    EXPECT_LE(c.NumRows(), 3u);
+    EXPECT_LE(c.NumCols(), 3u);
+  }
+}
+
+TEST(EdgeCaseTest, MetricsOnEmptyMatrix) {
+  DataMatrix m(0, 0);
+  MatchQuality q = EntryRecallPrecision(m, {}, {});
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+}
+
+TEST(EdgeCaseTest, MaxIterationsZeroStillRefines) {
+  // max_iterations = 0 skips the move phase entirely; seeds go straight
+  // to refinement. Exercises the phase-boundary plumbing.
+  DataMatrix m(30, 10, 1.0);
+  FlocConfig config;
+  config.num_clusters = 2;
+  config.max_iterations = 0;
+  config.target_residue = 1.0;
+  config.rng_seed = 11;
+  FlocResult result = Floc(config).Run(m);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.clusters.size(), 2u);
+}
+
+TEST(EdgeCaseTest, DuplicateSeedsAreTolerated) {
+  SyntheticConfig sc;
+  sc.rows = 50;
+  sc.cols = 10;
+  sc.num_clusters = 1;
+  sc.seed = 12;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  Cluster seed = Cluster::FromMembers(50, 10, {0, 1, 2}, {0, 1, 2});
+  FlocConfig config;
+  config.rng_seed = 13;
+  FlocResult result =
+      Floc(config).RunWithSeeds(data.matrix, {seed, seed, seed});
+  EXPECT_EQ(result.clusters.size(), 3u);
+}
+
+}  // namespace
+}  // namespace deltaclus

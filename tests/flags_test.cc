@@ -1,0 +1,85 @@
+#include "src/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(FlagsTest, InlineValueForm) {
+  FlagParser flags({"--name=value", "--num=42"});
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetInt("num"), 42);
+}
+
+TEST(FlagsTest, SeparateValueForm) {
+  FlagParser flags({"--name", "value", "--num", "42"});
+  EXPECT_EQ(flags.GetString("name"), "value");
+  EXPECT_EQ(flags.GetInt("num"), 42);
+}
+
+TEST(FlagsTest, BooleanFlags) {
+  FlagParser flags({"--verbose", "--quick"});
+  EXPECT_TRUE(flags.GetBool("verbose"));
+  EXPECT_TRUE(flags.GetBool("quick"));
+  EXPECT_FALSE(flags.GetBool("absent"));
+}
+
+TEST(FlagsTest, BooleanFollowedByFlag) {
+  // --flag followed by another flag stays boolean.
+  FlagParser flags({"--a", "--b=1"});
+  EXPECT_TRUE(flags.GetBool("a"));
+  EXPECT_EQ(flags.GetInt("b"), 1);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagParser flags({"mine", "--k=3", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "mine");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  FlagParser flags({"--alpha=0.6", "--neg=-1.5"});
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("alpha"), 0.6);
+  EXPECT_DOUBLE_EQ(*flags.GetDouble("neg"), -1.5);
+}
+
+TEST(FlagsTest, MalformedNumbersRecordErrors) {
+  FlagParser flags({"--alpha=abc", "--k=1x"});
+  EXPECT_FALSE(flags.GetDouble("alpha").has_value());
+  EXPECT_FALSE(flags.GetInt("k").has_value());
+  EXPECT_EQ(flags.errors().size(), 2u);
+}
+
+TEST(FlagsTest, Defaults) {
+  FlagParser flags({"--present=7"});
+  EXPECT_EQ(flags.IntOr("present", 1), 7);
+  EXPECT_EQ(flags.IntOr("absent", 1), 1);
+  EXPECT_DOUBLE_EQ(flags.DoubleOr("absent", 2.5), 2.5);
+  EXPECT_EQ(flags.StringOr("absent", "d"), "d");
+}
+
+TEST(FlagsTest, UnclaimedDetection) {
+  FlagParser flags({"--used=1", "--unused=2"});
+  flags.GetInt("used");
+  std::vector<std::string> unclaimed = flags.Unclaimed();
+  ASSERT_EQ(unclaimed.size(), 1u);
+  EXPECT_EQ(unclaimed[0], "--unused");
+}
+
+TEST(FlagsTest, MissingFlagIsNullopt) {
+  FlagParser flags({});
+  EXPECT_FALSE(flags.GetString("x").has_value());
+  EXPECT_FALSE(flags.GetInt("x").has_value());
+  EXPECT_TRUE(flags.errors().empty());
+}
+
+TEST(FlagsTest, EmptyInlineValue) {
+  FlagParser flags({"--name="});
+  auto v = flags.GetString("name");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "");
+}
+
+}  // namespace
+}  // namespace deltaclus

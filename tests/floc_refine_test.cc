@@ -1,0 +1,230 @@
+// Tests for the quality extensions of FLOC: the volume-seeking
+// r-residue objective, cluster-centric refinement, reanchoring, and
+// restart rounds. These target the specific failure modes they were
+// designed to fix (see DESIGN.md and floc.h).
+#include <gtest/gtest.h>
+
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+
+namespace deltaclus {
+namespace {
+
+// A matrix with one perfect planted block and uniform background.
+struct PlantedBlock {
+  DataMatrix matrix;
+  Cluster block;
+
+  PlantedBlock() : matrix(0, 0), block(0, 0) {}
+};
+
+PlantedBlock MakePlanted(size_t rows, size_t cols, size_t block_rows,
+                         size_t block_cols, double noise, uint64_t seed) {
+  PlantedBlock out;
+  Rng rng(seed);
+  out.matrix = DataMatrix(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      out.matrix.Set(i, j, rng.Uniform(0.0, 600.0));
+    }
+  }
+  std::vector<size_t> block_row_ids(block_rows);
+  std::vector<size_t> block_col_ids(block_cols);
+  for (size_t i = 0; i < block_rows; ++i) block_row_ids[i] = i;
+  for (size_t j = 0; j < block_cols; ++j) block_col_ids[j] = j;
+  out.block = Cluster::FromMembers(rows, cols, block_row_ids, block_col_ids);
+  PlantShiftCluster(&out.matrix, out.block, 300.0, 50.0, noise, rng);
+  return out;
+}
+
+TEST(FlocRefineTest, RefinementGrowsSeedOntoPlantedBlock) {
+  // Start from a clean fragment of the block (60% of its rows/cols, no
+  // junk): refinement alone must grow it to the full block.
+  PlantedBlock p = MakePlanted(150, 25, 30, 6, 0.0, 1);
+  std::vector<size_t> seed_rows;
+  std::vector<size_t> seed_cols = {0, 1, 2, 3};
+  for (size_t i = 0; i < 18; ++i) seed_rows.push_back(i);
+  Cluster seed = Cluster::FromMembers(150, 25, seed_rows, seed_cols);
+
+  FlocConfig config;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.max_iterations = 0;  // isolate the refinement phase
+  config.refine_passes = 4;
+  config.rng_seed = 2;
+  FlocResult result = Floc(config).RunWithSeeds(p.matrix, {seed});
+  ASSERT_EQ(result.clusters.size(), 1u);
+  MatchQuality q = EntryRecallPrecision(p.matrix, {p.block},
+                                        {result.clusters[0]});
+  EXPECT_GT(q.recall, 0.95);
+  EXPECT_GT(q.precision, 0.95);
+}
+
+TEST(FlocRefineTest, ReanchorEscapesPoisonedFragment) {
+  // The deadlock that motivates reanchoring: the seed holds all block
+  // rows on 2 block columns *plus junk rows*. Single toggles cannot add
+  // a third block column (the junk rows spoil it) nor drop the junk
+  // rows (they fit the 2 columns); the wholesale column re-pick can.
+  PlantedBlock p = MakePlanted(200, 25, 40, 6, 0.0, 3);
+  std::vector<size_t> seed_rows;
+  for (size_t i = 0; i < 40; ++i) seed_rows.push_back(i);   // block rows
+  seed_rows.push_back(150);                                 // junk
+  seed_rows.push_back(151);
+  seed_rows.push_back(152);
+  Cluster seed = Cluster::FromMembers(200, 25, seed_rows, {0, 1});
+
+  FlocConfig config;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.max_iterations = 0;
+  config.refine_passes = 4;
+  config.constraints.min_cols = 2;
+  config.rng_seed = 4;
+  FlocResult result = Floc(config).RunWithSeeds(p.matrix, {seed});
+  ASSERT_EQ(result.clusters.size(), 1u);
+  // The cluster must have expanded beyond the 2-column trap.
+  EXPECT_GE(result.clusters[0].NumCols(), 5u);
+  MatchQuality q = EntryRecallPrecision(p.matrix, {p.block},
+                                        {result.clusters[0]});
+  EXPECT_GT(q.recall, 0.8);
+  EXPECT_GT(q.precision, 0.8);
+}
+
+TEST(FlocRefineTest, RefinementNeverWorsensScore) {
+  // With target_residue = 0 the score is the residue itself; refinement
+  // must never raise the average residue.
+  SyntheticConfig sc;
+  sc.rows = 150;
+  sc.cols = 25;
+  sc.num_clusters = 3;
+  sc.noise_stddev = 2.0;
+  sc.seed = 5;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  FlocConfig without;
+  without.num_clusters = 5;
+  without.refine_passes = 0;
+  without.rng_seed = 6;
+  FlocConfig with = without;
+  with.refine_passes = 3;
+  double res_without =
+      Floc(without).Run(data.matrix).average_residue;
+  double res_with = Floc(with).Run(data.matrix).average_residue;
+  EXPECT_LE(res_with, res_without + 1e-9);
+}
+
+TEST(FlocRefineTest, RefinementRespectsConstraints) {
+  PlantedBlock p = MakePlanted(120, 20, 25, 5, 0.5, 7);
+  FlocConfig config;
+  config.num_clusters = 4;
+  config.target_residue = 1.5;
+  config.perform_negative_actions = false;
+  config.refine_passes = 4;
+  config.constraints.min_rows = 4;
+  config.constraints.min_cols = 3;
+  config.constraints.max_rows = 30;
+  config.constraints.max_cols = 8;
+  config.constraints.max_volume = 200;
+  config.rng_seed = 8;
+  FlocResult result = Floc(config).Run(p.matrix);
+  for (const Cluster& c : result.clusters) {
+    EXPECT_GE(c.NumRows(), 4u);
+    EXPECT_LE(c.NumRows(), 30u);
+    EXPECT_GE(c.NumCols(), 3u);
+    EXPECT_LE(c.NumCols(), 8u);
+    ClusterView view(p.matrix, c);
+    EXPECT_LE(view.stats().Volume(), 200u);
+  }
+}
+
+TEST(FlocRefineTest, ReseedRoundsNeverWorsenAverageScore) {
+  // Restart rounds restore any slot they fail to improve, so enabling
+  // them must not degrade the clustering average residue materially.
+  SyntheticConfig sc;
+  sc.rows = 200;
+  sc.cols = 30;
+  sc.num_clusters = 4;
+  sc.volume_mean = 150;
+  sc.noise_stddev = 1.0;
+  sc.seed = 9;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  FlocConfig base;
+  base.num_clusters = 8;
+  base.target_residue = 2.0;
+  base.perform_negative_actions = false;
+  base.constraints.min_cols = 3;
+  base.refine_passes = 2;
+  base.reseed_rounds = 0;
+  base.rng_seed = 10;
+  FlocConfig restarted = base;
+  restarted.reseed_rounds = 3;
+  double base_res = Floc(base).Run(data.matrix).average_residue;
+  double restarted_res = Floc(restarted).Run(data.matrix).average_residue;
+  EXPECT_LE(restarted_res, base_res + 0.5);
+}
+
+TEST(FlocRefineTest, ReseedRoundsImproveRecovery) {
+  SyntheticConfig sc;
+  sc.rows = 400;
+  sc.cols = 40;
+  sc.num_clusters = 8;
+  sc.volume_mean = 160;
+  sc.col_fraction = 0.1;
+  sc.noise_stddev = 0.5;
+  sc.seed = 11;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  FlocConfig base;
+  base.num_clusters = 16;
+  base.seeding.row_probability = 0.05;
+  base.seeding.col_probability = 0.1;
+  base.target_residue = 1.0;
+  base.perform_negative_actions = false;
+  base.constraints.min_cols = 3;
+  base.constraints.min_rows = 4;
+  base.refine_passes = 3;
+  base.reseed_rounds = 0;
+  base.rng_seed = 12;
+  FlocConfig restarted = base;
+  restarted.reseed_rounds = 4;
+  MatchQuality q_base = EntryRecallPrecision(
+      data.matrix, data.embedded, Floc(base).Run(data.matrix).clusters);
+  MatchQuality q_restarted = EntryRecallPrecision(
+      data.matrix, data.embedded, Floc(restarted).Run(data.matrix).clusters);
+  EXPECT_GE(q_restarted.recall, q_base.recall - 0.02);
+}
+
+TEST(FlocRefineTest, TargetZeroDisablesVolumeSeeking) {
+  // With target_residue = 0 the objective is exactly the paper's:
+  // a perfect seed must stay perfect and not balloon.
+  PlantedBlock p = MakePlanted(100, 20, 20, 5, 0.0, 13);
+  FlocConfig config;
+  config.target_residue = 0.0;
+  config.max_iterations = 0;
+  config.refine_passes = 5;
+  config.rng_seed = 14;
+  FlocResult result = Floc(config).RunWithSeeds(p.matrix, {p.block});
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_LE(result.average_residue, 1e-9);
+}
+
+TEST(FlocRefineTest, RelativeImprovementShortensRuns) {
+  SyntheticConfig sc;
+  sc.rows = 300;
+  sc.cols = 30;
+  sc.num_clusters = 5;
+  sc.noise_stddev = 2.0;
+  sc.seed = 15;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  FlocConfig exact;
+  exact.num_clusters = 10;
+  exact.refine_passes = 0;
+  exact.rng_seed = 16;
+  FlocConfig coarse = exact;
+  coarse.relative_improvement = 0.05;
+  size_t exact_iters = Floc(exact).Run(data.matrix).iterations;
+  size_t coarse_iters = Floc(coarse).Run(data.matrix).iterations;
+  EXPECT_LE(coarse_iters, exact_iters);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,245 @@
+// End-to-end integration tests: full pipelines across modules, at small
+// scale so they run in seconds.
+#include <gtest/gtest.h>
+
+#include "src/baseline/alternative.h"
+#include "src/baseline/cheng_church.h"
+#include "src/core/floc.h"
+#include "src/data/matrix_io.h"
+#include "src/data/microarray_synth.h"
+#include "src/data/movielens_synth.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+#include "src/eval/pearson.h"
+
+#include <sstream>
+
+namespace deltaclus {
+namespace {
+
+TEST(IntegrationTest, FlocOnSparseRatingsRespectsOccupancy) {
+  MovieLensSynthConfig data_config;
+  data_config.users = 200;
+  data_config.movies = 300;
+  data_config.target_ratings = 9000;
+  data_config.num_groups = 3;
+  data_config.group_users = 30;
+  data_config.group_movies = 30;
+  data_config.seed = 1;
+  MovieLensSynthDataset data = GenerateMovieLens(data_config);
+
+  FlocConfig config;
+  config.num_clusters = 5;
+  config.seeding.row_probability = 0.1;
+  config.seeding.col_probability = 0.08;
+  config.constraints.alpha = 0.6;
+  config.constraints.min_rows = 4;
+  config.constraints.min_cols = 4;
+  config.target_residue = 0.8;
+  config.perform_negative_actions = false;
+  config.reseed_rounds = 1;
+  config.rng_seed = 2;
+  FlocResult result = Floc(config).Run(data.matrix);
+
+  for (const Cluster& c : result.clusters) {
+    ClusterView view(data.matrix, c);
+    for (uint32_t i : c.row_ids()) {
+      EXPECT_GE(view.stats().RowCount(i) + 1e-9, 0.6 * c.NumCols());
+    }
+    for (uint32_t j : c.col_ids()) {
+      EXPECT_GE(view.stats().ColCount(j) + 1e-9, 0.6 * c.NumRows());
+    }
+  }
+}
+
+TEST(IntegrationTest, DiscoveredRatingClustersAreCoherentNotClose) {
+  // Table 1's qualitative claim: discovered clusters have residue far
+  // below their bounding-box diameter.
+  MovieLensSynthConfig data_config;
+  data_config.users = 250;
+  data_config.movies = 350;
+  data_config.target_ratings = 12000;
+  data_config.num_groups = 3;
+  data_config.group_users = 40;
+  data_config.group_movies = 40;
+  data_config.group_noise = 0.3;
+  data_config.seed = 3;
+  MovieLensSynthDataset data = GenerateMovieLens(data_config);
+
+  FlocConfig config;
+  config.num_clusters = 4;
+  config.seeding.row_probability = 0.1;
+  config.seeding.col_probability = 0.06;
+  config.constraints.alpha = 0.6;
+  config.constraints.min_rows = 6;
+  config.constraints.min_cols = 6;
+  config.target_residue = 0.8;
+  config.perform_negative_actions = false;
+  config.reseed_rounds = 2;
+  config.rng_seed = 4;
+  FlocResult result = Floc(config).Run(data.matrix);
+
+  bool found_substantial = false;
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    const Cluster& cluster = result.clusters[c];
+    if (cluster.NumRows() < 10 || cluster.NumCols() < 10) continue;
+    found_substantial = true;
+    double diameter = ClusterDiameter(data.matrix, cluster);
+    EXPECT_GT(diameter, 3.0 * std::max(result.residues[c], 0.1));
+  }
+  EXPECT_TRUE(found_substantial);
+}
+
+TEST(IntegrationTest, FlocBeatsChengChurchOnResidue) {
+  // The Section 6.1.2 comparison at reduced scale; residues measured on
+  // the original matrix with the paper's metric for both.
+  MicroarraySynthConfig data_config;
+  data_config.genes = 500;
+  data_config.conditions = 17;
+  data_config.num_blocks = 6;
+  data_config.block_genes_max = 60;
+  data_config.seed = 5;
+  MicroarraySynthDataset data = GenerateMicroarray(data_config);
+
+  FlocConfig floc_config;
+  floc_config.num_clusters = 8;
+  floc_config.seeding.row_probability = 0.04;
+  floc_config.seeding.col_probability = 0.4;
+  floc_config.target_residue = 10.0;
+  floc_config.perform_negative_actions = false;
+  floc_config.constraints.min_rows = 6;
+  floc_config.constraints.min_cols = 4;
+  floc_config.reseed_rounds = 2;
+  floc_config.rng_seed = 6;
+  FlocResult floc_result = Floc(floc_config).Run(data.matrix);
+
+  ChengChurchConfig cc_config;
+  cc_config.num_clusters = 8;
+  cc_config.msr_threshold = 250.0;
+  cc_config.mask_lo = 0.0;
+  cc_config.mask_hi = 600.0;
+  cc_config.seed = 7;
+  ChengChurchResult cc_result = RunChengChurch(data.matrix, cc_config);
+
+  double cc_residue = AverageResidue(data.matrix, cc_result.clusters);
+  EXPECT_LT(floc_result.average_residue, cc_residue);
+}
+
+TEST(IntegrationTest, FlocAndAlternativeAgreeOnPerfectCluster) {
+  // Both algorithms should locate the same perfect planted cluster.
+  SyntheticConfig sc;
+  sc.rows = 70;
+  sc.cols = 8;
+  sc.num_clusters = 1;
+  sc.volume_mean = 100;  // 25 rows x 4 cols
+  sc.col_fraction = 0.5;
+  sc.noise_stddev = 0.0;
+  sc.offset_range = 30.0;
+  sc.seed = 8;
+  SyntheticDataset data = GenerateSynthetic(sc);
+
+  AlternativeConfig alt;
+  alt.clique.num_intervals = 40;
+  alt.clique.density_threshold = 0.15;
+  alt.clique.max_subspace_dims = 6;
+  alt.min_attributes = 3;
+  alt.top_k = 1;
+  AlternativeResult alt_result = RunAlternative(data.matrix, alt);
+  ASSERT_FALSE(alt_result.clusters.empty());
+
+  FlocConfig fc;
+  fc.num_clusters = 6;
+  fc.seeding.row_probability = 0.2;
+  fc.seeding.col_probability = 0.4;
+  fc.target_residue = 0.5;
+  fc.perform_negative_actions = false;
+  fc.constraints.min_cols = 3;
+  fc.constraints.min_rows = 5;
+  fc.reseed_rounds = 2;
+  fc.rng_seed = 9;
+  FlocResult floc_result = Floc(fc).Run(data.matrix);
+
+  MatchQuality alt_q = EntryRecallPrecision(data.matrix, data.embedded,
+                                            {alt_result.clusters[0]});
+  MatchQuality floc_q = EntryRecallPrecision(data.matrix, data.embedded,
+                                             floc_result.clusters);
+  EXPECT_GT(alt_q.precision, 0.8);
+  EXPECT_GT(floc_q.recall, 0.5);
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesFlocResult) {
+  // Serialize a matrix, read it back, and verify FLOC produces the
+  // identical clustering (I/O is lossless end to end).
+  SyntheticConfig sc;
+  sc.rows = 100;
+  sc.cols = 20;
+  sc.num_clusters = 2;
+  sc.missing_fraction = 0.2;
+  sc.noise_stddev = 1.0;
+  sc.seed = 10;
+  SyntheticDataset data = GenerateSynthetic(sc);
+
+  std::stringstream ss;
+  WriteCsv(data.matrix, ss);
+  DataMatrix reread = ReadCsv(ss);
+
+  FlocConfig config;
+  config.num_clusters = 3;
+  config.rng_seed = 11;
+  FlocResult a = Floc(config).Run(data.matrix);
+  FlocResult b = Floc(config).Run(reread);
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (size_t c = 0; c < a.clusters.size(); ++c) {
+    EXPECT_TRUE(a.clusters[c] == b.clusters[c]);
+  }
+}
+
+TEST(IntegrationTest, AmplificationCoherenceViaLogTransform) {
+  // Plant a *multiplicative* cluster, log-transform, and verify FLOC
+  // sees it as a perfect shifting cluster (Section 3's reduction).
+  Rng rng(12);
+  DataMatrix m(60, 12);
+  for (size_t i = 0; i < 60; ++i) {
+    for (size_t j = 0; j < 12; ++j) {
+      m.Set(i, j, rng.Uniform(1.0, 1000.0));
+    }
+  }
+  // Rows 0..14, cols 0..3: value = gene_factor_i * cond_factor_j.
+  std::vector<double> gene_factor(15);
+  std::vector<double> cond_factor(4);
+  for (double& v : gene_factor) v = rng.Uniform(0.5, 20.0);
+  for (double& v : cond_factor) v = rng.Uniform(0.5, 20.0);
+  for (size_t i = 0; i < 15; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      m.Set(i, j, gene_factor[i] * cond_factor[j]);
+    }
+  }
+  std::vector<size_t> rows(15);
+  std::vector<size_t> cols(4);
+  for (size_t i = 0; i < 15; ++i) rows[i] = i;
+  for (size_t j = 0; j < 4; ++j) cols[j] = j;
+  Cluster planted = Cluster::FromMembers(60, 12, rows, cols);
+
+  // Multiplicative cluster: nonzero residue in raw space...
+  EXPECT_GT(ClusterResidueNaive(m, planted), 0.05);
+  // ...perfect after the log transform.
+  DataMatrix lg = m.LogTransformed();
+  EXPECT_NEAR(ClusterResidueNaive(lg, planted), 0.0, 1e-9);
+}
+
+TEST(IntegrationTest, PearsonBlindSpotDeltaClusterSees) {
+  // The introduction's two viewers: global Pearson says anti-correlated,
+  // but each genre block is a perfect delta-cluster.
+  DataMatrix m = DataMatrix::FromRows({
+      {8, 7, 9, 2, 2, 3},
+      {2, 1, 3, 8, 8, 9},
+  });
+  EXPECT_LT(RowPearsonR(m, 0, 1), -0.9);
+  Cluster action = Cluster::FromMembers(2, 6, {0, 1}, {0, 1, 2});
+  Cluster family = Cluster::FromMembers(2, 6, {0, 1}, {3, 4, 5});
+  EXPECT_NEAR(ClusterResidueNaive(m, action), 0.0, 1e-9);
+  EXPECT_NEAR(ClusterResidueNaive(m, family), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,152 @@
+#include "src/eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(MetricsTest, CoveredEntriesMarksSpecifiedOnly) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{1.0, std::nullopt}, {2.0, 3.0}});
+  Cluster c = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});
+  std::vector<uint8_t> covered = CoveredEntries(m, {c});
+  EXPECT_EQ(covered[m.RawIndex(0, 0)], 1);
+  EXPECT_EQ(covered[m.RawIndex(0, 1)], 0);  // missing
+  EXPECT_EQ(covered[m.RawIndex(1, 1)], 1);
+}
+
+TEST(MetricsTest, PerfectMatchScoresOne) {
+  DataMatrix m(10, 10, 1.0);
+  Cluster c = Cluster::FromMembers(10, 10, {0, 1, 2}, {3, 4});
+  MatchQuality q = EntryRecallPrecision(m, {c}, {c});
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+  EXPECT_DOUBLE_EQ(q.F1(), 1.0);
+}
+
+TEST(MetricsTest, DisjointScoresZero) {
+  DataMatrix m(10, 10, 1.0);
+  Cluster truth = Cluster::FromMembers(10, 10, {0, 1}, {0, 1});
+  Cluster found = Cluster::FromMembers(10, 10, {5, 6}, {5, 6});
+  MatchQuality q = EntryRecallPrecision(m, {truth}, {found});
+  EXPECT_DOUBLE_EQ(q.recall, 0.0);
+  EXPECT_DOUBLE_EQ(q.precision, 0.0);
+  EXPECT_DOUBLE_EQ(q.F1(), 0.0);
+}
+
+TEST(MetricsTest, PartialOverlapComputesFractions) {
+  DataMatrix m(10, 10, 1.0);
+  // Truth 4x4 = 16 entries; found 2x4 = 8 entries inside truth.
+  Cluster truth = Cluster::FromMembers(10, 10, {0, 1, 2, 3}, {0, 1, 2, 3});
+  Cluster found = Cluster::FromMembers(10, 10, {0, 1}, {0, 1, 2, 3});
+  MatchQuality q = EntryRecallPrecision(m, {truth}, {found});
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+}
+
+TEST(MetricsTest, UnionSemanticsOverClusters) {
+  DataMatrix m(10, 10, 1.0);
+  Cluster truth = Cluster::FromMembers(10, 10, {0, 1, 2, 3}, {0, 1});
+  // Two found clusters covering half the truth each, plus an overlap.
+  Cluster f1 = Cluster::FromMembers(10, 10, {0, 1}, {0, 1});
+  Cluster f2 = Cluster::FromMembers(10, 10, {1, 2, 3}, {0, 1});
+  MatchQuality q = EntryRecallPrecision(m, {truth}, {f1, f2});
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+}
+
+TEST(MetricsTest, MissingEntriesDoNotCount) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, std::nullopt},
+      {2.0, 3.0},
+  });
+  Cluster truth = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});  // 3 entries
+  Cluster found = Cluster::FromMembers(2, 2, {0}, {0, 1});     // 1 entry
+  MatchQuality q = EntryRecallPrecision(m, {truth}, {found});
+  EXPECT_NEAR(q.recall, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+}
+
+TEST(MetricsTest, EmptyTruthOrFound) {
+  DataMatrix m(5, 5, 1.0);
+  Cluster c = Cluster::FromMembers(5, 5, {0}, {0});
+  MatchQuality q1 = EntryRecallPrecision(m, {}, {c});
+  EXPECT_DOUBLE_EQ(q1.recall, 0.0);
+  MatchQuality q2 = EntryRecallPrecision(m, {c}, {});
+  EXPECT_DOUBLE_EQ(q2.precision, 0.0);
+}
+
+TEST(MetricsTest, AggregateVolumeCountsPerCluster) {
+  DataMatrix m(6, 6, 1.0);
+  Cluster a = Cluster::FromMembers(6, 6, {0, 1}, {0, 1});  // 4
+  Cluster b = Cluster::FromMembers(6, 6, {1, 2}, {1, 2});  // 4, overlaps 1
+  // Per the paper's aggregated-volume accounting, overlap counts twice.
+  EXPECT_EQ(AggregateVolume(m, {a, b}), 8u);
+}
+
+TEST(MetricsTest, AggregateVolumeRespectsMissing) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{1.0, std::nullopt}, {2.0, 3.0}});
+  Cluster c = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});
+  EXPECT_EQ(AggregateVolume(m, {c}), 3u);
+}
+
+TEST(MetricsTest, DiameterOfPointClusterIsZero) {
+  DataMatrix m(4, 4, 7.0);
+  Cluster c = Cluster::FromMembers(4, 4, {0, 1, 2}, {0, 1});
+  EXPECT_DOUBLE_EQ(ClusterDiameter(m, c), 0.0);  // all values equal
+}
+
+TEST(MetricsTest, DiameterIsBoundingBoxDiagonal) {
+  DataMatrix m = DataMatrix::FromRows({
+      {0.0, 10.0},
+      {3.0, 14.0},
+  });
+  Cluster c = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});
+  // Extents: 3 and 4 -> diagonal 5.
+  EXPECT_DOUBLE_EQ(ClusterDiameter(m, c), 5.0);
+}
+
+TEST(MetricsTest, DiameterSkipsMissing) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {0.0, 100.0},
+      {3.0, std::nullopt},
+      {0.0, 104.0},
+  });
+  Cluster c = Cluster::FromMembers(3, 2, {0, 1, 2}, {0, 1});
+  EXPECT_DOUBLE_EQ(ClusterDiameter(m, c), 5.0);  // extents 3 and 4
+}
+
+TEST(MetricsTest, DeltaClusterSignature) {
+  // The Table 1 signature: a shift-coherent cluster has a large diameter
+  // (members far apart) yet zero residue.
+  DataMatrix m = DataMatrix::FromRows({
+      {1, 5, 23},
+      {101, 105, 123},
+      {1001, 1005, 1023},
+  });
+  Cluster c = Cluster::FromMembers(3, 3, {0, 1, 2}, {0, 1, 2});
+  EXPECT_GT(ClusterDiameter(m, c), 1000.0);
+}
+
+TEST(MetricsTest, FullySpecifiedRowsCounts) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, 2.0},
+      {3.0, std::nullopt},
+      {5.0, 6.0},
+  });
+  Cluster c = Cluster::FromMembers(3, 2, {0, 1, 2}, {0, 1});
+  EXPECT_EQ(FullySpecifiedRows(m, c), 2u);
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  MatchQuality q;
+  q.recall = 0.5;
+  q.precision = 1.0;
+  EXPECT_NEAR(q.F1(), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,82 @@
+#include "src/eval/pearson.h"
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(PearsonTest, PerfectPositiveCorrelation) {
+  EXPECT_NEAR(PearsonR({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegativeCorrelation) {
+  EXPECT_NEAR(PearsonR({1, 2, 3, 4}, {8, 6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ShiftedVectorsCorrelatePerfectly) {
+  // Shift coherence implies Pearson 1 (when computed on the coherent
+  // attributes): the delta-cluster model's bias is invisible to R.
+  EXPECT_NEAR(PearsonR({1, 5, 23, 12, 20}, {11, 15, 33, 22, 30}), 1.0,
+              1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonR({2, 2, 2}, {1, 5, 9}), 0.0);
+}
+
+TEST(PearsonTest, TooShortGivesZero) {
+  EXPECT_DOUBLE_EQ(PearsonR({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonR({}, {}), 0.0);
+}
+
+TEST(PearsonTest, PaperTwoViewersExample) {
+  // The introduction's two viewers over six movies: coherent within each
+  // genre but *anti*-correlated globally, so the global Pearson R is
+  // strongly negative -- the failure mode motivating delta-clusters.
+  std::vector<double> v1 = {8, 7, 9, 2, 2, 3};
+  std::vector<double> v2 = {2, 1, 3, 8, 8, 9};
+  double global = PearsonR(v1, v2);
+  EXPECT_LT(global, -0.9);
+  // Restricted to the action movies (first three), correlation is
+  // perfect.
+  EXPECT_NEAR(PearsonR({8, 7, 9}, {2, 1, 3}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, RowPearsonUsesPairwiseComplete) {
+  DataMatrix m = DataMatrix::FromOptionalRows({
+      {1.0, 2.0, std::nullopt, 4.0},
+      {2.0, 4.0, 100.0, 8.0},
+  });
+  // Only columns 0, 1, 3 are shared; on them the rows are proportional.
+  EXPECT_NEAR(RowPearsonR(m, 0, 1), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, RowPearsonRespectsColumnSubset) {
+  DataMatrix m = DataMatrix::FromRows({
+      {1, 2, 9, 1},
+      {2, 4, -5, 0},
+  });
+  std::vector<uint32_t> cols = {0, 1};
+  EXPECT_NEAR(RowPearsonR(m, 0, 1, &cols), 1.0, 1e-12);
+  // Over all columns they are not perfectly correlated.
+  EXPECT_LT(RowPearsonR(m, 0, 1), 1.0);
+}
+
+TEST(PearsonTest, MeanPairwisePearsonOfPerfectCluster) {
+  DataMatrix m = DataMatrix::FromRows({
+      {1, 5, 23, 12, 20},
+      {11, 15, 33, 22, 30},
+      {111, 115, 133, 122, 130},
+  });
+  Cluster c = Cluster::FromMembers(3, 5, {0, 1, 2}, {0, 1, 2, 3, 4});
+  EXPECT_NEAR(MeanPairwisePearson(m, c), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, MeanPairwiseSingleRowIsZero) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2, 3}});
+  Cluster c = Cluster::FromMembers(1, 3, {0}, {0, 1, 2});
+  EXPECT_DOUBLE_EQ(MeanPairwisePearson(m, c), 0.0);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,214 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (a.UniformInt(0, 1000000) != b.UniformInt(0, 1000000)) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int t = 0; t < 1000; ++t) {
+    int v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int t = 0; t < 1000; ++t) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformIndexRespectsBound) {
+  Rng rng(11);
+  for (int t = 0; t < 1000; ++t) {
+    EXPECT_LT(rng.UniformIndex(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRealRespectsBounds) {
+  Rng rng(13);
+  for (int t = 0; t < 1000; ++t) {
+    double v = rng.Uniform(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliClampsOutOfRangeProbabilities) {
+  Rng rng(17);
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int t = 0; t < n; ++t) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMatchesMoments) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int t = 0; t < n; ++t) {
+    double v = rng.Normal(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, ErlangMatchesMoments) {
+  Rng rng(29);
+  const int n = 20000;
+  const int shape = 4;
+  const double rate = 0.5;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int t = 0; t < n; ++t) {
+    double v = rng.Erlang(shape, rate);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, shape / rate, 0.2);           // 8
+  EXPECT_NEAR(var, shape / (rate * rate), 1.0);   // 16
+}
+
+TEST(RngTest, ErlangMeanVarZeroVarianceIsDeterministic) {
+  Rng rng(31);
+  for (int t = 0; t < 10; ++t) {
+    EXPECT_DOUBLE_EQ(rng.ErlangMeanVar(300.0, 0.0), 300.0);
+  }
+}
+
+TEST(RngTest, ErlangMeanVarPreservesMean) {
+  Rng rng(37);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int t = 0; t < n; ++t) sum += rng.ErlangMeanVar(300.0, 3000.0);
+  EXPECT_NEAR(sum / n, 300.0, 5.0);
+}
+
+TEST(RngTest, ErlangMeanVarApproximatesVariance) {
+  Rng rng(41);
+  const int n = 40000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int t = 0; t < n; ++t) {
+    double v = rng.ErlangMeanVar(100.0, 400.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  // shape = 100^2/400 = 25 exactly, so variance should be exact-ish.
+  EXPECT_NEAR(mean, 100.0, 1.0);
+  EXPECT_NEAR(var, 400.0, 30.0);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is negligible
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(53);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<size_t> s = rng.SampleWithoutReplacement(100, 30);
+    EXPECT_EQ(s.size(), 30u);
+    std::set<size_t> unique(s.begin(), s.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (size_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(59);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsUniform) {
+  Rng rng(61);
+  std::vector<int> counts(10, 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    for (size_t x : rng.SampleWithoutReplacement(10, 3)) ++counts[x];
+  }
+  // Each element appears with probability 3/10.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(67);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int t = 0; t < 100; ++t) {
+    if (parent.UniformInt(0, 1000000) == child.UniformInt(0, 1000000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,268 @@
+#include "src/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/residue.h"
+#include "src/data/microarray_synth.h"
+#include "src/data/movielens_synth.h"
+
+namespace deltaclus {
+namespace {
+
+TEST(SyntheticTest, ShapeAndClusterCount) {
+  SyntheticConfig config;
+  config.rows = 120;
+  config.cols = 40;
+  config.num_clusters = 7;
+  config.seed = 1;
+  SyntheticDataset data = GenerateSynthetic(config);
+  EXPECT_EQ(data.matrix.rows(), 120u);
+  EXPECT_EQ(data.matrix.cols(), 40u);
+  EXPECT_EQ(data.embedded.size(), 7u);
+  EXPECT_EQ(data.matrix.NumSpecified(), 120u * 40u);  // fully specified
+}
+
+TEST(SyntheticTest, ZeroNoiseClustersArePerfect) {
+  SyntheticConfig config;
+  config.rows = 200;
+  config.cols = 30;
+  config.num_clusters = 5;
+  config.noise_stddev = 0.0;
+  config.seed = 2;
+  SyntheticDataset data = GenerateSynthetic(config);
+  for (const Cluster& c : data.embedded) {
+    EXPECT_NEAR(ClusterResidueNaive(data.matrix, c), 0.0, 1e-9);
+  }
+}
+
+TEST(SyntheticTest, NoiseScalesResidue) {
+  // Mean |N(0, s)| residue is ~0.8 s; with row/col/cluster centering the
+  // constant shrinks a bit, so just check monotonicity and rough scale.
+  SyntheticConfig config;
+  config.rows = 300;
+  config.cols = 40;
+  config.num_clusters = 4;
+  config.volume_mean = 240;   // 40 rows x 6 cols; 4 clusters fit 300 rows
+  config.col_fraction = 0.15;
+  config.seed = 3;
+  config.noise_stddev = 2.0;
+  SyntheticDataset small = GenerateSynthetic(config);
+  config.noise_stddev = 8.0;
+  SyntheticDataset large = GenerateSynthetic(config);
+  double small_res = 0;
+  double large_res = 0;
+  for (size_t t = 0; t < 4; ++t) {
+    small_res += ClusterResidueNaive(small.matrix, small.embedded[t]);
+    large_res += ClusterResidueNaive(large.matrix, large.embedded[t]);
+  }
+  EXPECT_GT(large_res, 2.5 * small_res);
+  EXPECT_NEAR(small_res / 4, 2.0 * 0.8, 0.8);
+}
+
+TEST(SyntheticTest, VolumeMeanRespected) {
+  SyntheticConfig config;
+  config.rows = 1000;
+  config.cols = 50;
+  config.num_clusters = 20;
+  config.volume_mean = 200;
+  config.col_fraction = 0.1;
+  config.seed = 4;
+  SyntheticDataset data = GenerateSynthetic(config);
+  double avg = 0;
+  for (const Cluster& c : data.embedded) {
+    avg += static_cast<double>(c.NumRows() * c.NumCols());
+  }
+  avg /= data.embedded.size();
+  EXPECT_NEAR(avg, 200.0, 30.0);
+}
+
+TEST(SyntheticTest, ErlangVarianceSpreadsVolumes) {
+  SyntheticConfig config;
+  config.rows = 2000;
+  config.cols = 100;
+  config.num_clusters = 30;
+  config.volume_mean = 300;
+  config.seed = 5;
+  config.volume_variance = 0.0;
+  SyntheticDataset uniform = GenerateSynthetic(config);
+  config.volume_variance = 300.0 * 300.0 / 2;  // strongly dispersed
+  SyntheticDataset spread = GenerateSynthetic(config);
+  auto volume_range = [](const SyntheticDataset& d) {
+    size_t lo = SIZE_MAX;
+    size_t hi = 0;
+    for (const Cluster& c : d.embedded) {
+      size_t v = c.NumRows() * c.NumCols();
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return std::pair<size_t, size_t>{lo, hi};
+  };
+  auto [ulo, uhi] = volume_range(uniform);
+  auto [slo, shi] = volume_range(spread);
+  EXPECT_GT(static_cast<double>(shi) / slo,
+            static_cast<double>(uhi) / std::max<size_t>(ulo, 1));
+}
+
+TEST(SyntheticTest, MissingFractionApplied) {
+  SyntheticConfig config;
+  config.rows = 200;
+  config.cols = 50;
+  config.num_clusters = 2;
+  config.missing_fraction = 0.3;
+  config.seed = 6;
+  SyntheticDataset data = GenerateSynthetic(config);
+  EXPECT_NEAR(data.matrix.Density(), 0.7, 0.03);
+}
+
+TEST(SyntheticTest, DisjointRowsWhilePoolLasts) {
+  SyntheticConfig config;
+  config.rows = 500;
+  config.cols = 40;
+  config.num_clusters = 4;
+  config.volume_mean = 160;  // 40 rows x 4 cols; 4 * 40 = 160 <= 500
+  config.seed = 7;
+  SyntheticDataset data = GenerateSynthetic(config);
+  for (size_t a = 0; a < data.embedded.size(); ++a) {
+    for (size_t b = a + 1; b < data.embedded.size(); ++b) {
+      EXPECT_EQ(data.embedded[a].SharedRows(data.embedded[b]), 0u);
+    }
+  }
+}
+
+TEST(SyntheticTest, SeedDeterminism) {
+  SyntheticConfig config;
+  config.rows = 50;
+  config.cols = 20;
+  config.num_clusters = 3;
+  config.seed = 8;
+  SyntheticDataset a = GenerateSynthetic(config);
+  SyntheticDataset b = GenerateSynthetic(config);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(a.matrix.Value(i, j), b.matrix.Value(i, j));
+    }
+  }
+}
+
+TEST(SyntheticTest, PlantShiftClusterWritesAllMembers) {
+  DataMatrix m(10, 10);
+  Cluster c = Cluster::FromMembers(10, 10, {1, 3}, {2, 4});
+  Rng rng(9);
+  PlantShiftCluster(&m, c, 100.0, 10.0, 0.0, rng);
+  EXPECT_EQ(m.NumSpecified(), 4u);
+  EXPECT_TRUE(m.IsSpecified(1, 2));
+  EXPECT_TRUE(m.IsSpecified(3, 4));
+  EXPECT_NEAR(ClusterResidueNaive(m, c), 0.0, 1e-9);
+}
+
+// --- MovieLens-shaped generator ---
+
+TEST(MovieLensSynthTest, ShapeDensityAndScale) {
+  MovieLensSynthConfig config;
+  config.users = 300;
+  config.movies = 500;
+  config.target_ratings = 12000;
+  config.num_groups = 3;
+  config.group_users = 40;
+  config.group_movies = 40;
+  config.seed = 10;
+  MovieLensSynthDataset data = GenerateMovieLens(config);
+  EXPECT_EQ(data.matrix.rows(), 300u);
+  EXPECT_EQ(data.matrix.cols(), 500u);
+  size_t specified = data.matrix.NumSpecified();
+  EXPECT_GE(specified, 11000u);
+  EXPECT_LE(specified, 13000u);
+  EXPECT_GE(*data.matrix.MinSpecified(), 1.0);
+  EXPECT_LE(*data.matrix.MaxSpecified(), 10.0);
+}
+
+TEST(MovieLensSynthTest, EveryUserHasMinimumRatings) {
+  MovieLensSynthConfig config;
+  config.users = 200;
+  config.movies = 300;
+  config.target_ratings = 8000;
+  config.min_ratings_per_user = 20;
+  config.seed = 11;
+  MovieLensSynthDataset data = GenerateMovieLens(config);
+  for (size_t u = 0; u < 200; ++u) {
+    EXPECT_GE(data.matrix.NumSpecifiedInRow(u), 20u) << "user " << u;
+  }
+}
+
+TEST(MovieLensSynthTest, RatingsAreIntegers) {
+  MovieLensSynthConfig config;
+  config.users = 100;
+  config.movies = 150;
+  config.target_ratings = 3000;
+  config.seed = 12;
+  MovieLensSynthDataset data = GenerateMovieLens(config);
+  for (size_t u = 0; u < 100; ++u) {
+    for (size_t v = 0; v < 150; ++v) {
+      if (!data.matrix.IsSpecified(u, v)) continue;
+      double r = data.matrix.Value(u, v);
+      EXPECT_DOUBLE_EQ(r, std::round(r));
+    }
+  }
+}
+
+TEST(MovieLensSynthTest, PlantedGroupsAreCoherent) {
+  MovieLensSynthConfig config;
+  config.users = 300;
+  config.movies = 400;
+  config.num_groups = 3;
+  config.group_noise = 0.0;  // perfectly coherent apart from rounding
+  config.seed = 13;
+  MovieLensSynthDataset data = GenerateMovieLens(config);
+  ASSERT_EQ(data.planted_groups.size(), 3u);
+  for (const Cluster& g : data.planted_groups) {
+    // Rounding to integer ratings adds at most ~0.5 of residue; clamping
+    // at the scale ends adds a little more.
+    EXPECT_LT(ClusterResidueNaive(data.matrix, g), 1.0);
+    EXPECT_GT(g.NumRows(), 10u);
+  }
+}
+
+// --- Microarray-shaped generator ---
+
+TEST(MicroarraySynthTest, ShapeAndFullSpecification) {
+  MicroarraySynthConfig config;
+  config.genes = 500;
+  config.conditions = 17;
+  config.seed = 14;
+  MicroarraySynthDataset data = GenerateMicroarray(config);
+  EXPECT_EQ(data.matrix.rows(), 500u);
+  EXPECT_EQ(data.matrix.cols(), 17u);
+  EXPECT_EQ(data.matrix.NumSpecified(), 500u * 17u);
+}
+
+TEST(MicroarraySynthTest, PlantedBlocksHaveLowResidue) {
+  MicroarraySynthConfig config;
+  config.genes = 600;
+  config.conditions = 17;
+  config.num_blocks = 6;
+  config.block_noise = 5.0;
+  config.seed = 15;
+  MicroarraySynthDataset data = GenerateMicroarray(config);
+  ASSERT_EQ(data.planted_blocks.size(), 6u);
+  for (const Cluster& b : data.planted_blocks) {
+    double res = ClusterResidueNaive(data.matrix, b);
+    EXPECT_LT(res, 10.0);  // far below background (~100+)
+  }
+}
+
+TEST(MicroarraySynthTest, OutliersCreateSpikyRows) {
+  MicroarraySynthConfig config;
+  config.genes = 400;
+  config.conditions = 17;
+  config.num_blocks = 3;  // leave gene-pool room for the outliers
+  config.block_genes_max = 40;
+  config.outlier_fraction = 0.05;
+  config.outlier_scale = 8.0;
+  config.seed = 16;
+  MicroarraySynthDataset data = GenerateMicroarray(config);
+  // Max specified value should exceed the base range considerably.
+  EXPECT_GT(*data.matrix.MaxSpecified(), config.value_hi * 2);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,61 @@
+#include "src/eval/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+TEST(TextTableTest, FormatsNumbers) {
+  EXPECT_EQ(TextTable::Num(10.336, 2), "10.34");
+  EXPECT_EQ(TextTable::Num(0.5, 3), "0.500");
+  EXPECT_EQ(TextTable::Num(-1.25, 1), "-1.2");
+  EXPECT_EQ(TextTable::Int(42), "42");
+  EXPECT_EQ(TextTable::Int(-7), "-7");
+}
+
+TEST(TextTableTest, PrintsAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Four lines.
+  size_t lines = 0;
+  for (char c : out) lines += (c == '\n');
+  EXPECT_EQ(lines, 4u);
+}
+
+TEST(TextTableTest, ColumnsAlignToWidestCell) {
+  TextTable t({"k", "seconds"});
+  t.AddRow({"10", "1.5"});
+  t.AddRow({"100", "133.25"});
+  std::ostringstream os;
+  t.Print(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);
+  size_t header_len = line.size();
+  std::getline(is, line);  // separator
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.size(), header_len);
+  }
+}
+
+TEST(TextTableTest, NumRows) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.NumRows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace deltaclus

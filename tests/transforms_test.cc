@@ -1,0 +1,185 @@
+#include "src/data/transforms.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/core/residue.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+DataMatrix RandomMatrix(size_t rows, size_t cols, double density,
+                        uint64_t seed) {
+  Rng rng(seed);
+  DataMatrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) m.Set(i, j, rng.Uniform(-20.0, 80.0));
+    }
+  }
+  return m;
+}
+
+TEST(TransformsTest, StandardizeGlobalMoments) {
+  DataMatrix m = RandomMatrix(30, 20, 0.8, 1);
+  DataMatrix z = StandardizeGlobal(m);
+  double sum = 0;
+  double sum_sq = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < z.rows(); ++i) {
+    for (size_t j = 0; j < z.cols(); ++j) {
+      if (!z.IsSpecified(i, j)) continue;
+      sum += z.Value(i, j);
+      sum_sq += z.Value(i, j) * z.Value(i, j);
+      ++n;
+    }
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-9);
+  EXPECT_NEAR(sum_sq / n, 1.0, 1e-9);
+}
+
+TEST(TransformsTest, StandardizePreservesMissingMask) {
+  DataMatrix m = RandomMatrix(10, 10, 0.5, 2);
+  DataMatrix z = StandardizeGlobal(m);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(z.IsSpecified(i, j), m.IsSpecified(i, j));
+    }
+  }
+}
+
+TEST(TransformsTest, StandardizeScalesResidueUniformly) {
+  // Standardization is an affine map, so residues scale by 1/stddev and
+  // relative comparisons between clusters are preserved.
+  DataMatrix m = RandomMatrix(20, 12, 1.0, 3);
+  Rng rng(4);
+  Cluster c = Cluster::FromMembers(20, 12, rng.SampleWithoutReplacement(20, 8),
+                                   rng.SampleWithoutReplacement(12, 5));
+  DataMatrix z = StandardizeGlobal(m);
+  double ratio =
+      ClusterResidueNaive(m, c) / ClusterResidueNaive(z, c);
+  // Ratio equals the global stddev, identical for any cluster.
+  Cluster c2 = Cluster::FromMembers(20, 12,
+                                    rng.SampleWithoutReplacement(20, 6),
+                                    rng.SampleWithoutReplacement(12, 6));
+  double ratio2 = ClusterResidueNaive(m, c2) / ClusterResidueNaive(z, c2);
+  EXPECT_NEAR(ratio, ratio2, 1e-6);
+}
+
+TEST(TransformsTest, ZScoreRowsCentersEachRow) {
+  DataMatrix m = RandomMatrix(15, 25, 0.9, 5);
+  DataMatrix z = ZScoreRows(m);
+  for (size_t i = 0; i < z.rows(); ++i) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t j = 0; j < z.cols(); ++j) {
+      if (!z.IsSpecified(i, j)) continue;
+      sum += z.Value(i, j);
+      ++n;
+    }
+    if (n > 0) {
+      EXPECT_NEAR(sum / n, 0.0, 1e-9) << "row " << i;
+    }
+  }
+}
+
+TEST(TransformsTest, ZScoreColsCentersEachColumn) {
+  DataMatrix m = RandomMatrix(25, 15, 0.9, 6);
+  DataMatrix z = ZScoreCols(m);
+  for (size_t j = 0; j < z.cols(); ++j) {
+    double sum = 0;
+    size_t n = 0;
+    for (size_t i = 0; i < z.rows(); ++i) {
+      if (!z.IsSpecified(i, j)) continue;
+      sum += z.Value(i, j);
+      ++n;
+    }
+    if (n > 0) {
+      EXPECT_NEAR(sum / n, 0.0, 1e-9) << "col " << j;
+    }
+  }
+}
+
+TEST(TransformsTest, ZScoreConstantRowOnlyCenters) {
+  DataMatrix m = DataMatrix::FromRows({{5, 5, 5}});
+  DataMatrix z = ZScoreRows(m);
+  for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(z.Value(0, j), 0.0);
+}
+
+TEST(TransformsTest, RankTransformProducesUniformRanks) {
+  DataMatrix m = DataMatrix::FromRows({{30, 10, 20, 40, 50}});
+  DataMatrix r = RankTransformRows(m);
+  EXPECT_DOUBLE_EQ(r.Value(0, 1), 0.0);   // smallest
+  EXPECT_DOUBLE_EQ(r.Value(0, 2), 0.25);
+  EXPECT_DOUBLE_EQ(r.Value(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(r.Value(0, 3), 0.75);
+  EXPECT_DOUBLE_EQ(r.Value(0, 4), 1.0);   // largest
+}
+
+TEST(TransformsTest, RankTransformAveragesTies) {
+  DataMatrix m = DataMatrix::FromRows({{1, 2, 2, 3}});
+  DataMatrix r = RankTransformRows(m);
+  EXPECT_DOUBLE_EQ(r.Value(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.Value(0, 1), 0.5);  // ranks 1,2 averaged = 1.5/3
+  EXPECT_DOUBLE_EQ(r.Value(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(r.Value(0, 3), 1.0);
+}
+
+TEST(TransformsTest, RankTransformSingleEntryRow) {
+  DataMatrix m(2, 3);
+  m.Set(0, 1, 42.0);
+  DataMatrix r = RankTransformRows(m);
+  EXPECT_DOUBLE_EQ(r.Value(0, 1), 0.5);
+  EXPECT_EQ(r.NumSpecifiedInRow(1), 0u);
+}
+
+TEST(TransformsTest, RankTransformIsMonotoneInvariant) {
+  // Applying a monotone distortion (cubing) to the values leaves the
+  // rank transform unchanged.
+  DataMatrix m = RandomMatrix(10, 20, 1.0, 7);
+  DataMatrix cubed(10, 20);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 20; ++j) {
+      double v = m.Value(i, j);
+      cubed.Set(i, j, v * v * v);
+    }
+  }
+  DataMatrix r1 = RankTransformRows(m);
+  DataMatrix r2 = RankTransformRows(cubed);
+  for (size_t i = 0; i < 10; ++i) {
+    for (size_t j = 0; j < 20; ++j) {
+      EXPECT_NEAR(r1.Value(i, j), r2.Value(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(TransformsTest, MinMaxScaleRange) {
+  DataMatrix m = RandomMatrix(12, 12, 0.7, 8);
+  DataMatrix s = MinMaxScale(m, 1.0, 10.0);
+  auto lo = s.MinSpecified();
+  auto hi = s.MaxSpecified();
+  ASSERT_TRUE(lo && hi);
+  EXPECT_NEAR(*lo, 1.0, 1e-9);
+  EXPECT_NEAR(*hi, 10.0, 1e-9);
+}
+
+TEST(TransformsTest, MinMaxScaleConstantMatrix) {
+  DataMatrix m(3, 3, 7.0);
+  DataMatrix s = MinMaxScale(m, 0.0, 1.0);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(s.Value(i, j), 0.5);
+  }
+}
+
+TEST(TransformsTest, EmptyMatrixTransforms) {
+  DataMatrix m(4, 4);  // all missing
+  EXPECT_EQ(StandardizeGlobal(m).NumSpecified(), 0u);
+  EXPECT_EQ(ZScoreRows(m).NumSpecified(), 0u);
+  EXPECT_EQ(RankTransformRows(m).NumSpecified(), 0u);
+  EXPECT_EQ(MinMaxScale(m).NumSpecified(), 0u);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "src/core/floc.h"
+
+namespace deltaclus {
+namespace {
+
+TEST(ValidateConfigTest, DefaultConfigIsValid) {
+  EXPECT_TRUE(FlocConfig{}.Validate().empty());
+}
+
+TEST(ValidateConfigTest, AlphaOutOfRange) {
+  FlocConfig config;
+  config.constraints.alpha = 1.5;
+  EXPECT_FALSE(config.Validate().empty());
+  config.constraints.alpha = -0.1;
+  EXPECT_FALSE(config.Validate().empty());
+  config.constraints.alpha = 1.0;
+  EXPECT_TRUE(config.Validate().empty());
+}
+
+TEST(ValidateConfigTest, ProbabilityBounds) {
+  FlocConfig config;
+  config.seeding.row_probability = 1.2;
+  EXPECT_FALSE(config.Validate().empty());
+  config.seeding.row_probability = 0.5;
+  config.seeding.col_probability = -0.2;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+TEST(ValidateConfigTest, ContradictoryBounds) {
+  FlocConfig config;
+  config.constraints.min_rows = 10;
+  config.constraints.max_rows = 5;
+  EXPECT_FALSE(config.Validate().empty());
+
+  FlocConfig volume;
+  volume.constraints.min_volume = 100;
+  volume.constraints.max_volume = 50;
+  EXPECT_FALSE(volume.Validate().empty());
+}
+
+TEST(ValidateConfigTest, NegativeKnobs) {
+  FlocConfig config;
+  config.target_residue = -1.0;
+  EXPECT_FALSE(config.Validate().empty());
+
+  FlocConfig overlap;
+  overlap.constraints.max_overlap = -0.5;
+  EXPECT_FALSE(overlap.Validate().empty());
+
+  FlocConfig coverage;
+  coverage.constraints.min_row_coverage = 1.5;
+  EXPECT_FALSE(coverage.Validate().empty());
+
+  FlocConfig annealing;
+  annealing.annealing_temperature = -2.0;
+  EXPECT_FALSE(annealing.Validate().empty());
+}
+
+TEST(ValidateConfigTest, ZeroClustersRejected) {
+  FlocConfig config;
+  config.num_clusters = 0;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+TEST(ValidateConfigTest, MultipleProblemsAllReported) {
+  FlocConfig config;
+  config.num_clusters = 0;
+  config.constraints.alpha = 2.0;
+  config.seeding.row_probability = 9.0;
+  EXPECT_GE(config.Validate().size(), 3u);
+}
+
+TEST(ValidateConfigTest, ConstructorThrowsOnInvalidConfig) {
+  FlocConfig config;
+  config.constraints.alpha = 7.0;
+  EXPECT_THROW(Floc{config}, std::invalid_argument);
+}
+
+TEST(ValidateConfigTest, MixedSeedingValidated) {
+  FlocConfig config;
+  config.seeding.mixed_volumes = true;
+  config.seeding.volume_mean = -10.0;
+  EXPECT_FALSE(config.Validate().empty());
+  config.seeding.volume_mean = 100.0;
+  config.seeding.volume_variance = -5.0;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
+}  // namespace
+}  // namespace deltaclus
