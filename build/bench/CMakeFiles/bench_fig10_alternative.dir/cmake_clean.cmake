@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_alternative.dir/bench_fig10_alternative.cc.o"
+  "CMakeFiles/bench_fig10_alternative.dir/bench_fig10_alternative.cc.o.d"
+  "bench_fig10_alternative"
+  "bench_fig10_alternative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_alternative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_volume_variance.dir/bench_fig9_volume_variance.cc.o"
+  "CMakeFiles/bench_fig9_volume_variance.dir/bench_fig9_volume_variance.cc.o.d"
+  "bench_fig9_volume_variance"
+  "bench_fig9_volume_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_volume_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_holdout_prediction.dir/bench_holdout_prediction.cc.o"
+  "CMakeFiles/bench_holdout_prediction.dir/bench_holdout_prediction.cc.o.d"
+  "bench_holdout_prediction"
+  "bench_holdout_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_holdout_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

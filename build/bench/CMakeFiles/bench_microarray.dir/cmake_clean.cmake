@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microarray.dir/bench_microarray.cc.o"
+  "CMakeFiles/bench_microarray.dir/bench_microarray.cc.o.d"
+  "bench_microarray"
+  "bench_microarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_movielens.dir/bench_table1_movielens.cc.o"
+  "CMakeFiles/bench_table1_movielens.dir/bench_table1_movielens.cc.o.d"
+  "bench_table1_movielens"
+  "bench_table1_movielens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_movielens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_3_scaling.dir/bench_table2_3_scaling.cc.o"
+  "CMakeFiles/bench_table2_3_scaling.dir/bench_table2_3_scaling.cc.o.d"
+  "bench_table2_3_scaling"
+  "bench_table2_3_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_3_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

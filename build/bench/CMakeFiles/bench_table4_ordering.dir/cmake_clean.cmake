@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ordering.dir/bench_table4_ordering.cc.o"
+  "CMakeFiles/bench_table4_ordering.dir/bench_table4_ordering.cc.o.d"
+  "bench_table4_ordering"
+  "bench_table4_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

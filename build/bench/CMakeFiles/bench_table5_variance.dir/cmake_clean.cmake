@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_variance.dir/bench_table5_variance.cc.o"
+  "CMakeFiles/bench_table5_variance.dir/bench_table5_variance.cc.o.d"
+  "bench_table5_variance"
+  "bench_table5_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

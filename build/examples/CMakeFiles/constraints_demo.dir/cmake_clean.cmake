@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraints_demo.dir/constraints_demo.cc.o"
+  "CMakeFiles/constraints_demo.dir/constraints_demo.cc.o.d"
+  "constraints_demo"
+  "constraints_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraints_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_expression.dir/gene_expression.cc.o"
+  "CMakeFiles/gene_expression.dir/gene_expression.cc.o.d"
+  "gene_expression"
+  "gene_expression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_expression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

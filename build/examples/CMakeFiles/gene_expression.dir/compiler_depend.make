@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gene_expression.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_attributes.dir/hybrid_attributes.cc.o"
+  "CMakeFiles/hybrid_attributes.dir/hybrid_attributes.cc.o.d"
+  "hybrid_attributes"
+  "hybrid_attributes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_attributes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

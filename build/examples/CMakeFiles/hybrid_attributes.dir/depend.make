@@ -1,0 +1,2 @@
+# Empty dependencies file for hybrid_attributes.
+# This may be replaced when dependencies are built.

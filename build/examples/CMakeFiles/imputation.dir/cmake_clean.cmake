@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imputation.dir/imputation.cc.o"
+  "CMakeFiles/imputation.dir/imputation.cc.o.d"
+  "imputation"
+  "imputation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imputation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

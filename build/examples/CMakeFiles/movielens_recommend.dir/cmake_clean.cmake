@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movielens_recommend.dir/movielens_recommend.cc.o"
+  "CMakeFiles/movielens_recommend.dir/movielens_recommend.cc.o.d"
+  "movielens_recommend"
+  "movielens_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movielens_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for movielens_recommend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/alternative.cc" "src/CMakeFiles/deltaclus.dir/baseline/alternative.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/baseline/alternative.cc.o.d"
+  "/root/repo/src/baseline/bron_kerbosch.cc" "src/CMakeFiles/deltaclus.dir/baseline/bron_kerbosch.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/baseline/bron_kerbosch.cc.o.d"
+  "/root/repo/src/baseline/cheng_church.cc" "src/CMakeFiles/deltaclus.dir/baseline/cheng_church.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/baseline/cheng_church.cc.o.d"
+  "/root/repo/src/baseline/clique.cc" "src/CMakeFiles/deltaclus.dir/baseline/clique.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/baseline/clique.cc.o.d"
+  "/root/repo/src/baseline/derived_transform.cc" "src/CMakeFiles/deltaclus.dir/baseline/derived_transform.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/baseline/derived_transform.cc.o.d"
+  "/root/repo/src/cli/cli.cc" "src/CMakeFiles/deltaclus.dir/cli/cli.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/cli/cli.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/CMakeFiles/deltaclus.dir/core/cluster.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/cluster.cc.o.d"
+  "/root/repo/src/core/cluster_stats.cc" "src/CMakeFiles/deltaclus.dir/core/cluster_stats.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/cluster_stats.cc.o.d"
+  "/root/repo/src/core/cluster_tools.cc" "src/CMakeFiles/deltaclus.dir/core/cluster_tools.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/cluster_tools.cc.o.d"
+  "/root/repo/src/core/constraints.cc" "src/CMakeFiles/deltaclus.dir/core/constraints.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/constraints.cc.o.d"
+  "/root/repo/src/core/data_matrix.cc" "src/CMakeFiles/deltaclus.dir/core/data_matrix.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/data_matrix.cc.o.d"
+  "/root/repo/src/core/floc.cc" "src/CMakeFiles/deltaclus.dir/core/floc.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/floc.cc.o.d"
+  "/root/repo/src/core/ordering.cc" "src/CMakeFiles/deltaclus.dir/core/ordering.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/ordering.cc.o.d"
+  "/root/repo/src/core/predict.cc" "src/CMakeFiles/deltaclus.dir/core/predict.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/predict.cc.o.d"
+  "/root/repo/src/core/residue.cc" "src/CMakeFiles/deltaclus.dir/core/residue.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/residue.cc.o.d"
+  "/root/repo/src/core/seeding.cc" "src/CMakeFiles/deltaclus.dir/core/seeding.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/core/seeding.cc.o.d"
+  "/root/repo/src/data/cluster_io.cc" "src/CMakeFiles/deltaclus.dir/data/cluster_io.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/data/cluster_io.cc.o.d"
+  "/root/repo/src/data/matrix_io.cc" "src/CMakeFiles/deltaclus.dir/data/matrix_io.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/data/matrix_io.cc.o.d"
+  "/root/repo/src/data/microarray_synth.cc" "src/CMakeFiles/deltaclus.dir/data/microarray_synth.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/data/microarray_synth.cc.o.d"
+  "/root/repo/src/data/movielens_synth.cc" "src/CMakeFiles/deltaclus.dir/data/movielens_synth.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/data/movielens_synth.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/deltaclus.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "src/CMakeFiles/deltaclus.dir/data/transforms.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/data/transforms.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/deltaclus.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/pearson.cc" "src/CMakeFiles/deltaclus.dir/eval/pearson.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/eval/pearson.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/deltaclus.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/eval/table.cc.o.d"
+  "/root/repo/src/ext/categorical.cc" "src/CMakeFiles/deltaclus.dir/ext/categorical.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/ext/categorical.cc.o.d"
+  "/root/repo/src/util/flags.cc" "src/CMakeFiles/deltaclus.dir/util/flags.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/util/flags.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/deltaclus.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/deltaclus.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/deltaclus.dir/util/stopwatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bron_kerbosch_test.dir/bron_kerbosch_test.cc.o"
+  "CMakeFiles/bron_kerbosch_test.dir/bron_kerbosch_test.cc.o.d"
+  "bron_kerbosch_test"
+  "bron_kerbosch_test.pdb"
+  "bron_kerbosch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bron_kerbosch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

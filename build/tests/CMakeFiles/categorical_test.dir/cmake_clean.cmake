@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/categorical_test.dir/categorical_test.cc.o"
+  "CMakeFiles/categorical_test.dir/categorical_test.cc.o.d"
+  "categorical_test"
+  "categorical_test.pdb"
+  "categorical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/categorical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

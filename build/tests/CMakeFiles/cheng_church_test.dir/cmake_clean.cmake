@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cheng_church_test.dir/cheng_church_test.cc.o"
+  "CMakeFiles/cheng_church_test.dir/cheng_church_test.cc.o.d"
+  "cheng_church_test"
+  "cheng_church_test.pdb"
+  "cheng_church_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cheng_church_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

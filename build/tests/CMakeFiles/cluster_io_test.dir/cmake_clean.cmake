@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_io_test.dir/cluster_io_test.cc.o"
+  "CMakeFiles/cluster_io_test.dir/cluster_io_test.cc.o.d"
+  "cluster_io_test"
+  "cluster_io_test.pdb"
+  "cluster_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_stats_test.dir/cluster_stats_test.cc.o"
+  "CMakeFiles/cluster_stats_test.dir/cluster_stats_test.cc.o.d"
+  "cluster_stats_test"
+  "cluster_stats_test.pdb"
+  "cluster_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

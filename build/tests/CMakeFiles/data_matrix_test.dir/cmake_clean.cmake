@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_matrix_test.dir/data_matrix_test.cc.o"
+  "CMakeFiles/data_matrix_test.dir/data_matrix_test.cc.o.d"
+  "data_matrix_test"
+  "data_matrix_test.pdb"
+  "data_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_transform_test.dir/derived_transform_test.cc.o"
+  "CMakeFiles/derived_transform_test.dir/derived_transform_test.cc.o.d"
+  "derived_transform_test"
+  "derived_transform_test.pdb"
+  "derived_transform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_transform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

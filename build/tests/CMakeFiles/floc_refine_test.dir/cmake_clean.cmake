@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_refine_test.dir/floc_refine_test.cc.o"
+  "CMakeFiles/floc_refine_test.dir/floc_refine_test.cc.o.d"
+  "floc_refine_test"
+  "floc_refine_test.pdb"
+  "floc_refine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_refine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

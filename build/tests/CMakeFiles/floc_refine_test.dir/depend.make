@@ -1,0 +1,2 @@
+# Empty dependencies file for floc_refine_test.
+# This may be replaced when dependencies are built.

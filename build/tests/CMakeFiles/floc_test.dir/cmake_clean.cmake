@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floc_test.dir/floc_test.cc.o"
+  "CMakeFiles/floc_test.dir/floc_test.cc.o.d"
+  "floc_test"
+  "floc_test.pdb"
+  "floc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pearson_test.dir/pearson_test.cc.o"
+  "CMakeFiles/pearson_test.dir/pearson_test.cc.o.d"
+  "pearson_test"
+  "pearson_test.pdb"
+  "pearson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pearson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

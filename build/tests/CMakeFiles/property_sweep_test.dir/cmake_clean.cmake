@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_sweep_test.dir/property_sweep_test.cc.o"
+  "CMakeFiles/property_sweep_test.dir/property_sweep_test.cc.o.d"
+  "property_sweep_test"
+  "property_sweep_test.pdb"
+  "property_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/residue_test.dir/residue_test.cc.o"
+  "CMakeFiles/residue_test.dir/residue_test.cc.o.d"
+  "residue_test"
+  "residue_test.pdb"
+  "residue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/residue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seeding_test.dir/seeding_test.cc.o"
+  "CMakeFiles/seeding_test.dir/seeding_test.cc.o.d"
+  "seeding_test"
+  "seeding_test.pdb"
+  "seeding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seeding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

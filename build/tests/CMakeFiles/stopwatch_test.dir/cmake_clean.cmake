@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stopwatch_test.dir/stopwatch_test.cc.o"
+  "CMakeFiles/stopwatch_test.dir/stopwatch_test.cc.o.d"
+  "stopwatch_test"
+  "stopwatch_test.pdb"
+  "stopwatch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stopwatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

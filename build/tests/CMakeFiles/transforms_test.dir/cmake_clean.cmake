@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transforms_test.dir/transforms_test.cc.o"
+  "CMakeFiles/transforms_test.dir/transforms_test.cc.o.d"
+  "transforms_test"
+  "transforms_test.pdb"
+  "transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_config_test.dir/validate_config_test.cc.o"
+  "CMakeFiles/validate_config_test.dir/validate_config_test.cc.o.d"
+  "validate_config_test"
+  "validate_config_test.pdb"
+  "validate_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

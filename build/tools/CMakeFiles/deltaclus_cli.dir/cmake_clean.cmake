@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltaclus_cli.dir/deltaclus_cli.cc.o"
+  "CMakeFiles/deltaclus_cli.dir/deltaclus_cli.cc.o.d"
+  "deltaclus_cli"
+  "deltaclus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltaclus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
