@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# check.sh — the repo's correctness gate.
+#
+# Stages (run all by default, or name a subset):
+#   format  clang-format --dry-run over all tracked C++ sources
+#   tidy    clang-tidy (config: .clang-tidy) over src/ tools/ tests/ bench/
+#   build   default preset: configure, build, ctest
+#   asan    ASan+UBSan preset: configure, build, ctest
+#   tsan    TSan preset: configure, build, ctest
+#   audit   FLOC invariant-audit mode: floc/property test binaries rerun
+#           with DELTACLUS_AUDIT=1 (see docs/DEVELOPMENT.md)
+#
+# Usage:
+#   scripts/check.sh              # everything
+#   scripts/check.sh tidy         # one stage
+#   scripts/check.sh asan tsan    # a subset
+#
+# Stages whose tool is not installed (clang-format / clang-tidy) are
+# skipped with a warning rather than failing, so the script is usable in
+# minimal containers; CI installs both and runs them for real.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+FAILED=0
+
+note()  { printf '\n\033[1;34m== %s ==\033[0m\n' "$*"; }
+warn()  { printf '\033[1;33mWARNING: %s\033[0m\n' "$*"; }
+fail()  { printf '\033[1;31mFAILED: %s\033[0m\n' "$*"; FAILED=1; }
+
+cxx_sources() {
+  git ls-files 'src/**.cc' 'src/**.h' 'tools/**.cc' 'tools/**.h' \
+               'tests/**.cc' 'tests/**.h' 'bench/**.cc' 'bench/**.h'
+}
+
+stage_format() {
+  note "format (clang-format --dry-run)"
+  if ! command -v clang-format >/dev/null 2>&1; then
+    warn "clang-format not installed; skipping format stage"
+    return
+  fi
+  if cxx_sources | xargs clang-format --dry-run -Werror; then
+    echo "format: clean"
+  else
+    fail "clang-format found unformatted files (run: git ls-files '*.cc' '*.h' | xargs clang-format -i)"
+  fi
+}
+
+stage_tidy() {
+  note "tidy (clang-tidy over src/ tools/ tests/ bench/)"
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    warn "clang-tidy not installed; skipping tidy stage"
+    return
+  fi
+  # clang-tidy needs a compile_commands.json; the default preset exports one.
+  if [ ! -f build/compile_commands.json ]; then
+    cmake --preset default >/dev/null
+  fi
+  local runner=clang-tidy
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    if run-clang-tidy -quiet -p build -j "$JOBS" \
+        'src/.*\.(cc|h)$' 'tools/.*\.cc$' 'tests/.*\.cc$' 'bench/.*\.cc$'; then
+      echo "tidy: clean"
+    else
+      fail "clang-tidy reported findings"
+    fi
+    return
+  fi
+  if cxx_sources | grep '\.cc$' | xargs -P "$JOBS" -n 8 "$runner" -p build --quiet; then
+    echo "tidy: clean"
+  else
+    fail "clang-tidy reported findings"
+  fi
+}
+
+run_preset() {
+  local preset="$1"
+  note "$preset (configure + build + ctest)"
+  if cmake --preset "$preset" >/dev/null \
+      && cmake --build --preset "$preset" -j "$JOBS" \
+      && ctest --preset "$preset"; then
+    echo "$preset: green"
+  else
+    fail "$preset preset build/tests"
+  fi
+}
+
+stage_build() { run_preset default; }
+stage_asan()  { run_preset asan; }
+stage_tsan()  { run_preset tsan; }
+
+stage_audit() {
+  note "audit (floc suites with DELTACLUS_AUDIT=1)"
+  # Prefer the sanitizer tree (Debug => DC_DCHECK live); fall back to the
+  # default tree.
+  local tree=build-asan
+  [ -d "$tree" ] || tree=build
+  if [ ! -d "$tree" ]; then
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$JOBS"
+    tree=build
+  fi
+  if (cd "$tree" && DELTACLUS_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
+        -R 'Floc|PropertySweep|Integration|EdgeCase'); then
+    echo "audit: no invariant violations"
+  else
+    fail "FLOC invariant audit tripped"
+  fi
+}
+
+STAGES=("$@")
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(format tidy build asan tsan audit)
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    format|tidy|build|asan|tsan|audit) "stage_$stage" ;;
+    *) echo "unknown stage: $stage (expected: format tidy build asan tsan audit)"; exit 2 ;;
+  esac
+done
+
+if [ "$FAILED" -ne 0 ]; then
+  note "check.sh: FAILURES above"
+  exit 1
+fi
+note "check.sh: all stages passed"

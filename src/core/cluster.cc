@@ -1,7 +1,8 @@
 #include "src/core/cluster.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/util/check.h"
 
 namespace deltaclus {
 
@@ -22,29 +23,29 @@ Cluster Cluster::FromMembers(size_t num_rows, size_t num_cols,
 }
 
 void Cluster::AddRow(size_t i) {
-  assert(i < in_row_.size());
-  assert(!HasRow(i));
+  DC_DCHECK_LT(i, in_row_.size());
+  DC_DCHECK(!HasRow(i)) << "AddRow(" << i << ") on a member row";
   in_row_[i] = 1;
   InsertSorted(row_ids_, static_cast<uint32_t>(i));
 }
 
 void Cluster::RemoveRow(size_t i) {
-  assert(i < in_row_.size());
-  assert(HasRow(i));
+  DC_DCHECK_LT(i, in_row_.size());
+  DC_DCHECK(HasRow(i)) << "RemoveRow(" << i << ") on a non-member row";
   in_row_[i] = 0;
   EraseSorted(row_ids_, static_cast<uint32_t>(i));
 }
 
 void Cluster::AddCol(size_t j) {
-  assert(j < in_col_.size());
-  assert(!HasCol(j));
+  DC_DCHECK_LT(j, in_col_.size());
+  DC_DCHECK(!HasCol(j)) << "AddCol(" << j << ") on a member column";
   in_col_[j] = 1;
   InsertSorted(col_ids_, static_cast<uint32_t>(j));
 }
 
 void Cluster::RemoveCol(size_t j) {
-  assert(j < in_col_.size());
-  assert(HasCol(j));
+  DC_DCHECK_LT(j, in_col_.size());
+  DC_DCHECK(HasCol(j)) << "RemoveCol(" << j << ") on a non-member column";
   in_col_[j] = 0;
   EraseSorted(col_ids_, static_cast<uint32_t>(j));
 }
@@ -66,7 +67,7 @@ void Cluster::ToggleCol(size_t j) {
 }
 
 size_t Cluster::SharedRows(const Cluster& other) const {
-  assert(parent_rows() == other.parent_rows());
+  DC_DCHECK_EQ(parent_rows(), other.parent_rows());
   size_t count = 0;
   // Iterate the smaller member list, probe the other's mask.
   const Cluster& small = NumRows() <= other.NumRows() ? *this : other;
@@ -76,7 +77,7 @@ size_t Cluster::SharedRows(const Cluster& other) const {
 }
 
 size_t Cluster::SharedCols(const Cluster& other) const {
-  assert(parent_cols() == other.parent_cols());
+  DC_DCHECK_EQ(parent_cols(), other.parent_cols());
   size_t count = 0;
   const Cluster& small = NumCols() <= other.NumCols() ? *this : other;
   const Cluster& big = NumCols() <= other.NumCols() ? other : *this;
@@ -90,7 +91,7 @@ void Cluster::InsertSorted(std::vector<uint32_t>& ids, uint32_t id) {
 
 void Cluster::EraseSorted(std::vector<uint32_t>& ids, uint32_t id) {
   auto it = std::lower_bound(ids.begin(), ids.end(), id);
-  assert(it != ids.end() && *it == id);
+  DC_DCHECK(it != ids.end() && *it == id) << "EraseSorted: id " << id << " not present";
   ids.erase(it);
 }
 

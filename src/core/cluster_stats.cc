@@ -1,6 +1,6 @@
 #include "src/core/cluster_stats.h"
 
-#include <cassert>
+#include "src/util/check.h"
 
 namespace deltaclus {
 
@@ -30,7 +30,7 @@ void ClusterStats::Build(const DataMatrix& m, const Cluster& c) {
 }
 
 void ClusterStats::AddRow(const DataMatrix& m, const Cluster& c, size_t i) {
-  assert(i < m.rows());
+  DC_DCHECK_LT(i, m.rows());
   const double* values = m.raw_values();
   const uint8_t* mask = m.raw_mask();
   size_t row_off = m.RawIndex(i, 0);
@@ -51,7 +51,7 @@ void ClusterStats::AddRow(const DataMatrix& m, const Cluster& c, size_t i) {
 }
 
 void ClusterStats::RemoveRow(const DataMatrix& m, const Cluster& c, size_t i) {
-  assert(i < m.rows());
+  DC_DCHECK_LT(i, m.rows());
   const double* values = m.raw_values();
   const uint8_t* mask = m.raw_mask();
   size_t row_off = m.RawIndex(i, 0);
@@ -68,7 +68,7 @@ void ClusterStats::RemoveRow(const DataMatrix& m, const Cluster& c, size_t i) {
 }
 
 void ClusterStats::AddCol(const DataMatrix& m, const Cluster& c, size_t j) {
-  assert(j < m.cols());
+  DC_DCHECK_LT(j, m.cols());
   const double* values = m.raw_values();
   const uint8_t* mask = m.raw_mask();
   double sum = 0.0;
@@ -89,7 +89,7 @@ void ClusterStats::AddCol(const DataMatrix& m, const Cluster& c, size_t j) {
 }
 
 void ClusterStats::RemoveCol(const DataMatrix& m, const Cluster& c, size_t j) {
-  assert(j < m.cols());
+  DC_DCHECK_LT(j, m.cols());
   const double* values = m.raw_values();
   const uint8_t* mask = m.raw_mask();
   for (uint32_t i : c.row_ids()) {
@@ -146,14 +146,18 @@ ClusterView::ClusterView(const DataMatrix& matrix)
 
 ClusterView::ClusterView(const DataMatrix& matrix, Cluster cluster)
     : matrix_(&matrix), cluster_(std::move(cluster)) {
-  assert(cluster_.parent_rows() == matrix.rows());
-  assert(cluster_.parent_cols() == matrix.cols());
+  DC_CHECK_EQ(cluster_.parent_rows(), matrix.rows())
+      << "cluster bound to a matrix of different shape";
+  DC_CHECK_EQ(cluster_.parent_cols(), matrix.cols())
+      << "cluster bound to a matrix of different shape";
   stats_.Build(*matrix_, cluster_);
 }
 
 void ClusterView::Reset(Cluster cluster) {
-  assert(cluster.parent_rows() == matrix_->rows());
-  assert(cluster.parent_cols() == matrix_->cols());
+  DC_CHECK_EQ(cluster.parent_rows(), matrix_->rows())
+      << "Reset with a cluster of different parent shape";
+  DC_CHECK_EQ(cluster.parent_cols(), matrix_->cols())
+      << "Reset with a cluster of different parent shape";
   cluster_ = std::move(cluster);
   stats_.Build(*matrix_, cluster_);
 }

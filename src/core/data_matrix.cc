@@ -1,8 +1,9 @@
 #include "src/core/data_matrix.h"
 
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace deltaclus {
 
@@ -57,13 +58,13 @@ std::optional<double> DataMatrix::ValueOrMissing(size_t i, size_t j) const {
 }
 
 void DataMatrix::Set(size_t i, size_t j, double value) {
-  assert(i < rows_ && j < cols_);
+  DC_DCHECK(i < rows_ && j < cols_) << "Set(" << i << ", " << j << ") out of range";
   values_[Index(i, j)] = value;
   mask_[Index(i, j)] = 1;
 }
 
 void DataMatrix::SetMissing(size_t i, size_t j) {
-  assert(i < rows_ && j < cols_);
+  DC_DCHECK(i < rows_ && j < cols_) << "SetMissing(" << i << ", " << j << ") out of range";
   values_[Index(i, j)] = 0.0;
   mask_[Index(i, j)] = 0;
 }
@@ -75,14 +76,14 @@ size_t DataMatrix::NumSpecified() const {
 }
 
 size_t DataMatrix::NumSpecifiedInRow(size_t i) const {
-  assert(i < rows_);
+  DC_DCHECK_LT(i, rows_);
   size_t count = 0;
   for (size_t j = 0; j < cols_; ++j) count += mask_[Index(i, j)];
   return count;
 }
 
 size_t DataMatrix::NumSpecifiedInCol(size_t j) const {
-  assert(j < cols_);
+  DC_DCHECK_LT(j, cols_);
   size_t count = 0;
   for (size_t i = 0; i < rows_; ++i) count += mask_[Index(i, j)];
   return count;

@@ -1,11 +1,12 @@
 #include "src/core/floc.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 #include <thread>
 
+#include "src/core/audit.h"
 #include "src/util/stopwatch.h"
 
 namespace deltaclus {
@@ -16,6 +17,11 @@ namespace {
 // clusters: the candidate toggle with the highest gain among those not
 // blocked by constraints. Gains are measured on the per-cluster objective
 // (`scores`), which equals the residue when target_residue == 0.
+// Closeness tolerance for audit-mode comparisons of incrementally
+// maintained doubles against from-scratch recomputes (relative to
+// magnitude; see audit.cc).
+constexpr double kAuditTolerance = 1e-7;
+
 struct GainContext {
   const std::vector<ClusterView>* views;
   const std::vector<double>* scores;
@@ -123,6 +129,21 @@ Floc::Floc(FlocConfig config) : config_(std::move(config)) {
     for (const std::string& p : problems) message += "\n  - " + p;
     throw std::invalid_argument(message);
   }
+  if (!config_.audit) {
+    // DELTACLUS_AUDIT=1 forces audit mode on for every Floc instance;
+    // scripts/check.sh's audit stage runs the full test suite this way.
+    const char* env = std::getenv("DELTACLUS_AUDIT");
+    if (env != nullptr && env[0] != '\0' &&
+        !(env[0] == '0' && env[1] == '\0')) {
+      config_.audit = true;
+    }
+  }
+}
+
+void Floc::MaybeAudit(const ClusterView& view, const char* context) const {
+  if (!config_.audit) return;
+  AuditClusterView(view, config_.constraints, config_.norm, kAuditTolerance,
+                   context, audit_check_occupancy_);
 }
 
 double Floc::ClusterScore(double residue, size_t volume,
@@ -246,6 +267,7 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
         views[c].ToggleCol(cand.index);
         tracker.OnColToggled(views, c, cand.index);
       }
+      MaybeAudit(views[c], "RefineSweep");
       scores[c] = ClusterScore(engine.Residue(views[c]),
                                views[c].stats().Volume(), matrix_entries);
       ++applied;
@@ -384,6 +406,7 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
               config_.target_residue, matrix_entries);
   if (cand_score >= *score - config_.min_improvement) return false;
   view.Reset(std::move(candidate));
+  MaybeAudit(view, "ReanchorCluster");
   *score = cand_score;
   return true;
 }
@@ -408,6 +431,15 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
 
   ConstraintTracker tracker(matrix, config_.constraints);
   tracker.Rebuild(views);
+
+  audit_check_occupancy_ = false;
+  if (config_.audit && config_.constraints.alpha > 0.0) {
+    audit_check_occupancy_ = true;
+    for (const ClusterView& v : views) {
+      audit_check_occupancy_ = audit_check_occupancy_ &&
+          OccupancySatisfied(matrix, v.cluster(), config_.constraints.alpha);
+    }
+  }
 
   // Per-cluster objective values of the current clustering.
   std::vector<double> scores(k);
@@ -501,6 +533,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
         view.ToggleCol(action.index);
         tracker.OnColToggled(views, action.cluster, action.index);
       }
+      MaybeAudit(view, "move_phase");
       applied.push_back({action.target, action.index, action.cluster});
 
       double new_score = ClusterScore(engine.Residue(view),

@@ -152,6 +152,18 @@ struct FlocConfig {
   /// thread count: determination is read-only and per-row/column.
   int threads = 1;
 
+  /// Invariant-audit mode. When true, after every performed action the
+  /// affected cluster's volume, row/column bases, and residue are
+  /// recomputed from scratch and DC_CHECKed against the incrementally
+  /// maintained ClusterStats (see src/core/audit.h), and the
+  /// alpha-occupancy constraint is re-validated on its rows and columns
+  /// -- turning latent drift bugs into immediate, located fatal
+  /// failures. Costs O(volume) extra per action; meant for tests and
+  /// debugging, not production runs. The environment variable
+  /// DELTACLUS_AUDIT=1 forces this on at construction time, which is how
+  /// scripts/check.sh runs the whole FLOC test suite under audit.
+  bool audit = false;
+
   /// Returns a human-readable description of every inconsistency in this
   /// configuration (empty = valid). Floc's constructor throws
   /// std::invalid_argument listing them.
@@ -212,6 +224,11 @@ class Floc {
   // target_residue == 0 this is exactly the residue.
   double ClusterScore(double residue, size_t volume, size_t matrix_entries) const;
 
+  // Audit-mode hook: no-op unless config_.audit, in which case `view`'s
+  // incremental state is checked against a from-scratch recompute (fatal
+  // on drift). `context` names the calling phase in failure messages.
+  void MaybeAudit(const ClusterView& view, const char* context) const;
+
   // One full refinement sweep over all clusters (see refine_passes).
   // Returns the number of toggles applied.
   size_t RefineSweep(const DataMatrix& matrix, std::vector<ClusterView>& views,
@@ -242,6 +259,12 @@ class Floc {
                                            const ConstraintTracker& tracker);
 
   FlocConfig config_;
+
+  // Whether audit mode also re-validates alpha-occupancy. FLOC preserves
+  // occupancy but cannot establish it, so RunWithSeeds only turns this on
+  // when the initial clustering complies (Run() repairs its seeds;
+  // RunWithSeeds callers may pass arbitrary ones).
+  bool audit_check_occupancy_ = false;
 };
 
 /// Average of per-cluster residues for a set of clusters (utility shared

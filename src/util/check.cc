@@ -1,0 +1,23 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace deltaclus {
+namespace internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << "DC_CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace deltaclus

@@ -1,0 +1,101 @@
+// Fatal runtime checks with formatted messages.
+//
+// DC_CHECK(cond) aborts with file:line, the failed condition text, and
+// anything streamed onto it when `cond` is false; it is always compiled
+// in. DC_DCHECK is the debug-only variant (compiled out under NDEBUG,
+// like assert) for hot-path preconditions. Comparison forms capture both
+// operand values in the failure message:
+//
+//   DC_CHECK(volume > 0) << "cluster " << c << " is empty";
+//   DC_CHECK_EQ(view.stats().Volume(), reference.Volume());
+//   DC_DCHECK_LT(i, rows_);
+//
+// The failure path writes "DC_CHECK failed at file:line: cond message"
+// to stderr and calls std::abort(), so failures are catchable by gtest
+// death tests and carry a stack under a sanitizer build.
+#ifndef DELTACLUS_UTIL_CHECK_H_
+#define DELTACLUS_UTIL_CHECK_H_
+
+#include <sstream>
+
+namespace deltaclus {
+namespace internal {
+
+/// Collects the streamed failure message; aborts in the destructor.
+/// Only ever constructed on a failed check, so construction cost is
+/// irrelevant and the check's fast path is a single branch.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  ~CheckFailure();  // [[noreturn]] in effect: prints and aborts.
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Renders "lhs vs rhs" for the comparison check forms.
+template <typename A, typename B>
+std::string CheckOpMessage(const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << "(" << lhs << " vs " << rhs << ")";
+  return os.str();
+}
+
+}  // namespace internal
+}  // namespace deltaclus
+
+// The `while` keeps the macro usable as a single statement and lets the
+// caller stream context onto the failure; CheckFailure's destructor
+// aborts, so the loop body runs at most once.
+#define DC_CHECK(cond)                                              \
+  while (!(cond))                                                   \
+  ::deltaclus::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+#define DC_CHECK_OP(op, lhs, rhs)                                       \
+  while (!((lhs)op(rhs)))                                               \
+  ::deltaclus::internal::CheckFailure(__FILE__, __LINE__,               \
+                                      #lhs " " #op " " #rhs)            \
+      .stream()                                                         \
+      << ::deltaclus::internal::CheckOpMessage((lhs), (rhs)) << " "
+
+#define DC_CHECK_EQ(lhs, rhs) DC_CHECK_OP(==, lhs, rhs)
+#define DC_CHECK_NE(lhs, rhs) DC_CHECK_OP(!=, lhs, rhs)
+#define DC_CHECK_LT(lhs, rhs) DC_CHECK_OP(<, lhs, rhs)
+#define DC_CHECK_LE(lhs, rhs) DC_CHECK_OP(<=, lhs, rhs)
+#define DC_CHECK_GT(lhs, rhs) DC_CHECK_OP(>, lhs, rhs)
+#define DC_CHECK_GE(lhs, rhs) DC_CHECK_OP(>=, lhs, rhs)
+
+/// |lhs - rhs| must be within `tol`; the message carries all three.
+#define DC_CHECK_NEAR(lhs, rhs, tol)                                    \
+  while (!(((lhs) > (rhs) ? (lhs) - (rhs) : (rhs) - (lhs)) <= (tol)))   \
+  ::deltaclus::internal::CheckFailure(__FILE__, __LINE__,               \
+                                      "|" #lhs " - " #rhs "| <= " #tol) \
+      .stream()                                                         \
+      << ::deltaclus::internal::CheckOpMessage((lhs), (rhs)) << " "
+
+#ifdef NDEBUG
+// Swallows the condition and any streamed operands without evaluating
+// them; `false ? ... : ...` keeps everything type-checked.
+#define DC_DCHECK(cond) \
+  while (false && (cond)) ::deltaclus::internal::CheckFailure("", 0, "").stream()
+#define DC_DCHECK_EQ(lhs, rhs) DC_DCHECK((lhs) == (rhs))
+#define DC_DCHECK_NE(lhs, rhs) DC_DCHECK((lhs) != (rhs))
+#define DC_DCHECK_LT(lhs, rhs) DC_DCHECK((lhs) < (rhs))
+#define DC_DCHECK_LE(lhs, rhs) DC_DCHECK((lhs) <= (rhs))
+#define DC_DCHECK_GT(lhs, rhs) DC_DCHECK((lhs) > (rhs))
+#define DC_DCHECK_GE(lhs, rhs) DC_DCHECK((lhs) >= (rhs))
+#else
+#define DC_DCHECK(cond) DC_CHECK(cond)
+#define DC_DCHECK_EQ(lhs, rhs) DC_CHECK_EQ(lhs, rhs)
+#define DC_DCHECK_NE(lhs, rhs) DC_CHECK_NE(lhs, rhs)
+#define DC_DCHECK_LT(lhs, rhs) DC_CHECK_LT(lhs, rhs)
+#define DC_DCHECK_LE(lhs, rhs) DC_CHECK_LE(lhs, rhs)
+#define DC_DCHECK_GT(lhs, rhs) DC_CHECK_GT(lhs, rhs)
+#define DC_DCHECK_GE(lhs, rhs) DC_CHECK_GE(lhs, rhs)
+#endif
+
+#endif  // DELTACLUS_UTIL_CHECK_H_

@@ -1,0 +1,80 @@
+#include "src/util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace deltaclus {
+namespace {
+
+// Death tests fork; the threadsafe style re-executes the binary instead,
+// which stays correct if a test above ever spawns threads.
+class CheckDeathTest : public ::testing::Test {
+ protected:
+  CheckDeathTest() { ::testing::GTEST_FLAG(death_test_style) = "threadsafe"; }
+};
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DC_CHECK(true);
+  DC_CHECK(1 + 1 == 2) << "never rendered";
+  DC_CHECK_EQ(4, 4);
+  DC_CHECK_NE(4, 5);
+  DC_CHECK_LT(1, 2);
+  DC_CHECK_LE(2, 2);
+  DC_CHECK_GT(3, 2);
+  DC_CHECK_GE(3, 3);
+  DC_CHECK_NEAR(1.0, 1.0 + 1e-12, 1e-9);
+  DC_DCHECK(true);
+  DC_DCHECK_EQ(7, 7);
+}
+
+TEST(CheckTest, ChecksWorkAsSingleStatementInBranches) {
+  // The macros must parse as one statement (no dangling-else surprises).
+  if (true)
+    DC_CHECK(true);
+  else
+    DC_CHECK(true);
+}
+
+TEST_F(CheckDeathTest, FailureNamesFileAndCondition) {
+  EXPECT_DEATH(DC_CHECK(2 < 1),
+               "DC_CHECK failed at .*check_test\\.cc:[0-9]+: 2 < 1");
+}
+
+TEST_F(CheckDeathTest, FailureCarriesStreamedMessage) {
+  int cluster = 3;
+  EXPECT_DEATH(DC_CHECK(false) << "cluster " << cluster << " went bad",
+               "cluster 3 went bad");
+}
+
+TEST_F(CheckDeathTest, ComparisonFailureShowsBothOperands) {
+  size_t incremental = 10;
+  size_t recomputed = 12;
+  EXPECT_DEATH(DC_CHECK_EQ(incremental, recomputed) << "volume drift",
+               "incremental == recomputed \\(10 vs 12\\) volume drift");
+}
+
+TEST_F(CheckDeathTest, NearFailureShowsBothOperands) {
+  double fast = 1.5;
+  double naive = 2.5;
+  EXPECT_DEATH(DC_CHECK_NEAR(fast, naive, 1e-6), "\\(1\\.5 vs 2\\.5\\)");
+}
+
+TEST_F(CheckDeathTest, OrderedComparisonsAbortOnViolation) {
+  EXPECT_DEATH(DC_CHECK_LT(5, 3), "5 < 3");
+  EXPECT_DEATH(DC_CHECK_GE(2.0, 4.0), "2\\.0? >= 4");
+}
+
+#ifndef NDEBUG
+TEST_F(CheckDeathTest, DchecksAreFatalInDebugBuilds) {
+  EXPECT_DEATH(DC_DCHECK(false) << "debug only", "debug only");
+}
+#else
+TEST(CheckTest, DchecksCompileOutInReleaseBuilds) {
+  // Must not evaluate operands' side effects... the condition itself is
+  // never run, so a failing one is harmless.
+  DC_DCHECK(false);
+  DC_DCHECK_EQ(1, 2);
+}
+#endif
+
+}  // namespace
+}  // namespace deltaclus

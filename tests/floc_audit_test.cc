@@ -1,0 +1,173 @@
+// Tests for the invariant-audit layer (src/core/audit.h) and FLOC's
+// opt-in audit mode (FlocConfig::audit).
+#include "src/core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+class AuditDeathTest : public ::testing::Test {
+ protected:
+  AuditDeathTest() { ::testing::GTEST_FLAG(death_test_style) = "threadsafe"; }
+};
+
+constexpr double kTol = 1e-9;
+
+DataMatrix MakeMatrix(size_t rows, size_t cols, double density,
+                      uint64_t seed) {
+  Rng rng(seed);
+  DataMatrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (rng.Bernoulli(density)) m.Set(i, j, rng.Uniform(-10, 10));
+    }
+  }
+  return m;
+}
+
+TEST(AuditTest, ConsistentViewPassesAfterToggleStream) {
+  DataMatrix m = MakeMatrix(20, 12, 0.8, 1);
+  ClusterView view(m, Cluster::FromMembers(20, 12, {0, 3, 5, 9}, {1, 2, 7}));
+  Rng rng(2);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      view.ToggleRow(rng.UniformIndex(20));
+    } else {
+      view.ToggleCol(rng.UniformIndex(12));
+    }
+    AuditStatsMatchRecompute(m, view.cluster(), view.stats(), kTol, "test");
+    AuditResidueMatchesRebuild(view, ResidueNorm::kMeanAbsolute, kTol,
+                               "test");
+  }
+}
+
+TEST(AuditTest, FullViewAuditPassesOnBothNorms) {
+  DataMatrix m = MakeMatrix(15, 15, 0.6, 3);
+  ClusterView view(m, Cluster::FromMembers(15, 15, {1, 4, 6, 8}, {0, 3, 9}));
+  Constraints cons;
+  AuditClusterView(view, cons, ResidueNorm::kMeanAbsolute, kTol, "test");
+  AuditClusterView(view, cons, ResidueNorm::kMeanSquared, kTol, "test");
+}
+
+TEST_F(AuditDeathTest, CatchesVolumeCorruption) {
+  DataMatrix m = MakeMatrix(10, 8, 1.0, 4);
+  Cluster c = Cluster::FromMembers(10, 8, {1, 3, 5}, {0, 2, 4});
+  ClusterStats stats;
+  stats.Build(m, c);
+  // Deliberate corruption: re-adding a member row double-counts its
+  // entries in volume, total, and the column sums.
+  stats.AddRow(m, c, 3);
+  EXPECT_DEATH(AuditStatsMatchRecompute(m, c, stats, kTol, "corrupt"),
+               "corrupt: incremental volume drifted from recompute");
+}
+
+TEST_F(AuditDeathTest, CatchesColumnSumCorruption) {
+  DataMatrix m = MakeMatrix(10, 8, 1.0, 5);
+  Cluster c = Cluster::FromMembers(10, 8, {1, 3, 5}, {0, 2, 4});
+  ClusterStats stats;
+  stats.Build(m, c);
+  // Remove then re-add column 2 of a *mutated* cluster list: stats now
+  // describe a different column set than `c`.
+  Cluster wrong = c;
+  wrong.RemoveRow(5);
+  stats.RemoveCol(m, wrong, 2);
+  stats.AddCol(m, c, 2);
+  EXPECT_DEATH(AuditStatsMatchRecompute(m, c, stats, kTol, "corrupt"),
+               "corrupt");
+}
+
+TEST_F(AuditDeathTest, CatchesOccupancyViolation) {
+  // Column 3 is almost entirely missing, so any cluster containing it
+  // violates alpha = 0.9 occupancy.
+  DataMatrix m = MakeMatrix(10, 8, 1.0, 6);
+  for (size_t i = 1; i < 10; ++i) m.SetMissing(i, 3);
+  Cluster c = Cluster::FromMembers(10, 8, {1, 2, 4, 6}, {0, 3, 5});
+  EXPECT_FALSE(OccupancySatisfied(m, c, 0.9));
+  // Rows are audited before columns, so the first located failure is a
+  // member row starved by the missing column.
+  EXPECT_DEATH(AuditOccupancy(m, c, 0.9, "occ"),
+               "occ: row [0-9]+ fell below alpha-occupancy");
+}
+
+TEST(AuditTest, OccupancySatisfiedOnDenseCluster) {
+  DataMatrix m = MakeMatrix(10, 8, 1.0, 7);
+  Cluster c = Cluster::FromMembers(10, 8, {0, 1, 2}, {0, 1, 2});
+  EXPECT_TRUE(OccupancySatisfied(m, c, 1.0));
+  EXPECT_TRUE(OccupancySatisfied(m, c, 0.0));
+}
+
+// --- FLOC's audit mode end-to-end. ---
+
+SyntheticDataset PlantedData(uint64_t seed) {
+  SyntheticConfig config;
+  config.rows = 80;
+  config.cols = 20;
+  config.num_clusters = 2;
+  config.volume_mean = 60;
+  config.col_fraction = 0.25;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+TEST(FlocAuditTest, AuditedRunMatchesUnauditedRun) {
+  SyntheticDataset data = PlantedData(11);
+  FlocConfig config;
+  config.num_clusters = 6;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.refine_passes = 2;
+  config.reseed_rounds = 1;
+  config.rng_seed = 13;
+
+  FlocResult plain = Floc(config).Run(data.matrix);
+  config.audit = true;
+  FlocResult audited = Floc(config).Run(data.matrix);
+
+  // Audit mode only observes; it must not perturb the search.
+  ASSERT_EQ(plain.clusters.size(), audited.clusters.size());
+  for (size_t c = 0; c < plain.clusters.size(); ++c) {
+    EXPECT_TRUE(plain.clusters[c] == audited.clusters[c]) << "cluster " << c;
+  }
+  EXPECT_DOUBLE_EQ(plain.average_residue, audited.average_residue);
+}
+
+TEST(FlocAuditTest, AuditedRunWithConstraintsAndMissingValues) {
+  SyntheticDataset data = PlantedData(17);
+  // Punch holes so occupancy is non-trivial.
+  Rng rng(19);
+  DataMatrix matrix = data.matrix;
+  for (size_t i = 0; i < matrix.rows(); ++i) {
+    for (size_t j = 0; j < matrix.cols(); ++j) {
+      if (rng.Bernoulli(0.15)) matrix.SetMissing(i, j);
+    }
+  }
+  FlocConfig config;
+  config.num_clusters = 4;
+  config.constraints.alpha = 0.5;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.refine_passes = 1;
+  config.rng_seed = 23;
+  config.audit = true;
+  FlocResult result = Floc(config).Run(matrix);
+  EXPECT_EQ(result.clusters.size(), 4u);
+}
+
+TEST(FlocAuditTest, PaperModeAuditedRunCompletes) {
+  SyntheticDataset data = PlantedData(29);
+  FlocConfig config;
+  config.num_clusters = 5;
+  config.rng_seed = 31;
+  config.audit = true;
+  FlocResult result = Floc(config).Run(data.matrix);
+  EXPECT_EQ(result.clusters.size(), 5u);
+}
+
+}  // namespace
+}  // namespace deltaclus

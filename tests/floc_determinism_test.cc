@@ -1,0 +1,114 @@
+// Multi-threaded determinism: the gain-determination scan fans out over
+// std::thread workers, and the contract (FlocConfig::threads) is that
+// results are identical for any thread count. These tests pin that down
+// by running the same seeded configuration at threads=1 and threads=8
+// and asserting the runs took identical actions: same per-iteration
+// history, same final clusters, same residues. The TSan preset
+// (scripts/check.sh tsan) runs this file to prove the scan race-free.
+#include <gtest/gtest.h>
+
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+
+namespace deltaclus {
+namespace {
+
+SyntheticDataset PlantedData(uint64_t seed) {
+  SyntheticConfig config;
+  config.rows = 150;
+  config.cols = 40;
+  config.num_clusters = 3;
+  config.volume_mean = 150;
+  config.col_fraction = 0.2;
+  config.noise_stddev = 0.5;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+// Runs `config` at both thread counts and asserts identical outcomes.
+void ExpectIdenticalAcrossThreadCounts(FlocConfig config,
+                                       const DataMatrix& matrix) {
+  config.threads = 1;
+  FlocResult seq = Floc(config).Run(matrix);
+  config.threads = 8;
+  FlocResult par = Floc(config).Run(matrix);
+
+  // Identical actions => identical per-iteration history...
+  ASSERT_EQ(seq.iterations, par.iterations);
+  ASSERT_EQ(seq.history.size(), par.history.size());
+  for (size_t t = 0; t < seq.history.size(); ++t) {
+    EXPECT_EQ(seq.history[t].actions_applied, par.history[t].actions_applied)
+        << "iteration " << t;
+    EXPECT_EQ(seq.history[t].improved, par.history[t].improved)
+        << "iteration " << t;
+    EXPECT_DOUBLE_EQ(seq.history[t].best_average_residue,
+                     par.history[t].best_average_residue)
+        << "iteration " << t;
+  }
+
+  // ...and an identical final clustering, bit for bit.
+  ASSERT_EQ(seq.clusters.size(), par.clusters.size());
+  for (size_t c = 0; c < seq.clusters.size(); ++c) {
+    EXPECT_TRUE(seq.clusters[c] == par.clusters[c]) << "cluster " << c;
+    EXPECT_DOUBLE_EQ(seq.residues[c], par.residues[c]) << "cluster " << c;
+  }
+  EXPECT_DOUBLE_EQ(seq.average_residue, par.average_residue);
+}
+
+TEST(FlocDeterminismTest, PaperModeIdenticalAtOneAndEightThreads) {
+  SyntheticDataset data = PlantedData(101);
+  FlocConfig config;
+  config.num_clusters = 8;
+  config.rng_seed = 7;
+  ExpectIdenticalAcrossThreadCounts(config, data.matrix);
+}
+
+TEST(FlocDeterminismTest, VolumeSeekingModeIdenticalAtOneAndEightThreads) {
+  SyntheticDataset data = PlantedData(103);
+  FlocConfig config;
+  config.num_clusters = 10;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.refine_passes = 2;
+  config.reseed_rounds = 1;
+  config.rng_seed = 11;
+  ExpectIdenticalAcrossThreadCounts(config, data.matrix);
+}
+
+TEST(FlocDeterminismTest, ConstrainedRunIdenticalAtOneAndEightThreads) {
+  SyntheticDataset data = PlantedData(107);
+  FlocConfig config;
+  config.num_clusters = 6;
+  config.constraints.alpha = 0.6;
+  config.constraints.max_overlap = 0.5;
+  config.constraints.min_rows = 3;
+  config.constraints.min_cols = 3;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.rng_seed = 13;
+  ExpectIdenticalAcrossThreadCounts(config, data.matrix);
+}
+
+TEST(FlocDeterminismTest, OddThreadCountsAgreeToo) {
+  // Chunked work splitting must not depend on the split points.
+  SyntheticDataset data = PlantedData(109);
+  FlocConfig config;
+  config.num_clusters = 5;
+  config.rng_seed = 17;
+  config.threads = 1;
+  FlocResult base = Floc(config).Run(data.matrix);
+  for (int threads : {2, 3, 5, 7}) {
+    config.threads = threads;
+    FlocResult run = Floc(config).Run(data.matrix);
+    ASSERT_EQ(base.clusters.size(), run.clusters.size()) << threads;
+    for (size_t c = 0; c < base.clusters.size(); ++c) {
+      EXPECT_TRUE(base.clusters[c] == run.clusters[c])
+          << "threads=" << threads << " cluster " << c;
+    }
+    EXPECT_DOUBLE_EQ(base.average_residue, run.average_residue)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace deltaclus
