@@ -39,10 +39,15 @@ FlocConfig FullRecipe(size_t k) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("ablation", argc, argv);
+  bool quick = report.quick();
   size_t rows = quick ? 500 : 1000;
   size_t cols = 50;
   size_t k = quick ? 30 : 60;
+  report.Config("rows", bench::Uint(rows));
+  report.Config("cols", bench::Uint(cols));
+  report.Config("embedded_clusters", bench::Uint(20));
+  report.Config("k", bench::Uint(k));
 
   SyntheticConfig data_config;
   data_config.rows = rows;
@@ -113,6 +118,14 @@ int main(int argc, char** argv) {
                   TextTable::Num(q.recall, 2), TextTable::Num(q.precision, 2),
                   TextTable::Int(AggregateVolume(data.matrix, result.clusters)),
                   TextTable::Num(result.elapsed_seconds, 2)});
+    report.AddResult(
+        {{"variant", bench::Str(v.name)},
+         {"residue", bench::Num(result.average_residue)},
+         {"recall", bench::Num(q.recall)},
+         {"precision", bench::Num(q.precision)},
+         {"volume",
+          bench::Uint(AggregateVolume(data.matrix, result.clusters))},
+         {"seconds", bench::Num(result.elapsed_seconds)}});
     std::fflush(stdout);
   }
   table.Print(std::cout);

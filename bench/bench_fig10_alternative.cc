@@ -16,12 +16,12 @@
 #include "src/core/floc.h"
 #include "src/data/synthetic.h"
 #include "src/eval/table.h"
-#include "src/util/stopwatch.h"
 
 using namespace deltaclus;  // NOLINT
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("fig10_alternative", argc, argv);
+  bool quick = report.quick();
   // Paper scale: 3000 objects, k = 100, attributes swept to 500 (the
   // alternative plotted only to 100). Scaled down for one core; the
   // asymptotic contrast is unchanged.
@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   // Beyond this many attributes the alternative is skipped, like the
   // paper's plot that stops at 100 of 500.
   size_t alternative_cutoff = quick ? 20 : 60;
+  report.Config("rows", bench::Uint(rows));
+  report.Config("k", bench::Uint(k));
+  report.Config("alternative_cutoff", bench::Uint(alternative_cutoff));
 
   std::printf(
       "Figure 10 (paper Section 6.2.1): response time vs number of\n"
@@ -66,6 +69,7 @@ int main(int argc, char** argv) {
 
     std::string alt_cell = "(skipped)";
     size_t derived = cols * (cols - 1) / 2;
+    std::string alt_seconds_json = "null";
     if (cols <= alternative_cutoff) {
       AlternativeConfig alt;
       alt.clique.num_intervals = 20;
@@ -76,9 +80,15 @@ int main(int argc, char** argv) {
       AlternativeResult alt_result = RunAlternative(data.matrix, alt);
       alt_cell = TextTable::Num(alt_result.elapsed_seconds, 2);
       if (alt_result.truncated) alt_cell += " (truncated)";
+      alt_seconds_json = bench::Num(alt_result.elapsed_seconds);
     }
     table.AddRow({TextTable::Int(cols), TextTable::Int(derived),
                   TextTable::Num(floc_result.elapsed_seconds, 2), alt_cell});
+    report.AddResult(
+        {{"attributes", bench::Uint(cols)},
+         {"derived_attributes", bench::Uint(derived)},
+         {"floc_seconds", bench::Num(floc_result.elapsed_seconds)},
+         {"alternative_seconds", alt_seconds_json}});
     std::fflush(stdout);
   }
   table.Print(std::cout);

@@ -19,7 +19,8 @@
 using namespace deltaclus;  // NOLINT
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("fig8_seed_volume", argc, argv);
+  bool quick = report.quick();
   // Paper scale is 3000x100 with k = 100; scaled to stay laptop-friendly
   // on one core (the shape, a U around ratio 0, is scale-free).
   size_t rows = quick ? 600 : 1500;
@@ -27,6 +28,11 @@ int main(int argc, char** argv) {
   size_t embedded = quick ? 25 : 60;
   size_t k = quick ? 20 : 50;
   double embedded_volume = 100;
+  report.Config("rows", bench::Uint(rows));
+  report.Config("cols", bench::Uint(cols));
+  report.Config("embedded_clusters", bench::Uint(embedded));
+  report.Config("embedded_volume", bench::Num(embedded_volume));
+  report.Config("k", bench::Uint(k));
 
   std::printf(
       "Figure 8 (paper Section 6.2.1): iterations and response time vs the\n"
@@ -75,6 +81,9 @@ int main(int argc, char** argv) {
     table.AddRow({TextTable::Num(ratio, 2),
                   TextTable::Num(iters / repetitions, 1),
                   TextTable::Num(secs / repetitions, 2)});
+    report.AddResult({{"volume_ratio", bench::Num(ratio)},
+                      {"iterations", bench::Num(iters / repetitions)},
+                      {"seconds", bench::Num(secs / repetitions)}});
     std::fflush(stdout);
   }
   table.Print(std::cout);

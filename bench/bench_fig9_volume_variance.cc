@@ -19,7 +19,8 @@
 using namespace deltaclus;  // NOLINT
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("fig9_volume_variance", argc, argv);
+  bool quick = report.quick();
   // Paper scale is 3000x100, k = 100; scaled down for one core.
   size_t rows = quick ? 500 : 1000;
   size_t cols = quick ? 40 : 50;
@@ -32,6 +33,11 @@ int main(int argc, char** argv) {
       quick ? std::vector<int>{0, 3, 5} : std::vector<int>{0, 1, 2, 3, 4, 5};
   std::vector<int> seed_variances =
       quick ? std::vector<int>{0, 5} : std::vector<int>{0, 1, 3, 5};
+  report.Config("rows", bench::Uint(rows));
+  report.Config("cols", bench::Uint(cols));
+  report.Config("embedded_clusters", bench::Uint(embedded));
+  report.Config("volume_mean", bench::Num(volume_mean));
+  report.Config("k", bench::Uint(k));
 
   std::printf(
       "Figure 9 (paper Section 6.2.1): iterations (a) and response time\n"
@@ -83,6 +89,11 @@ int main(int argc, char** argv) {
       }
       iter_row.push_back(TextTable::Num(iters / repetitions, 1));
       time_row.push_back(TextTable::Num(secs / repetitions, 2));
+      report.AddResult(
+          {{"embedded_variance", bench::Int(ev)},
+           {"seed_variance", bench::Int(sv)},
+           {"iterations", bench::Num(iters / repetitions)},
+           {"seconds", bench::Num(secs / repetitions)}});
       std::fflush(stdout);
     }
     iterations.AddRow(iter_row);

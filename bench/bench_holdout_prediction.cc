@@ -57,7 +57,8 @@ Errors Evaluate(const DataMatrix& truth,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("holdout_prediction", argc, argv);
+  bool quick = report.quick();
   MovieLensSynthConfig data_config;
   data_config.users = quick ? 300 : 600;
   data_config.movies = quick ? 400 : 800;
@@ -66,6 +67,10 @@ int main(int argc, char** argv) {
   data_config.group_noise = 0.5;
   data_config.seed = 3;
   MovieLensSynthDataset data = GenerateMovieLens(data_config);
+  report.Config("users", bench::Uint(data.matrix.rows()));
+  report.Config("movies", bench::Uint(data.matrix.cols()));
+  report.Config("ratings", bench::Uint(data.matrix.NumSpecified()));
+  report.Config("holdout_fraction", bench::Num(0.1));
 
   std::printf(
       "Hold-out rating prediction on a %zux%zu MovieLens-shaped matrix\n"
@@ -134,6 +139,10 @@ int main(int argc, char** argv) {
   auto add = [&](const char* name, const Errors& e) {
     table.AddRow({name, TextTable::Int(e.n), TextTable::Num(e.mae, 3),
                   TextTable::Num(e.rmse, 3)});
+    report.AddResult({{"predictor", bench::Str(name)},
+                      {"predicted", bench::Uint(e.n)},
+                      {"mae", bench::Num(e.mae)},
+                      {"rmse", bench::Num(e.rmse)}});
   };
   add("global mean", Evaluate(data.matrix, held, [&](uint32_t, uint32_t) {
         return std::optional<double>(global_mean);

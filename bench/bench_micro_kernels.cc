@@ -1,10 +1,15 @@
 // Micro-benchmarks for the core kernels: residue evaluation, virtual
 // toggles (the gain kernel), incremental vs full-rebuild ClusterStats,
-// and seed generation. These quantify the design choices DESIGN.md calls
-// out: stats-backed residue passes vs naive recomputation, and
-// virtual-toggle gain evaluation vs copy-then-toggle.
+// seed generation, and the telemetry overhead guard (FLOC with telemetry
+// off vs full; docs/OBSERVABILITY.md quotes the acceptance bound). These
+// quantify the design choices DESIGN.md calls out: stats-backed residue
+// passes vs naive recomputation, and virtual-toggle gain evaluation vs
+// copy-then-toggle.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench/bench_common.h"
 #include "src/core/cluster_stats.h"
 #include "src/core/floc.h"
 #include "src/core/residue.h"
@@ -138,7 +143,88 @@ void BM_FlocSmall(benchmark::State& state) {
 }
 BENCHMARK(BM_FlocSmall)->Unit(benchmark::kMillisecond);
 
+// Telemetry overhead guard: the same FLOC run with telemetry off and at
+// kFull. The off path must stay within noise of the pre-telemetry
+// baseline (ISSUE acceptance bound: < 2%); the full path quantifies what
+// --telemetry=full costs.
+SyntheticDataset TelemetryData() {
+  SyntheticConfig config;
+  config.rows = 300;
+  config.cols = 40;
+  config.num_clusters = 6;
+  config.noise_stddev = 1.0;
+  config.seed = 23;
+  return GenerateSynthetic(config);
+}
+
+FlocConfig TelemetryFlocConfig(obs::TelemetryLevel level) {
+  FlocConfig config;
+  config.num_clusters = 6;
+  config.refine_passes = 1;
+  config.reseed_rounds = 0;
+  config.rng_seed = 29;
+  config.telemetry = level;
+  return config;
+}
+
+void BM_FlocTelemetryOff(benchmark::State& state) {
+  SyntheticDataset data = TelemetryData();
+  FlocConfig config = TelemetryFlocConfig(obs::TelemetryLevel::kOff);
+  for (auto _ : state) {
+    Floc floc(config);
+    benchmark::DoNotOptimize(floc.Run(data.matrix));
+  }
+}
+BENCHMARK(BM_FlocTelemetryOff)->Unit(benchmark::kMillisecond);
+
+void BM_FlocTelemetryFull(benchmark::State& state) {
+  SyntheticDataset data = TelemetryData();
+  FlocConfig config = TelemetryFlocConfig(obs::TelemetryLevel::kFull);
+  for (auto _ : state) {
+    Floc floc(config);
+    benchmark::DoNotOptimize(floc.Run(data.matrix));
+  }
+}
+BENCHMARK(BM_FlocTelemetryFull)->Unit(benchmark::kMillisecond);
+
+// Forwards to the normal console output while collecting one BENCH
+// result row per reported run (iteration runs and aggregates alike).
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->AddResult(
+          {{"benchmark", bench::Str(run.benchmark_name())},
+           {"iterations", bench::Int(run.iterations)},
+           {"real_time", bench::Num(run.GetAdjustedRealTime())},
+           {"cpu_time", bench::Num(run.GetAdjustedCPUTime())},
+           {"time_unit", bench::Str(GetTimeUnitString(run.time_unit))}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace deltaclus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace deltaclus;  // NOLINT
+  bench::BenchReport report("micro_kernels", argc, argv);
+  // --quick and --json-out are ours; benchmark::Initialize tolerates the
+  // leftovers as long as ReportUnrecognizedArguments is not called. In
+  // quick mode only the telemetry-overhead pair runs (CI's use case).
+  benchmark::Initialize(&argc, argv);
+  if (report.quick()) {
+    benchmark::SetBenchmarkFilter("BM_FlocTelemetry.*");
+  }
+  RecordingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

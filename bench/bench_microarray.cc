@@ -22,7 +22,8 @@
 using namespace deltaclus;  // NOLINT
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("microarray", argc, argv);
+  bool quick = report.quick();
   MicroarraySynthConfig data_config;
   if (quick) {
     data_config.genes = 700;
@@ -30,6 +31,9 @@ int main(int argc, char** argv) {
   }
   MicroarraySynthDataset data = GenerateMicroarray(data_config);
   size_t k = quick ? 25 : 100;
+  report.Config("genes", bench::Uint(data.matrix.rows()));
+  report.Config("conditions", bench::Uint(data.matrix.cols()));
+  report.Config("k", bench::Uint(k));
 
   std::printf(
       "Section 6.1.2: FLOC vs Cheng & Church on a %zu x %zu yeast-shaped\n"
@@ -86,6 +90,24 @@ int main(int argc, char** argv) {
       "\nplanted-block recovery: FLOC recall %.2f / precision %.2f;\n"
       "Cheng-Church recall %.2f / precision %.2f\n",
       floc_q.recall, floc_q.precision, cc_q.recall, cc_q.precision);
+  report.AddResult(
+      {{"algorithm", bench::Str("floc")},
+       {"clusters", bench::Uint(floc_result.clusters.size())},
+       {"residue", bench::Num(floc_result.average_residue)},
+       {"volume",
+        bench::Uint(AggregateVolume(data.matrix, floc_result.clusters))},
+       {"seconds", bench::Num(floc_result.elapsed_seconds)},
+       {"recall", bench::Num(floc_q.recall)},
+       {"precision", bench::Num(floc_q.precision)}});
+  report.AddResult(
+      {{"algorithm", bench::Str("cheng_church")},
+       {"clusters", bench::Uint(cc_result.clusters.size())},
+       {"residue", bench::Num(cc_residue)},
+       {"volume",
+        bench::Uint(AggregateVolume(data.matrix, cc_result.clusters))},
+       {"seconds", bench::Num(cc_result.elapsed_seconds)},
+       {"recall", bench::Num(cc_q.recall)},
+       {"precision", bench::Num(cc_q.precision)}});
   std::printf(
       "\npaper: FLOC residue 10.34 vs 12.54, ~20%% more aggregated volume,\n"
       "an order of magnitude faster. Expected shape: FLOC wins residue\n"

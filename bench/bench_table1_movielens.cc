@@ -22,7 +22,8 @@
 using namespace deltaclus;  // NOLINT
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("table1_movielens", argc, argv);
+  bool quick = report.quick();
   MovieLensSynthConfig data_config;
   if (quick) {
     data_config.users = 300;
@@ -31,6 +32,10 @@ int main(int argc, char** argv) {
     data_config.num_groups = 4;
   }
   MovieLensSynthDataset data = GenerateMovieLens(data_config);
+  report.Config("users", bench::Uint(data.matrix.rows()));
+  report.Config("movies", bench::Uint(data.matrix.cols()));
+  report.Config("ratings", bench::Uint(data.matrix.NumSpecified()));
+  report.Config("alpha", bench::Num(0.6));
   std::printf(
       "Table 1 (paper Section 6.1.1): delta-clusters in MovieLens-shaped\n"
       "ratings (%zu users x %zu movies, %zu ratings, density %.1f%%),\n"
@@ -100,6 +105,12 @@ int main(int argc, char** argv) {
     std::printf(
         "planted-group recovery: recall %.2f, precision %.2f\n\n",
         q.recall, q.precision);
+    report.AddResult({{"k", bench::Uint(k)},
+                      {"iterations", bench::Uint(result.iterations)},
+                      {"seconds", bench::Num(result.elapsed_seconds)},
+                      {"average_residue", bench::Num(result.average_residue)},
+                      {"recall", bench::Num(q.recall)},
+                      {"precision", bench::Num(q.precision)}});
   }
   std::printf(
       "paper (real MovieLens): volumes 1998-2755, 36-72 movies, 48-88\n"

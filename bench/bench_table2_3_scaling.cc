@@ -30,7 +30,8 @@ struct MatrixSpec {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("table2_3_scaling", argc, argv);
+  bool quick = report.quick();
   std::vector<MatrixSpec> sizes = {{100, 20, "100x20"},
                                    {500, 50, "500x50"},
                                    {1000, 50, "1000x50"},
@@ -40,6 +41,8 @@ int main(int argc, char** argv) {
     sizes = {{100, 20, "100x20"}, {500, 50, "500x50"}};
     ks = {10, 20};
   }
+  report.Config("embedded_clusters", bench::Uint(50));
+  report.Config("noise_stddev", bench::Num(2.0));
 
   std::printf(
       "Tables 2 & 3 (paper Section 6.2.1): FLOC iterations and response\n"
@@ -84,6 +87,11 @@ int main(int argc, char** argv) {
 
       iter_row.push_back(TextTable::Int(result.iterations));
       time_row.push_back(TextTable::Num(result.elapsed_seconds, 2));
+      report.AddResult({{"k", bench::Uint(k)},
+                        {"rows", bench::Uint(spec.rows)},
+                        {"cols", bench::Uint(spec.cols)},
+                        {"iterations", bench::Uint(result.iterations)},
+                        {"seconds", bench::Num(result.elapsed_seconds)}});
       std::fflush(stdout);
     }
     iterations.AddRow(iter_row);

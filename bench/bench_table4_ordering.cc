@@ -24,12 +24,18 @@
 using namespace deltaclus;  // NOLINT
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("table4_ordering", argc, argv);
+  bool quick = report.quick();
   size_t rows = quick ? 400 : 600;
   size_t cols = quick ? 40 : 50;
   size_t embedded = quick ? 8 : 12;
   size_t k = quick ? 24 : 36;
   int repetitions = quick ? 2 : 6;
+  report.Config("rows", bench::Uint(rows));
+  report.Config("cols", bench::Uint(cols));
+  report.Config("embedded_clusters", bench::Uint(embedded));
+  report.Config("k", bench::Uint(k));
+  report.Config("repetitions", bench::Int(repetitions));
 
   std::printf(
       "Table 4 (paper Section 6.2.2): clustering quality vs action\n"
@@ -82,6 +88,10 @@ int main(int argc, char** argv) {
     table.AddRow({ToString(ordering), TextTable::Num(residue / repetitions, 2),
                   TextTable::Num(recall / repetitions, 2),
                   TextTable::Num(precision / repetitions, 2)});
+    report.AddResult({{"ordering", bench::Str(ToString(ordering))},
+                      {"residue", bench::Num(residue / repetitions)},
+                      {"recall", bench::Num(recall / repetitions)},
+                      {"precision", bench::Num(precision / repetitions)}});
   }
   table.Print(std::cout);
   std::printf(

@@ -19,7 +19,8 @@
 using namespace deltaclus;  // NOLINT
 
 int main(int argc, char** argv) {
-  bool quick = bench::QuickMode(argc, argv);
+  bench::BenchReport report("table5_variance", argc, argv);
+  bool quick = report.quick();
   // Paper scale is 3000x100 with 100 embedded clusters and k = 100;
   // scaled down for one core, keeping k ~ 6x the embedded count so most
   // planted clusters get a seed that can lock onto them.
@@ -42,6 +43,12 @@ int main(int argc, char** argv) {
                                             : std::vector<int>{0, 1, 2, 3, 4, 5};
 
   int repetitions = quick ? 1 : 2;
+  report.Config("rows", bench::Uint(rows));
+  report.Config("cols", bench::Uint(cols));
+  report.Config("embedded_clusters", bench::Uint(embedded));
+  report.Config("volume_mean", bench::Num(volume_mean));
+  report.Config("k", bench::Uint(k));
+  report.Config("repetitions", bench::Int(repetitions));
   TextTable table({"variance", "residue", "recall", "precision"});
   for (int v : variance_indices) {
     double unit = volume_mean / 3;
@@ -85,6 +92,10 @@ int main(int argc, char** argv) {
                   TextTable::Num(residue / repetitions, 2),
                   TextTable::Num(recall / repetitions, 2),
                   TextTable::Num(precision / repetitions, 2)});
+    report.AddResult({{"variance_index", bench::Int(v)},
+                      {"residue", bench::Num(residue / repetitions)},
+                      {"recall", bench::Num(recall / repetitions)},
+                      {"precision", bench::Num(precision / repetitions)}});
     std::fflush(stdout);
   }
   table.Print(std::cout);

@@ -9,6 +9,8 @@
 #   tsan    TSan preset: configure, build, ctest
 #   audit   FLOC invariant-audit mode: floc/property test binaries rerun
 #           with DELTACLUS_AUDIT=1 (see docs/DEVELOPMENT.md)
+#   bench   run one small bench binary in --quick mode and validate its
+#           BENCH_*.json record against scripts/bench_schema.json
 #
 # Usage:
 #   scripts/check.sh              # everything
@@ -109,13 +111,32 @@ stage_audit() {
   fi
 }
 
+stage_bench() {
+  note "bench (quick run + BENCH json schema validation)"
+  if [ ! -x build/bench/bench_fig8_seed_volume ]; then
+    cmake --preset default >/dev/null
+    cmake --build --preset default -j "$JOBS" --target bench_fig8_seed_volume
+  fi
+  local out
+  out="$(mktemp -d)"
+  if ./build/bench/bench_fig8_seed_volume --quick \
+        --json-out="$out/BENCH_fig8_seed_volume.json" \
+      && python3 scripts/validate_bench_json.py \
+        "$out/BENCH_fig8_seed_volume.json"; then
+    echo "bench: BENCH json valid"
+  else
+    fail "bench run or BENCH json validation"
+  fi
+  rm -rf "$out"
+}
+
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(format tidy build asan tsan audit)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(format tidy build asan tsan audit bench)
 
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    format|tidy|build|asan|tsan|audit) "stage_$stage" ;;
-    *) echo "unknown stage: $stage (expected: format tidy build asan tsan audit)"; exit 2 ;;
+    format|tidy|build|asan|tsan|audit|bench) "stage_$stage" ;;
+    *) echo "unknown stage: $stage (expected: format tidy build asan tsan audit bench)"; exit 2 ;;
   esac
 done
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json records against scripts/bench_schema.json.
+
+Standard library only (no jsonschema dependency): implements exactly the
+JSON Schema subset the checked-in schema uses -- type / const / required /
+properties / additionalProperties / items / pattern / minimum / minLength /
+minProperties. Unknown schema keywords are an error so the schema cannot
+silently outgrow the validator.
+
+Usage:
+    scripts/validate_bench_json.py BENCH_foo.json [BENCH_bar.json ...]
+    scripts/validate_bench_json.py --schema scripts/bench_schema.json out/*.json
+
+Exit status: 0 if every file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+HANDLED_KEYWORDS = {
+    "$schema", "title", "description", "type", "const", "required",
+    "properties", "additionalProperties", "items", "pattern", "minimum",
+    "minLength", "minProperties",
+}
+
+
+def type_matches(value, expected):
+    """One JSON Schema primitive type name vs a parsed Python value."""
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    raise ValueError(f"unsupported type name in schema: {expected!r}")
+
+
+def validate(value, schema, path, errors):
+    """Appends 'path: problem' strings to errors; returns nothing."""
+    unknown = set(schema) - HANDLED_KEYWORDS
+    if unknown:
+        raise ValueError(
+            f"schema keyword(s) {sorted(unknown)} at {path or '$'} are not "
+            "supported by this validator; extend validate_bench_json.py")
+
+    here = path or "$"
+    if "type" in schema:
+        expected = schema["type"]
+        names = expected if isinstance(expected, list) else [expected]
+        if not any(type_matches(value, n) for n in names):
+            errors.append(f"{here}: expected type {expected}, "
+                          f"got {type(value).__name__} ({value!r})")
+            return
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{here}: expected constant {schema['const']!r}, "
+                      f"got {value!r}")
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{here}: {value!r} does not match pattern "
+                          f"{schema['pattern']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{here}: {value!r} < minimum {schema['minimum']}")
+    if "minLength" in schema and isinstance(value, str):
+        if len(value) < schema["minLength"]:
+            errors.append(f"{here}: length {len(value)} < minLength "
+                          f"{schema['minLength']}")
+    if isinstance(value, dict):
+        if "minProperties" in schema and len(value) < schema["minProperties"]:
+            errors.append(f"{here}: {len(value)} properties < minProperties "
+                          f"{schema['minProperties']}")
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{here}: missing required property {key!r}")
+        props = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            key_path = f"{here}.{key}"
+            if key in props:
+                validate(sub, props[key], key_path, errors)
+            elif isinstance(additional, dict):
+                validate(sub, additional, key_path, errors)
+            elif additional is False:
+                errors.append(f"{key_path}: property not allowed by schema")
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{here}[{i}]", errors)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", type=pathlib.Path,
+                        help="BENCH_<name>.json files to validate")
+    parser.add_argument(
+        "--schema",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent / "bench_schema.json",
+        help="schema file (default: scripts/bench_schema.json)")
+    args = parser.parse_args()
+
+    schema = json.loads(args.schema.read_text())
+    failures = 0
+    for f in args.files:
+        try:
+            record = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {f}: {e}")
+            failures += 1
+            continue
+        errors = []
+        validate(record, schema, "", errors)
+        if errors:
+            print(f"FAIL {f}:")
+            for e in errors:
+                print(f"  {e}")
+            failures += 1
+        else:
+            n = len(record.get("results", []))
+            print(f"OK   {f}: name={record.get('name')!r}, {n} result row(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

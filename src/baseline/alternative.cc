@@ -6,37 +6,48 @@
 #include "src/baseline/derived_transform.h"
 #include "src/core/cluster_stats.h"
 #include "src/core/residue.h"
-#include "src/util/stopwatch.h"
+#include "src/obs/clock.h"
+#include "src/obs/trace.h"
 
 namespace deltaclus {
 
 AlternativeResult RunAlternative(const DataMatrix& matrix,
                                  const AlternativeConfig& config) {
+  DC_TRACE_SPAN("alternative/run");
   Stopwatch stopwatch;
   AlternativeResult result;
 
   // Step 1: derived pairwise-difference attributes.
   std::vector<std::pair<size_t, size_t>> pair_index;
-  DataMatrix derived = DerivedDifferenceMatrix(matrix, &pair_index);
+  DataMatrix derived = [&] {
+    DC_TRACE_SPAN("alternative/derived_transform");
+    return DerivedDifferenceMatrix(matrix, &pair_index);
+  }();
   result.derived_attributes = derived.cols();
 
   // Step 2: subspace clustering on the derived matrix.
-  CliqueResult clique = RunClique(derived, config.clique);
+  CliqueResult clique = [&] {
+    DC_TRACE_SPAN("alternative/clique");
+    return RunClique(derived, config.clique);
+  }();
   result.dense_units = clique.dense_units;
   result.truncated = clique.truncated;
 
   // Step 3: delta-clusters via attribute-graph cliques; deduplicate.
   std::set<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>> seen;
   std::vector<Cluster> candidates;
-  for (const SubspaceCluster& sc : clique.clusters) {
-    if (sc.points.size() < 2) continue;
-    std::vector<Cluster> found = DeltaClustersFromSubspaceCluster(
-        matrix.rows(), matrix.cols(), sc, pair_index, config.min_attributes,
-        config.max_cliques_per_subspace);
-    for (Cluster& c : found) {
-      auto key = std::make_pair(c.row_ids(), c.col_ids());
-      if (seen.insert(std::move(key)).second) {
-        candidates.push_back(std::move(c));
+  {
+    DC_TRACE_SPAN("alternative/extract_clusters");
+    for (const SubspaceCluster& sc : clique.clusters) {
+      if (sc.points.size() < 2) continue;
+      std::vector<Cluster> found = DeltaClustersFromSubspaceCluster(
+          matrix.rows(), matrix.cols(), sc, pair_index, config.min_attributes,
+          config.max_cliques_per_subspace);
+      for (Cluster& c : found) {
+        auto key = std::make_pair(c.row_ids(), c.col_ids());
+        if (seen.insert(std::move(key)).second) {
+          candidates.push_back(std::move(c));
+        }
       }
     }
   }

@@ -6,8 +6,9 @@
 
 #include "src/core/cluster_stats.h"
 #include "src/core/residue.h"
+#include "src/obs/clock.h"
+#include "src/obs/trace.h"
 #include "src/util/rng.h"
-#include "src/util/stopwatch.h"
 
 namespace deltaclus {
 
@@ -111,6 +112,8 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
   double msr = engine.Residue(view);
 
   // --- Algorithm 2: multiple node deletion. ---
+  {
+  DC_TRACE_SPAN("cheng_church/multiple_deletion");
   while (msr > config.msr_threshold) {
     bool removed = false;
     if (view.cluster().NumRows() > config.multiple_deletion_min) {
@@ -143,8 +146,11 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
     }
     if (!removed) break;
   }
+  }
 
   // --- Algorithm 1: single node deletion. ---
+  {
+  DC_TRACE_SPAN("cheng_church/single_deletion");
   while (msr > config.msr_threshold &&
          (view.cluster().NumRows() > 2 || view.cluster().NumCols() > 2)) {
     double best_row_score = -1.0;
@@ -177,8 +183,11 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
     }
     msr = engine.Residue(view);
   }
+  }
 
   // --- Algorithm 3: node addition. ---
+  {
+  DC_TRACE_SPAN("cheng_church/node_addition");
   for (int pass = 0; pass < 50; ++pass) {
     bool changed = false;
     msr = engine.Residue(view);
@@ -208,6 +217,7 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
 
     if (!changed) break;
   }
+  }
 
   *out_msr = engine.Residue(view);
   return view.cluster();
@@ -226,6 +236,7 @@ ChengChurchResult RunChengChurch(const DataMatrix& matrix,
         "RunChengChurch: the bicluster model requires a fully specified "
         "matrix");
   }
+  DC_TRACE_SPAN("cheng_church/run");
   Stopwatch stopwatch;
   Rng rng(config.seed);
   ResidueEngine engine(ResidueNorm::kMeanSquared);
@@ -233,6 +244,7 @@ ChengChurchResult RunChengChurch(const DataMatrix& matrix,
   DataMatrix work = matrix;  // masked as clusters are discovered
   ChengChurchResult result;
   for (size_t c = 0; c < config.num_clusters; ++c) {
+    DC_TRACE_SPAN("cheng_church/mine_one");
     double msr = 0.0;
     Cluster found = MineOne(work, config, engine, &msr);
     if (found.Empty()) break;

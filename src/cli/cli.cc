@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "src/core/cluster_tools.h"
@@ -14,6 +15,8 @@
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
 #include "src/eval/table.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/flags.h"
 
 namespace deltaclus {
@@ -34,6 +37,9 @@ commands:
             [--ordering fixed|random|weighted] [--paper-mode]
             [--refine N] [--reseed N] [--threads N] [--seed S]
             [--dedupe F] --out clusters.txt
+            observability (see docs/OBSERVABILITY.md):
+            [--telemetry off|summary|full] [--telemetry-out run.jsonl]
+            [--trace-out trace.json] [--metrics-out metrics.json]
   stats     summarize a clustering
             --input matrix.csv --clusters clusters.txt
             [--truth truth.txt]
@@ -163,7 +169,36 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
     return UsageError(err, "unknown --ordering '" + ordering + "'");
   }
   double dedupe = flags.DoubleOr("dedupe", 1.0);
+
+  // Observability surface: run telemetry, trace spans, and metrics.
+  std::string telemetry_raw = flags.StringOr("telemetry", "off");
+  auto telemetry_level = obs::ParseTelemetryLevel(telemetry_raw);
+  if (!telemetry_level) {
+    return UsageError(err, "unknown --telemetry '" + telemetry_raw + "'");
+  }
+  config.telemetry = *telemetry_level;
+  std::string telemetry_out = flags.StringOr("telemetry-out", "");
+  std::string trace_out = flags.StringOr("trace-out", "");
+  std::string metrics_out = flags.StringOr("metrics-out", "");
   if (int rc = FinishFlags(flags, err)) return rc;
+
+  std::ofstream telemetry_stream;
+  std::optional<obs::JsonlTelemetrySink> telemetry_sink;
+  if (!telemetry_out.empty()) {
+    // Asking for a stream implies collecting: bump kOff to kSummary.
+    if (config.telemetry == obs::TelemetryLevel::kOff) {
+      config.telemetry = obs::TelemetryLevel::kSummary;
+    }
+    telemetry_stream.open(telemetry_out);
+    if (!telemetry_stream) {
+      err << "error: cannot open --telemetry-out " << telemetry_out << "\n";
+      return 2;
+    }
+    telemetry_sink.emplace(telemetry_stream);
+    config.telemetry_sink = &*telemetry_sink;
+  }
+  if (!trace_out.empty()) obs::TraceRecorder::SetEnabled(true);
+  if (!metrics_out.empty()) obs::MetricsRegistry::SetEnabled(true);
 
   DataMatrix matrix(0, 0);
   try {
@@ -177,6 +212,37 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
       << config.num_clusters << "\n";
 
   FlocResult result = Floc(config).Run(matrix);
+
+  if (!trace_out.empty()) {
+    if (obs::TraceRecorder::Global().WriteChromeTraceFile(trace_out)) {
+      out << "wrote trace (" << obs::TraceRecorder::Global().size()
+          << " spans) to " << trace_out << "\n";
+    } else {
+      err << "error: cannot write --trace-out " << trace_out << "\n";
+      return 2;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (obs::MetricsRegistry::Global().WriteJsonFile(metrics_out)) {
+      out << "wrote metrics snapshot to " << metrics_out << "\n";
+    } else {
+      err << "error: cannot write --metrics-out " << metrics_out << "\n";
+      return 2;
+    }
+  }
+  if (result.telemetry.level != obs::TelemetryLevel::kOff) {
+    const obs::RunTelemetry& tel = result.telemetry;
+    out << "telemetry (" << obs::TelemetryLevelName(tel.level)
+        << "): seeding " << tel.seeding_seconds << " s, move phase "
+        << tel.move_phase_seconds << " s, refine " << tel.refine_seconds
+        << " s, reseed " << tel.reseed_seconds << " s; "
+        << tel.total_actions_applied << " actions applied, best iteration "
+        << tel.best_iteration << "\n";
+    if (!telemetry_out.empty()) {
+      out << "wrote telemetry JSONL (" << tel.iteration_log.size()
+          << " iterations) to " << telemetry_out << "\n";
+    }
+  }
   std::vector<Cluster> clusters = result.clusters;
   if (dedupe < 1.0) {
     clusters = DeduplicateClusters(matrix, clusters, dedupe);

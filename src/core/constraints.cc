@@ -66,8 +66,26 @@ void ConstraintTracker::Rebuild(const std::vector<ClusterView>& views) {
   }
 }
 
-bool ConstraintTracker::RowToggleAllowed(const std::vector<ClusterView>& views,
-                                         size_t c, size_t i) const {
+const char* BlockReasonName(BlockReason reason) {
+  switch (reason) {
+    case BlockReason::kNone:
+      return "none";
+    case BlockReason::kSize:
+      return "size";
+    case BlockReason::kVolume:
+      return "volume";
+    case BlockReason::kOccupancy:
+      return "occupancy";
+    case BlockReason::kCoverage:
+      return "coverage";
+    case BlockReason::kOverlap:
+      return "overlap";
+  }
+  return "unknown";
+}
+
+BlockReason ConstraintTracker::RowToggleBlockReason(
+    const std::vector<ClusterView>& views, size_t c, size_t i) const {
   const ClusterView& view = views[c];
   const Cluster& cluster = view.cluster();
   const ClusterStats& stats = view.stats();
@@ -77,7 +95,7 @@ bool ConstraintTracker::RowToggleAllowed(const std::vector<ClusterView>& views,
   size_t num_cols = cluster.NumCols();
   size_t new_rows = adding ? num_rows + 1 : num_rows - 1;
   if (new_rows < constraints_.min_rows || new_rows > constraints_.max_rows) {
-    return false;
+    return BlockReason::kSize;
   }
 
   size_t row_cnt =
@@ -86,14 +104,14 @@ bool ConstraintTracker::RowToggleAllowed(const std::vector<ClusterView>& views,
       adding ? stats.Volume() + row_cnt : stats.Volume() - row_cnt;
   if (new_volume < constraints_.min_volume ||
       new_volume > constraints_.max_volume) {
-    return false;
+    return BlockReason::kVolume;
   }
 
   if (constraints_.alpha > 0.0 && num_cols > 0 && new_rows > 0) {
     if (adding) {
       // The incoming row itself must be alpha-occupied...
       if (static_cast<double>(row_cnt) < constraints_.alpha * num_cols) {
-        return false;
+        return BlockReason::kOccupancy;
       }
     }
     // ...and every member column must stay alpha-occupied. A removal of a
@@ -104,7 +122,7 @@ bool ConstraintTracker::RowToggleAllowed(const std::vector<ClusterView>& views,
       size_t cnt = stats.ColCount(j);
       if (mask[row_off + j]) cnt = adding ? cnt + 1 : cnt - 1;
       if (static_cast<double>(cnt) < constraints_.alpha * new_rows) {
-        return false;
+        return BlockReason::kOccupancy;
       }
     }
   }
@@ -113,18 +131,20 @@ bool ConstraintTracker::RowToggleAllowed(const std::vector<ClusterView>& views,
       constraints_.min_row_coverage > 0.0 && row_cover_count_[i] == 1) {
     double new_coverage =
         static_cast<double>(covered_rows_ - 1) / matrix_->rows();
-    if (new_coverage < constraints_.min_row_coverage) return false;
+    if (new_coverage < constraints_.min_row_coverage) {
+      return BlockReason::kCoverage;
+    }
   }
 
   if (constraints_.overlap_active() &&
       !OverlapAllowedAfterRowToggle(views, c, i, adding)) {
-    return false;
+    return BlockReason::kOverlap;
   }
-  return true;
+  return BlockReason::kNone;
 }
 
-bool ConstraintTracker::ColToggleAllowed(const std::vector<ClusterView>& views,
-                                         size_t c, size_t j) const {
+BlockReason ConstraintTracker::ColToggleBlockReason(
+    const std::vector<ClusterView>& views, size_t c, size_t j) const {
   const ClusterView& view = views[c];
   const Cluster& cluster = view.cluster();
   const ClusterStats& stats = view.stats();
@@ -134,7 +154,7 @@ bool ConstraintTracker::ColToggleAllowed(const std::vector<ClusterView>& views,
   size_t num_cols = cluster.NumCols();
   size_t new_cols = adding ? num_cols + 1 : num_cols - 1;
   if (new_cols < constraints_.min_cols || new_cols > constraints_.max_cols) {
-    return false;
+    return BlockReason::kSize;
   }
 
   size_t col_cnt =
@@ -143,13 +163,13 @@ bool ConstraintTracker::ColToggleAllowed(const std::vector<ClusterView>& views,
       adding ? stats.Volume() + col_cnt : stats.Volume() - col_cnt;
   if (new_volume < constraints_.min_volume ||
       new_volume > constraints_.max_volume) {
-    return false;
+    return BlockReason::kVolume;
   }
 
   if (constraints_.alpha > 0.0 && num_rows > 0 && new_cols > 0) {
     if (adding) {
       if (static_cast<double>(col_cnt) < constraints_.alpha * num_rows) {
-        return false;
+        return BlockReason::kOccupancy;
       }
     }
     const uint8_t* mask = matrix_->raw_mask();
@@ -157,7 +177,7 @@ bool ConstraintTracker::ColToggleAllowed(const std::vector<ClusterView>& views,
       size_t cnt = stats.RowCount(i);
       if (mask[matrix_->RawIndex(i, j)]) cnt = adding ? cnt + 1 : cnt - 1;
       if (static_cast<double>(cnt) < constraints_.alpha * new_cols) {
-        return false;
+        return BlockReason::kOccupancy;
       }
     }
   }
@@ -166,14 +186,16 @@ bool ConstraintTracker::ColToggleAllowed(const std::vector<ClusterView>& views,
       constraints_.min_col_coverage > 0.0 && col_cover_count_[j] == 1) {
     double new_coverage =
         static_cast<double>(covered_cols_ - 1) / matrix_->cols();
-    if (new_coverage < constraints_.min_col_coverage) return false;
+    if (new_coverage < constraints_.min_col_coverage) {
+      return BlockReason::kCoverage;
+    }
   }
 
   if (constraints_.overlap_active() &&
       !OverlapAllowedAfterColToggle(views, c, j, adding)) {
-    return false;
+    return BlockReason::kOverlap;
   }
-  return true;
+  return BlockReason::kNone;
 }
 
 bool ConstraintTracker::OverlapAllowedAfterRowToggle(

@@ -13,6 +13,7 @@
 #define DELTACLUS_CORE_CONSTRAINTS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -20,6 +21,24 @@
 #include "src/core/data_matrix.h"
 
 namespace deltaclus {
+
+/// Why a candidate toggle was blocked -- kNone when it is allowed.
+/// Returned by the tracker's *BlockReason query forms and tallied per
+/// iteration by run telemetry (see src/obs/telemetry.h).
+enum class BlockReason : uint8_t {
+  kNone = 0,   ///< Not blocked.
+  kSize,       ///< min/max rows or columns bound.
+  kVolume,     ///< Cons_v volume bound.
+  kOccupancy,  ///< Occupancy threshold alpha (Definition 3.1).
+  kCoverage,   ///< Cons_c minimum coverage.
+  kOverlap,    ///< Cons_o pairwise overlap bound.
+};
+
+/// Number of BlockReason values, kNone included (array-sizing aid).
+inline constexpr size_t kBlockReasonCount = 6;
+
+/// Short stable identifier ("size", "volume", ...) for reports.
+const char* BlockReasonName(BlockReason reason);
 
 /// User-specified constraints on the clustering. Defaults leave every
 /// optional constraint off except a 2x2 minimum cluster size, which rules
@@ -74,12 +93,25 @@ class ConstraintTracker {
   /// True if toggling row i's membership in cluster `c` keeps every
   /// constraint satisfied. `views[c]` must be in its pre-toggle state.
   bool RowToggleAllowed(const std::vector<ClusterView>& views, size_t c,
-                        size_t i) const;
+                        size_t i) const {
+    return RowToggleBlockReason(views, c, i) == BlockReason::kNone;
+  }
 
   /// True if toggling column j's membership in cluster `c` keeps every
   /// constraint satisfied.
   bool ColToggleAllowed(const std::vector<ClusterView>& views, size_t c,
-                        size_t j) const;
+                        size_t j) const {
+    return ColToggleBlockReason(views, c, j) == BlockReason::kNone;
+  }
+
+  /// Same checks, reporting *which* constraint blocks the toggle (the
+  /// first violated one, in the order size, volume, occupancy, coverage,
+  /// overlap) -- kNone when the toggle is allowed. Same cost as the
+  /// boolean forms; used when run telemetry is collecting.
+  BlockReason RowToggleBlockReason(const std::vector<ClusterView>& views,
+                                   size_t c, size_t i) const;
+  BlockReason ColToggleBlockReason(const std::vector<ClusterView>& views,
+                                   size_t c, size_t j) const;
 
   /// Must be called after a row/column toggle is actually applied, with
   /// `views` already in post-toggle state.

@@ -7,11 +7,45 @@
 #include <thread>
 
 #include "src/core/audit.h"
-#include "src/util/stopwatch.h"
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace deltaclus {
 
 namespace {
+
+// Registry handles for FLOC's metrics, resolved once. The pointers are
+// stable for the process lifetime; increments are relaxed atomics that
+// no-op while the registry is disabled.
+struct FlocMetrics {
+  obs::Counter* runs;
+  obs::Counter* iterations;
+  obs::Counter* actions_applied;
+  obs::Counter* actions_blocked;
+  obs::Counter* refine_toggles;
+  obs::Counter* reseed_slots;
+  obs::Gauge* last_average_residue;
+  obs::Histogram* iteration_seconds;
+
+  static const FlocMetrics& Get() {
+    static const FlocMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return FlocMetrics{
+          r.GetCounter("floc.runs"),
+          r.GetCounter("floc.iterations"),
+          r.GetCounter("floc.actions.applied"),
+          r.GetCounter("floc.actions.fully_blocked"),
+          r.GetCounter("floc.refine.toggles"),
+          r.GetCounter("floc.reseed.slots"),
+          r.GetGauge("floc.last.average_residue"),
+          r.GetHistogram("floc.iteration.seconds",
+                         {0.001, 0.01, 0.1, 1.0, 10.0}),
+      };
+    }();
+    return m;
+  }
+};
 
 // Determines the best action for one row (is_row) or column across the k
 // clusters: the candidate toggle with the highest gain among those not
@@ -28,6 +62,9 @@ struct GainContext {
   const ConstraintTracker* tracker;
   double target_residue;
   size_t matrix_entries;
+  // When non-null, blocked candidate toggles are tallied by constraint
+  // (telemetry collecting); null keeps the boolean constraint path.
+  obs::BlockCounts* blocked = nullptr;
 };
 
 double ScoreOf(double residue, size_t volume, double target_residue,
@@ -50,9 +87,19 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
   best.index = index;
   const std::vector<ClusterView>& views = *ctx.views;
   for (size_t c = 0; c < views.size(); ++c) {
-    bool allowed = is_row ? ctx.tracker->RowToggleAllowed(views, c, index)
-                          : ctx.tracker->ColToggleAllowed(views, c, index);
-    if (!allowed) continue;
+    if (ctx.blocked != nullptr) {
+      BlockReason reason =
+          is_row ? ctx.tracker->RowToggleBlockReason(views, c, index)
+                 : ctx.tracker->ColToggleBlockReason(views, c, index);
+      if (reason != BlockReason::kNone) {
+        ctx.blocked->Add(reason);
+        continue;
+      }
+    } else {
+      bool allowed = is_row ? ctx.tracker->RowToggleAllowed(views, c, index)
+                            : ctx.tracker->ColToggleAllowed(views, c, index);
+      if (!allowed) continue;
+    }
     size_t new_volume = 0;
     double after_residue =
         is_row ? engine.ResidueAfterToggleRow(views[c], index, &new_volume)
@@ -138,6 +185,14 @@ Floc::Floc(FlocConfig config) : config_(std::move(config)) {
       config_.audit = true;
     }
   }
+  // DELTACLUS_TELEMETRY=off|summary|full overrides the configured level
+  // (a sink still has to be attached programmatically or via the CLI).
+  const char* tel = std::getenv("DELTACLUS_TELEMETRY");
+  if (tel != nullptr && tel[0] != '\0') {
+    if (auto level = obs::ParseTelemetryLevel(tel)) {
+      config_.telemetry = *level;
+    }
+  }
 }
 
 void Floc::MaybeAudit(const ClusterView& view, const char* context) const {
@@ -153,28 +208,38 @@ double Floc::ClusterScore(double residue, size_t volume,
 
 FlocResult Floc::Run(const DataMatrix& matrix) {
   Rng rng(config_.rng_seed);
-  std::vector<Cluster> seeds =
-      GenerateSeeds(matrix, config_.seeding, config_.num_clusters, rng);
-  // Section 4.3: initial clusters must comply with the constraints; the
-  // action-blocking machinery then preserves compliance throughout.
-  for (Cluster& seed : seeds) {
-    RepairSeed(matrix, config_.constraints, &seed, rng);
+  Stopwatch seed_watch;
+  std::vector<Cluster> seeds;
+  {
+    DC_TRACE_SPAN("floc/phase1_seeding");
+    seeds = GenerateSeeds(matrix, config_.seeding, config_.num_clusters, rng);
+    // Section 4.3: initial clusters must comply with the constraints; the
+    // action-blocking machinery then preserves compliance throughout.
+    for (Cluster& seed : seeds) {
+      RepairSeed(matrix, config_.constraints, &seed, rng);
+    }
   }
+  seed_phase_seconds_ = seed_watch.ElapsedSeconds();
   return RunWithSeeds(matrix, std::move(seeds));
 }
 
 std::vector<Action> Floc::DetermineBestActions(
     const DataMatrix& matrix, const std::vector<ClusterView>& views,
-    const std::vector<double>& scores, const ConstraintTracker& tracker) {
+    const std::vector<double>& scores, const ConstraintTracker& tracker,
+    obs::BlockCounts* blocked) {
+  DC_TRACE_SPAN("floc/determine_actions");
   size_t num_rows = matrix.rows();
   size_t num_cols = matrix.cols();
   size_t total = num_rows + num_cols;
   std::vector<Action> actions(total);
 
-  GainContext ctx{&views, &scores, &tracker, config_.target_residue,
-                  num_rows * num_cols};
-
-  auto work = [&](size_t begin, size_t end) {
+  auto work = [&](size_t begin, size_t end, obs::BlockCounts* worker_blocked) {
+    GainContext ctx{&views,
+                    &scores,
+                    &tracker,
+                    config_.target_residue,
+                    num_rows * num_cols,
+                    worker_blocked};
     ResidueEngine engine(config_.norm);
     for (size_t t = begin; t < end; ++t) {
       bool is_row = t < num_rows;
@@ -185,18 +250,26 @@ std::vector<Action> Floc::DetermineBestActions(
 
   int threads = std::max(1, config_.threads);
   if (threads == 1 || total < 64) {
-    work(0, total);
+    work(0, total, blocked);
   } else {
     size_t chunk = (total + threads - 1) / threads;
     std::vector<std::thread> pool;
     pool.reserve(threads);
+    // Per-worker tallies, merged after the join: integer adds commute,
+    // so the merged counts are identical for any thread count.
+    std::vector<obs::BlockCounts> worker_counts(
+        blocked != nullptr ? static_cast<size_t>(threads) : 0);
     for (int w = 0; w < threads; ++w) {
       size_t begin = w * chunk;
       size_t end = std::min(total, begin + chunk);
       if (begin >= end) break;
-      pool.emplace_back(work, begin, end);
+      pool.emplace_back(work, begin, end,
+                        blocked != nullptr ? &worker_counts[w] : nullptr);
     }
     for (std::thread& th : pool) th.join();
+    if (blocked != nullptr) {
+      for (const obs::BlockCounts& wc : worker_counts) blocked->Merge(wc);
+    }
   }
   return actions;
 }
@@ -205,6 +278,7 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
                          std::vector<ClusterView>& views,
                          std::vector<double>& scores,
                          ConstraintTracker& tracker) {
+  DC_TRACE_SPAN("floc/refine_sweep");
   size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
   size_t num_rows = matrix.rows();
   size_t num_cols = matrix.cols();
@@ -273,6 +347,7 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
       ++applied;
     }
   }
+  FlocMetrics::Get().refine_toggles->Inc(applied);
   return applied;
 }
 
@@ -413,12 +488,15 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
 
 FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
                               std::vector<Cluster> seeds) {
+  DC_TRACE_SPAN("floc/run");
   Stopwatch stopwatch;
   Rng rng(config_.rng_seed ^ 0x5eedf10cULL);
   size_t k = seeds.size();
   FlocResult result;
   if (k == 0) return result;
   size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
+
+  obs::TelemetryCollector collector(config_.telemetry, config_.telemetry_sink);
 
   ResidueEngine engine(config_.norm);
 
@@ -465,13 +543,49 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   // fails to improve best_clusters / best_average. Invoked once normally,
   // and once more per reseed round. ---
   auto move_phase = [&]() {
+  DC_TRACE_SPAN("floc/move_phase");
+  Stopwatch phase_watch;
   for (size_t iteration = 0; iteration < config_.max_iterations;
        ++iteration) {
+    DC_TRACE_SPAN("floc/iteration");
+    Stopwatch iter_watch;
     ++result.iterations;
+    // One branch when telemetry is off: itel stays null and every
+    // telemetry fill below is skipped (the off path allocates nothing).
+    obs::IterationTelemetry* itel =
+        collector.BeginIteration(result.iterations - 1);
 
     // --- Determine the best action for every row and column. ---
-    std::vector<Action> actions =
-        DetermineBestActions(matrix, views, scores, tracker);
+    std::vector<Action> actions = DetermineBestActions(
+        matrix, views, scores, tracker,
+        itel != nullptr ? &itel->blocked_by : nullptr);
+
+    if (itel != nullptr) {
+      double gain_sum = 0.0;
+      for (const Action& a : actions) {
+        if (a.blocked()) {
+          ++itel->fully_blocked;
+          continue;
+        }
+        ++itel->determined;
+        gain_sum += a.gain;
+        if (itel->determined == 1 || a.gain > itel->best_gain) {
+          itel->best_gain = a.gain;
+        }
+        if (collector.full()) {
+          ++itel->gain_histogram[obs::GainBucket(a.gain)];
+        }
+      }
+      itel->mean_gain =
+          itel->determined > 0 ? gain_sum / itel->determined : 0.0;
+    }
+    if (obs::MetricsRegistry::Enabled()) {
+      const FlocMetrics& m = FlocMetrics::Get();
+      m.iterations->Inc();
+      uint64_t fully_blocked = 0;
+      for (const Action& a : actions) fully_blocked += a.blocked() ? 1 : 0;
+      m.actions_blocked->Inc(fully_blocked);
+    }
 
     // --- Order the actions. ---
     std::vector<double> gains(actions.size());
@@ -558,7 +672,40 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
         {iter_has_best ? iter_best_average : best_average, applied.size(),
          improved});
 
-    if (!improved) break;
+    {
+      const FlocMetrics& m = FlocMetrics::Get();
+      m.actions_applied->Inc(applied.size());
+      m.iteration_seconds->Observe(iter_watch.ElapsedSeconds());
+    }
+    if (itel != nullptr) {
+      itel->actions_applied = applied.size();
+      itel->best_prefix = iter_best_prefix;
+      itel->best_average_score =
+          iter_has_best ? iter_best_average : best_average;
+      itel->improved = improved;
+    }
+    // Seals the iteration record. Called after the rewind on improving
+    // iterations so best_so_far and the kFull cluster snapshot reflect
+    // the updated best clustering, and before the break on the final one.
+    auto seal_iteration = [&]() {
+      if (itel == nullptr) return;
+      itel->best_so_far = best_average;
+      if (collector.full()) {
+        itel->cluster_residues.resize(k);
+        itel->cluster_volumes.resize(k);
+        for (size_t c = 0; c < k; ++c) {
+          itel->cluster_residues[c] = engine.Residue(views[c]);
+          itel->cluster_volumes[c] = views[c].stats().Volume();
+        }
+      }
+      itel->wall_seconds = iter_watch.ElapsedSeconds();
+      collector.FinishIteration();
+    };
+
+    if (!improved) {
+      seal_iteration();
+      break;
+    }
 
     // Rewind to the start of the iteration and replay the winning prefix;
     // that clustering both becomes best_clustering and seeds the next
@@ -585,7 +732,9 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     best_average = score_sum / k;
     best_clusters.clear();
     for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+    seal_iteration();
   }
+  collector.run().move_phase_seconds += phase_watch.ElapsedSeconds();
   };  // move_phase
 
   // Cluster-centric refinement of the best clustering (see
@@ -594,6 +743,8 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   // first.
   auto refine = [&]() {
   if (config_.refine_passes > 0) {
+    DC_TRACE_SPAN("floc/refine");
+    Stopwatch refine_watch;
     for (size_t c = 0; c < k; ++c) views[c].Reset(best_clusters[c]);
     recompute_scores();
     tracker.Rebuild(views);
@@ -616,6 +767,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     best_average = score_sum / k;
     best_clusters.clear();
     for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+    collector.run().refine_seconds += refine_watch.ElapsedSeconds();
   }
   };  // refine
 
@@ -626,6 +778,11 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   // FlocConfig::reseed_rounds). ---
   for (size_t round = 0;
        round < config_.reseed_rounds && config_.target_residue > 0; ++round) {
+    DC_TRACE_SPAN("floc/reseed_round");
+    // reseed_seconds covers only the restart bookkeeping (stagnant
+    // detection, fresh seeding, restore) -- the rerun move phase and
+    // refinement accumulate into their own phase timers.
+    Stopwatch reseed_watch;
     // `views` holds best_clusters after refine().
     std::vector<size_t> stagnant;
     for (size_t c = 0; c < k; ++c) {
@@ -633,7 +790,10 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
         stagnant.push_back(c);
       }
     }
-    if (stagnant.empty()) break;
+    if (stagnant.empty()) {
+      collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
+      break;
+    }
 
     std::vector<Cluster> saved;
     std::vector<double> saved_scores;
@@ -651,11 +811,14 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     best_average = score_sum / k;
     best_clusters.clear();
     for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+    FlocMetrics::Get().reseed_slots->Inc(stagnant.size());
+    collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
 
     move_phase();
     refine();
 
     // Restore any slot the restart left worse than before.
+    reseed_watch.Reset();
     bool restored = false;
     for (size_t t = 0; t < stagnant.size(); ++t) {
       size_t c = stagnant[t];
@@ -671,6 +834,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
       best_clusters.clear();
       for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
     }
+    collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
   }
 
   result.clusters = std::move(best_clusters);
@@ -683,6 +847,21 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   }
   result.average_residue = k == 0 ? 0.0 : sum / k;
   result.elapsed_seconds = stopwatch.ElapsedSeconds();
+
+  {
+    const FlocMetrics& m = FlocMetrics::Get();
+    m.runs->Inc();
+    m.last_average_residue->Set(result.average_residue);
+  }
+  collector.run().num_clusters = k;
+  collector.run().iterations = result.iterations;
+  // Phase-1 time measured by Run() before it delegated here; zero when
+  // the caller provided the seeds directly.
+  collector.run().seeding_seconds = seed_phase_seconds_;
+  seed_phase_seconds_ = 0.0;
+  result.telemetry = collector.Finish(result.elapsed_seconds,
+                                      stopwatch.CpuSeconds(),
+                                      result.average_residue);
   return result;
 }
 

@@ -32,6 +32,7 @@
 #include "src/core/ordering.h"
 #include "src/core/residue.h"
 #include "src/core/seeding.h"
+#include "src/obs/telemetry.h"
 #include "src/util/rng.h"
 
 namespace deltaclus {
@@ -164,6 +165,19 @@ struct FlocConfig {
   /// scripts/check.sh runs the whole FLOC test suite under audit.
   bool audit = false;
 
+  /// How much the run records about its own dynamics (see
+  /// src/obs/telemetry.h). kOff costs nothing beyond a branch per
+  /// iteration; kSummary records per-iteration scalars; kFull adds
+  /// per-cluster residue/volume trajectories and gain histograms. The
+  /// environment variable DELTACLUS_TELEMETRY=off|summary|full
+  /// overrides this at construction time (like DELTACLUS_AUDIT).
+  obs::TelemetryLevel telemetry = obs::TelemetryLevel::kOff;
+
+  /// Optional streaming consumer of iteration records (e.g.
+  /// obs::JsonlTelemetrySink). Non-owning; must outlive the run. Only
+  /// consulted when `telemetry` != kOff.
+  obs::TelemetrySink* telemetry_sink = nullptr;
+
   /// Returns a human-readable description of every inconsistency in this
   /// configuration (empty = valid). Floc's constructor throws
   /// std::invalid_argument listing them.
@@ -196,6 +210,10 @@ struct FlocResult {
   double elapsed_seconds = 0.0;
   /// Per-iteration history.
   std::vector<FlocIterationInfo> history;
+  /// Run telemetry (see FlocConfig::telemetry). Phase timings and
+  /// aggregate fields are populated at every level; the per-iteration
+  /// log only at kSummary/kFull.
+  obs::RunTelemetry telemetry;
 };
 
 /// The FLOC algorithm. Construct once per configuration; Run() may be
@@ -252,13 +270,21 @@ class Floc {
   // Determines the best action for every row and column of `matrix`
   // against the current clustering. Returns M + N actions: rows first
   // (action t targets row t for t < M), then columns. `scores` holds the
-  // current per-cluster objective values.
+  // current per-cluster objective values. When `blocked` is non-null,
+  // candidate toggles rejected by a constraint are tallied into it by
+  // reason (telemetry collecting); null keeps the scan on the cheaper
+  // boolean constraint path.
   std::vector<Action> DetermineBestActions(const DataMatrix& matrix,
                                            const std::vector<ClusterView>& views,
                                            const std::vector<double>& scores,
-                                           const ConstraintTracker& tracker);
+                                           const ConstraintTracker& tracker,
+                                           obs::BlockCounts* blocked);
 
   FlocConfig config_;
+
+  // Phase-1 (seeding) wall seconds measured by Run(), consumed into the
+  // telemetry of the RunWithSeeds call it delegates to.
+  double seed_phase_seconds_ = 0.0;
 
   // Whether audit mode also re-validates alpha-occupancy. FLOC preserves
   // occupancy but cannot establish it, so RunWithSeeds only turns this on

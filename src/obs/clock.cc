@@ -1,0 +1,52 @@
+#include "src/obs/clock.h"
+
+#include <ctime>
+
+namespace deltaclus::obs {
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+// Reads one POSIX clock in nanoseconds; returns false if unsupported.
+bool ReadClock(clockid_t id, int64_t* out) {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(id, &ts) != 0) return false;
+  *out = static_cast<int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+  return true;
+#else
+  (void)id;
+  (void)out;
+  return false;
+#endif
+}
+
+int64_t StdClockNs() {
+  return static_cast<int64_t>(static_cast<double>(std::clock()) /
+                              CLOCKS_PER_SEC * 1e9);
+}
+
+}  // namespace
+
+int64_t ProcessCpuNowNs() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  int64_t ns;
+  if (ReadClock(CLOCK_PROCESS_CPUTIME_ID, &ns)) return ns;
+#endif
+  return StdClockNs();
+}
+
+int64_t ThreadCpuNowNs() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  int64_t ns;
+  if (ReadClock(CLOCK_THREAD_CPUTIME_ID, &ns)) return ns;
+#endif
+  return ProcessCpuNowNs();
+}
+
+}  // namespace deltaclus::obs

@@ -1,0 +1,64 @@
+// Clock sources for the observability layer: monotonic wall time and
+// process/thread CPU time behind one interface, plus the Stopwatch the
+// rest of the codebase uses to report response times (absorbed here from
+// the former src/util/stopwatch.{h,cc}).
+#ifndef DELTACLUS_OBS_CLOCK_H_
+#define DELTACLUS_OBS_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace deltaclus {
+namespace obs {
+
+/// Nanoseconds on the monotonic (steady) clock. The zero point is
+/// unspecified; only differences are meaningful.
+int64_t MonotonicNowNs();
+
+/// Nanoseconds of CPU time consumed by the whole process (all threads).
+/// Falls back to std::clock() resolution where CLOCK_PROCESS_CPUTIME_ID
+/// is unavailable.
+int64_t ProcessCpuNowNs();
+
+/// Nanoseconds of CPU time consumed by the calling thread. Used by the
+/// trace layer to cheaply tag spans. Falls back to ProcessCpuNowNs().
+int64_t ThreadCpuNowNs();
+
+}  // namespace obs
+
+/// Measures elapsed wall-clock and process CPU time. Starts running on
+/// construction.
+class Stopwatch {
+ public:
+  Stopwatch()
+      : start_ns_(obs::MonotonicNowNs()), cpu_start_ns_(obs::ProcessCpuNowNs()) {}
+
+  /// Restarts both measurements from now.
+  void Reset() {
+    start_ns_ = obs::MonotonicNowNs();
+    cpu_start_ns_ = obs::ProcessCpuNowNs();
+  }
+
+  /// Wall-clock seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return static_cast<double>(obs::MonotonicNowNs() - start_ns_) * 1e-9;
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Process CPU seconds consumed since construction or the last
+  /// Reset(). With N busy worker threads this advances ~N times faster
+  /// than ElapsedSeconds().
+  double CpuSeconds() const {
+    return static_cast<double>(obs::ProcessCpuNowNs() - cpu_start_ns_) * 1e-9;
+  }
+
+ private:
+  int64_t start_ns_;
+  int64_t cpu_start_ns_;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_OBS_CLOCK_H_

@@ -1,0 +1,150 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace deltaclus::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // %.17g round-trips any double; trim to the shortest representation
+  // that still round-trips for readability.
+  char buf[40];
+  for (int precision : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ << '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  DC_DCHECK(!has_element_.empty()) << "EndObject with no open container";
+  DC_DCHECK(!after_key_) << "EndObject directly after Key()";
+  has_element_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ << '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  DC_DCHECK(!has_element_.empty()) << "EndArray with no open container";
+  DC_DCHECK(!after_key_) << "EndArray directly after Key()";
+  has_element_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  DC_DCHECK(!has_element_.empty()) << "Key() outside an object";
+  DC_DCHECK(!after_key_) << "two Key() calls in a row";
+  if (has_element_.back()) out_ << ',';
+  has_element_.back() = true;
+  out_ << '"' << JsonEscape(key) << "\":";
+  after_key_ = true;
+  return *this;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) out_ << ',';
+    has_element_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ << '"' << JsonEscape(value) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  BeforeValue();
+  out_ << JsonNumber(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ << value;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ << (value ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view encoded) {
+  BeforeValue();
+  out_ << encoded;
+  return *this;
+}
+
+}  // namespace deltaclus::obs

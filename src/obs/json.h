@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer shared by the observability layer
+// (metrics snapshots, Chrome trace export, telemetry JSONL) and the
+// bench drivers' machine-readable records. Not a general-purpose JSON
+// library: it only *writes*, the caller is responsible for well-formed
+// nesting (DC_DCHECKed in debug builds), and numbers are emitted with
+// enough precision to round-trip a double.
+#ifndef DELTACLUS_OBS_JSON_H_
+#define DELTACLUS_OBS_JSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deltaclus::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double the way JSON expects: round-trippable precision,
+/// no NaN/Inf (mapped to null per the JSON spec's lack of them).
+std::string JsonNumber(double v);
+
+/// Streaming writer. Usage:
+///   JsonWriter w(out);
+///   w.BeginObject();
+///   w.Key("name").String("floc");
+///   w.Key("iterations").Int(7);
+///   w.Key("history").BeginArray();
+///   w.Number(0.5); w.Number(0.25);
+///   w.EndArray();
+///   w.EndObject();
+/// Commas and newlines-free compact output; the writer tracks whether a
+/// separator is needed at each nesting level.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  /// Emits `encoded` verbatim as one value; the caller guarantees it is
+  /// well-formed JSON (used to splice pre-encoded scalars).
+  JsonWriter& Raw(std::string_view encoded);
+
+ private:
+  void BeforeValue();
+
+  std::ostream& out_;
+  // One entry per open container: true once the first element was
+  // written (a comma is needed before the next one).
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace deltaclus::obs
+
+#endif  // DELTACLUS_OBS_JSON_H_

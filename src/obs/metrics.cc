@@ -1,0 +1,160 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json.h"
+#include "src/util/check.h"
+
+namespace deltaclus::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{[] {
+  const char* env = std::getenv("DELTACLUS_METRICS");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}()};
+}  // namespace internal
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  DC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be increasing";
+  for (size_t b = 0; b <= bounds_.size(); ++b) buckets_[b].store(0);
+}
+
+void Histogram::Observe(double v) {
+  if (!internal::MetricsEnabled()) return;
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t b = 0; b < out.size(); ++b) {
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (size_t b = 0; b <= bounds_.size(); ++b) {
+    buckets_[b].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+// Shared lookup-or-create over the registration vectors.
+template <typename T, typename Make>
+T* FindOrCreate(std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
+                const std::string& name, Make make) {
+  for (auto& [n, metric] : v) {
+    if (n == name) return metric.get();
+  }
+  v.emplace_back(name, make());
+  return v.back().second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(counters_, name,
+                      [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate(histograms_, name, [&] {
+    return std::make_unique<Histogram>(std::move(bounds));
+  });
+}
+
+void MetricsRegistry::SetEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, c] : counters_) c->Reset();
+  for (auto& [n, g] : gauges_) g->Reset();
+  for (auto& [n, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sorted_names = [](const auto& v) {
+    std::vector<size_t> order(v.size());
+    for (size_t t = 0; t < v.size(); ++t) order[t] = t;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return v[a].first < v[b].first;
+    });
+    return order;
+  };
+
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (size_t t : sorted_names(counters_)) {
+    w.Key(counters_[t].first).Uint(counters_[t].second->Value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (size_t t : sorted_names(gauges_)) {
+    w.Key(gauges_[t].first).Number(gauges_[t].second->Value());
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (size_t t : sorted_names(histograms_)) {
+    const Histogram& h = *histograms_[t].second;
+    w.Key(histograms_[t].first).BeginObject();
+    w.Key("bounds").BeginArray();
+    for (double b : h.bounds()) w.Number(b);
+    w.EndArray();
+    w.Key("counts").BeginArray();
+    for (uint64_t c : h.BucketCounts()) w.Uint(c);
+    w.EndArray();
+    w.Key("count").Uint(h.Count());
+    w.Key("sum").Number(h.Sum());
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  out << "\n";
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteJson(out);
+  return out.good();
+}
+
+}  // namespace deltaclus::obs

@@ -1,0 +1,143 @@
+// Process-wide metrics registry: lock-free counters, gauges, and
+// fixed-bucket histograms with snapshot-to-JSON export.
+//
+// Design goals, in order:
+//   1. Near-zero overhead when disabled: every mutation first does one
+//      relaxed atomic load of the global enabled flag and returns. The
+//      registry starts disabled; nothing is recorded until
+//      MetricsRegistry::SetEnabled(true) (or DELTACLUS_METRICS=1).
+//   2. Lock-free hot path when enabled: mutations are relaxed atomic
+//      read-modify-writes on pre-registered cells; no locks, no
+//      allocation. Registration (name -> cell lookup) takes a mutex and
+//      is meant to happen once, outside hot loops -- hold the returned
+//      pointer.
+//   3. Stable pointers: metric cells are never deallocated or moved for
+//      the lifetime of the process, so cached pointers stay valid across
+//      Reset() and re-registration.
+//
+// Counts are monotonic within a run; Reset() zeroes values but keeps
+// registrations (tests and repeated CLI runs use this).
+#ifndef DELTACLUS_OBS_METRICS_H_
+#define DELTACLUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deltaclus::obs {
+
+namespace internal {
+/// Global on/off switch shared by all metric mutations.
+extern std::atomic<bool> g_metrics_enabled;
+inline bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+}  // namespace internal
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (!internal::MetricsEnabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins scalar (e.g. "current best residue").
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!internal::MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// v <= bounds[i] (first matching bucket); the implicit last bucket
+/// counts everything above the largest bound. Sum and count are tracked
+/// for mean computation.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; the histogram owns a copy.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Bucket counts, one per bound plus the overflow bucket.
+  std::vector<uint64_t> BucketCounts() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  // unique_ptr keeps the atomics at a stable address; vector<atomic> is
+  // not movable.
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Name -> metric registry. One process-wide instance via Global();
+/// tests may construct their own.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The pointer is stable for the registry's lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is only consulted on first registration of `name`.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  /// Enables/disables all metric mutation process-wide (the flag is
+  /// global, not per-registry: mutation happens through cached pointers
+  /// that do not know their registry).
+  static void SetEnabled(bool enabled);
+  static bool Enabled() { return internal::MetricsEnabled(); }
+
+  /// Zeroes every registered metric; registrations survive.
+  void ResetAll();
+
+  /// Writes a JSON snapshot:
+  ///   {"counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"bounds": [...], "counts": [...],
+  ///                          "count": N, "sum": S}, ...}}
+  /// Names are emitted in sorted order for diff-friendliness.
+  void WriteJson(std::ostream& out) const;
+  std::string SnapshotJson() const;
+
+  /// WriteJson to `path`; returns false (and leaves a partial file) on
+  /// I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  // Registration-ordered; snapshots sort by name. unique_ptr gives
+  // stable addresses across vector growth.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+};
+
+}  // namespace deltaclus::obs
+
+#endif  // DELTACLUS_OBS_METRICS_H_

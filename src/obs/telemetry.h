@@ -1,0 +1,202 @@
+// FLOC run telemetry: a machine-readable record of a run's internal
+// dynamics -- per-iteration action-gain statistics, accepted vs blocked
+// action counts by constraint, per-cluster residue and volume
+// trajectories, and phase wall times. The paper's entire evaluation
+// (Tables 1-5, Figures 8-10) is about these dynamics; this layer makes
+// them observable on every run instead of reconstructable only from
+// bespoke experiment drivers.
+//
+// Three levels:
+//   kOff      nothing collected; the hot paths take a single branch.
+//   kSummary  per-iteration scalars (gains, counts, timings).
+//   kFull     kSummary plus per-cluster residue/volume trajectories and
+//             the per-iteration action-gain histogram.
+//
+// Collection is attached to FlocResult (RunTelemetry) and can
+// additionally be *streamed* while the run progresses through a
+// pluggable TelemetrySink (e.g. JsonlTelemetrySink for JSONL files).
+#ifndef DELTACLUS_OBS_TELEMETRY_H_
+#define DELTACLUS_OBS_TELEMETRY_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/constraints.h"
+
+namespace deltaclus::obs {
+
+/// How much a FLOC run records about itself.
+enum class TelemetryLevel : uint8_t { kOff = 0, kSummary, kFull };
+
+/// Parses "off" / "summary" / "full"; nullopt on anything else.
+std::optional<TelemetryLevel> ParseTelemetryLevel(const std::string& s);
+const char* TelemetryLevelName(TelemetryLevel level);
+
+/// Fixed bucket bounds of the per-iteration action-gain histogram.
+/// Bucket b counts gains g with g <= bounds[b] (first match); the last
+/// bucket catches everything above 10. Gains are objective-score
+/// deltas; the symmetric log-spaced bounds resolve both the tiny
+/// late-run gains and the large early-run ones.
+inline constexpr std::array<double, 9> kGainBucketBounds = {
+    -10.0, -1.0, -0.1, -0.01, 0.0, 0.01, 0.1, 1.0, 10.0};
+inline constexpr size_t kGainBucketCount = kGainBucketBounds.size() + 1;
+
+/// Bucket index for one gain (no allocation, no branching beyond the
+/// scan; bounds are tiny).
+size_t GainBucket(double gain);
+
+/// Per-constraint tally of blocked candidate toggles. Index: the
+/// BlockReason enum value; kNone's slot stays zero. Merged across the
+/// gain-determination worker threads (integer adds, order-independent,
+/// so results stay deterministic for any thread count).
+struct BlockCounts {
+  std::array<uint64_t, kBlockReasonCount> counts{};
+
+  void Add(BlockReason reason) {
+    counts[static_cast<size_t>(reason)] += 1;
+  }
+  void Merge(const BlockCounts& other) {
+    for (size_t r = 0; r < counts.size(); ++r) counts[r] += other.counts[r];
+  }
+  /// Blocked toggles across all real reasons (kNone excluded).
+  uint64_t Total() const;
+};
+
+/// One Phase-2 iteration's record.
+struct IterationTelemetry {
+  size_t iteration = 0;  ///< 0-based.
+
+  // Gain statistics over the N + M determined best actions.
+  double best_gain = 0.0;  ///< Highest non-blocked gain.
+  double mean_gain = 0.0;  ///< Mean over non-blocked actions.
+  size_t determined = 0;   ///< Rows/cols with a non-blocked best action.
+  size_t fully_blocked = 0;  ///< Rows/cols whose every candidate was blocked.
+  /// Candidate toggles blocked during gain determination, by constraint.
+  BlockCounts blocked_by;
+  /// kFull only: histogram of non-blocked gains (kGainBucketBounds).
+  std::array<uint64_t, kGainBucketCount> gain_histogram{};
+
+  // Apply-sweep outcome.
+  size_t actions_applied = 0;  ///< Toggles actually performed.
+  /// Checkpoint: number of applied actions in the best intermediate
+  /// clustering (the prefix FLOC rewinds to when the iteration improves).
+  size_t best_prefix = 0;
+  /// Best intermediate average objective score seen this iteration.
+  double best_average_score = 0.0;
+  /// Running best average objective after this iteration -- non-increasing
+  /// across the run by construction. Equals the average residue when
+  /// target_residue == 0.
+  double best_so_far = 0.0;
+  bool improved = false;
+
+  double wall_seconds = 0.0;
+
+  // kFull only: the clustering state after this iteration (the new best
+  // clustering when the iteration improved; the end-of-sweep state of
+  // the final, non-improving iteration otherwise).
+  std::vector<double> cluster_residues;
+  std::vector<uint64_t> cluster_volumes;
+
+  void WriteJson(std::ostream& out) const;
+};
+
+/// Whole-run record, attached to FlocResult::telemetry.
+struct RunTelemetry {
+  TelemetryLevel level = TelemetryLevel::kOff;
+  size_t num_clusters = 0;
+  size_t iterations = 0;  ///< Mirrors FlocResult::iterations.
+
+  // Phase wall times. seeding covers Phase 1 (only populated by
+  // Floc::Run; RunWithSeeds starts from caller seeds). move/refine/
+  // reseed accumulate across restart rounds.
+  double seeding_seconds = 0.0;
+  double move_phase_seconds = 0.0;
+  double refine_seconds = 0.0;
+  double reseed_seconds = 0.0;
+  double total_seconds = 0.0;
+  double total_cpu_seconds = 0.0;
+
+  uint64_t total_actions_applied = 0;
+  /// Index into `iteration_log` of the last improving iteration (the
+  /// checkpoint the final clustering descends from); 0 for a run whose
+  /// seeds were never improved on.
+  size_t best_iteration = 0;
+  /// Mirrors FlocResult::average_residue.
+  double final_average_residue = 0.0;
+
+  /// Per-iteration records; empty at kOff.
+  std::vector<IterationTelemetry> iteration_log;
+
+  void WriteJson(std::ostream& out) const;
+  std::string Json() const;
+};
+
+/// Streaming consumer of telemetry records. Implementations must not
+/// retain references to the passed records beyond the call.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void OnIteration(const IterationTelemetry& iteration) = 0;
+  virtual void OnRunEnd(const RunTelemetry& run) = 0;
+};
+
+/// Writes one JSON object per line: {"event":"iteration",...} per
+/// iteration and a final {"event":"run_end",...}. The stream must
+/// outlive the sink.
+class JsonlTelemetrySink : public TelemetrySink {
+ public:
+  explicit JsonlTelemetrySink(std::ostream& out) : out_(out) {}
+  void OnIteration(const IterationTelemetry& iteration) override;
+  void OnRunEnd(const RunTelemetry& run) override;
+
+ private:
+  std::ostream& out_;
+};
+
+/// Assembles a RunTelemetry during a FLOC run. The kOff fast paths are
+/// allocation-free: BeginIteration returns nullptr after one branch and
+/// every other hook returns immediately (asserted by
+/// floc_telemetry_test).
+class TelemetryCollector {
+ public:
+  TelemetryCollector(TelemetryLevel level, TelemetrySink* sink)
+      : level_(level), sink_(sink) {
+    run_.level = level;
+  }
+
+  bool enabled() const { return level_ != TelemetryLevel::kOff; }
+  bool full() const { return level_ == TelemetryLevel::kFull; }
+
+  /// Starts a new iteration record; nullptr when disabled. The pointer
+  /// stays valid until FinishIteration().
+  IterationTelemetry* BeginIteration(size_t iteration);
+
+  /// Seals the current iteration: appends it to the run log and streams
+  /// it to the sink. No-op when disabled or with no open iteration.
+  void FinishIteration();
+
+  /// Direct access to the run-level record (phase timings etc.). Valid
+  /// at every level; callers should guard expensive fills on enabled().
+  RunTelemetry& run() { return run_; }
+
+  /// Finalizes: derives aggregate fields from the log, notifies the
+  /// sink, and returns the record.
+  RunTelemetry Finish(double total_seconds, double total_cpu_seconds,
+                      double final_average_residue);
+
+ private:
+  TelemetryLevel level_;
+  TelemetrySink* sink_;
+  RunTelemetry run_;
+  IterationTelemetry current_;
+  bool iteration_open_ = false;
+};
+
+}  // namespace deltaclus::obs
+
+#endif  // DELTACLUS_OBS_TELEMETRY_H_

@@ -1,0 +1,89 @@
+#include "src/obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace deltaclus::obs {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("floc.runs"), "floc.runs");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumberTest, RoundTripsDoubles) {
+  for (double v : {0.0, 1.0, -2.5, 1e-9, 3.141592653589793, 1e300}) {
+    EXPECT_EQ(std::stod(JsonNumber(v)), v) << JsonNumber(v);
+  }
+}
+
+TEST(JsonNumberTest, MapsNonFiniteToNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriterTest, WritesNestedDocumentWithCommas) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("name").String("floc");
+  w.Key("n").Int(-3);
+  w.Key("u").Uint(7);
+  w.Key("ok").Bool(true);
+  w.Key("nothing").Null();
+  w.Key("history").BeginArray();
+  w.Number(0.5);
+  w.Number(0.25);
+  w.BeginObject();
+  w.Key("inner").Bool(false);
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(os.str(),
+            "{\"name\":\"floc\",\"n\":-3,\"u\":7,\"ok\":true,"
+            "\"nothing\":null,\"history\":[0.5,0.25,{\"inner\":false}]}");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("a").BeginArray();
+  w.EndArray();
+  w.Key("o").BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(os.str(), "{\"a\":[],\"o\":{}}");
+}
+
+TEST(JsonWriterTest, RawSplicesPreEncodedValues) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("a").Raw("1.5");
+  w.Key("b").Raw("[1,2]");
+  w.EndObject();
+  EXPECT_EQ(os.str(), "{\"a\":1.5,\"b\":[1,2]}");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndValues) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("a\"b").String("c\nd");
+  w.EndObject();
+  EXPECT_EQ(os.str(), "{\"a\\\"b\":\"c\\nd\"}");
+}
+
+}  // namespace
+}  // namespace deltaclus::obs

@@ -1,0 +1,143 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace deltaclus::obs {
+namespace {
+
+// The enabled flag is process-global; every test restores the disabled
+// default so ordering cannot leak between tests (or into other suites).
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { MetricsRegistry::SetEnabled(false); }
+};
+
+TEST_F(MetricsTest, DisabledMutationsAreNoOps) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Gauge* g = registry.GetGauge("test.gauge");
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 2.0});
+  MetricsRegistry::SetEnabled(false);
+  c->Inc();
+  g->Set(5.0);
+  h->Observe(1.5);
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+}
+
+TEST_F(MetricsTest, CounterAccumulatesWhenEnabled) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  MetricsRegistry::SetEnabled(true);
+  c->Inc();
+  c->Inc(41);
+  EXPECT_EQ(c->Value(), 42u);
+  c->Reset();
+  EXPECT_EQ(c->Value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastWrite) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("test.gauge");
+  MetricsRegistry::SetEnabled(true);
+  g->Set(1.5);
+  g->Set(-2.5);
+  EXPECT_EQ(g->Value(), -2.5);
+}
+
+TEST_F(MetricsTest, HistogramBucketsByUpperBound) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {0.1, 1.0, 10.0});
+  MetricsRegistry::SetEnabled(true);
+  h->Observe(0.05);   // bucket 0 (<= 0.1)
+  h->Observe(0.1);    // bucket 0 (inclusive upper bound)
+  h->Observe(0.5);    // bucket 1
+  h->Observe(100.0);  // overflow bucket
+  EXPECT_EQ(h->Count(), 4u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 100.65);
+  std::vector<uint64_t> buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 0u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST_F(MetricsTest, RegistrationReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("stable");
+  // Force vector growth with many registrations.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("stable"), first);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLockFreeAndExact) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.concurrent");
+  MetricsRegistry::SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Inc();
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("test.counter");
+  Gauge* g = registry.GetGauge("test.gauge");
+  Histogram* h = registry.GetHistogram("test.hist", {1.0});
+  MetricsRegistry::SetEnabled(true);
+  c->Inc(3);
+  g->Set(9.0);
+  h->Observe(0.5);
+  registry.ResetAll();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(registry.GetCounter("test.counter"), c);
+}
+
+TEST_F(MetricsTest, JsonSnapshotHasSortedSections) {
+  MetricsRegistry registry;
+  MetricsRegistry::SetEnabled(true);
+  registry.GetCounter("z.second")->Inc(2);
+  registry.GetCounter("a.first")->Inc(1);
+  registry.GetGauge("g")->Set(1.5);
+  registry.GetHistogram("h", {1.0})->Observe(0.5);
+  std::string json = registry.SnapshotJson();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a.first\":1,\"z.second\":2},"
+            "\"gauges\":{\"g\":1.5},"
+            "\"histograms\":{\"h\":{\"bounds\":[1],\"counts\":[1,0],"
+            "\"count\":1,\"sum\":0.5}}}\n");
+}
+
+TEST_F(MetricsTest, WriteJsonFileRoundTrips) {
+  MetricsRegistry registry;
+  MetricsRegistry::SetEnabled(true);
+  registry.GetCounter("file.counter")->Inc(7);
+  std::string path = ::testing::TempDir() + "/metrics_snapshot.json";
+  ASSERT_TRUE(registry.WriteJsonFile(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"file.counter\":7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deltaclus::obs

@@ -1,0 +1,121 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+namespace deltaclus::obs {
+namespace {
+
+// Spans given an explicit recorder bypass the global enabled flag, so
+// these tests never have to mutate process-global state.
+TEST(TraceSpanTest, RecordsWallAndCpuDurations) {
+  TraceRecorder recorder(16);
+  {
+    TraceSpan span("unit/work", "test", &recorder);
+    volatile double acc = 0;
+    for (int i = 0; i < 100000; ++i) acc = acc + i;
+  }
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit/work");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GT(events[0].dur_ns, 0);
+  EXPECT_GE(events[0].cpu_ns, 0);
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST(TraceSpanTest, NestedSpansRecordDepthAndOrder) {
+  TraceRecorder recorder(16);
+  {
+    TraceSpan outer("outer", "test", &recorder);
+    {
+      TraceSpan inner("inner", "test", &recorder);
+    }
+  }
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner completes (and records) first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The outer span contains the inner one.
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+  EXPECT_GE(events[1].start_ns + events[1].dur_ns,
+            events[0].start_ns + events[0].dur_ns);
+}
+
+TEST(TraceSpanTest, DisabledGlobalSpansAreInert) {
+  ASSERT_FALSE(TraceRecorder::Enabled());
+  size_t before = TraceRecorder::Global().size();
+  {
+    DC_TRACE_SPAN("should_not_record");
+  }
+  EXPECT_EQ(TraceRecorder::Global().size(), before);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestAndCountsDropped) {
+  TraceRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.name = "e";
+    e.category = "test";
+    e.start_ns = i;
+    recorder.Record(e);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: the four surviving events are 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(events[i].start_ns, 6 + i);
+}
+
+TEST(TraceRecorderTest, ClearDiscardsEverything) {
+  TraceRecorder recorder(4);
+  TraceEvent e;
+  e.name = "e";
+  recorder.Record(e);
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, ChromeTraceJsonShape) {
+  TraceRecorder recorder(16);
+  {
+    TraceSpan span("floc/iteration", "floc", &recorder);
+  }
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"floc/iteration\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"floc\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ConcurrentSpansFromManyThreads) {
+  TraceRecorder recorder(1024);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&recorder] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("worker", "test", &recorder);
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  EXPECT_EQ(recorder.size(), static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace deltaclus::obs
