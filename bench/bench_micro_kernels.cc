@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/cluster_stats.h"
+#include "src/core/cluster_workspace.h"
 #include "src/core/floc.h"
 #include "src/core/residue.h"
 #include "src/core/seeding.h"
@@ -90,6 +91,40 @@ void BM_GainCopyToggleRow(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GainCopyToggleRow)->Arg(16)->Arg(64)->Arg(256);
+
+// Gain-evaluation kernels over a standing cluster -- the data-plane hot
+// path the dual-layout refactor targets. The workspace caches the base
+// residue, so each gain evaluation costs one after-toggle scan instead
+// of a full rescan plus an after-toggle scan, and the column toggle on
+// the wide matrix reads the column-major plane with stride-1 access.
+// Tall (10000x100) stresses row toggles; wide (100x10000) column
+// toggles. items_per_second in BENCH_micro_kernels.json is gain
+// evaluations per second.
+void BM_GainEvalRowToggleTall(benchmark::State& state) {
+  SyntheticDataset data = MakeData(10000, 100);
+  ClusterWorkspace ws(data.matrix, MakeCluster(10000, 100, 600, 60));
+  ResidueEngine engine;
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.GainToggleRow(ws, row % 10000));
+    ++row;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GainEvalRowToggleTall)->Unit(benchmark::kMicrosecond);
+
+void BM_GainEvalColToggleWide(benchmark::State& state) {
+  SyntheticDataset data = MakeData(100, 10000);
+  ClusterWorkspace ws(data.matrix, MakeCluster(100, 10000, 60, 600));
+  ResidueEngine engine;
+  size_t col = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.GainToggleCol(ws, col % 10000));
+    ++col;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GainEvalColToggleWide)->Unit(benchmark::kMicrosecond);
 
 void BM_StatsIncrementalToggle(benchmark::State& state) {
   SyntheticDataset data = MakeData(1000, 100);
@@ -196,12 +231,17 @@ class RecordingReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
-      report_->AddResult(
-          {{"benchmark", bench::Str(run.benchmark_name())},
-           {"iterations", bench::Int(run.iterations)},
-           {"real_time", bench::Num(run.GetAdjustedRealTime())},
-           {"cpu_time", bench::Num(run.GetAdjustedCPUTime())},
-           {"time_unit", bench::Str(GetTimeUnitString(run.time_unit))}});
+      bench::BenchRow row = {
+          {"benchmark", bench::Str(run.benchmark_name())},
+          {"iterations", bench::Int(run.iterations)},
+          {"real_time", bench::Num(run.GetAdjustedRealTime())},
+          {"cpu_time", bench::Num(run.GetAdjustedCPUTime())},
+          {"time_unit", bench::Str(GetTimeUnitString(run.time_unit))}};
+      auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row.push_back({"items_per_second", bench::Num(items->second)});
+      }
+      report_->AddResult(std::move(row));
     }
     ConsoleReporter::ReportRuns(runs);
   }

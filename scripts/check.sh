@@ -104,7 +104,7 @@ stage_audit() {
     tree=build
   fi
   if (cd "$tree" && DELTACLUS_AUDIT=1 ctest --output-on-failure -j "$JOBS" \
-        -R 'Floc|PropertySweep|Integration|EdgeCase'); then
+        -R 'Floc|PropertySweep|Integration|EdgeCase|ClusterWorkspace'); then
     echo "audit: no invariant violations"
   else
     fail "FLOC invariant audit tripped"

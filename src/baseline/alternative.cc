@@ -5,6 +5,7 @@
 
 #include "src/baseline/derived_transform.h"
 #include "src/core/cluster_stats.h"
+#include "src/core/cluster_workspace.h"
 #include "src/core/residue.h"
 #include "src/obs/clock.h"
 #include "src/obs/trace.h"
@@ -57,8 +58,8 @@ AlternativeResult RunAlternative(const DataMatrix& matrix,
   std::vector<std::pair<double, size_t>> ranked;
   ranked.reserve(candidates.size());
   for (size_t t = 0; t < candidates.size(); ++t) {
-    ClusterView view(matrix, candidates[t]);
-    ranked.emplace_back(engine.Residue(view), t);
+    ClusterWorkspace ws(matrix, candidates[t]);
+    ranked.emplace_back(engine.Residue(ws), t);
   }
   std::sort(ranked.begin(), ranked.end());
 

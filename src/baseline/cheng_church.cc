@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/core/cluster_stats.h"
+#include "src/core/cluster_workspace.h"
 #include "src/core/residue.h"
 #include "src/obs/clock.h"
 #include "src/obs/trace.h"
@@ -37,11 +38,14 @@ double MemberColScore(const ClusterView& view, size_t j) {
   const ClusterStats& stats = view.stats();
   double col_base = stats.ColBase(j);
   double cluster_base = stats.ClusterBase();
+  // Column-direction scan: stride-1 on the column-major plane.
+  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
+  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
   double acc = 0.0;
   size_t count = 0;
   for (uint32_t i : view.cluster().row_ids()) {
-    if (!m.IsSpecified(i, j)) continue;
-    double r = m.Value(i, j) - stats.RowBase(i) - col_base + cluster_base;
+    if (!col_mask[i]) continue;
+    double r = col_values[i] - stats.RowBase(i) - col_base + cluster_base;
     acc += r * r;
     ++count;
   }
@@ -61,10 +65,12 @@ double CandidateColScore(const ClusterView& view, size_t j) {
   if (col_cnt == 0) return std::numeric_limits<double>::infinity();
   double col_base = col_sum / col_cnt;
   double cluster_base = stats.ClusterBase();
+  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
+  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
   double acc = 0.0;
   for (uint32_t i : view.cluster().row_ids()) {
-    if (!m.IsSpecified(i, j)) continue;
-    double r = m.Value(i, j) - stats.RowBase(i) - col_base + cluster_base;
+    if (!col_mask[i]) continue;
+    double r = col_values[i] - stats.RowBase(i) - col_base + cluster_base;
     acc += r * r;
   }
   return acc / col_cnt;
@@ -106,43 +112,45 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
   std::vector<size_t> all_cols(work.cols());
   for (size_t i = 0; i < work.rows(); ++i) all_rows[i] = i;
   for (size_t j = 0; j < work.cols(); ++j) all_cols[j] = j;
-  ClusterView view(
+  ClusterWorkspace ws(
       work, Cluster::FromMembers(work.rows(), work.cols(), all_rows, all_cols));
 
-  double msr = engine.Residue(view);
+  // Residue(ws) is served from the workspace cache between toggles, so
+  // the repeated MSR reads below cost one scan per membership change.
+  double msr = engine.Residue(ws);
 
   // --- Algorithm 2: multiple node deletion. ---
   {
   DC_TRACE_SPAN("cheng_church/multiple_deletion");
   while (msr > config.msr_threshold) {
     bool removed = false;
-    if (view.cluster().NumRows() > config.multiple_deletion_min) {
+    if (ws.cluster().NumRows() > config.multiple_deletion_min) {
       std::vector<uint32_t> victims;
-      for (uint32_t i : view.cluster().row_ids()) {
-        if (MemberRowScore(view, i) > config.deletion_threshold * msr) {
+      for (uint32_t i : ws.cluster().row_ids()) {
+        if (MemberRowScore(ws.view(), i) > config.deletion_threshold * msr) {
           victims.push_back(i);
         }
       }
       // Never delete everything.
-      if (victims.size() + 2 <= view.cluster().NumRows()) {
-        for (uint32_t i : victims) view.ToggleRow(i);
+      if (victims.size() + 2 <= ws.cluster().NumRows()) {
+        for (uint32_t i : victims) ws.ToggleRow(i);
         removed = !victims.empty();
       }
-      msr = engine.Residue(view);
+      msr = engine.Residue(ws);
       if (msr <= config.msr_threshold) break;
     }
-    if (view.cluster().NumCols() > config.multiple_deletion_min) {
+    if (ws.cluster().NumCols() > config.multiple_deletion_min) {
       std::vector<uint32_t> victims;
-      for (uint32_t j : view.cluster().col_ids()) {
-        if (MemberColScore(view, j) > config.deletion_threshold * msr) {
+      for (uint32_t j : ws.cluster().col_ids()) {
+        if (MemberColScore(ws.view(), j) > config.deletion_threshold * msr) {
           victims.push_back(j);
         }
       }
-      if (victims.size() + 2 <= view.cluster().NumCols()) {
-        for (uint32_t j : victims) view.ToggleCol(j);
+      if (victims.size() + 2 <= ws.cluster().NumCols()) {
+        for (uint32_t j : victims) ws.ToggleCol(j);
         removed = removed || !victims.empty();
       }
-      msr = engine.Residue(view);
+      msr = engine.Residue(ws);
     }
     if (!removed) break;
   }
@@ -152,12 +160,12 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
   {
   DC_TRACE_SPAN("cheng_church/single_deletion");
   while (msr > config.msr_threshold &&
-         (view.cluster().NumRows() > 2 || view.cluster().NumCols() > 2)) {
+         (ws.cluster().NumRows() > 2 || ws.cluster().NumCols() > 2)) {
     double best_row_score = -1.0;
     uint32_t best_row = 0;
-    if (view.cluster().NumRows() > 2) {
-      for (uint32_t i : view.cluster().row_ids()) {
-        double s = MemberRowScore(view, i);
+    if (ws.cluster().NumRows() > 2) {
+      for (uint32_t i : ws.cluster().row_ids()) {
+        double s = MemberRowScore(ws.view(), i);
         if (s > best_row_score) {
           best_row_score = s;
           best_row = i;
@@ -166,9 +174,9 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
     }
     double best_col_score = -1.0;
     uint32_t best_col = 0;
-    if (view.cluster().NumCols() > 2) {
-      for (uint32_t j : view.cluster().col_ids()) {
-        double s = MemberColScore(view, j);
+    if (ws.cluster().NumCols() > 2) {
+      for (uint32_t j : ws.cluster().col_ids()) {
+        double s = MemberColScore(ws.view(), j);
         if (s > best_col_score) {
           best_col_score = s;
           best_col = j;
@@ -177,11 +185,11 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
     }
     if (best_row_score < 0 && best_col_score < 0) break;
     if (best_row_score >= best_col_score) {
-      view.ToggleRow(best_row);
+      ws.ToggleRow(best_row);
     } else {
-      view.ToggleCol(best_col);
+      ws.ToggleCol(best_col);
     }
-    msr = engine.Residue(view);
+    msr = engine.Residue(ws);
   }
   }
 
@@ -190,37 +198,37 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
   DC_TRACE_SPAN("cheng_church/node_addition");
   for (int pass = 0; pass < 50; ++pass) {
     bool changed = false;
-    msr = engine.Residue(view);
+    msr = engine.Residue(ws);
     // Columns first, then rows, as in the original.
     std::vector<uint32_t> add_cols;
     for (size_t j = 0; j < work.cols(); ++j) {
-      if (view.cluster().HasCol(j)) continue;
-      if (CandidateColScore(view, j) <= msr) {
+      if (ws.cluster().HasCol(j)) continue;
+      if (CandidateColScore(ws.view(), j) <= msr) {
         add_cols.push_back(static_cast<uint32_t>(j));
       }
     }
-    for (uint32_t j : add_cols) view.ToggleCol(j);
+    for (uint32_t j : add_cols) ws.ToggleCol(j);
     changed = changed || !add_cols.empty();
 
-    msr = engine.Residue(view);
+    msr = engine.Residue(ws);
     std::vector<uint32_t> add_rows;
     for (size_t i = 0; i < work.rows(); ++i) {
-      if (view.cluster().HasRow(i)) continue;
-      bool qualifies = CandidateRowScore(view, i, /*inverted=*/false) <= msr;
+      if (ws.cluster().HasRow(i)) continue;
+      bool qualifies = CandidateRowScore(ws.view(), i, /*inverted=*/false) <= msr;
       if (!qualifies && config.add_inverted_rows) {
-        qualifies = CandidateRowScore(view, i, /*inverted=*/true) <= msr;
+        qualifies = CandidateRowScore(ws.view(), i, /*inverted=*/true) <= msr;
       }
       if (qualifies) add_rows.push_back(static_cast<uint32_t>(i));
     }
-    for (uint32_t i : add_rows) view.ToggleRow(i);
+    for (uint32_t i : add_rows) ws.ToggleRow(i);
     changed = changed || !add_rows.empty();
 
     if (!changed) break;
   }
   }
 
-  *out_msr = engine.Residue(view);
-  return view.cluster();
+  *out_msr = engine.Residue(ws);
+  return ws.cluster();
 }
 
 }  // namespace

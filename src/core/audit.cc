@@ -109,4 +109,33 @@ void AuditClusterView(const ClusterView& view, const Constraints& constraints,
   }
 }
 
+void AuditClusterWorkspace(const ClusterWorkspace& ws,
+                           const Constraints& constraints, ResidueNorm norm,
+                           double tolerance, const char* context,
+                           bool check_occupancy) {
+  AuditClusterView(ws.view(), constraints, norm, tolerance, context,
+                   check_occupancy);
+
+  CachedNormTag tag = norm == ResidueNorm::kMeanAbsolute
+                          ? CachedNormTag::kMeanAbsolute
+                          : CachedNormTag::kMeanSquared;
+  if (!ws.ResidueCached(tag)) return;
+
+  // The cached quotient must match a from-scratch rebuild, and the cached
+  // volume must match the live stats exactly (both are integer entry
+  // counts over the same membership).
+  DC_CHECK_EQ(ws.CachedResidueVolume(), ws.stats().Volume())
+      << context << ": cached residue volume went stale";
+  size_t volume = ws.CachedResidueVolume();
+  double cached =
+      volume == 0 ? 0.0 : ws.CachedResidueNumerator() / volume;
+  ClusterView rebuilt(ws.matrix(), ws.cluster());
+  ResidueEngine engine(norm);
+  double reference = engine.Residue(rebuilt);
+  DC_CHECK(Near(cached, reference, tolerance))
+      << context << ": cached residue " << cached
+      << " drifted from from-scratch recompute " << reference
+      << " (stale cache not invalidated by a membership toggle?)";
+}
+
 }  // namespace deltaclus

@@ -14,11 +14,19 @@
 
 #include "src/core/cluster.h"
 #include "src/core/cluster_stats.h"
+#include "src/core/cluster_workspace.h"
 #include "src/core/constraints.h"
 #include "src/core/data_matrix.h"
 #include "src/core/residue.h"
 
 namespace deltaclus {
+
+/// Tolerance used by every audit call site unless the caller has a reason
+/// to tighten or loosen it. Incremental updates and from-scratch rebuilds
+/// accumulate in different orders, so exact equality is not expected;
+/// drift beyond ~1e-7 relative indicates a real bookkeeping bug rather
+/// than floating-point reassociation.
+inline constexpr double kDefaultAuditTolerance = 1e-7;
 
 /// Recomputes `c`'s stats from scratch on `m` and DC_CHECKs `stats`
 /// against the result: volume and per-row/column counts exactly, sums,
@@ -53,6 +61,16 @@ void AuditOccupancy(const DataMatrix& m, const Cluster& c, double alpha,
 void AuditClusterView(const ClusterView& view, const Constraints& constraints,
                       ResidueNorm norm, double tolerance, const char* context,
                       bool check_occupancy = true);
+
+/// Workspace audit: everything AuditClusterView checks, plus -- when the
+/// workspace holds a cached residue for `norm` -- a DC_CHECK that the
+/// cached numerator/volume reproduce the residue of a from-scratch stats
+/// rebuild. A stale cache (one that survived a membership toggle it
+/// should have been invalidated by) fails here.
+void AuditClusterWorkspace(const ClusterWorkspace& ws,
+                           const Constraints& constraints, ResidueNorm norm,
+                           double tolerance, const char* context,
+                           bool check_occupancy = true);
 
 }  // namespace deltaclus
 

@@ -69,14 +69,16 @@ void ClusterStats::RemoveRow(const DataMatrix& m, const Cluster& c, size_t i) {
 
 void ClusterStats::AddCol(const DataMatrix& m, const Cluster& c, size_t j) {
   DC_DCHECK_LT(j, m.cols());
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
+  // Column-direction scan: stride-1 on the column-major plane. Summation
+  // order over row_ids is unchanged, so sums are bit-identical to a
+  // row-major-plane scan.
+  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
+  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
   double sum = 0.0;
   size_t cnt = 0;
   for (uint32_t i : c.row_ids()) {
-    size_t idx = m.RawIndex(i, j);
-    if (!mask[idx]) continue;
-    double v = values[idx];
+    if (!col_mask[i]) continue;
+    double v = col_values[i];
     row_sum_[i] += v;
     ++row_cnt_[i];
     sum += v;
@@ -90,12 +92,11 @@ void ClusterStats::AddCol(const DataMatrix& m, const Cluster& c, size_t j) {
 
 void ClusterStats::RemoveCol(const DataMatrix& m, const Cluster& c, size_t j) {
   DC_DCHECK_LT(j, m.cols());
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
+  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
+  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
   for (uint32_t i : c.row_ids()) {
-    size_t idx = m.RawIndex(i, j);
-    if (!mask[idx]) continue;
-    double v = values[idx];
+    if (!col_mask[i]) continue;
+    double v = col_values[i];
     row_sum_[i] -= v;
     --row_cnt_[i];
   }
@@ -125,14 +126,14 @@ void ClusterStats::RowSumOverCols(const DataMatrix& m,
 void ClusterStats::ColSumOverRows(const DataMatrix& m,
                                   const std::vector<uint32_t>& row_ids,
                                   size_t j, double* sum, size_t* count) {
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
+  // Stride-1 on the column-major plane; same summation order as before.
+  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
+  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
   double s = 0.0;
   size_t c = 0;
   for (uint32_t i : row_ids) {
-    size_t idx = m.RawIndex(i, j);
-    if (!mask[idx]) continue;
-    s += values[idx];
+    if (!col_mask[i]) continue;
+    s += col_values[i];
     ++c;
   }
   *sum = s;

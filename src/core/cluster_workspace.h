@@ -1,0 +1,120 @@
+// ClusterWorkspace: the per-cluster mutable state FLOC carries through a
+// run -- a ClusterView (Cluster membership + incrementally-maintained
+// ClusterStats) plus a *cached* residue numerator/volume pair.
+//
+// The cache exists because the hot loop asks for a cluster's residue far
+// more often than the cluster changes: every gain evaluation, score
+// refresh, telemetry snapshot, and stagnation check wants Residue(c), but
+// membership only moves on an applied action. Pre-workspace, each of
+// those calls paid a full O(volume) rescan of the submatrix; with the
+// workspace, the first call after a toggle pays the scan and every
+// subsequent call is O(1). Invalidation is exact: precisely the
+// membership mutations (ToggleRow / ToggleCol / Reset) clear the cache,
+// nothing else does.
+//
+// The cache stores the residue's numerator (the accumulated |r_ij| or
+// r_ij^2 mass) and the volume it was computed over, not the quotient, so
+// audit mode can verify both factors against a from-scratch recompute
+// (src/core/audit.h) and the quotient is formed the same way as the
+// uncached path -- cached and uncached reads are bit-identical.
+//
+// Filling and invalidating the cache is NOT thread-safe: FLOC's parallel
+// gain scan only evaluates virtual toggles (which never touch the cache);
+// cached residue reads and all mutations happen on the coordinating
+// thread. This matches the pre-workspace contract where worker threads
+// shared read-only views.
+#ifndef DELTACLUS_CORE_CLUSTER_WORKSPACE_H_
+#define DELTACLUS_CORE_CLUSTER_WORKSPACE_H_
+
+#include <cstddef>
+
+#include "src/core/cluster.h"
+#include "src/core/cluster_stats.h"
+#include "src/core/data_matrix.h"
+
+namespace deltaclus {
+
+/// Identifies which residue norm a cached numerator was accumulated
+/// under. Mirrors ResidueNorm (src/core/residue.h); duplicated here as a
+/// plain tag so the workspace header does not depend on the engine's.
+enum class CachedNormTag : int {
+  kNone = -1,       ///< Cache empty / invalidated.
+  kMeanAbsolute = 0,
+  kMeanSquared = 1,
+};
+
+class ClusterWorkspace {
+ public:
+  /// Binds to `matrix` (which must outlive the workspace) with empty
+  /// membership.
+  explicit ClusterWorkspace(const DataMatrix& matrix) : view_(matrix) {}
+
+  /// Binds to `matrix` and adopts `cluster`, building stats.
+  ClusterWorkspace(const DataMatrix& matrix, Cluster cluster)
+      : view_(matrix, std::move(cluster)) {}
+
+  ClusterWorkspace(const ClusterWorkspace&) = default;
+  ClusterWorkspace& operator=(const ClusterWorkspace&) = default;
+  ClusterWorkspace(ClusterWorkspace&&) = default;
+  ClusterWorkspace& operator=(ClusterWorkspace&&) = default;
+
+  const ClusterView& view() const { return view_; }
+  const Cluster& cluster() const { return view_.cluster(); }
+  const ClusterStats& stats() const { return view_.stats(); }
+  const DataMatrix& matrix() const { return view_.matrix(); }
+
+  /// Replaces the membership wholesale, rebuilds stats, and invalidates
+  /// the residue cache.
+  void Reset(Cluster cluster) {
+    view_.Reset(std::move(cluster));
+    InvalidateResidue();
+  }
+
+  /// Membership toggles: stats stay incrementally consistent, residue
+  /// cache is invalidated (the residue depends on every base).
+  void ToggleRow(size_t i) {
+    view_.ToggleRow(i);
+    InvalidateResidue();
+  }
+  void ToggleCol(size_t j) {
+    view_.ToggleCol(j);
+    InvalidateResidue();
+  }
+
+  // --- Residue cache plumbing (used by ResidueEngine and audit) ---
+
+  /// True if a residue numerator/volume accumulated under `norm` is
+  /// cached and membership has not changed since.
+  bool ResidueCached(CachedNormTag norm) const {
+    return cached_norm_ == norm && norm != CachedNormTag::kNone;
+  }
+
+  /// Cached numerator / volume. Only meaningful when ResidueCached().
+  double CachedResidueNumerator() const { return cached_numerator_; }
+  size_t CachedResidueVolume() const { return cached_volume_; }
+
+  /// Stores a freshly-accumulated numerator/volume pair. `const` because
+  /// caching is an observable-behaviour-preserving optimization performed
+  /// on logically-immutable reads (ResidueEngine::Residue takes the
+  /// workspace const).
+  void CacheResidue(CachedNormTag norm, double numerator,
+                    size_t volume) const {
+    cached_norm_ = norm;
+    cached_numerator_ = numerator;
+    cached_volume_ = volume;
+  }
+
+  /// Drops the cached residue. Called by every membership mutation;
+  /// public so tests and audits can force the recompute path.
+  void InvalidateResidue() const { cached_norm_ = CachedNormTag::kNone; }
+
+ private:
+  ClusterView view_;
+  mutable CachedNormTag cached_norm_ = CachedNormTag::kNone;
+  mutable double cached_numerator_ = 0.0;
+  mutable size_t cached_volume_ = 0;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_CLUSTER_WORKSPACE_H_

@@ -32,10 +32,10 @@ ConstraintTracker::ConstraintTracker(const DataMatrix& matrix,
       row_cover_count_(matrix.rows(), 0),
       col_cover_count_(matrix.cols(), 0) {}
 
-void ConstraintTracker::Rebuild(const std::vector<ClusterView>& views) {
+void ConstraintTracker::Rebuild(const std::vector<ClusterWorkspace>& views) {
   std::fill(row_cover_count_.begin(), row_cover_count_.end(), 0);
   std::fill(col_cover_count_.begin(), col_cover_count_.end(), 0);
-  for (const ClusterView& v : views) {
+  for (const ClusterWorkspace& v : views) {
     for (uint32_t i : v.cluster().row_ids()) ++row_cover_count_[i];
     for (uint32_t j : v.cluster().col_ids()) ++col_cover_count_[j];
   }
@@ -85,8 +85,8 @@ const char* BlockReasonName(BlockReason reason) {
 }
 
 BlockReason ConstraintTracker::RowToggleBlockReason(
-    const std::vector<ClusterView>& views, size_t c, size_t i) const {
-  const ClusterView& view = views[c];
+    const std::vector<ClusterWorkspace>& views, size_t c, size_t i) const {
+  const ClusterWorkspace& view = views[c];
   const Cluster& cluster = view.cluster();
   const ClusterStats& stats = view.stats();
   bool adding = !cluster.HasRow(i);
@@ -144,8 +144,8 @@ BlockReason ConstraintTracker::RowToggleBlockReason(
 }
 
 BlockReason ConstraintTracker::ColToggleBlockReason(
-    const std::vector<ClusterView>& views, size_t c, size_t j) const {
-  const ClusterView& view = views[c];
+    const std::vector<ClusterWorkspace>& views, size_t c, size_t j) const {
+  const ClusterWorkspace& view = views[c];
   const Cluster& cluster = view.cluster();
   const ClusterStats& stats = view.stats();
   bool adding = !cluster.HasCol(j);
@@ -172,10 +172,13 @@ BlockReason ConstraintTracker::ColToggleBlockReason(
         return BlockReason::kOccupancy;
       }
     }
-    const uint8_t* mask = matrix_->raw_mask();
+    // Column-direction occupancy probe: stride-1 on the column-major
+    // plane instead of striding by cols() per member row.
+    const uint8_t* col_mask =
+        matrix_->raw_mask_cm() + matrix_->RawIndexCm(0, j);
     for (uint32_t i : cluster.row_ids()) {
       size_t cnt = stats.RowCount(i);
-      if (mask[matrix_->RawIndex(i, j)]) cnt = adding ? cnt + 1 : cnt - 1;
+      if (col_mask[i]) cnt = adding ? cnt + 1 : cnt - 1;
       if (static_cast<double>(cnt) < constraints_.alpha * new_cols) {
         return BlockReason::kOccupancy;
       }
@@ -199,7 +202,7 @@ BlockReason ConstraintTracker::ColToggleBlockReason(
 }
 
 bool ConstraintTracker::OverlapAllowedAfterRowToggle(
-    const std::vector<ClusterView>& views, size_t c, size_t i,
+    const std::vector<ClusterWorkspace>& views, size_t c, size_t i,
     bool adding) const {
   const Cluster& cluster = views[c].cluster();
   size_t new_rows = adding ? cluster.NumRows() + 1 : cluster.NumRows() - 1;
@@ -223,7 +226,7 @@ bool ConstraintTracker::OverlapAllowedAfterRowToggle(
 }
 
 bool ConstraintTracker::OverlapAllowedAfterColToggle(
-    const std::vector<ClusterView>& views, size_t c, size_t j,
+    const std::vector<ClusterWorkspace>& views, size_t c, size_t j,
     bool adding) const {
   const Cluster& cluster = views[c].cluster();
   size_t new_cols = adding ? cluster.NumCols() + 1 : cluster.NumCols() - 1;
@@ -246,7 +249,7 @@ bool ConstraintTracker::OverlapAllowedAfterColToggle(
   return true;
 }
 
-void ConstraintTracker::OnRowToggled(const std::vector<ClusterView>& views,
+void ConstraintTracker::OnRowToggled(const std::vector<ClusterWorkspace>& views,
                                      size_t c, size_t i) {
   bool added = views[c].cluster().HasRow(i);
   if (added) {
@@ -265,7 +268,7 @@ void ConstraintTracker::OnRowToggled(const std::vector<ClusterView>& views,
   }
 }
 
-void ConstraintTracker::OnColToggled(const std::vector<ClusterView>& views,
+void ConstraintTracker::OnColToggled(const std::vector<ClusterWorkspace>& views,
                                      size_t c, size_t j) {
   bool added = views[c].cluster().HasCol(j);
   if (added) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/core/cluster_stats.h"
+#include "src/core/cluster_workspace.h"
 #include "src/core/data_matrix.h"
 
 namespace deltaclus {
@@ -88,18 +89,18 @@ class ConstraintTracker {
   const Constraints& constraints() const { return constraints_; }
 
   /// Rebuilds all tracked state from the given clustering.
-  void Rebuild(const std::vector<ClusterView>& views);
+  void Rebuild(const std::vector<ClusterWorkspace>& views);
 
   /// True if toggling row i's membership in cluster `c` keeps every
   /// constraint satisfied. `views[c]` must be in its pre-toggle state.
-  bool RowToggleAllowed(const std::vector<ClusterView>& views, size_t c,
+  bool RowToggleAllowed(const std::vector<ClusterWorkspace>& views, size_t c,
                         size_t i) const {
     return RowToggleBlockReason(views, c, i) == BlockReason::kNone;
   }
 
   /// True if toggling column j's membership in cluster `c` keeps every
   /// constraint satisfied.
-  bool ColToggleAllowed(const std::vector<ClusterView>& views, size_t c,
+  bool ColToggleAllowed(const std::vector<ClusterWorkspace>& views, size_t c,
                         size_t j) const {
     return ColToggleBlockReason(views, c, j) == BlockReason::kNone;
   }
@@ -108,16 +109,16 @@ class ConstraintTracker {
   /// first violated one, in the order size, volume, occupancy, coverage,
   /// overlap) -- kNone when the toggle is allowed. Same cost as the
   /// boolean forms; used when run telemetry is collecting.
-  BlockReason RowToggleBlockReason(const std::vector<ClusterView>& views,
+  BlockReason RowToggleBlockReason(const std::vector<ClusterWorkspace>& views,
                                    size_t c, size_t i) const;
-  BlockReason ColToggleBlockReason(const std::vector<ClusterView>& views,
+  BlockReason ColToggleBlockReason(const std::vector<ClusterWorkspace>& views,
                                    size_t c, size_t j) const;
 
   /// Must be called after a row/column toggle is actually applied, with
   /// `views` already in post-toggle state.
-  void OnRowToggled(const std::vector<ClusterView>& views, size_t c,
+  void OnRowToggled(const std::vector<ClusterWorkspace>& views, size_t c,
                     size_t i);
-  void OnColToggled(const std::vector<ClusterView>& views, size_t c,
+  void OnColToggled(const std::vector<ClusterWorkspace>& views, size_t c,
                     size_t j);
 
   /// Fraction of rows / columns covered by at least one cluster.
@@ -125,9 +126,9 @@ class ConstraintTracker {
   double ColCoverage() const;
 
  private:
-  bool OverlapAllowedAfterRowToggle(const std::vector<ClusterView>& views,
+  bool OverlapAllowedAfterRowToggle(const std::vector<ClusterWorkspace>& views,
                                     size_t c, size_t i, bool adding) const;
-  bool OverlapAllowedAfterColToggle(const std::vector<ClusterView>& views,
+  bool OverlapAllowedAfterColToggle(const std::vector<ClusterWorkspace>& views,
                                     size_t c, size_t j, bool adding) const;
 
   const DataMatrix* matrix_;

@@ -11,13 +11,17 @@ DataMatrix::DataMatrix(size_t rows, size_t cols)
     : rows_(rows),
       cols_(cols),
       values_(rows * cols, 0.0),
-      mask_(rows * cols, 0) {}
+      mask_(rows * cols, 0),
+      values_cm_(rows * cols, 0.0),
+      mask_cm_(rows * cols, 0) {}
 
 DataMatrix::DataMatrix(size_t rows, size_t cols, double fill)
     : rows_(rows),
       cols_(cols),
       values_(rows * cols, fill),
-      mask_(rows * cols, 1) {}
+      mask_(rows * cols, 1),
+      values_cm_(rows * cols, fill),
+      mask_cm_(rows * cols, 1) {}
 
 DataMatrix DataMatrix::FromRows(
     std::initializer_list<std::initializer_list<double>> rows) {
@@ -42,9 +46,9 @@ DataMatrix DataMatrix::FromOptionalRows(
   size_t num_cols = num_rows == 0 ? 0 : rows.front().size();
   DataMatrix m(num_rows, num_cols);
   for (size_t i = 0; i < num_rows; ++i) {
-    if (rows[i].size() != num_cols) {
-      throw std::invalid_argument("DataMatrix::FromOptionalRows: ragged rows");
-    }
+    DC_CHECK_EQ(rows[i].size(), num_cols)
+        << "DataMatrix::FromOptionalRows: row " << i << " has "
+        << rows[i].size() << " entries but row 0 has " << num_cols;
     for (size_t j = 0; j < num_cols; ++j) {
       if (rows[i][j].has_value()) m.Set(i, j, *rows[i][j]);
     }
@@ -61,12 +65,16 @@ void DataMatrix::Set(size_t i, size_t j, double value) {
   DC_DCHECK(i < rows_ && j < cols_) << "Set(" << i << ", " << j << ") out of range";
   values_[Index(i, j)] = value;
   mask_[Index(i, j)] = 1;
+  values_cm_[IndexCm(i, j)] = value;
+  mask_cm_[IndexCm(i, j)] = 1;
 }
 
 void DataMatrix::SetMissing(size_t i, size_t j) {
   DC_DCHECK(i < rows_ && j < cols_) << "SetMissing(" << i << ", " << j << ") out of range";
   values_[Index(i, j)] = 0.0;
   mask_[Index(i, j)] = 0;
+  values_cm_[IndexCm(i, j)] = 0.0;
+  mask_cm_[IndexCm(i, j)] = 0;
 }
 
 size_t DataMatrix::NumSpecified() const {
@@ -84,8 +92,10 @@ size_t DataMatrix::NumSpecifiedInRow(size_t i) const {
 
 size_t DataMatrix::NumSpecifiedInCol(size_t j) const {
   DC_DCHECK_LT(j, cols_);
+  // Stride-1 on the column-major plane.
+  const uint8_t* col = mask_cm_.data() + IndexCm(0, j);
   size_t count = 0;
-  for (size_t i = 0; i < rows_; ++i) count += mask_[Index(i, j)];
+  for (size_t i = 0; i < rows_; ++i) count += col[i];
   return count;
 }
 

@@ -13,15 +13,26 @@
 
 namespace deltaclus {
 
-/// Dense row-major matrix of doubles with a per-entry specified/missing
-/// mask. Rows are objects (e.g. viewers, genes) and columns are attributes
-/// (e.g. movies, experiment conditions).
+/// Dense matrix of doubles with a per-entry specified/missing mask, stored
+/// in *both* row-major and column-major order. Rows are objects (e.g.
+/// viewers, genes) and columns are attributes (e.g. movies, experiment
+/// conditions).
 ///
 /// The representation is intentionally dense: the paper's algorithms scan
 /// submatrices entry-by-entry, and a dense value array plus a byte mask is
 /// both the fastest layout for those scans and the simplest one to reason
 /// about. Sparse data sets (MovieLens is ~6% dense) still fit comfortably
 /// in memory at the scales the paper evaluates (<= 3000 x 1700).
+///
+/// The column-major mirror exists because FLOC's inner loop is symmetric
+/// in rows and columns: row actions scan along rows, column actions scan
+/// along columns. With a single row-major plane every column scan strides
+/// by `cols()` and misses cache on each step; the mirror makes both scan
+/// directions stride-1. Both planes are kept in sync by every mutation,
+/// so readers may freely pick whichever plane matches their traversal
+/// (see DESIGN.md "The data plane"). Writes cost two stores instead of
+/// one, which is irrelevant: matrices are built once and then read by
+/// many mining iterations.
 class DataMatrix {
  public:
   /// Creates a rows x cols matrix with every entry missing.
@@ -36,7 +47,8 @@ class DataMatrix {
       std::initializer_list<std::initializer_list<double>> rows);
 
   /// Builds a matrix with missing entries from optionals; std::nullopt
-  /// marks a missing entry. All inner vectors must have equal length.
+  /// marks a missing entry. All inner vectors must have equal length
+  /// (DC_CHECKed, naming the offending row).
   static DataMatrix FromOptionalRows(
       const std::vector<std::vector<std::optional<double>>>& rows);
 
@@ -86,19 +98,34 @@ class DataMatrix {
   std::optional<double> MinSpecified() const;
   std::optional<double> MaxSpecified() const;
 
-  /// Raw storage for hot loops. `raw_values()[RawIndex(i, j)]` is the value
-  /// and `raw_mask()[RawIndex(i, j)] != 0` means specified.
+  /// Row-major plane for row-direction hot loops:
+  /// `raw_values()[RawIndex(i, j)]` is the value and
+  /// `raw_mask()[RawIndex(i, j)] != 0` means specified. Consecutive j are
+  /// adjacent in memory.
   const double* raw_values() const { return values_.data(); }
   const uint8_t* raw_mask() const { return mask_.data(); }
   size_t RawIndex(size_t i, size_t j) const { return Index(i, j); }
 
+  /// Column-major plane for column-direction hot loops:
+  /// `raw_values_cm()[RawIndexCm(i, j)]` is the same entry as
+  /// `raw_values()[RawIndex(i, j)]`, but consecutive i are adjacent in
+  /// memory. Always in sync with the row-major plane.
+  const double* raw_values_cm() const { return values_cm_.data(); }
+  const uint8_t* raw_mask_cm() const { return mask_cm_.data(); }
+  size_t RawIndexCm(size_t i, size_t j) const { return IndexCm(i, j); }
+
  private:
   size_t Index(size_t i, size_t j) const { return i * cols_ + j; }
+  size_t IndexCm(size_t i, size_t j) const { return j * rows_ + i; }
 
   size_t rows_;
   size_t cols_;
+  // Row-major plane.
   std::vector<double> values_;
   std::vector<uint8_t> mask_;
+  // Column-major mirror of the same entries.
+  std::vector<double> values_cm_;
+  std::vector<uint8_t> mask_cm_;
 };
 
 }  // namespace deltaclus

@@ -51,13 +51,8 @@ struct FlocMetrics {
 // clusters: the candidate toggle with the highest gain among those not
 // blocked by constraints. Gains are measured on the per-cluster objective
 // (`scores`), which equals the residue when target_residue == 0.
-// Closeness tolerance for audit-mode comparisons of incrementally
-// maintained doubles against from-scratch recomputes (relative to
-// magnitude; see audit.cc).
-constexpr double kAuditTolerance = 1e-7;
-
 struct GainContext {
-  const std::vector<ClusterView>* views;
+  const std::vector<ClusterWorkspace>* views;
   const std::vector<double>* scores;
   const ConstraintTracker* tracker;
   double target_residue;
@@ -85,7 +80,7 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
   Action best;
   best.target = is_row ? ActionTarget::kRow : ActionTarget::kCol;
   best.index = index;
-  const std::vector<ClusterView>& views = *ctx.views;
+  const std::vector<ClusterWorkspace>& views = *ctx.views;
   for (size_t c = 0; c < views.size(); ++c) {
     if (ctx.blocked != nullptr) {
       BlockReason reason =
@@ -195,10 +190,11 @@ Floc::Floc(FlocConfig config) : config_(std::move(config)) {
   }
 }
 
-void Floc::MaybeAudit(const ClusterView& view, const char* context) const {
+void Floc::MaybeAudit(const ClusterWorkspace& ws, const char* context) const {
   if (!config_.audit) return;
-  AuditClusterView(view, config_.constraints, config_.norm, kAuditTolerance,
-                   context, audit_check_occupancy_);
+  AuditClusterWorkspace(ws, config_.constraints, config_.norm,
+                        kDefaultAuditTolerance, context,
+                        audit_check_occupancy_);
 }
 
 double Floc::ClusterScore(double residue, size_t volume,
@@ -224,7 +220,7 @@ FlocResult Floc::Run(const DataMatrix& matrix) {
 }
 
 std::vector<Action> Floc::DetermineBestActions(
-    const DataMatrix& matrix, const std::vector<ClusterView>& views,
+    const DataMatrix& matrix, const std::vector<ClusterWorkspace>& views,
     const std::vector<double>& scores, const ConstraintTracker& tracker,
     obs::BlockCounts* blocked) {
   DC_TRACE_SPAN("floc/determine_actions");
@@ -275,7 +271,7 @@ std::vector<Action> Floc::DetermineBestActions(
 }
 
 size_t Floc::RefineSweep(const DataMatrix& matrix,
-                         std::vector<ClusterView>& views,
+                         std::vector<ClusterWorkspace>& views,
                          std::vector<double>& scores,
                          ConstraintTracker& tracker) {
   DC_TRACE_SPAN("floc/refine_sweep");
@@ -352,9 +348,9 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
 }
 
 bool Floc::ReanchorCluster(const DataMatrix& matrix,
-                           std::vector<ClusterView>& views, size_t c,
+                           std::vector<ClusterWorkspace>& views, size_t c,
                            double* score) {
-  ClusterView& view = views[c];
+  ClusterWorkspace& view = views[c];
   const double threshold = config_.target_residue;
   if (threshold <= 0.0) return false;
   size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
@@ -382,11 +378,14 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
     std::vector<double> centered;
     centered.reserve(rows.size());
     for (size_t j = 0; j < num_cols; ++j) {
+      // Column-direction gather: stride-1 on the column-major plane.
+      const double* col_values =
+          matrix.raw_values_cm() + matrix.RawIndexCm(0, j);
+      const uint8_t* col_mask = matrix.raw_mask_cm() + matrix.RawIndexCm(0, j);
       centered.clear();
       for (uint32_t i : rows) {
-        size_t pos = matrix.RawIndex(i, j);
-        if (!mask[pos]) continue;
-        centered.push_back(values[pos] - tmp.stats().RowBase(i));
+        if (!col_mask[i]) continue;
+        centered.push_back(col_values[i] - tmp.stats().RowBase(i));
       }
       if (centered.empty() ||
           (cons.alpha > 0.0 &&
@@ -501,7 +500,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   ResidueEngine engine(config_.norm);
 
   // The clustering being mutated during an iteration.
-  std::vector<ClusterView> views;
+  std::vector<ClusterWorkspace> views;
   views.reserve(k);
   for (Cluster& seed : seeds) {
     views.emplace_back(matrix, std::move(seed));
@@ -513,7 +512,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   audit_check_occupancy_ = false;
   if (config_.audit && config_.constraints.alpha > 0.0) {
     audit_check_occupancy_ = true;
-    for (const ClusterView& v : views) {
+    for (const ClusterWorkspace& v : views) {
       audit_check_occupancy_ = audit_check_occupancy_ &&
           OccupancySatisfied(matrix, v.cluster(), config_.constraints.alpha);
     }
@@ -536,7 +535,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   // best_clustering). Starts as the seeds.
   std::vector<Cluster> best_clusters;
   best_clusters.reserve(k);
-  for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+  for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
   double best_average = score_sum / k;
 
   // --- Phase 2: the move-based iteration loop. Runs until an iteration
@@ -596,7 +595,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     // clustering. ---
     std::vector<Cluster> start_clusters;
     start_clusters.reserve(k);
-    for (const ClusterView& v : views) start_clusters.push_back(v.cluster());
+    for (const ClusterWorkspace& v : views) start_clusters.push_back(v.cluster());
 
     std::vector<AppliedAction> applied;
     applied.reserve(actions.size());
@@ -639,7 +638,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
         if (!allowed) continue;
       }
 
-      ClusterView& view = views[action.cluster];
+      ClusterWorkspace& view = views[action.cluster];
       if (is_row) {
         view.ToggleRow(action.index);
         tracker.OnRowToggled(views, action.cluster, action.index);
@@ -731,7 +730,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
 
     best_average = score_sum / k;
     best_clusters.clear();
-    for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+    for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
     seal_iteration();
   }
   collector.run().move_phase_seconds += phase_watch.ElapsedSeconds();
@@ -766,7 +765,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     score_sum = recompute_scores();
     best_average = score_sum / k;
     best_clusters.clear();
-    for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+    for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
     collector.run().refine_seconds += refine_watch.ElapsedSeconds();
   }
   };  // refine
@@ -810,7 +809,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     tracker.Rebuild(views);
     best_average = score_sum / k;
     best_clusters.clear();
-    for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+    for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
     FlocMetrics::Get().reseed_slots->Inc(stagnant.size());
     collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
 
@@ -832,7 +831,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
       tracker.Rebuild(views);
       best_average = score_sum / k;
       best_clusters.clear();
-      for (const ClusterView& v : views) best_clusters.push_back(v.cluster());
+      for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
     }
     collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
   }

@@ -27,6 +27,7 @@
 #include "src/core/actions.h"
 #include "src/core/cluster.h"
 #include "src/core/cluster_stats.h"
+#include "src/core/cluster_workspace.h"
 #include "src/core/constraints.h"
 #include "src/core/data_matrix.h"
 #include "src/core/ordering.h"
@@ -242,14 +243,15 @@ class Floc {
   // target_residue == 0 this is exactly the residue.
   double ClusterScore(double residue, size_t volume, size_t matrix_entries) const;
 
-  // Audit-mode hook: no-op unless config_.audit, in which case `view`'s
-  // incremental state is checked against a from-scratch recompute (fatal
-  // on drift). `context` names the calling phase in failure messages.
-  void MaybeAudit(const ClusterView& view, const char* context) const;
+  // Audit-mode hook: no-op unless config_.audit, in which case `ws`'s
+  // incremental state (stats and any cached residue) is checked against a
+  // from-scratch recompute (fatal on drift). `context` names the calling
+  // phase in failure messages.
+  void MaybeAudit(const ClusterWorkspace& ws, const char* context) const;
 
   // One full refinement sweep over all clusters (see refine_passes).
   // Returns the number of toggles applied.
-  size_t RefineSweep(const DataMatrix& matrix, std::vector<ClusterView>& views,
+  size_t RefineSweep(const DataMatrix& matrix, std::vector<ClusterWorkspace>& views,
                      std::vector<double>& scores, ConstraintTracker& tracker);
 
   // Alternating reassignment of one cluster: holding the row set, re-pick
@@ -264,7 +266,7 @@ class Floc {
   // target_residue > 0. When an overlap bound is active, the candidate is
   // also validated against every other cluster in `views`.
   bool ReanchorCluster(const DataMatrix& matrix,
-                       std::vector<ClusterView>& views, size_t c,
+                       std::vector<ClusterWorkspace>& views, size_t c,
                        double* score);
 
   // Determines the best action for every row and column of `matrix`
@@ -275,7 +277,7 @@ class Floc {
   // reason (telemetry collecting); null keeps the scan on the cheaper
   // boolean constraint path.
   std::vector<Action> DetermineBestActions(const DataMatrix& matrix,
-                                           const std::vector<ClusterView>& views,
+                                           const std::vector<ClusterWorkspace>& views,
                                            const std::vector<double>& scores,
                                            const ConstraintTracker& tracker,
                                            obs::BlockCounts* blocked);

@@ -3,7 +3,27 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/metrics.h"
+
 namespace deltaclus {
+
+namespace {
+
+CachedNormTag TagFor(ResidueNorm norm) {
+  return norm == ResidueNorm::kMeanAbsolute ? CachedNormTag::kMeanAbsolute
+                                            : CachedNormTag::kMeanSquared;
+}
+
+// Specified entries visited by gain-evaluation scans (after-toggle
+// residues and cache-filling full scans). Relaxed atomic; no-op while
+// metrics are disabled.
+obs::Counter* GainEvalEntriesCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "floc.gain_eval_entries_scanned");
+  return counter;
+}
+
+}  // namespace
 
 size_t VolumeNaive(const DataMatrix& m, const Cluster& c) {
   size_t volume = 0;
@@ -73,6 +93,27 @@ double ClusterResidueNaive(const DataMatrix& m, const Cluster& c,
 }
 
 double ResidueEngine::Residue(const ClusterView& view) {
+  const ClusterStats& stats = view.stats();
+  if (stats.Volume() == 0) return 0.0;
+  return ResidueNumerator(view) / stats.Volume();
+}
+
+double ResidueEngine::Residue(const ClusterWorkspace& ws) {
+  CachedNormTag tag = TagFor(norm_);
+  if (!ws.ResidueCached(tag)) {
+    // Cache miss: one full scan, identical to the ClusterView path, then
+    // remember its numerator/volume so repeated reads are O(1).
+    size_t volume = ws.stats().Volume();
+    double numerator = volume == 0 ? 0.0 : ResidueNumerator(ws.view());
+    GainEvalEntriesCounter()->Inc(volume);
+    ws.CacheResidue(tag, numerator, volume);
+  }
+  size_t volume = ws.CachedResidueVolume();
+  if (volume == 0) return 0.0;
+  return ws.CachedResidueNumerator() / volume;
+}
+
+double ResidueEngine::ResidueNumerator(const ClusterView& view) {
   const DataMatrix& m = view.matrix();
   const Cluster& c = view.cluster();
   const ClusterStats& stats = view.stats();
@@ -98,7 +139,29 @@ double ResidueEngine::Residue(const ClusterView& view) {
                         cluster_base);
     }
   }
-  return acc / stats.Volume();
+  return acc;
+}
+
+double ResidueEngine::ResidueAfterToggleRow(const ClusterWorkspace& ws,
+                                            size_t i,
+                                            size_t* new_volume_out) {
+  size_t new_volume = 0;
+  double residue = ResidueAfterToggleRow(ws.view(), i, &new_volume);
+  // The after-toggle scan visits exactly the post-toggle cluster's
+  // specified entries.
+  GainEvalEntriesCounter()->Inc(new_volume);
+  if (new_volume_out != nullptr) *new_volume_out = new_volume;
+  return residue;
+}
+
+double ResidueEngine::ResidueAfterToggleCol(const ClusterWorkspace& ws,
+                                            size_t j,
+                                            size_t* new_volume_out) {
+  size_t new_volume = 0;
+  double residue = ResidueAfterToggleCol(ws.view(), j, &new_volume);
+  GainEvalEntriesCounter()->Inc(new_volume);
+  if (new_volume_out != nullptr) *new_volume_out = new_volume;
+  return residue;
 }
 
 double ResidueEngine::ResidueAfterToggleRow(const ClusterView& view, size_t i,

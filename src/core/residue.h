@@ -19,6 +19,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/cluster_stats.h"
+#include "src/core/cluster_workspace.h"
 #include "src/core/data_matrix.h"
 
 namespace deltaclus {
@@ -75,16 +76,28 @@ class ResidueEngine {
   /// Residue of the cluster as it stands. O(volume).
   double Residue(const ClusterView& view);
 
+  /// Residue of a workspace's cluster, served from the workspace's cache
+  /// when membership has not changed since the last computation under
+  /// this engine's norm. First call after a toggle is O(volume); repeated
+  /// calls are O(1) and bit-identical to the O(volume) result (the cache
+  /// stores the scan's numerator and volume, and the quotient is formed
+  /// the same way).
+  double Residue(const ClusterWorkspace& ws);
+
   /// Residue the cluster would have after toggling row i's membership.
   /// Does not modify the cluster. O(volume + |J|). If `new_volume` is
   /// non-null it receives the post-toggle volume.
   double ResidueAfterToggleRow(const ClusterView& view, size_t i,
+                               size_t* new_volume = nullptr);
+  double ResidueAfterToggleRow(const ClusterWorkspace& ws, size_t i,
                                size_t* new_volume = nullptr);
 
   /// Residue the cluster would have after toggling column j's membership.
   /// Does not modify the cluster. O(volume + |I|). If `new_volume` is
   /// non-null it receives the post-toggle volume.
   double ResidueAfterToggleCol(const ClusterView& view, size_t j,
+                               size_t* new_volume = nullptr);
+  double ResidueAfterToggleCol(const ClusterWorkspace& ws, size_t j,
                                size_t* new_volume = nullptr);
 
   /// Gain of the action "toggle row i in this cluster": current residue
@@ -98,7 +111,25 @@ class ResidueEngine {
     return Residue(view) - ResidueAfterToggleCol(view, j);
   }
 
+  /// Workspace gain evaluations: the standing residue comes from the
+  /// workspace cache, so evaluating many candidate toggles against the
+  /// same cluster costs one after-toggle scan each instead of two full
+  /// scans. Both contribute to the floc.gain_eval_entries_scanned
+  /// counter.
+  double GainToggleRow(const ClusterWorkspace& ws, size_t i) {
+    return Residue(ws) - ResidueAfterToggleRow(ws, i);
+  }
+  double GainToggleCol(const ClusterWorkspace& ws, size_t j) {
+    return Residue(ws) - ResidueAfterToggleCol(ws, j);
+  }
+
  private:
+  /// The full-scan residue numerator (sum of per-entry contributions in
+  /// the current norm) over the cluster's specified entries. Shared by
+  /// the uncached and cache-filling paths so both accumulate in the same
+  /// order.
+  double ResidueNumerator(const ClusterView& view);
+
   double Accumulate(double value, double row_base, double col_base,
                     double cluster_base) const {
     double r = value - row_base - col_base + cluster_base;

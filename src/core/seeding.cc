@@ -144,10 +144,13 @@ bool DenseCoreSeed(const DataMatrix& matrix, const Constraints& constraints,
 
   for (int attempt = 0; attempt < 16; ++attempt) {
     // Anchor column: a random column with at least min_rows entries.
+    // Column scans here use the column-major mask plane (stride-1).
     size_t anchor = rng.UniformIndex(cols);
+    const uint8_t* anchor_mask =
+        matrix.raw_mask_cm() + matrix.RawIndexCm(0, anchor);
     std::vector<size_t> anchor_rows;
     for (size_t i = 0; i < rows; ++i) {
-      if (matrix.IsSpecified(i, anchor)) anchor_rows.push_back(i);
+      if (anchor_mask[i]) anchor_rows.push_back(i);
     }
     if (anchor_rows.size() < constraints.min_rows) continue;
     if (anchor_rows.size() > 400) {
@@ -158,8 +161,9 @@ bool DenseCoreSeed(const DataMatrix& matrix, const Constraints& constraints,
     // Columns best covered by the anchor rows.
     std::vector<std::pair<size_t, size_t>> col_counts;  // (-count, col)
     for (size_t j = 0; j < cols; ++j) {
+      const uint8_t* col_mask = matrix.raw_mask_cm() + matrix.RawIndexCm(0, j);
       size_t count = 0;
-      for (size_t i : anchor_rows) count += matrix.IsSpecified(i, j);
+      for (size_t i : anchor_rows) count += col_mask[i];
       if (count > 0) col_counts.emplace_back(count, j);
     }
     if (col_counts.size() < constraints.min_cols) continue;

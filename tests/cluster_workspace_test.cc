@@ -1,0 +1,171 @@
+#include "src/core/cluster_workspace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/audit.h"
+#include "src/core/residue.h"
+#include "src/data/synthetic.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+DataMatrix SmallMatrix() {
+  return DataMatrix::FromOptionalRows({
+      {1.0, 2.0, 3.0, 4.0},
+      {2.0, 3.0, 4.0, 5.0},
+      {5.0, std::nullopt, 7.0, 8.0},
+      {1.0, 1.0, std::nullopt, 9.0},
+  });
+}
+
+Cluster SmallCluster() {
+  return Cluster::FromMembers(4, 4, {0, 1, 2}, {0, 2, 3});
+}
+
+TEST(ClusterWorkspaceTest, CachedResidueMatchesClusterViewResidue) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  ClusterView view(m, SmallCluster());
+  ResidueEngine engine;
+  // First call fills the cache; repeated calls serve from it. All must be
+  // bit-identical to the ClusterView path, which rescans every time.
+  double expected = engine.Residue(view);
+  EXPECT_EQ(engine.Residue(ws), expected);
+  EXPECT_TRUE(ws.ResidueCached(CachedNormTag::kMeanAbsolute));
+  EXPECT_EQ(engine.Residue(ws), expected);
+  EXPECT_EQ(engine.Residue(ws), expected);
+}
+
+TEST(ClusterWorkspaceTest, TogglesInvalidateTheCache) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  ResidueEngine engine;
+  engine.Residue(ws);
+  ASSERT_TRUE(ws.ResidueCached(CachedNormTag::kMeanAbsolute));
+
+  ws.ToggleRow(3);
+  EXPECT_FALSE(ws.ResidueCached(CachedNormTag::kMeanAbsolute));
+  engine.Residue(ws);
+  ASSERT_TRUE(ws.ResidueCached(CachedNormTag::kMeanAbsolute));
+
+  ws.ToggleCol(1);
+  EXPECT_FALSE(ws.ResidueCached(CachedNormTag::kMeanAbsolute));
+  engine.Residue(ws);
+
+  ws.Reset(SmallCluster());
+  EXPECT_FALSE(ws.ResidueCached(CachedNormTag::kMeanAbsolute));
+}
+
+TEST(ClusterWorkspaceTest, NormChangeMissesTheCache) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  ResidueEngine abs_engine(ResidueNorm::kMeanAbsolute);
+  ResidueEngine sq_engine(ResidueNorm::kMeanSquared);
+  double abs_residue = abs_engine.Residue(ws);
+  // A cache filled under one norm must not satisfy the other.
+  EXPECT_FALSE(ws.ResidueCached(CachedNormTag::kMeanSquared));
+  double sq_residue = sq_engine.Residue(ws);
+  EXPECT_TRUE(ws.ResidueCached(CachedNormTag::kMeanSquared));
+  // And refilling under the second norm computed the right value.
+  ClusterView view(m, SmallCluster());
+  EXPECT_EQ(sq_residue, sq_engine.Residue(view));
+  EXPECT_EQ(abs_residue, abs_engine.Residue(view));
+}
+
+TEST(ClusterWorkspaceTest, AfterToggleAndGainMatchViewOverloads) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  ClusterView view(m, SmallCluster());
+  ResidueEngine engine;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    size_t ws_volume = 0;
+    size_t view_volume = 0;
+    EXPECT_EQ(engine.ResidueAfterToggleRow(ws, i, &ws_volume),
+              engine.ResidueAfterToggleRow(view, i, &view_volume));
+    EXPECT_EQ(ws_volume, view_volume);
+    EXPECT_EQ(engine.GainToggleRow(ws, i), engine.GainToggleRow(view, i));
+  }
+  for (size_t j = 0; j < m.cols(); ++j) {
+    EXPECT_EQ(engine.ResidueAfterToggleCol(ws, j),
+              engine.ResidueAfterToggleCol(view, j));
+    EXPECT_EQ(engine.GainToggleCol(ws, j), engine.GainToggleCol(view, j));
+  }
+}
+
+TEST(ClusterWorkspaceTest, RandomizedToggleWalkStaysBitIdenticalToView) {
+  SyntheticConfig config;
+  config.rows = 40;
+  config.cols = 30;
+  config.num_clusters = 3;
+  config.noise_stddev = 1.0;
+  config.missing_fraction = 0.2;
+  config.seed = 11;
+  SyntheticDataset data = GenerateSynthetic(config);
+
+  ClusterWorkspace ws(data.matrix,
+                      Cluster::FromMembers(40, 30, {0, 1, 2, 3}, {0, 1, 2}));
+  ClusterView view(data.matrix,
+                   Cluster::FromMembers(40, 30, {0, 1, 2, 3}, {0, 1, 2}));
+  ResidueEngine engine;
+  Rng rng(99);
+  for (int step = 0; step < 400; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      size_t i = rng.UniformIndex(40);
+      ws.ToggleRow(i);
+      view.ToggleRow(i);
+    } else {
+      size_t j = rng.UniformIndex(30);
+      ws.ToggleCol(j);
+      view.ToggleCol(j);
+    }
+    // Read the cached residue twice per step (fill + hit) and require
+    // bit-identity with the always-rescanning view path.
+    double expected = engine.Residue(view);
+    ASSERT_EQ(engine.Residue(ws), expected) << "step " << step;
+    ASSERT_EQ(engine.Residue(ws), expected) << "step " << step;
+  }
+}
+
+TEST(ClusterWorkspaceTest, AuditAcceptsConsistentWorkspace) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  ResidueEngine engine;
+  engine.Residue(ws);  // fill the cache so the audit exercises it
+  Constraints cons;
+  AuditClusterWorkspace(ws, cons, ResidueNorm::kMeanAbsolute,
+                        kDefaultAuditTolerance, "test");
+  // Also fine with an empty (invalidated) cache.
+  ws.InvalidateResidue();
+  AuditClusterWorkspace(ws, cons, ResidueNorm::kMeanAbsolute,
+                        kDefaultAuditTolerance, "test");
+}
+
+TEST(ClusterWorkspaceDeathTest, AuditCatchesStaleCache) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  ResidueEngine engine;
+  engine.Residue(ws);
+  // Forge a stale cache: membership moves but the cache is restored as if
+  // no toggle had happened. The audit must flag it.
+  double numerator = ws.CachedResidueNumerator();
+  size_t volume = ws.CachedResidueVolume();
+  ws.ToggleRow(3);
+  ws.CacheResidue(CachedNormTag::kMeanAbsolute, numerator, volume);
+  Constraints cons;
+  EXPECT_DEATH(AuditClusterWorkspace(ws, cons, ResidueNorm::kMeanAbsolute,
+                                     kDefaultAuditTolerance, "stale"),
+               "stale");
+}
+
+TEST(ClusterWorkspaceTest, EmptyClusterHasZeroResidue) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m);
+  ResidueEngine engine;
+  EXPECT_EQ(engine.Residue(ws), 0.0);
+  EXPECT_TRUE(ws.ResidueCached(CachedNormTag::kMeanAbsolute));
+  EXPECT_EQ(ws.CachedResidueVolume(), 0u);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -12,9 +12,9 @@ DataMatrix Dense(size_t rows, size_t cols) {
   return DataMatrix(rows, cols, 1.0);
 }
 
-std::vector<ClusterView> MakeViews(const DataMatrix& m,
-                                   std::vector<Cluster> clusters) {
-  std::vector<ClusterView> views;
+std::vector<ClusterWorkspace> MakeViews(const DataMatrix& m,
+                                        std::vector<Cluster> clusters) {
+  std::vector<ClusterWorkspace> views;
   views.reserve(clusters.size());
   for (Cluster& c : clusters) views.emplace_back(m, std::move(c));
   return views;

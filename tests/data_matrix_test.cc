@@ -5,8 +5,34 @@
 
 #include <gtest/gtest.h>
 
+#include "src/util/rng.h"
+
 namespace deltaclus {
 namespace {
+
+// Checks every entry of both storage planes against the accessor API:
+// the column-major mirror must agree with the row-major plane exactly
+// (same doubles, same mask bytes).
+void ExpectPlanesConsistent(const DataMatrix& m) {
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  const double* values_cm = m.raw_values_cm();
+  const uint8_t* mask_cm = m.raw_mask_cm();
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (size_t j = 0; j < m.cols(); ++j) {
+      size_t rm = m.RawIndex(i, j);
+      size_t cm = m.RawIndexCm(i, j);
+      ASSERT_EQ(mask[rm], mask_cm[cm]) << "mask planes diverge at (" << i
+                                       << ", " << j << ")";
+      ASSERT_EQ(mask[rm] != 0, m.IsSpecified(i, j));
+      if (mask[rm]) {
+        ASSERT_EQ(values[rm], values_cm[cm])
+            << "value planes diverge at (" << i << ", " << j << ")";
+        ASSERT_EQ(values[rm], m.Value(i, j));
+      }
+    }
+  }
+}
 
 TEST(DataMatrixTest, StartsAllMissing) {
   DataMatrix m(3, 4);
@@ -143,6 +169,46 @@ TEST(DataMatrixTest, RawAccessMatchesAccessors) {
   EXPECT_DOUBLE_EQ(values[m.RawIndex(1, 0)], 3);
   EXPECT_EQ(mask[m.RawIndex(0, 1)], 0);
   EXPECT_EQ(mask[m.RawIndex(1, 1)], 1);
+}
+
+TEST(DataMatrixDeathTest, FromOptionalRowsRejectsRaggedNamingRow) {
+  EXPECT_DEATH(
+      DataMatrix::FromOptionalRows({{1.0, 2.0}, {3.0}}),
+      "FromOptionalRows: row 1 has 1 entries but row 0 has 2");
+}
+
+TEST(DataMatrixTest, ColumnMajorMirrorTracksInterleavedMutations) {
+  Rng rng(321);
+  DataMatrix m(17, 23);
+  ExpectPlanesConsistent(m);
+  for (int step = 0; step < 2000; ++step) {
+    size_t i = rng.UniformIndex(17);
+    size_t j = rng.UniformIndex(23);
+    if (rng.Bernoulli(0.7)) {
+      m.Set(i, j, rng.Uniform(-100.0, 100.0));
+    } else {
+      m.SetMissing(i, j);
+    }
+    if (step % 250 == 0) ExpectPlanesConsistent(m);
+  }
+  ExpectPlanesConsistent(m);
+}
+
+TEST(DataMatrixTest, ConstructorsInitializeBothPlanes) {
+  ExpectPlanesConsistent(DataMatrix(4, 6));
+  ExpectPlanesConsistent(DataMatrix(4, 6, 2.5));
+  ExpectPlanesConsistent(DataMatrix::FromRows({{1, 2, 3}, {4, 5, 6}}));
+  ExpectPlanesConsistent(DataMatrix::FromOptionalRows(
+      {{1.0, std::nullopt, 3.0}, {std::nullopt, 5.0, 6.0}}));
+}
+
+TEST(DataMatrixTest, LogTransformedRebuildsMirror) {
+  DataMatrix m = DataMatrix::FromOptionalRows(
+      {{2.0, std::nullopt, 8.0}, {6.0, 12.0, std::nullopt}});
+  DataMatrix lg = m.LogTransformed();
+  ExpectPlanesConsistent(lg);
+  EXPECT_DOUBLE_EQ(lg.raw_values_cm()[lg.RawIndexCm(1, 0)], std::log(6.0));
+  EXPECT_EQ(lg.raw_mask_cm()[lg.RawIndexCm(0, 1)], 0);
 }
 
 TEST(DataMatrixTest, CopySemantics) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/floc.h"
+#include "src/data/movielens_synth.h"
 #include "src/data/synthetic.h"
 
 namespace deltaclus {
@@ -87,6 +88,54 @@ TEST(FlocDeterminismTest, ConstrainedRunIdenticalAtOneAndEightThreads) {
   config.perform_negative_actions = false;
   config.rng_seed = 13;
   ExpectIdenticalAcrossThreadCounts(config, data.matrix);
+}
+
+TEST(FlocDeterminismTest, SparseRatingsIdenticalAtOneAndEightThreads) {
+  // Sparse, MovieLens-shaped data drives the column-major plane and the
+  // workspace residue cache through the occupancy-constrained paths.
+  MovieLensSynthConfig synth;
+  synth.users = 120;
+  synth.movies = 200;
+  synth.target_ratings = 4000;
+  synth.min_ratings_per_user = 10;
+  synth.num_groups = 3;
+  synth.group_users = 25;
+  synth.group_movies = 25;
+  synth.seed = 19;
+  MovieLensSynthDataset data = GenerateMovieLens(synth);
+
+  FlocConfig config;
+  config.num_clusters = 4;
+  config.constraints.alpha = 0.6;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.rng_seed = 23;
+  ExpectIdenticalAcrossThreadCounts(config, data.matrix);
+}
+
+TEST(FlocDeterminismTest, AuditModeDoesNotChangeResults) {
+  // The residue cache is an observable no-op: running with audit on
+  // (which recomputes everything from scratch after every action and
+  // cross-checks the cache) must produce the exact clustering the
+  // uninstrumented run does.
+  SyntheticDataset data = PlantedData(113);
+  FlocConfig config;
+  config.num_clusters = 6;
+  config.target_residue = 1.0;
+  config.perform_negative_actions = false;
+  config.rng_seed = 29;
+
+  config.audit = false;
+  FlocResult plain = Floc(config).Run(data.matrix);
+  config.audit = true;
+  FlocResult audited = Floc(config).Run(data.matrix);
+
+  ASSERT_EQ(plain.clusters.size(), audited.clusters.size());
+  for (size_t c = 0; c < plain.clusters.size(); ++c) {
+    EXPECT_TRUE(plain.clusters[c] == audited.clusters[c]) << "cluster " << c;
+    EXPECT_DOUBLE_EQ(plain.residues[c], audited.residues[c]);
+  }
+  EXPECT_DOUBLE_EQ(plain.average_residue, audited.average_residue);
 }
 
 TEST(FlocDeterminismTest, OddThreadCountsAgreeToo) {
