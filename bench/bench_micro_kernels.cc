@@ -7,15 +7,19 @@
 // copy-then-toggle.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/core/cluster_stats.h"
 #include "src/core/cluster_workspace.h"
+#include "src/core/constraints.h"
 #include "src/core/floc.h"
+#include "src/core/floc_phases.h"
 #include "src/core/residue.h"
 #include "src/core/seeding.h"
 #include "src/data/synthetic.h"
+#include "src/engine/thread_pool.h"
 #include "src/util/rng.h"
 
 namespace deltaclus {
@@ -159,6 +163,42 @@ void BM_SeedGeneration(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SeedGeneration)->Arg(10)->Arg(100);
+
+// The gain-determination sweep (Phase-2 step 1) on the persistent pool:
+// one full determine pass over a 2000x100 matrix with 10 clusters. The
+// pool lives across benchmark iterations -- exactly how Floc::Run reuses
+// it across FLOC iterations -- so this measures the sweep itself, not
+// thread spawn/teardown.
+void BM_GainDetermination(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  SyntheticDataset data = MakeData(2000, 100);
+  std::vector<ClusterWorkspace> views;
+  std::vector<double> scores;
+  ResidueEngine residue_engine;
+  for (size_t c = 0; c < 10; ++c) {
+    views.emplace_back(data.matrix, MakeCluster(2000, 100, 120, 20));
+    scores.push_back(ObjectiveScore(residue_engine.Residue(views.back()),
+                                    views.back().stats().Volume(), 0.0));
+  }
+  ConstraintTracker tracker(data.matrix, Constraints{});
+  tracker.Rebuild(views);
+  std::unique_ptr<engine::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<engine::ThreadPool>(threads);
+  GainDeterminer determiner(ResidueNorm::kMeanAbsolute, 0.0, pool.get());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        determiner.Determine(data.matrix, views, scores, tracker, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (data.matrix.rows() + data.matrix.cols()));
+}
+BENCHMARK(BM_GainDetermination)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_FlocSmall(benchmark::State& state) {
   SyntheticConfig config;

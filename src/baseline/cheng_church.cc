@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 
 #include "src/core/cluster_stats.h"
 #include "src/core/cluster_workspace.h"
 #include "src/core/residue.h"
+#include "src/engine/thread_pool.h"
 #include "src/obs/clock.h"
 #include "src/obs/trace.h"
 #include "src/util/rng.h"
@@ -103,10 +105,24 @@ double CandidateRowScore(const ClusterView& view, size_t i, bool inverted) {
   return acc / row_cnt;
 }
 
+// Parallel-fills scores[t] = score(t) for t in [0, n) over the pool.
+// Slots are disjoint and `score` is read-only over the bicluster, so the
+// filled vector is identical at any thread count; every *decision* made
+// from it (threshold test, argmax) stays on the calling thread.
+template <typename ScoreFn>
+void FillScores(engine::ThreadPool* pool, size_t n, std::vector<double>* out,
+                const ScoreFn& score) {
+  out->assign(n, 0.0);
+  engine::ParallelApply(pool, n, [&](size_t begin, size_t end, size_t) {
+    for (size_t t = begin; t < end; ++t) (*out)[t] = score(t);
+  });
+}
+
 // Mines a single low-MSR bicluster from `work` (Cheng & Church
 // Algorithms 1-3 chained).
 Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
-                ResidueEngine& engine, double* out_msr) {
+                engine::ThreadPool* pool, ResidueEngine& engine,
+                double* out_msr) {
   // Start from the full matrix.
   std::vector<size_t> all_rows(work.rows());
   std::vector<size_t> all_cols(work.cols());
@@ -120,15 +136,20 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
   double msr = engine.Residue(ws);
 
   // --- Algorithm 2: multiple node deletion. ---
+  std::vector<double> member_scores;
   {
   DC_TRACE_SPAN("cheng_church/multiple_deletion");
   while (msr > config.msr_threshold) {
     bool removed = false;
     if (ws.cluster().NumRows() > config.multiple_deletion_min) {
+      const auto& row_ids = ws.cluster().row_ids();
+      FillScores(pool, row_ids.size(), &member_scores, [&](size_t t) {
+        return MemberRowScore(ws.view(), row_ids[t]);
+      });
       std::vector<uint32_t> victims;
-      for (uint32_t i : ws.cluster().row_ids()) {
-        if (MemberRowScore(ws.view(), i) > config.deletion_threshold * msr) {
-          victims.push_back(i);
+      for (size_t t = 0; t < row_ids.size(); ++t) {
+        if (member_scores[t] > config.deletion_threshold * msr) {
+          victims.push_back(row_ids[t]);
         }
       }
       // Never delete everything.
@@ -140,10 +161,14 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
       if (msr <= config.msr_threshold) break;
     }
     if (ws.cluster().NumCols() > config.multiple_deletion_min) {
+      const auto& col_ids = ws.cluster().col_ids();
+      FillScores(pool, col_ids.size(), &member_scores, [&](size_t t) {
+        return MemberColScore(ws.view(), col_ids[t]);
+      });
       std::vector<uint32_t> victims;
-      for (uint32_t j : ws.cluster().col_ids()) {
-        if (MemberColScore(ws.view(), j) > config.deletion_threshold * msr) {
-          victims.push_back(j);
+      for (size_t t = 0; t < col_ids.size(); ++t) {
+        if (member_scores[t] > config.deletion_threshold * msr) {
+          victims.push_back(col_ids[t]);
         }
       }
       if (victims.size() + 2 <= ws.cluster().NumCols()) {
@@ -164,22 +189,30 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
     double best_row_score = -1.0;
     uint32_t best_row = 0;
     if (ws.cluster().NumRows() > 2) {
-      for (uint32_t i : ws.cluster().row_ids()) {
-        double s = MemberRowScore(ws.view(), i);
-        if (s > best_row_score) {
-          best_row_score = s;
-          best_row = i;
+      const auto& row_ids = ws.cluster().row_ids();
+      FillScores(pool, row_ids.size(), &member_scores, [&](size_t t) {
+        return MemberRowScore(ws.view(), row_ids[t]);
+      });
+      // Serial argmax in member order (first maximum wins), exactly as
+      // the pre-parallel scan decided it.
+      for (size_t t = 0; t < row_ids.size(); ++t) {
+        if (member_scores[t] > best_row_score) {
+          best_row_score = member_scores[t];
+          best_row = row_ids[t];
         }
       }
     }
     double best_col_score = -1.0;
     uint32_t best_col = 0;
     if (ws.cluster().NumCols() > 2) {
-      for (uint32_t j : ws.cluster().col_ids()) {
-        double s = MemberColScore(ws.view(), j);
-        if (s > best_col_score) {
-          best_col_score = s;
-          best_col = j;
+      const auto& col_ids = ws.cluster().col_ids();
+      FillScores(pool, col_ids.size(), &member_scores, [&](size_t t) {
+        return MemberColScore(ws.view(), col_ids[t]);
+      });
+      for (size_t t = 0; t < col_ids.size(); ++t) {
+        if (member_scores[t] > best_col_score) {
+          best_col_score = member_scores[t];
+          best_col = col_ids[t];
         }
       }
     }
@@ -199,26 +232,35 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
   for (int pass = 0; pass < 50; ++pass) {
     bool changed = false;
     msr = engine.Residue(ws);
-    // Columns first, then rows, as in the original.
+    // Columns first, then rows, as in the original. Candidate scores are
+    // filled in parallel over every non-member (infinity marks members,
+    // which never pass the threshold); the qualifying set is collected
+    // serially in index order, so additions happen in the same order as
+    // the serial scan.
+    constexpr double kMember = std::numeric_limits<double>::infinity();
+    FillScores(pool, work.cols(), &member_scores, [&](size_t j) {
+      if (ws.cluster().HasCol(j)) return kMember;
+      return CandidateColScore(ws.view(), j);
+    });
     std::vector<uint32_t> add_cols;
     for (size_t j = 0; j < work.cols(); ++j) {
-      if (ws.cluster().HasCol(j)) continue;
-      if (CandidateColScore(ws.view(), j) <= msr) {
-        add_cols.push_back(static_cast<uint32_t>(j));
-      }
+      if (member_scores[j] <= msr) add_cols.push_back(static_cast<uint32_t>(j));
     }
     for (uint32_t j : add_cols) ws.ToggleCol(j);
     changed = changed || !add_cols.empty();
 
     msr = engine.Residue(ws);
+    FillScores(pool, work.rows(), &member_scores, [&](size_t i) {
+      if (ws.cluster().HasRow(i)) return kMember;
+      double s = CandidateRowScore(ws.view(), i, /*inverted=*/false);
+      if (s > msr && config.add_inverted_rows) {
+        s = std::min(s, CandidateRowScore(ws.view(), i, /*inverted=*/true));
+      }
+      return s;
+    });
     std::vector<uint32_t> add_rows;
     for (size_t i = 0; i < work.rows(); ++i) {
-      if (ws.cluster().HasRow(i)) continue;
-      bool qualifies = CandidateRowScore(ws.view(), i, /*inverted=*/false) <= msr;
-      if (!qualifies && config.add_inverted_rows) {
-        qualifies = CandidateRowScore(ws.view(), i, /*inverted=*/true) <= msr;
-      }
-      if (qualifies) add_rows.push_back(static_cast<uint32_t>(i));
+      if (member_scores[i] <= msr) add_rows.push_back(static_cast<uint32_t>(i));
     }
     for (uint32_t i : add_rows) ws.ToggleRow(i);
     changed = changed || !add_rows.empty();
@@ -247,14 +289,27 @@ ChengChurchResult RunChengChurch(const DataMatrix& matrix,
   DC_TRACE_SPAN("cheng_church/run");
   Stopwatch stopwatch;
   Rng rng(config.seed);
-  ResidueEngine engine(ResidueNorm::kMeanSquared);
 
+  // The score scans shard over the injected pool when one is provided;
+  // otherwise the run owns a pool sized by config.threads (none at all
+  // when that resolves serial).
+  std::unique_ptr<engine::ThreadPool> owned_pool;
+  engine::ThreadPool* pool = config.pool;
+  if (pool == nullptr) {
+    int threads = engine::ResolveThreads(config.threads);
+    if (threads > 1) {
+      owned_pool = std::make_unique<engine::ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
+  }
+
+  ResidueEngine engine(ResidueNorm::kMeanSquared);
   DataMatrix work = matrix;  // masked as clusters are discovered
   ChengChurchResult result;
   for (size_t c = 0; c < config.num_clusters; ++c) {
     DC_TRACE_SPAN("cheng_church/mine_one");
     double msr = 0.0;
-    Cluster found = MineOne(work, config, engine, &msr);
+    Cluster found = MineOne(work, config, pool, engine, &msr);
     if (found.Empty()) break;
     // Mask the discovered bicluster with random values so the next round
     // does not rediscover it (the step the paper criticizes).

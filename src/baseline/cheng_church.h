@@ -29,6 +29,10 @@
 
 namespace deltaclus {
 
+namespace engine {
+class ThreadPool;
+}  // namespace engine
+
 /// Parameters of the Cheng & Church miner.
 struct ChengChurchConfig {
   /// Number of biclusters to mine.
@@ -56,6 +60,18 @@ struct ChengChurchConfig {
   double mask_hi = 600.0;
 
   uint64_t seed = 31;
+
+  /// Worker-thread count for the row/column mean-squared-residue score
+  /// scans (0 = std::thread::hardware_concurrency()). The scans fill
+  /// per-index score slots in parallel and every decision (threshold,
+  /// argmax) stays serial, so the mined clusters are identical at any
+  /// thread count (see DESIGN.md "The execution engine").
+  int threads = 1;
+
+  /// Optional externally owned thread pool shared across runs (e.g. with
+  /// a Floc run). Non-owning; must outlive the run. When null and
+  /// `threads` resolves to > 1, the run creates its own.
+  engine::ThreadPool* pool = nullptr;
 };
 
 /// Result of a Cheng & Church run.

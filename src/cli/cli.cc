@@ -1,9 +1,11 @@
 #include "src/cli/cli.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <string>
 
 #include "src/core/cluster_tools.h"
 #include "src/core/floc.h"
@@ -37,6 +39,10 @@ commands:
             [--ordering fixed|random|weighted] [--paper-mode]
             [--refine N] [--reseed N] [--threads N] [--seed S]
             [--dedupe F] --out clusters.txt
+            --threads N sizes the execution engine (default 1; 0 = all
+            hardware threads; results are bit-identical at any count).
+            The DELTACLUS_THREADS environment variable supplies the
+            default when the flag is absent.
             observability (see docs/OBSERVABILITY.md):
             [--telemetry off|summary|full] [--telemetry-out run.jsonl]
             [--trace-out trace.json] [--metrics-out metrics.json]
@@ -149,7 +155,24 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   config.seeding.col_probability = flags.DoubleOr("col-probability", 0.2);
   config.refine_passes = static_cast<size_t>(flags.IntOr("refine", 2));
   config.reseed_rounds = static_cast<size_t>(flags.IntOr("reseed", 2));
-  config.threads = static_cast<int>(flags.IntOr("threads", 1));
+  // Thread count: --threads wins, then DELTACLUS_THREADS, then serial.
+  // 0 means std::thread::hardware_concurrency(); either way results are
+  // bit-identical (the engine shards work independently of the count).
+  int threads_default = 1;
+  if (const char* env = std::getenv("DELTACLUS_THREADS");
+      env != nullptr && env[0] != '\0') {
+    try {
+      threads_default = std::stoi(env);
+    } catch (const std::exception&) {
+      err << "error: DELTACLUS_THREADS is not an integer: " << env << "\n";
+      return 2;
+    }
+    if (threads_default < 0) {
+      err << "error: DELTACLUS_THREADS must be >= 0, got " << env << "\n";
+      return 2;
+    }
+  }
+  config.threads = static_cast<int>(flags.IntOr("threads", threads_default));
   config.rng_seed = static_cast<uint64_t>(flags.IntOr("seed", 1));
   // Paper-literal mode: stale decisions and forced negative actions.
   if (flags.GetBool("paper-mode")) {

@@ -1,0 +1,75 @@
+#include <cmath>
+
+#include "src/core/floc_phases.h"
+
+namespace deltaclus {
+
+std::vector<AppliedAction> ActionApplier::Apply(
+    const std::vector<Action>& actions, const std::vector<size_t>& order,
+    size_t iteration, std::vector<ClusterWorkspace>& views,
+    std::vector<double>& scores, double& score_sum, ConstraintTracker& tracker,
+    Rng& rng, BestPrefixSelector& selector) const {
+  const FlocConfig& config = *config_;
+  size_t k = views.size();
+  ResidueEngine engine(config.norm);
+  GainContext ctx{&views, &scores, &tracker, config.target_residue};
+
+  std::vector<AppliedAction> applied;
+  applied.reserve(actions.size());
+
+  // Whether a non-positive-gain action should still be performed: always
+  // in the paper's mode; with probability exp(gain / T) under annealing;
+  // never in pure greedy mode.
+  auto accept_negative = [&](double gain) {
+    if (config.perform_negative_actions) return true;
+    if (config.annealing_temperature <= 0) return false;
+    double temperature = config.annealing_temperature *
+                         std::pow(0.8, static_cast<double>(iteration));
+    if (temperature <= 0) return false;
+    return rng.Bernoulli(std::exp(gain / temperature));
+  };
+
+  for (size_t t : order) {
+    Action action = actions[t];
+    bool is_row = action.target == ActionTarget::kRow;
+    if (config.fresh_gains_at_apply) {
+      // Re-decide this row/column's best action against the current
+      // state: earlier actions in the sweep have already moved it.
+      action = BestActionFor(is_row, action.index, ctx, engine);
+      if (action.blocked()) continue;
+      if (action.gain <= 0 && !accept_negative(action.gain)) continue;
+    } else {
+      if (action.blocked()) continue;
+      if (action.gain <= 0 && !accept_negative(action.gain)) continue;
+      // Re-check constraints against the *current* state: earlier
+      // actions in this iteration may have changed what is admissible.
+      bool allowed =
+          is_row ? tracker.RowToggleAllowed(views, action.cluster, action.index)
+                 : tracker.ColToggleAllowed(views, action.cluster,
+                                            action.index);
+      if (!allowed) continue;
+    }
+
+    ClusterWorkspace& view = views[action.cluster];
+    if (is_row) {
+      view.ToggleRow(action.index);
+      tracker.OnRowToggled(views, action.cluster, action.index);
+    } else {
+      view.ToggleCol(action.index);
+      tracker.OnColToggled(views, action.cluster, action.index);
+    }
+    if (after_toggle_ != nullptr) after_toggle_(hook_self_, view);
+    applied.push_back({action.target, action.index, action.cluster});
+
+    double new_score = ObjectiveScore(engine.Residue(view),
+                                      view.stats().Volume(),
+                                      config.target_residue);
+    score_sum += new_score - scores[action.cluster];
+    scores[action.cluster] = new_score;
+
+    selector.Observe(score_sum / k, applied.size());
+  }
+  return applied;
+}
+
+}  // namespace deltaclus

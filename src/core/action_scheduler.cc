@@ -1,0 +1,12 @@
+#include "src/core/floc_phases.h"
+
+namespace deltaclus {
+
+std::vector<size_t> ActionScheduler::Order(const std::vector<Action>& actions,
+                                           Rng& rng) const {
+  std::vector<double> gains(actions.size());
+  for (size_t t = 0; t < actions.size(); ++t) gains[t] = actions[t].gain;
+  return MakeActionOrder(ordering_, gains, rng);
+}
+
+}  // namespace deltaclus

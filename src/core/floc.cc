@@ -4,9 +4,10 @@
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
-#include <thread>
 
 #include "src/core/audit.h"
+#include "src/core/floc_phases.h"
+#include "src/engine/thread_pool.h"
 #include "src/obs/clock.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -46,69 +47,6 @@ struct FlocMetrics {
     return m;
   }
 };
-
-// Determines the best action for one row (is_row) or column across the k
-// clusters: the candidate toggle with the highest gain among those not
-// blocked by constraints. Gains are measured on the per-cluster objective
-// (`scores`), which equals the residue when target_residue == 0.
-struct GainContext {
-  const std::vector<ClusterWorkspace>* views;
-  const std::vector<double>* scores;
-  const ConstraintTracker* tracker;
-  double target_residue;
-  size_t matrix_entries;
-  // When non-null, blocked candidate toggles are tallied by constraint
-  // (telemetry collecting); null keeps the boolean constraint path.
-  obs::BlockCounts* blocked = nullptr;
-};
-
-double ScoreOf(double residue, size_t volume, double target_residue,
-               size_t matrix_entries) {
-  (void)matrix_entries;
-  if (target_residue <= 0.0) return residue;
-  // Volume-seeking objective for mining maximal r-residue clusters: the
-  // logarithmic volume reward gives a marginal bonus of ~target/V per
-  // absorbed entry, so growth is accepted exactly while the absorbed
-  // entries' residue stays within ~target of the cluster's coherence --
-  // independent of the cluster's current size.
-  return residue -
-         target_residue * std::log(static_cast<double>(std::max<size_t>(volume, 1)));
-}
-
-Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
-                     ResidueEngine& engine) {
-  Action best;
-  best.target = is_row ? ActionTarget::kRow : ActionTarget::kCol;
-  best.index = index;
-  const std::vector<ClusterWorkspace>& views = *ctx.views;
-  for (size_t c = 0; c < views.size(); ++c) {
-    if (ctx.blocked != nullptr) {
-      BlockReason reason =
-          is_row ? ctx.tracker->RowToggleBlockReason(views, c, index)
-                 : ctx.tracker->ColToggleBlockReason(views, c, index);
-      if (reason != BlockReason::kNone) {
-        ctx.blocked->Add(reason);
-        continue;
-      }
-    } else {
-      bool allowed = is_row ? ctx.tracker->RowToggleAllowed(views, c, index)
-                            : ctx.tracker->ColToggleAllowed(views, c, index);
-      if (!allowed) continue;
-    }
-    size_t new_volume = 0;
-    double after_residue =
-        is_row ? engine.ResidueAfterToggleRow(views[c], index, &new_volume)
-               : engine.ResidueAfterToggleCol(views[c], index, &new_volume);
-    double after_score = ScoreOf(after_residue, new_volume,
-                                 ctx.target_residue, ctx.matrix_entries);
-    double gain = (*ctx.scores)[c] - after_score;
-    if (best.blocked() || gain > best.gain) {
-      best.gain = gain;
-      best.cluster = c;
-    }
-  }
-  return best;
-}
 
 }  // namespace
 
@@ -160,7 +98,9 @@ std::vector<std::string> FlocConfig::Validate() const {
   if (relative_improvement < 0) {
     problems.push_back("relative_improvement must be >= 0");
   }
-  if (threads < 1) problems.push_back("threads must be >= 1");
+  if (threads < 0) {
+    problems.push_back("threads must be >= 0 (0 = hardware concurrency)");
+  }
   return problems;
 }
 
@@ -190,6 +130,18 @@ Floc::Floc(FlocConfig config) : config_(std::move(config)) {
   }
 }
 
+Floc::~Floc() = default;
+
+engine::ThreadPool* Floc::EnsurePool() {
+  if (config_.pool != nullptr) return config_.pool;
+  int threads = engine::ResolveThreads(config_.threads);
+  if (threads <= 1) return nullptr;
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<engine::ThreadPool>(threads);
+  }
+  return owned_pool_.get();
+}
+
 void Floc::MaybeAudit(const ClusterWorkspace& ws, const char* context) const {
   if (!config_.audit) return;
   AuditClusterWorkspace(ws, config_.constraints, config_.norm,
@@ -197,9 +149,8 @@ void Floc::MaybeAudit(const ClusterWorkspace& ws, const char* context) const {
                         audit_check_occupancy_);
 }
 
-double Floc::ClusterScore(double residue, size_t volume,
-                          size_t matrix_entries) const {
-  return ScoreOf(residue, volume, config_.target_residue, matrix_entries);
+double Floc::ClusterScore(double residue, size_t volume) const {
+  return ObjectiveScore(residue, volume, config_.target_residue);
 }
 
 FlocResult Floc::Run(const DataMatrix& matrix) {
@@ -212,62 +163,11 @@ FlocResult Floc::Run(const DataMatrix& matrix) {
     // Section 4.3: initial clusters must comply with the constraints; the
     // action-blocking machinery then preserves compliance throughout.
     for (Cluster& seed : seeds) {
-      RepairSeed(matrix, config_.constraints, &seed, rng);
+      RepairSeed(matrix, config_.constraints, &seed, rng, EnsurePool());
     }
   }
   seed_phase_seconds_ = seed_watch.ElapsedSeconds();
   return RunWithSeeds(matrix, std::move(seeds));
-}
-
-std::vector<Action> Floc::DetermineBestActions(
-    const DataMatrix& matrix, const std::vector<ClusterWorkspace>& views,
-    const std::vector<double>& scores, const ConstraintTracker& tracker,
-    obs::BlockCounts* blocked) {
-  DC_TRACE_SPAN("floc/determine_actions");
-  size_t num_rows = matrix.rows();
-  size_t num_cols = matrix.cols();
-  size_t total = num_rows + num_cols;
-  std::vector<Action> actions(total);
-
-  auto work = [&](size_t begin, size_t end, obs::BlockCounts* worker_blocked) {
-    GainContext ctx{&views,
-                    &scores,
-                    &tracker,
-                    config_.target_residue,
-                    num_rows * num_cols,
-                    worker_blocked};
-    ResidueEngine engine(config_.norm);
-    for (size_t t = begin; t < end; ++t) {
-      bool is_row = t < num_rows;
-      size_t index = is_row ? t : t - num_rows;
-      actions[t] = BestActionFor(is_row, index, ctx, engine);
-    }
-  };
-
-  int threads = std::max(1, config_.threads);
-  if (threads == 1 || total < 64) {
-    work(0, total, blocked);
-  } else {
-    size_t chunk = (total + threads - 1) / threads;
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    // Per-worker tallies, merged after the join: integer adds commute,
-    // so the merged counts are identical for any thread count.
-    std::vector<obs::BlockCounts> worker_counts(
-        blocked != nullptr ? static_cast<size_t>(threads) : 0);
-    for (int w = 0; w < threads; ++w) {
-      size_t begin = w * chunk;
-      size_t end = std::min(total, begin + chunk);
-      if (begin >= end) break;
-      pool.emplace_back(work, begin, end,
-                        blocked != nullptr ? &worker_counts[w] : nullptr);
-    }
-    for (std::thread& th : pool) th.join();
-    if (blocked != nullptr) {
-      for (const obs::BlockCounts& wc : worker_counts) blocked->Merge(wc);
-    }
-  }
-  return actions;
 }
 
 size_t Floc::RefineSweep(const DataMatrix& matrix,
@@ -275,7 +175,6 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
                          std::vector<double>& scores,
                          ConstraintTracker& tracker) {
   DC_TRACE_SPAN("floc/refine_sweep");
-  size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
   size_t num_rows = matrix.rows();
   size_t num_cols = matrix.cols();
   ResidueEngine engine(config_.norm);
@@ -295,7 +194,7 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
       if (!tracker.RowToggleAllowed(views, c, i)) continue;
       size_t new_volume = 0;
       double r = engine.ResidueAfterToggleRow(views[c], i, &new_volume);
-      double gain = scores[c] - ClusterScore(r, new_volume, matrix_entries);
+      double gain = scores[c] - ClusterScore(r, new_volume);
       if (gain > config_.min_improvement) {
         candidates.push_back({gain, ActionTarget::kRow, i});
       }
@@ -304,7 +203,7 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
       if (!tracker.ColToggleAllowed(views, c, j)) continue;
       size_t new_volume = 0;
       double r = engine.ResidueAfterToggleCol(views[c], j, &new_volume);
-      double gain = scores[c] - ClusterScore(r, new_volume, matrix_entries);
+      double gain = scores[c] - ClusterScore(r, new_volume);
       if (gain > config_.min_improvement) {
         candidates.push_back({gain, ActionTarget::kCol, j});
       }
@@ -327,8 +226,7 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
                                                     &new_volume)
                      : engine.ResidueAfterToggleCol(views[c], cand.index,
                                                     &new_volume);
-      double fresh_gain =
-          scores[c] - ClusterScore(r, new_volume, matrix_entries);
+      double fresh_gain = scores[c] - ClusterScore(r, new_volume);
       if (fresh_gain <= config_.min_improvement) continue;
       if (is_row) {
         views[c].ToggleRow(cand.index);
@@ -339,7 +237,7 @@ size_t Floc::RefineSweep(const DataMatrix& matrix,
       }
       MaybeAudit(views[c], "RefineSweep");
       scores[c] = ClusterScore(engine.Residue(views[c]),
-                               views[c].stats().Volume(), matrix_entries);
+                               views[c].stats().Volume());
       ++applied;
     }
   }
@@ -353,7 +251,6 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
   ClusterWorkspace& view = views[c];
   const double threshold = config_.target_residue;
   if (threshold <= 0.0) return false;
-  size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
   size_t num_rows = matrix.rows();
   size_t num_cols = matrix.cols();
   const Constraints& cons = config_.constraints;
@@ -476,8 +373,7 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
     }
   }
   double cand_score =
-      ScoreOf(engine.Residue(cand_view), cand_view.stats().Volume(),
-              config_.target_residue, matrix_entries);
+      ClusterScore(engine.Residue(cand_view), cand_view.stats().Volume());
   if (cand_score >= *score - config_.min_improvement) return false;
   view.Reset(std::move(candidate));
   MaybeAudit(view, "ReanchorCluster");
@@ -493,11 +389,23 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   size_t k = seeds.size();
   FlocResult result;
   if (k == 0) return result;
-  size_t matrix_entries = std::max<size_t>(1, matrix.rows() * matrix.cols());
 
   obs::TelemetryCollector collector(config_.telemetry, config_.telemetry_sink);
 
+  // The phase components of one Phase-2 iteration (see floc_phases.h),
+  // all running on the same persistent pool. The pool outlives the run:
+  // it is either injected (config_.pool) or owned by this Floc and
+  // reused across Run() calls -- no per-iteration thread churn.
+  engine::ThreadPool* pool = EnsurePool();
   ResidueEngine engine(config_.norm);
+  GainDeterminer determiner(config_.norm, config_.target_residue, pool);
+  ActionScheduler scheduler(config_.ordering);
+  ActionApplier applier(
+      config_,
+      [](void* self, const ClusterWorkspace& ws) {
+        static_cast<const Floc*>(self)->MaybeAudit(ws, "move_phase");
+      },
+      this);
 
   // The clustering being mutated during an iteration.
   std::vector<ClusterWorkspace> views;
@@ -524,7 +432,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     double sum = 0.0;
     for (size_t c = 0; c < k; ++c) {
       scores[c] = ClusterScore(engine.Residue(views[c]),
-                               views[c].stats().Volume(), matrix_entries);
+                               views[c].stats().Volume());
       sum += scores[c];
     }
     return sum;
@@ -555,11 +463,15 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
         collector.BeginIteration(result.iterations - 1);
 
     // --- Determine the best action for every row and column. ---
-    std::vector<Action> actions = DetermineBestActions(
+    Stopwatch determine_watch;
+    std::vector<Action> actions = determiner.Determine(
         matrix, views, scores, tracker,
         itel != nullptr ? &itel->blocked_by : nullptr);
+    double determine_seconds = determine_watch.ElapsedSeconds();
+    collector.run().determine_seconds += determine_seconds;
 
     if (itel != nullptr) {
+      itel->determine_seconds = determine_seconds;
       double gain_sum = 0.0;
       for (const Action& a : actions) {
         if (a.blocked()) {
@@ -587,9 +499,11 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     }
 
     // --- Order the actions. ---
-    std::vector<double> gains(actions.size());
-    for (size_t t = 0; t < actions.size(); ++t) gains[t] = actions[t].gain;
-    std::vector<size_t> order = MakeActionOrder(config_.ordering, gains, rng);
+    std::vector<size_t> order;
+    {
+      DC_TRACE_SPAN("floc/order_actions");
+      order = scheduler.Order(actions, rng);
+    }
 
     // --- Perform actions sequentially, tracking the best intermediate
     // clustering. ---
@@ -597,79 +511,25 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     start_clusters.reserve(k);
     for (const ClusterWorkspace& v : views) start_clusters.push_back(v.cluster());
 
+    BestPrefixSelector selector(best_average);
+    Stopwatch apply_watch;
     std::vector<AppliedAction> applied;
-    applied.reserve(actions.size());
-    double iter_best_average = best_average;
-    size_t iter_best_prefix = 0;  // #applied actions in the best prefix
-    bool iter_has_best = false;
-
-    GainContext apply_ctx{&views, &scores, &tracker, config_.target_residue,
-                          matrix_entries};
-    // Whether a non-positive-gain action should still be performed:
-    // always in the paper's mode; with probability exp(gain / T) under
-    // annealing; never in pure greedy mode.
-    auto accept_negative = [&](double gain) {
-      if (config_.perform_negative_actions) return true;
-      if (config_.annealing_temperature <= 0) return false;
-      double temperature = config_.annealing_temperature *
-                           std::pow(0.8, static_cast<double>(iteration));
-      if (temperature <= 0) return false;
-      return rng.Bernoulli(std::exp(gain / temperature));
-    };
-    for (size_t t : order) {
-      Action action = actions[t];
-      bool is_row = action.target == ActionTarget::kRow;
-      if (config_.fresh_gains_at_apply) {
-        // Re-decide this row/column's best action against the current
-        // state: earlier actions in the sweep have already moved it.
-        action = BestActionFor(is_row, action.index, apply_ctx, engine);
-        if (action.blocked()) continue;
-        if (action.gain <= 0 && !accept_negative(action.gain)) continue;
-      } else {
-        if (action.blocked()) continue;
-        if (action.gain <= 0 && !accept_negative(action.gain)) continue;
-        // Re-check constraints against the *current* state: earlier
-        // actions in this iteration may have changed what is admissible.
-        bool allowed =
-            is_row
-                ? tracker.RowToggleAllowed(views, action.cluster, action.index)
-                : tracker.ColToggleAllowed(views, action.cluster,
-                                           action.index);
-        if (!allowed) continue;
-      }
-
-      ClusterWorkspace& view = views[action.cluster];
-      if (is_row) {
-        view.ToggleRow(action.index);
-        tracker.OnRowToggled(views, action.cluster, action.index);
-      } else {
-        view.ToggleCol(action.index);
-        tracker.OnColToggled(views, action.cluster, action.index);
-      }
-      MaybeAudit(view, "move_phase");
-      applied.push_back({action.target, action.index, action.cluster});
-
-      double new_score = ClusterScore(engine.Residue(view),
-                                      view.stats().Volume(), matrix_entries);
-      score_sum += new_score - scores[action.cluster];
-      scores[action.cluster] = new_score;
-
-      double average = score_sum / k;
-      if (!iter_has_best || average < iter_best_average) {
-        iter_best_average = average;
-        iter_best_prefix = applied.size();
-        iter_has_best = true;
-      }
+    {
+      DC_TRACE_SPAN("floc/apply_actions");
+      applied = applier.Apply(actions, order, iteration, views, scores,
+                              score_sum, tracker, rng, selector);
     }
+    double apply_seconds = apply_watch.ElapsedSeconds();
+    collector.run().apply_seconds += apply_seconds;
 
     double needed = std::max(
         config_.min_improvement,
         config_.relative_improvement * std::abs(best_average));
     bool improved =
-        iter_has_best && iter_best_average < best_average - needed;
+        selector.has_best() && selector.best_average() < best_average - needed;
     result.history.push_back(
-        {iter_has_best ? iter_best_average : best_average, applied.size(),
-         improved});
+        {selector.has_best() ? selector.best_average() : best_average,
+         applied.size(), improved});
 
     {
       const FlocMetrics& m = FlocMetrics::Get();
@@ -677,10 +537,11 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
       m.iteration_seconds->Observe(iter_watch.ElapsedSeconds());
     }
     if (itel != nullptr) {
+      itel->apply_seconds = apply_seconds;
       itel->actions_applied = applied.size();
-      itel->best_prefix = iter_best_prefix;
+      itel->best_prefix = selector.best_prefix();
       itel->best_average_score =
-          iter_has_best ? iter_best_average : best_average;
+          selector.has_best() ? selector.best_average() : best_average;
       itel->improved = improved;
     }
     // Seals the iteration record. Called after the rewind on improving
@@ -712,7 +573,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     for (size_t c = 0; c < k; ++c) {
       views[c].Reset(std::move(start_clusters[c]));
     }
-    for (size_t a = 0; a < iter_best_prefix; ++a) {
+    for (size_t a = 0; a < selector.best_prefix(); ++a) {
       const AppliedAction& act = applied[a];
       if (act.target == ActionTarget::kRow) {
         views[act.cluster].ToggleRow(act.index);
@@ -802,7 +663,7 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
       saved_scores.push_back(scores[c]);
       std::vector<Cluster> fresh =
           GenerateSeeds(matrix, config_.seeding, 1, rng);
-      RepairSeed(matrix, config_.constraints, &fresh[0], rng);
+      RepairSeed(matrix, config_.constraints, &fresh[0], rng, pool);
       views[c].Reset(std::move(fresh[0]));
     }
     score_sum = recompute_scores();

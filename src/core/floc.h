@@ -16,11 +16,18 @@
 //      lowest average residue. If it beats the best clustering seen so
 //      far, it becomes the starting point of the next iteration;
 //      otherwise FLOC terminates and returns the best clustering.
+//
+// The four steps are implemented as separate phase components
+// (src/core/floc_phases.h: GainDeterminer, ActionScheduler,
+// ActionApplier, BestPrefixSelector) running on the execution engine
+// (src/engine/thread_pool.h); Floc orchestrates them. See DESIGN.md
+// "The execution engine".
 #ifndef DELTACLUS_CORE_FLOC_H_
 #define DELTACLUS_CORE_FLOC_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +44,10 @@
 #include "src/util/rng.h"
 
 namespace deltaclus {
+
+namespace engine {
+class ThreadPool;
+}  // namespace engine
 
 /// Tuning knobs for one FLOC run.
 struct FlocConfig {
@@ -149,10 +160,20 @@ struct FlocConfig {
   /// Seed for all randomness (seeding, ordering).
   uint64_t rng_seed = 1;
 
-  /// Number of worker threads for the gain-determination phase (the
-  /// dominant cost). 1 = fully sequential. Results are identical for any
-  /// thread count: determination is read-only and per-row/column.
+  /// Worker-thread count of the execution engine (gain determination,
+  /// seeding anchor search). 1 = fully sequential; 0 = use
+  /// std::thread::hardware_concurrency(). Results are bit-identical for
+  /// any thread count: the engine shards work independently of the
+  /// worker count and merges per-shard results in shard order (see
+  /// src/engine/thread_pool.h and DESIGN.md "The execution engine").
   int threads = 1;
+
+  /// Optional externally owned thread pool shared across runs (the CLI
+  /// and bench drivers construct one and reuse it). Non-owning; must
+  /// outlive every Run. When null, Floc lazily creates its own pool of
+  /// ResolveThreads(threads) workers on first use and reuses it across
+  /// Run() calls. When set, it wins over `threads`.
+  engine::ThreadPool* pool = nullptr;
 
   /// Invariant-audit mode. When true, after every performed action the
   /// affected cluster's volume, row/column bases, and residue are
@@ -218,10 +239,17 @@ struct FlocResult {
 };
 
 /// The FLOC algorithm. Construct once per configuration; Run() may be
-/// invoked repeatedly (each call re-seeds from config.rng_seed).
+/// invoked repeatedly (each call re-seeds from config.rng_seed and
+/// reuses the lazily created thread pool).
 class Floc {
  public:
   explicit Floc(FlocConfig config);
+  ~Floc();
+
+  Floc(const Floc&) = delete;
+  Floc& operator=(const Floc&) = delete;
+  Floc(Floc&&) = default;
+  Floc& operator=(Floc&&) = default;
 
   /// Runs both phases on `matrix`.
   FlocResult Run(const DataMatrix& matrix);
@@ -233,15 +261,9 @@ class Floc {
                           std::vector<Cluster> seeds);
 
  private:
-  struct AppliedAction {
-    ActionTarget target;
-    size_t index;
-    size_t cluster;
-  };
-
   // Per-cluster objective value: residue - target * ln(volume). With
   // target_residue == 0 this is exactly the residue.
-  double ClusterScore(double residue, size_t volume, size_t matrix_entries) const;
+  double ClusterScore(double residue, size_t volume) const;
 
   // Audit-mode hook: no-op unless config_.audit, in which case `ws`'s
   // incremental state (stats and any cached residue) is checked against a
@@ -269,20 +291,15 @@ class Floc {
                        std::vector<ClusterWorkspace>& views, size_t c,
                        double* score);
 
-  // Determines the best action for every row and column of `matrix`
-  // against the current clustering. Returns M + N actions: rows first
-  // (action t targets row t for t < M), then columns. `scores` holds the
-  // current per-cluster objective values. When `blocked` is non-null,
-  // candidate toggles rejected by a constraint are tallied into it by
-  // reason (telemetry collecting); null keeps the scan on the cheaper
-  // boolean constraint path.
-  std::vector<Action> DetermineBestActions(const DataMatrix& matrix,
-                                           const std::vector<ClusterWorkspace>& views,
-                                           const std::vector<double>& scores,
-                                           const ConstraintTracker& tracker,
-                                           obs::BlockCounts* blocked);
+  // The thread pool every parallel phase of this Floc runs on: the
+  // injected config_.pool when set, otherwise a lazily created pool of
+  // ResolveThreads(config_.threads) workers owned by this instance and
+  // reused across Run() calls. Null means fully serial.
+  engine::ThreadPool* EnsurePool();
 
   FlocConfig config_;
+
+  std::unique_ptr<engine::ThreadPool> owned_pool_;
 
   // Phase-1 (seeding) wall seconds measured by Run(), consumed into the
   // telemetry of the RunWithSeeds call it delegates to.

@@ -1,0 +1,206 @@
+// The four phase components of a FLOC Phase-2 iteration (paper Section
+// 4.1 / Figure 5), extracted from the former monolithic Floc::Run so
+// each is unit-testable and schedulable on the execution engine:
+//
+//   GainDeterminer     step 1: the best action per row/column, fanned
+//                      out over the thread pool in deterministic shards.
+//   ActionScheduler    step 2: the order the N + M actions are performed
+//                      in (wraps the three orderings of Section 5.2).
+//   ActionApplier      step 3: the sequential apply sweep -- re-deciding
+//                      or re-validating each action against the current
+//                      state, annealing negatives, toggling memberships.
+//   BestPrefixSelector step 4: which intermediate clustering (prefix of
+//                      the applied actions) the iteration keeps.
+//
+// Determination is the only data-parallel phase: it is read-only over
+// the clustering, so shards evaluate virtual toggles concurrently and
+// write disjoint slots of the action vector. Apply is inherently
+// sequential (each toggle changes what the next action sees), exactly
+// as the paper specifies.
+#ifndef DELTACLUS_CORE_FLOC_PHASES_H_
+#define DELTACLUS_CORE_FLOC_PHASES_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/core/actions.h"
+#include "src/core/cluster_workspace.h"
+#include "src/core/constraints.h"
+#include "src/core/data_matrix.h"
+#include "src/core/floc.h"
+#include "src/core/ordering.h"
+#include "src/core/residue.h"
+#include "src/engine/thread_pool.h"
+#include "src/obs/telemetry.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+
+/// Per-cluster objective value: the residue when target_residue == 0
+/// (the paper's literal objective), residue - target * ln(volume) in
+/// volume-seeking mode (see FlocConfig::target_residue).
+inline double ObjectiveScore(double residue, size_t volume,
+                             double target_residue) {
+  if (target_residue <= 0.0) return residue;
+  return residue - target_residue *
+                       std::log(static_cast<double>(std::max<size_t>(volume, 1)));
+}
+
+/// Read-only inputs of one best-action decision. Shared by the parallel
+/// determination shards and the (sequential) fresh-gain re-decisions of
+/// the apply sweep.
+struct GainContext {
+  const std::vector<ClusterWorkspace>* views;
+  const std::vector<double>* scores;
+  const ConstraintTracker* tracker;
+  double target_residue;
+  // When non-null, blocked candidate toggles are tallied by constraint
+  // (telemetry collecting); null keeps the boolean constraint path.
+  obs::BlockCounts* blocked = nullptr;
+};
+
+/// The best of the k candidate actions for one row (is_row) or column:
+/// the membership toggle with the highest objective gain among those not
+/// blocked by constraints. Read-only over the clustering (`engine` is
+/// per-caller scratch), so concurrent calls are safe.
+Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
+                     ResidueEngine& engine);
+
+/// Phase-2 step 1: determines the best action for every row and column
+/// against the current clustering, sharded over the thread pool.
+///
+/// Determinism contract: shard boundaries depend only on the row+column
+/// count (engine::ShardGrain); every shard writes disjoint elements of
+/// the action vector and tallies blocked toggles into its own slot,
+/// merged in shard order afterwards -- so the result is bit-identical
+/// for any pool size, including the inline serial path below
+/// `serial_cutoff` (see EngineConfig::kDefaultSerialCutoff).
+class GainDeterminer {
+ public:
+  /// `pool` is non-owning and may be null (serial). `serial_cutoff` is
+  /// the work-item count below which the scan always runs inline.
+  GainDeterminer(ResidueNorm norm, double target_residue,
+                 engine::ThreadPool* pool,
+                 size_t serial_cutoff = engine::EngineConfig::kDefaultSerialCutoff)
+      : norm_(norm),
+        target_residue_(target_residue),
+        pool_(pool),
+        serial_cutoff_(serial_cutoff) {}
+
+  /// Returns rows() + cols() actions: rows first (action t targets row t
+  /// for t < rows()), then columns. `scores` holds the current
+  /// per-cluster objective values. When `blocked` is non-null, candidate
+  /// toggles rejected by a constraint are tallied into it by reason.
+  std::vector<Action> Determine(const DataMatrix& matrix,
+                                const std::vector<ClusterWorkspace>& views,
+                                const std::vector<double>& scores,
+                                const ConstraintTracker& tracker,
+                                obs::BlockCounts* blocked) const;
+
+ private:
+  ResidueNorm norm_;
+  double target_residue_;
+  engine::ThreadPool* pool_;
+  size_t serial_cutoff_;
+};
+
+/// Phase-2 step 2: the order in which the N + M determined actions are
+/// performed. Wraps the three ordering schemes (fixed / random /
+/// gain-weighted random, Section 5.2); the gains feeding the weighted
+/// scheme are the determination-time gains even when the applier later
+/// re-decides actions freshly.
+class ActionScheduler {
+ public:
+  explicit ActionScheduler(ActionOrdering ordering) : ordering_(ordering) {}
+
+  /// A permutation `order` of [0, actions.size()): the action performed
+  /// t-th is actions[order[t]].
+  std::vector<size_t> Order(const std::vector<Action>& actions,
+                            Rng& rng) const;
+
+ private:
+  ActionOrdering ordering_;
+};
+
+/// Phase-2 step 4: tracks the best intermediate clustering of the apply
+/// sweep -- the shortest applied-action prefix with the lowest average
+/// objective among all prefixes observed this iteration. The first
+/// observation always becomes the best (even when worse than the
+/// incumbent it was seeded with); whether the iteration *improved* is
+/// Floc's separate judgement of best_average() against the incumbent.
+class BestPrefixSelector {
+ public:
+  /// `incumbent_average` is only reported back by best_average() while
+  /// nothing has been observed (a sweep that applied zero actions).
+  explicit BestPrefixSelector(double incumbent_average)
+      : best_average_(incumbent_average) {}
+
+  /// Records the clustering average after `prefix_length` applied
+  /// actions. Strict improvement keeps the earliest best prefix on ties.
+  void Observe(double average, size_t prefix_length) {
+    if (!has_best_ || average < best_average_) {
+      best_average_ = average;
+      best_prefix_ = prefix_length;
+      has_best_ = true;
+    }
+  }
+
+  /// Whether any prefix was observed this sweep.
+  bool has_best() const { return has_best_; }
+  /// Best average observed; the incumbent when has_best() is false.
+  double best_average() const { return best_average_; }
+  /// Applied-action count of the best prefix (0 until has_best()).
+  size_t best_prefix() const { return best_prefix_; }
+
+ private:
+  double best_average_;
+  size_t best_prefix_ = 0;
+  bool has_best_ = false;
+};
+
+/// One performed membership toggle (the apply sweep's journal, replayed
+/// by Floc when rewinding to the best prefix).
+struct AppliedAction {
+  ActionTarget target;
+  size_t index;
+  size_t cluster;
+};
+
+/// Phase-2 step 3: performs the ordered actions sequentially against the
+/// live clustering. Depending on FlocConfig::fresh_gains_at_apply each
+/// action is either re-decided from scratch (the paper's "decided and
+/// performed" reading) or re-validated and applied verbatim; non-positive
+/// gains pass through the negative-action/annealing policy. Mutates
+/// views, scores, score_sum, and the constraint tracker in place and
+/// feeds every intermediate average to the BestPrefixSelector.
+class ActionApplier {
+ public:
+  /// `after_toggle` runs after every performed toggle with the mutated
+  /// workspace (Floc's audit-mode hook); null disables.
+  using ToggleHook = void (*)(void* self, const ClusterWorkspace& ws);
+
+  ActionApplier(const FlocConfig& config, ToggleHook after_toggle = nullptr,
+                void* hook_self = nullptr)
+      : config_(&config), after_toggle_(after_toggle), hook_self_(hook_self) {}
+
+  /// Runs the sweep; returns the journal of performed toggles in order.
+  /// `iteration` feeds the annealing temperature decay.
+  std::vector<AppliedAction> Apply(const std::vector<Action>& actions,
+                                   const std::vector<size_t>& order,
+                                   size_t iteration,
+                                   std::vector<ClusterWorkspace>& views,
+                                   std::vector<double>& scores,
+                                   double& score_sum,
+                                   ConstraintTracker& tracker, Rng& rng,
+                                   BestPrefixSelector& selector) const;
+
+ private:
+  const FlocConfig* config_;
+  ToggleHook after_toggle_;
+  void* hook_self_;
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_FLOC_PHASES_H_

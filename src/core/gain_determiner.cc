@@ -1,0 +1,78 @@
+#include "src/core/floc_phases.h"
+#include "src/obs/trace.h"
+
+namespace deltaclus {
+
+Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
+                     ResidueEngine& engine) {
+  Action best;
+  best.target = is_row ? ActionTarget::kRow : ActionTarget::kCol;
+  best.index = index;
+  const std::vector<ClusterWorkspace>& views = *ctx.views;
+  for (size_t c = 0; c < views.size(); ++c) {
+    if (ctx.blocked != nullptr) {
+      BlockReason reason =
+          is_row ? ctx.tracker->RowToggleBlockReason(views, c, index)
+                 : ctx.tracker->ColToggleBlockReason(views, c, index);
+      if (reason != BlockReason::kNone) {
+        ctx.blocked->Add(reason);
+        continue;
+      }
+    } else {
+      bool allowed = is_row ? ctx.tracker->RowToggleAllowed(views, c, index)
+                            : ctx.tracker->ColToggleAllowed(views, c, index);
+      if (!allowed) continue;
+    }
+    size_t new_volume = 0;
+    double after_residue =
+        is_row ? engine.ResidueAfterToggleRow(views[c], index, &new_volume)
+               : engine.ResidueAfterToggleCol(views[c], index, &new_volume);
+    double after_score =
+        ObjectiveScore(after_residue, new_volume, ctx.target_residue);
+    double gain = (*ctx.scores)[c] - after_score;
+    if (best.blocked() || gain > best.gain) {
+      best.gain = gain;
+      best.cluster = c;
+    }
+  }
+  return best;
+}
+
+std::vector<Action> GainDeterminer::Determine(
+    const DataMatrix& matrix, const std::vector<ClusterWorkspace>& views,
+    const std::vector<double>& scores, const ConstraintTracker& tracker,
+    obs::BlockCounts* blocked) const {
+  DC_TRACE_SPAN("floc/determine_actions");
+  size_t num_rows = matrix.rows();
+  size_t total = num_rows + matrix.cols();
+  std::vector<Action> actions(total);
+
+  // Per-shard blocked-toggle tallies, merged in shard order after the
+  // sweep. Shard count is a function of `total` only, so the merged
+  // counts -- like the action vector -- are identical at any pool size.
+  size_t shards = engine::ShardCount(total, engine::ShardGrain(total));
+  std::vector<obs::BlockCounts> shard_counts(blocked != nullptr ? shards : 0);
+
+  engine::ParallelApply(
+      pool_, total,
+      [&](size_t begin, size_t end, size_t shard) {
+        GainContext ctx{&views, &scores, &tracker, target_residue_,
+                        blocked != nullptr ? &shard_counts[shard] : nullptr};
+        // Per-shard scratch: ResidueEngine's buffers must not be shared
+        // across threads, and construction is trivial next to the scan.
+        ResidueEngine engine(norm_);
+        for (size_t t = begin; t < end; ++t) {
+          bool is_row = t < num_rows;
+          size_t index = is_row ? t : t - num_rows;
+          actions[t] = BestActionFor(is_row, index, ctx, engine);
+        }
+      },
+      serial_cutoff_);
+
+  if (blocked != nullptr) {
+    for (const obs::BlockCounts& sc : shard_counts) blocked->Merge(sc);
+  }
+  return actions;
+}
+
+}  // namespace deltaclus

@@ -6,6 +6,7 @@
 
 #include "src/core/cluster_stats.h"
 #include "src/core/constraints.h"
+#include "src/engine/thread_pool.h"
 
 namespace deltaclus {
 
@@ -131,7 +132,7 @@ namespace {
 // occupancy threshold like alpha = 0.6, but dense cores -- where
 // coherent structure lives -- do.
 bool DenseCoreSeed(const DataMatrix& matrix, const Constraints& constraints,
-                   Rng& rng, Cluster* out) {
+                   Rng& rng, Cluster* out, engine::ThreadPool* pool) {
   const size_t rows = matrix.rows();
   const size_t cols = matrix.cols();
   if (rows == 0 || cols == 0) return false;
@@ -158,13 +159,23 @@ bool DenseCoreSeed(const DataMatrix& matrix, const Constraints& constraints,
       anchor_rows.resize(400);
     }
 
-    // Columns best covered by the anchor rows.
+    // Columns best covered by the anchor rows. The per-column counts are
+    // read-only over the column-major mask plane and land in disjoint
+    // slots, so the scan shards over the pool; the ranking below stays
+    // serial (and thus identical at any thread count).
+    std::vector<size_t> coverage(cols, 0);
+    engine::ParallelApply(pool, cols, [&](size_t begin, size_t end, size_t) {
+      for (size_t j = begin; j < end; ++j) {
+        const uint8_t* col_mask =
+            matrix.raw_mask_cm() + matrix.RawIndexCm(0, j);
+        size_t count = 0;
+        for (size_t i : anchor_rows) count += col_mask[i];
+        coverage[j] = count;
+      }
+    });
     std::vector<std::pair<size_t, size_t>> col_counts;  // (-count, col)
     for (size_t j = 0; j < cols; ++j) {
-      const uint8_t* col_mask = matrix.raw_mask_cm() + matrix.RawIndexCm(0, j);
-      size_t count = 0;
-      for (size_t i : anchor_rows) count += col_mask[i];
-      if (count > 0) col_counts.emplace_back(count, j);
+      if (coverage[j] > 0) col_counts.emplace_back(coverage[j], j);
     }
     if (col_counts.size() < constraints.min_cols) continue;
     std::sort(col_counts.rbegin(), col_counts.rend());
@@ -207,7 +218,7 @@ bool DenseCoreSeed(const DataMatrix& matrix, const Constraints& constraints,
 }  // namespace
 
 bool RepairSeed(const DataMatrix& matrix, const Constraints& constraints,
-                Cluster* cluster, Rng& rng) {
+                Cluster* cluster, Rng& rng, engine::ThreadPool* pool) {
   const size_t rows = matrix.rows();
   const size_t cols = matrix.cols();
 
@@ -268,7 +279,7 @@ bool RepairSeed(const DataMatrix& matrix, const Constraints& constraints,
   // Random growth could not reach compliance (typical for occupancy
   // thresholds on sparse matrices): fall back to seeding around a dense
   // core.
-  return DenseCoreSeed(matrix, constraints, rng, cluster);
+  return DenseCoreSeed(matrix, constraints, rng, cluster, pool);
 }
 
 }  // namespace deltaclus

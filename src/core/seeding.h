@@ -19,6 +19,10 @@
 
 namespace deltaclus {
 
+namespace engine {
+class ThreadPool;
+}  // namespace engine
+
 /// Configuration for FLOC's Phase-1 seed clusters.
 struct SeedingConfig {
   /// Inclusion probability for each row (paper's p applied to objects).
@@ -66,9 +70,12 @@ struct Constraints;
 /// occupancy. Section 4.3 requires Phase-1 seeds to comply with the
 /// constraints; FLOC's blocking then keeps compliance invariant. Gives up
 /// (returning false) if the constraints cannot be met on this matrix
-/// after a bounded number of attempts.
+/// after a bounded number of attempts. The dense-core fallback's anchor
+/// search (a read-only per-column coverage count) runs on `pool` when one
+/// is provided; results are identical with or without it.
 bool RepairSeed(const DataMatrix& matrix, const Constraints& constraints,
-                Cluster* cluster, Rng& rng);
+                Cluster* cluster, Rng& rng,
+                engine::ThreadPool* pool = nullptr);
 
 }  // namespace deltaclus
 

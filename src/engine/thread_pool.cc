@@ -1,0 +1,125 @@
+#include "src/engine/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace deltaclus::engine {
+
+int ResolveThreads(int configured) {
+  if (configured > 0) return configured;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int spawn = std::max(threads, 1) - 1;
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunShards(Job& job) {
+  while (true) {
+    size_t shard = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= job.shards) return;
+    size_t begin = shard * job.grain;
+    size_t end = std::min(begin + job.grain, job.total);
+    try {
+      (*job.fn)(begin, end, shard);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      // Keep the exception from the lowest-indexed throwing shard: every
+      // shard always runs, so this choice is independent of scheduling.
+      if (!job.error || shard < job.error_shard) {
+        job.error = std::current_exception();
+        job.error_shard = shard;
+      }
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+      ++participants_;
+    }
+    RunShards(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --participants_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
+  if (total == 0) return;
+  if (grain == 0) grain = ShardGrain(total);
+  Job job;
+  job.fn = &fn;
+  job.total = total;
+  job.grain = grain;
+  job.shards = ShardCount(total, grain);
+
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+  }
+
+  // The coordinating thread always participates; with no workers this is
+  // the entire (serial) execution, over identical shard boundaries.
+  RunShards(job);
+
+  if (!workers_.empty()) {
+    // All shards are claimed once our own RunShards returns, but a worker
+    // may still be inside its final shard (or about to discover the
+    // cursor is exhausted). Retract the job and wait for every
+    // participant to leave before `job` goes out of scope.
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = nullptr;
+    done_cv_.wait(lock, [&] { return participants_ == 0; });
+  }
+
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ParallelApply(ThreadPool* pool, size_t total, const ThreadPool::ShardFn& fn,
+                   size_t serial_cutoff) {
+  if (total == 0) return;
+  if (pool == nullptr || pool->threads() <= 1 || total < serial_cutoff) {
+    size_t grain = ShardGrain(total);
+    size_t shards = ShardCount(total, grain);
+    for (size_t shard = 0; shard < shards; ++shard) {
+      size_t begin = shard * grain;
+      size_t end = std::min(begin + grain, total);
+      fn(begin, end, shard);
+    }
+    return;
+  }
+  pool->ParallelFor(total, fn);
+}
+
+}  // namespace deltaclus::engine

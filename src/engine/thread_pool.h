@@ -1,0 +1,147 @@
+// The execution engine: a persistent worker pool with a deterministic
+// sharded ParallelFor.
+//
+// FLOC's phases (and the parallel scans in the baselines and seeding)
+// are data-parallel sweeps over rows/columns whose results must be
+// bit-identical at any thread count. The engine guarantees that by
+// construction:
+//
+//   * Work is split into *shards* whose count and boundaries depend only
+//     on the total item count (ShardGrain / ShardCount) -- never on the
+//     worker count or on runtime scheduling.
+//   * Shards are claimed dynamically (an atomic cursor), but anything a
+//     shard produces lands in per-shard slots; callers merge those slots
+//     in shard order after the join, so even non-commutative reductions
+//     are deterministic.
+//   * The serial fallback (ParallelApply below a cutoff, or a 1-thread
+//     pool) iterates the identical shard boundaries inline, so the two
+//     paths are interchangeable element for element.
+//
+// The pool is persistent: workers are spawned once at construction and
+// parked on a condition variable between ParallelFor calls, replacing
+// the per-iteration std::thread spawn/join churn the move phase used to
+// pay. One pool instance may be shared across Floc runs, the baselines,
+// and the bench drivers (see FlocConfig::pool).
+//
+// Thread contract: ParallelFor must be called from one coordinating
+// thread at a time and must not be re-entered from inside a shard body.
+// Shard bodies run concurrently and must only touch shared state
+// read-only (or write to disjoint slots).
+#ifndef DELTACLUS_ENGINE_THREAD_POOL_H_
+#define DELTACLUS_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deltaclus::engine {
+
+/// Resolves a configured thread count: positive values pass through, 0
+/// means std::thread::hardware_concurrency() (with a floor of 1 when the
+/// runtime cannot report it). Negative values are a configuration error
+/// upstream (FlocConfig::Validate rejects them) and clamp to 1 here.
+int ResolveThreads(int configured);
+
+/// Tuning knobs of the execution engine, shared by every phase component
+/// that runs on the pool.
+struct EngineConfig {
+  /// Work-item count below which a parallel scan runs inline on the
+  /// calling thread: for tiny sweeps the cost of waking the workers
+  /// exceeds the scan itself. The serial path iterates the same shard
+  /// boundaries, so crossing the cutoff never changes results (pinned by
+  /// tests/floc_phases_test.cc above/below-cutoff agreement).
+  static constexpr size_t kDefaultSerialCutoff = 64;
+  size_t serial_cutoff = kDefaultSerialCutoff;
+};
+
+/// Target shard count of a parallel sweep. More shards than any sane
+/// worker count so dynamic claiming load-balances heterogeneous items,
+/// few enough that per-shard bookkeeping stays negligible.
+inline constexpr size_t kShardsPerSweep = 64;
+
+/// Shard size for `total` work items -- a function of the total ONLY
+/// (the determinism linchpin: identical shard boundaries at any worker
+/// count).
+inline size_t ShardGrain(size_t total) {
+  size_t grain = (total + kShardsPerSweep - 1) / kShardsPerSweep;
+  return grain == 0 ? 1 : grain;
+}
+
+/// Number of shards ParallelFor splits `total` items into under `grain`.
+inline size_t ShardCount(size_t total, size_t grain) {
+  return grain == 0 ? 0 : (total + grain - 1) / grain;
+}
+
+class ThreadPool {
+ public:
+  /// Body of one shard: the half-open item range [begin, end) plus the
+  /// shard's index (for per-shard accumulator slots).
+  using ShardFn = std::function<void(size_t begin, size_t end, size_t shard)>;
+
+  /// Spawns `threads - 1` workers (the coordinating thread participates
+  /// in every ParallelFor, so `threads` is the total concurrency).
+  /// threads <= 1 spawns nothing and makes every ParallelFor inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the coordinating thread); >= 1.
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn over [0, total) split into ShardCount(total, grain) shards;
+  /// grain 0 means ShardGrain(total). Blocks until every shard finished.
+  /// All shards run even if one throws; afterwards the exception from
+  /// the lowest-indexed throwing shard is rethrown on the caller (a
+  /// deterministic choice, since shard bodies are deterministic).
+  void ParallelFor(size_t total, size_t grain, const ShardFn& fn);
+
+  /// ParallelFor with the default grain.
+  void ParallelFor(size_t total, const ShardFn& fn) {
+    ParallelFor(total, 0, fn);
+  }
+
+ private:
+  struct Job {
+    const ShardFn* fn = nullptr;
+    size_t total = 0;
+    size_t grain = 0;
+    size_t shards = 0;
+    std::atomic<size_t> next{0};  // shard-claim cursor
+    std::mutex error_mutex;
+    size_t error_shard = 0;
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  // Claims and runs shards until the job's cursor is exhausted.
+  static void RunShards(Job& job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;  // workers park here between jobs
+  std::condition_variable done_cv_;  // the coordinator waits here
+  Job* job_ = nullptr;               // non-null while a job is posted
+  uint64_t generation_ = 0;          // bumped per posted job
+  size_t participants_ = 0;          // workers currently inside RunShards
+  bool stop_ = false;
+};
+
+/// Runs `fn` over [0, total): on the pool when it is worth it, inline
+/// otherwise (null/1-thread pool, or total below the cutoff). Both paths
+/// iterate the identical ShardGrain(total) boundaries, so per-shard
+/// accumulators merge identically and results are bit-identical either
+/// way. This is the entry point phase components use.
+void ParallelApply(ThreadPool* pool, size_t total, const ThreadPool::ShardFn& fn,
+                   size_t serial_cutoff = EngineConfig::kDefaultSerialCutoff);
+
+}  // namespace deltaclus::engine
+
+#endif  // DELTACLUS_ENGINE_THREAD_POOL_H_

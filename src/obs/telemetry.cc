@@ -62,6 +62,8 @@ void WriteIteration(JsonWriter& w, const IterationTelemetry& it) {
   w.Key("best_so_far").Number(it.best_so_far);
   w.Key("improved").Bool(it.improved);
   w.Key("wall_seconds").Number(it.wall_seconds);
+  w.Key("determine_seconds").Number(it.determine_seconds);
+  w.Key("apply_seconds").Number(it.apply_seconds);
   if (!it.cluster_residues.empty()) {
     w.Key("gain_histogram").BeginArray();
     for (uint64_t c : it.gain_histogram) w.Uint(c);
@@ -83,6 +85,8 @@ void WriteRun(JsonWriter& w, const RunTelemetry& run, bool with_log) {
   w.Key("iterations").Uint(run.iterations);
   w.Key("seeding_seconds").Number(run.seeding_seconds);
   w.Key("move_phase_seconds").Number(run.move_phase_seconds);
+  w.Key("determine_seconds").Number(run.determine_seconds);
+  w.Key("apply_seconds").Number(run.apply_seconds);
   w.Key("refine_seconds").Number(run.refine_seconds);
   w.Key("reseed_seconds").Number(run.reseed_seconds);
   w.Key("total_seconds").Number(run.total_seconds);

@@ -95,6 +95,10 @@ struct IterationTelemetry {
   bool improved = false;
 
   double wall_seconds = 0.0;
+  /// Wall time of the gain-determination phase (the parallel scan).
+  double determine_seconds = 0.0;
+  /// Wall time of the sequential apply sweep.
+  double apply_seconds = 0.0;
 
   // kFull only: the clustering state after this iteration (the new best
   // clustering when the iteration improved; the end-of-sweep state of
@@ -116,6 +120,11 @@ struct RunTelemetry {
   // reseed accumulate across restart rounds.
   double seeding_seconds = 0.0;
   double move_phase_seconds = 0.0;
+  /// Within the move phase: gain determination (parallel) and the apply
+  /// sweep (sequential), accumulated across iterations. Their gap to
+  /// move_phase_seconds is ordering + rewind/rebuild bookkeeping.
+  double determine_seconds = 0.0;
+  double apply_seconds = 0.0;
   double refine_seconds = 0.0;
   double reseed_seconds = 0.0;
   double total_seconds = 0.0;

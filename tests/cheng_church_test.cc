@@ -125,6 +125,40 @@ TEST(ChengChurchTest, DeterministicForFixedSeed) {
   }
 }
 
+TEST(ChengChurchTest, ParallelScansMatchSerialAtAnyThreadCount) {
+  // The row/column MSR score scans run on the engine thread pool, but
+  // every decision (deletion thresholds, argmax, addition collection)
+  // stays serial -- so the mined biclusters are identical at any thread
+  // count, multiple deletion and inverted addition included.
+  SyntheticConfig sc;
+  sc.rows = 200;
+  sc.cols = 30;
+  sc.num_clusters = 3;
+  sc.noise_stddev = 3.0;
+  sc.seed = 19;
+  SyntheticDataset data = GenerateSynthetic(sc);
+  ChengChurchConfig config;
+  config.num_clusters = 3;
+  config.msr_threshold = 300.0;
+  config.multiple_deletion_min = 50;
+  config.add_inverted_rows = true;
+
+  config.threads = 1;
+  ChengChurchResult serial = RunChengChurch(data.matrix, config);
+  for (int threads : {2, 8}) {
+    config.threads = threads;
+    ChengChurchResult par = RunChengChurch(data.matrix, config);
+    ASSERT_EQ(serial.clusters.size(), par.clusters.size())
+        << "threads=" << threads;
+    for (size_t t = 0; t < serial.clusters.size(); ++t) {
+      EXPECT_TRUE(serial.clusters[t] == par.clusters[t])
+          << "threads=" << threads << " cluster " << t;
+      EXPECT_DOUBLE_EQ(serial.msr[t], par.msr[t])
+          << "threads=" << threads << " cluster " << t;
+    }
+  }
+}
+
 TEST(ChengChurchTest, MultipleNodeDeletionKicksInOnLargeMatrices) {
   // With multiple_deletion_min = 10 the large-matrix path runs; the
   // result must still meet the threshold.

@@ -2,6 +2,7 @@
 // gtest's temp dir.
 #include "src/cli/cli.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -143,6 +144,44 @@ TEST(CliTest, MineMissingInputFails) {
 TEST(CliTest, BadOrderingRejected) {
   CliRun r = RunCliArgs({"mine", "--input", "/x.csv", "--ordering=sorted"});
   EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(CliTest, ThreadsEnvDefault) {
+  // DELTACLUS_THREADS supplies the default; --threads wins over it;
+  // garbage and negative values are rejected before any mining starts.
+  std::string matrix_path = Tmp("threads_env.csv");
+  ASSERT_EQ(RunCliArgs({"generate", "--rows=40", "--cols=10", "--clusters=1",
+                        "--seed=3", "--out", matrix_path})
+                .exit_code,
+            0);
+
+  setenv("DELTACLUS_THREADS", "2", 1);
+  CliRun env_run = RunCliArgs({"mine", "--input", matrix_path, "--k=2",
+                               "--seed=5", "--out", Tmp("t_env.txt")});
+  EXPECT_EQ(env_run.exit_code, 0);
+
+  CliRun flag_wins = RunCliArgs({"mine", "--input", matrix_path, "--k=2",
+                                 "--seed=5", "--threads=1", "--out",
+                                 Tmp("t_flag.txt")});
+  EXPECT_EQ(flag_wins.exit_code, 0);
+
+  setenv("DELTACLUS_THREADS", "bogus", 1);
+  CliRun bad = RunCliArgs({"mine", "--input", matrix_path, "--k=2"});
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("DELTACLUS_THREADS"), std::string::npos);
+
+  setenv("DELTACLUS_THREADS", "-2", 1);
+  CliRun negative = RunCliArgs({"mine", "--input", matrix_path, "--k=2"});
+  EXPECT_EQ(negative.exit_code, 2);
+  unsetenv("DELTACLUS_THREADS");
+
+  // Determinism guarantee: env-threaded and flag-threaded runs mined the
+  // same clusters.
+  std::ifstream a(Tmp("t_env.txt")), b(Tmp("t_flag.txt"));
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
 }
 
 TEST(CliTest, StatsRequiresFlags) {

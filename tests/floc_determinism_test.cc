@@ -1,15 +1,17 @@
 // Multi-threaded determinism: the gain-determination scan fans out over
-// std::thread workers, and the contract (FlocConfig::threads) is that
-// results are identical for any thread count. These tests pin that down
-// by running the same seeded configuration at threads=1 and threads=8
-// and asserting the runs took identical actions: same per-iteration
-// history, same final clusters, same residues. The TSan preset
-// (scripts/check.sh tsan) runs this file to prove the scan race-free.
+// the persistent engine thread pool (src/engine/thread_pool.h), and the
+// contract (FlocConfig::threads) is that results are bit-identical for
+// any thread count. These tests pin that down by running the same seeded
+// configuration at threads=1, 2 and 8 and asserting the runs took
+// identical actions: same per-iteration history, same final clusters,
+// same residues. The TSan preset (scripts/check.sh tsan) runs this file
+// to prove the sharded scan race-free.
 #include <gtest/gtest.h>
 
 #include "src/core/floc.h"
 #include "src/data/movielens_synth.h"
 #include "src/data/synthetic.h"
+#include "src/engine/thread_pool.h"
 
 namespace deltaclus {
 namespace {
@@ -26,37 +28,43 @@ SyntheticDataset PlantedData(uint64_t seed) {
   return GenerateSynthetic(config);
 }
 
-// Runs `config` at both thread counts and asserts identical outcomes.
+// Runs `config` at threads = 1, 2 and 8 and asserts identical outcomes.
 void ExpectIdenticalAcrossThreadCounts(FlocConfig config,
                                        const DataMatrix& matrix) {
   config.threads = 1;
   FlocResult seq = Floc(config).Run(matrix);
-  config.threads = 8;
-  FlocResult par = Floc(config).Run(matrix);
+  for (int threads : {2, 8}) {
+    config.threads = threads;
+    FlocResult par = Floc(config).Run(matrix);
 
-  // Identical actions => identical per-iteration history...
-  ASSERT_EQ(seq.iterations, par.iterations);
-  ASSERT_EQ(seq.history.size(), par.history.size());
-  for (size_t t = 0; t < seq.history.size(); ++t) {
-    EXPECT_EQ(seq.history[t].actions_applied, par.history[t].actions_applied)
-        << "iteration " << t;
-    EXPECT_EQ(seq.history[t].improved, par.history[t].improved)
-        << "iteration " << t;
-    EXPECT_DOUBLE_EQ(seq.history[t].best_average_residue,
-                     par.history[t].best_average_residue)
-        << "iteration " << t;
-  }
+    // Identical actions => identical per-iteration history...
+    ASSERT_EQ(seq.iterations, par.iterations) << "threads=" << threads;
+    ASSERT_EQ(seq.history.size(), par.history.size()) << "threads=" << threads;
+    for (size_t t = 0; t < seq.history.size(); ++t) {
+      EXPECT_EQ(seq.history[t].actions_applied, par.history[t].actions_applied)
+          << "threads=" << threads << " iteration " << t;
+      EXPECT_EQ(seq.history[t].improved, par.history[t].improved)
+          << "threads=" << threads << " iteration " << t;
+      EXPECT_DOUBLE_EQ(seq.history[t].best_average_residue,
+                       par.history[t].best_average_residue)
+          << "threads=" << threads << " iteration " << t;
+    }
 
-  // ...and an identical final clustering, bit for bit.
-  ASSERT_EQ(seq.clusters.size(), par.clusters.size());
-  for (size_t c = 0; c < seq.clusters.size(); ++c) {
-    EXPECT_TRUE(seq.clusters[c] == par.clusters[c]) << "cluster " << c;
-    EXPECT_DOUBLE_EQ(seq.residues[c], par.residues[c]) << "cluster " << c;
+    // ...and an identical final clustering, bit for bit.
+    ASSERT_EQ(seq.clusters.size(), par.clusters.size())
+        << "threads=" << threads;
+    for (size_t c = 0; c < seq.clusters.size(); ++c) {
+      EXPECT_TRUE(seq.clusters[c] == par.clusters[c])
+          << "threads=" << threads << " cluster " << c;
+      EXPECT_DOUBLE_EQ(seq.residues[c], par.residues[c])
+          << "threads=" << threads << " cluster " << c;
+    }
+    EXPECT_DOUBLE_EQ(seq.average_residue, par.average_residue)
+        << "threads=" << threads;
   }
-  EXPECT_DOUBLE_EQ(seq.average_residue, par.average_residue);
 }
 
-TEST(FlocDeterminismTest, PaperModeIdenticalAtOneAndEightThreads) {
+TEST(FlocDeterminismTest, PaperModeIdenticalAcrossThreadCounts) {
   SyntheticDataset data = PlantedData(101);
   FlocConfig config;
   config.num_clusters = 8;
@@ -64,7 +72,7 @@ TEST(FlocDeterminismTest, PaperModeIdenticalAtOneAndEightThreads) {
   ExpectIdenticalAcrossThreadCounts(config, data.matrix);
 }
 
-TEST(FlocDeterminismTest, VolumeSeekingModeIdenticalAtOneAndEightThreads) {
+TEST(FlocDeterminismTest, VolumeSeekingModeIdenticalAcrossThreadCounts) {
   SyntheticDataset data = PlantedData(103);
   FlocConfig config;
   config.num_clusters = 10;
@@ -76,7 +84,7 @@ TEST(FlocDeterminismTest, VolumeSeekingModeIdenticalAtOneAndEightThreads) {
   ExpectIdenticalAcrossThreadCounts(config, data.matrix);
 }
 
-TEST(FlocDeterminismTest, ConstrainedRunIdenticalAtOneAndEightThreads) {
+TEST(FlocDeterminismTest, ConstrainedRunIdenticalAcrossThreadCounts) {
   SyntheticDataset data = PlantedData(107);
   FlocConfig config;
   config.num_clusters = 6;
@@ -90,7 +98,7 @@ TEST(FlocDeterminismTest, ConstrainedRunIdenticalAtOneAndEightThreads) {
   ExpectIdenticalAcrossThreadCounts(config, data.matrix);
 }
 
-TEST(FlocDeterminismTest, SparseRatingsIdenticalAtOneAndEightThreads) {
+TEST(FlocDeterminismTest, SparseRatingsIdenticalAcrossThreadCounts) {
   // Sparse, MovieLens-shaped data drives the column-major plane and the
   // workspace residue cache through the occupancy-constrained paths.
   MovieLensSynthConfig synth;
@@ -126,16 +134,65 @@ TEST(FlocDeterminismTest, AuditModeDoesNotChangeResults) {
   config.rng_seed = 29;
 
   config.audit = false;
+  config.threads = 1;
   FlocResult plain = Floc(config).Run(data.matrix);
   config.audit = true;
-  FlocResult audited = Floc(config).Run(data.matrix);
-
-  ASSERT_EQ(plain.clusters.size(), audited.clusters.size());
-  for (size_t c = 0; c < plain.clusters.size(); ++c) {
-    EXPECT_TRUE(plain.clusters[c] == audited.clusters[c]) << "cluster " << c;
-    EXPECT_DOUBLE_EQ(plain.residues[c], audited.residues[c]);
+  for (int threads : {1, 2, 8}) {
+    config.threads = threads;
+    FlocResult audited = Floc(config).Run(data.matrix);
+    ASSERT_EQ(plain.clusters.size(), audited.clusters.size())
+        << "threads=" << threads;
+    for (size_t c = 0; c < plain.clusters.size(); ++c) {
+      EXPECT_TRUE(plain.clusters[c] == audited.clusters[c])
+          << "threads=" << threads << " cluster " << c;
+      EXPECT_DOUBLE_EQ(plain.residues[c], audited.residues[c])
+          << "threads=" << threads;
+    }
+    EXPECT_DOUBLE_EQ(plain.average_residue, audited.average_residue)
+        << "threads=" << threads;
   }
-  EXPECT_DOUBLE_EQ(plain.average_residue, audited.average_residue);
+}
+
+TEST(FlocDeterminismTest, ZeroThreadsMeansHardwareConcurrency) {
+  // threads=0 resolves to std::thread::hardware_concurrency() -- and, by
+  // the bit-identical contract, still matches the serial run.
+  SyntheticDataset data = PlantedData(127);
+  FlocConfig config;
+  config.num_clusters = 5;
+  config.rng_seed = 31;
+  config.threads = 1;
+  FlocResult base = Floc(config).Run(data.matrix);
+  config.threads = 0;
+  FlocResult hw = Floc(config).Run(data.matrix);
+  ASSERT_EQ(base.clusters.size(), hw.clusters.size());
+  for (size_t c = 0; c < base.clusters.size(); ++c) {
+    EXPECT_TRUE(base.clusters[c] == hw.clusters[c]) << "cluster " << c;
+  }
+  EXPECT_DOUBLE_EQ(base.average_residue, hw.average_residue);
+}
+
+TEST(FlocDeterminismTest, InjectedPoolMatchesOwnedPool) {
+  // An externally owned pool (FlocConfig::pool) takes precedence over
+  // `threads` and gives the same results; back-to-back runs reuse it.
+  SyntheticDataset data = PlantedData(131);
+  FlocConfig config;
+  config.num_clusters = 5;
+  config.rng_seed = 37;
+  config.threads = 1;
+  FlocResult base = Floc(config).Run(data.matrix);
+
+  engine::ThreadPool pool(4);
+  config.pool = &pool;
+  Floc shared(config);
+  for (int run = 0; run < 2; ++run) {
+    FlocResult injected = shared.Run(data.matrix);
+    ASSERT_EQ(base.clusters.size(), injected.clusters.size()) << run;
+    for (size_t c = 0; c < base.clusters.size(); ++c) {
+      EXPECT_TRUE(base.clusters[c] == injected.clusters[c])
+          << "run " << run << " cluster " << c;
+    }
+    EXPECT_DOUBLE_EQ(base.average_residue, injected.average_residue) << run;
+  }
 }
 
 TEST(FlocDeterminismTest, OddThreadCountsAgreeToo) {

@@ -1,0 +1,243 @@
+// Unit tests for the four FLOC phase components (src/core/floc_phases.h)
+// in isolation -- Floc::Run wires them together, floc_test.cc and
+// floc_determinism_test.cc cover the composition.
+//
+// The headline check is the serial/pooled agreement of GainDeterminer:
+// the inline path below the serial cutoff and the pooled path above it
+// iterate the same shard boundaries, so the determined actions and the
+// blocked-toggle tallies must be bit-identical either way.
+#include "src/core/floc_phases.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/constraints.h"
+#include "src/core/data_matrix.h"
+#include "src/core/floc.h"
+#include "src/data/synthetic.h"
+#include "src/engine/thread_pool.h"
+#include "src/obs/telemetry.h"
+#include "src/util/rng.h"
+
+namespace deltaclus {
+namespace {
+
+// A planted matrix plus a clustering state (views / scores / tracker)
+// shaped like the middle of a FLOC run.
+struct Fixture {
+  explicit Fixture(size_t rows, size_t cols, uint64_t seed) {
+    SyntheticConfig config;
+    config.rows = rows;
+    config.cols = cols;
+    config.num_clusters = 3;
+    config.volume_mean = rows;
+    config.col_fraction = 0.3;
+    config.noise_stddev = 0.5;
+    config.seed = seed;
+    data = GenerateSynthetic(config);
+
+    Constraints constraints;
+    constraints.alpha = 0.5;
+    constraints.max_overlap = 0.6;
+    tracker = std::make_unique<ConstraintTracker>(data.matrix, constraints);
+
+    // Three overlapping rectangular seeds.
+    Rng rng(seed + 1);
+    for (size_t c = 0; c < 3; ++c) {
+      Cluster cluster(data.matrix.rows(), data.matrix.cols());
+      for (size_t i = c * 5; i < c * 5 + rows / 2 && i < rows; ++i) {
+        cluster.AddRow(i);
+      }
+      for (size_t j = c * 2; j < c * 2 + cols / 2 && j < cols; ++j) {
+        cluster.AddCol(j);
+      }
+      views.emplace_back(data.matrix, std::move(cluster));
+    }
+    tracker->Rebuild(views);
+
+    ResidueEngine engine(ResidueNorm::kMeanAbsolute);
+    for (const ClusterWorkspace& ws : views) {
+      scores.push_back(ObjectiveScore(engine.Residue(ws),
+                                      ws.stats().Volume(), kTarget));
+    }
+  }
+
+  static constexpr double kTarget = 1.0;
+
+  SyntheticDataset data;
+  std::vector<ClusterWorkspace> views;
+  std::vector<double> scores;
+  std::unique_ptr<ConstraintTracker> tracker;
+};
+
+void ExpectSameActions(const std::vector<Action>& a,
+                       const std::vector<Action>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].target, b[t].target) << "action " << t;
+    EXPECT_EQ(a[t].index, b[t].index) << "action " << t;
+    EXPECT_EQ(a[t].cluster, b[t].cluster) << "action " << t;
+    EXPECT_EQ(a[t].gain, b[t].gain) << "action " << t;  // bit-identical
+  }
+}
+
+TEST(GainDeterminerTest, SerialAndPooledAgreeAboveCutoff) {
+  // 120 rows + 30 cols = 150 work items, above the default cutoff of 64:
+  // the pooled run fans out while the null-pool run stays inline.
+  Fixture fx(120, 30, 41);
+  GainDeterminer serial(ResidueNorm::kMeanAbsolute, Fixture::kTarget,
+                        /*pool=*/nullptr);
+  std::vector<Action> base = serial.Determine(fx.data.matrix, fx.views,
+                                              fx.scores, *fx.tracker,
+                                              /*blocked=*/nullptr);
+  ASSERT_EQ(base.size(), fx.data.matrix.rows() + fx.data.matrix.cols());
+
+  for (int threads : {2, 3, 8}) {
+    engine::ThreadPool pool(threads);
+    GainDeterminer pooled(ResidueNorm::kMeanAbsolute, Fixture::kTarget,
+                          &pool);
+    std::vector<Action> got = pooled.Determine(fx.data.matrix, fx.views,
+                                               fx.scores, *fx.tracker,
+                                               /*blocked=*/nullptr);
+    ExpectSameActions(base, got);
+  }
+}
+
+TEST(GainDeterminerTest, SerialAndPooledAgreeBelowCutoff) {
+  // 30 rows + 10 cols = 40 work items, below kDefaultSerialCutoff: the
+  // determiner must stay inline even with a live pool. Forcing the pooled
+  // path with serial_cutoff=0 must still give the same actions.
+  Fixture fx(30, 10, 43);
+  ASSERT_LT(fx.data.matrix.rows() + fx.data.matrix.cols(),
+            engine::EngineConfig::kDefaultSerialCutoff);
+
+  GainDeterminer serial(ResidueNorm::kMeanAbsolute, Fixture::kTarget,
+                        /*pool=*/nullptr);
+  std::vector<Action> base = serial.Determine(fx.data.matrix, fx.views,
+                                              fx.scores, *fx.tracker,
+                                              nullptr);
+
+  engine::ThreadPool pool(4);
+  GainDeterminer defaulted(ResidueNorm::kMeanAbsolute, Fixture::kTarget,
+                           &pool);
+  ExpectSameActions(base, defaulted.Determine(fx.data.matrix, fx.views,
+                                              fx.scores, *fx.tracker,
+                                              nullptr));
+
+  GainDeterminer forced(ResidueNorm::kMeanAbsolute, Fixture::kTarget, &pool,
+                        /*serial_cutoff=*/0);
+  ExpectSameActions(base, forced.Determine(fx.data.matrix, fx.views,
+                                           fx.scores, *fx.tracker, nullptr));
+}
+
+TEST(GainDeterminerTest, BlockCountsIdenticalSerialAndPooled) {
+  // The per-shard blocked-toggle tallies are merged in shard order, so
+  // the telemetry counts match the serial scan exactly.
+  Fixture fx(120, 30, 47);
+  GainDeterminer serial(ResidueNorm::kMeanAbsolute, Fixture::kTarget,
+                        nullptr);
+  obs::BlockCounts serial_blocked;
+  serial.Determine(fx.data.matrix, fx.views, fx.scores, *fx.tracker,
+                   &serial_blocked);
+  EXPECT_GT(serial_blocked.Total(), 0u);  // alpha + overlap bite here
+
+  engine::ThreadPool pool(8);
+  GainDeterminer pooled(ResidueNorm::kMeanAbsolute, Fixture::kTarget, &pool);
+  obs::BlockCounts pooled_blocked;
+  pooled.Determine(fx.data.matrix, fx.views, fx.scores, *fx.tracker,
+                   &pooled_blocked);
+  EXPECT_EQ(serial_blocked.counts, pooled_blocked.counts);
+}
+
+TEST(ActionSchedulerTest, FixedOrderingIsIdentity) {
+  std::vector<Action> actions(10);
+  Rng rng(5);
+  std::vector<size_t> order = ActionScheduler(ActionOrdering::kFixed)
+                                  .Order(actions, rng);
+  std::vector<size_t> identity(10);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(order, identity);
+}
+
+TEST(ActionSchedulerTest, RandomOrderingsArePermutations) {
+  std::vector<Action> actions(25);
+  for (size_t t = 0; t < actions.size(); ++t) {
+    actions[t].gain = static_cast<double>(t % 7) - 3.0;
+  }
+  for (ActionOrdering ordering :
+       {ActionOrdering::kRandom, ActionOrdering::kWeightedRandom}) {
+    Rng rng(9);
+    std::vector<size_t> order = ActionScheduler(ordering).Order(actions, rng);
+    std::vector<size_t> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<size_t> identity(actions.size());
+    std::iota(identity.begin(), identity.end(), 0);
+    EXPECT_EQ(sorted, identity);
+  }
+}
+
+TEST(ActionSchedulerTest, SameSeedSameOrder) {
+  std::vector<Action> actions(40);
+  for (size_t t = 0; t < actions.size(); ++t) {
+    actions[t].gain = static_cast<double>((t * 13) % 11);
+  }
+  ActionScheduler scheduler(ActionOrdering::kWeightedRandom);
+  Rng a(77);
+  Rng b(77);
+  EXPECT_EQ(scheduler.Order(actions, a), scheduler.Order(actions, b));
+}
+
+TEST(BestPrefixSelectorTest, TracksBestObservedPrefix) {
+  BestPrefixSelector selector(/*incumbent_average=*/2.0);
+  EXPECT_FALSE(selector.has_best());
+  EXPECT_DOUBLE_EQ(selector.best_average(), 2.0);
+
+  // The first observation always becomes the best, even when worse than
+  // the incumbent -- "did the iteration improve" is Floc's separate
+  // judgement downstream.
+  selector.Observe(2.5, 1);
+  EXPECT_TRUE(selector.has_best());
+  EXPECT_DOUBLE_EQ(selector.best_average(), 2.5);
+  EXPECT_EQ(selector.best_prefix(), 1u);
+
+  selector.Observe(1.5, 2);
+  EXPECT_DOUBLE_EQ(selector.best_average(), 1.5);
+  EXPECT_EQ(selector.best_prefix(), 2u);
+
+  selector.Observe(1.5, 3);  // tie: earliest prefix kept
+  EXPECT_EQ(selector.best_prefix(), 2u);
+
+  selector.Observe(1.0, 4);
+  EXPECT_DOUBLE_EQ(selector.best_average(), 1.0);
+  EXPECT_EQ(selector.best_prefix(), 4u);
+}
+
+TEST(BestPrefixSelectorTest, NothingObservedReportsIncumbent) {
+  // A sweep that applies zero actions leaves the selector untouched; the
+  // incumbent average flows back out and best_prefix stays 0.
+  BestPrefixSelector selector(1.0);
+  EXPECT_FALSE(selector.has_best());
+  EXPECT_DOUBLE_EQ(selector.best_average(), 1.0);
+  EXPECT_EQ(selector.best_prefix(), 0u);
+}
+
+TEST(ObjectiveScoreTest, PaperModeIsPlainResidue) {
+  EXPECT_DOUBLE_EQ(ObjectiveScore(3.25, 1000, /*target_residue=*/0.0), 3.25);
+}
+
+TEST(ObjectiveScoreTest, VolumeSeekingRewardsVolume) {
+  double small = ObjectiveScore(1.0, 10, 1.0);
+  double large = ObjectiveScore(1.0, 1000, 1.0);
+  EXPECT_LT(large, small);  // lower objective = better
+  // Empty cluster: volume clamps to 1, no -inf from log(0).
+  EXPECT_DOUBLE_EQ(ObjectiveScore(0.0, 0, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -58,6 +58,17 @@ TEST(ValidateConfigTest, NegativeKnobs) {
   EXPECT_FALSE(annealing.Validate().empty());
 }
 
+TEST(ValidateConfigTest, ThreadCounts) {
+  // 0 is valid (hardware concurrency); negatives are not.
+  FlocConfig config;
+  config.threads = 0;
+  EXPECT_TRUE(config.Validate().empty());
+  config.threads = 8;
+  EXPECT_TRUE(config.Validate().empty());
+  config.threads = -1;
+  EXPECT_FALSE(config.Validate().empty());
+}
+
 TEST(ValidateConfigTest, ZeroClustersRejected) {
   FlocConfig config;
   config.num_clusters = 0;
