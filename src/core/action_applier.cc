@@ -12,7 +12,8 @@ std::vector<AppliedAction> ActionApplier::Apply(
   const FlocConfig& config = *config_;
   size_t k = views.size();
   ResidueEngine engine(config.norm);
-  GainContext ctx{&views, &scores, &tracker, config.target_residue};
+  GainContext ctx{&views, &scores, &tracker, config.target_residue,
+                  /*blocked=*/nullptr, memo_, config.audit};
 
   std::vector<AppliedAction> applied;
   applied.reserve(actions.size());

@@ -114,10 +114,17 @@ void ClusterStats::RowSumOverCols(const DataMatrix& m,
   size_t row_off = m.RawIndex(i, 0);
   double s = 0.0;
   size_t c = 0;
-  for (uint32_t j : col_ids) {
-    if (!mask[row_off + j]) continue;
-    s += values[row_off + j];
-    ++c;
+  if (m.RowFullySpecified(i)) {
+    // Branch-free: every entry of the row is specified. Summation order
+    // is unchanged, so the result is bit-identical to the masked loop.
+    for (uint32_t j : col_ids) s += values[row_off + j];
+    c = col_ids.size();
+  } else {
+    for (uint32_t j : col_ids) {
+      if (!mask[row_off + j]) continue;
+      s += values[row_off + j];
+      ++c;
+    }
   }
   *sum = s;
   *count = c;
@@ -131,10 +138,17 @@ void ClusterStats::ColSumOverRows(const DataMatrix& m,
   const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
   double s = 0.0;
   size_t c = 0;
-  for (uint32_t i : row_ids) {
-    if (!col_mask[i]) continue;
-    s += col_values[i];
-    ++c;
+  if (m.ColFullySpecified(j)) {
+    // Branch-free twin of the masked loop below; bit-identical (same
+    // summation order, the mask is known all-ones).
+    for (uint32_t i : row_ids) s += col_values[i];
+    c = row_ids.size();
+  } else {
+    for (uint32_t i : row_ids) {
+      if (!col_mask[i]) continue;
+      s += col_values[i];
+      ++c;
+    }
   }
   *sum = s;
   *count = c;

@@ -1,16 +1,30 @@
 // ClusterWorkspace: the per-cluster mutable state FLOC carries through a
 // run -- a ClusterView (Cluster membership + incrementally-maintained
-// ClusterStats) plus a *cached* residue numerator/volume pair.
+// ClusterStats), a monotone membership *epoch*, and a *cached* residue
+// numerator/volume pair stamped with that epoch.
 //
-// The cache exists because the hot loop asks for a cluster's residue far
-// more often than the cluster changes: every gain evaluation, score
-// refresh, telemetry snapshot, and stagnation check wants Residue(c), but
-// membership only moves on an applied action. Pre-workspace, each of
-// those calls paid a full O(volume) rescan of the submatrix; with the
-// workspace, the first call after a toggle pays the scan and every
-// subsequent call is O(1). Invalidation is exact: precisely the
-// membership mutations (ToggleRow / ToggleCol / Reset) clear the cache,
-// nothing else does.
+// The epoch is the workspace's memoization key: it is assigned from a
+// process-wide monotone counter at construction and re-assigned by every
+// membership mutation (ToggleRow / ToggleCol / Reset), so two reads of
+// epoch() returning the same value guarantee the membership -- and the
+// incrementally-maintained stats bits -- have not changed in between.
+// Everything derived purely from the membership (the cached residue
+// below, and the per-(entity, cluster) gain memo in
+// src/core/gain_memo.h) is stamped with the epoch at computation time
+// and served from cache exactly while the epoch still matches. Because
+// the counter is process-unique, a stamp can never collide with a stamp
+// taken from a different workspace or an earlier membership: equal
+// epochs always mean "same object, same membership". Copies share their
+// source's epoch, which is correct -- they hold the same membership.
+//
+// The residue cache exists because the hot loop asks for a cluster's
+// residue far more often than the cluster changes: every gain
+// evaluation, score refresh, telemetry snapshot, and stagnation check
+// wants Residue(c), but membership only moves on an applied action.
+// Pre-workspace, each of those calls paid a full O(volume) rescan of the
+// submatrix; with the workspace, the first call after a toggle pays the
+// scan and every subsequent call is O(1). Invalidation is exact and
+// implicit: a mutation advances the epoch, which un-matches the stamp.
 //
 // The cache stores the residue's numerator (the accumulated |r_ij| or
 // r_ij^2 mass) and the volume it was computed over, not the quotient, so
@@ -18,15 +32,32 @@
 // (src/core/audit.h) and the quotient is formed the same way as the
 // uncached path -- cached and uncached reads are bit-identical.
 //
-// Filling and invalidating the cache is NOT thread-safe: FLOC's parallel
-// gain scan only evaluates virtual toggles (which never touch the cache);
-// cached residue reads and all mutations happen on the coordinating
-// thread. This matches the pre-workspace contract where worker threads
-// shared read-only views.
+// The workspace also carries a *packed pane*: the cluster's submatrix
+// (values + mask) copied into a contiguous |I| x |J| row-major block,
+// epoch-stamped like the residue cache. The gain kernels' inner loops
+// are gather loops over scattered column ids when run against the raw
+// matrix; against the pane they are unit-stride streams the compiler
+// vectorizes, which is where the bulk of the kernel speedup comes from
+// (DESIGN.md "The gain kernel"). Rebuilding the pane costs one gather
+// pass -- the same order as a single gain evaluation -- and is amortized
+// over the hundreds of evaluations a sweep makes against an unchanged
+// cluster.
+//
+// Filling the caches (residue cache, pane) is NOT thread-safe: all cache
+// fills and mutations happen on the coordinating thread. The parallel
+// determination sweep reads the pane concurrently, so GainDeterminer
+// pre-builds every cluster's pane (EnsurePane) before fanning out; once
+// the pane's epoch stamp matches, EnsurePane is a read-only no-op and
+// concurrent calls are safe. (The epoch counter itself is atomic only so
+// that unrelated workspaces on different threads can be constructed
+// safely.)
 #ifndef DELTACLUS_CORE_CLUSTER_WORKSPACE_H_
 #define DELTACLUS_CORE_CLUSTER_WORKSPACE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "src/core/cluster.h"
 #include "src/core/cluster_stats.h"
@@ -43,15 +74,40 @@ enum class CachedNormTag : int {
   kMeanSquared = 1,
 };
 
+/// Next value of the process-wide membership-epoch counter. Starts at 1
+/// so 0 is free to mean "never stamped" in caches keyed on epochs.
+inline uint64_t NextMembershipEpoch() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// The cluster's submatrix packed contiguous: row-major |I| x |J|, rows
+/// in cluster().row_ids() order, columns in cluster().col_ids() order.
+/// mask[..] != 0 marks specified entries, exactly mirroring the parent
+/// matrix. Owned and epoch-stamped by ClusterWorkspace (EnsurePane).
+struct PackedPane {
+  std::vector<double> values;
+  std::vector<uint8_t> mask;
+  size_t num_cols = 0;
+
+  const double* Row(size_t pane_row) const {
+    return values.data() + pane_row * num_cols;
+  }
+  const uint8_t* MaskRow(size_t pane_row) const {
+    return mask.data() + pane_row * num_cols;
+  }
+};
+
 class ClusterWorkspace {
  public:
   /// Binds to `matrix` (which must outlive the workspace) with empty
   /// membership.
-  explicit ClusterWorkspace(const DataMatrix& matrix) : view_(matrix) {}
+  explicit ClusterWorkspace(const DataMatrix& matrix)
+      : view_(matrix), epoch_(NextMembershipEpoch()) {}
 
   /// Binds to `matrix` and adopts `cluster`, building stats.
   ClusterWorkspace(const DataMatrix& matrix, Cluster cluster)
-      : view_(matrix, std::move(cluster)) {}
+      : view_(matrix, std::move(cluster)), epoch_(NextMembershipEpoch()) {}
 
   ClusterWorkspace(const ClusterWorkspace&) = default;
   ClusterWorkspace& operator=(const ClusterWorkspace&) = default;
@@ -63,56 +119,109 @@ class ClusterWorkspace {
   const ClusterStats& stats() const { return view_.stats(); }
   const DataMatrix& matrix() const { return view_.matrix(); }
 
-  /// Replaces the membership wholesale, rebuilds stats, and invalidates
-  /// the residue cache.
+  /// The membership epoch: advances on every mutation, process-unique.
+  /// Equal epochs guarantee unchanged membership (see file comment).
+  uint64_t epoch() const { return epoch_; }
+
+  /// Replaces the membership wholesale, rebuilds stats, and advances the
+  /// epoch -- even when the new membership equals the old one, because
+  /// the rebuilt stats may differ from the incremental ones by
+  /// floating-point reassociation and epoch-stamped caches must not
+  /// serve numbers derived from the pre-rebuild bits.
   void Reset(Cluster cluster) {
     view_.Reset(std::move(cluster));
-    InvalidateResidue();
+    epoch_ = NextMembershipEpoch();
   }
 
-  /// Membership toggles: stats stay incrementally consistent, residue
-  /// cache is invalidated (the residue depends on every base).
+  /// Membership toggles: stats stay incrementally consistent, the epoch
+  /// advances (implicitly invalidating the residue cache and any gain
+  /// memo entries stamped with the old epoch).
   void ToggleRow(size_t i) {
     view_.ToggleRow(i);
-    InvalidateResidue();
+    epoch_ = NextMembershipEpoch();
   }
   void ToggleCol(size_t j) {
     view_.ToggleCol(j);
-    InvalidateResidue();
+    epoch_ = NextMembershipEpoch();
   }
 
   // --- Residue cache plumbing (used by ResidueEngine and audit) ---
 
   /// True if a residue numerator/volume accumulated under `norm` is
-  /// cached and membership has not changed since.
+  /// cached and membership has not changed since (the cache's epoch
+  /// stamp still matches the live epoch).
   bool ResidueCached(CachedNormTag norm) const {
-    return cached_norm_ == norm && norm != CachedNormTag::kNone;
+    return cached_norm_ == norm && norm != CachedNormTag::kNone &&
+           cached_epoch_ == epoch_;
   }
 
   /// Cached numerator / volume. Only meaningful when ResidueCached().
   double CachedResidueNumerator() const { return cached_numerator_; }
   size_t CachedResidueVolume() const { return cached_volume_; }
 
-  /// Stores a freshly-accumulated numerator/volume pair. `const` because
-  /// caching is an observable-behaviour-preserving optimization performed
-  /// on logically-immutable reads (ResidueEngine::Residue takes the
+  /// Stores a freshly-accumulated numerator/volume pair, stamped with
+  /// the current epoch. `const` because caching is an
+  /// observable-behaviour-preserving optimization performed on
+  /// logically-immutable reads (ResidueEngine::Residue takes the
   /// workspace const).
   void CacheResidue(CachedNormTag norm, double numerator,
                     size_t volume) const {
     cached_norm_ = norm;
     cached_numerator_ = numerator;
     cached_volume_ = volume;
+    cached_epoch_ = epoch_;
   }
 
-  /// Drops the cached residue. Called by every membership mutation;
-  /// public so tests and audits can force the recompute path.
+  /// Drops the cached residue without touching the epoch. Mutations no
+  /// longer need this (the epoch advance un-matches the stamp); public
+  /// so tests and audits can force the recompute path.
   void InvalidateResidue() const { cached_norm_ = CachedNormTag::kNone; }
+
+  // --- Packed pane (used by ResidueEngine's workspace kernels) ---
+
+  /// Returns the packed pane for the current membership, rebuilding it
+  /// if its epoch stamp is stale. The rebuild is one gather pass over
+  /// the submatrix. NOT safe to call concurrently while stale: callers
+  /// that fan evaluations out over threads must call this once per
+  /// cluster on the coordinating thread first (GainDeterminer does);
+  /// once fresh, concurrent calls only read.
+  const PackedPane& EnsurePane() const {
+    if (pane_epoch_ != epoch_) {
+      const DataMatrix& m = view_.matrix();
+      const Cluster& c = view_.cluster();
+      const auto& row_ids = c.row_ids();
+      const auto& col_ids = c.col_ids();
+      size_t n = col_ids.size();
+      pane_.num_cols = n;
+      pane_.values.resize(row_ids.size() * n);
+      pane_.mask.resize(row_ids.size() * n);
+      const double* values = m.raw_values();
+      const uint8_t* mask = m.raw_mask();
+      size_t out = 0;
+      for (uint32_t i : row_ids) {
+        size_t row_off = m.RawIndex(i, 0);
+        for (size_t idx = 0; idx < n; ++idx, ++out) {
+          pane_.values[out] = values[row_off + col_ids[idx]];
+          pane_.mask[out] = mask[row_off + col_ids[idx]];
+        }
+      }
+      pane_epoch_ = epoch_;
+    }
+    return pane_;
+  }
+
+  /// True if the pane is fresh for the current membership (test hook).
+  bool PaneValid() const { return pane_epoch_ == epoch_; }
 
  private:
   ClusterView view_;
+  uint64_t epoch_;
   mutable CachedNormTag cached_norm_ = CachedNormTag::kNone;
   mutable double cached_numerator_ = 0.0;
   mutable size_t cached_volume_ = 0;
+  mutable uint64_t cached_epoch_ = 0;
+  mutable PackedPane pane_;
+  mutable uint64_t pane_epoch_ = 0;
 };
 
 }  // namespace deltaclus

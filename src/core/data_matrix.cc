@@ -13,7 +13,10 @@ DataMatrix::DataMatrix(size_t rows, size_t cols)
       values_(rows * cols, 0.0),
       mask_(rows * cols, 0),
       values_cm_(rows * cols, 0.0),
-      mask_cm_(rows * cols, 0) {}
+      mask_cm_(rows * cols, 0),
+      row_specified_(rows, 0),
+      col_specified_(cols, 0),
+      num_specified_(0) {}
 
 DataMatrix::DataMatrix(size_t rows, size_t cols, double fill)
     : rows_(rows),
@@ -21,7 +24,10 @@ DataMatrix::DataMatrix(size_t rows, size_t cols, double fill)
       values_(rows * cols, fill),
       mask_(rows * cols, 1),
       values_cm_(rows * cols, fill),
-      mask_cm_(rows * cols, 1) {}
+      mask_cm_(rows * cols, 1),
+      row_specified_(rows, cols),
+      col_specified_(cols, rows),
+      num_specified_(rows * cols) {}
 
 DataMatrix DataMatrix::FromRows(
     std::initializer_list<std::initializer_list<double>> rows) {
@@ -63,6 +69,11 @@ std::optional<double> DataMatrix::ValueOrMissing(size_t i, size_t j) const {
 
 void DataMatrix::Set(size_t i, size_t j, double value) {
   DC_DCHECK(i < rows_ && j < cols_) << "Set(" << i << ", " << j << ") out of range";
+  if (mask_[Index(i, j)] == 0) {
+    ++row_specified_[i];
+    ++col_specified_[j];
+    ++num_specified_;
+  }
   values_[Index(i, j)] = value;
   mask_[Index(i, j)] = 1;
   values_cm_[IndexCm(i, j)] = value;
@@ -71,37 +82,30 @@ void DataMatrix::Set(size_t i, size_t j, double value) {
 
 void DataMatrix::SetMissing(size_t i, size_t j) {
   DC_DCHECK(i < rows_ && j < cols_) << "SetMissing(" << i << ", " << j << ") out of range";
+  if (mask_[Index(i, j)] != 0) {
+    --row_specified_[i];
+    --col_specified_[j];
+    --num_specified_;
+  }
   values_[Index(i, j)] = 0.0;
   mask_[Index(i, j)] = 0;
   values_cm_[IndexCm(i, j)] = 0.0;
   mask_cm_[IndexCm(i, j)] = 0;
 }
 
-size_t DataMatrix::NumSpecified() const {
-  size_t count = 0;
-  for (uint8_t m : mask_) count += m;
-  return count;
-}
-
 size_t DataMatrix::NumSpecifiedInRow(size_t i) const {
   DC_DCHECK_LT(i, rows_);
-  size_t count = 0;
-  for (size_t j = 0; j < cols_; ++j) count += mask_[Index(i, j)];
-  return count;
+  return row_specified_[i];
 }
 
 size_t DataMatrix::NumSpecifiedInCol(size_t j) const {
   DC_DCHECK_LT(j, cols_);
-  // Stride-1 on the column-major plane.
-  const uint8_t* col = mask_cm_.data() + IndexCm(0, j);
-  size_t count = 0;
-  for (size_t i = 0; i < rows_; ++i) count += col[i];
-  return count;
+  return col_specified_[j];
 }
 
 double DataMatrix::Density() const {
   if (values_.empty()) return 0.0;
-  return static_cast<double>(NumSpecified()) / values_.size();
+  return static_cast<double>(num_specified_) / values_.size();
 }
 
 DataMatrix DataMatrix::LogTransformed() const {

@@ -77,12 +77,26 @@ class DataMatrix {
   /// Marks entry (i, j) missing.
   void SetMissing(size_t i, size_t j);
 
-  /// Number of specified entries in the whole matrix.
-  size_t NumSpecified() const;
+  /// Number of specified entries in the whole matrix. O(1): the count is
+  /// maintained by every mutation.
+  size_t NumSpecified() const { return num_specified_; }
 
-  /// Number of specified entries in row i / column j.
+  /// Number of specified entries in row i / column j. O(1): per-row and
+  /// per-column counts are maintained by Set/SetMissing so hot loops can
+  /// dispatch to the branch-free dense kernel without rescanning masks.
   size_t NumSpecifiedInRow(size_t i) const;
   size_t NumSpecifiedInCol(size_t j) const;
+
+  /// True when row i / column j / the whole matrix has no missing entry.
+  /// O(1); these are the dense-fast-path dispatch predicates of the gain
+  /// kernels (see DESIGN.md "The gain kernel").
+  bool RowFullySpecified(size_t i) const {
+    return row_specified_[i] == cols_;
+  }
+  bool ColFullySpecified(size_t j) const {
+    return col_specified_[j] == rows_;
+  }
+  bool FullySpecified() const { return num_specified_ == rows_ * cols_; }
 
   /// Fraction of entries that are specified.
   double Density() const;
@@ -126,6 +140,11 @@ class DataMatrix {
   // Column-major mirror of the same entries.
   std::vector<double> values_cm_;
   std::vector<uint8_t> mask_cm_;
+  // Specified-entry counts, maintained by Set/SetMissing: per row, per
+  // column, and in total. They make the dense-path predicates above O(1).
+  std::vector<size_t> row_specified_;
+  std::vector<size_t> col_specified_;
+  size_t num_specified_ = 0;
 };
 
 }  // namespace deltaclus

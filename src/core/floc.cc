@@ -398,14 +398,26 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   // reused across Run() calls -- no per-iteration thread churn.
   engine::ThreadPool* pool = EnsurePool();
   ResidueEngine engine(config_.norm);
-  GainDeterminer determiner(config_.norm, config_.target_residue, pool);
+  // The gain memo shared by the determination and apply sweeps (see
+  // FlocConfig::memoize_gains). Sized for this run's matrix and cluster
+  // count; entries invalidate themselves via epoch stamps, so no
+  // per-iteration clearing is needed.
+  GainMemo gain_memo;
+  GainMemo* memo = nullptr;
+  if (config_.memoize_gains) {
+    gain_memo.Configure(matrix.rows(), matrix.cols(), k);
+    memo = &gain_memo;
+  }
+  GainDeterminer determiner(config_.norm, config_.target_residue, pool,
+                            engine::EngineConfig::kDefaultSerialCutoff, memo,
+                            config_.audit);
   ActionScheduler scheduler(config_.ordering);
   ActionApplier applier(
       config_,
       [](void* self, const ClusterWorkspace& ws) {
         static_cast<const Floc*>(self)->MaybeAudit(ws, "move_phase");
       },
-      this);
+      this, memo);
 
   // The clustering being mutated during an iteration.
   std::vector<ClusterWorkspace> views;

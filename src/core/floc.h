@@ -111,6 +111,17 @@ struct FlocConfig {
   /// an ablation. Stale decisions converge visibly worse.
   bool fresh_gains_at_apply = true;
 
+  /// If true (default), after-toggle residue evaluations are memoized
+  /// per (entity, cluster), keyed by the cluster's membership epoch
+  /// (src/core/gain_memo.h): a sweep re-evaluates only pairs whose
+  /// cluster changed since the last evaluation and serves the rest from
+  /// cache, bit-identical to recomputing (audit mode cross-checks every
+  /// hit). The main beneficiary is the apply sweep's fresh re-decisions,
+  /// which hit the entries the determination sweep just wrote for every
+  /// cluster not yet mutated. Off is an ablation/debugging escape hatch;
+  /// results are identical either way.
+  bool memoize_gains = true;
+
   /// The paper performs a row/column's best action even when its gain is
   /// negative, hoping the temporary degradation enables a bigger gain
   /// later (Section 4.1) -- the per-action best-prefix snapshot bounds

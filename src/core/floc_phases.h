@@ -29,6 +29,7 @@
 #include "src/core/constraints.h"
 #include "src/core/data_matrix.h"
 #include "src/core/floc.h"
+#include "src/core/gain_memo.h"
 #include "src/core/ordering.h"
 #include "src/core/residue.h"
 #include "src/engine/thread_pool.h"
@@ -58,6 +59,14 @@ struct GainContext {
   // When non-null, blocked candidate toggles are tallied by constraint
   // (telemetry collecting); null keeps the boolean constraint path.
   obs::BlockCounts* blocked = nullptr;
+  // When non-null, after-toggle residue evaluations are served from /
+  // stored into this epoch-stamped per-(entity, cluster) memo (see
+  // src/core/gain_memo.h). Blocked pairs bypass the memo entirely;
+  // gains are always re-derived from `scores`, never cached.
+  GainMemo* memo = nullptr;
+  // Audit mode: every memo hit is recomputed and DC_CHECKed bit-equal
+  // to the cached value before being used.
+  bool audit_memo = false;
 };
 
 /// The best of the k candidate actions for one row (is_row) or column:
@@ -80,13 +89,19 @@ class GainDeterminer {
  public:
   /// `pool` is non-owning and may be null (serial). `serial_cutoff` is
   /// the work-item count below which the scan always runs inline.
+  /// `memo` is a non-owning, optional gain memo shared with the apply
+  /// sweep (must be Configure()d for this matrix/cluster-count and
+  /// outlive the determiner); `audit_memo` recomputes every memo hit.
   GainDeterminer(ResidueNorm norm, double target_residue,
                  engine::ThreadPool* pool,
-                 size_t serial_cutoff = engine::EngineConfig::kDefaultSerialCutoff)
+                 size_t serial_cutoff = engine::EngineConfig::kDefaultSerialCutoff,
+                 GainMemo* memo = nullptr, bool audit_memo = false)
       : norm_(norm),
         target_residue_(target_residue),
         pool_(pool),
-        serial_cutoff_(serial_cutoff) {}
+        serial_cutoff_(serial_cutoff),
+        memo_(memo),
+        audit_memo_(audit_memo) {}
 
   /// Returns rows() + cols() actions: rows first (action t targets row t
   /// for t < rows()), then columns. `scores` holds the current
@@ -103,6 +118,8 @@ class GainDeterminer {
   double target_residue_;
   engine::ThreadPool* pool_;
   size_t serial_cutoff_;
+  GainMemo* memo_;
+  bool audit_memo_;
 };
 
 /// Phase-2 step 2: the order in which the N + M determined actions are
@@ -180,9 +197,16 @@ class ActionApplier {
   /// workspace (Floc's audit-mode hook); null disables.
   using ToggleHook = void (*)(void* self, const ClusterWorkspace& ws);
 
+  /// `memo` (optional, non-owning) is the gain memo shared with the
+  /// determiner: the sweep's fresh re-decisions hit the entries the
+  /// determination phase just wrote for every cluster not yet mutated
+  /// this sweep. Audit follows FlocConfig::audit.
   ActionApplier(const FlocConfig& config, ToggleHook after_toggle = nullptr,
-                void* hook_self = nullptr)
-      : config_(&config), after_toggle_(after_toggle), hook_self_(hook_self) {}
+                void* hook_self = nullptr, GainMemo* memo = nullptr)
+      : config_(&config),
+        after_toggle_(after_toggle),
+        hook_self_(hook_self),
+        memo_(memo) {}
 
   /// Runs the sweep; returns the journal of performed toggles in order.
   /// `iteration` feeds the annealing temperature decay.
@@ -199,6 +223,7 @@ class ActionApplier {
   const FlocConfig* config_;
   ToggleHook after_toggle_;
   void* hook_self_;
+  GainMemo* memo_;
 };
 
 }  // namespace deltaclus

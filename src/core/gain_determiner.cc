@@ -1,7 +1,23 @@
 #include "src/core/floc_phases.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/check.h"
 
 namespace deltaclus {
+
+namespace {
+
+// After-toggle evaluations answered by the epoch-stamped gain memo
+// instead of an O(volume) rescan. Together with
+// floc.gain_eval_entries_scanned this measures how much scanning the
+// memoization avoids.
+obs::Counter* GainMemoServedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "floc.gain_evals_served_from_cache");
+  return counter;
+}
+
+}  // namespace
 
 Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
                      ResidueEngine& engine) {
@@ -10,6 +26,9 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
   best.index = index;
   const std::vector<ClusterWorkspace>& views = *ctx.views;
   for (size_t c = 0; c < views.size(); ++c) {
+    // Constraint checks always run fresh: whether a toggle is blocked
+    // depends on *other* clusters (overlap, coverage), which the target
+    // cluster's epoch does not cover.
     if (ctx.blocked != nullptr) {
       BlockReason reason =
           is_row ? ctx.tracker->RowToggleBlockReason(views, c, index)
@@ -24,9 +43,43 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
       if (!allowed) continue;
     }
     size_t new_volume = 0;
-    double after_residue =
-        is_row ? engine.ResidueAfterToggleRow(views[c], index, &new_volume)
-               : engine.ResidueAfterToggleCol(views[c], index, &new_volume);
+    double after_residue;
+    GainMemo::Entry* slot =
+        ctx.memo != nullptr ? &ctx.memo->Slot(is_row, index, c) : nullptr;
+    uint64_t epoch = views[c].epoch();
+    if (slot != nullptr && slot->epoch == epoch) {
+      // Cache hit: the cluster's membership (hence its stats, hence the
+      // whole after-toggle scan) is unchanged since the entry was
+      // stamped, so the stored residue/volume are bit-identical to what
+      // a rescan would produce.
+      after_residue = slot->after_residue;
+      new_volume = slot->new_volume;
+      GainMemoServedCounter()->Inc();
+      if (ctx.audit_memo) {
+        size_t check_volume = 0;
+        double check_residue =
+            is_row
+                ? engine.ResidueAfterToggleRow(views[c], index, &check_volume)
+                : engine.ResidueAfterToggleCol(views[c], index, &check_volume);
+        DC_CHECK(check_residue == after_residue && check_volume == new_volume)
+            << "gain memo drift at (" << (is_row ? "row " : "col ") << index
+            << ", cluster " << c << "): cached residue=" << after_residue
+            << " volume=" << new_volume << " vs recomputed "
+            << check_residue << " / " << check_volume;
+      }
+    } else {
+      after_residue =
+          is_row ? engine.ResidueAfterToggleRow(views[c], index, &new_volume)
+                 : engine.ResidueAfterToggleCol(views[c], index, &new_volume);
+      if (slot != nullptr) {
+        slot->epoch = epoch;
+        slot->after_residue = after_residue;
+        slot->new_volume = new_volume;
+      }
+    }
+    // The gain is re-derived from the *current* score vector even on
+    // hits: scores move whenever any cluster's residue moves, and the
+    // epoch only vouches for this cluster's membership.
     double after_score =
         ObjectiveScore(after_residue, new_volume, ctx.target_residue);
     double gain = (*ctx.scores)[c] - after_score;
@@ -47,6 +100,11 @@ std::vector<Action> GainDeterminer::Determine(
   size_t total = num_rows + matrix.cols();
   std::vector<Action> actions(total);
 
+  // Build every cluster's packed pane on the coordinating thread before
+  // fanning out: pane fills are not thread-safe, but once the epoch
+  // stamp matches, the shard bodies' EnsurePane calls are read-only.
+  for (const ClusterWorkspace& ws : views) ws.EnsurePane();
+
   // Per-shard blocked-toggle tallies, merged in shard order after the
   // sweep. Shard count is a function of `total` only, so the merged
   // counts -- like the action vector -- are identical at any pool size.
@@ -57,7 +115,8 @@ std::vector<Action> GainDeterminer::Determine(
       pool_, total,
       [&](size_t begin, size_t end, size_t shard) {
         GainContext ctx{&views, &scores, &tracker, target_residue_,
-                        blocked != nullptr ? &shard_counts[shard] : nullptr};
+                        blocked != nullptr ? &shard_counts[shard] : nullptr,
+                        memo_, audit_memo_};
         // Per-shard scratch: ResidueEngine's buffers must not be shared
         // across threads, and construction is trivial next to the scan.
         ResidueEngine engine(norm_);

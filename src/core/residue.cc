@@ -23,6 +23,148 @@ obs::Counter* GainEvalEntriesCounter() {
   return counter;
 }
 
+// Of those, the entries accumulated by the branch-free dense kernel
+// (rows fully specified over the visited columns). The ratio of this to
+// floc.gain_eval_entries_scanned is the dense-path coverage of a run.
+obs::Counter* GainEvalEntriesDenseCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "floc.gain_eval_entries_dense");
+  return counter;
+}
+
+// Per-entry contribution to the residue numerator in the given norm.
+template <bool kSquared>
+inline double Contribution(double value, double row_base, double col_base,
+                           double cluster_base) {
+  double r = value - row_base - col_base + cluster_base;
+  if (kSquared) return r * r;
+  // std::fabs compiles to a branchless sign-bit mask. A conditional
+  // negation here costs a data-dependent branch per entry, and residue
+  // signs are close to a coin flip -- the mispredictions dominate the
+  // whole scan.
+  return std::fabs(r);
+}
+
+// Lane-split row passes (DESIGN.md "The gain kernel"). Both accumulate a
+// row's contributions into four independent lanes -- the p-th *visited*
+// entry lands in lane p mod 4 -- and reduce as (l0 + l1) + (l2 + l3).
+// Four accumulators break the loop-carried FP-add dependency chain (the
+// scalar kernel's bottleneck), letting the adds pipeline; tying the lane
+// index to visit order (not memory position) makes the two passes
+// bit-identical whenever every visited entry is specified, so dispatch
+// between them can never change a result.
+
+// Masked pass: skips unspecified entries; p counts only visited ones.
+template <bool kSquared>
+inline double RowPassMasked(const double* values, const uint8_t* mask,
+                            size_t row_off, const uint32_t* cols,
+                            const double* col_bases, size_t n,
+                            double row_base, double cluster_base) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t p = 0;
+  for (size_t idx = 0; idx < n; ++idx) {
+    size_t pos = row_off + cols[idx];
+    if (!mask[pos]) continue;
+    lanes[p & 3] += Contribution<kSquared>(values[pos], row_base,
+                                           col_bases[idx], cluster_base);
+    ++p;
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// Dense pass: no mask reads, no branches; with every entry specified,
+// visit order equals position order, so lane idx mod 4 reproduces the
+// masked pass's lane pattern exactly.
+template <bool kSquared>
+inline double RowPassDense(const double* values, size_t row_off,
+                           const uint32_t* cols, const double* col_bases,
+                           size_t n, double row_base, double cluster_base) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  size_t idx = 0;
+  for (; idx + 4 <= n; idx += 4) {
+    l0 += Contribution<kSquared>(values[row_off + cols[idx + 0]], row_base,
+                                 col_bases[idx + 0], cluster_base);
+    l1 += Contribution<kSquared>(values[row_off + cols[idx + 1]], row_base,
+                                 col_bases[idx + 1], cluster_base);
+    l2 += Contribution<kSquared>(values[row_off + cols[idx + 2]], row_base,
+                                 col_bases[idx + 2], cluster_base);
+    l3 += Contribution<kSquared>(values[row_off + cols[idx + 3]], row_base,
+                                 col_bases[idx + 3], cluster_base);
+  }
+  double lanes[4] = {l0, l1, l2, l3};
+  for (; idx < n; ++idx) {
+    lanes[idx & 3] += Contribution<kSquared>(values[row_off + cols[idx]],
+                                             row_base, col_bases[idx],
+                                             cluster_base);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+// Segment passes over the packed pane (ClusterWorkspace::EnsurePane).
+// These stream a contiguous slice of a pane row -- no column-id gather,
+// so the compiler vectorizes the dense body -- while carrying the lane
+// phase in LaneAcc across segments: the p-th entry *visited across all
+// of a row's segments* lands in lane p mod 4, and each lane accumulates
+// its entries in visit order. That makes any segmentation of a row's
+// visit sequence (full row; two slices around an excluded column; a
+// slice plus one appended entry) produce per-lane addition chains
+// identical to the single-pass gather kernels above, hence bit-identical
+// reductions.
+struct LaneAcc {
+  double l[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t p = 0;  // entries visited so far (lane phase)
+  double Reduce() const { return (l[0] + l[1]) + (l[2] + l[3]); }
+};
+
+// Dense segment: every entry specified, no mask reads.
+template <bool kSquared>
+inline void SegPassDense(const double* values, const double* col_bases,
+                         size_t n, double row_base, double cluster_base,
+                         LaneAcc& acc) {
+  size_t k = 0;
+  // Peel to a lane-0 boundary so the unrolled body maps offset to lane
+  // without tracking the phase per iteration.
+  for (; (acc.p & 3) != 0 && k < n; ++k, ++acc.p) {
+    acc.l[acc.p & 3] += Contribution<kSquared>(values[k], row_base,
+                                               col_bases[k], cluster_base);
+  }
+  double l0 = acc.l[0], l1 = acc.l[1], l2 = acc.l[2], l3 = acc.l[3];
+  size_t unrolled_start = k;
+  for (; k + 4 <= n; k += 4) {
+    l0 += Contribution<kSquared>(values[k + 0], row_base, col_bases[k + 0],
+                                 cluster_base);
+    l1 += Contribution<kSquared>(values[k + 1], row_base, col_bases[k + 1],
+                                 cluster_base);
+    l2 += Contribution<kSquared>(values[k + 2], row_base, col_bases[k + 2],
+                                 cluster_base);
+    l3 += Contribution<kSquared>(values[k + 3], row_base, col_bases[k + 3],
+                                 cluster_base);
+  }
+  acc.p += k - unrolled_start;
+  acc.l[0] = l0;
+  acc.l[1] = l1;
+  acc.l[2] = l2;
+  acc.l[3] = l3;
+  for (; k < n; ++k, ++acc.p) {
+    acc.l[acc.p & 3] += Contribution<kSquared>(values[k], row_base,
+                                               col_bases[k], cluster_base);
+  }
+}
+
+// Masked segment: skips unspecified entries; the phase advances only on
+// visited ones, exactly like RowPassMasked.
+template <bool kSquared>
+inline void SegPassMasked(const double* values, const uint8_t* mask,
+                          const double* col_bases, size_t n, double row_base,
+                          double cluster_base, LaneAcc& acc) {
+  for (size_t k = 0; k < n; ++k) {
+    if (!mask[k]) continue;
+    acc.l[acc.p & 3] += Contribution<kSquared>(values[k], row_base,
+                                               col_bases[k], cluster_base);
+    ++acc.p;
+  }
+}
+
 }  // namespace
 
 size_t VolumeNaive(const DataMatrix& m, const Cluster& c) {
@@ -101,11 +243,19 @@ double ResidueEngine::Residue(const ClusterView& view) {
 double ResidueEngine::Residue(const ClusterWorkspace& ws) {
   CachedNormTag tag = TagFor(norm_);
   if (!ws.ResidueCached(tag)) {
-    // Cache miss: one full scan, identical to the ClusterView path, then
-    // remember its numerator/volume so repeated reads are O(1).
+    // Cache miss: one full pane scan (bit-identical to the ClusterView
+    // gather path), then remember its numerator/volume (stamped with the
+    // membership epoch) so repeated reads are O(1).
     size_t volume = ws.stats().Volume();
-    double numerator = volume == 0 ? 0.0 : ResidueNumerator(ws.view());
+    double numerator =
+        volume == 0 ? 0.0
+                    : (norm_ == ResidueNorm::kMeanSquared
+                           ? NumeratorPaneImpl<true>(ws)
+                           : NumeratorPaneImpl<false>(ws));
     GainEvalEntriesCounter()->Inc(volume);
+    if (dense_entries_last_scan_ != 0) {
+      GainEvalEntriesDenseCounter()->Inc(dense_entries_last_scan_);
+    }
     ws.CacheResidue(tag, numerator, volume);
   }
   size_t volume = ws.CachedResidueVolume();
@@ -114,31 +264,47 @@ double ResidueEngine::Residue(const ClusterWorkspace& ws) {
 }
 
 double ResidueEngine::ResidueNumerator(const ClusterView& view) {
+  return norm_ == ResidueNorm::kMeanSquared ? NumeratorImpl<true>(view)
+                                            : NumeratorImpl<false>(view);
+}
+
+template <bool kSquared>
+double ResidueEngine::NumeratorImpl(const ClusterView& view) {
   const DataMatrix& m = view.matrix();
   const Cluster& c = view.cluster();
   const ClusterStats& stats = view.stats();
+  dense_entries_last_scan_ = 0;
   if (stats.Volume() == 0) return 0.0;
 
   const auto& col_ids = c.col_ids();
-  scratch_col_base_.resize(col_ids.size());
-  for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+  size_t n = col_ids.size();
+  scratch_col_base_.resize(n);
+  for (size_t idx = 0; idx < n; ++idx) {
     scratch_col_base_[idx] = stats.ColBase(col_ids[idx]);
   }
   double cluster_base = stats.ClusterBase();
 
   const double* values = m.raw_values();
   const uint8_t* mask = m.raw_mask();
+  const uint32_t* cols = col_ids.data();
+  const double* col_bases = scratch_col_base_.data();
   double acc = 0.0;
+  size_t dense_entries = 0;
   for (uint32_t i : c.row_ids()) {
     size_t row_off = m.RawIndex(i, 0);
     double row_base = stats.RowBase(i);
-    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
-      size_t pos = row_off + col_ids[idx];
-      if (!mask[pos]) continue;
-      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
-                        cluster_base);
+    // A member row whose specified count over the cluster's columns
+    // equals |J| has no gaps to skip: take the branch-free pass.
+    if (stats.RowCount(i) == n) {
+      acc += RowPassDense<kSquared>(values, row_off, cols, col_bases, n,
+                                    row_base, cluster_base);
+      dense_entries += n;
+    } else {
+      acc += RowPassMasked<kSquared>(values, mask, row_off, cols, col_bases,
+                                     n, row_base, cluster_base);
     }
   }
+  dense_entries_last_scan_ = dense_entries;
   return acc;
 }
 
@@ -146,10 +312,15 @@ double ResidueEngine::ResidueAfterToggleRow(const ClusterWorkspace& ws,
                                             size_t i,
                                             size_t* new_volume_out) {
   size_t new_volume = 0;
-  double residue = ResidueAfterToggleRow(ws.view(), i, &new_volume);
+  double residue = norm_ == ResidueNorm::kMeanSquared
+                       ? AfterToggleRowPaneImpl<true>(ws, i, &new_volume)
+                       : AfterToggleRowPaneImpl<false>(ws, i, &new_volume);
   // The after-toggle scan visits exactly the post-toggle cluster's
   // specified entries.
   GainEvalEntriesCounter()->Inc(new_volume);
+  if (dense_entries_last_scan_ != 0) {
+    GainEvalEntriesDenseCounter()->Inc(dense_entries_last_scan_);
+  }
   if (new_volume_out != nullptr) *new_volume_out = new_volume;
   return residue;
 }
@@ -158,20 +329,34 @@ double ResidueEngine::ResidueAfterToggleCol(const ClusterWorkspace& ws,
                                             size_t j,
                                             size_t* new_volume_out) {
   size_t new_volume = 0;
-  double residue = ResidueAfterToggleCol(ws.view(), j, &new_volume);
+  double residue = norm_ == ResidueNorm::kMeanSquared
+                       ? AfterToggleColPaneImpl<true>(ws, j, &new_volume)
+                       : AfterToggleColPaneImpl<false>(ws, j, &new_volume);
   GainEvalEntriesCounter()->Inc(new_volume);
+  if (dense_entries_last_scan_ != 0) {
+    GainEvalEntriesDenseCounter()->Inc(dense_entries_last_scan_);
+  }
   if (new_volume_out != nullptr) *new_volume_out = new_volume;
   return residue;
 }
 
 double ResidueEngine::ResidueAfterToggleRow(const ClusterView& view, size_t i,
                                             size_t* new_volume_out) {
+  return norm_ == ResidueNorm::kMeanSquared
+             ? AfterToggleRowImpl<true>(view, i, new_volume_out)
+             : AfterToggleRowImpl<false>(view, i, new_volume_out);
+}
+
+template <bool kSquared>
+double ResidueEngine::AfterToggleRowImpl(const ClusterView& view, size_t i,
+                                         size_t* new_volume_out) {
   const DataMatrix& m = view.matrix();
   const Cluster& c = view.cluster();
   const ClusterStats& stats = view.stats();
   const auto& col_ids = c.col_ids();
   const double* values = m.raw_values();
   const uint8_t* mask = m.raw_mask();
+  dense_entries_last_scan_ = 0;
 
   bool removing = c.HasRow(i);
   size_t row_off = m.RawIndex(i, 0);
@@ -194,13 +379,15 @@ double ResidueEngine::ResidueAfterToggleRow(const ClusterView& view, size_t i,
   if (new_volume == 0) return 0.0;
   double cluster_base = new_total / new_volume;
 
+  size_t n = col_ids.size();
   // Adjusted column bases: only the columns where row i is specified move.
-  scratch_col_base_.resize(col_ids.size());
-  for (size_t idx = 0; idx < col_ids.size(); ++idx) {
+  scratch_col_base_.resize(n);
+  bool row_i_dense = toggled_cnt == n;
+  for (size_t idx = 0; idx < n; ++idx) {
     uint32_t j = col_ids[idx];
     double sum = stats.ColSum(j);
     size_t cnt = stats.ColCount(j);
-    if (mask[row_off + j]) {
+    if (row_i_dense || mask[row_off + j]) {
       double v = values[row_off + j];
       if (removing) {
         sum -= v;
@@ -213,34 +400,50 @@ double ResidueEngine::ResidueAfterToggleRow(const ClusterView& view, size_t i,
     scratch_col_base_[idx] = cnt == 0 ? 0.0 : sum / cnt;
   }
 
+  const uint32_t* cols = col_ids.data();
+  const double* col_bases = scratch_col_base_.data();
   double acc = 0.0;
+  size_t dense_entries = 0;
   // Existing member rows (their row bases are unchanged by a row toggle).
   for (uint32_t r : c.row_ids()) {
     if (removing && r == i) continue;
     size_t off = m.RawIndex(r, 0);
     double row_base = stats.RowBase(r);
-    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
-      size_t pos = off + col_ids[idx];
-      if (!mask[pos]) continue;
-      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
-                        cluster_base);
+    if (stats.RowCount(r) == n) {
+      acc += RowPassDense<kSquared>(values, off, cols, col_bases, n,
+                                    row_base, cluster_base);
+      dense_entries += n;
+    } else {
+      acc += RowPassMasked<kSquared>(values, mask, off, cols, col_bases, n,
+                                     row_base, cluster_base);
     }
   }
   // The newly-added row, if this is an addition.
   if (!removing && toggled_cnt > 0) {
     double row_base = toggled_sum / toggled_cnt;
-    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
-      size_t pos = row_off + col_ids[idx];
-      if (!mask[pos]) continue;
-      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
-                        cluster_base);
+    if (row_i_dense) {
+      acc += RowPassDense<kSquared>(values, row_off, cols, col_bases, n,
+                                    row_base, cluster_base);
+      dense_entries += n;
+    } else {
+      acc += RowPassMasked<kSquared>(values, mask, row_off, cols, col_bases,
+                                     n, row_base, cluster_base);
     }
   }
+  dense_entries_last_scan_ = dense_entries;
   return acc / new_volume;
 }
 
 double ResidueEngine::ResidueAfterToggleCol(const ClusterView& view, size_t j,
                                             size_t* new_volume_out) {
+  return norm_ == ResidueNorm::kMeanSquared
+             ? AfterToggleColImpl<true>(view, j, new_volume_out)
+             : AfterToggleColImpl<false>(view, j, new_volume_out);
+}
+
+template <bool kSquared>
+double ResidueEngine::AfterToggleColImpl(const ClusterView& view, size_t j,
+                                         size_t* new_volume_out) {
   const DataMatrix& m = view.matrix();
   const Cluster& c = view.cluster();
   const ClusterStats& stats = view.stats();
@@ -248,6 +451,7 @@ double ResidueEngine::ResidueAfterToggleCol(const ClusterView& view, size_t j,
   const auto& row_ids = c.row_ids();
   const double* values = m.raw_values();
   const uint8_t* mask = m.raw_mask();
+  dense_entries_last_scan_ = 0;
 
   bool removing = c.HasCol(j);
 
@@ -268,24 +472,43 @@ double ResidueEngine::ResidueAfterToggleCol(const ClusterView& view, size_t j,
   if (new_volume == 0) return 0.0;
   double cluster_base = new_total / new_volume;
 
-  // Column bases of surviving member columns are unchanged by a column
-  // toggle; cache them once.
-  scratch_col_base_.resize(col_ids.size());
-  for (size_t idx = 0; idx < col_ids.size(); ++idx) {
-    scratch_col_base_[idx] = stats.ColBase(col_ids[idx]);
-  }
+  // The post-toggle column set, compacted into a visited-column list with
+  // its bases: member columns (minus j on removal, their bases unchanged
+  // by a column toggle), plus j appended last on addition -- the same
+  // visit order per row as toggling for real and rescanning.
   double toggled_col_base =
       toggled_cnt == 0 ? 0.0 : toggled_sum / toggled_cnt;
+  scratch_cols_.clear();
+  scratch_col_base_.clear();
+  for (uint32_t col : col_ids) {
+    if (removing && col == j) continue;
+    scratch_cols_.push_back(col);
+    scratch_col_base_.push_back(stats.ColBase(col));
+  }
+  if (!removing) {
+    scratch_cols_.push_back(static_cast<uint32_t>(j));
+    scratch_col_base_.push_back(toggled_col_base);
+  }
+  size_t n = scratch_cols_.size();
+  const uint32_t* cols = scratch_cols_.data();
+  const double* col_bases = scratch_col_base_.data();
+
+  // Column j's entries, read stride-1 on the column-major plane (the
+  // row-major reads would hop a full row stride per member row).
+  const double* col_values_j = m.raw_values_cm() + m.RawIndexCm(0, j);
+  const uint8_t* col_mask_j = m.raw_mask_cm() + m.RawIndexCm(0, j);
 
   double acc = 0.0;
+  size_t dense_entries = 0;
   for (uint32_t i : row_ids) {
     size_t off = m.RawIndex(i, 0);
-    // Adjusted row base: moves only if (i, j) is specified.
+    // Adjusted row base: moves only if (i, j) is specified. row_cnt
+    // becomes the row's specified count over the post-toggle column
+    // set, which doubles as the dense-dispatch predicate below.
     double row_sum = stats.RowSum(i);
     size_t row_cnt = stats.RowCount(i);
-    size_t pos_j = off + j;
-    if (mask[pos_j]) {
-      double v = values[pos_j];
+    if (col_mask_j[i]) {
+      double v = col_values_j[i];
       if (removing) {
         row_sum -= v;
         --row_cnt;
@@ -296,19 +519,274 @@ double ResidueEngine::ResidueAfterToggleCol(const ClusterView& view, size_t j,
     }
     double row_base = row_cnt == 0 ? 0.0 : row_sum / row_cnt;
 
-    for (size_t idx = 0; idx < col_ids.size(); ++idx) {
-      uint32_t col = col_ids[idx];
-      if (removing && col == j) continue;
-      size_t pos = off + col;
-      if (!mask[pos]) continue;
-      acc += Accumulate(values[pos], row_base, scratch_col_base_[idx],
-                        cluster_base);
-    }
-    if (!removing && mask[pos_j]) {
-      acc += Accumulate(values[pos_j], row_base, toggled_col_base,
-                        cluster_base);
+    if (row_cnt == n) {
+      acc += RowPassDense<kSquared>(values, off, cols, col_bases, n,
+                                    row_base, cluster_base);
+      dense_entries += n;
+    } else {
+      acc += RowPassMasked<kSquared>(values, mask, off, cols, col_bases, n,
+                                     row_base, cluster_base);
     }
   }
+  dense_entries_last_scan_ = dense_entries;
+  return acc / new_volume;
+}
+
+// ---------------------------------------------------------------------------
+// Pane kernels: the ClusterWorkspace paths. Same scan semantics as the
+// view impls above, but member rows stream from the workspace's packed
+// pane (contiguous, vectorizable) instead of gathering through the
+// column-id list. Entries outside the pane -- a row being added, or the
+// column being added -- are the only gathered reads, and they are O(|J|)
+// / O(|I|) per evaluation.
+// ---------------------------------------------------------------------------
+
+template <bool kSquared>
+double ResidueEngine::NumeratorPaneImpl(const ClusterWorkspace& ws) {
+  const Cluster& c = ws.cluster();
+  const ClusterStats& stats = ws.stats();
+  dense_entries_last_scan_ = 0;
+  if (stats.Volume() == 0) return 0.0;
+
+  const PackedPane& pane = ws.EnsurePane();
+  const auto& col_ids = c.col_ids();
+  const auto& row_ids = c.row_ids();
+  size_t n = col_ids.size();
+  scratch_col_base_.resize(n);
+  for (size_t idx = 0; idx < n; ++idx) {
+    scratch_col_base_[idx] = stats.ColBase(col_ids[idx]);
+  }
+  double cluster_base = stats.ClusterBase();
+  const double* col_bases = scratch_col_base_.data();
+
+  double acc = 0.0;
+  size_t dense_entries = 0;
+  for (size_t pr = 0; pr < row_ids.size(); ++pr) {
+    uint32_t i = row_ids[pr];
+    double row_base = stats.RowBase(i);
+    LaneAcc lanes;
+    if (stats.RowCount(i) == n) {
+      SegPassDense<kSquared>(pane.Row(pr), col_bases, n, row_base,
+                             cluster_base, lanes);
+      dense_entries += n;
+    } else {
+      SegPassMasked<kSquared>(pane.Row(pr), pane.MaskRow(pr), col_bases, n,
+                              row_base, cluster_base, lanes);
+    }
+    acc += lanes.Reduce();
+  }
+  dense_entries_last_scan_ = dense_entries;
+  return acc;
+}
+
+template <bool kSquared>
+double ResidueEngine::AfterToggleRowPaneImpl(const ClusterWorkspace& ws,
+                                             size_t i,
+                                             size_t* new_volume_out) {
+  const DataMatrix& m = ws.matrix();
+  const Cluster& c = ws.cluster();
+  const ClusterStats& stats = ws.stats();
+  const auto& col_ids = c.col_ids();
+  const auto& row_ids = c.row_ids();
+  const double* values = m.raw_values();
+  const uint8_t* mask = m.raw_mask();
+  dense_entries_last_scan_ = 0;
+
+  bool removing = c.HasRow(i);
+  size_t row_off = m.RawIndex(i, 0);
+
+  double toggled_sum;
+  size_t toggled_cnt;
+  if (removing) {
+    toggled_sum = stats.RowSum(i);
+    toggled_cnt = stats.RowCount(i);
+  } else {
+    ClusterStats::RowSumOverCols(m, col_ids, i, &toggled_sum, &toggled_cnt);
+  }
+
+  double new_total =
+      removing ? stats.Total() - toggled_sum : stats.Total() + toggled_sum;
+  size_t new_volume =
+      removing ? stats.Volume() - toggled_cnt : stats.Volume() + toggled_cnt;
+  if (new_volume_out != nullptr) *new_volume_out = new_volume;
+  if (new_volume == 0) return 0.0;
+  double cluster_base = new_total / new_volume;
+
+  size_t n = col_ids.size();
+  // Adjusted column bases, exactly as the gather path builds them.
+  scratch_col_base_.resize(n);
+  bool row_i_dense = toggled_cnt == n;
+  for (size_t idx = 0; idx < n; ++idx) {
+    uint32_t jcol = col_ids[idx];
+    double sum = stats.ColSum(jcol);
+    size_t cnt = stats.ColCount(jcol);
+    if (row_i_dense || mask[row_off + jcol]) {
+      double v = values[row_off + jcol];
+      if (removing) {
+        sum -= v;
+        --cnt;
+      } else {
+        sum += v;
+        ++cnt;
+      }
+    }
+    scratch_col_base_[idx] = cnt == 0 ? 0.0 : sum / cnt;
+  }
+  const double* col_bases = scratch_col_base_.data();
+
+  const PackedPane& pane = ws.EnsurePane();
+  double acc = 0.0;
+  size_t dense_entries = 0;
+  // Existing member rows stream from the pane (their row bases are
+  // unchanged by a row toggle); on removal, row i's pane row is skipped.
+  for (size_t pr = 0; pr < row_ids.size(); ++pr) {
+    uint32_t r = row_ids[pr];
+    if (removing && r == i) continue;
+    double row_base = stats.RowBase(r);
+    LaneAcc lanes;
+    if (stats.RowCount(r) == n) {
+      SegPassDense<kSquared>(pane.Row(pr), col_bases, n, row_base,
+                             cluster_base, lanes);
+      dense_entries += n;
+    } else {
+      SegPassMasked<kSquared>(pane.Row(pr), pane.MaskRow(pr), col_bases, n,
+                              row_base, cluster_base, lanes);
+    }
+    acc += lanes.Reduce();
+  }
+  // The newly-added row lives outside the pane: one gathered row pass.
+  if (!removing && toggled_cnt > 0) {
+    double row_base = toggled_sum / toggled_cnt;
+    const uint32_t* cols = col_ids.data();
+    if (row_i_dense) {
+      acc += RowPassDense<kSquared>(values, row_off, cols, col_bases, n,
+                                    row_base, cluster_base);
+      dense_entries += n;
+    } else {
+      acc += RowPassMasked<kSquared>(values, mask, row_off, cols, col_bases,
+                                     n, row_base, cluster_base);
+    }
+  }
+  dense_entries_last_scan_ = dense_entries;
+  return acc / new_volume;
+}
+
+template <bool kSquared>
+double ResidueEngine::AfterToggleColPaneImpl(const ClusterWorkspace& ws,
+                                             size_t j,
+                                             size_t* new_volume_out) {
+  const DataMatrix& m = ws.matrix();
+  const Cluster& c = ws.cluster();
+  const ClusterStats& stats = ws.stats();
+  const auto& col_ids = c.col_ids();
+  const auto& row_ids = c.row_ids();
+  dense_entries_last_scan_ = 0;
+
+  bool removing = c.HasCol(j);
+
+  double toggled_sum;
+  size_t toggled_cnt;
+  if (removing) {
+    toggled_sum = stats.ColSum(j);
+    toggled_cnt = stats.ColCount(j);
+  } else {
+    ClusterStats::ColSumOverRows(m, row_ids, j, &toggled_sum, &toggled_cnt);
+  }
+
+  double new_total =
+      removing ? stats.Total() - toggled_sum : stats.Total() + toggled_sum;
+  size_t new_volume =
+      removing ? stats.Volume() - toggled_cnt : stats.Volume() + toggled_cnt;
+  if (new_volume_out != nullptr) *new_volume_out = new_volume;
+  if (new_volume == 0) return 0.0;
+  double cluster_base = new_total / new_volume;
+  double toggled_col_base =
+      toggled_cnt == 0 ? 0.0 : toggled_sum / toggled_cnt;
+
+  // Compacted visited-column bases in pane-column order (skipping j on
+  // removal, appending j's base on addition), exactly as the gather path
+  // builds them. `jj` is j's position within the pane on removal, which
+  // splits each pane row into two contiguous segments; the lane phase
+  // carried across the split keeps the visit sequence -- and hence the
+  // per-lane addition chains -- identical to the single-pass scan.
+  size_t n_pane = col_ids.size();
+  size_t jj = n_pane;
+  scratch_col_base_.clear();
+  for (size_t idx = 0; idx < n_pane; ++idx) {
+    if (removing && col_ids[idx] == j) {
+      jj = idx;
+      continue;
+    }
+    scratch_col_base_.push_back(stats.ColBase(col_ids[idx]));
+  }
+  if (!removing) scratch_col_base_.push_back(toggled_col_base);
+  size_t n = scratch_col_base_.size();
+  const double* col_bases = scratch_col_base_.data();
+
+  // Column j's entries, read stride-1 on the column-major plane.
+  const double* col_values_j = m.raw_values_cm() + m.RawIndexCm(0, j);
+  const uint8_t* col_mask_j = m.raw_mask_cm() + m.RawIndexCm(0, j);
+
+  const PackedPane& pane = ws.EnsurePane();
+  double acc = 0.0;
+  size_t dense_entries = 0;
+  for (size_t pr = 0; pr < row_ids.size(); ++pr) {
+    uint32_t i = row_ids[pr];
+    // Adjusted row base: moves only if (i, j) is specified. row_cnt
+    // becomes the row's specified count over the post-toggle column
+    // set, which doubles as the dense-dispatch predicate.
+    double row_sum = stats.RowSum(i);
+    size_t row_cnt = stats.RowCount(i);
+    if (col_mask_j[i]) {
+      double v = col_values_j[i];
+      if (removing) {
+        row_sum -= v;
+        --row_cnt;
+      } else {
+        row_sum += v;
+        ++row_cnt;
+      }
+    }
+    double row_base = row_cnt == 0 ? 0.0 : row_sum / row_cnt;
+
+    const double* row = pane.Row(pr);
+    const uint8_t* mrow = pane.MaskRow(pr);
+    bool dense = row_cnt == n;
+    LaneAcc lanes;
+    if (removing) {
+      if (dense) {
+        SegPassDense<kSquared>(row, col_bases, jj, row_base, cluster_base,
+                               lanes);
+        SegPassDense<kSquared>(row + jj + 1, col_bases + jj,
+                               n_pane - jj - 1, row_base, cluster_base,
+                               lanes);
+      } else {
+        SegPassMasked<kSquared>(row, mrow, col_bases, jj, row_base,
+                                cluster_base, lanes);
+        SegPassMasked<kSquared>(row + jj + 1, mrow + jj + 1, col_bases + jj,
+                                n_pane - jj - 1, row_base, cluster_base,
+                                lanes);
+      }
+    } else {
+      if (dense) {
+        SegPassDense<kSquared>(row, col_bases, n_pane, row_base,
+                               cluster_base, lanes);
+      } else {
+        SegPassMasked<kSquared>(row, mrow, col_bases, n_pane, row_base,
+                                cluster_base, lanes);
+      }
+      // Column j is outside the pane; it is visited last, matching the
+      // gather path's compacted column order.
+      if (col_mask_j[i]) {
+        lanes.l[lanes.p & 3] += Contribution<kSquared>(
+            col_values_j[i], row_base, toggled_col_base, cluster_base);
+        ++lanes.p;
+      }
+    }
+    if (dense) dense_entries += n;
+    acc += lanes.Reduce();
+  }
+  dense_entries_last_scan_ = dense_entries;
   return acc / new_volume;
 }
 

@@ -77,6 +77,18 @@ inline size_t ShardCount(size_t total, size_t grain) {
   return grain == 0 ? 0 : (total + grain - 1) / grain;
 }
 
+/// The shard an item index lands in under the default grain for `total`
+/// items. Because shard boundaries are a function of `total` only, this
+/// mapping is *stable* across worker counts and across sweeps of the
+/// same total -- which is what lets caches partitioned along the item
+/// axis (e.g. the gain memo's entity-major entry stripes,
+/// src/core/gain_memo.h) be written by parallel shards without locks:
+/// the same item always belongs to the same shard, and distinct shards
+/// own disjoint index ranges.
+inline size_t ShardOf(size_t index, size_t total) {
+  return index / ShardGrain(total);
+}
+
 class ThreadPool {
  public:
   /// Body of one shard: the half-open item range [begin, end) plus the

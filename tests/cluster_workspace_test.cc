@@ -167,5 +167,56 @@ TEST(ClusterWorkspaceTest, EmptyClusterHasZeroResidue) {
   EXPECT_EQ(ws.CachedResidueVolume(), 0u);
 }
 
+TEST(ClusterWorkspaceTest, AlternatingNormsNeverServeStaleNumerators) {
+  // The cross-norm interplay the residue cache must survive: one
+  // workspace queried by a kMeanAbsolute engine and a kMeanSquared
+  // engine back and forth, with mutations in between. Each read must be
+  // bit-identical to a fresh rescan under that engine's norm -- a cached
+  // numerator accumulated under the other norm must never leak through.
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  ClusterView view(m, SmallCluster());
+  ResidueEngine abs_engine(ResidueNorm::kMeanAbsolute);
+  ResidueEngine sq_engine(ResidueNorm::kMeanSquared);
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(abs_engine.Residue(ws), abs_engine.Residue(view));
+    ASSERT_EQ(sq_engine.Residue(ws), sq_engine.Residue(view));
+    ASSERT_EQ(abs_engine.Residue(ws), abs_engine.Residue(view));
+    size_t i = static_cast<size_t>(round) % m.rows();
+    ws.ToggleRow(i);
+    view.ToggleRow(i);
+  }
+}
+
+TEST(ClusterWorkspaceTest, PaneTracksMembershipEpoch) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  EXPECT_FALSE(ws.PaneValid());
+  const PackedPane& pane = ws.EnsurePane();
+  EXPECT_TRUE(ws.PaneValid());
+
+  // Packed in row_ids x col_ids order, mirroring values and mask.
+  const Cluster& c = ws.cluster();
+  ASSERT_EQ(pane.num_cols, c.col_ids().size());
+  ASSERT_EQ(pane.values.size(), c.row_ids().size() * c.col_ids().size());
+  for (size_t pr = 0; pr < c.row_ids().size(); ++pr) {
+    for (size_t pc = 0; pc < c.col_ids().size(); ++pc) {
+      size_t i = c.row_ids()[pr];
+      size_t j = c.col_ids()[pc];
+      EXPECT_EQ(pane.MaskRow(pr)[pc] != 0, m.IsSpecified(i, j));
+      if (m.IsSpecified(i, j)) {
+        EXPECT_EQ(pane.Row(pr)[pc], m.Value(i, j));
+      }
+    }
+  }
+
+  // Mutations stale the pane; EnsurePane rebuilds for the new shape.
+  ws.ToggleCol(1);
+  EXPECT_FALSE(ws.PaneValid());
+  const PackedPane& rebuilt = ws.EnsurePane();
+  EXPECT_TRUE(ws.PaneValid());
+  EXPECT_EQ(rebuilt.num_cols, ws.cluster().col_ids().size());
+}
+
 }  // namespace
 }  // namespace deltaclus

@@ -105,6 +105,58 @@ TEST(DataMatrixTest, RowAndColCounts) {
   EXPECT_EQ(m.NumSpecifiedInCol(2), 2u);
 }
 
+TEST(DataMatrixTest, CountsTrackSetAndSetMissingTransitions) {
+  // The O(1) specified-count bookkeeping behind the dense-kernel
+  // dispatch: counts move only on mask *transitions*, not on every call.
+  DataMatrix m(2, 3);
+  EXPECT_FALSE(m.RowFullySpecified(0));
+  EXPECT_FALSE(m.ColFullySpecified(0));
+  EXPECT_FALSE(m.FullySpecified());
+
+  m.Set(0, 0, 1.0);
+  m.Set(0, 0, 2.0);  // overwrite: already specified, counts unchanged
+  EXPECT_EQ(m.NumSpecified(), 1u);
+  EXPECT_EQ(m.NumSpecifiedInRow(0), 1u);
+  EXPECT_EQ(m.NumSpecifiedInCol(0), 1u);
+
+  m.Set(0, 1, 3.0);
+  m.Set(0, 2, 4.0);
+  EXPECT_TRUE(m.RowFullySpecified(0));
+  EXPECT_FALSE(m.RowFullySpecified(1));
+  EXPECT_FALSE(m.FullySpecified());
+
+  m.Set(1, 0, 5.0);
+  EXPECT_TRUE(m.ColFullySpecified(0));
+
+  m.SetMissing(0, 1);
+  m.SetMissing(0, 1);  // already missing: a no-op for the counts
+  EXPECT_EQ(m.NumSpecifiedInRow(0), 2u);
+  EXPECT_FALSE(m.RowFullySpecified(0));
+  EXPECT_EQ(m.NumSpecified(), 3u);
+
+  m.Set(0, 1, 6.0);
+  m.Set(1, 1, 7.0);
+  m.Set(1, 2, 8.0);
+  EXPECT_TRUE(m.FullySpecified());
+  EXPECT_TRUE(m.RowFullySpecified(1));
+  EXPECT_TRUE(m.ColFullySpecified(1));
+  EXPECT_TRUE(m.ColFullySpecified(2));
+
+  m.SetMissing(1, 2);
+  EXPECT_FALSE(m.FullySpecified());
+  EXPECT_FALSE(m.ColFullySpecified(2));
+  EXPECT_TRUE(m.ColFullySpecified(1));
+}
+
+TEST(DataMatrixTest, FillConstructorIsFullySpecified) {
+  DataMatrix m(2, 2, 1.5);
+  EXPECT_TRUE(m.FullySpecified());
+  EXPECT_TRUE(m.RowFullySpecified(0));
+  EXPECT_TRUE(m.RowFullySpecified(1));
+  EXPECT_TRUE(m.ColFullySpecified(0));
+  EXPECT_TRUE(m.ColFullySpecified(1));
+}
+
 TEST(DataMatrixTest, DensityIsFractionSpecified) {
   DataMatrix m(2, 2);
   EXPECT_DOUBLE_EQ(m.Density(), 0.0);
