@@ -30,6 +30,8 @@ inline bool QuickMode(int argc, char** argv) {
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--quick") == 0) return true;
   }
+  // Bench mains are single-threaded at option-parse time.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("DELTACLUS_BENCH_QUICK");
   return env != nullptr && std::string(env) == "1";
 }
@@ -76,6 +78,8 @@ class BenchReport {
       }
     }
     if (path_.empty()) {
+      // Constructor runs before the bench spawns workers.
+      // NOLINTNEXTLINE(concurrency-mt-unsafe)
       const char* dir = std::getenv("DELTACLUS_BENCH_JSON_DIR");
       path_ = (dir != nullptr && dir[0] != '\0')
                   ? std::string(dir) + "/BENCH_" + name_ + ".json"
@@ -148,6 +152,8 @@ class BenchReport {
   // Build-stamped git revision (see bench/CMakeLists.txt), overridable
   // at runtime via the DELTACLUS_GIT_SHA environment variable.
   static std::string GitSha() {
+    // Called from Write(), which only the main thread reaches.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("DELTACLUS_GIT_SHA");
     if (env != nullptr && env[0] != '\0') return env;
 #ifdef DELTACLUS_GIT_SHA

@@ -1,0 +1,48 @@
+# Compile-fail proof that the thread-safety annotation shim is live.
+#
+# Included from the top-level CMakeLists only when the compiler is Clang
+# (GCC expands the annotations to nothing, so there is nothing to
+# check there). Two try_compiles against tests/compile_fail/:
+#
+#   * guarded_access_ok.cc      accesses a DC_GUARDED_BY member with the
+#                               lock held          -> must COMPILE
+#   * unguarded_access_fail.cc  accesses it with no lock
+#                               -> must NOT compile under
+#                                  -Wthread-safety -Werror
+#
+# A pass of the second file means the shim silently expanded to no-ops
+# under a compiler we expected to enforce it -- configuration fails hard
+# so the `tidy` CI lane cannot green-light unenforced annotations.
+
+function(_dc_thread_safety_try_compile source expect_success out_ok)
+  try_compile(_dc_tsc_result
+    ${CMAKE_BINARY_DIR}/thread_safety_check
+    ${CMAKE_CURRENT_SOURCE_DIR}/tests/compile_fail/${source}
+    COMPILE_DEFINITIONS "-Wthread-safety -Werror"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}"
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE _dc_tsc_output)
+  if(_dc_tsc_result AND NOT expect_success)
+    set(${out_ok} FALSE PARENT_SCOPE)
+    message(SEND_ERROR
+      "thread-safety check: ${source} compiled but must be rejected -- "
+      "-Wthread-safety is not enforcing DC_GUARDED_BY")
+  elseif(NOT _dc_tsc_result AND expect_success)
+    set(${out_ok} FALSE PARENT_SCOPE)
+    message(SEND_ERROR
+      "thread-safety check: ${source} failed to compile but is the "
+      "positive control:\n${_dc_tsc_output}")
+  else()
+    set(${out_ok} TRUE PARENT_SCOPE)
+  endif()
+endfunction()
+
+_dc_thread_safety_try_compile(guarded_access_ok.cc TRUE _dc_tsc_pos)
+_dc_thread_safety_try_compile(unguarded_access_fail.cc FALSE _dc_tsc_neg)
+if(_dc_tsc_pos AND _dc_tsc_neg)
+  message(STATUS
+    "deltaclus: -Wthread-safety verified (guarded access compiles, "
+    "unguarded access is a compile error)")
+endif()

@@ -7,6 +7,21 @@ records carry it, falling back to the inverse real_time ratio, so a
 ratio > 1 always means the new record is faster). Standard library only,
 like the rest of scripts/.
 
+Two result-row shapes are understood:
+
+  micro rows (google-benchmark style) carry a "benchmark" name plus
+  real_time/items_per_second; aggregate pseudo-rows (iterations == 0)
+  are skipped.
+
+  whole-run rows (e.g. BENCH_table2_3_scaling.json) have no "benchmark"
+  key -- each row is one end-to-end configuration, identified by its
+  parameter keys and timed by a "seconds" field. A name is synthesized
+  from the sorted identity keys ("run:cols=20/k=10/rows=100") and
+  "seconds" is treated as real_time in unit "s", so the same gates
+  (--threshold, --min-ratio) apply unchanged. Note the row's
+  "iterations" field, when present, is the algorithm's iteration count,
+  not a repetition count, and does not mark the row as an aggregate.
+
 Gates:
   --threshold F   Fail if any common benchmark regressed by more than
                   F (fractional: 0.5 = new is less than half the base
@@ -33,14 +48,37 @@ import json
 import re
 import sys
 
+# Keys that describe the measurement rather than identify the workload;
+# everything else in a whole-run row is an identity key and goes into
+# the synthesized name.
+_MEASUREMENT_KEYS = frozenset({
+    "seconds", "real_time", "cpu_time", "time_unit", "items_per_second",
+    "bytes_per_second", "iterations", "repetitions", "threads",
+})
+
+
 # google-benchmark emits aggregate pseudo-results (complexity fits, RMS)
 # with iterations == 0; they are not timings and are never compared.
+# Rows without a "benchmark" key are whole-run rows: one end-to-end
+# configuration each, named by their identity keys (see module doc).
 def _timed_results(record):
     out = {}
     for r in record.get("results", []):
-        if r.get("iterations", 0) <= 0:
+        if "benchmark" in r:
+            if r.get("iterations", 0) <= 0:
+                continue
+            out[r["benchmark"]] = r
             continue
-        out[r["benchmark"]] = r
+        ident = "/".join(f"{k}={r[k]}" for k in sorted(r)
+                         if k not in _MEASUREMENT_KEYS)
+        name = f"run:{ident}" if ident else f"run:#{len(out)}"
+        while name in out:  # duplicate configurations: keep both visible
+            name += "+"
+        entry = dict(r)
+        if "seconds" in entry and "real_time" not in entry:
+            entry["real_time"] = entry["seconds"]
+            entry["time_unit"] = "s"
+        out[name] = entry
     return out
 
 

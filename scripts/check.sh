@@ -2,15 +2,19 @@
 # check.sh — the repo's correctness gate.
 #
 # Stages (run all by default, or name a subset):
+#   lint    dclint (tools/lint/dclint.py) over src/ tools/ plus its own
+#           test suite; pure Python, needs no build tree (<1 min)
 #   format  clang-format --dry-run over all tracked C++ sources
 #   tidy    clang-tidy (config: .clang-tidy) over src/ tools/ tests/ bench/
 #   build   default preset: configure, build, ctest
 #   asan    ASan+UBSan preset: configure, build, ctest
 #   tsan    TSan preset: configure, build, ctest
+#   ubsan   standalone strict-UBSan preset: configure, build, ctest
 #   audit   FLOC invariant-audit mode: floc/property test binaries rerun
 #           with DELTACLUS_AUDIT=1 (see docs/DEVELOPMENT.md)
 #   bench   run one small bench binary in --quick mode and validate its
-#           BENCH_*.json record against scripts/bench_schema.json
+#           BENCH_*.json record against scripts/bench_schema.json; pin
+#           the checked-in speedup/whole-run trajectory records
 #
 # Usage:
 #   scripts/check.sh              # everything
@@ -34,6 +38,19 @@ fail()  { printf '\033[1;31mFAILED: %s\033[0m\n' "$*"; FAILED=1; }
 cxx_sources() {
   git ls-files 'src/**.cc' 'src/**.h' 'tools/**.cc' 'tools/**.h' \
                'tests/**.cc' 'tests/**.h' 'bench/**.cc' 'bench/**.h'
+}
+
+stage_lint() {
+  note "lint (dclint: the determinism linter)"
+  # Deliberately no build dependency: dclint falls back to a src/ tools/
+  # tree walk when build/compile_commands.json is absent, so CI can run
+  # this stage on a bare checkout in seconds.
+  if python3 tools/lint/dclint.py \
+      && python3 tools/lint/dclint_test.py 2>/dev/null; then
+    echo "lint: clean"
+  else
+    fail "dclint (see diagnostics above; rules: tools/lint/dclint.py --list-rules)"
+  fi
 }
 
 stage_format() {
@@ -91,6 +108,7 @@ run_preset() {
 stage_build() { run_preset default; }
 stage_asan()  { run_preset asan; }
 stage_tsan()  { run_preset tsan; }
+stage_ubsan() { run_preset ubsan; }
 
 stage_audit() {
   note "audit (floc suites with DELTACLUS_AUDIT=1)"
@@ -142,15 +160,36 @@ stage_bench() {
   else
     fail "bench trajectory comparison (scripts/bench_compare.py)"
   fi
+  # Whole-run floor: a fresh quick Table-2/3 end-to-end run must stay
+  # within 3x of the checked-in record (bench_compare synthesizes
+  # "run:cols=.../k=.../rows=..." names from the row parameters). The
+  # 0.33 floor is deliberately loose -- it tolerates slower CI hardware
+  # while still catching order-of-magnitude end-to-end regressions that
+  # microbenchmarks, which pin individual kernels, would miss.
+  if [ ! -x build/bench/bench_table2_3_scaling ]; then
+    cmake --build --preset default -j "$JOBS" --target bench_table2_3_scaling
+  fi
+  out="$(mktemp -d)"
+  if ./build/bench/bench_table2_3_scaling --quick \
+        --json-out="$out/BENCH_table2_3_scaling.json" >/dev/null \
+      && python3 scripts/bench_compare.py \
+        bench/trajectory/BENCH_table2_3_scaling_pr6.json \
+        "$out/BENCH_table2_3_scaling.json" \
+        --min-ratio '^run:=0.33'; then
+    echo "bench: whole-run floor holds"
+  else
+    fail "whole-run bench floor (bench_table2_3_scaling vs trajectory record)"
+  fi
+  rm -rf "$out"
 }
 
 STAGES=("$@")
-[ ${#STAGES[@]} -eq 0 ] && STAGES=(format tidy build asan tsan audit bench)
+[ ${#STAGES[@]} -eq 0 ] && STAGES=(lint format tidy build asan tsan ubsan audit bench)
 
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    format|tidy|build|asan|tsan|audit|bench) "stage_$stage" ;;
-    *) echo "unknown stage: $stage (expected: format tidy build asan tsan audit bench)"; exit 2 ;;
+    lint|format|tidy|build|asan|tsan|ubsan|audit|bench) "stage_$stage" ;;
+    *) echo "unknown stage: $stage (expected: lint format tidy build asan tsan ubsan audit bench)"; exit 2 ;;
   esac
 done
 

@@ -1,7 +1,8 @@
 #include "src/baseline/bron_kerbosch.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/util/check.h"
 
 namespace deltaclus {
 
@@ -9,7 +10,9 @@ UndirectedGraph::UndirectedGraph(size_t num_vertices)
     : n_(num_vertices), adj_(num_vertices * num_vertices, 0) {}
 
 void UndirectedGraph::AddEdge(size_t a, size_t b) {
-  assert(a < n_ && b < n_ && a != b);
+  DC_CHECK(a < n_ && b < n_ && a != b)
+      << "edge (" << a << ", " << b << ") out of range for " << n_
+      << " vertices";
   adj_[a * n_ + b] = 1;
   adj_[b * n_ + a] = 1;
 }

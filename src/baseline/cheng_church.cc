@@ -60,8 +60,8 @@ double MemberColScore(const ClusterView& view, size_t j) {
 double CandidateColScore(const ClusterView& view, size_t j) {
   const DataMatrix& m = view.matrix();
   const ClusterStats& stats = view.stats();
-  double col_sum;
-  size_t col_cnt;
+  double col_sum = 0.0;
+  size_t col_cnt = 0;
   ClusterStats::ColSumOverRows(m, view.cluster().row_ids(), j, &col_sum,
                                &col_cnt);
   if (col_cnt == 0) return std::numeric_limits<double>::infinity();
@@ -84,8 +84,8 @@ double CandidateColScore(const ClusterView& view, size_t j) {
 double CandidateRowScore(const ClusterView& view, size_t i, bool inverted) {
   const DataMatrix& m = view.matrix();
   const ClusterStats& stats = view.stats();
-  double row_sum;
-  size_t row_cnt;
+  double row_sum = 0.0;
+  size_t row_cnt = 0;
   ClusterStats::RowSumOverCols(m, view.cluster().col_ids(), i, &row_sum,
                                &row_cnt);
   if (row_cnt == 0) return std::numeric_limits<double>::infinity();
@@ -94,7 +94,7 @@ double CandidateRowScore(const ClusterView& view, size_t i, bool inverted) {
   double acc = 0.0;
   for (uint32_t j : view.cluster().col_ids()) {
     if (!m.IsSpecified(i, j)) continue;
-    double r;
+    double r = 0.0;
     if (inverted) {
       r = -m.Value(i, j) + row_base - stats.ColBase(j) + cluster_base;
     } else {

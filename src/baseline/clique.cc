@@ -1,11 +1,12 @@
 #include "src/baseline/clique.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <set>
+
+#include "src/util/check.h"
 
 namespace deltaclus {
 
@@ -63,7 +64,7 @@ class DisjointSets {
 // True if two units of the same subspace share a face: equal bins in all
 // dimensions except exactly one, where they differ by one.
 bool Connected(const UnitKey& a, const UnitKey& b, size_t num_intervals) {
-  assert(a.size() == b.size());
+  DC_DCHECK_EQ(a.size(), b.size());
   size_t diffs = 0;
   for (size_t t = 0; t < a.size(); ++t) {
     if (a[t] == b[t]) continue;

@@ -1,9 +1,9 @@
 #include "src/baseline/derived_transform.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/baseline/bron_kerbosch.h"
+#include "src/util/check.h"
 
 namespace deltaclus {
 
@@ -29,7 +29,7 @@ DataMatrix DerivedDifferenceMatrix(
       }
     }
   }
-  assert(t == derived_cols);
+  DC_CHECK_EQ(t, derived_cols);
   return out;
 }
 
@@ -42,7 +42,7 @@ std::vector<Cluster> DeltaClustersFromSubspaceCluster(
   // subspace adds the edge pair_index[t].
   UndirectedGraph graph(original_cols);
   for (size_t t : subspace_cluster.dims) {
-    assert(t < pair_index.size());
+    DC_CHECK_LT(t, pair_index.size());
     graph.AddEdge(pair_index[t].first, pair_index[t].second);
   }
 

@@ -162,6 +162,8 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   // 0 means std::thread::hardware_concurrency(); either way results are
   // bit-identical (the engine shards work independently of the count).
   int threads_default = 1;
+  // Read once at startup, before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("DELTACLUS_THREADS");
       env != nullptr && env[0] != '\0') {
     try {

@@ -64,8 +64,8 @@ bool OccupancySatisfied(const DataMatrix& m, const Cluster& c, double alpha) {
   if (alpha <= 0.0) return true;
   size_t cols = c.NumCols();
   size_t rows = c.NumRows();
-  double sum;
-  size_t cnt;
+  double sum = 0.0;
+  size_t cnt = 0;
   for (uint32_t i : c.row_ids()) {
     ClusterStats::RowSumOverCols(m, c.col_ids(), i, &sum, &cnt);
     if (static_cast<double>(cnt) < alpha * cols) return false;
@@ -82,8 +82,8 @@ void AuditOccupancy(const DataMatrix& m, const Cluster& c, double alpha,
   if (alpha <= 0.0) return;
   size_t cols = c.NumCols();
   size_t rows = c.NumRows();
-  double sum;
-  size_t cnt;
+  double sum = 0.0;
+  size_t cnt = 0;
   for (uint32_t i : c.row_ids()) {
     ClusterStats::RowSumOverCols(m, c.col_ids(), i, &sum, &cnt);
     DC_CHECK_GE(static_cast<double>(cnt), alpha * cols)

@@ -77,6 +77,10 @@ enum class CachedNormTag : int {
 /// Next value of the process-wide membership-epoch counter. Starts at 1
 /// so 0 is free to mean "never stamped" in caches keyed on epochs.
 inline uint64_t NextMembershipEpoch() {
+  // DC_LOCK_FREE: relaxed fetch_add. Only uniqueness and per-workspace
+  // monotonicity matter (each workspace stores the value it was handed
+  // under its own single-writer discipline); cross-thread ordering of
+  // epoch *draws* is never compared, so no stronger ordering is needed.
   static std::atomic<uint64_t> counter{0};
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }

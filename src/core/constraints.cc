@@ -10,15 +10,15 @@ namespace {
 
 // Number of specified entries of row i over the cluster's columns.
 size_t RowSpecifiedCount(const DataMatrix& m, const Cluster& c, size_t i) {
-  double sum;
-  size_t cnt;
+  double sum = 0.0;
+  size_t cnt = 0;
   ClusterStats::RowSumOverCols(m, c.col_ids(), i, &sum, &cnt);
   return cnt;
 }
 
 size_t ColSpecifiedCount(const DataMatrix& m, const Cluster& c, size_t j) {
-  double sum;
-  size_t cnt;
+  double sum = 0.0;
+  size_t cnt = 0;
   ClusterStats::ColSumOverRows(m, c.row_ids(), j, &sum, &cnt);
   return cnt;
 }

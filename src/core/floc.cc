@@ -114,6 +114,9 @@ Floc::Floc(FlocConfig config) : config_(std::move(config)) {
   if (!config_.audit) {
     // DELTACLUS_AUDIT=1 forces audit mode on for every Floc instance;
     // scripts/check.sh's audit stage runs the full test suite this way.
+    // Deliberate env read: audit mode only *adds* DC_CHECKs, it cannot
+    // change mined results, so ambient state stays out of the results.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe, dclint:banned-getenv)
     const char* env = std::getenv("DELTACLUS_AUDIT");
     if (env != nullptr && env[0] != '\0' &&
         !(env[0] == '0' && env[1] == '\0')) {
@@ -122,6 +125,9 @@ Floc::Floc(FlocConfig config) : config_(std::move(config)) {
   }
   // DELTACLUS_TELEMETRY=off|summary|full overrides the configured level
   // (a sink still has to be attached programmatically or via the CLI).
+  // Deliberate env read: telemetry level changes what is *recorded*,
+  // never what is computed (obs layer only).
+  // NOLINTNEXTLINE(concurrency-mt-unsafe, dclint:banned-getenv)
   const char* tel = std::getenv("DELTACLUS_TELEMETRY");
   if (tel != nullptr && tel[0] != '\0') {
     if (auto level = obs::ParseTelemetryLevel(tel)) {
@@ -317,8 +323,8 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
     std::vector<std::pair<double, size_t>> row_scores;
     row_scores.reserve(num_rows);
     for (size_t i = 0; i < num_rows; ++i) {
-      double row_sum;
-      size_t row_cnt;
+      double row_sum = 0.0;
+      size_t row_cnt = 0;
       ClusterStats::RowSumOverCols(matrix, candidate.col_ids(), i, &row_sum,
                                    &row_cnt);
       if (row_cnt == 0 ||

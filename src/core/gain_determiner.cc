@@ -43,7 +43,7 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
       if (!allowed) continue;
     }
     size_t new_volume = 0;
-    double after_residue;
+    double after_residue = 0.0;
     GainMemo::Entry* slot =
         ctx.memo != nullptr ? &ctx.memo->Slot(is_row, index, c) : nullptr;
     uint64_t epoch = views[c].epoch();

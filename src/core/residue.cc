@@ -362,8 +362,8 @@ double ResidueEngine::AfterToggleRowImpl(const ClusterView& view, size_t i,
   size_t row_off = m.RawIndex(i, 0);
 
   // Row i's sums over the cluster's columns.
-  double toggled_sum;
-  size_t toggled_cnt;
+  double toggled_sum = 0.0;
+  size_t toggled_cnt = 0;
   if (removing) {
     toggled_sum = stats.RowSum(i);
     toggled_cnt = stats.RowCount(i);
@@ -455,8 +455,8 @@ double ResidueEngine::AfterToggleColImpl(const ClusterView& view, size_t j,
 
   bool removing = c.HasCol(j);
 
-  double toggled_sum;
-  size_t toggled_cnt;
+  double toggled_sum = 0.0;
+  size_t toggled_cnt = 0;
   if (removing) {
     toggled_sum = stats.ColSum(j);
     toggled_cnt = stats.ColCount(j);
@@ -595,8 +595,8 @@ double ResidueEngine::AfterToggleRowPaneImpl(const ClusterWorkspace& ws,
   bool removing = c.HasRow(i);
   size_t row_off = m.RawIndex(i, 0);
 
-  double toggled_sum;
-  size_t toggled_cnt;
+  double toggled_sum = 0.0;
+  size_t toggled_cnt = 0;
   if (removing) {
     toggled_sum = stats.RowSum(i);
     toggled_cnt = stats.RowCount(i);
@@ -684,8 +684,8 @@ double ResidueEngine::AfterToggleColPaneImpl(const ClusterWorkspace& ws,
 
   bool removing = c.HasCol(j);
 
-  double toggled_sum;
-  size_t toggled_cnt;
+  double toggled_sum = 0.0;
+  size_t toggled_cnt = 0;
   if (removing) {
     toggled_sum = stats.ColSum(j);
     toggled_cnt = stats.ColCount(j);

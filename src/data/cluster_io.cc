@@ -52,7 +52,7 @@ std::vector<Cluster> ReadClusters(std::istream& is, size_t rows,
 
   auto parse_ids = [&](std::istringstream& ss, size_t bound,
                        std::vector<size_t>* out, const char* what) {
-    long long id;
+    long long id = 0;
     while (ss >> id) {
       if (id < 0 || static_cast<size_t>(id) >= bound) {
         throw std::runtime_error(std::string("ReadClusters: ") + what +

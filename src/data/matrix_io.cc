@@ -120,9 +120,9 @@ DataMatrix ReadTriples(std::istream& is, size_t rows, size_t cols) {
       if (ch == ',' || ch == '\t') ch = ' ';
     }
     std::istringstream ss(trimmed);
-    long long row;
-    long long col;
-    double value;
+    long long row = 0;
+    long long col = 0;
+    double value = 0.0;
     if (!(ss >> row >> col >> value)) {
       throw std::runtime_error("ReadTriples: malformed line " +
                                std::to_string(line_no));
@@ -149,9 +149,9 @@ DataMatrix ReadMovieLens100K(std::istream& is, size_t users, size_t movies) {
       if (ch == ',' || ch == '\t') ch = ' ';
     }
     std::istringstream ss(trimmed);
-    long long user;
-    long long item;
-    double rating;
+    long long user = 0;
+    long long item = 0;
+    double rating = 0.0;
     if (!(ss >> user >> item >> rating)) {
       throw std::runtime_error("ReadMovieLens100K: malformed line " +
                                std::to_string(line_no));

@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    dc::MutexLock lock(mutex_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -37,7 +37,7 @@ void ThreadPool::RunShards(Job& job) {
     try {
       (*job.fn)(begin, end, shard);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(job.error_mutex);
+      dc::MutexLock lock(job.error_mutex);
       // Keep the exception from the lowest-indexed throwing shard: every
       // shard always runs, so this choice is independent of scheduling.
       if (!job.error || shard < job.error_shard) {
@@ -53,10 +53,10 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
-      });
+      dc::MutexLock lock(mutex_);
+      while (!stop_ && (job_ == nullptr || generation_ == seen_generation)) {
+        wake_cv_.Wait(lock);
+      }
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
@@ -64,10 +64,10 @@ void ThreadPool::WorkerLoop() {
     }
     RunShards(*job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      dc::MutexLock lock(mutex_);
       --participants_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 
@@ -82,11 +82,11 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
 
   if (!workers_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      dc::MutexLock lock(mutex_);
       job_ = &job;
       ++generation_;
     }
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
   }
 
   // The coordinating thread always participates; with no workers this is
@@ -98,12 +98,19 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
     // may still be inside its final shard (or about to discover the
     // cursor is exhausted). Retract the job and wait for every
     // participant to leave before `job` goes out of scope.
-    std::unique_lock<std::mutex> lock(mutex_);
+    dc::MutexLock lock(mutex_);
     job_ = nullptr;
-    done_cv_.wait(lock, [&] { return participants_ == 0; });
+    while (participants_ != 0) done_cv_.Wait(lock);
   }
 
-  if (job.error) std::rethrow_exception(job.error);
+  // Every participant has left, but the analysis (rightly) insists the
+  // error slot is read under its lock.
+  std::exception_ptr error;
+  {
+    dc::MutexLock lock(job.error_mutex);
+    error = job.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelApply(ThreadPool* pool, size_t total, const ThreadPool::ShardFn& fn,

@@ -31,13 +31,14 @@
 #define DELTACLUS_ENGINE_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace deltaclus::engine {
 
@@ -112,7 +113,8 @@ class ThreadPool {
   /// All shards run even if one throws; afterwards the exception from
   /// the lowest-indexed throwing shard is rethrown on the caller (a
   /// deterministic choice, since shard bodies are deterministic).
-  void ParallelFor(size_t total, size_t grain, const ShardFn& fn);
+  void ParallelFor(size_t total, size_t grain, const ShardFn& fn)
+      DC_EXCLUDES(mutex_);
 
   /// ParallelFor with the default grain.
   void ParallelFor(size_t total, const ShardFn& fn) {
@@ -121,29 +123,41 @@ class ThreadPool {
 
  private:
   struct Job {
+    // fn/total/grain/shards are written once by the coordinator before
+    // the job is published under mutex_ and read-only afterwards; the
+    // mutex acquire/release pair publishing the Job* is the fence that
+    // makes them visible to workers.
     const ShardFn* fn = nullptr;
     size_t total = 0;
     size_t grain = 0;
     size_t shards = 0;
-    std::atomic<size_t> next{0};  // shard-claim cursor
-    std::mutex error_mutex;
-    size_t error_shard = 0;
-    std::exception_ptr error;
+    // DC_LOCK_FREE: the shard-claim cursor. fetch_add(relaxed) is
+    // sufficient because the claim itself is the only communication --
+    // each shard index is handed to exactly one claimant, and all data
+    // written by shard bodies is published by the coordinator's
+    // join-side mutex acquire, not by this counter.
+    std::atomic<size_t> next{0};
+    dc::Mutex error_mutex;
+    size_t error_shard DC_GUARDED_BY(error_mutex) = 0;
+    std::exception_ptr error DC_GUARDED_BY(error_mutex);
   };
 
-  void WorkerLoop();
+  void WorkerLoop() DC_EXCLUDES(mutex_);
   // Claims and runs shards until the job's cursor is exhausted.
   static void RunShards(Job& job);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;  // workers park here between jobs
-  std::condition_variable done_cv_;  // the coordinator waits here
-  Job* job_ = nullptr;               // non-null while a job is posted
-  uint64_t generation_ = 0;          // bumped per posted job
-  size_t participants_ = 0;          // workers currently inside RunShards
-  bool stop_ = false;
+  dc::Mutex mutex_;
+  dc::CondVar wake_cv_;  // workers park here between jobs
+  dc::CondVar done_cv_;  // the coordinator waits here
+  /// Non-null while a job is posted.
+  Job* job_ DC_GUARDED_BY(mutex_) = nullptr;
+  /// Bumped per posted job.
+  uint64_t generation_ DC_GUARDED_BY(mutex_) = 0;
+  /// Workers currently inside RunShards.
+  size_t participants_ DC_GUARDED_BY(mutex_) = 0;
+  bool stop_ DC_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs `fn` over [0, total): on the pool when it is worth it, inline

@@ -1,9 +1,10 @@
 #include "src/eval/table.h"
 
-#include <cassert>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+
+#include "src/util/check.h"
 
 namespace deltaclus {
 
@@ -19,7 +20,7 @@ std::string TextTable::Num(double value, int precision) {
 std::string TextTable::Int(long long value) { return std::to_string(value); }
 
 void TextTable::AddRow(std::vector<std::string> cells) {
-  assert(cells.size() == header_.size());
+  DC_CHECK_EQ(cells.size(), header_.size());
   rows_.push_back(std::move(cells));
 }
 

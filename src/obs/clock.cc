@@ -35,7 +35,7 @@ int64_t StdClockNs() {
 
 int64_t ProcessCpuNowNs() {
 #if defined(CLOCK_PROCESS_CPUTIME_ID)
-  int64_t ns;
+  int64_t ns = 0;
   if (ReadClock(CLOCK_PROCESS_CPUTIME_ID, &ns)) return ns;
 #endif
   return StdClockNs();
@@ -43,7 +43,7 @@ int64_t ProcessCpuNowNs() {
 
 int64_t ThreadCpuNowNs() {
 #if defined(CLOCK_THREAD_CPUTIME_ID)
-  int64_t ns;
+  int64_t ns = 0;
   if (ReadClock(CLOCK_THREAD_CPUTIME_ID, &ns)) return ns;
 #endif
   return ProcessCpuNowNs();

@@ -11,7 +11,10 @@
 namespace deltaclus::obs {
 
 namespace internal {
+// DC_LOCK_FREE: see the declaration in metrics.h -- relaxed gate flag.
 std::atomic<bool> g_metrics_enabled{[] {
+  // Init-time read, before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("DELTACLUS_METRICS");
   return env != nullptr && env[0] != '\0' &&
          !(env[0] == '0' && env[1] == '\0');
@@ -19,6 +22,7 @@ std::atomic<bool> g_metrics_enabled{[] {
 }  // namespace internal
 
 Histogram::Histogram(std::vector<double> bounds)
+    // DC_LOCK_FREE: bucket cells, relaxed adds (see metrics.h).
     : bounds_(std::move(bounds)),
       buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
   DC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
@@ -73,19 +77,19 @@ T* FindOrCreate(std::vector<std::pair<std::string, std::unique_ptr<T>>>& v,
 }  // namespace
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   return FindOrCreate(counters_, name,
                       [] { return std::make_unique<Counter>(); });
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   return FindOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   return FindOrCreate(histograms_, name, [&] {
     return std::make_unique<Histogram>(std::move(bounds));
   });
@@ -96,14 +100,14 @@ void MetricsRegistry::SetEnabled(bool enabled) {
 }
 
 void MetricsRegistry::ResetAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   for (auto& [n, c] : counters_) c->Reset();
   for (auto& [n, g] : gauges_) g->Reset();
   for (auto& [n, h] : histograms_) h->Reset();
 }
 
 void MetricsRegistry::WriteJson(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   auto sorted_names = [](const auto& v) {
     std::vector<size_t> order(v.size());
     for (size_t t = 0; t < v.size(); ++t) order[t] = t;

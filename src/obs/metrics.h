@@ -23,15 +23,21 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace deltaclus::obs {
 
 namespace internal {
 /// Global on/off switch shared by all metric mutations.
+// DC_LOCK_FREE: relaxed load/store only. The flag gates whether events
+// are recorded, never what the algorithm computes, so a racing toggle
+// merely loses a handful of events around the transition -- acceptable
+// for observability, irrelevant to the determinism contract.
 extern std::atomic<bool> g_metrics_enabled;
 inline bool MetricsEnabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
@@ -49,6 +55,9 @@ class Counter {
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // DC_LOCK_FREE: relaxed fetch_add/load. Counters are commutative
+  // integer sums read only after the writers quiesce (snapshot time), so
+  // no ordering beyond atomicity is required.
   std::atomic<uint64_t> value_{0};
 };
 
@@ -63,6 +72,9 @@ class Gauge {
   void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
+  // DC_LOCK_FREE: relaxed store/load; last write wins by design, and a
+  // torn read is impossible (atomic<double> is lock-free on every
+  // supported target).
   std::atomic<double> value_{0.0};
 };
 
@@ -86,6 +98,10 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;
+  // DC_LOCK_FREE: per-bucket relaxed fetch_adds. bucket/count/sum are
+  // not updated atomically *together*, so a concurrent snapshot can see
+  // a bucket increment whose count is not yet visible; snapshots are
+  // taken after writers quiesce, where the relaxed sums are exact.
   // unique_ptr keeps the atomics at a stable address; vector<atomic> is
   // not movable.
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
@@ -101,11 +117,11 @@ class MetricsRegistry {
 
   /// Returns the counter registered under `name`, creating it on first
   /// use. The pointer is stable for the registry's lifetime.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) DC_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) DC_EXCLUDES(mu_);
   /// `bounds` is only consulted on first registration of `name`.
-  Histogram* GetHistogram(const std::string& name,
-                          std::vector<double> bounds);
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds)
+      DC_EXCLUDES(mu_);
 
   /// Enables/disables all metric mutation process-wide (the flag is
   /// global, not per-registry: mutation happens through cached pointers
@@ -114,7 +130,7 @@ class MetricsRegistry {
   static bool Enabled() { return internal::MetricsEnabled(); }
 
   /// Zeroes every registered metric; registrations survive.
-  void ResetAll();
+  void ResetAll() DC_EXCLUDES(mu_);
 
   /// Writes a JSON snapshot:
   ///   {"counters": {name: value, ...},
@@ -122,7 +138,7 @@ class MetricsRegistry {
   ///    "histograms": {name: {"bounds": [...], "counts": [...],
   ///                          "count": N, "sum": S}, ...}}
   /// Names are emitted in sorted order for diff-friendliness.
-  void WriteJson(std::ostream& out) const;
+  void WriteJson(std::ostream& out) const DC_EXCLUDES(mu_);
   std::string SnapshotJson() const;
 
   /// WriteJson to `path`; returns false (and leaves a partial file) on
@@ -130,12 +146,17 @@ class MetricsRegistry {
   bool WriteJsonFile(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
+  mutable dc::Mutex mu_;
   // Registration-ordered; snapshots sort by name. unique_ptr gives
-  // stable addresses across vector growth.
-  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
-  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
-  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  // stable addresses across vector growth, which is what lets cached
+  // metric pointers be mutated lock-free while mu_ only guards the
+  // registration vectors themselves.
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_
+      DC_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_
+      DC_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
+      DC_GUARDED_BY(mu_);
 };
 
 }  // namespace deltaclus::obs

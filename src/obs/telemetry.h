@@ -171,6 +171,17 @@ class JsonlTelemetrySink : public TelemetrySink {
 /// allocation-free: BeginIteration returns nullptr after one branch and
 /// every other hook returns immediately (asserted by
 /// floc_telemetry_test).
+///
+/// Thread contract: externally synchronized, single owner. Every hook
+/// is called from FLOC's coordinating thread only -- the parallel gain
+/// sweep never touches the collector; per-shard BlockCounts are merged
+/// in shard order on the coordinator after the pool joins and only then
+/// recorded here. There is deliberately no mutex (and so nothing for
+/// Clang TSA to check): adding one would put a lock on the iteration
+/// hot path to protect state that has exactly one writer by design.
+/// dclint's `raw-mutex` rule keeps it that way -- a future concurrent
+/// writer must go through dc::Mutex and annotate, not sneak in a
+/// std::mutex.
 class TelemetryCollector {
  public:
   TelemetryCollector(TelemetryLevel level, TelemetrySink* sink)

@@ -11,6 +11,7 @@
 namespace deltaclus::obs {
 
 namespace internal {
+// DC_LOCK_FREE: see the declaration in trace.h -- relaxed gate flag.
 std::atomic<bool> g_trace_enabled{false};
 }  // namespace internal
 
@@ -19,6 +20,8 @@ namespace {
 // Small sequential thread ids: nicer than hashed std::thread::id in the
 // trace viewer's per-track labels.
 uint32_t ThisThreadId() {
+  // DC_LOCK_FREE: relaxed fetch_add; the counter only mints unique ids,
+  // their numeric order across threads is irrelevant (viewer labels).
   static std::atomic<uint32_t> next{0};
   thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
   return id;
@@ -58,6 +61,8 @@ void TraceRecorder::InitFromEnv() {
   static bool done = false;
   if (done) return;
   done = true;
+  // Init-time read, before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("DELTACLUS_TRACE");
   if (env == nullptr || env[0] == '\0' || (env[0] == '0' && env[1] == '\0')) {
     return;
@@ -70,7 +75,7 @@ void TraceRecorder::InitFromEnv() {
 }
 
 void TraceRecorder::Record(const TraceEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
@@ -80,7 +85,7 @@ void TraceRecorder::Record(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> TraceRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   if (next_ <= capacity_) return ring_;
   // The ring wrapped: the oldest surviving event is at next_ % capacity_.
   std::vector<TraceEvent> out;
@@ -92,17 +97,17 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   return next_ <= capacity_ ? 0 : next_ - capacity_;
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  dc::MutexLock lock(mu_);
   ring_.clear();
   next_ = 0;
 }

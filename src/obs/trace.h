@@ -26,14 +26,19 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
 namespace deltaclus::obs {
 
 namespace internal {
+// DC_LOCK_FREE: relaxed load/store only. Gates whether spans record;
+// a racing toggle loses spans around the transition, never corrupts the
+// ring (Record itself is mutex-guarded) and never affects results.
 extern std::atomic<bool> g_trace_enabled;
 inline bool TraceEnabled() {
   return g_trace_enabled.load(std::memory_order_relaxed);
@@ -74,19 +79,19 @@ class TraceRecorder {
   static void InitFromEnv();
 
   /// Appends one completed event (overwrites the oldest when full).
-  void Record(const TraceEvent& event);
+  void Record(const TraceEvent& event) DC_EXCLUDES(mu_);
 
   /// Completed events, oldest first. Takes the buffer lock.
-  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> Snapshot() const DC_EXCLUDES(mu_);
 
   /// Events currently held (<= capacity).
-  size_t size() const;
+  size_t size() const DC_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
   /// Events overwritten because the buffer was full.
-  uint64_t dropped() const;
+  uint64_t dropped() const DC_EXCLUDES(mu_);
 
   /// Discards all recorded events.
-  void Clear();
+  void Clear() DC_EXCLUDES(mu_);
 
   /// Writes the Chrome trace_event JSON document ("X" complete events,
   /// microsecond timestamps, one pid, per-thread tids).
@@ -95,9 +100,10 @@ class TraceRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  uint64_t next_ = 0;  // total events ever recorded
+  mutable dc::Mutex mu_;
+  std::vector<TraceEvent> ring_ DC_GUARDED_BY(mu_);
+  /// Total events ever recorded.
+  uint64_t next_ DC_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span. Construct on entry to a scope; records on destruction.

@@ -1,19 +1,20 @@
 #include "src/util/rng.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "src/util/check.h"
 
 namespace deltaclus {
 
 int Rng::UniformInt(int lo, int hi) {
-  assert(lo <= hi);
+  DC_CHECK_LE(lo, hi);
   std::uniform_int_distribution<int> dist(lo, hi);
   return dist(engine_);
 }
 
 size_t Rng::UniformIndex(size_t n) {
-  assert(n > 0);
+  DC_CHECK_GT(n, 0u);
   std::uniform_int_distribution<size_t> dist(0, n - 1);
   return dist(engine_);
 }
@@ -35,14 +36,14 @@ double Rng::Normal(double mean, double stddev) {
 }
 
 double Rng::Exponential(double rate) {
-  assert(rate > 0);
+  DC_CHECK_GT(rate, 0);
   std::exponential_distribution<double> dist(rate);
   return dist(engine_);
 }
 
 double Rng::Erlang(int shape, double rate) {
-  assert(shape >= 1);
-  assert(rate > 0);
+  DC_CHECK_GE(shape, 1);
+  DC_CHECK_GT(rate, 0);
   // Sum of `shape` exponentials. For the moderate shapes used in the
   // experiments (<= a few hundred) the direct sum is fast and exact in
   // distribution; no need for a gamma sampler.
@@ -52,7 +53,7 @@ double Rng::Erlang(int shape, double rate) {
 }
 
 double Rng::ErlangMeanVar(double mean, double variance) {
-  assert(mean > 0);
+  DC_CHECK_GT(mean, 0);
   if (variance <= 0) return mean;
   int shape = static_cast<int>(std::lround(mean * mean / variance));
   shape = std::max(shape, 1);
@@ -61,7 +62,7 @@ double Rng::ErlangMeanVar(double mean, double variance) {
 }
 
 std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t count) {
-  assert(count <= n);
+  DC_CHECK_LE(count, n);
   // Partial Fisher-Yates over an index vector: O(n) memory, O(n + count)
   // time, exact uniformity.
   std::vector<size_t> indices(n);

@@ -1,0 +1,27 @@
+// Positive control for cmake/ThreadSafetyCheck.cmake: the same guarded
+// member as unguarded_access_fail.cc, accessed with the lock held. MUST
+// compile cleanly under -Wthread-safety -Werror -- if it does not, the
+// shim (src/util/thread_annotations.h) is broken, not the caller.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int Read() {
+    deltaclus::dc::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  deltaclus::dc::Mutex mu_;
+  int value_ DC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Read();
+}

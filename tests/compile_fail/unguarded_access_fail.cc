@@ -1,0 +1,27 @@
+// Compile-fail fixture: reading a DC_GUARDED_BY member without holding
+// its mutex. Under Clang with -Wthread-safety -Werror this translation
+// unit MUST fail to compile; cmake/ThreadSafetyCheck.cmake asserts that
+// at configure time. Keep in sync with guarded_access_ok.cc, which is
+// the identical protocol done correctly.
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  int Read() {  // missing dc::MutexLock lock(mu_)
+    return value_;  // expected error: reading value_ requires mu_
+  }
+
+ private:
+  deltaclus::dc::Mutex mu_;
+  int value_ DC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.Read();
+}

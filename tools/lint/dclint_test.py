@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Tests for dclint (tools/lint/dclint.py).
+
+Three layers of coverage, stdlib unittest only:
+
+  1. Fixture round-trip: every rule in dclint.RULES has a fixture file
+     tools/lint/fixtures/<rule>.cc that trips *exactly* that rule,
+     exactly once. This pins both directions -- the rule fires on its
+     canonical violation, and fixtures do not bleed into each other's
+     rules (a regex loosened too far fails here first).
+  2. Negative fixtures: clean.cc (banned constructs in comments and
+     string literals only -- exercises the stripper) and nolint.cc
+     (real violations under both suppression forms) produce no findings.
+  3. The tree itself lints clean through the same discovery path the
+     CLI uses, so this test doubles as the ctest hook that keeps the
+     repository dclint-clean.
+
+Run directly (`python3 tools/lint/dclint_test.py`) or via ctest
+(`ctest -R dclint`).
+"""
+
+import io
+import os
+import sys
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import dclint  # noqa: E402
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "fixtures")
+NEGATIVE_FIXTURES = ("clean.cc", "nolint.cc")
+
+
+def fixture_path(name):
+    return os.path.join(FIXTURE_DIR, name)
+
+
+class FixtureRoundTripTest(unittest.TestCase):
+    """Each rule's fixture trips exactly that rule, exactly once."""
+
+    def test_every_rule_has_a_fixture(self):
+        for rule in dclint.RULES:
+            with self.subTest(rule=rule["name"]):
+                self.assertTrue(
+                    os.path.exists(fixture_path(rule["name"] + ".cc")),
+                    f"missing fixture for rule {rule['name']} -- add "
+                    f"tools/lint/fixtures/{rule['name']}.cc")
+
+    def test_every_fixture_is_a_rule_or_negative(self):
+        for name in sorted(os.listdir(FIXTURE_DIR)):
+            if not name.endswith(".cc") or name in NEGATIVE_FIXTURES:
+                continue
+            with self.subTest(fixture=name):
+                self.assertIn(
+                    name[:-len(".cc")],
+                    {rule["name"] for rule in dclint.RULES},
+                    f"fixture {name} names no rule in dclint.RULES")
+
+    def test_each_fixture_trips_exactly_its_rule(self):
+        for rule in dclint.RULES:
+            path = fixture_path(rule["name"] + ".cc")
+            if not os.path.exists(path):
+                continue  # reported by test_every_rule_has_a_fixture
+            with self.subTest(rule=rule["name"]):
+                findings = dclint.lint_file(path)
+                tripped = [f[2] for f in findings]
+                self.assertEqual(
+                    tripped, [rule["name"]],
+                    f"{path} should trip [{rule['name']}] exactly once, "
+                    f"got {tripped}")
+
+
+class NegativeFixtureTest(unittest.TestCase):
+    def test_clean_fixture_has_no_findings(self):
+        findings = dclint.lint_file(fixture_path("clean.cc"))
+        self.assertEqual(findings, [],
+                         "stripper regression: banned constructs inside "
+                         "comments/strings produced findings")
+
+    def test_nolint_fixture_has_no_findings(self):
+        findings = dclint.lint_file(fixture_path("nolint.cc"))
+        self.assertEqual(findings, [],
+                         "suppression regression: NOLINT / NOLINTNEXTLINE "
+                         "did not silence the finding")
+
+    def test_nolint_fixture_violates_without_suppression(self):
+        # Guard against the fixture rotting into genuinely-clean code:
+        # with suppression comments removed, both getenv calls must fire.
+        with open(fixture_path("nolint.cc"), encoding="utf-8") as f:
+            text = f.read()
+        text = text.replace("NOLINT", "XXLINT")
+        unsuppressed = fixture_path("nolint_stripped.cc.tmp")
+        try:
+            with open(unsuppressed, "w", encoding="utf-8") as f:
+                f.write(text)
+            findings = dclint.lint_file(unsuppressed)
+            self.assertEqual([f[2] for f in findings],
+                             ["banned-getenv", "banned-getenv"])
+        finally:
+            os.unlink(unsuppressed)
+
+
+class StripperTest(unittest.TestCase):
+    def test_strips_line_and_block_comments(self):
+        out = dclint.strip_comments_and_strings(
+            "int x; // std::thread here\n/* rand() */ int y;\n")
+        self.assertNotIn("std::thread", out)
+        self.assertNotIn("rand()", out)
+        self.assertIn("int x;", out)
+        self.assertIn("int y;", out)
+
+    def test_strips_string_contents_keeps_delimiters(self):
+        out = dclint.strip_comments_and_strings('f("std::async(x)");\n')
+        self.assertNotIn("std::async", out)
+        self.assertIn('f("', out)
+
+    def test_raw_string_contents_stripped(self):
+        out = dclint.strip_comments_and_strings(
+            'auto s = R"(time(nullptr))";\n')
+        self.assertNotIn("time(nullptr)", out)
+
+    def test_preserves_line_count(self):
+        text = 'a; /* multi\nline\ncomment */ b; // tail\n"str\\"ing"\n'
+        self.assertEqual(dclint.strip_comments_and_strings(text).count("\n"),
+                         text.count("\n"))
+
+
+class ScopeTest(unittest.TestCase):
+    def test_dclint_as_overrides_path(self):
+        self.assertEqual(
+            dclint.effective_path("/anything/x.cc",
+                                  ["// dclint-as: src/core/x.cc"]),
+            "src/core/x.cc")
+
+    def test_scope_prefix_is_directory_aware(self):
+        rule = {"scope": ("src/core",)}
+        self.assertTrue(dclint._in_scope(rule, "src/core/floc.cc"))
+        self.assertFalse(dclint._in_scope(rule, "src/core_extras/x.cc"))
+
+    def test_exclude_wins_over_scope(self):
+        rule = {"scope": ("src",), "exclude": ("src/obs",)}
+        self.assertFalse(dclint._in_scope(rule, "src/obs/trace.cc"))
+
+
+class CliTest(unittest.TestCase):
+    def _run(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = dclint.main(argv)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_fixture_exits_nonzero_with_diagnostic(self):
+        code, out, _ = self._run([fixture_path("banned-rand.cc")])
+        self.assertEqual(code, 1)
+        self.assertIn("[banned-rand]", out)
+        self.assertIn("NOLINT(dclint:banned-rand)", out)
+
+    def test_clean_file_exits_zero(self):
+        code, _, _ = self._run([fixture_path("clean.cc")])
+        self.assertEqual(code, 0)
+
+    def test_list_rules_exits_zero_and_names_every_rule(self):
+        code, out, _ = self._run(["--list-rules"])
+        self.assertEqual(code, 0)
+        for rule in dclint.RULES:
+            self.assertIn(rule["name"], out)
+
+    def test_tree_is_clean(self):
+        """The repository itself must lint clean -- the ctest gate."""
+        code, out, err = self._run([])
+        self.assertEqual(
+            code, 0,
+            f"dclint findings in the tree:\n{out}{err}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

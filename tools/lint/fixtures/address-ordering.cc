@@ -1,0 +1,13 @@
+// dclint-as: src/data/fixture.cc
+// Fixture: must trigger exactly dclint rule `address-ordering`.
+#include <memory>
+
+namespace deltaclus {
+
+// Address comparison: allocation-order dependent.
+inline bool Before(const std::unique_ptr<int>& a,
+                   const std::unique_ptr<int>& b) {
+  return a.get() < b.get();
+}
+
+}  // namespace deltaclus

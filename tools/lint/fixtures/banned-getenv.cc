@@ -1,0 +1,9 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `banned-getenv`.
+#include <cstdlib>
+
+namespace deltaclus {
+
+bool AuditRequested() { return std::getenv("AUDIT") != nullptr; }
+
+}  // namespace deltaclus

@@ -1,0 +1,12 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `banned-rand`.
+#include <random>
+
+namespace deltaclus {
+
+unsigned EntropySeed() {
+  std::random_device rd;  // nondeterministic by design
+  return rd();
+}
+
+}  // namespace deltaclus

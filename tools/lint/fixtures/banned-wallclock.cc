@@ -1,0 +1,12 @@
+// dclint-as: src/eval/fixture.cc
+// Fixture: must trigger exactly dclint rule `banned-wallclock`.
+#include <chrono>
+#include <cstdint>
+
+namespace deltaclus {
+
+int64_t NowTicks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace deltaclus

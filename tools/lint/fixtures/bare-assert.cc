@@ -1,0 +1,11 @@
+// dclint-as: src/eval/fixture.cc
+// Fixture: must trigger exactly dclint rule `bare-assert`.
+#include <cstddef>
+
+namespace deltaclus {
+
+void CheckIndex(size_t i, size_t n) {
+  assert(i < n);  // vanishes under NDEBUG; use DC_CHECK
+}
+
+}  // namespace deltaclus

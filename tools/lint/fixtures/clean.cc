@@ -1,0 +1,21 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must produce NO findings. Exercises the comment/string
+// stripper: the banned constructs below appear only in prose and
+// literals, which the linter must ignore.
+//
+// Prose mentions that must not fire: std::thread spawning, rand(),
+// std::unordered_map iteration, assert(x), #pragma omp, getenv("X").
+#include <string>
+
+#include "src/util/check.h"
+
+namespace deltaclus {
+
+inline int Answer() {
+  std::string s = "std::async(std::launch::async) and time(nullptr)";
+  /* block comments too: std::random_device, std::reduce(v.begin()) */
+  DC_CHECK(!s.empty());
+  return 42;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,12 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `float-reassoc`.
+#include <numeric>
+#include <vector>
+
+namespace deltaclus {
+
+double Sum(const std::vector<double>& v) {
+  return std::reduce(v.begin(), v.end(), 0.0);  // may reassociate
+}
+
+}  // namespace deltaclus

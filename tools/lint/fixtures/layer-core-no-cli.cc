@@ -1,0 +1,5 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `layer-core-no-cli`.
+#include "src/cli/cli.h"
+
+namespace deltaclus {}

@@ -1,0 +1,5 @@
+// dclint-as: src/data/fixture.cc
+// Fixture: must trigger exactly dclint rule `layer-lib-no-harness`.
+#include "bench/bench_common.h"
+
+namespace deltaclus {}

@@ -1,0 +1,5 @@
+// dclint-as: src/util/fixture.cc
+// Fixture: must trigger exactly dclint rule `layer-util-leaf`.
+#include "src/core/floc.h"
+
+namespace deltaclus {}

@@ -1,0 +1,13 @@
+// dclint-as: src/data/fixture.cc
+// Fixture: must trigger exactly dclint rule `lock-free-comment`.
+#include <atomic>
+#include <cstdint>
+
+namespace deltaclus {
+
+class Progress {
+ private:
+  std::atomic<uint64_t> rows_done_{0};  // no ordering argument written
+};
+
+}  // namespace deltaclus

@@ -1,0 +1,18 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must produce NO findings -- both violations below carry the
+// documented per-line escape hatch (one trailing, one NEXTLINE form).
+#include <cstdlib>
+
+namespace deltaclus {
+
+// Justification: fixture demonstrating the suppression syntax.
+inline bool Flag() {
+  return std::getenv("F") != nullptr;  // NOLINT(dclint:banned-getenv)
+}
+
+inline bool Flag2() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe, dclint:banned-getenv)
+  return std::getenv("G") != nullptr;
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,13 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `omp-pragma`.
+
+namespace deltaclus {
+
+double ParallelSum(const double* v, int n) {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum)
+  for (int i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+}  // namespace deltaclus

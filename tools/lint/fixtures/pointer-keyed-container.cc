@@ -1,0 +1,12 @@
+// dclint-as: src/data/fixture.cc
+// Fixture: must trigger exactly dclint rule `pointer-keyed-container`.
+#include <map>
+
+namespace deltaclus {
+
+struct Cluster;
+
+// Iteration order = allocation order: varies run to run.
+using ClusterRank = std::map<Cluster*, int>;
+
+}  // namespace deltaclus

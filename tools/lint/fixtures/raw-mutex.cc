@@ -1,0 +1,12 @@
+// dclint-as: src/engine/fixture.cc
+// Fixture: must trigger exactly dclint rule `raw-mutex`.
+#include <mutex>
+
+namespace deltaclus {
+
+class Queue {
+ private:
+  std::mutex mu_;  // invisible to Clang TSA; use dc::Mutex
+};
+
+}  // namespace deltaclus

@@ -1,0 +1,11 @@
+// dclint-as: src/data/fixture.cc
+// Fixture: must trigger exactly dclint rule `raw-thread`.
+#include <thread>
+
+namespace deltaclus {
+
+void SpawnLoader() {
+  std::thread([] {}).join();  // bypasses the deterministic pool
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,9 @@
+// dclint-as: src/data/fixture.cc
+// Fixture: must trigger exactly dclint rule `std-async`.
+#include <future>
+
+namespace deltaclus {
+
+int LoadAsync() { return std::async([] { return 1; }).get(); }
+
+}  // namespace deltaclus

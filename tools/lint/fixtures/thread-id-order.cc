@@ -1,0 +1,11 @@
+// dclint-as: src/engine/fixture.cc
+// Fixture: must trigger exactly dclint rule `thread-id-order`.
+#include <thread>
+
+namespace deltaclus {
+
+bool AmFirst() {
+  return std::this_thread::get_id() == std::thread::id();
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,13 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `unordered-container`.
+#include <unordered_map>
+
+namespace deltaclus {
+
+int SumValues(const std::unordered_map<int, int>& m) {
+  int sum = 0;
+  for (const auto& [k, v] : m) sum += v;  // iteration order: hash-dependent
+  return sum;
+}
+
+}  // namespace deltaclus
