@@ -13,6 +13,8 @@
 #include "src/core/floc.h"
 #include "src/data/synthetic.h"
 #include "src/eval/table.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quantile_histogram.h"
 
 using namespace deltaclus;  // NOLINT
 
@@ -42,6 +44,13 @@ int main(int argc, char** argv) {
   report.Config("k", bench::Uint(k));
   report.Config("embedded_clusters", bench::Uint(50));
   report.Config("noise_stddev", bench::Num(2.0));
+
+  // Per-iteration latency quantiles ride along in each result row; the
+  // snapshot-delta protocol isolates each run without global resets.
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::QuantileHistogram* iteration_latency =
+      obs::MetricsRegistry::Global().GetQuantileHistogram(
+          "floc.iteration.latency", obs::LatencySecondsOptions());
 
   std::printf(
       "Thread scaling: the Table 2/3 workload (k=%zu) on the persistent\n"
@@ -82,7 +91,11 @@ int main(int argc, char** argv) {
       config.reseed_rounds = 0;
       config.threads = threads;
       config.rng_seed = 29;
+      obs::QuantileHistogramSnapshot latency_before =
+          iteration_latency->Snapshot();
       FlocResult result = Floc(config).Run(data.matrix);
+      obs::QuantileHistogramSnapshot latency =
+          iteration_latency->Snapshot().Delta(latency_before);
 
       if (threads == thread_counts.front()) {
         serial_seconds = result.elapsed_seconds;
@@ -112,7 +125,10 @@ int main(int argc, char** argv) {
            {"speedup",
             bench::Num(result.elapsed_seconds > 0.0
                            ? serial_seconds / result.elapsed_seconds
-                           : 0.0)}});
+                           : 0.0)},
+           {"latency_p50", bench::Num(latency.ValueAtQuantile(0.5))},
+           {"latency_p90", bench::Num(latency.ValueAtQuantile(0.9))},
+           {"latency_p99", bench::Num(latency.ValueAtQuantile(0.99))}});
       std::fflush(stdout);
     }
     row.push_back(TextTable::Num(

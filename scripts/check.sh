@@ -51,6 +51,13 @@ stage_lint() {
   else
     fail "dclint (see diagnostics above; rules: tools/lint/dclint.py --list-rules)"
   fi
+  # dcstat's test suite is equally build-free (it runs against the
+  # checked-in trajectory records), so it rides in the same stage.
+  if python3 tools/dcstat_test.py 2>/dev/null; then
+    echo "lint: dcstat tests clean"
+  else
+    fail "dcstat tests (python3 tools/dcstat_test.py)"
+  fi
 }
 
 stage_format() {
@@ -144,6 +151,36 @@ stage_bench() {
     echo "bench: BENCH json valid"
   else
     fail "bench run or BENCH json validation"
+  fi
+  rm -rf "$out"
+  # Telemetry-overhead envelope (PR 2): the full-telemetry FLOC run must
+  # stay within 1.10x of the telemetry-off run. Gated on the checked-in
+  # PR 5 record via dcstat, so it is deterministic; refresh the record
+  # when the telemetry hot path changes.
+  if python3 tools/dcstat.py overhead \
+        bench/trajectory/BENCH_micro_kernels_pr5.json \
+        --off BM_FlocTelemetryOff --full BM_FlocTelemetryFull \
+        --max-ratio 1.10; then
+    echo "bench: telemetry overhead within envelope"
+  else
+    fail "telemetry overhead gate (tools/dcstat.py overhead)"
+  fi
+  # A live mine run must produce a perf report that validates against
+  # scripts/perf_report_schema.json (the CLI --perf-report contract).
+  if [ ! -x build/tools/deltaclus_cli ]; then
+    cmake --build --preset default -j "$JOBS" --target deltaclus_cli
+  fi
+  out="$(mktemp -d)"
+  if ./build/tools/deltaclus_cli generate --rows 80 --cols 20 --clusters 3 \
+        --seed 5 --out "$out/m.csv" >/dev/null \
+      && ./build/tools/deltaclus_cli mine --input "$out/m.csv" --k 3 \
+        --seed 7 --out "$out/c.txt" \
+        --perf-report="$out/perf_report.json" >/dev/null \
+      && python3 scripts/validate_bench_json.py \
+        --schema scripts/perf_report_schema.json "$out/perf_report.json"; then
+    echo "bench: perf report json valid"
+  else
+    fail "perf report generation/schema validation"
   fi
   rm -rf "$out"
   # Pin the recorded kernel-speedup trajectory (bench/trajectory/): the

@@ -118,11 +118,19 @@ void FillScores(engine::ThreadPool* pool, size_t n, std::vector<double>* out,
   });
 }
 
+// Accumulated wall seconds per mining phase across all MineOne calls of
+// one run, feeding the run's PerfReport.
+struct MinePhaseSeconds {
+  double multiple_deletion = 0.0;
+  double single_deletion = 0.0;
+  double node_addition = 0.0;
+};
+
 // Mines a single low-MSR bicluster from `work` (Cheng & Church
 // Algorithms 1-3 chained).
 Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
                 engine::ThreadPool* pool, ResidueEngine& engine,
-                double* out_msr) {
+                double* out_msr, MinePhaseSeconds* phase_seconds) {
   // Start from the full matrix.
   std::vector<size_t> all_rows(work.rows());
   std::vector<size_t> all_cols(work.cols());
@@ -139,6 +147,7 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
   std::vector<double> member_scores;
   {
   DC_TRACE_SPAN("cheng_church/multiple_deletion");
+  Stopwatch phase_watch;
   while (msr > config.msr_threshold) {
     bool removed = false;
     if (ws.cluster().NumRows() > config.multiple_deletion_min) {
@@ -179,11 +188,13 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
     }
     if (!removed) break;
   }
+  phase_seconds->multiple_deletion += phase_watch.ElapsedSeconds();
   }
 
   // --- Algorithm 1: single node deletion. ---
   {
   DC_TRACE_SPAN("cheng_church/single_deletion");
+  Stopwatch phase_watch;
   while (msr > config.msr_threshold &&
          (ws.cluster().NumRows() > 2 || ws.cluster().NumCols() > 2)) {
     double best_row_score = -1.0;
@@ -224,11 +235,13 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
     }
     msr = engine.Residue(ws);
   }
+  phase_seconds->single_deletion += phase_watch.ElapsedSeconds();
   }
 
   // --- Algorithm 3: node addition. ---
   {
   DC_TRACE_SPAN("cheng_church/node_addition");
+  Stopwatch phase_watch;
   for (int pass = 0; pass < 50; ++pass) {
     bool changed = false;
     msr = engine.Residue(ws);
@@ -267,6 +280,7 @@ Cluster MineOne(const DataMatrix& work, const ChengChurchConfig& config,
 
     if (!changed) break;
   }
+  phase_seconds->node_addition += phase_watch.ElapsedSeconds();
   }
 
   *out_msr = engine.Residue(ws);
@@ -288,6 +302,8 @@ ChengChurchResult RunChengChurch(const DataMatrix& matrix,
   }
   DC_TRACE_SPAN("cheng_church/run");
   Stopwatch stopwatch;
+  // Registry snapshot for end-of-run delta accounting (like FLOC's).
+  obs::PerfAccounting perf_accounting;
   Rng rng(config.seed);
 
   // The score scans shard over the injected pool when one is provided;
@@ -306,22 +322,35 @@ ChengChurchResult RunChengChurch(const DataMatrix& matrix,
   ResidueEngine engine(ResidueNorm::kMeanSquared);
   DataMatrix work = matrix;  // masked as clusters are discovered
   ChengChurchResult result;
+  MinePhaseSeconds phase_seconds;
+  double masking_seconds = 0.0;
   for (size_t c = 0; c < config.num_clusters; ++c) {
     DC_TRACE_SPAN("cheng_church/mine_one");
     double msr = 0.0;
-    Cluster found = MineOne(work, config, pool, engine, &msr);
+    Cluster found = MineOne(work, config, pool, engine, &msr, &phase_seconds);
     if (found.Empty()) break;
     // Mask the discovered bicluster with random values so the next round
     // does not rediscover it (the step the paper criticizes).
+    Stopwatch mask_watch;
     for (uint32_t i : found.row_ids()) {
       for (uint32_t j : found.col_ids()) {
         work.Set(i, j, rng.Uniform(config.mask_lo, config.mask_hi));
       }
     }
+    masking_seconds += mask_watch.ElapsedSeconds();
     result.clusters.push_back(std::move(found));
     result.msr.push_back(msr);
   }
   result.elapsed_seconds = stopwatch.ElapsedSeconds();
+  result.perf = perf_accounting.Finish(
+      "cheng_church", result.elapsed_seconds, stopwatch.CpuSeconds(),
+      result.clusters.size(),
+      {{"multiple_deletion", phase_seconds.multiple_deletion},
+       {"single_deletion", phase_seconds.single_deletion},
+       {"node_addition", phase_seconds.node_addition},
+       {"masking", masking_seconds}},
+      {"cheng_church/multiple_deletion", "cheng_church/single_deletion",
+       "cheng_church/node_addition", nullptr});
   return result;
 }
 

@@ -26,6 +26,7 @@
 
 #include "src/core/cluster.h"
 #include "src/core/data_matrix.h"
+#include "src/obs/perf_report.h"
 
 namespace deltaclus {
 
@@ -83,6 +84,10 @@ struct ChengChurchResult {
   std::vector<double> msr;
   /// Wall-clock seconds for the whole run.
   double elapsed_seconds = 0.0;
+  /// End-of-run performance attribution (see src/obs/perf_report.h):
+  /// wall/CPU per algorithm phase (multiple/single deletion, node
+  /// addition, masking) plus pool/kernel counters when metrics were on.
+  obs::PerfReport perf;
 };
 
 /// Runs the miner on `matrix`, which must be fully specified (the

@@ -49,6 +49,11 @@ commands:
             observability (see docs/OBSERVABILITY.md):
             [--telemetry off|summary|full] [--telemetry-out run.jsonl]
             [--trace-out trace.json] [--metrics-out metrics.json]
+            [--metrics-format=json|prom] [--perf-report[=report.json]]
+            --perf-report without a value prints the per-phase
+            attribution table; with =PATH it writes the report JSON
+            (feed it to tools/dcstat.py). --metrics-format=prom writes
+            --metrics-out in Prometheus text exposition format.
   stats     summarize a clustering
             --input matrix.csv --clusters clusters.txt
             [--truth truth.txt]
@@ -211,6 +216,14 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   std::string telemetry_out = flags.StringOr("telemetry-out", "");
   std::string trace_out = flags.StringOr("trace-out", "");
   std::string metrics_out = flags.StringOr("metrics-out", "");
+  std::string metrics_format = flags.StringOr("metrics-format", "json");
+  if (metrics_format != "json" && metrics_format != "prom") {
+    return UsageError(err,
+                      "unknown --metrics-format '" + metrics_format + "'");
+  }
+  // A bare --perf-report prints the text table; =PATH writes JSON.
+  bool perf_report_requested = flags.GetBool("perf-report");
+  std::string perf_report_path = flags.StringOr("perf-report", "");
   if (int rc = FinishFlags(flags, err)) return rc;
 
   std::ofstream telemetry_stream;
@@ -229,7 +242,9 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
     config.telemetry_sink = &*telemetry_sink;
   }
   if (!trace_out.empty()) obs::TraceRecorder::SetEnabled(true);
-  if (!metrics_out.empty()) obs::MetricsRegistry::SetEnabled(true);
+  if (!metrics_out.empty() || perf_report_requested) {
+    obs::MetricsRegistry::SetEnabled(true);
+  }
 
   DataMatrix matrix(0, 0);
   try {
@@ -254,12 +269,31 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
     }
   }
   if (!metrics_out.empty()) {
-    if (obs::MetricsRegistry::Global().WriteJsonFile(metrics_out)) {
-      out << "wrote metrics snapshot to " << metrics_out << "\n";
+    bool wrote = metrics_format == "prom"
+        ? obs::MetricsRegistry::Global().WriteExpositionFile(metrics_out)
+        : obs::MetricsRegistry::Global().WriteJsonFile(metrics_out);
+    if (wrote) {
+      out << "wrote metrics snapshot (" << metrics_format << ") to "
+          << metrics_out << "\n";
     } else {
       err << "error: cannot write --metrics-out " << metrics_out << "\n";
       return 2;
     }
+  }
+  if (perf_report_requested) {
+    if (perf_report_path.empty()) {
+      result.perf.PrintTable(out);
+    } else if (result.perf.WriteJsonFile(perf_report_path)) {
+      out << "wrote perf report to " << perf_report_path << "\n";
+    } else {
+      err << "error: cannot write --perf-report " << perf_report_path << "\n";
+      return 2;
+    }
+  }
+  if (telemetry_sink && !telemetry_sink->ok()) {
+    // A sink failure degrades the JSONL stream but never the run.
+    err << "warning: telemetry sink reported a write failure; " << telemetry_out
+        << " is incomplete\n";
   }
   if (result.telemetry.level != obs::TelemetryLevel::kOff) {
     const obs::RunTelemetry& tel = result.telemetry;

@@ -28,6 +28,7 @@ struct FlocMetrics {
   obs::Counter* reseed_slots;
   obs::Gauge* last_average_residue;
   obs::Histogram* iteration_seconds;
+  obs::QuantileHistogram* iteration_latency;
 
   static const FlocMetrics& Get() {
     static const FlocMetrics m = [] {
@@ -42,6 +43,8 @@ struct FlocMetrics {
           r.GetGauge("floc.last.average_residue"),
           r.GetHistogram("floc.iteration.seconds",
                          {0.001, 0.01, 0.1, 1.0, 10.0}),
+          r.GetQuantileHistogram("floc.iteration.latency",
+                                 obs::LatencySecondsOptions()),
       };
     }();
     return m;
@@ -161,6 +164,9 @@ double Floc::ClusterScore(double residue, size_t volume) const {
 
 FlocResult Floc::Run(const DataMatrix& matrix) {
   Rng rng(config_.rng_seed);
+  // Open the perf delta window before seeding so the report's counter
+  // deltas and trace attribution cover Phase 1 too.
+  perf_accounting_.emplace();
   Stopwatch seed_watch;
   std::vector<Cluster> seeds;
   {
@@ -391,10 +397,16 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
                               std::vector<Cluster> seeds) {
   DC_TRACE_SPAN("floc/run");
   Stopwatch stopwatch;
+  // Samples the registry counters now (unless Run() already did, before
+  // seeding) so the report at the end reflects only this run's deltas.
+  if (!perf_accounting_) perf_accounting_.emplace();
   Rng rng(config_.rng_seed ^ 0x5eedf10cULL);
   size_t k = seeds.size();
   FlocResult result;
-  if (k == 0) return result;
+  if (k == 0) {
+    perf_accounting_.reset();
+    return result;
+  }
 
   obs::TelemetryCollector collector(config_.telemetry, config_.telemetry_sink);
 
@@ -552,7 +564,9 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
     {
       const FlocMetrics& m = FlocMetrics::Get();
       m.actions_applied->Inc(applied.size());
-      m.iteration_seconds->Observe(iter_watch.ElapsedSeconds());
+      double iteration_seconds = iter_watch.ElapsedSeconds();
+      m.iteration_seconds->Observe(iteration_seconds);
+      m.iteration_latency->Observe(iteration_seconds);
     }
     if (itel != nullptr) {
       itel->apply_seconds = apply_seconds;
@@ -737,9 +751,27 @@ FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
   // the caller provided the seeds directly.
   collector.run().seeding_seconds = seed_phase_seconds_;
   seed_phase_seconds_ = 0.0;
-  result.telemetry = collector.Finish(result.elapsed_seconds,
-                                      stopwatch.CpuSeconds(),
+  double cpu_seconds = stopwatch.CpuSeconds();
+  result.telemetry = collector.Finish(result.elapsed_seconds, cpu_seconds,
                                       result.average_residue);
+
+  // Phase walls come from the telemetry accumulators (which run at every
+  // level, including kOff); CPU attribution joins on the span names. The
+  // report total includes Phase-1 seeding (measured by Run() outside
+  // this stopwatch) so phase shares are of the whole run.
+  const obs::RunTelemetry& tel = result.telemetry;
+  result.perf = perf_accounting_->Finish(
+      "floc", result.elapsed_seconds + tel.seeding_seconds, cpu_seconds,
+      result.iterations,
+      {{"seeding", tel.seeding_seconds},
+       {"move_phase", tel.move_phase_seconds},
+       {"determine", tel.determine_seconds},
+       {"apply", tel.apply_seconds},
+       {"refine", tel.refine_seconds},
+       {"reseed", tel.reseed_seconds}},
+      {"floc/phase1_seeding", "floc/move_phase", "floc/determine_actions",
+       "floc/apply_actions", "floc/refine", "floc/reseed_round"});
+  perf_accounting_.reset();
   return result;
 }
 

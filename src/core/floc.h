@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,7 @@
 #include "src/core/ordering.h"
 #include "src/core/residue.h"
 #include "src/core/seeding.h"
+#include "src/obs/perf_report.h"
 #include "src/obs/telemetry.h"
 #include "src/util/rng.h"
 
@@ -247,6 +249,11 @@ struct FlocResult {
   /// aggregate fields are populated at every level; the per-iteration
   /// log only at kSummary/kFull.
   obs::RunTelemetry telemetry;
+  /// End-of-run performance attribution (see src/obs/perf_report.h).
+  /// Phase walls and shares are always populated; kernel counters and
+  /// latency quantiles only when metrics were enabled for the run
+  /// (perf.metrics_valid), per-phase CPU only when tracing was on.
+  obs::PerfReport perf;
 };
 
 /// The FLOC algorithm. Construct once per configuration; Run() may be
@@ -315,6 +322,11 @@ class Floc {
   // Phase-1 (seeding) wall seconds measured by Run(), consumed into the
   // telemetry of the RunWithSeeds call it delegates to.
   double seed_phase_seconds_ = 0.0;
+
+  // Per-run metrics/trace delta window for the perf report. Run() opens
+  // it before seeding so seed-repair pool work is attributed to the run;
+  // RunWithSeeds opens it itself when called directly.
+  std::optional<obs::PerfAccounting> perf_accounting_;
 
   // Whether audit mode also re-validates alpha-occupancy. FLOC preserves
   // occupancy but cannot establish it, so RunWithSeeds only turns this on

@@ -17,6 +17,15 @@ obs::Counter* GainMemoServedCounter() {
   return counter;
 }
 
+// After-toggle evaluations that had to rescan (cold or stale memo slot,
+// or no memo configured). served / (served + recomputed) is the memo
+// hit rate reported by obs::PerfReport.
+obs::Counter* GainMemoRecomputedCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "floc.gain_evals_recomputed");
+  return counter;
+}
+
 }  // namespace
 
 Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
@@ -71,6 +80,7 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
       after_residue =
           is_row ? engine.ResidueAfterToggleRow(views[c], index, &new_volume)
                  : engine.ResidueAfterToggleCol(views[c], index, &new_volume);
+      GainMemoRecomputedCounter()->Inc();
       if (slot != nullptr) {
         slot->epoch = epoch;
         slot->after_residue = after_residue;

@@ -1,9 +1,41 @@
 #include "src/engine/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "src/obs/clock.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quantile_histogram.h"
+#include "src/obs/trace.h"
+
 namespace deltaclus::engine {
+
+namespace {
+
+// Pool-level sweep accounting, registered once and mutated lock-free.
+// Shard imbalance is max/mean shard wall time within one sweep: 1.0 is
+// a perfectly balanced sweep, large values mean one straggler shard
+// serialized the join.
+struct PoolMetrics {
+  obs::Counter* sweeps;
+  obs::Counter* shards;
+  obs::QuantileHistogram* shard_imbalance;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics* metrics = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new PoolMetrics{
+          r.GetCounter("engine.pool.sweeps"),
+          r.GetCounter("engine.pool.shards"),
+          r.GetQuantileHistogram("engine.pool.shard_imbalance",
+                                 obs::RatioOptions())};
+    }();
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 int ResolveThreads(int configured) {
   if (configured > 0) return configured;
@@ -15,8 +47,25 @@ ThreadPool::ThreadPool(int threads) {
   int spawn = std::max(threads, 1) - 1;
   workers_.reserve(static_cast<size_t>(spawn));
   for (int i = 0; i < spawn; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Label the worker's track in trace exports (the coordinating
+      // thread is whoever calls ParallelFor and keeps its own name).
+      obs::TraceRecorder::NameCurrentThread("pool worker " +
+                                            std::to_string(i + 1));
+      {
+        dc::MutexLock lock(mutex_);
+        ++started_;
+      }
+      done_cv_.NotifyOne();
+      WorkerLoop();
+    });
   }
+  // Wait until every worker has registered its trace name, so all
+  // startup allocation happens inside the constructor: callers may
+  // bracket an allocation-free region immediately after it returns
+  // (floc_telemetry_test counts on this).
+  dc::MutexLock lock(mutex_);
+  while (started_ < static_cast<size_t>(spawn)) done_cv_.Wait(lock);
 }
 
 ThreadPool::~ThreadPool() {
@@ -80,6 +129,25 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
   job.grain = grain;
   job.shards = ShardCount(total, grain);
 
+  // Per-shard wall-time accounting for the imbalance histogram. When
+  // metrics are off this is one predicted branch and zero allocation
+  // (the default-constructed vector and std::function hold nothing).
+  // When on, each claimant writes its shard's duration into a disjoint
+  // slot; the coordinator reduces after the join (published by the
+  // join-side mutex acquire), so the wrapper cannot perturb results.
+  const bool timed = obs::internal::MetricsEnabled();
+  std::vector<int64_t> shard_ns;
+  ShardFn timed_fn;
+  if (timed) {
+    shard_ns.assign(job.shards, 0);
+    timed_fn = [&fn, &shard_ns](size_t begin, size_t end, size_t shard) {
+      int64_t start = obs::MonotonicNowNs();
+      fn(begin, end, shard);
+      shard_ns[shard] = obs::MonotonicNowNs() - start;
+    };
+    job.fn = &timed_fn;
+  }
+
   if (!workers_.empty()) {
     {
       dc::MutexLock lock(mutex_);
@@ -101,6 +169,22 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
     dc::MutexLock lock(mutex_);
     job_ = nullptr;
     while (participants_ != 0) done_cv_.Wait(lock);
+  }
+
+  if (timed) {
+    const PoolMetrics& metrics = PoolMetrics::Get();
+    metrics.sweeps->Inc();
+    metrics.shards->Inc(job.shards);
+    int64_t max_ns = 0;
+    int64_t sum_ns = 0;
+    for (int64_t ns : shard_ns) {
+      max_ns = std::max(max_ns, ns);
+      sum_ns += ns;
+    }
+    double mean_ns =
+        static_cast<double>(sum_ns) / static_cast<double>(job.shards);
+    metrics.shard_imbalance->Observe(
+        mean_ns > 0.0 ? static_cast<double>(max_ns) / mean_ns : 1.0);
   }
 
   // Every participant has left, but the analysis (rightly) insists the

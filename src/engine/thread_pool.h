@@ -157,6 +157,10 @@ class ThreadPool {
   uint64_t generation_ DC_GUARDED_BY(mutex_) = 0;
   /// Workers currently inside RunShards.
   size_t participants_ DC_GUARDED_BY(mutex_) = 0;
+  /// Workers that finished startup (trace-name registration); the
+  /// constructor blocks until all of them have, so worker startup
+  /// allocations never land after construction.
+  size_t started_ DC_GUARDED_BY(mutex_) = 0;
   bool stop_ DC_GUARDED_BY(mutex_) = false;
 };
 

@@ -1,11 +1,14 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "src/obs/json.h"
+#include "src/obs/quantile_histogram.h"
 #include "src/util/check.h"
 
 namespace deltaclus::obs {
@@ -32,6 +35,13 @@ Histogram::Histogram(std::vector<double> bounds)
 
 void Histogram::Observe(double v) {
   if (!internal::MetricsEnabled()) return;
+  if (!std::isfinite(v)) {
+    // NaN compares false against every bound, so lower_bound would file
+    // it in bucket 0 -- and adding NaN/Inf to sum_ would poison the
+    // running sum permanently. Count and reject instead.
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   size_t bucket =
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin();
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
@@ -54,7 +64,12 @@ void Histogram::Reset() {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  invalid_.store(0, std::memory_order_relaxed);
 }
+
+// Out-of-line so unique_ptr<QuantileHistogram> destroys a complete type.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
@@ -95,6 +110,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   });
 }
 
+QuantileHistogram* MetricsRegistry::GetQuantileHistogram(
+    const std::string& name, const QuantileHistogramOptions& options) {
+  dc::MutexLock lock(mu_);
+  return FindOrCreate(quantile_histograms_, name, [&] {
+    return std::make_unique<QuantileHistogram>(options);
+  });
+}
+
 void MetricsRegistry::SetEnabled(bool enabled) {
   internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
 }
@@ -104,18 +127,51 @@ void MetricsRegistry::ResetAll() {
   for (auto& [n, c] : counters_) c->Reset();
   for (auto& [n, g] : gauges_) g->Reset();
   for (auto& [n, h] : histograms_) h->Reset();
+  for (auto& [n, q] : quantile_histograms_) q->Reset();
 }
+
+namespace {
+
+// Registration order -> name-sorted order, shared by both exports.
+template <typename V>
+std::vector<size_t> SortedOrder(const V& v) {
+  std::vector<size_t> order(v.size());
+  for (size_t t = 0; t < v.size(); ++t) order[t] = t;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a].first < v[b].first; });
+  return order;
+}
+
+// Prometheus metric names allow [a-zA-Z0-9_:] and must not start with
+// a digit; everything else (the registry uses '.') becomes '_'.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+// Prometheus text values: plain decimal, with the spec's spellings for
+// the non-finite cases (unlike JSON, the format has them).
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
 
 void MetricsRegistry::WriteJson(std::ostream& out) const {
   dc::MutexLock lock(mu_);
-  auto sorted_names = [](const auto& v) {
-    std::vector<size_t> order(v.size());
-    for (size_t t = 0; t < v.size(); ++t) order[t] = t;
-    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return v[a].first < v[b].first;
-    });
-    return order;
-  };
+  auto sorted_names = [](const auto& v) { return SortedOrder(v); };
 
   JsonWriter w(out);
   w.BeginObject();
@@ -141,9 +197,20 @@ void MetricsRegistry::WriteJson(std::ostream& out) const {
     w.EndArray();
     w.Key("count").Uint(h.Count());
     w.Key("sum").Number(h.Sum());
+    w.Key("invalid").Uint(h.InvalidCount());
     w.EndObject();
   }
   w.EndObject();
+  if (!quantile_histograms_.empty()) {
+    w.Key("quantile_histograms").BeginObject();
+    for (size_t t : sorted_names(quantile_histograms_)) {
+      w.Key(quantile_histograms_[t].first);
+      std::ostringstream qs;
+      quantile_histograms_[t].second->Snapshot().WriteJson(qs);
+      w.Raw(qs.str());
+    }
+    w.EndObject();
+  }
   w.EndObject();
   out << "\n";
 }
@@ -158,6 +225,54 @@ bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   WriteJson(out);
+  return out.good();
+}
+
+void MetricsRegistry::WriteExposition(std::ostream& out) const {
+  dc::MutexLock lock(mu_);
+  for (size_t t : SortedOrder(counters_)) {
+    std::string n = PromName(counters_[t].first);
+    out << "# TYPE " << n << " counter\n"
+        << n << " " << counters_[t].second->Value() << "\n";
+  }
+  for (size_t t : SortedOrder(gauges_)) {
+    std::string n = PromName(gauges_[t].first);
+    out << "# TYPE " << n << " gauge\n"
+        << n << " " << PromNumber(gauges_[t].second->Value()) << "\n";
+  }
+  for (size_t t : SortedOrder(histograms_)) {
+    const Histogram& h = *histograms_[t].second;
+    std::string n = PromName(histograms_[t].first);
+    out << "# TYPE " << n << " histogram\n";
+    std::vector<uint64_t> counts = h.BucketCounts();
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.bounds().size(); ++b) {
+      cumulative += counts[b];
+      out << n << "_bucket{le=\"" << PromNumber(h.bounds()[b]) << "\"} "
+          << cumulative << "\n";
+    }
+    out << n << "_bucket{le=\"+Inf\"} " << h.Count() << "\n"
+        << n << "_sum " << PromNumber(h.Sum()) << "\n"
+        << n << "_count " << h.Count() << "\n";
+  }
+  for (size_t t : SortedOrder(quantile_histograms_)) {
+    QuantileHistogramSnapshot snap = quantile_histograms_[t].second->Snapshot();
+    std::string n = PromName(quantile_histograms_[t].first);
+    out << "# TYPE " << n << " summary\n";
+    constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+    for (double q : kQuantiles) {
+      out << n << "{quantile=\"" << PromNumber(q) << "\"} "
+          << PromNumber(snap.ValueAtQuantile(q)) << "\n";
+    }
+    out << n << "_sum " << PromNumber(snap.sum) << "\n"
+        << n << "_count " << snap.count << "\n";
+  }
+}
+
+bool MetricsRegistry::WriteExpositionFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteExposition(out);
   return out.good();
 }
 

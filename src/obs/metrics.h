@@ -79,9 +79,12 @@ class Gauge {
 };
 
 /// Fixed-bucket histogram. Bucket i counts observations v with
-/// v <= bounds[i] (first matching bucket); the implicit last bucket
-/// counts everything above the largest bound. Sum and count are tracked
-/// for mean computation.
+/// v <= bounds[i] (first matching bucket); the explicit last bucket
+/// (index bounds.size()) is the overflow bucket and counts every finite
+/// observation above the largest bound. Non-finite observations (NaN,
+/// +/-Inf) are counted in InvalidCount() and never touch the buckets,
+/// count, or sum -- a single NaN must not poison the running sum.
+/// Sum and count are tracked for mean computation.
 class Histogram {
  public:
   /// `bounds` must be strictly increasing; the histogram owns a copy.
@@ -91,6 +94,10 @@ class Histogram {
 
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Non-finite observations rejected by Observe.
+  uint64_t InvalidCount() const {
+    return invalid_.load(std::memory_order_relaxed);
+  }
   /// Bucket counts, one per bound plus the overflow bucket.
   std::vector<uint64_t> BucketCounts() const;
   const std::vector<double>& bounds() const { return bounds_; }
@@ -107,12 +114,28 @@ class Histogram {
   std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  // DC_LOCK_FREE: relaxed count of rejected non-finite observations;
+  // kept separate so the distribution stays NaN-free.
+  std::atomic<uint64_t> invalid_{0};
 };
+
+// Defined in quantile_histogram.h; the registry stores and snapshots
+// them without needing the definition here (keeps the include acyclic:
+// quantile_histogram.h includes metrics.h for the enabled gate).
+class QuantileHistogram;
+struct QuantileHistogramOptions;
 
 /// Name -> metric registry. One process-wide instance via Global();
 /// tests may construct their own.
 class MetricsRegistry {
  public:
+  MetricsRegistry();
+  // Out-of-line: members hold unique_ptr<QuantileHistogram> which is
+  // incomplete at this point.
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   static MetricsRegistry& Global();
 
   /// Returns the counter registered under `name`, creating it on first
@@ -121,6 +144,12 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name) DC_EXCLUDES(mu_);
   /// `bounds` is only consulted on first registration of `name`.
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds)
+      DC_EXCLUDES(mu_);
+  /// `options` is only consulted on first registration of `name`; use
+  /// the shared option factories (LatencySecondsOptions() etc.) so all
+  /// recorders of one quantity agree on the layout.
+  QuantileHistogram* GetQuantileHistogram(
+      const std::string& name, const QuantileHistogramOptions& options)
       DC_EXCLUDES(mu_);
 
   /// Enables/disables all metric mutation process-wide (the flag is
@@ -136,14 +165,25 @@ class MetricsRegistry {
   ///   {"counters": {name: value, ...},
   ///    "gauges": {name: value, ...},
   ///    "histograms": {name: {"bounds": [...], "counts": [...],
-  ///                          "count": N, "sum": S}, ...}}
-  /// Names are emitted in sorted order for diff-friendliness.
+  ///                          "count": N, "sum": S, "invalid": I}, ...},
+  ///    "quantile_histograms": {name: {...snapshot...}, ...}}
+  /// Names are emitted in sorted order for diff-friendliness; the
+  /// quantile section is omitted while empty so pre-existing consumers
+  /// see unchanged output.
   void WriteJson(std::ostream& out) const DC_EXCLUDES(mu_);
   std::string SnapshotJson() const;
 
   /// WriteJson to `path`; returns false (and leaves a partial file) on
   /// I/O failure.
   bool WriteJsonFile(const std::string& path) const;
+
+  /// Writes the whole registry in Prometheus text exposition format
+  /// (one `# TYPE` line per metric; histograms as cumulative
+  /// `_bucket{le=...}` series, quantile histograms as summaries with
+  /// `quantile` labels). Metric names are sanitized to the Prometheus
+  /// charset [a-zA-Z0-9_:].
+  void WriteExposition(std::ostream& out) const DC_EXCLUDES(mu_);
+  bool WriteExpositionFile(const std::string& path) const;
 
  private:
   mutable dc::Mutex mu_;
@@ -157,6 +197,8 @@ class MetricsRegistry {
       DC_GUARDED_BY(mu_);
   std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_
       DC_GUARDED_BY(mu_);
+  std::vector<std::pair<std::string, std::unique_ptr<QuantileHistogram>>>
+      quantile_histograms_ DC_GUARDED_BY(mu_);
 };
 
 }  // namespace deltaclus::obs

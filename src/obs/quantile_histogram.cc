@@ -1,0 +1,203 @@
+#include "src/obs/quantile_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/obs/json.h"
+#include "src/util/check.h"
+
+namespace deltaclus::obs {
+
+QuantileHistogramOptions LatencySecondsOptions() {
+  return QuantileHistogramOptions{1e-6, 1e4, 0.01};
+}
+
+QuantileHistogramOptions RatioOptions() {
+  return QuantileHistogramOptions{1.0, 1024.0, 0.01};
+}
+
+namespace {
+
+// Buckets grow by g = (1+re)^2 so the representative lo*(1+re) sits at
+// most a factor (1+re) from either edge: relative error <= re.
+double Growth(const QuantileHistogramOptions& options) {
+  return (1.0 + options.relative_error) * (1.0 + options.relative_error);
+}
+
+size_t NumBuckets(const QuantileHistogramOptions& options) {
+  double span = std::log(options.max_value / options.min_value) /
+                std::log(Growth(options));
+  return static_cast<size_t>(std::ceil(span)) + 1;
+}
+
+// Representative of in-range bucket i (0-based): geometric midpoint of
+// [min*g^i, min*g^(i+1)), clamped to the tracked range.
+double Representative(const QuantileHistogramOptions& options, size_t i) {
+  double rep = options.min_value * std::pow(Growth(options), static_cast<double>(i)) *
+               (1.0 + options.relative_error);
+  return std::min(rep, options.max_value);
+}
+
+}  // namespace
+
+QuantileHistogram::QuantileHistogram(const QuantileHistogramOptions& options)
+    // DC_LOCK_FREE: cell array, relaxed adds (see quantile_histogram.h).
+    : options_(options),
+      num_buckets_(NumBuckets(options)),
+      inv_log_growth_(1.0 / std::log(Growth(options))),
+      cells_(new std::atomic<uint64_t>[num_buckets_ + 2]) {
+  DC_CHECK(options.min_value > 0.0 && options.max_value > options.min_value)
+      << "quantile histogram needs 0 < min_value < max_value";
+  DC_CHECK(options.relative_error > 0.0 && options.relative_error < 1.0)
+      << "relative_error must be in (0, 1)";
+  for (size_t c = 0; c < num_buckets_ + 2; ++c) cells_[c].store(0);
+}
+
+size_t QuantileHistogram::BucketIndex(double v) const {
+  // Callers guarantee min_value <= v <= max_value and v finite.
+  size_t i = static_cast<size_t>(std::log(v / options_.min_value) *
+                                 inv_log_growth_);
+  return std::min(i, num_buckets_ - 1);
+}
+
+void QuantileHistogram::ObserveAlways(double v) {
+  if (!std::isfinite(v)) {
+    invalid_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  size_t cell;
+  if (v < options_.min_value) {
+    cell = 0;
+  } else if (v > options_.max_value) {
+    cell = num_buckets_ + 1;
+  } else {
+    cell = BucketIndex(v) + 1;
+  }
+  cells_[cell].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20.
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+QuantileHistogramSnapshot QuantileHistogram::Snapshot() const {
+  QuantileHistogramSnapshot snap;
+  snap.options = options_;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.invalid = invalid_.load(std::memory_order_relaxed);
+  snap.underflow = cells_[0].load(std::memory_order_relaxed);
+  snap.overflow = cells_[num_buckets_ + 1].load(std::memory_order_relaxed);
+  snap.buckets.resize(num_buckets_);
+  for (size_t b = 0; b < num_buckets_; ++b) {
+    snap.buckets[b] = cells_[b + 1].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void QuantileHistogram::MergeFrom(const QuantileHistogram& other) {
+  DC_CHECK(num_buckets_ == other.num_buckets_)
+      << "cannot merge quantile histograms with different layouts";
+  for (size_t c = 0; c < num_buckets_ + 2; ++c) {
+    uint64_t n = other.cells_[c].load(std::memory_order_relaxed);
+    if (n != 0) cells_[c].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  invalid_.fetch_add(other.invalid_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+void QuantileHistogram::Reset() {
+  for (size_t c = 0; c < num_buckets_ + 2; ++c) {
+    cells_[c].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  invalid_.store(0, std::memory_order_relaxed);
+}
+
+QuantileHistogramSnapshot QuantileHistogramSnapshot::Delta(
+    const QuantileHistogramSnapshot& earlier) const {
+  auto sat_sub = [](uint64_t a, uint64_t b) { return a > b ? a - b : 0; };
+  QuantileHistogramSnapshot d;
+  d.options = options;
+  d.count = sat_sub(count, earlier.count);
+  d.sum = d.count > 0 ? sum - earlier.sum : 0.0;
+  d.underflow = sat_sub(underflow, earlier.underflow);
+  d.overflow = sat_sub(overflow, earlier.overflow);
+  d.invalid = sat_sub(invalid, earlier.invalid);
+  d.buckets.resize(buckets.size());
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    uint64_t prev = b < earlier.buckets.size() ? earlier.buckets[b] : 0;
+    d.buckets[b] = sat_sub(buckets[b], prev);
+  }
+  return d;
+}
+
+void QuantileHistogramSnapshot::Add(const QuantileHistogramSnapshot& other) {
+  DC_CHECK(buckets.size() == other.buckets.size() || buckets.empty() ||
+           other.buckets.empty())
+      << "cannot add quantile snapshots with different layouts";
+  if (buckets.empty()) {
+    *this = other;
+    return;
+  }
+  count += other.count;
+  sum += other.sum;
+  underflow += other.underflow;
+  overflow += other.overflow;
+  invalid += other.invalid;
+  for (size_t b = 0; b < other.buckets.size(); ++b) buckets[b] += other.buckets[b];
+}
+
+double QuantileHistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = underflow;
+  if (rank <= seen) return options.min_value;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (rank <= seen) return Representative(options, b);
+  }
+  return options.max_value;
+}
+
+void QuantileHistogramSnapshot::WriteJson(std::ostream& out) const {
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("min_value").Number(options.min_value);
+  w.Key("max_value").Number(options.max_value);
+  w.Key("relative_error").Number(options.relative_error);
+  w.Key("count").Uint(count);
+  w.Key("sum").Number(sum);
+  w.Key("underflow").Uint(underflow);
+  w.Key("overflow").Uint(overflow);
+  w.Key("invalid").Uint(invalid);
+  // Sparse: only non-zero cells, keyed by bucket index (ascending).
+  w.Key("buckets").BeginObject();
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] != 0) w.Key(std::to_string(b)).Uint(buckets[b]);
+  }
+  w.EndObject();
+  w.Key("p50").Number(ValueAtQuantile(0.50));
+  w.Key("p90").Number(ValueAtQuantile(0.90));
+  w.Key("p99").Number(ValueAtQuantile(0.99));
+  w.Key("p999").Number(ValueAtQuantile(0.999));
+  w.Key("mean").Number(Mean());
+  w.EndObject();
+}
+
+std::string QuantileHistogramSnapshot::Json() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+}  // namespace deltaclus::obs

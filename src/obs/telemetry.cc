@@ -126,6 +126,7 @@ std::string RunTelemetry::Json() const {
 }
 
 void JsonlTelemetrySink::OnIteration(const IterationTelemetry& iteration) {
+  if (failed_) return;
   JsonWriter w(out_);
   w.BeginObject();
   w.Key("event").String("iteration");
@@ -133,9 +134,14 @@ void JsonlTelemetrySink::OnIteration(const IterationTelemetry& iteration) {
   WriteIteration(w, iteration);
   w.EndObject();
   out_ << "\n";
+  // ostream ops do not throw by default; a bad stream (unwritable
+  // path, disk full) just raises failbit/badbit. Latch it so the run
+  // continues and the caller can report the loss afterwards.
+  if (!out_) failed_ = true;
 }
 
 void JsonlTelemetrySink::OnRunEnd(const RunTelemetry& run) {
+  if (failed_) return;
   JsonWriter w(out_);
   w.BeginObject();
   w.Key("event").String("run_end");
@@ -145,6 +151,7 @@ void JsonlTelemetrySink::OnRunEnd(const RunTelemetry& run) {
   w.EndObject();
   out_ << "\n";
   out_.flush();
+  if (!out_) failed_ = true;
 }
 
 IterationTelemetry* TelemetryCollector::BeginIteration(size_t iteration) {

@@ -157,14 +157,23 @@ class TelemetrySink {
 /// Writes one JSON object per line: {"event":"iteration",...} per
 /// iteration and a final {"event":"run_end",...}. The stream must
 /// outlive the sink.
+///
+/// Failure policy: a stream error (unwritable path, disk full, short
+/// write) must never abort the mining run. The sink latches the first
+/// failure, stops writing, and reports it through ok(); callers check
+/// after the run and warn.
 class JsonlTelemetrySink : public TelemetrySink {
  public:
   explicit JsonlTelemetrySink(std::ostream& out) : out_(out) {}
   void OnIteration(const IterationTelemetry& iteration) override;
   void OnRunEnd(const RunTelemetry& run) override;
 
+  /// False once any write failed; no further writes are attempted.
+  bool ok() const { return !failed_; }
+
  private:
   std::ostream& out_;
+  bool failed_ = false;
 };
 
 /// Assembles a RunTelemetry during a FLOC run. The kOff fast paths are

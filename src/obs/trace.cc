@@ -30,6 +30,18 @@ uint32_t ThisThreadId() {
 // Per-thread span nesting depth.
 thread_local uint32_t t_span_depth = 0;
 
+// tid -> display name, filled by NameCurrentThread. Process-global and
+// leaked (like the recorders) so late atexit trace dumps can read it.
+struct ThreadNameRegistry {
+  dc::Mutex mu;
+  std::vector<std::pair<uint32_t, std::string>> names DC_GUARDED_BY(mu);
+
+  static ThreadNameRegistry& Get() {
+    static ThreadNameRegistry* registry = new ThreadNameRegistry();
+    return *registry;
+  }
+};
+
 // Path DELTACLUS_TRACE asked the global recorder to dump to at exit.
 std::string* g_trace_exit_path = nullptr;
 
@@ -72,6 +84,19 @@ void TraceRecorder::InitFromEnv() {
     g_trace_exit_path = new std::string(env);
     std::atexit(WriteTraceAtExit);
   }
+}
+
+void TraceRecorder::NameCurrentThread(const std::string& name) {
+  ThreadNameRegistry& registry = ThreadNameRegistry::Get();
+  uint32_t tid = ThisThreadId();
+  dc::MutexLock lock(registry.mu);
+  for (auto& [t, n] : registry.names) {
+    if (t == tid) {
+      n = name;
+      return;
+    }
+  }
+  registry.names.emplace_back(tid, name);
 }
 
 void TraceRecorder::Record(const TraceEvent& event) {
@@ -123,6 +148,36 @@ void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
   w.BeginObject();
   w.Key("displayTimeUnit").String("ms");
   w.Key("traceEvents").BeginArray();
+  // Metadata records first: the process name, then one thread_name per
+  // registered thread (sorted by tid for deterministic output), so the
+  // viewer labels tracks instead of showing bare ids.
+  w.BeginObject();
+  w.Key("name").String("process_name");
+  w.Key("ph").String("M");
+  w.Key("pid").Int(1);
+  w.Key("args").BeginObject();
+  w.Key("name").String("deltaclus");
+  w.EndObject();
+  w.EndObject();
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
+  {
+    ThreadNameRegistry& registry = ThreadNameRegistry::Get();
+    dc::MutexLock lock(registry.mu);
+    thread_names = registry.names;
+  }
+  std::sort(thread_names.begin(), thread_names.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [tid, name] : thread_names) {
+    w.BeginObject();
+    w.Key("name").String("thread_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(1);
+    w.Key("tid").Uint(tid);
+    w.Key("args").BeginObject();
+    w.Key("name").String(name);
+    w.EndObject();
+    w.EndObject();
+  }
   for (const TraceEvent& e : events) {
     w.BeginObject();
     w.Key("name").String(e.name == nullptr ? "" : e.name);

@@ -78,6 +78,15 @@ class TraceRecorder {
   /// writes (Chrome trace JSON) to at normal process exit. Idempotent.
   static void InitFromEnv();
 
+  /// Registers a human-readable name for the calling thread
+  /// (process-global, last write wins). Exported as a Chrome
+  /// trace_event `thread_name` metadata record so pool workers show up
+  /// labeled in Perfetto instead of as bare thread ids. Intended for
+  /// thread spawn time (takes a short mutex; not for hot paths) and is
+  /// deliberately unconditional -- names registered before tracing is
+  /// enabled must still label later spans.
+  static void NameCurrentThread(const std::string& name);
+
   /// Appends one completed event (overwrites the oldest when full).
   void Record(const TraceEvent& event) DC_EXCLUDES(mu_);
 

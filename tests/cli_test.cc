@@ -10,6 +10,7 @@
 
 #include "src/data/cluster_io.h"
 #include "src/data/matrix_io.h"
+#include "src/obs/metrics.h"
 
 namespace deltaclus {
 namespace {
@@ -104,6 +105,74 @@ TEST(CliTest, EndToEndMineStatsHoldout) {
                         found_path, "--fraction=0.1", "--seed=13"});
   ASSERT_EQ(holdout.exit_code, 0) << holdout.err;
   EXPECT_NE(holdout.out.find("RMSE"), std::string::npos);
+}
+
+TEST(CliTest, MinePerfReportTableAndJson) {
+  std::string matrix_path = Tmp("cli_perf.csv");
+  std::string found_path = Tmp("cli_perf_found.txt");
+  std::string report_path = Tmp("cli_perf_report.json");
+  ASSERT_EQ(RunCliArgs({"generate", "--rows=60", "--cols=15", "--clusters=2",
+                 "--seed=5", "--out", matrix_path})
+                .exit_code,
+            0);
+
+  // Bare --perf-report prints the attribution table (and implies
+  // metrics, no --metrics-out needed).
+  CliRun table = RunCliArgs({"mine", "--input", matrix_path, "--k=2",
+                      "--seed=7", "--perf-report", "--out", found_path});
+  obs::MetricsRegistry::SetEnabled(false);
+  ASSERT_EQ(table.exit_code, 0) << table.err;
+  EXPECT_NE(table.out.find("perf report: floc"), std::string::npos);
+  EXPECT_NE(table.out.find("move_phase"), std::string::npos);
+  EXPECT_NE(table.out.find("entries scanned"), std::string::npos);
+
+  // --perf-report=PATH writes the JSON document instead.
+  CliRun json = RunCliArgs({"mine", "--input", matrix_path, "--k=2",
+                     "--seed=7", "--perf-report=" + report_path, "--out",
+                     found_path});
+  obs::MetricsRegistry::SetEnabled(false);
+  ASSERT_EQ(json.exit_code, 0) << json.err;
+  EXPECT_NE(json.out.find("wrote perf report"), std::string::npos);
+  std::ifstream in(report_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(buf.str().find("\"algorithm\":\"floc\""), std::string::npos);
+
+  // Unwritable path: clean error, exit 2.
+  CliRun bad = RunCliArgs({"mine", "--input", matrix_path, "--k=2",
+                    "--seed=7", "--perf-report=/nonexistent-dir/p.json",
+                    "--out", found_path});
+  obs::MetricsRegistry::SetEnabled(false);
+  EXPECT_EQ(bad.exit_code, 2);
+  EXPECT_NE(bad.err.find("--perf-report"), std::string::npos);
+}
+
+TEST(CliTest, MineMetricsFormatSelectsExposition) {
+  std::string matrix_path = Tmp("cli_prom.csv");
+  std::string found_path = Tmp("cli_prom_found.txt");
+  std::string metrics_path = Tmp("cli_prom_metrics.txt");
+  ASSERT_EQ(RunCliArgs({"generate", "--rows=60", "--cols=15", "--clusters=2",
+                 "--seed=5", "--out", matrix_path})
+                .exit_code,
+            0);
+  CliRun prom = RunCliArgs({"mine", "--input", matrix_path, "--k=2",
+                     "--seed=7", "--metrics-out", metrics_path,
+                     "--metrics-format=prom", "--out", found_path});
+  obs::MetricsRegistry::SetEnabled(false);
+  ASSERT_EQ(prom.exit_code, 0) << prom.err;
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("# TYPE "), std::string::npos);
+  EXPECT_NE(buf.str().find("floc_iterations"), std::string::npos);
+
+  CliRun bad = RunCliArgs({"mine", "--input", matrix_path, "--k=2",
+                    "--metrics-format=xml", "--out", found_path});
+  EXPECT_EQ(bad.exit_code, 1);
+  EXPECT_NE(bad.err.find("--metrics-format"), std::string::npos);
 }
 
 TEST(CliTest, ImputeFillsMissing) {

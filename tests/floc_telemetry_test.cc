@@ -8,6 +8,9 @@
 
 #include "src/core/floc.h"
 #include "src/data/synthetic.h"
+#include "src/engine/thread_pool.h"
+#include "src/obs/metrics.h"
+#include "src/obs/quantile_histogram.h"
 #include "src/obs/telemetry.h"
 
 // Global allocation counter for the no-allocation-off-path test. The
@@ -299,6 +302,97 @@ TEST(FlocTelemetryTest, OffPathCollectorHooksDoNotAllocate) {
   }
   uint64_t after = g_allocations.load(std::memory_order_relaxed);
   EXPECT_EQ(after, before);
+}
+
+TEST(FlocTelemetryTest, OffPathMetricsHooksDoNotAllocate) {
+#if !DELTACLUS_ALLOC_COUNTING
+  GTEST_SKIP() << "allocation-counting operators disabled under ASan";
+#endif
+  // The hooks this PR adds -- LatencyRecorder around iterations and the
+  // pool's per-shard timing wrapper -- must stay allocation-free (and
+  // observation-free) while metrics are disabled, like the collector.
+  ASSERT_FALSE(obs::MetricsRegistry::Enabled());
+  obs::QuantileHistogram hist;
+  engine::ThreadPool pool(4);
+  uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < 1000; ++i) {
+    obs::LatencyRecorder recorder(&hist);
+  }
+  std::atomic<uint64_t> touched{0};
+  pool.ParallelFor(1024, [&touched](size_t begin, size_t end, size_t) {
+    touched.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(hist.Count(), 0u);
+  EXPECT_EQ(touched.load(), 1024u);
+}
+
+// A streambuf whose overflow always fails, standing in for a full disk:
+// every write attempt puts the stream into a failed state.
+class FailingBuf : public std::streambuf {
+ protected:
+  int_type overflow(int_type) override { return traits_type::eof(); }
+  std::streamsize xsputn(const char*, std::streamsize) override { return 0; }
+};
+
+TEST(FlocTelemetryTest, JsonlSinkSurvivesWriteFailure) {
+  SyntheticDataset data = SmallData(11);
+  FailingBuf buf;
+  std::ostream broken(&buf);
+  obs::JsonlTelemetrySink sink(broken);
+  FlocConfig config = BaseConfig();
+  config.telemetry = obs::TelemetryLevel::kSummary;
+  config.telemetry_sink = &sink;
+  // The run completes normally -- a telemetry sink failure must never
+  // abort mining -- and the sink reports the degradation via ok().
+  FlocResult result = Floc(config).Run(data.matrix);
+  EXPECT_GT(result.iterations, 0u);
+  EXPECT_FALSE(result.clusters.empty());
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(FlocTelemetryTest, JsonlSinkStopsWritingAfterFirstFailure) {
+  // Once failed_, later events are skipped outright (no useless write
+  // syscalls, no interleaved partial lines if the stream recovers).
+  FailingBuf buf;
+  std::ostream broken(&buf);
+  obs::JsonlTelemetrySink sink(broken);
+  obs::IterationTelemetry itel;
+  itel.iteration = 0;
+  sink.OnIteration(itel);
+  EXPECT_FALSE(sink.ok());
+  // Re-point the stream at a working buffer: the sink must stay latched.
+  std::stringbuf good;
+  broken.rdbuf(&good);
+  broken.clear();
+  obs::RunTelemetry run;
+  sink.OnRunEnd(run);
+  EXPECT_FALSE(sink.ok());
+  EXPECT_TRUE(good.str().empty());
+}
+
+TEST(FlocTelemetryTest, JsonlSinkShortWriteOnRunEndIsReported) {
+  // Failure on the final run_end write (not just per-iteration lines)
+  // must also latch.
+  FailingBuf buf;
+  std::ostream broken(&buf);
+  obs::JsonlTelemetrySink sink(broken);
+  obs::RunTelemetry run;
+  run.iterations = 3;
+  sink.OnRunEnd(run);
+  EXPECT_FALSE(sink.ok());
+}
+
+TEST(FlocTelemetryTest, JsonlSinkOkOnHealthyStream) {
+  std::ostringstream os;
+  obs::JsonlTelemetrySink sink(os);
+  obs::IterationTelemetry itel;
+  sink.OnIteration(itel);
+  obs::RunTelemetry run;
+  sink.OnRunEnd(run);
+  EXPECT_TRUE(sink.ok());
+  EXPECT_FALSE(os.str().empty());
 }
 
 TEST(FlocTelemetryTest, EnvOverrideSetsLevel) {

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
+
+#include "src/obs/quantile_histogram.h"
 
 namespace deltaclus::obs {
 namespace {
@@ -123,7 +126,91 @@ TEST_F(MetricsTest, JsonSnapshotHasSortedSections) {
             "{\"counters\":{\"a.first\":1,\"z.second\":2},"
             "\"gauges\":{\"g\":1.5},"
             "\"histograms\":{\"h\":{\"bounds\":[1],\"counts\":[1,0],"
-            "\"count\":1,\"sum\":0.5}}}\n");
+            "\"count\":1,\"sum\":0.5,\"invalid\":0}}}\n");
+}
+
+TEST_F(MetricsTest, HistogramRejectsNonFiniteObservations) {
+  // Regression: NaN used to land in bucket 0 (NaN comparisons are false,
+  // so lower_bound stopped at the first bound) and NaN/Inf poisoned the
+  // running sum. Non-finite values now count as invalid and touch
+  // nothing else.
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0, 10.0});
+  MetricsRegistry::SetEnabled(true);
+  h->Observe(std::numeric_limits<double>::quiet_NaN());
+  h->Observe(std::numeric_limits<double>::infinity());
+  h->Observe(-std::numeric_limits<double>::infinity());
+  h->Observe(0.5);
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5);
+  EXPECT_EQ(h->InvalidCount(), 3u);
+  std::vector<uint64_t> buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 0u);
+  EXPECT_EQ(buckets[2], 0u);  // +Inf must not hit the overflow bucket
+  h->Reset();
+  EXPECT_EQ(h->InvalidCount(), 0u);
+}
+
+TEST_F(MetricsTest, ValuesAboveTopBoundLandInOverflowBucket) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("test.hist", {1.0});
+  MetricsRegistry::SetEnabled(true);
+  h->Observe(1e300);
+  EXPECT_EQ(h->Count(), 1u);
+  std::vector<uint64_t> buckets = h->BucketCounts();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(h->InvalidCount(), 0u);
+}
+
+TEST_F(MetricsTest, PrometheusExpositionFormat) {
+  MetricsRegistry registry;
+  MetricsRegistry::SetEnabled(true);
+  registry.GetCounter("floc.actions_applied")->Inc(5);
+  registry.GetGauge("g")->Set(1.5);
+  Histogram* h = registry.GetHistogram("lat.seconds", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(100.0);
+  std::ostringstream out;
+  registry.WriteExposition(out);
+  std::string text = out.str();
+  // Dots sanitize to underscores; counters/gauges carry TYPE lines.
+  EXPECT_NE(text.find("# TYPE floc_actions_applied counter\n"
+                      "floc_actions_applied 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE g gauge\ng 1.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf, sum, count.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 100.5"), std::string::npos);
+}
+
+TEST_F(MetricsTest, QuantileHistogramsExportAsSummaries) {
+  MetricsRegistry registry;
+  MetricsRegistry::SetEnabled(true);
+  QuantileHistogram* q =
+      registry.GetQuantileHistogram("iter.latency", LatencySecondsOptions());
+  for (int i = 1; i <= 100; ++i) q->Observe(i * 0.001);
+  std::ostringstream out;
+  registry.WriteExposition(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE iter_latency summary"), std::string::npos);
+  EXPECT_NE(text.find("iter_latency{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("iter_latency{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("iter_latency_count 100"), std::string::npos);
+  // The JSON snapshot gains a quantile_histograms section only when one
+  // is registered (pre-existing consumers see unchanged output).
+  EXPECT_NE(registry.SnapshotJson().find("\"quantile_histograms\""),
+            std::string::npos);
+  MetricsRegistry empty;
+  EXPECT_EQ(empty.SnapshotJson().find("quantile_histograms"),
+            std::string::npos);
 }
 
 TEST_F(MetricsTest, WriteJsonFileRoundTrips) {

@@ -1,0 +1,235 @@
+#include "src/obs/quantile_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/engine/thread_pool.h"
+#include "src/obs/metrics.h"
+
+namespace deltaclus::obs {
+namespace {
+
+// The metrics flag is process-global; restore the disabled default so
+// ordering cannot leak between tests or into other suites.
+class QuantileTest : public ::testing::Test {
+ protected:
+  void TearDown() override { MetricsRegistry::SetEnabled(false); }
+};
+
+// The exact quantile the histogram approximates: the observation at
+// rank ceil(q * n) (1-indexed) of the sorted sample.
+double ExactQuantile(std::vector<double> sorted, double q) {
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t n = sorted.size();
+  auto rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(n)));
+  rank = std::max<uint64_t>(1, std::min(rank, n));
+  return sorted[rank - 1];
+}
+
+TEST_F(QuantileTest, PercentilesMatchExactQuantilesWithinRelativeError) {
+  // The acceptance bound of the whole design: on randomized in-range
+  // inputs every exported percentile is within the configured relative
+  // error of the exact sorted-sample quantile.
+  QuantileHistogramOptions options;
+  options.min_value = 1e-6;
+  options.max_value = 1e4;
+  options.relative_error = 0.01;
+  const std::vector<double> quantiles = {0.5, 0.9, 0.99, 0.999};
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    QuantileHistogram hist(options);
+    std::mt19937_64 rng(seed);
+    // Log-uniform values spanning most of the bucket range.
+    std::uniform_real_distribution<double> exponent(-5.5, 3.5);
+    std::vector<double> values;
+    values.reserve(5000);
+    for (int i = 0; i < 5000; ++i) {
+      double v = std::pow(10.0, exponent(rng));
+      values.push_back(v);
+      hist.ObserveAlways(v);
+    }
+    QuantileHistogramSnapshot snap = hist.Snapshot();
+    ASSERT_EQ(snap.count, values.size());
+    for (double q : quantiles) {
+      double exact = ExactQuantile(values, q);
+      double approx = snap.ValueAtQuantile(q);
+      // Representative values are chosen mid-bucket (geometrically), so
+      // the error bound is exactly relative_error, plus floating-point
+      // headroom.
+      EXPECT_NEAR(approx, exact, exact * (options.relative_error + 1e-9))
+          << "seed " << seed << " q " << q;
+    }
+    EXPECT_NEAR(snap.Mean(),
+                std::accumulate(values.begin(), values.end(), 0.0) /
+                    static_cast<double>(values.size()),
+                1e-9);
+  }
+}
+
+TEST_F(QuantileTest, UnderflowOverflowAndInvalidPolicy) {
+  QuantileHistogramOptions options;
+  options.min_value = 1.0;
+  options.max_value = 100.0;
+  options.relative_error = 0.01;
+  QuantileHistogram hist(options);
+  hist.ObserveAlways(0.0);     // below min (and zero)
+  hist.ObserveAlways(-5.0);    // negative
+  hist.ObserveAlways(10.0);    // in range
+  hist.ObserveAlways(1e6);     // above max
+  hist.ObserveAlways(std::numeric_limits<double>::quiet_NaN());
+  hist.ObserveAlways(std::numeric_limits<double>::infinity());
+
+  QuantileHistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 4u);  // non-finite excluded
+  EXPECT_EQ(snap.underflow, 2u);
+  EXPECT_EQ(snap.overflow, 1u);
+  EXPECT_EQ(snap.invalid, 2u);
+  // Underflow clamps to min_value, overflow to max_value; the in-range
+  // observation reads back within relative error.
+  EXPECT_DOUBLE_EQ(snap.ValueAtQuantile(0.01), options.min_value);
+  EXPECT_DOUBLE_EQ(snap.ValueAtQuantile(1.0), options.max_value);
+  EXPECT_NEAR(snap.ValueAtQuantile(0.75), 10.0, 10.0 * 0.011);
+  // Sum only accumulates finite observations.
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0 - 5.0 + 10.0 + 1e6);
+}
+
+TEST_F(QuantileTest, EmptySnapshotReadsZero) {
+  QuantileHistogram hist;
+  QuantileHistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.ValueAtQuantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST_F(QuantileTest, ObserveIsGatedOnTheMetricsFlag) {
+  QuantileHistogram hist;
+  MetricsRegistry::SetEnabled(false);
+  hist.Observe(1.0);
+  EXPECT_EQ(hist.Count(), 0u);
+  MetricsRegistry::SetEnabled(true);
+  hist.Observe(1.0);
+  EXPECT_EQ(hist.Count(), 1u);
+}
+
+TEST_F(QuantileTest, SnapshotDeltaIsolatesARunWithoutResets) {
+  // The per-run accounting protocol: snapshot before, snapshot after,
+  // subtract. The delta must reflect only the second batch.
+  QuantileHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.ObserveAlways(1e-3);
+  QuantileHistogramSnapshot before = hist.Snapshot();
+  for (int i = 0; i < 50; ++i) hist.ObserveAlways(1.0);
+  QuantileHistogramSnapshot delta = hist.Snapshot().Delta(before);
+  EXPECT_EQ(delta.count, 50u);
+  EXPECT_NEAR(delta.sum, 50.0, 1e-9);
+  // All 50 delta observations are 1.0: every quantile reads ~1.0 even
+  // though the underlying histogram is dominated by 1e-3 samples.
+  EXPECT_NEAR(delta.ValueAtQuantile(0.5), 1.0, 0.011);
+  EXPECT_NEAR(delta.ValueAtQuantile(0.999), 1.0, 0.011);
+  // Self-delta is empty.
+  QuantileHistogramSnapshot now = hist.Snapshot();
+  EXPECT_EQ(now.Delta(now).count, 0u);
+  // A reset between the two snapshots saturates at zero instead of
+  // wrapping.
+  hist.Reset();
+  QuantileHistogramSnapshot after_reset = hist.Snapshot().Delta(before);
+  EXPECT_EQ(after_reset.count, 0u);
+  EXPECT_DOUBLE_EQ(after_reset.sum, 0.0);
+}
+
+TEST_F(QuantileTest, SnapshotAddMergesCellWise) {
+  QuantileHistogram a;
+  QuantileHistogram b;
+  for (int i = 0; i < 10; ++i) a.ObserveAlways(1e-4);
+  for (int i = 0; i < 20; ++i) b.ObserveAlways(1e-2);
+  QuantileHistogramSnapshot merged;  // starts empty, adopts layout
+  merged.Add(a.Snapshot());
+  merged.Add(b.Snapshot());
+  EXPECT_EQ(merged.count, 30u);
+  EXPECT_NEAR(merged.sum, 10 * 1e-4 + 20 * 1e-2, 1e-12);
+  EXPECT_NEAR(merged.ValueAtQuantile(0.25), 1e-4, 1e-4 * 0.011);
+  EXPECT_NEAR(merged.ValueAtQuantile(0.9), 1e-2, 1e-2 * 0.011);
+}
+
+TEST_F(QuantileTest, LatencyRecorderRecordsOnlyWhenEnabled) {
+  QuantileHistogram hist;
+  MetricsRegistry::SetEnabled(false);
+  { LatencyRecorder rec(&hist); }
+  EXPECT_EQ(hist.Count(), 0u);
+  MetricsRegistry::SetEnabled(true);
+  { LatencyRecorder rec(&hist); }
+  EXPECT_EQ(hist.Count(), 1u);
+  // Wall-clock latencies are positive and finite.
+  QuantileHistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.invalid, 0u);
+  EXPECT_GT(snap.sum, 0.0);
+}
+
+// Per-shard recorders merged in shard order must produce byte-identical
+// snapshots at any worker count: shard boundaries depend only on the
+// total (engine::ShardGrain), each shard owns its own histogram, and
+// MergeFrom folds them deterministically.
+TEST_F(QuantileTest, PerShardMergeIsByteIdenticalAcrossThreadCounts) {
+  constexpr size_t kItems = 10000;
+  const size_t grain = engine::ShardGrain(kItems);
+  const size_t shards = engine::ShardCount(kItems, grain);
+  MetricsRegistry::SetEnabled(true);
+
+  auto run_at = [&](int threads) {
+    engine::ThreadPool pool(threads);
+    // Atomics are not movable, so per-shard recorders live behind
+    // stable pointers.
+    std::vector<std::unique_ptr<QuantileHistogram>> locals;
+    locals.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+      locals.push_back(std::make_unique<QuantileHistogram>());
+    }
+    engine::ParallelApply(
+        &pool, kItems,
+        [&](size_t begin, size_t end, size_t shard) {
+          for (size_t i = begin; i < end; ++i) {
+            // A deterministic value per item, spread over the range.
+            double v = 1e-5 * static_cast<double>((i * 2654435761u) %
+                                                  1000000 + 1);
+            locals[shard]->Observe(v);
+          }
+        },
+        /*serial_cutoff=*/1);
+    QuantileHistogram merged;
+    for (size_t s = 0; s < shards; ++s) merged.MergeFrom(*locals[s]);
+    return merged.Snapshot().Json();
+  };
+
+  std::string at1 = run_at(1);
+  std::string at2 = run_at(2);
+  std::string at8 = run_at(8);
+  EXPECT_EQ(at1, at2);
+  EXPECT_EQ(at1, at8);
+  EXPECT_NE(at1.find("\"count\":10000"), std::string::npos) << at1;
+}
+
+TEST_F(QuantileTest, JsonIsDeterministicAndCarriesQuantiles) {
+  QuantileHistogram hist;
+  for (int i = 1; i <= 100; ++i) {
+    hist.ObserveAlways(static_cast<double>(i) * 1e-3);
+  }
+  std::string json = hist.Snapshot().Json();
+  EXPECT_EQ(json, hist.Snapshot().Json());  // stable byte-for-byte
+  for (const char* key :
+       {"\"min_value\"", "\"max_value\"", "\"relative_error\"",
+        "\"count\":100", "\"buckets\"", "\"p50\"", "\"p90\"", "\"p99\"",
+        "\"p999\"", "\"mean\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+}
+
+}  // namespace
+}  // namespace deltaclus::obs

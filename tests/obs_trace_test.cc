@@ -100,6 +100,48 @@ TEST(TraceRecorderTest, ChromeTraceJsonShape) {
   EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
 }
 
+TEST(TraceRecorderTest, ChromeTraceCarriesProcessMetadata) {
+  // Perfetto/chrome://tracing read process_name "M" records to label
+  // the track; the process record always leads the event stream.
+  TraceRecorder recorder(16);
+  {
+    TraceSpan span("floc/iteration", "floc", &recorder);
+  }
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  std::string json = os.str();
+  size_t meta = json.find("\"name\":\"process_name\"");
+  ASSERT_NE(meta, std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"deltaclus\"}"),
+            std::string::npos);
+  EXPECT_LT(meta, json.find("\"ph\":\"X\""));
+}
+
+TEST(TraceRecorderTest, NamedThreadsEmitThreadNameMetadata) {
+  // The pool names its workers at spawn (thread_pool.cc); any thread
+  // that recorded a span and registered a name gets a thread_name "M"
+  // record so its track is labeled in the viewer.
+  TraceRecorder recorder(16);
+  std::thread worker([&recorder] {
+    TraceRecorder::NameCurrentThread("unit test worker");
+    TraceSpan span("worker/span", "test", &recorder);
+  });
+  worker.join();
+  std::ostringstream os;
+  recorder.WriteChromeTrace(os);
+  std::string json = os.str();
+  EXPECT_NE(json.find("\"name\":\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"unit test worker\"}"),
+            std::string::npos);
+  // The span's tid matches a thread_name record's tid.
+  std::vector<TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  std::string tid_attr = "\"tid\":" + std::to_string(events[0].tid);
+  size_t name_pos = json.find("\"name\":\"thread_name\"");
+  EXPECT_NE(json.find(tid_attr, name_pos), std::string::npos);
+}
+
 TEST(TraceRecorderTest, ConcurrentSpansFromManyThreads) {
   TraceRecorder recorder(1024);
   constexpr int kThreads = 8;
