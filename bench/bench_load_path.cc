@@ -1,0 +1,196 @@
+// Load-path benchmarks for the storage layer: what does it cost to get
+// a matrix from disk onto each backend, and does the backend tax the
+// mining loop?
+//
+//   * BM_LoadCsv            -- streaming text parse into InMemoryStore
+//   * BM_ConvertCsvToDcm    -- one-time .dcm compile (tools/dcm_convert)
+//   * BM_LoadDcmMmap        -- mmap open; O(header) by contract, so this
+//                              must stay flat as the matrix grows
+//   * BM_LoadDcmMem         -- .dcm open + deep copy onto the heap
+//   * BM_FlocMemBackend /   -- identical seeded FLOC runs on each
+//     BM_FlocMmapBackend       backend; the pair quantifies "the span
+//                              accessors cost nothing" end to end
+//
+// check.sh's bench stage compares a fresh --quick run of this binary
+// against bench/trajectory/BENCH_load_path_pr8.json with a loose floor,
+// so a regression on the load path (e.g. an accidental eager plane read
+// turning mmap open O(bytes)) fails the gate.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "bench/bench_common.h"
+#include "src/core/floc.h"
+#include "src/data/matrix_io.h"
+#include "src/data/synthetic.h"
+
+namespace deltaclus {
+namespace {
+
+struct Fixture {
+  std::string csv_path;
+  std::string dcm_path;
+};
+
+/// Writes (once per size) a synthetic matrix as both CSV and .dcm under
+/// the system temp directory and returns the paths.
+const Fixture& FixtureFor(size_t rows, size_t cols) {
+  static std::map<std::pair<size_t, size_t>, Fixture> cache;
+  auto key = std::make_pair(rows, cols);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  SyntheticConfig config;
+  config.rows = rows;
+  config.cols = cols;
+  config.num_clusters = 5;
+  config.noise_stddev = 1.0;
+  config.missing_fraction = 0.1;
+  config.seed = 13;
+  SyntheticDataset data = GenerateSynthetic(config);
+
+  std::string stem = (std::filesystem::temp_directory_path() /
+                      ("deltaclus_load_path_" + std::to_string(rows) + "x" +
+                       std::to_string(cols)))
+                         .string();
+  Fixture f{stem + ".csv", stem + ".dcm"};
+  WriteCsvFile(data.matrix, f.csv_path);
+  WriteDcmFile(data.matrix, f.dcm_path);
+  return cache.emplace(key, std::move(f)).first->second;
+}
+
+void BM_LoadCsv(benchmark::State& state) {
+  const Fixture& f =
+      FixtureFor(static_cast<size_t>(state.range(0)),
+                 static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadCsvFile(f.csv_path));
+  }
+}
+BENCHMARK(BM_LoadCsv)
+    ->Args({500, 100})
+    ->Args({2000, 200})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ConvertCsvToDcm(benchmark::State& state) {
+  const Fixture& f =
+      FixtureFor(static_cast<size_t>(state.range(0)),
+                 static_cast<size_t>(state.range(1)));
+  std::string out = f.dcm_path + ".bench";
+  for (auto _ : state) {
+    DataMatrix parsed = ReadCsvFile(f.csv_path);
+    WriteDcmFile(parsed, out);
+    benchmark::ClobberMemory();
+  }
+  std::remove(out.c_str());
+}
+BENCHMARK(BM_ConvertCsvToDcm)
+    ->Args({500, 100})
+    ->Args({2000, 200})
+    ->Unit(benchmark::kMicrosecond);
+
+// The headline number: opening a .dcm via mmap validates the header and
+// binds plane pointers without touching plane bytes, so the cost must
+// not scale with the matrix (compare the two sizes in the record).
+void BM_LoadDcmMmap(benchmark::State& state) {
+  const Fixture& f =
+      FixtureFor(static_cast<size_t>(state.range(0)),
+                 static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadDcmFile(f.dcm_path, MatrixBackend::kMmap));
+  }
+}
+BENCHMARK(BM_LoadDcmMmap)
+    ->Args({500, 100})
+    ->Args({2000, 200})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LoadDcmMem(benchmark::State& state) {
+  const Fixture& f =
+      FixtureFor(static_cast<size_t>(state.range(0)),
+                 static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ReadDcmFile(f.dcm_path, MatrixBackend::kMem));
+  }
+}
+BENCHMARK(BM_LoadDcmMem)
+    ->Args({500, 100})
+    ->Args({2000, 200})
+    ->Unit(benchmark::kMicrosecond);
+
+FlocConfig MiningConfig() {
+  FlocConfig config;
+  config.num_clusters = 3;
+  config.rng_seed = 7;
+  config.refine_passes = 1;
+  config.reseed_rounds = 1;
+  return config;
+}
+
+void BM_FlocMemBackend(benchmark::State& state) {
+  const Fixture& f = FixtureFor(200, 40);
+  DataMatrix matrix = ReadDcmFile(f.dcm_path, MatrixBackend::kMem);
+  FlocConfig config = MiningConfig();
+  for (auto _ : state) {
+    Floc floc(config);
+    benchmark::DoNotOptimize(floc.Run(matrix));
+  }
+}
+BENCHMARK(BM_FlocMemBackend)->Unit(benchmark::kMillisecond);
+
+void BM_FlocMmapBackend(benchmark::State& state) {
+  const Fixture& f = FixtureFor(200, 40);
+  DataMatrix matrix = ReadDcmFile(f.dcm_path, MatrixBackend::kMmap);
+  FlocConfig config = MiningConfig();
+  for (auto _ : state) {
+    Floc floc(config);
+    benchmark::DoNotOptimize(floc.Run(matrix));
+  }
+}
+BENCHMARK(BM_FlocMmapBackend)->Unit(benchmark::kMillisecond);
+
+// Forwards to the normal console output while collecting one BENCH
+// result row per reported run (same shape as bench_micro_kernels).
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit RecordingReporter(bench::BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::BenchRow row = {
+          {"benchmark", bench::Str(run.benchmark_name())},
+          {"iterations", bench::Int(run.iterations)},
+          {"real_time", bench::Num(run.GetAdjustedRealTime())},
+          {"cpu_time", bench::Num(run.GetAdjustedCPUTime())},
+          {"time_unit", bench::Str(GetTimeUnitString(run.time_unit))}};
+      report_->AddResult(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::BenchReport* report_;
+};
+
+}  // namespace
+}  // namespace deltaclus
+
+int main(int argc, char** argv) {
+  using namespace deltaclus;  // NOLINT
+  bench::BenchReport report("load_path", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (report.quick()) {
+    // The load benchmarks are cheap and are what the check.sh floor
+    // gates; the seconds-long FLOC end-to-end pair is full-run only.
+    benchmark::SetBenchmarkFilter("BM_Load.*");
+  }
+  RecordingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

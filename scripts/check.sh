@@ -197,6 +197,40 @@ stage_bench() {
   else
     fail "bench trajectory comparison (scripts/bench_compare.py)"
   fi
+  # Storage-layer tax gate (PR 8): the hot kernels after the pluggable
+  # storage refactor must hold >= 0.95x of the immediately-pre-refactor
+  # record (pr7 and pr8 were recorded back-to-back on one machine, so
+  # the comparison is apples-to-apples). Deterministic: compares two
+  # checked-in records.
+  if python3 scripts/bench_compare.py \
+        bench/trajectory/BENCH_micro_kernels_pr7.json \
+        bench/trajectory/BENCH_micro_kernels_pr8.json \
+        --min-ratio 'BM_GainEval(RowToggleTall|ColToggleWide)$=0.95' \
+        --min-ratio 'BM_GainDetermination/1=0.95'; then
+    echo "bench: storage-layer kernel floor holds"
+  else
+    fail "storage-layer bench floor (pr7 vs pr8 micro-kernel records)"
+  fi
+  # Load-path floor: a fresh quick run of the storage load benchmarks
+  # (CSV parse, .dcm convert, mmap open, heap copy) must stay within 3x
+  # of the checked-in record. Loose for CI-hardware tolerance, but an
+  # accidental eager plane read turning the O(header) mmap open into an
+  # O(bytes) one blows through it by orders of magnitude.
+  if [ ! -x build/bench/bench_load_path ]; then
+    cmake --build --preset default -j "$JOBS" --target bench_load_path
+  fi
+  out="$(mktemp -d)"
+  if ./build/bench/bench_load_path --quick \
+        --json-out="$out/BENCH_load_path.json" >/dev/null \
+      && python3 scripts/bench_compare.py \
+        bench/trajectory/BENCH_load_path_pr8.json \
+        "$out/BENCH_load_path.json" \
+        --min-ratio '^BM_Load=0.33'; then
+    echo "bench: load-path floor holds"
+  else
+    fail "load-path bench floor (bench_load_path vs trajectory record)"
+  fi
+  rm -rf "$out"
   # Whole-run floor: a fresh quick Table-2/3 end-to-end run must stay
   # within 3x of the checked-in record (bench_compare synthesizes
   # "run:cols=.../k=.../rows=..." names from the row parameters). The

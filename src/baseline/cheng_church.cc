@@ -40,9 +40,9 @@ double MemberColScore(const ClusterView& view, size_t j) {
   const ClusterStats& stats = view.stats();
   double col_base = stats.ColBase(j);
   double cluster_base = stats.ClusterBase();
-  // Column-direction scan: stride-1 on the column-major plane.
-  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
-  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
+  // Column-direction scan: stride-1 on the column-major mirror.
+  const double* col_values = m.ColValues(j).data();
+  const uint8_t* col_mask = m.ColMask(j).data();
   double acc = 0.0;
   size_t count = 0;
   for (uint32_t i : view.cluster().row_ids()) {
@@ -67,8 +67,8 @@ double CandidateColScore(const ClusterView& view, size_t j) {
   if (col_cnt == 0) return std::numeric_limits<double>::infinity();
   double col_base = col_sum / col_cnt;
   double cluster_base = stats.ClusterBase();
-  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
-  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
+  const double* col_values = m.ColValues(j).data();
+  const uint8_t* col_mask = m.ColMask(j).data();
   double acc = 0.0;
   for (uint32_t i : view.cluster().row_ids()) {
     if (!col_mask[i]) continue;

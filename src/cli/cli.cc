@@ -1,5 +1,7 @@
 #include "src/cli/cli.h"
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -33,7 +35,7 @@ commands:
             --rows N --cols N --clusters N --noise S --missing F
             --volume-mean V --volume-variance V --seed S
             --out matrix.csv [--truth-out clusters.txt]
-  mine      run FLOC on a CSV matrix
+  mine      run FLOC on a CSV or .dcm matrix
             --input matrix.csv --k N [--alpha A] [--target-residue R]
             [--min-rows N] [--min-cols N] [--max-overlap F]
             [--ordering fixed|random|weighted] [--paper-mode]
@@ -46,6 +48,12 @@ commands:
             hardware threads; results are bit-identical at any count).
             The DELTACLUS_THREADS environment variable supplies the
             default when the flag is absent.
+            [--backend=mem|mmap] picks the matrix storage backend
+            (default mem; the DELTACLUS_BACKEND environment variable
+            supplies the default when the flag is absent). mmap maps
+            .dcm inputs directly; text inputs are compiled to an
+            unlinked temporary .dcm first. Results are bit-identical
+            across backends.
             observability (see docs/OBSERVABILITY.md):
             [--telemetry off|summary|full] [--telemetry-out run.jsonl]
             [--trace-out trace.json] [--metrics-out metrics.json]
@@ -56,21 +64,86 @@ commands:
             --metrics-out in Prometheus text exposition format.
   stats     summarize a clustering
             --input matrix.csv --clusters clusters.txt
-            [--truth truth.txt]
+            [--truth truth.txt] [--backend=mem|mmap]
   impute    fill missing entries from a clustering
             --input matrix.csv --clusters clusters.txt --out imputed.csv
-            [--combine best|weighted]
+            [--combine best|weighted] [--backend=mem|mmap]
   holdout   hold-out prediction evaluation
             --input matrix.csv --clusters clusters.txt
             [--fraction F] [--seed S] [--combine best|weighted]
+            [--backend=mem|mmap]
   help      print this message
 
-Matrices are dense CSV with "NA" (or empty) for missing entries.
+Matrices are dense CSV with "NA" (or empty) for missing entries, or
+.dcm binary plane images (tools/dcm_convert); formats are auto-detected.
 )";
 
 int UsageError(std::ostream& err, const std::string& message) {
   err << "error: " << message << "\n\n" << kUsage;
   return 1;
+}
+
+// Storage-backend selection: --backend wins, then DELTACLUS_BACKEND,
+// then the in-memory backend. A malformed environment value exits 2
+// (like DELTACLUS_THREADS); a malformed flag value is a usage error.
+// Returns 0 and sets *backend on success.
+int ResolveBackend(FlagParser& flags, std::ostream& err,
+                   MatrixBackend* backend) {
+  std::string selected = "mem";
+  // Read once at startup, before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("DELTACLUS_BACKEND");
+      env != nullptr && env[0] != '\0') {
+    selected = env;
+    if (selected != "mem" && selected != "mmap") {
+      err << "error: DELTACLUS_BACKEND must be 'mem' or 'mmap', got "
+          << selected << "\n";
+      return 2;
+    }
+  }
+  selected = flags.StringOr("backend", selected);
+  if (selected == "mem") {
+    *backend = MatrixBackend::kMem;
+  } else if (selected == "mmap") {
+    *backend = MatrixBackend::kMmap;
+  } else {
+    return UsageError(err, "unknown --backend '" + selected +
+                               "' (expected mem|mmap)");
+  }
+  return 0;
+}
+
+// The directory that would receive a file written to `path`.
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Preflight checks: fail fast with exit 2 *before* any expensive work
+// when an input path cannot be read or an output path cannot receive a
+// file, naming the offending path -- instead of aborting mid-run.
+int RequireReadable(const std::string& flag, const std::string& path,
+                    std::ostream& err) {
+  if (::access(path.c_str(), R_OK) == 0) return 0;
+  err << "error: cannot read --" << flag << " '" << path << "'\n";
+  return 2;
+}
+
+int RequireWritable(const std::string& flag, const std::string& path,
+                    std::ostream& err) {
+  if (path.empty()) return 0;
+  if (::access(path.c_str(), F_OK) == 0) {
+    if (::access(path.c_str(), W_OK) == 0) return 0;
+    err << "error: cannot write --" << flag << " '" << path << "'\n";
+    return 2;
+  }
+  std::string parent = ParentDir(path);
+  if (::access(parent.c_str(), W_OK | X_OK) == 0) return 0;
+  err << "error: cannot write --" << flag << " '" << path
+      << "': directory '" << parent << "' is missing or not writable\n";
+  return 2;
 }
 
 // Validates that every provided flag was consumed and no parse errors
@@ -129,18 +202,25 @@ int CmdGenerate(FlagParser& flags, std::ostream& out, std::ostream& err) {
     return UsageError(err, "unknown --kind '" + kind + "'");
   }
   if (int rc = FinishFlags(flags, err)) return rc;
+  if (int rc = RequireWritable("out", out_path, err)) return rc;
+  if (int rc = RequireWritable("truth-out", truth_path, err)) return rc;
 
-  if (out_path.empty()) {
-    WriteCsv(matrix, out);
-  } else {
-    WriteCsvFile(matrix, out_path);
-    out << "wrote " << matrix.rows() << "x" << matrix.cols() << " matrix ("
-        << matrix.NumSpecified() << " specified) to " << out_path << "\n";
-  }
-  if (!truth_path.empty()) {
-    WriteClustersFile(truth, truth_path);
-    out << "wrote " << truth.size() << " planted clusters to " << truth_path
-        << "\n";
+  try {
+    if (out_path.empty()) {
+      WriteCsv(matrix, out);
+    } else {
+      WriteCsvFile(matrix, out_path);
+      out << "wrote " << matrix.rows() << "x" << matrix.cols() << " matrix ("
+          << matrix.NumSpecified() << " specified) to " << out_path << "\n";
+    }
+    if (!truth_path.empty()) {
+      WriteClustersFile(truth, truth_path);
+      out << "wrote " << truth.size() << " planted clusters to " << truth_path
+          << "\n";
+    }
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
   }
   return 0;
 }
@@ -224,7 +304,21 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   // A bare --perf-report prints the text table; =PATH writes JSON.
   bool perf_report_requested = flags.GetBool("perf-report");
   std::string perf_report_path = flags.StringOr("perf-report", "");
+  MatrixBackend backend = MatrixBackend::kMem;
+  if (int rc = ResolveBackend(flags, err, &backend)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
+
+  // Path preflights, before any mining work starts.
+  if (int rc = RequireReadable("input", *input, err)) return rc;
+  if (out_path) {
+    if (int rc = RequireWritable("out", *out_path, err)) return rc;
+  }
+  if (int rc = RequireWritable("telemetry-out", telemetry_out, err)) return rc;
+  if (int rc = RequireWritable("trace-out", trace_out, err)) return rc;
+  if (int rc = RequireWritable("metrics-out", metrics_out, err)) return rc;
+  if (int rc = RequireWritable("perf-report", perf_report_path, err)) {
+    return rc;
+  }
 
   std::ofstream telemetry_stream;
   std::optional<obs::JsonlTelemetrySink> telemetry_sink;
@@ -248,14 +342,14 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
 
   DataMatrix matrix(0, 0);
   try {
-    matrix = ReadCsvFile(*input);
+    matrix = ReadMatrixFile(*input, backend);
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 2;
   }
   out << "mining " << matrix.rows() << "x" << matrix.cols() << " matrix ("
-      << 100.0 * matrix.Density() << "% dense), k = "
-      << config.num_clusters << "\n";
+      << 100.0 * matrix.Density() << "% dense, backend "
+      << matrix.BackendName() << "), k = " << config.num_clusters << "\n";
 
   FlocResult result = Floc(config).Run(matrix);
 
@@ -343,10 +437,14 @@ int CmdStats(FlagParser& flags, std::ostream& out, std::ostream& err) {
   if (!input || !clusters_path) {
     return UsageError(err, "stats requires --input and --clusters");
   }
+  MatrixBackend backend = MatrixBackend::kMem;
+  if (int rc = ResolveBackend(flags, err, &backend)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
+  if (int rc = RequireReadable("input", *input, err)) return rc;
+  if (int rc = RequireReadable("clusters", *clusters_path, err)) return rc;
 
   try {
-    DataMatrix matrix = ReadCsvFile(*input);
+    DataMatrix matrix = ReadMatrixFile(*input, backend);
     std::vector<Cluster> clusters =
         ReadClustersFile(*clusters_path, matrix.rows(), matrix.cols());
     TextTable table({"cluster", "rows", "cols", "volume", "occupancy",
@@ -393,10 +491,15 @@ int CmdImpute(FlagParser& flags, std::ostream& out, std::ostream& err) {
   bool ok = false;
   PredictCombine combine = ParseCombine(combine_raw, &ok);
   if (!ok) return UsageError(err, "unknown --combine '" + combine_raw + "'");
+  MatrixBackend backend = MatrixBackend::kMem;
+  if (int rc = ResolveBackend(flags, err, &backend)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
+  if (int rc = RequireReadable("input", *input, err)) return rc;
+  if (int rc = RequireReadable("clusters", *clusters_path, err)) return rc;
+  if (int rc = RequireWritable("out", *out_path, err)) return rc;
 
   try {
-    DataMatrix matrix = ReadCsvFile(*input);
+    DataMatrix matrix = ReadMatrixFile(*input, backend);
     std::vector<Cluster> clusters =
         ReadClustersFile(*clusters_path, matrix.rows(), matrix.cols());
     ClusterPredictor predictor(matrix, clusters);
@@ -423,10 +526,14 @@ int CmdHoldout(FlagParser& flags, std::ostream& out, std::ostream& err) {
   bool ok = false;
   PredictCombine combine = ParseCombine(combine_raw, &ok);
   if (!ok) return UsageError(err, "unknown --combine '" + combine_raw + "'");
+  MatrixBackend backend = MatrixBackend::kMem;
+  if (int rc = ResolveBackend(flags, err, &backend)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
+  if (int rc = RequireReadable("input", *input, err)) return rc;
+  if (int rc = RequireReadable("clusters", *clusters_path, err)) return rc;
 
   try {
-    DataMatrix matrix = ReadCsvFile(*input);
+    DataMatrix matrix = ReadMatrixFile(*input, backend);
     std::vector<Cluster> clusters =
         ReadClustersFile(*clusters_path, matrix.rows(), matrix.cols());
     ClusterPredictor predictor(matrix, clusters);

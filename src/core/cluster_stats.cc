@@ -12,13 +12,12 @@ void ClusterStats::Build(const DataMatrix& m, const Cluster& c) {
   total_ = 0.0;
   volume_ = 0;
 
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
   for (uint32_t i : c.row_ids()) {
-    size_t row_off = m.RawIndex(i, 0);
+    const double* values = m.RowValues(i).data();
+    const uint8_t* mask = m.RowMask(i).data();
     for (uint32_t j : c.col_ids()) {
-      if (!mask[row_off + j]) continue;
-      double v = values[row_off + j];
+      if (!mask[j]) continue;
+      double v = values[j];
       row_sum_[i] += v;
       ++row_cnt_[i];
       col_sum_[j] += v;
@@ -31,14 +30,13 @@ void ClusterStats::Build(const DataMatrix& m, const Cluster& c) {
 
 void ClusterStats::AddRow(const DataMatrix& m, const Cluster& c, size_t i) {
   DC_DCHECK_LT(i, m.rows());
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
-  size_t row_off = m.RawIndex(i, 0);
+  const double* values = m.RowValues(i).data();
+  const uint8_t* mask = m.RowMask(i).data();
   double sum = 0.0;
   size_t cnt = 0;
   for (uint32_t j : c.col_ids()) {
-    if (!mask[row_off + j]) continue;
-    double v = values[row_off + j];
+    if (!mask[j]) continue;
+    double v = values[j];
     col_sum_[j] += v;
     ++col_cnt_[j];
     sum += v;
@@ -52,12 +50,11 @@ void ClusterStats::AddRow(const DataMatrix& m, const Cluster& c, size_t i) {
 
 void ClusterStats::RemoveRow(const DataMatrix& m, const Cluster& c, size_t i) {
   DC_DCHECK_LT(i, m.rows());
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
-  size_t row_off = m.RawIndex(i, 0);
+  const double* values = m.RowValues(i).data();
+  const uint8_t* mask = m.RowMask(i).data();
   for (uint32_t j : c.col_ids()) {
-    if (!mask[row_off + j]) continue;
-    double v = values[row_off + j];
+    if (!mask[j]) continue;
+    double v = values[j];
     col_sum_[j] -= v;
     --col_cnt_[j];
   }
@@ -69,11 +66,11 @@ void ClusterStats::RemoveRow(const DataMatrix& m, const Cluster& c, size_t i) {
 
 void ClusterStats::AddCol(const DataMatrix& m, const Cluster& c, size_t j) {
   DC_DCHECK_LT(j, m.cols());
-  // Column-direction scan: stride-1 on the column-major plane. Summation
+  // Column-direction scan: stride-1 on the column-major mirror. Summation
   // order over row_ids is unchanged, so sums are bit-identical to a
-  // row-major-plane scan.
-  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
-  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
+  // row-major scan.
+  const double* col_values = m.ColValues(j).data();
+  const uint8_t* col_mask = m.ColMask(j).data();
   double sum = 0.0;
   size_t cnt = 0;
   for (uint32_t i : c.row_ids()) {
@@ -92,8 +89,8 @@ void ClusterStats::AddCol(const DataMatrix& m, const Cluster& c, size_t j) {
 
 void ClusterStats::RemoveCol(const DataMatrix& m, const Cluster& c, size_t j) {
   DC_DCHECK_LT(j, m.cols());
-  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
-  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
+  const double* col_values = m.ColValues(j).data();
+  const uint8_t* col_mask = m.ColMask(j).data();
   for (uint32_t i : c.row_ids()) {
     if (!col_mask[i]) continue;
     double v = col_values[i];
@@ -109,20 +106,19 @@ void ClusterStats::RemoveCol(const DataMatrix& m, const Cluster& c, size_t j) {
 void ClusterStats::RowSumOverCols(const DataMatrix& m,
                                   const std::vector<uint32_t>& col_ids,
                                   size_t i, double* sum, size_t* count) {
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
-  size_t row_off = m.RawIndex(i, 0);
+  const double* values = m.RowValues(i).data();
+  const uint8_t* mask = m.RowMask(i).data();
   double s = 0.0;
   size_t c = 0;
   if (m.RowFullySpecified(i)) {
     // Branch-free: every entry of the row is specified. Summation order
     // is unchanged, so the result is bit-identical to the masked loop.
-    for (uint32_t j : col_ids) s += values[row_off + j];
+    for (uint32_t j : col_ids) s += values[j];
     c = col_ids.size();
   } else {
     for (uint32_t j : col_ids) {
-      if (!mask[row_off + j]) continue;
-      s += values[row_off + j];
+      if (!mask[j]) continue;
+      s += values[j];
       ++c;
     }
   }
@@ -133,9 +129,9 @@ void ClusterStats::RowSumOverCols(const DataMatrix& m,
 void ClusterStats::ColSumOverRows(const DataMatrix& m,
                                   const std::vector<uint32_t>& row_ids,
                                   size_t j, double* sum, size_t* count) {
-  // Stride-1 on the column-major plane; same summation order as before.
-  const double* col_values = m.raw_values_cm() + m.RawIndexCm(0, j);
-  const uint8_t* col_mask = m.raw_mask_cm() + m.RawIndexCm(0, j);
+  // Stride-1 on the column-major mirror; same summation order as before.
+  const double* col_values = m.ColValues(j).data();
+  const uint8_t* col_mask = m.ColMask(j).data();
   double s = 0.0;
   size_t c = 0;
   if (m.ColFullySpecified(j)) {

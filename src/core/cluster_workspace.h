@@ -199,14 +199,13 @@ class ClusterWorkspace {
       pane_.num_cols = n;
       pane_.values.resize(row_ids.size() * n);
       pane_.mask.resize(row_ids.size() * n);
-      const double* values = m.raw_values();
-      const uint8_t* mask = m.raw_mask();
       size_t out = 0;
       for (uint32_t i : row_ids) {
-        size_t row_off = m.RawIndex(i, 0);
+        const double* values = m.RowValues(i).data();
+        const uint8_t* mask = m.RowMask(i).data();
         for (size_t idx = 0; idx < n; ++idx, ++out) {
-          pane_.values[out] = values[row_off + col_ids[idx]];
-          pane_.mask[out] = mask[row_off + col_ids[idx]];
+          pane_.values[out] = values[col_ids[idx]];
+          pane_.mask[out] = mask[col_ids[idx]];
         }
       }
       pane_epoch_ = epoch_;

@@ -9,17 +9,24 @@ namespace deltaclus {
 namespace {
 
 // Number of specified entries of row i over the cluster's columns.
+// Count-only on purpose: this sits on the gain-determination hot path
+// (every add-toggle candidate probes it, memo hit or not), and the
+// value sum ClusterStats::RowSumOverCols would also compute is unused
+// here. Fully-specified rows answer from the store's count ledger in
+// O(1); otherwise a mask-only integer loop, no FP chain.
 size_t RowSpecifiedCount(const DataMatrix& m, const Cluster& c, size_t i) {
-  double sum = 0.0;
+  if (m.RowFullySpecified(i)) return c.col_ids().size();
+  const uint8_t* mask = m.RowMask(i).data();
   size_t cnt = 0;
-  ClusterStats::RowSumOverCols(m, c.col_ids(), i, &sum, &cnt);
+  for (uint32_t j : c.col_ids()) cnt += mask[j];
   return cnt;
 }
 
 size_t ColSpecifiedCount(const DataMatrix& m, const Cluster& c, size_t j) {
-  double sum = 0.0;
+  if (m.ColFullySpecified(j)) return c.row_ids().size();
+  const uint8_t* mask = m.ColMask(j).data();
   size_t cnt = 0;
-  ClusterStats::ColSumOverRows(m, c.row_ids(), j, &sum, &cnt);
+  for (uint32_t i : c.row_ids()) cnt += mask[i];
   return cnt;
 }
 
@@ -116,11 +123,10 @@ BlockReason ConstraintTracker::RowToggleBlockReason(
     }
     // ...and every member column must stay alpha-occupied. A removal of a
     // specified entry can also lower a column's occupancy ratio.
-    const uint8_t* mask = matrix_->raw_mask();
-    size_t row_off = matrix_->RawIndex(i, 0);
+    const uint8_t* mask = matrix_->RowMask(i).data();
     for (uint32_t j : cluster.col_ids()) {
       size_t cnt = stats.ColCount(j);
-      if (mask[row_off + j]) cnt = adding ? cnt + 1 : cnt - 1;
+      if (mask[j]) cnt = adding ? cnt + 1 : cnt - 1;
       if (static_cast<double>(cnt) < constraints_.alpha * new_rows) {
         return BlockReason::kOccupancy;
       }
@@ -173,9 +179,8 @@ BlockReason ConstraintTracker::ColToggleBlockReason(
       }
     }
     // Column-direction occupancy probe: stride-1 on the column-major
-    // plane instead of striding by cols() per member row.
-    const uint8_t* col_mask =
-        matrix_->raw_mask_cm() + matrix_->RawIndexCm(0, j);
+    // mirror instead of striding by cols() per member row.
+    const uint8_t* col_mask = matrix_->ColMask(j).data();
     for (uint32_t i : cluster.row_ids()) {
       size_t cnt = stats.RowCount(i);
       if (col_mask[i]) cnt = adding ? cnt + 1 : cnt - 1;

@@ -3,31 +3,21 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/storage/in_memory_store.h"
 #include "src/util/check.h"
 
 namespace deltaclus {
 
 DataMatrix::DataMatrix(size_t rows, size_t cols)
-    : rows_(rows),
-      cols_(cols),
-      values_(rows * cols, 0.0),
-      mask_(rows * cols, 0),
-      values_cm_(rows * cols, 0.0),
-      mask_cm_(rows * cols, 0),
-      row_specified_(rows, 0),
-      col_specified_(cols, 0),
-      num_specified_(0) {}
+    : store_(std::make_shared<storage::InMemoryStore>(rows, cols)) {}
 
 DataMatrix::DataMatrix(size_t rows, size_t cols, double fill)
-    : rows_(rows),
-      cols_(cols),
-      values_(rows * cols, fill),
-      mask_(rows * cols, 1),
-      values_cm_(rows * cols, fill),
-      mask_cm_(rows * cols, 1),
-      row_specified_(rows, cols),
-      col_specified_(cols, rows),
-      num_specified_(rows * cols) {}
+    : store_(std::make_shared<storage::InMemoryStore>(rows, cols, fill)) {}
+
+DataMatrix::DataMatrix(std::shared_ptr<storage::MatrixStore> store)
+    : store_(std::move(store)) {
+  DC_CHECK(store_ != nullptr) << "DataMatrix: null store";
+}
 
 DataMatrix DataMatrix::FromRows(
     std::initializer_list<std::initializer_list<double>> rows) {
@@ -67,53 +57,50 @@ std::optional<double> DataMatrix::ValueOrMissing(size_t i, size_t j) const {
   return Value(i, j);
 }
 
-void DataMatrix::Set(size_t i, size_t j, double value) {
-  DC_DCHECK(i < rows_ && j < cols_) << "Set(" << i << ", " << j << ") out of range";
-  if (mask_[Index(i, j)] == 0) {
-    ++row_specified_[i];
-    ++col_specified_[j];
-    ++num_specified_;
+void DataMatrix::EnsureMutable() {
+  // Single-writer contract (see MatrixStore): no concurrent reader holds
+  // spans into this matrix while it is being mutated, so swapping the
+  // store here is safe. Copies made *before* the mutation keep the old
+  // store alive and unchanged -- that is the value semantics.
+  if (store_.use_count() > 1 || !store_->Mutable()) {
+    store_ = store_->CloneInMemory();
   }
-  values_[Index(i, j)] = value;
-  mask_[Index(i, j)] = 1;
-  values_cm_[IndexCm(i, j)] = value;
-  mask_cm_[IndexCm(i, j)] = 1;
+}
+
+void DataMatrix::Set(size_t i, size_t j, double value) {
+  EnsureMutable();
+  store_->Set(i, j, value);
 }
 
 void DataMatrix::SetMissing(size_t i, size_t j) {
-  DC_DCHECK(i < rows_ && j < cols_) << "SetMissing(" << i << ", " << j << ") out of range";
-  if (mask_[Index(i, j)] != 0) {
-    --row_specified_[i];
-    --col_specified_[j];
-    --num_specified_;
-  }
-  values_[Index(i, j)] = 0.0;
-  mask_[Index(i, j)] = 0;
-  values_cm_[IndexCm(i, j)] = 0.0;
-  mask_cm_[IndexCm(i, j)] = 0;
+  EnsureMutable();
+  store_->SetMissing(i, j);
 }
 
 size_t DataMatrix::NumSpecifiedInRow(size_t i) const {
-  DC_DCHECK_LT(i, rows_);
-  return row_specified_[i];
+  DC_DCHECK_LT(i, rows());
+  return store_->RowSpecifiedCounts()[i];
 }
 
 size_t DataMatrix::NumSpecifiedInCol(size_t j) const {
-  DC_DCHECK_LT(j, cols_);
-  return col_specified_[j];
+  DC_DCHECK_LT(j, cols());
+  return store_->ColSpecifiedCounts()[j];
 }
 
 double DataMatrix::Density() const {
-  if (values_.empty()) return 0.0;
-  return static_cast<double>(num_specified_) / values_.size();
+  size_t cells = rows() * cols();
+  if (cells == 0) return 0.0;
+  return static_cast<double>(NumSpecified()) / static_cast<double>(cells);
 }
 
 DataMatrix DataMatrix::LogTransformed() const {
-  DataMatrix out(rows_, cols_);
-  for (size_t i = 0; i < rows_; ++i) {
-    for (size_t j = 0; j < cols_; ++j) {
-      if (!IsSpecified(i, j)) continue;
-      double v = Value(i, j);
+  DataMatrix out(rows(), cols());
+  for (size_t i = 0; i < rows(); ++i) {
+    auto values = RowValues(i);
+    auto mask = RowMask(i);
+    for (size_t j = 0; j < cols(); ++j) {
+      if (!mask[j]) continue;
+      double v = values[j];
       if (v <= 0) {
         throw std::domain_error(
             "DataMatrix::LogTransformed: non-positive specified entry");
@@ -126,18 +113,26 @@ DataMatrix DataMatrix::LogTransformed() const {
 
 std::optional<double> DataMatrix::MinSpecified() const {
   std::optional<double> best;
-  for (size_t idx = 0; idx < values_.size(); ++idx) {
-    if (!mask_[idx]) continue;
-    if (!best || values_[idx] < *best) best = values_[idx];
+  for (size_t i = 0; i < rows(); ++i) {
+    auto values = RowValues(i);
+    auto mask = RowMask(i);
+    for (size_t j = 0; j < cols(); ++j) {
+      if (!mask[j]) continue;
+      if (!best || values[j] < *best) best = values[j];
+    }
   }
   return best;
 }
 
 std::optional<double> DataMatrix::MaxSpecified() const {
   std::optional<double> best;
-  for (size_t idx = 0; idx < values_.size(); ++idx) {
-    if (!mask_[idx]) continue;
-    if (!best || values_[idx] > *best) best = values_[idx];
+  for (size_t i = 0; i < rows(); ++i) {
+    auto values = RowValues(i);
+    auto mask = RowMask(i);
+    for (size_t j = 0; j < cols(); ++j) {
+      if (!mask[j]) continue;
+      if (!best || values[j] > *best) best = values[j];
+    }
   }
   return best;
 }

@@ -8,15 +8,20 @@
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
+
+#include "src/storage/matrix_store.h"
 
 namespace deltaclus {
 
-/// Dense matrix of doubles with a per-entry specified/missing mask, stored
-/// in *both* row-major and column-major order. Rows are objects (e.g.
-/// viewers, genes) and columns are attributes (e.g. movies, experiment
-/// conditions).
+/// Dense matrix of doubles with a per-entry specified/missing mask, held
+/// behind a pluggable storage backend (src/storage/matrix_store.h). Rows
+/// are objects (e.g. viewers, genes) and columns are attributes (e.g.
+/// movies, experiment conditions).
 ///
 /// The representation is intentionally dense: the paper's algorithms scan
 /// submatrices entry-by-entry, and a dense value array plus a byte mask is
@@ -24,15 +29,21 @@ namespace deltaclus {
 /// about. Sparse data sets (MovieLens is ~6% dense) still fit comfortably
 /// in memory at the scales the paper evaluates (<= 3000 x 1700).
 ///
-/// The column-major mirror exists because FLOC's inner loop is symmetric
-/// in rows and columns: row actions scan along rows, column actions scan
-/// along columns. With a single row-major plane every column scan strides
-/// by `cols()` and misses cache on each step; the mirror makes both scan
-/// directions stride-1. Both planes are kept in sync by every mutation,
-/// so readers may freely pick whichever plane matches their traversal
-/// (see DESIGN.md "The data plane"). Writes cost two stores instead of
-/// one, which is irrelevant: matrices are built once and then read by
-/// many mining iterations.
+/// The backend keeps the entries in *both* row-major and column-major
+/// order, because FLOC's inner loop is symmetric in rows and columns: row
+/// actions scan along rows, column actions scan along columns. With a
+/// single row-major plane every column scan strides by `cols()` and
+/// misses cache on each step; the mirror makes both scan directions
+/// stride-1. Readers pick whichever direction matches their traversal via
+/// the typed span accessors below -- RowValues/RowMask for row scans,
+/// ColValues/ColMask for column scans (see DESIGN.md "The storage
+/// layer"). The raw planes themselves never leave src/storage/.
+///
+/// Copies are copy-on-write: copying a DataMatrix shares the backend, and
+/// the first mutation through a shared (or read-only, e.g. mmap) backend
+/// materializes a private in-memory copy. Value semantics are preserved
+/// -- mutating a copy never changes the original -- while read-only
+/// pipelines (mine, stats, eval) copy matrices for free.
 class DataMatrix {
  public:
   /// Creates a rows x cols matrix with every entry missing.
@@ -40,6 +51,10 @@ class DataMatrix {
 
   /// Creates a rows x cols matrix with every entry specified as `fill`.
   DataMatrix(size_t rows, size_t cols, double fill);
+
+  /// Wraps an existing backend (e.g. an MmapStore over a .dcm file, or an
+  /// InMemoryStore built by a streaming parser).
+  explicit DataMatrix(std::shared_ptr<storage::MatrixStore> store);
 
   /// Builds a fully-specified matrix from a nested initializer list.
   /// All inner lists must have equal length.
@@ -57,29 +72,31 @@ class DataMatrix {
   DataMatrix(DataMatrix&&) = default;
   DataMatrix& operator=(DataMatrix&&) = default;
 
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
+  size_t rows() const { return store_->rows(); }
+  size_t cols() const { return store_->cols(); }
 
   /// True if entry (i, j) has a value.
   bool IsSpecified(size_t i, size_t j) const {
-    return mask_[Index(i, j)] != 0;
+    return store_->IsSpecified(i, j);
   }
 
   /// Value of entry (i, j). Must be specified.
-  double Value(size_t i, size_t j) const { return values_[Index(i, j)]; }
+  double Value(size_t i, size_t j) const { return store_->Value(i, j); }
 
   /// Value if specified, std::nullopt otherwise.
   std::optional<double> ValueOrMissing(size_t i, size_t j) const;
 
-  /// Sets entry (i, j) to `value` (marking it specified).
+  /// Sets entry (i, j) to `value` (marking it specified). Materializes a
+  /// private mutable backend first if the current one is shared or
+  /// read-only.
   void Set(size_t i, size_t j, double value);
 
-  /// Marks entry (i, j) missing.
+  /// Marks entry (i, j) missing. Copy-on-write like Set.
   void SetMissing(size_t i, size_t j);
 
   /// Number of specified entries in the whole matrix. O(1): the count is
   /// maintained by every mutation.
-  size_t NumSpecified() const { return num_specified_; }
+  size_t NumSpecified() const { return store_->num_specified(); }
 
   /// Number of specified entries in row i / column j. O(1): per-row and
   /// per-column counts are maintained by Set/SetMissing so hot loops can
@@ -91,12 +108,14 @@ class DataMatrix {
   /// O(1); these are the dense-fast-path dispatch predicates of the gain
   /// kernels (see DESIGN.md "The gain kernel").
   bool RowFullySpecified(size_t i) const {
-    return row_specified_[i] == cols_;
+    return store_->RowSpecifiedCounts()[i] == cols();
   }
   bool ColFullySpecified(size_t j) const {
-    return col_specified_[j] == rows_;
+    return store_->ColSpecifiedCounts()[j] == rows();
   }
-  bool FullySpecified() const { return num_specified_ == rows_ * cols_; }
+  bool FullySpecified() const {
+    return store_->num_specified() == rows() * cols();
+  }
 
   /// Fraction of entries that are specified.
   double Density() const;
@@ -112,39 +131,41 @@ class DataMatrix {
   std::optional<double> MinSpecified() const;
   std::optional<double> MaxSpecified() const;
 
-  /// Row-major plane for row-direction hot loops:
-  /// `raw_values()[RawIndex(i, j)]` is the value and
-  /// `raw_mask()[RawIndex(i, j)] != 0` means specified. Consecutive j are
-  /// adjacent in memory.
-  const double* raw_values() const { return values_.data(); }
-  const uint8_t* raw_mask() const { return mask_.data(); }
-  size_t RawIndex(size_t i, size_t j) const { return Index(i, j); }
+  /// Row i for row-direction hot loops: stride-1 spans of length cols().
+  /// `RowValues(i)[j]` is the value and `RowMask(i)[j] != 0` means
+  /// specified. Consecutive j are adjacent in memory.
+  std::span<const double> RowValues(size_t i) const {
+    return store_->RowValues(i);
+  }
+  std::span<const uint8_t> RowMask(size_t i) const {
+    return store_->RowMask(i);
+  }
 
-  /// Column-major plane for column-direction hot loops:
-  /// `raw_values_cm()[RawIndexCm(i, j)]` is the same entry as
-  /// `raw_values()[RawIndex(i, j)]`, but consecutive i are adjacent in
+  /// Column j for column-direction hot loops: stride-1 spans of length
+  /// rows() over the column-major mirror. `ColValues(j)[i]` is the same
+  /// entry as `RowValues(i)[j]`, but consecutive i are adjacent in
   /// memory. Always in sync with the row-major plane.
-  const double* raw_values_cm() const { return values_cm_.data(); }
-  const uint8_t* raw_mask_cm() const { return mask_cm_.data(); }
-  size_t RawIndexCm(size_t i, size_t j) const { return IndexCm(i, j); }
+  std::span<const double> ColValues(size_t j) const {
+    return store_->ColValues(j);
+  }
+  std::span<const uint8_t> ColMask(size_t j) const {
+    return store_->ColMask(j);
+  }
+
+  /// The backing store (for backend-aware plumbing: .dcm writing,
+  /// telemetry, shard accounting -- not for plane access).
+  const storage::MatrixStore& store() const { return *store_; }
+
+  /// The backing store's tag: "mem" or "mmap".
+  const char* BackendName() const { return store_->BackendName(); }
 
  private:
-  size_t Index(size_t i, size_t j) const { return i * cols_ + j; }
-  size_t IndexCm(size_t i, size_t j) const { return j * rows_ + i; }
+  /// Gives this matrix sole ownership of a mutable backend, cloning the
+  /// planes if the current backend is shared with another DataMatrix or
+  /// cannot be written (mmap).
+  void EnsureMutable();
 
-  size_t rows_;
-  size_t cols_;
-  // Row-major plane.
-  std::vector<double> values_;
-  std::vector<uint8_t> mask_;
-  // Column-major mirror of the same entries.
-  std::vector<double> values_cm_;
-  std::vector<uint8_t> mask_cm_;
-  // Specified-entry counts, maintained by Set/SetMissing: per row, per
-  // column, and in total. They make the dense-path predicates above O(1).
-  std::vector<size_t> row_specified_;
-  std::vector<size_t> col_specified_;
-  size_t num_specified_ = 0;
+  std::shared_ptr<storage::MatrixStore> store_;
 };
 
 }  // namespace deltaclus

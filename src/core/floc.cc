@@ -266,8 +266,6 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
   size_t num_rows = matrix.rows();
   size_t num_cols = matrix.cols();
   const Constraints& cons = config_.constraints;
-  const double* values = matrix.raw_values();
-  const uint8_t* mask = matrix.raw_mask();
   ResidueEngine engine(config_.norm);
 
   Cluster candidate = view.cluster();
@@ -287,10 +285,9 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
     std::vector<double> centered;
     centered.reserve(rows.size());
     for (size_t j = 0; j < num_cols; ++j) {
-      // Column-direction gather: stride-1 on the column-major plane.
-      const double* col_values =
-          matrix.raw_values_cm() + matrix.RawIndexCm(0, j);
-      const uint8_t* col_mask = matrix.raw_mask_cm() + matrix.RawIndexCm(0, j);
+      // Column-direction gather: stride-1 on the column-major mirror.
+      const double* col_values = matrix.ColValues(j).data();
+      const uint8_t* col_mask = matrix.ColMask(j).data();
       centered.clear();
       for (uint32_t i : rows) {
         if (!col_mask[i]) continue;
@@ -340,11 +337,11 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
       }
       double row_base = row_sum / row_cnt;
       double dev = 0.0;
-      size_t row_off = matrix.RawIndex(i, 0);
+      const double* row_values = matrix.RowValues(i).data();
+      const uint8_t* row_mask = matrix.RowMask(i).data();
       for (uint32_t j : candidate.col_ids()) {
-        size_t pos = row_off + j;
-        if (!mask[pos]) continue;
-        dev += std::abs(values[pos] - row_base - tmp2.stats().ColBase(j) +
+        if (!row_mask[j]) continue;
+        dev += std::abs(row_values[j] - row_base - tmp2.stats().ColBase(j) +
                         cluster_base);
       }
       row_scores.emplace_back(dev / row_cnt, i);

@@ -55,15 +55,16 @@ inline double Contribution(double value, double row_base, double col_base,
 // between them can never change a result.
 
 // Masked pass: skips unspecified entries; p counts only visited ones.
+// `values`/`mask` are one matrix row (DataMatrix::RowValues/RowMask),
+// indexed by column id.
 template <bool kSquared>
 inline double RowPassMasked(const double* values, const uint8_t* mask,
-                            size_t row_off, const uint32_t* cols,
-                            const double* col_bases, size_t n,
-                            double row_base, double cluster_base) {
+                            const uint32_t* cols, const double* col_bases,
+                            size_t n, double row_base, double cluster_base) {
   double lanes[4] = {0.0, 0.0, 0.0, 0.0};
   size_t p = 0;
   for (size_t idx = 0; idx < n; ++idx) {
-    size_t pos = row_off + cols[idx];
+    size_t pos = cols[idx];
     if (!mask[pos]) continue;
     lanes[p & 3] += Contribution<kSquared>(values[pos], row_base,
                                            col_bases[idx], cluster_base);
@@ -76,26 +77,25 @@ inline double RowPassMasked(const double* values, const uint8_t* mask,
 // visit order equals position order, so lane idx mod 4 reproduces the
 // masked pass's lane pattern exactly.
 template <bool kSquared>
-inline double RowPassDense(const double* values, size_t row_off,
-                           const uint32_t* cols, const double* col_bases,
-                           size_t n, double row_base, double cluster_base) {
+inline double RowPassDense(const double* values, const uint32_t* cols,
+                           const double* col_bases, size_t n,
+                           double row_base, double cluster_base) {
   double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
   size_t idx = 0;
   for (; idx + 4 <= n; idx += 4) {
-    l0 += Contribution<kSquared>(values[row_off + cols[idx + 0]], row_base,
+    l0 += Contribution<kSquared>(values[cols[idx + 0]], row_base,
                                  col_bases[idx + 0], cluster_base);
-    l1 += Contribution<kSquared>(values[row_off + cols[idx + 1]], row_base,
+    l1 += Contribution<kSquared>(values[cols[idx + 1]], row_base,
                                  col_bases[idx + 1], cluster_base);
-    l2 += Contribution<kSquared>(values[row_off + cols[idx + 2]], row_base,
+    l2 += Contribution<kSquared>(values[cols[idx + 2]], row_base,
                                  col_bases[idx + 2], cluster_base);
-    l3 += Contribution<kSquared>(values[row_off + cols[idx + 3]], row_base,
+    l3 += Contribution<kSquared>(values[cols[idx + 3]], row_base,
                                  col_bases[idx + 3], cluster_base);
   }
   double lanes[4] = {l0, l1, l2, l3};
   for (; idx < n; ++idx) {
-    lanes[idx & 3] += Contribution<kSquared>(values[row_off + cols[idx]],
-                                             row_base, col_bases[idx],
-                                             cluster_base);
+    lanes[idx & 3] += Contribution<kSquared>(values[cols[idx]], row_base,
+                                             col_bases[idx], cluster_base);
   }
   return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
 }
@@ -284,24 +284,22 @@ double ResidueEngine::NumeratorImpl(const ClusterView& view) {
   }
   double cluster_base = stats.ClusterBase();
 
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
   const uint32_t* cols = col_ids.data();
   const double* col_bases = scratch_col_base_.data();
   double acc = 0.0;
   size_t dense_entries = 0;
   for (uint32_t i : c.row_ids()) {
-    size_t row_off = m.RawIndex(i, 0);
+    const double* row_values = m.RowValues(i).data();
     double row_base = stats.RowBase(i);
     // A member row whose specified count over the cluster's columns
     // equals |J| has no gaps to skip: take the branch-free pass.
     if (stats.RowCount(i) == n) {
-      acc += RowPassDense<kSquared>(values, row_off, cols, col_bases, n,
+      acc += RowPassDense<kSquared>(row_values, cols, col_bases, n,
                                     row_base, cluster_base);
       dense_entries += n;
     } else {
-      acc += RowPassMasked<kSquared>(values, mask, row_off, cols, col_bases,
-                                     n, row_base, cluster_base);
+      acc += RowPassMasked<kSquared>(row_values, m.RowMask(i).data(), cols,
+                                     col_bases, n, row_base, cluster_base);
     }
   }
   dense_entries_last_scan_ = dense_entries;
@@ -354,12 +352,11 @@ double ResidueEngine::AfterToggleRowImpl(const ClusterView& view, size_t i,
   const Cluster& c = view.cluster();
   const ClusterStats& stats = view.stats();
   const auto& col_ids = c.col_ids();
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
+  const double* row_values_i = m.RowValues(i).data();
+  const uint8_t* row_mask_i = m.RowMask(i).data();
   dense_entries_last_scan_ = 0;
 
   bool removing = c.HasRow(i);
-  size_t row_off = m.RawIndex(i, 0);
 
   // Row i's sums over the cluster's columns.
   double toggled_sum = 0.0;
@@ -387,8 +384,8 @@ double ResidueEngine::AfterToggleRowImpl(const ClusterView& view, size_t i,
     uint32_t j = col_ids[idx];
     double sum = stats.ColSum(j);
     size_t cnt = stats.ColCount(j);
-    if (row_i_dense || mask[row_off + j]) {
-      double v = values[row_off + j];
+    if (row_i_dense || row_mask_i[j]) {
+      double v = row_values_i[j];
       if (removing) {
         sum -= v;
         --cnt;
@@ -407,27 +404,27 @@ double ResidueEngine::AfterToggleRowImpl(const ClusterView& view, size_t i,
   // Existing member rows (their row bases are unchanged by a row toggle).
   for (uint32_t r : c.row_ids()) {
     if (removing && r == i) continue;
-    size_t off = m.RawIndex(r, 0);
+    const double* row_values = m.RowValues(r).data();
     double row_base = stats.RowBase(r);
     if (stats.RowCount(r) == n) {
-      acc += RowPassDense<kSquared>(values, off, cols, col_bases, n,
+      acc += RowPassDense<kSquared>(row_values, cols, col_bases, n,
                                     row_base, cluster_base);
       dense_entries += n;
     } else {
-      acc += RowPassMasked<kSquared>(values, mask, off, cols, col_bases, n,
-                                     row_base, cluster_base);
+      acc += RowPassMasked<kSquared>(row_values, m.RowMask(r).data(), cols,
+                                     col_bases, n, row_base, cluster_base);
     }
   }
   // The newly-added row, if this is an addition.
   if (!removing && toggled_cnt > 0) {
     double row_base = toggled_sum / toggled_cnt;
     if (row_i_dense) {
-      acc += RowPassDense<kSquared>(values, row_off, cols, col_bases, n,
+      acc += RowPassDense<kSquared>(row_values_i, cols, col_bases, n,
                                     row_base, cluster_base);
       dense_entries += n;
     } else {
-      acc += RowPassMasked<kSquared>(values, mask, row_off, cols, col_bases,
-                                     n, row_base, cluster_base);
+      acc += RowPassMasked<kSquared>(row_values_i, row_mask_i, cols,
+                                     col_bases, n, row_base, cluster_base);
     }
   }
   dense_entries_last_scan_ = dense_entries;
@@ -449,8 +446,6 @@ double ResidueEngine::AfterToggleColImpl(const ClusterView& view, size_t j,
   const ClusterStats& stats = view.stats();
   const auto& col_ids = c.col_ids();
   const auto& row_ids = c.row_ids();
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
   dense_entries_last_scan_ = 0;
 
   bool removing = c.HasCol(j);
@@ -493,15 +488,15 @@ double ResidueEngine::AfterToggleColImpl(const ClusterView& view, size_t j,
   const uint32_t* cols = scratch_cols_.data();
   const double* col_bases = scratch_col_base_.data();
 
-  // Column j's entries, read stride-1 on the column-major plane (the
+  // Column j's entries, read stride-1 on the column-major mirror (the
   // row-major reads would hop a full row stride per member row).
-  const double* col_values_j = m.raw_values_cm() + m.RawIndexCm(0, j);
-  const uint8_t* col_mask_j = m.raw_mask_cm() + m.RawIndexCm(0, j);
+  const double* col_values_j = m.ColValues(j).data();
+  const uint8_t* col_mask_j = m.ColMask(j).data();
 
   double acc = 0.0;
   size_t dense_entries = 0;
   for (uint32_t i : row_ids) {
-    size_t off = m.RawIndex(i, 0);
+    const double* row_values = m.RowValues(i).data();
     // Adjusted row base: moves only if (i, j) is specified. row_cnt
     // becomes the row's specified count over the post-toggle column
     // set, which doubles as the dense-dispatch predicate below.
@@ -520,12 +515,12 @@ double ResidueEngine::AfterToggleColImpl(const ClusterView& view, size_t j,
     double row_base = row_cnt == 0 ? 0.0 : row_sum / row_cnt;
 
     if (row_cnt == n) {
-      acc += RowPassDense<kSquared>(values, off, cols, col_bases, n,
+      acc += RowPassDense<kSquared>(row_values, cols, col_bases, n,
                                     row_base, cluster_base);
       dense_entries += n;
     } else {
-      acc += RowPassMasked<kSquared>(values, mask, off, cols, col_bases, n,
-                                     row_base, cluster_base);
+      acc += RowPassMasked<kSquared>(row_values, m.RowMask(i).data(), cols,
+                                     col_bases, n, row_base, cluster_base);
     }
   }
   dense_entries_last_scan_ = dense_entries;
@@ -588,12 +583,11 @@ double ResidueEngine::AfterToggleRowPaneImpl(const ClusterWorkspace& ws,
   const ClusterStats& stats = ws.stats();
   const auto& col_ids = c.col_ids();
   const auto& row_ids = c.row_ids();
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
+  const double* row_values_i = m.RowValues(i).data();
+  const uint8_t* row_mask_i = m.RowMask(i).data();
   dense_entries_last_scan_ = 0;
 
   bool removing = c.HasRow(i);
-  size_t row_off = m.RawIndex(i, 0);
 
   double toggled_sum = 0.0;
   size_t toggled_cnt = 0;
@@ -620,8 +614,8 @@ double ResidueEngine::AfterToggleRowPaneImpl(const ClusterWorkspace& ws,
     uint32_t jcol = col_ids[idx];
     double sum = stats.ColSum(jcol);
     size_t cnt = stats.ColCount(jcol);
-    if (row_i_dense || mask[row_off + jcol]) {
-      double v = values[row_off + jcol];
+    if (row_i_dense || row_mask_i[jcol]) {
+      double v = row_values_i[jcol];
       if (removing) {
         sum -= v;
         --cnt;
@@ -659,12 +653,12 @@ double ResidueEngine::AfterToggleRowPaneImpl(const ClusterWorkspace& ws,
     double row_base = toggled_sum / toggled_cnt;
     const uint32_t* cols = col_ids.data();
     if (row_i_dense) {
-      acc += RowPassDense<kSquared>(values, row_off, cols, col_bases, n,
+      acc += RowPassDense<kSquared>(row_values_i, cols, col_bases, n,
                                     row_base, cluster_base);
       dense_entries += n;
     } else {
-      acc += RowPassMasked<kSquared>(values, mask, row_off, cols, col_bases,
-                                     n, row_base, cluster_base);
+      acc += RowPassMasked<kSquared>(row_values_i, row_mask_i, cols,
+                                     col_bases, n, row_base, cluster_base);
     }
   }
   dense_entries_last_scan_ = dense_entries;
@@ -723,9 +717,9 @@ double ResidueEngine::AfterToggleColPaneImpl(const ClusterWorkspace& ws,
   size_t n = scratch_col_base_.size();
   const double* col_bases = scratch_col_base_.data();
 
-  // Column j's entries, read stride-1 on the column-major plane.
-  const double* col_values_j = m.raw_values_cm() + m.RawIndexCm(0, j);
-  const uint8_t* col_mask_j = m.raw_mask_cm() + m.RawIndexCm(0, j);
+  // Column j's entries, read stride-1 on the column-major mirror.
+  const double* col_values_j = m.ColValues(j).data();
+  const uint8_t* col_mask_j = m.ColMask(j).data();
 
   const PackedPane& pane = ws.EnsurePane();
   double acc = 0.0;

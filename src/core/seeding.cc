@@ -147,8 +147,7 @@ bool DenseCoreSeed(const DataMatrix& matrix, const Constraints& constraints,
     // Anchor column: a random column with at least min_rows entries.
     // Column scans here use the column-major mask plane (stride-1).
     size_t anchor = rng.UniformIndex(cols);
-    const uint8_t* anchor_mask =
-        matrix.raw_mask_cm() + matrix.RawIndexCm(0, anchor);
+    const uint8_t* anchor_mask = matrix.ColMask(anchor).data();
     std::vector<size_t> anchor_rows;
     for (size_t i = 0; i < rows; ++i) {
       if (anchor_mask[i]) anchor_rows.push_back(i);
@@ -166,8 +165,7 @@ bool DenseCoreSeed(const DataMatrix& matrix, const Constraints& constraints,
     std::vector<size_t> coverage(cols, 0);
     engine::ParallelApply(pool, cols, [&](size_t begin, size_t end, size_t) {
       for (size_t j = begin; j < end; ++j) {
-        const uint8_t* col_mask =
-            matrix.raw_mask_cm() + matrix.RawIndexCm(0, j);
+        const uint8_t* col_mask = matrix.ColMask(j).data();
         size_t count = 0;
         for (size_t i : anchor_rows) count += col_mask[i];
         coverage[j] = count;

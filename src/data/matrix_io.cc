@@ -1,11 +1,19 @@
 #include "src/data/matrix_io.h"
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "src/storage/dcm_format.h"
+#include "src/storage/in_memory_store.h"
+#include "src/storage/mmap_store.h"
 
 namespace deltaclus {
 
@@ -56,39 +64,53 @@ void WriteCsvFile(const DataMatrix& matrix, const std::string& path,
 }
 
 DataMatrix ReadCsv(std::istream& is, const std::string& missing_token) {
-  std::vector<std::vector<std::optional<double>>> rows;
+  // Streaming parse: each line appends directly to two flat row-major
+  // planes -- no one-optional-per-entry intermediate -- and error
+  // messages carry *physical* line numbers (1-based, counting blank and
+  // skipped lines), so they point at the actual line in the file.
+  std::vector<double> values;
+  std::vector<uint8_t> mask;
   std::string line;
-  size_t expected_cols = 0;
+  size_t line_no = 0;
+  size_t rows = 0;
+  size_t cols = 0;
+  size_t first_row_line = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     std::string trimmed = Trim(line);
     if (trimmed.empty()) continue;
     std::vector<std::string> fields = SplitFields(trimmed, ',');
-    if (rows.empty()) {
-      expected_cols = fields.size();
-    } else if (fields.size() != expected_cols) {
-      throw std::runtime_error("ReadCsv: ragged row at line " +
-                               std::to_string(rows.size() + 1));
+    if (rows == 0) {
+      cols = fields.size();
+      first_row_line = line_no;
+    } else if (fields.size() != cols) {
+      throw std::runtime_error(
+          "ReadCsv: ragged row at line " + std::to_string(line_no) +
+          ": has " + std::to_string(fields.size()) + " fields but line " +
+          std::to_string(first_row_line) + " has " + std::to_string(cols));
     }
-    std::vector<std::optional<double>> row;
-    row.reserve(fields.size());
     for (const std::string& raw : fields) {
       std::string f = Trim(raw);
       if (f.empty() || f == missing_token) {
-        row.push_back(std::nullopt);
+        values.push_back(0.0);
+        mask.push_back(0);
         continue;
       }
       try {
         size_t pos = 0;
         double v = std::stod(f, &pos);
         if (pos != f.size()) throw std::invalid_argument(f);
-        row.push_back(v);
+        values.push_back(v);
+        mask.push_back(1);
       } catch (const std::exception&) {
-        throw std::runtime_error("ReadCsv: bad number '" + f + "'");
+        throw std::runtime_error("ReadCsv: bad number '" + f +
+                                 "' at line " + std::to_string(line_no));
       }
     }
-    rows.push_back(std::move(row));
+    ++rows;
   }
-  return DataMatrix::FromOptionalRows(rows);
+  return DataMatrix(storage::InMemoryStore::FromRowMajor(
+      rows, cols, std::move(values), std::move(mask)));
 }
 
 DataMatrix ReadCsvFile(const std::string& path,
@@ -166,6 +188,49 @@ DataMatrix ReadMovieLens100K(std::istream& is, size_t users, size_t movies) {
           rating);
   }
   return m;
+}
+
+void WriteDcmFile(const DataMatrix& matrix, const std::string& path) {
+  storage::WriteDcmFile(matrix.store(), path);
+}
+
+DataMatrix ReadDcmFile(const std::string& path, MatrixBackend backend) {
+  auto mapped = storage::MmapStore::Open(path);
+  if (backend == MatrixBackend::kMmap) return DataMatrix(std::move(mapped));
+  // kMem: deep-copy the planes into heap vectors, then drop the mapping.
+  return DataMatrix(mapped->CloneInMemory());
+}
+
+DataMatrix ReadMatrixFile(const std::string& path, MatrixBackend backend,
+                          const std::string& missing_token) {
+  if (storage::LooksLikeDcmFile(path)) return ReadDcmFile(path, backend);
+  DataMatrix parsed = ReadCsvFile(path, missing_token);
+  if (backend == MatrixBackend::kMem) return parsed;
+  // mmap backend over a text input: compile the parsed matrix to a
+  // temporary .dcm sibling of the input, map it, and unlink immediately
+  // -- the POSIX mapping stays valid with no name left on disk. This
+  // keeps the entire mining pipeline on the mmap code path regardless of
+  // the input format.
+  std::string tmpl = path + ".XXXXXX.dcm";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  int fd = ::mkstemps(buf.data(), 4);  // suffix ".dcm"
+  if (fd < 0) {
+    throw std::runtime_error(
+        "ReadMatrixFile: cannot create a temporary .dcm next to '" + path +
+        "'");
+  }
+  ::close(fd);
+  std::string tmp_path(buf.data());
+  try {
+    WriteDcmFile(parsed, tmp_path);
+    DataMatrix mapped = ReadDcmFile(tmp_path, MatrixBackend::kMmap);
+    std::remove(tmp_path.c_str());
+    return mapped;
+  } catch (...) {
+    std::remove(tmp_path.c_str());
+    throw;
+  }
 }
 
 }  // namespace deltaclus

@@ -1,11 +1,14 @@
-// CSV / triple-list serialization of DataMatrix, including missing values.
+// CSV / triple-list / binary serialization of DataMatrix, including
+// missing values.
 //
-// Two interchange formats are supported:
+// Three interchange formats are supported:
 //   * dense CSV: one line per object, comma-separated attribute values,
 //     missing entries written as a configurable token (default "NA");
 //   * sparse triples: "row,col,value" lines (the format of the real
 //     MovieLens u.data ratings, modulo its tab separator, which is also
-//     accepted), all unlisted entries missing.
+//     accepted), all unlisted entries missing;
+//   * `.dcm` binary (src/storage/dcm_format.h): the storage layer's
+//     mappable plane image, loaded in O(header) via the mmap backend.
 #ifndef DELTACLUS_DATA_MATRIX_IO_H_
 #define DELTACLUS_DATA_MATRIX_IO_H_
 
@@ -49,6 +52,29 @@ DataMatrix ReadTriples(std::istream& is, size_t rows, size_t cols);
 /// 1682 movies).
 DataMatrix ReadMovieLens100K(std::istream& is, size_t users = 943,
                              size_t movies = 1682);
+
+/// Which storage backend a loaded matrix should sit on: heap vectors
+/// (mem, the default) or a read-only mmap view of a .dcm file.
+enum class MatrixBackend { kMem, kMmap };
+
+/// Writes `matrix`'s planes as a versioned `.dcm` binary file (magic,
+/// header checksum, payload checksum; see src/storage/dcm_format.h).
+/// Throws std::runtime_error on I/O failure.
+void WriteDcmFile(const DataMatrix& matrix, const std::string& path);
+
+/// Loads a `.dcm` file. kMmap maps it in O(header) time (plane bytes
+/// page in on demand); kMem deep-copies the planes onto the heap and
+/// releases the mapping. Throws std::runtime_error naming the path and
+/// defect on any rejection (truncated, bad magic, version mismatch, ...).
+DataMatrix ReadDcmFile(const std::string& path,
+                       MatrixBackend backend = MatrixBackend::kMmap);
+
+/// Loads `path` by sniffing its format: the .dcm magic routes to
+/// ReadDcmFile; anything else parses as dense CSV. With kMmap a CSV
+/// input is compiled to an unlinked temporary .dcm and mapped, so the
+/// caller always gets the requested backend.
+DataMatrix ReadMatrixFile(const std::string& path, MatrixBackend backend,
+                          const std::string& missing_token = "NA");
 
 }  // namespace deltaclus
 

@@ -7,13 +7,14 @@ namespace deltaclus {
 
 std::vector<uint8_t> CoveredEntries(const DataMatrix& matrix,
                                     const std::vector<Cluster>& clusters) {
-  std::vector<uint8_t> covered(matrix.rows() * matrix.cols(), 0);
-  const uint8_t* mask = matrix.raw_mask();
+  size_t cols = matrix.cols();
+  std::vector<uint8_t> covered(matrix.rows() * cols, 0);
   for (const Cluster& c : clusters) {
     for (uint32_t i : c.row_ids()) {
-      size_t off = matrix.RawIndex(i, 0);
+      const uint8_t* mask = matrix.RowMask(i).data();
+      size_t off = i * cols;
       for (uint32_t j : c.col_ids()) {
-        if (mask[off + j]) covered[off + j] = 1;
+        if (mask[j]) covered[off + j] = 1;
       }
     }
   }
@@ -42,11 +43,10 @@ MatchQuality EntryRecallPrecision(const DataMatrix& matrix,
 size_t AggregateVolume(const DataMatrix& matrix,
                        const std::vector<Cluster>& clusters) {
   size_t total = 0;
-  const uint8_t* mask = matrix.raw_mask();
   for (const Cluster& c : clusters) {
     for (uint32_t i : c.row_ids()) {
-      size_t off = matrix.RawIndex(i, 0);
-      for (uint32_t j : c.col_ids()) total += mask[off + j];
+      const uint8_t* mask = matrix.RowMask(i).data();
+      for (uint32_t j : c.col_ids()) total += mask[j];
     }
   }
   return total;

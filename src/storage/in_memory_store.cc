@@ -1,0 +1,143 @@
+#include "src/storage/in_memory_store.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace deltaclus::storage {
+
+InMemoryStore::InMemoryStore(size_t rows, size_t cols)
+    : MatrixStore(rows, cols),
+      values_(rows * cols, 0.0),
+      mask_(rows * cols, 0),
+      values_cm_(rows * cols, 0.0),
+      mask_cm_(rows * cols, 0),
+      row_specified_(rows, 0),
+      col_specified_(cols, 0) {
+  Rebind();
+}
+
+InMemoryStore::InMemoryStore(size_t rows, size_t cols, double fill)
+    : MatrixStore(rows, cols),
+      values_(rows * cols, fill),
+      mask_(rows * cols, 1),
+      values_cm_(rows * cols, fill),
+      mask_cm_(rows * cols, 1),
+      row_specified_(rows, cols),
+      col_specified_(cols, rows) {
+  num_specified_ = static_cast<uint64_t>(rows) * cols;
+  Rebind();
+}
+
+InMemoryStore::InMemoryStore(const MatrixStore& src)
+    : MatrixStore(src.rows(), src.cols()),
+      values_(src.rows() * src.cols()),
+      mask_(src.rows() * src.cols()),
+      values_cm_(src.rows() * src.cols()),
+      mask_cm_(src.rows() * src.cols()),
+      row_specified_(src.rows()),
+      col_specified_(src.cols()) {
+  size_t r = rows();
+  size_t c = cols();
+  for (size_t i = 0; i < r; ++i) {
+    auto row_values = src.RowValues(i);
+    auto row_mask = src.RowMask(i);
+    std::copy(row_values.begin(), row_values.end(),
+              values_.begin() + static_cast<ptrdiff_t>(i * c));
+    std::copy(row_mask.begin(), row_mask.end(),
+              mask_.begin() + static_cast<ptrdiff_t>(i * c));
+  }
+  for (size_t j = 0; j < c; ++j) {
+    auto col_values = src.ColValues(j);
+    auto col_mask = src.ColMask(j);
+    std::copy(col_values.begin(), col_values.end(),
+              values_cm_.begin() + static_cast<ptrdiff_t>(j * r));
+    std::copy(col_mask.begin(), col_mask.end(),
+              mask_cm_.begin() + static_cast<ptrdiff_t>(j * r));
+  }
+  auto row_counts = src.RowSpecifiedCounts();
+  auto col_counts = src.ColSpecifiedCounts();
+  std::copy(row_counts.begin(), row_counts.end(), row_specified_.begin());
+  std::copy(col_counts.begin(), col_counts.end(), col_specified_.begin());
+  num_specified_ = src.num_specified();
+  Rebind();
+}
+
+std::shared_ptr<InMemoryStore> InMemoryStore::FromRowMajor(
+    size_t rows, size_t cols, std::vector<double> values,
+    std::vector<uint8_t> mask) {
+  DC_CHECK_EQ(values.size(), rows * cols)
+      << "FromRowMajor: values plane has the wrong length";
+  DC_CHECK_EQ(mask.size(), rows * cols)
+      << "FromRowMajor: mask plane has the wrong length";
+  auto store = std::make_shared<InMemoryStore>(rows, cols);
+  store->values_ = std::move(values);
+  store->mask_ = std::move(mask);
+  store->RebuildDerived();
+  store->Rebind();
+  return store;
+}
+
+void InMemoryStore::Set(size_t i, size_t j, double value) {
+  DC_DCHECK(i < rows() && j < cols())
+      << "Set(" << i << ", " << j << ") out of range";
+  if (mask_[Index(i, j)] == 0) {
+    ++row_specified_[i];
+    ++col_specified_[j];
+    ++num_specified_;
+  }
+  values_[Index(i, j)] = value;
+  mask_[Index(i, j)] = 1;
+  values_cm_[IndexCm(i, j)] = value;
+  mask_cm_[IndexCm(i, j)] = 1;
+}
+
+void InMemoryStore::SetMissing(size_t i, size_t j) {
+  DC_DCHECK(i < rows() && j < cols())
+      << "SetMissing(" << i << ", " << j << ") out of range";
+  if (mask_[Index(i, j)] != 0) {
+    --row_specified_[i];
+    --col_specified_[j];
+    --num_specified_;
+  }
+  values_[Index(i, j)] = 0.0;
+  mask_[Index(i, j)] = 0;
+  values_cm_[IndexCm(i, j)] = 0.0;
+  mask_cm_[IndexCm(i, j)] = 0;
+}
+
+void InMemoryStore::Rebind() {
+  MatrixPlanes planes;
+  planes.values_rm = values_.data();
+  planes.mask_rm = mask_.data();
+  planes.values_cm = values_cm_.data();
+  planes.mask_cm = mask_cm_.data();
+  planes.row_specified = row_specified_.data();
+  planes.col_specified = col_specified_.data();
+  BindPlanes(planes, num_specified_);
+}
+
+void InMemoryStore::RebuildDerived() {
+  size_t r = rows();
+  size_t c = cols();
+  row_specified_.assign(r, 0);
+  col_specified_.assign(c, 0);
+  num_specified_ = 0;
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) {
+      size_t rm = Index(i, j);
+      if (mask_[rm] != 0) {
+        mask_[rm] = 1;  // normalize any nonzero mask byte
+        ++row_specified_[i];
+        ++col_specified_[j];
+        ++num_specified_;
+      } else {
+        values_[rm] = 0.0;  // unspecified slots hold a canonical zero
+      }
+      values_cm_[IndexCm(i, j)] = values_[rm];
+      mask_cm_[IndexCm(i, j)] = mask_[rm];
+    }
+  }
+}
+
+}  // namespace deltaclus::storage

@@ -1,0 +1,70 @@
+// InMemoryStore: the heap-vector backend of the storage layer --
+// byte-identical to the planes DataMatrix used to inline before the
+// layer existed. Mutable; every Set/SetMissing keeps all four planes
+// and the three count ledgers in sync, exactly as before.
+#ifndef DELTACLUS_STORAGE_IN_MEMORY_STORE_H_
+#define DELTACLUS_STORAGE_IN_MEMORY_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/storage/matrix_store.h"
+
+namespace deltaclus::storage {
+
+class InMemoryStore final : public MatrixStore {
+ public:
+  /// rows x cols with every entry missing.
+  InMemoryStore(size_t rows, size_t cols);
+
+  /// rows x cols with every entry specified as `fill`.
+  InMemoryStore(size_t rows, size_t cols, double fill);
+
+  /// Deep copy of any backend's planes (the materialization path for
+  /// read-only backends and for copy-on-write).
+  explicit InMemoryStore(const MatrixStore& src);
+
+  /// Adopts a row-major values/mask pair (mask != 0 means specified;
+  /// unspecified slots of `values` are normalized to 0.0) and derives
+  /// the column-major mirror and the count ledgers in one pass. This is
+  /// the streaming-parser entry point: text readers append rows to two
+  /// flat vectors and hand them over without an intermediate
+  /// one-optional-per-entry representation.
+  static std::shared_ptr<InMemoryStore> FromRowMajor(
+      size_t rows, size_t cols, std::vector<double> values,
+      std::vector<uint8_t> mask);
+
+  const char* BackendName() const override { return "mem"; }
+  bool Mutable() const override { return true; }
+  void Set(size_t i, size_t j, double value) override;
+  void SetMissing(size_t i, size_t j) override;
+  std::shared_ptr<MatrixStore> CloneInMemory() const override {
+    return std::make_shared<InMemoryStore>(
+        static_cast<const MatrixStore&>(*this));
+  }
+
+ private:
+  /// (Re)binds the base-class plane pointers to this object's vectors.
+  /// Must run after anything that may move vector storage.
+  void Rebind();
+
+  /// Recomputes the column-major mirror and all counts from the
+  /// row-major planes.
+  void RebuildDerived();
+
+  size_t Index(size_t i, size_t j) const { return i * cols() + j; }
+  size_t IndexCm(size_t i, size_t j) const { return j * rows() + i; }
+
+  std::vector<double> values_;
+  std::vector<uint8_t> mask_;
+  std::vector<double> values_cm_;
+  std::vector<uint8_t> mask_cm_;
+  std::vector<uint64_t> row_specified_;
+  std::vector<uint64_t> col_specified_;
+};
+
+}  // namespace deltaclus::storage
+
+#endif  // DELTACLUS_STORAGE_IN_MEMORY_STORE_H_

@@ -1,0 +1,30 @@
+#include "src/storage/matrix_store.h"
+
+#include "src/util/check.h"
+
+namespace deltaclus::storage {
+
+uint64_t MatrixStore::SpecifiedInRange(std::span<const uint64_t> counts,
+                                       size_t begin, size_t end) {
+  DC_CHECK(begin <= end && end <= counts.size())
+      << "SpecifiedInRange: bad range [" << begin << ", " << end
+      << ") over " << counts.size() << " items";
+  uint64_t total = 0;
+  for (size_t idx = begin; idx < end; ++idx) total += counts[idx];
+  return total;
+}
+
+std::vector<uint64_t> MatrixStore::ShardSpecifiedCounts(
+    std::span<const uint64_t> counts, size_t grain) {
+  DC_CHECK_GT(grain, 0u) << "ShardSpecifiedCounts: grain must be positive";
+  size_t n = counts.size();
+  std::vector<uint64_t> shards;
+  shards.reserve((n + grain - 1) / grain);
+  for (size_t begin = 0; begin < n; begin += grain) {
+    size_t end = begin + grain < n ? begin + grain : n;
+    shards.push_back(SpecifiedInRange(counts, begin, end));
+  }
+  return shards;
+}
+
+}  // namespace deltaclus::storage

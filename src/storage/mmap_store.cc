@@ -1,0 +1,98 @@
+#include "src/storage/mmap_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/storage/in_memory_store.h"
+#include "src/util/check.h"
+
+namespace deltaclus::storage {
+
+std::shared_ptr<MmapStore> MmapStore::Open(const std::string& path,
+                                           DcmVerify verify) {
+  int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    throw std::runtime_error("cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot stat '" + path +
+                             "': " + std::strerror(err));
+  }
+  auto file_bytes = static_cast<size_t>(st.st_size);
+  if (file_bytes == 0) {
+    ::close(fd);
+    throw std::runtime_error(path + ": not a valid .dcm file: empty file");
+  }
+  void* mapping = ::mmap(nullptr, file_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping outlives the descriptor (POSIX keeps it valid after
+  // close), so release the fd before validation can throw.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    throw std::runtime_error("cannot mmap '" + path +
+                             "': " + std::strerror(errno));
+  }
+  try {
+    DcmHeader header = ParseDcmHeader(mapping, file_bytes, path);
+    if (verify == DcmVerify::kFull) {
+      VerifyDcmPayload(mapping, header, path);
+    }
+    return std::shared_ptr<MmapStore>(
+        new MmapStore(mapping, file_bytes, header));
+  } catch (...) {
+    ::munmap(mapping, file_bytes);
+    throw;
+  }
+}
+
+MmapStore::MmapStore(void* mapping, size_t mapped_bytes,
+                     const DcmHeader& header)
+    : MatrixStore(static_cast<size_t>(header.rows),
+                  static_cast<size_t>(header.cols)),
+      mapping_(mapping),
+      mapped_bytes_(mapped_bytes) {
+  const auto* base = static_cast<const uint8_t*>(mapping);
+  MatrixPlanes planes;
+  planes.values_rm =
+      reinterpret_cast<const double*>(base + header.off_values_rm);
+  planes.mask_rm = base + header.off_mask_rm;
+  planes.values_cm =
+      reinterpret_cast<const double*>(base + header.off_values_cm);
+  planes.mask_cm = base + header.off_mask_cm;
+  planes.row_specified =
+      reinterpret_cast<const uint64_t*>(base + header.off_row_specified);
+  planes.col_specified =
+      reinterpret_cast<const uint64_t*>(base + header.off_col_specified);
+  BindPlanes(planes, header.num_specified);
+}
+
+MmapStore::~MmapStore() {
+  if (mapping_ != nullptr) ::munmap(mapping_, mapped_bytes_);
+}
+
+void MmapStore::Set(size_t i, size_t j, double /*value*/) {
+  DC_CHECK(false) << "Set(" << i << ", " << j
+                  << ") on the read-only mmap backend; clone to an "
+                     "in-memory store first";
+}
+
+void MmapStore::SetMissing(size_t i, size_t j) {
+  DC_CHECK(false) << "SetMissing(" << i << ", " << j
+                  << ") on the read-only mmap backend; clone to an "
+                     "in-memory store first";
+}
+
+std::shared_ptr<MatrixStore> MmapStore::CloneInMemory() const {
+  return std::make_shared<InMemoryStore>(*this);
+}
+
+}  // namespace deltaclus::storage

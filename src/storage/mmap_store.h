@@ -1,0 +1,54 @@
+// MmapStore: the read-only storage backend over a `.dcm` file.
+//
+// Open() maps the file with mmap(2), validates the header (O(header):
+// magic, version, endianness, header checksum, plane bounds -- see
+// src/storage/dcm_format.h), and binds the plane accessors straight
+// into the mapping. Plane bytes are never copied and never read
+// eagerly; the kernel pages them in as the miner scans. With
+// DcmVerify::kFull, Open additionally verifies the payload checksum,
+// which reads every plane byte -- the explicit opt-in used by
+// `dcm_convert --verify`.
+//
+// The backend is immutable: Set/SetMissing DC_CHECK-fail. Callers that
+// need to write (predict's Impute) go through DataMatrix's
+// copy-on-write, which materializes an InMemoryStore first via
+// CloneInMemory().
+#ifndef DELTACLUS_STORAGE_MMAP_STORE_H_
+#define DELTACLUS_STORAGE_MMAP_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "src/storage/dcm_format.h"
+#include "src/storage/matrix_store.h"
+
+namespace deltaclus::storage {
+
+class MmapStore final : public MatrixStore {
+ public:
+  /// Maps `path` and validates it per `verify`. Throws
+  /// std::runtime_error naming the path and the defect on any failure
+  /// (unreadable file, or any .dcm rejection from ParseDcmHeader /
+  /// VerifyDcmPayload).
+  static std::shared_ptr<MmapStore> Open(const std::string& path,
+                                         DcmVerify verify = DcmVerify::kHeader);
+
+  ~MmapStore() override;
+
+  const char* BackendName() const override { return "mmap"; }
+  bool Mutable() const override { return false; }
+  void Set(size_t i, size_t j, double value) override;
+  void SetMissing(size_t i, size_t j) override;
+  std::shared_ptr<MatrixStore> CloneInMemory() const override;
+
+ private:
+  MmapStore(void* mapping, size_t mapped_bytes, const DcmHeader& header);
+
+  void* mapping_;
+  size_t mapped_bytes_;
+};
+
+}  // namespace deltaclus::storage
+
+#endif  // DELTACLUS_STORAGE_MMAP_STORE_H_

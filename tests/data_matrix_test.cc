@@ -10,25 +10,23 @@
 namespace deltaclus {
 namespace {
 
-// Checks every entry of both storage planes against the accessor API:
+// Checks every entry of both scan directions against the accessor API:
 // the column-major mirror must agree with the row-major plane exactly
 // (same doubles, same mask bytes).
 void ExpectPlanesConsistent(const DataMatrix& m) {
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
-  const double* values_cm = m.raw_values_cm();
-  const uint8_t* mask_cm = m.raw_mask_cm();
   for (size_t i = 0; i < m.rows(); ++i) {
+    auto row_values = m.RowValues(i);
+    auto row_mask = m.RowMask(i);
+    ASSERT_EQ(row_values.size(), m.cols());
+    ASSERT_EQ(row_mask.size(), m.cols());
     for (size_t j = 0; j < m.cols(); ++j) {
-      size_t rm = m.RawIndex(i, j);
-      size_t cm = m.RawIndexCm(i, j);
-      ASSERT_EQ(mask[rm], mask_cm[cm]) << "mask planes diverge at (" << i
-                                       << ", " << j << ")";
-      ASSERT_EQ(mask[rm] != 0, m.IsSpecified(i, j));
-      if (mask[rm]) {
-        ASSERT_EQ(values[rm], values_cm[cm])
+      ASSERT_EQ(row_mask[j], m.ColMask(j)[i])
+          << "mask planes diverge at (" << i << ", " << j << ")";
+      ASSERT_EQ(row_mask[j] != 0, m.IsSpecified(i, j));
+      if (row_mask[j]) {
+        ASSERT_EQ(row_values[j], m.ColValues(j)[i])
             << "value planes diverge at (" << i << ", " << j << ")";
-        ASSERT_EQ(values[rm], m.Value(i, j));
+        ASSERT_EQ(row_values[j], m.Value(i, j));
       }
     }
   }
@@ -213,14 +211,12 @@ TEST(DataMatrixTest, MinMaxSpecified) {
   EXPECT_DOUBLE_EQ(*m.MaxSpecified(), 5.0);
 }
 
-TEST(DataMatrixTest, RawAccessMatchesAccessors) {
+TEST(DataMatrixTest, SpanAccessMatchesAccessors) {
   DataMatrix m = DataMatrix::FromRows({{1, 2}, {3, 4}});
   m.SetMissing(0, 1);
-  const double* values = m.raw_values();
-  const uint8_t* mask = m.raw_mask();
-  EXPECT_DOUBLE_EQ(values[m.RawIndex(1, 0)], 3);
-  EXPECT_EQ(mask[m.RawIndex(0, 1)], 0);
-  EXPECT_EQ(mask[m.RawIndex(1, 1)], 1);
+  EXPECT_DOUBLE_EQ(m.RowValues(1)[0], 3);
+  EXPECT_EQ(m.RowMask(0)[1], 0);
+  EXPECT_EQ(m.RowMask(1)[1], 1);
 }
 
 TEST(DataMatrixDeathTest, FromOptionalRowsRejectsRaggedNamingRow) {
@@ -259,8 +255,8 @@ TEST(DataMatrixTest, LogTransformedRebuildsMirror) {
       {{2.0, std::nullopt, 8.0}, {6.0, 12.0, std::nullopt}});
   DataMatrix lg = m.LogTransformed();
   ExpectPlanesConsistent(lg);
-  EXPECT_DOUBLE_EQ(lg.raw_values_cm()[lg.RawIndexCm(1, 0)], std::log(6.0));
-  EXPECT_EQ(lg.raw_mask_cm()[lg.RawIndexCm(0, 1)], 0);
+  EXPECT_DOUBLE_EQ(lg.ColValues(0)[1], std::log(6.0));
+  EXPECT_EQ(lg.ColMask(1)[0], 0);
 }
 
 TEST(DataMatrixTest, CopySemantics) {

@@ -12,9 +12,10 @@ TEST(MetricsTest, CoveredEntriesMarksSpecifiedOnly) {
       {{1.0, std::nullopt}, {2.0, 3.0}});
   Cluster c = Cluster::FromMembers(2, 2, {0, 1}, {0, 1});
   std::vector<uint8_t> covered = CoveredEntries(m, {c});
-  EXPECT_EQ(covered[m.RawIndex(0, 0)], 1);
-  EXPECT_EQ(covered[m.RawIndex(0, 1)], 0);  // missing
-  EXPECT_EQ(covered[m.RawIndex(1, 1)], 1);
+  // CoveredEntries is row-major: entry (i, j) lives at i * cols + j.
+  EXPECT_EQ(covered[0 * 2 + 0], 1);
+  EXPECT_EQ(covered[0 * 2 + 1], 0);  // missing
+  EXPECT_EQ(covered[1 * 2 + 1], 1);
 }
 
 TEST(MetricsTest, PerfectMatchScoresOne) {

@@ -1,0 +1,365 @@
+// Storage-layer tests: the backend-blindness gate of the data plane.
+//
+// The contract under test (DESIGN.md "The storage layer"):
+//   * a matrix loaded through InMemoryStore and through MmapStore over a
+//     `.dcm` file exposes the *same bytes* through the span accessors,
+//     so FLOC and Cheng & Church produce bit-identical output on either
+//     backend at any thread count;
+//   * `.dcm` rejection is loud and names the defect (truncated, bad
+//     magic, version mismatch, checksum failure) plus the offending
+//     path;
+//   * loading stays O(header): payload corruption passes a default open
+//     and is only caught by the explicit DcmVerify::kFull opt-in;
+//   * ShardSpecifiedCounts' in-order merge reproduces axis totals
+//     exactly for any grain -- the hook a distributed backend would
+//     shard along.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/baseline/cheng_church.h"
+#include "src/core/cluster.h"
+#include "src/core/data_matrix.h"
+#include "src/core/floc.h"
+#include "src/data/cluster_io.h"
+#include "src/data/matrix_io.h"
+#include "src/data/synthetic.h"
+#include "src/storage/dcm_format.h"
+#include "src/storage/in_memory_store.h"
+#include "src/storage/matrix_store.h"
+#include "src/storage/mmap_store.h"
+
+namespace deltaclus {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+SyntheticDataset MakeData(uint64_t seed, double missing_fraction) {
+  SyntheticConfig config;
+  config.rows = 60;
+  config.cols = 24;
+  config.num_clusters = 3;
+  config.volume_mean = 60;
+  config.col_fraction = 0.25;
+  config.noise_stddev = 0.5;
+  config.missing_fraction = missing_fraction;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+/// Serializes a clustering to its canonical text form -- the unit of
+/// "byte-identical output".
+std::string ClustersAsText(const std::vector<Cluster>& clusters) {
+  std::ostringstream os;
+  WriteClusters(clusters, os);
+  return os.str();
+}
+
+/// Asserts two matrices expose identical planes bit for bit, via the
+/// public span accessors only.
+void ExpectPlanesBitIdentical(const DataMatrix& a, const DataMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.NumSpecified(), b.NumSpecified());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    auto av = a.RowValues(i);
+    auto bv = b.RowValues(i);
+    ASSERT_EQ(0, std::memcmp(av.data(), bv.data(), av.size_bytes()))
+        << "values row " << i;
+    auto am = a.RowMask(i);
+    auto bm = b.RowMask(i);
+    ASSERT_EQ(0, std::memcmp(am.data(), bm.data(), am.size_bytes()))
+        << "mask row " << i;
+  }
+  for (size_t j = 0; j < a.cols(); ++j) {
+    auto av = a.ColValues(j);
+    auto bv = b.ColValues(j);
+    ASSERT_EQ(0, std::memcmp(av.data(), bv.data(), av.size_bytes()))
+        << "values col " << j;
+    auto am = a.ColMask(j);
+    auto bm = b.ColMask(j);
+    ASSERT_EQ(0, std::memcmp(am.data(), bm.data(), am.size_bytes()))
+        << "mask col " << j;
+  }
+}
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteAllBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Writes a small valid `.dcm` file and returns its path.
+std::string WriteValidDcm(const std::string& name) {
+  SyntheticDataset data = MakeData(7, 0.1);
+  std::string path = TempPath(name);
+  WriteDcmFile(data.matrix, path);
+  return path;
+}
+
+/// Asserts that opening `path` throws a runtime_error naming both the
+/// path and the expected defect.
+void ExpectRejects(const std::string& path, const std::string& defect,
+                   storage::DcmVerify verify = storage::DcmVerify::kHeader) {
+  try {
+    storage::MmapStore::Open(path, verify);
+    FAIL() << path << ": expected rejection naming '" << defect << "'";
+  } catch (const std::runtime_error& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find(defect), std::string::npos)
+        << "message does not name the defect: " << what;
+    EXPECT_NE(what.find(path), std::string::npos)
+        << "message does not name the path: " << what;
+  }
+}
+
+TEST(DcmRoundTrip, TextToDcmEqualsDirectLoad) {
+  SyntheticDataset data = MakeData(11, 0.15);
+  std::string csv_path = TempPath("storage_roundtrip.csv");
+  WriteCsvFile(data.matrix, csv_path);
+  DataMatrix direct = ReadCsvFile(csv_path);
+
+  std::string dcm_path = TempPath("storage_roundtrip.dcm");
+  WriteDcmFile(direct, dcm_path);
+  DataMatrix mapped = ReadDcmFile(dcm_path, MatrixBackend::kMmap);
+  DataMatrix copied = ReadDcmFile(dcm_path, MatrixBackend::kMem);
+
+  EXPECT_STREQ("mmap", mapped.BackendName());
+  EXPECT_STREQ("mem", copied.BackendName());
+  ExpectPlanesBitIdentical(direct, mapped);
+  ExpectPlanesBitIdentical(direct, copied);
+
+  // ReadMatrixFile sniffs both formats and honors the requested backend
+  // even for text input (via an unlinked temporary .dcm).
+  DataMatrix sniffed_dcm = ReadMatrixFile(dcm_path, MatrixBackend::kMmap);
+  DataMatrix sniffed_csv = ReadMatrixFile(csv_path, MatrixBackend::kMmap);
+  EXPECT_STREQ("mmap", sniffed_dcm.BackendName());
+  EXPECT_STREQ("mmap", sniffed_csv.BackendName());
+  ExpectPlanesBitIdentical(direct, sniffed_dcm);
+  ExpectPlanesBitIdentical(direct, sniffed_csv);
+}
+
+TEST(DcmRoundTrip, MmapIsCopyOnWrite) {
+  std::string path = WriteValidDcm("storage_cow.dcm");
+  DataMatrix m = ReadDcmFile(path, MatrixBackend::kMmap);
+  ASSERT_STREQ("mmap", m.BackendName());
+
+  // Mutating a read-only backend materializes a mutable in-memory copy
+  // instead of touching (or faulting on) the mapping.
+  size_t before = m.NumSpecified();
+  m.SetMissing(0, 0);
+  EXPECT_STREQ("mem", m.BackendName());
+  EXPECT_EQ(before - 1, m.NumSpecified());
+
+  // The file itself is untouched: a fresh full-verify open still passes.
+  auto reread = storage::MmapStore::Open(path, storage::DcmVerify::kFull);
+  EXPECT_EQ(before, reread->num_specified());
+}
+
+// The randomized property at the heart of the layer: FLOC output is
+// byte-identical between backends, at every supported thread count, on
+// matrices it has never seen before.
+TEST(BackendBlindness, FlocByteIdenticalMemVsMmap) {
+  for (uint64_t seed : {1ULL, 17ULL, 42ULL}) {
+    SyntheticDataset data = MakeData(seed, seed % 2 == 0 ? 0.0 : 0.1);
+    std::string path =
+        TempPath("storage_floc_" + std::to_string(seed) + ".dcm");
+    WriteDcmFile(data.matrix, path);
+    DataMatrix mem = ReadDcmFile(path, MatrixBackend::kMem);
+    DataMatrix mmap = ReadDcmFile(path, MatrixBackend::kMmap);
+
+    FlocConfig config;
+    config.num_clusters = 3;
+    config.rng_seed = seed;
+    config.refine_passes = 1;
+    config.reseed_rounds = 1;
+    for (int threads : {1, 2, 8}) {
+      config.threads = threads;
+      FlocResult from_mem = Floc(config).Run(mem);
+      FlocResult from_mmap = Floc(config).Run(mmap);
+      EXPECT_EQ(ClustersAsText(from_mem.clusters),
+                ClustersAsText(from_mmap.clusters))
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(from_mem.residues.size(), from_mmap.residues.size());
+      for (size_t c = 0; c < from_mem.residues.size(); ++c) {
+        EXPECT_DOUBLE_EQ(from_mem.residues[c], from_mmap.residues[c])
+            << "seed " << seed << " threads " << threads << " cluster " << c;
+      }
+      EXPECT_EQ(from_mem.iterations, from_mmap.iterations);
+    }
+  }
+}
+
+// Audit mode recomputes stats/residue from scratch after every applied
+// action, so it exercises the from-scratch read paths over the mmap'd
+// planes too; it must neither trip nor perturb the result.
+TEST(BackendBlindness, AuditedFlocByteIdenticalMemVsMmap) {
+  SyntheticDataset data = MakeData(3, 0.1);
+  std::string path = TempPath("storage_floc_audit.dcm");
+  WriteDcmFile(data.matrix, path);
+  DataMatrix mem = ReadDcmFile(path, MatrixBackend::kMem);
+  DataMatrix mmap = ReadDcmFile(path, MatrixBackend::kMmap);
+
+  FlocConfig config;
+  config.num_clusters = 3;
+  config.rng_seed = 3;
+  config.refine_passes = 1;
+  config.audit = true;
+  for (int threads : {1, 8}) {
+    config.threads = threads;
+    FlocResult from_mem = Floc(config).Run(mem);
+    FlocResult from_mmap = Floc(config).Run(mmap);
+    EXPECT_EQ(ClustersAsText(from_mem.clusters),
+              ClustersAsText(from_mmap.clusters))
+        << "threads " << threads;
+    EXPECT_EQ(from_mem.iterations, from_mmap.iterations);
+  }
+}
+
+TEST(BackendBlindness, ChengChurchByteIdenticalMemVsMmap) {
+  // Cheng & Church requires a fully-specified matrix.
+  SyntheticDataset data = MakeData(5, 0.0);
+  std::string path = TempPath("storage_cc.dcm");
+  WriteDcmFile(data.matrix, path);
+  DataMatrix mem = ReadDcmFile(path, MatrixBackend::kMem);
+  DataMatrix mmap = ReadDcmFile(path, MatrixBackend::kMmap);
+
+  ChengChurchConfig config;
+  config.num_clusters = 3;
+  config.msr_threshold = 100.0;
+  ChengChurchResult from_mem = RunChengChurch(mem, config);
+  ChengChurchResult from_mmap = RunChengChurch(mmap, config);
+  EXPECT_EQ(ClustersAsText(from_mem.clusters),
+            ClustersAsText(from_mmap.clusters));
+  ASSERT_EQ(from_mem.msr.size(), from_mmap.msr.size());
+  for (size_t c = 0; c < from_mem.msr.size(); ++c) {
+    EXPECT_DOUBLE_EQ(from_mem.msr[c], from_mmap.msr[c]) << "cluster " << c;
+  }
+}
+
+TEST(DcmRejection, TruncatedHeader) {
+  std::string path = WriteValidDcm("storage_trunc_header.dcm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  bytes.resize(storage::kDcmHeaderBytes / 2);
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "truncated");
+}
+
+TEST(DcmRejection, TruncatedPayload) {
+  std::string path = WriteValidDcm("storage_trunc_payload.dcm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), storage::kDcmHeaderBytes + 16);
+  bytes.resize(bytes.size() - 16);
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "truncated");
+}
+
+TEST(DcmRejection, BadMagic) {
+  std::string path = WriteValidDcm("storage_bad_magic.dcm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  bytes[0] = 'X';
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "bad magic");
+}
+
+TEST(DcmRejection, VersionMismatch) {
+  std::string path = WriteValidDcm("storage_bad_version.dcm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  uint32_t future_version = storage::kDcmVersion + 9;
+  std::memcpy(bytes.data() + 4, &future_version, sizeof(future_version));
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "version mismatch");
+}
+
+TEST(DcmRejection, HeaderChecksumMismatch) {
+  std::string path = WriteValidDcm("storage_bad_header.dcm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  // Corrupt the rows field (offset 16): the header checksum catches it.
+  bytes[16] = static_cast<char>(bytes[16] ^ 0x5a);
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "header checksum mismatch");
+}
+
+TEST(DcmRejection, PayloadChecksumMismatchOnFullVerifyOnly) {
+  std::string path = WriteValidDcm("storage_bad_payload.dcm");
+  std::vector<char> bytes = ReadAllBytes(path);
+  ASSERT_GT(bytes.size(), storage::kDcmHeaderBytes + 8);
+  // Corrupt one plane byte past the header.
+  size_t victim = storage::kDcmHeaderBytes + 3;
+  bytes[victim] = static_cast<char>(bytes[victim] ^ 0x5a);
+  WriteAllBytes(path, bytes);
+
+  // The default open is O(header) by contract: plane bytes are not
+  // read eagerly, so the corruption goes unnoticed...
+  EXPECT_NO_THROW(storage::MmapStore::Open(path));
+  // ...and the explicit full-verify opt-in reads every plane byte and
+  // rejects, naming the defect.
+  ExpectRejects(path, "payload checksum mismatch", storage::DcmVerify::kFull);
+}
+
+TEST(DcmRejection, MissingFile) {
+  ExpectRejects(TempPath("storage_no_such_file.dcm"), "cannot open");
+}
+
+TEST(ShardCounts, MergeReproducesAxisTotals) {
+  SyntheticDataset data = MakeData(23, 0.3);
+  const storage::MatrixStore& store = data.matrix.store();
+  auto row_counts = store.RowSpecifiedCounts();
+  uint64_t total =
+      std::accumulate(row_counts.begin(), row_counts.end(), uint64_t{0});
+  ASSERT_EQ(data.matrix.NumSpecified(), total);
+
+  for (size_t grain : {size_t{1}, size_t{3}, size_t{7}, row_counts.size(),
+                       row_counts.size() + 13}) {
+    std::vector<uint64_t> shards =
+        storage::MatrixStore::ShardSpecifiedCounts(row_counts, grain);
+    // Shard boundaries are a function of (n, grain) only: shard s covers
+    // [s*grain, min((s+1)*grain, n)).
+    size_t expected_shards = (row_counts.size() + grain - 1) / grain;
+    ASSERT_EQ(expected_shards, shards.size()) << "grain " << grain;
+    uint64_t merged = 0;
+    for (size_t s = 0; s < shards.size(); ++s) {
+      size_t begin = s * grain;
+      size_t end = std::min(begin + grain, row_counts.size());
+      EXPECT_EQ(storage::MatrixStore::SpecifiedInRange(row_counts, begin, end),
+                shards[s])
+          << "grain " << grain << " shard " << s;
+      merged += shards[s];
+    }
+    // The in-order merge reproduces the axis total exactly.
+    EXPECT_EQ(total, merged) << "grain " << grain;
+  }
+}
+
+TEST(ShardCounts, ColumnAxisAndEdgeRanges) {
+  SyntheticDataset data = MakeData(29, 0.2);
+  const storage::MatrixStore& store = data.matrix.store();
+  auto col_counts = store.ColSpecifiedCounts();
+  uint64_t total =
+      std::accumulate(col_counts.begin(), col_counts.end(), uint64_t{0});
+  EXPECT_EQ(total, storage::MatrixStore::SpecifiedInRange(col_counts, 0,
+                                                          col_counts.size()));
+  EXPECT_EQ(0u, storage::MatrixStore::SpecifiedInRange(col_counts, 4, 4));
+
+  std::vector<uint64_t> shards =
+      storage::MatrixStore::ShardSpecifiedCounts(col_counts, 5);
+  EXPECT_EQ(total, std::accumulate(shards.begin(), shards.end(), uint64_t{0}));
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -155,6 +155,22 @@ RULES = [
             "function of the work-item count only.",
     },
     {
+        "name": "storage-raw-plane",
+        "scope": SRC_AND_TOOLS,
+        "exclude": ("src/storage",),
+        "trigger": re.compile(
+            r"\b(MatrixPlanes|BindPlanes)\b|\braw_(values|mask)\w*\s*\("),
+        "rationale":
+            "The data plane is owned by src/storage: raw plane "
+            "pointers (MatrixPlanes, BindPlanes, the old raw_values/"
+            "raw_mask accessors) must not appear outside it. Consumers "
+            "read through the typed stride-1 span accessors "
+            "(RowValues/RowMask/ColValues/ColMask on MatrixStore or "
+            "DataMatrix), which keep every backend -- in-memory, mmap, "
+            "future distributed -- byte-compatible and backend-blind "
+            "(DESIGN.md, \"The storage layer\").",
+    },
+    {
         "name": "layer-core-no-cli",
         "match_raw": True,
         "scope": ALL_SRC,

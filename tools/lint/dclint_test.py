@@ -143,6 +143,27 @@ class ScopeTest(unittest.TestCase):
         rule = {"scope": ("src",), "exclude": ("src/obs",)}
         self.assertFalse(dclint._in_scope(rule, "src/obs/trace.cc"))
 
+    def test_storage_layer_may_touch_raw_planes(self):
+        # The storage-raw-plane layering rule forbids raw plane access
+        # everywhere *except* the layer that owns the planes: the same
+        # construct the fixture trips must pass when the file lives
+        # under src/storage/.
+        with open(fixture_path("storage-raw-plane.cc"),
+                  encoding="utf-8") as f:
+            text = f.read()
+        text = text.replace("// dclint-as: src/core/fixture.cc",
+                            "// dclint-as: src/storage/fixture.cc")
+        relocated = fixture_path("storage_relocated.cc.tmp")
+        try:
+            with open(relocated, "w", encoding="utf-8") as f:
+                f.write(text)
+            findings = dclint.lint_file(relocated)
+            self.assertEqual(
+                findings, [],
+                "storage-raw-plane must not fire inside src/storage/")
+        finally:
+            os.unlink(relocated)
+
 
 class CliTest(unittest.TestCase):
     def _run(self, argv):

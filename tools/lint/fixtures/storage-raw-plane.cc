@@ -1,0 +1,11 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `storage-raw-plane`.
+#include "src/storage/matrix_store.h"
+
+namespace deltaclus {
+
+const double* PeekPlane(const storage::MatrixPlanes& planes) {
+  return planes.values_rm;
+}
+
+}  // namespace deltaclus
