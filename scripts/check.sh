@@ -211,6 +211,23 @@ stage_bench() {
   else
     fail "storage-layer bench floor (pr7 vs pr8 micro-kernel records)"
   fi
+  # Session-layer tax gate (PR 9): lifting the driver loop into
+  # MiningSession (stepwise boundaries, stop-token checks, budget
+  # bookkeeping) must hold the hot kernels >= 0.95x of the pre_pr9
+  # record -- the pr8 tip re-recorded back-to-back with pr9 on one
+  # machine, the same protocol as the pre_pr5/pr5 pair (the committed
+  # pr8 record was taken under different machine conditions, so it is
+  # not apples-to-apples). Deterministic: compares two checked-in
+  # records.
+  if python3 scripts/bench_compare.py \
+        bench/trajectory/BENCH_micro_kernels_pre_pr9.json \
+        bench/trajectory/BENCH_micro_kernels_pr9.json \
+        --min-ratio 'BM_GainEval(RowToggleTall|ColToggleWide)$=0.95' \
+        --min-ratio 'BM_GainDetermination/1=0.95'; then
+    echo "bench: session-layer kernel floor holds"
+  else
+    fail "session-layer bench floor (pre_pr9 vs pr9 micro-kernel records)"
+  fi
   # Load-path floor: a fresh quick run of the storage load benchmarks
   # (CSV parse, .dcm convert, mmap open, heap copy) must stay within 3x
   # of the checked-in record. Loose for CI-hardware tolerance, but an

@@ -2,9 +2,12 @@
 
 #include <unistd.h>
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -21,6 +24,7 @@
 #include "src/eval/table.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/session/mining_session.h"
 #include "src/util/flags.h"
 
 namespace deltaclus {
@@ -41,6 +45,24 @@ commands:
             [--ordering fixed|random|weighted] [--paper-mode]
             [--refine N] [--reseed N] [--threads N] [--seed S]
             [--dedupe F] [--memoize 0|1] --out clusters.txt
+            session control (see DESIGN.md, "The session layer"):
+            [--deadline-s S] [--max-iterations N] [--memo-budget-mb M]
+            [--checkpoint ckpt.dcs] [--resume ckpt.dcs]
+            [--session-status[=status.json]]
+            --deadline-s and --max-iterations bound the run by wall
+            clock or total Phase-2 iterations (0 = unbounded); a
+            budget-stopped run still reports the best clustering found
+            so far, with stopped_reason set in telemetry and the perf
+            report. --checkpoint writes a resumable .dcs session
+            snapshot when a budget stops the run; --resume continues
+            one, and the resumed run's output is byte-identical to the
+            uninterrupted run's. --memo-budget-mb caps the gain memo's
+            resident bytes (0 = unbounded; eviction never changes
+            results). --session-status prints the final session status
+            as JSON (with =PATH, writes it; feed to tools/dcstat.py).
+            Environment defaults (flag wins): DELTACLUS_DEADLINE_S,
+            DELTACLUS_MAX_ITERATIONS, DELTACLUS_MEMO_BUDGET_MB,
+            DELTACLUS_CHECKPOINT, DELTACLUS_RESUME.
             --memoize 0 disables the epoch-stamped gain memo (default
             on; results are identical either way, this is an ablation
             and debugging switch).
@@ -109,6 +131,51 @@ int ResolveBackend(FlagParser& flags, std::ostream& err,
   } else {
     return UsageError(err, "unknown --backend '" + selected +
                                "' (expected mem|mmap)");
+  }
+  return 0;
+}
+
+// Budget/threads-style numeric settings resolve through this one
+// checked parser instead of per-flag copies: --<flag> wins, then the
+// `env_var` environment variable (when non-null and non-empty), then
+// `def`. Accepted values are finite non-negative numbers; `integer`
+// additionally rejects fractional values (thread counts, iteration
+// caps). A bad value -- from either source -- exits 2 naming the
+// offending flag or variable. Returns 0 and stores into *value on
+// success. A malformed environment value is rejected even when the
+// flag overrides it, matching the original DELTACLUS_THREADS handling.
+int ParseSizeFlag(FlagParser& flags, const std::string& flag,
+                  const char* env_var, bool integer, double def,
+                  double* value, std::ostream& err) {
+  const auto parse = [integer](const std::string& text, double* parsed) {
+    errno = 0;
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v) || v < 0.0 || (integer && v != std::floor(v))) {
+      return false;
+    }
+    *parsed = v;
+    return true;
+  };
+  const char* expected = integer ? "integer" : "number";
+  *value = def;
+  if (env_var != nullptr) {
+    // Read once at startup, before any worker thread exists.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
+    if (const char* env = std::getenv(env_var);
+        env != nullptr && env[0] != '\0' && !parse(env, value)) {
+      err << "error: " << env_var << " is not a non-negative " << expected
+          << ": " << env << "\n";
+      return 2;
+    }
+  }
+  if (std::optional<std::string> raw = flags.GetString(flag)) {
+    if (!parse(*raw, value)) {
+      err << "error: --" << flag << " is not a non-negative " << expected
+          << ": " << *raw << "\n";
+      return 2;
+    }
   }
   return 0;
 }
@@ -246,23 +313,46 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   // Thread count: --threads wins, then DELTACLUS_THREADS, then serial.
   // 0 means std::thread::hardware_concurrency(); either way results are
   // bit-identical (the engine shards work independently of the count).
-  int threads_default = 1;
-  // Read once at startup, before any worker thread exists.
-  // NOLINTNEXTLINE(concurrency-mt-unsafe)
-  if (const char* env = std::getenv("DELTACLUS_THREADS");
-      env != nullptr && env[0] != '\0') {
-    try {
-      threads_default = std::stoi(env);
-    } catch (const std::exception&) {
-      err << "error: DELTACLUS_THREADS is not an integer: " << env << "\n";
-      return 2;
-    }
-    if (threads_default < 0) {
-      err << "error: DELTACLUS_THREADS must be >= 0, got " << env << "\n";
-      return 2;
-    }
+  double threads = 1;
+  if (int rc = ParseSizeFlag(flags, "threads", "DELTACLUS_THREADS",
+                             /*integer=*/true, 1, &threads, err)) {
+    return rc;
   }
-  config.threads = static_cast<int>(flags.IntOr("threads", threads_default));
+  config.threads = static_cast<int>(threads);
+  // Session budgets (DESIGN.md, "The session layer"): flag > env >
+  // default, all through the same checked parser. 0 means unbounded.
+  double deadline_s = 0.0;
+  double max_iterations = 0.0;
+  double memo_budget_mb = 0.0;
+  if (int rc = ParseSizeFlag(flags, "deadline-s", "DELTACLUS_DEADLINE_S",
+                             /*integer=*/false, 0.0, &deadline_s, err)) {
+    return rc;
+  }
+  if (int rc = ParseSizeFlag(flags, "max-iterations",
+                             "DELTACLUS_MAX_ITERATIONS",
+                             /*integer=*/true, 0.0, &max_iterations, err)) {
+    return rc;
+  }
+  // Fractional megabytes are deliberate: test-sized matrices have memo
+  // tables far below 1 MiB, so meaningful budgets there are fractional.
+  if (int rc = ParseSizeFlag(flags, "memo-budget-mb",
+                             "DELTACLUS_MEMO_BUDGET_MB",
+                             /*integer=*/false, 0.0, &memo_budget_mb, err)) {
+    return rc;
+  }
+  config.deadline_seconds = deadline_s;
+  config.max_total_iterations = static_cast<size_t>(max_iterations);
+  config.memo_budget_bytes =
+      static_cast<size_t>(memo_budget_mb * 1024.0 * 1024.0);
+  // Checkpoint/resume paths follow the same flag > env precedence.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* checkpoint_env = std::getenv("DELTACLUS_CHECKPOINT");
+  std::string checkpoint_path = flags.StringOr(
+      "checkpoint", checkpoint_env != nullptr ? checkpoint_env : "");
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const char* resume_env = std::getenv("DELTACLUS_RESUME");
+  std::string resume_path =
+      flags.StringOr("resume", resume_env != nullptr ? resume_env : "");
   config.rng_seed = static_cast<uint64_t>(flags.IntOr("seed", 1));
   // Gain memoization (FlocConfig::memoize_gains): on by default, 0
   // disables for ablation -- outputs are identical either way.
@@ -304,6 +394,9 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   // A bare --perf-report prints the text table; =PATH writes JSON.
   bool perf_report_requested = flags.GetBool("perf-report");
   std::string perf_report_path = flags.StringOr("perf-report", "");
+  // Same shape for --session-status: bare prints the JSON, =PATH writes.
+  bool session_status_requested = flags.GetBool("session-status");
+  std::string session_status_path = flags.StringOr("session-status", "");
   MatrixBackend backend = MatrixBackend::kMem;
   if (int rc = ResolveBackend(flags, err, &backend)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
@@ -318,6 +411,13 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   if (int rc = RequireWritable("metrics-out", metrics_out, err)) return rc;
   if (int rc = RequireWritable("perf-report", perf_report_path, err)) {
     return rc;
+  }
+  if (int rc = RequireWritable("checkpoint", checkpoint_path, err)) return rc;
+  if (int rc = RequireWritable("session-status", session_status_path, err)) {
+    return rc;
+  }
+  if (!resume_path.empty()) {
+    if (int rc = RequireReadable("resume", resume_path, err)) return rc;
   }
 
   std::ofstream telemetry_stream;
@@ -351,7 +451,55 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
       << 100.0 * matrix.Density() << "% dense, backend "
       << matrix.BackendName() << "), k = " << config.num_clusters << "\n";
 
-  FlocResult result = Floc(config).Run(matrix);
+  // Drive mining through the session layer so budgets can stop the run
+  // at a step boundary and --checkpoint/--resume work; with no budgets
+  // set this loop is exactly Floc::Run.
+  FlocResult result;
+  session::SessionStatus final_status;
+  try {
+    Floc floc(config);
+    std::unique_ptr<session::MiningSession> session;
+    if (resume_path.empty()) {
+      session = floc.StartSession(matrix);
+    } else {
+      session = floc.ResumeSession(matrix, resume_path);
+      out << "resumed session from " << resume_path << "\n";
+    }
+    while (session->Step()) {
+    }
+    final_status = session->Status();
+    if (session->stop_reason() != session::StopReason::kNone) {
+      out << "stopped early: "
+          << session::StopReasonName(session->stop_reason())
+          << " (result is the best clustering found so far)\n";
+      if (!checkpoint_path.empty()) {
+        session->Checkpoint(checkpoint_path);
+        out << "wrote session checkpoint to " << checkpoint_path << "\n";
+      }
+    } else if (!checkpoint_path.empty()) {
+      out << "run completed; nothing to resume, no checkpoint written to "
+          << checkpoint_path << "\n";
+    }
+    result = session->Finish();
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (session_status_requested) {
+    if (session_status_path.empty()) {
+      out << final_status.Json() << "\n";
+    } else {
+      std::ofstream status_stream(session_status_path);
+      status_stream << final_status.Json() << "\n";
+      status_stream.flush();
+      if (!status_stream) {
+        err << "error: cannot write --session-status " << session_status_path
+            << "\n";
+        return 2;
+      }
+      out << "wrote session status to " << session_status_path << "\n";
+    }
+  }
 
   if (!trace_out.empty()) {
     if (obs::TraceRecorder::Global().WriteChromeTraceFile(trace_out)) {

@@ -137,6 +137,15 @@ class ClusterWorkspace {
     epoch_ = NextMembershipEpoch();
   }
 
+  /// Checkpoint-restore plumbing: mutable stats access for an exact-bits
+  /// overwrite (see ClusterStats::SetRowExact), advancing the epoch so
+  /// every cache derived from the pre-restore bits goes cold. Recomputes
+  /// against the restored bits reproduce the warm values bit-for-bit.
+  ClusterStats& StatsForRestore() {
+    epoch_ = NextMembershipEpoch();
+    return view_.StatsForRestore();
+  }
+
   /// Membership toggles: stats stay incrementally consistent, the epoch
   /// advances (implicitly invalidating the residue cache and any gain
   /// memo entries stamped with the old epoch).
@@ -215,6 +224,14 @@ class ClusterWorkspace {
 
   /// True if the pane is fresh for the current membership (test hook).
   bool PaneValid() const { return pane_epoch_ == epoch_; }
+
+  /// Bytes the packed pane currently holds (values + mask), fresh or
+  /// stale. Feeds the session-status memory ledger
+  /// (src/session/mining_session.h); costs two vector-size reads.
+  size_t PaneBytes() const {
+    return pane_.values.size() * sizeof(double) +
+           pane_.mask.size() * sizeof(uint8_t);
+  }
 
  private:
   ClusterView view_;

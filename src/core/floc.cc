@@ -1,3 +1,9 @@
+// Floc's Phase-2 driver loop used to live here as one 400-line method;
+// it is now the MiningSession state machine (src/session/), with
+// Run()/RunWithSeeds() reduced to thin drivers in
+// src/session/floc_driver.cc. This file keeps what the session layer
+// calls *back* into: config validation, the refinement phase
+// (RefineSweep / ReanchorCluster), and the audit/pool plumbing.
 #include "src/core/floc.h"
 
 #include <algorithm>
@@ -6,52 +12,12 @@
 #include <stdexcept>
 
 #include "src/core/audit.h"
+#include "src/core/floc_metrics.h"
 #include "src/core/floc_phases.h"
 #include "src/engine/thread_pool.h"
-#include "src/obs/clock.h"
-#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
 namespace deltaclus {
-
-namespace {
-
-// Registry handles for FLOC's metrics, resolved once. The pointers are
-// stable for the process lifetime; increments are relaxed atomics that
-// no-op while the registry is disabled.
-struct FlocMetrics {
-  obs::Counter* runs;
-  obs::Counter* iterations;
-  obs::Counter* actions_applied;
-  obs::Counter* actions_blocked;
-  obs::Counter* refine_toggles;
-  obs::Counter* reseed_slots;
-  obs::Gauge* last_average_residue;
-  obs::Histogram* iteration_seconds;
-  obs::QuantileHistogram* iteration_latency;
-
-  static const FlocMetrics& Get() {
-    static const FlocMetrics m = [] {
-      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
-      return FlocMetrics{
-          r.GetCounter("floc.runs"),
-          r.GetCounter("floc.iterations"),
-          r.GetCounter("floc.actions.applied"),
-          r.GetCounter("floc.actions.fully_blocked"),
-          r.GetCounter("floc.refine.toggles"),
-          r.GetCounter("floc.reseed.slots"),
-          r.GetGauge("floc.last.average_residue"),
-          r.GetHistogram("floc.iteration.seconds",
-                         {0.001, 0.01, 0.1, 1.0, 10.0}),
-          r.GetQuantileHistogram("floc.iteration.latency",
-                                 obs::LatencySecondsOptions()),
-      };
-    }();
-    return m;
-  }
-};
-
-}  // namespace
 
 std::vector<std::string> FlocConfig::Validate() const {
   std::vector<std::string> problems;
@@ -103,6 +69,9 @@ std::vector<std::string> FlocConfig::Validate() const {
   }
   if (threads < 0) {
     problems.push_back("threads must be >= 0 (0 = hardware concurrency)");
+  }
+  if (deadline_seconds < 0) {
+    problems.push_back("deadline_seconds must be >= 0 (0 = no deadline)");
   }
   return problems;
 }
@@ -160,26 +129,6 @@ void Floc::MaybeAudit(const ClusterWorkspace& ws, const char* context) const {
 
 double Floc::ClusterScore(double residue, size_t volume) const {
   return ObjectiveScore(residue, volume, config_.target_residue);
-}
-
-FlocResult Floc::Run(const DataMatrix& matrix) {
-  Rng rng(config_.rng_seed);
-  // Open the perf delta window before seeding so the report's counter
-  // deltas and trace attribution cover Phase 1 too.
-  perf_accounting_.emplace();
-  Stopwatch seed_watch;
-  std::vector<Cluster> seeds;
-  {
-    DC_TRACE_SPAN("floc/phase1_seeding");
-    seeds = GenerateSeeds(matrix, config_.seeding, config_.num_clusters, rng);
-    // Section 4.3: initial clusters must comply with the constraints; the
-    // action-blocking machinery then preserves compliance throughout.
-    for (Cluster& seed : seeds) {
-      RepairSeed(matrix, config_.constraints, &seed, rng, EnsurePool());
-    }
-  }
-  seed_phase_seconds_ = seed_watch.ElapsedSeconds();
-  return RunWithSeeds(matrix, std::move(seeds));
 }
 
 size_t Floc::RefineSweep(const DataMatrix& matrix,
@@ -388,388 +337,6 @@ bool Floc::ReanchorCluster(const DataMatrix& matrix,
   MaybeAudit(view, "ReanchorCluster");
   *score = cand_score;
   return true;
-}
-
-FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
-                              std::vector<Cluster> seeds) {
-  DC_TRACE_SPAN("floc/run");
-  Stopwatch stopwatch;
-  // Samples the registry counters now (unless Run() already did, before
-  // seeding) so the report at the end reflects only this run's deltas.
-  if (!perf_accounting_) perf_accounting_.emplace();
-  Rng rng(config_.rng_seed ^ 0x5eedf10cULL);
-  size_t k = seeds.size();
-  FlocResult result;
-  if (k == 0) {
-    perf_accounting_.reset();
-    return result;
-  }
-
-  obs::TelemetryCollector collector(config_.telemetry, config_.telemetry_sink);
-
-  // The phase components of one Phase-2 iteration (see floc_phases.h),
-  // all running on the same persistent pool. The pool outlives the run:
-  // it is either injected (config_.pool) or owned by this Floc and
-  // reused across Run() calls -- no per-iteration thread churn.
-  engine::ThreadPool* pool = EnsurePool();
-  ResidueEngine engine(config_.norm);
-  // The gain memo shared by the determination and apply sweeps (see
-  // FlocConfig::memoize_gains). Sized for this run's matrix and cluster
-  // count; entries invalidate themselves via epoch stamps, so no
-  // per-iteration clearing is needed.
-  GainMemo gain_memo;
-  GainMemo* memo = nullptr;
-  if (config_.memoize_gains) {
-    gain_memo.Configure(matrix.rows(), matrix.cols(), k);
-    memo = &gain_memo;
-  }
-  GainDeterminer determiner(config_.norm, config_.target_residue, pool,
-                            engine::EngineConfig::kDefaultSerialCutoff, memo,
-                            config_.audit);
-  ActionScheduler scheduler(config_.ordering);
-  ActionApplier applier(
-      config_,
-      [](void* self, const ClusterWorkspace& ws) {
-        static_cast<const Floc*>(self)->MaybeAudit(ws, "move_phase");
-      },
-      this, memo);
-
-  // The clustering being mutated during an iteration.
-  std::vector<ClusterWorkspace> views;
-  views.reserve(k);
-  for (Cluster& seed : seeds) {
-    views.emplace_back(matrix, std::move(seed));
-  }
-
-  ConstraintTracker tracker(matrix, config_.constraints);
-  tracker.Rebuild(views);
-
-  audit_check_occupancy_ = false;
-  if (config_.audit && config_.constraints.alpha > 0.0) {
-    audit_check_occupancy_ = true;
-    for (const ClusterWorkspace& v : views) {
-      audit_check_occupancy_ = audit_check_occupancy_ &&
-          OccupancySatisfied(matrix, v.cluster(), config_.constraints.alpha);
-    }
-  }
-
-  // Per-cluster objective values of the current clustering.
-  std::vector<double> scores(k);
-  auto recompute_scores = [&]() {
-    double sum = 0.0;
-    for (size_t c = 0; c < k; ++c) {
-      scores[c] = ClusterScore(engine.Residue(views[c]),
-                               views[c].stats().Volume());
-      sum += scores[c];
-    }
-    return sum;
-  };
-  double score_sum = recompute_scores();
-
-  // best_clustering: the best set of clusters seen so far (paper's
-  // best_clustering). Starts as the seeds.
-  std::vector<Cluster> best_clusters;
-  best_clusters.reserve(k);
-  for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
-  double best_average = score_sum / k;
-
-  // --- Phase 2: the move-based iteration loop. Runs until an iteration
-  // fails to improve best_clusters / best_average. Invoked once normally,
-  // and once more per reseed round. ---
-  auto move_phase = [&]() {
-  DC_TRACE_SPAN("floc/move_phase");
-  Stopwatch phase_watch;
-  for (size_t iteration = 0; iteration < config_.max_iterations;
-       ++iteration) {
-    DC_TRACE_SPAN("floc/iteration");
-    Stopwatch iter_watch;
-    ++result.iterations;
-    // One branch when telemetry is off: itel stays null and every
-    // telemetry fill below is skipped (the off path allocates nothing).
-    obs::IterationTelemetry* itel =
-        collector.BeginIteration(result.iterations - 1);
-
-    // --- Determine the best action for every row and column. ---
-    Stopwatch determine_watch;
-    std::vector<Action> actions = determiner.Determine(
-        matrix, views, scores, tracker,
-        itel != nullptr ? &itel->blocked_by : nullptr);
-    double determine_seconds = determine_watch.ElapsedSeconds();
-    collector.run().determine_seconds += determine_seconds;
-
-    if (itel != nullptr) {
-      itel->determine_seconds = determine_seconds;
-      double gain_sum = 0.0;
-      for (const Action& a : actions) {
-        if (a.blocked()) {
-          ++itel->fully_blocked;
-          continue;
-        }
-        ++itel->determined;
-        gain_sum += a.gain;
-        if (itel->determined == 1 || a.gain > itel->best_gain) {
-          itel->best_gain = a.gain;
-        }
-        if (collector.full()) {
-          ++itel->gain_histogram[obs::GainBucket(a.gain)];
-        }
-      }
-      itel->mean_gain =
-          itel->determined > 0 ? gain_sum / itel->determined : 0.0;
-    }
-    if (obs::MetricsRegistry::Enabled()) {
-      const FlocMetrics& m = FlocMetrics::Get();
-      m.iterations->Inc();
-      uint64_t fully_blocked = 0;
-      for (const Action& a : actions) fully_blocked += a.blocked() ? 1 : 0;
-      m.actions_blocked->Inc(fully_blocked);
-    }
-
-    // --- Order the actions. ---
-    std::vector<size_t> order;
-    {
-      DC_TRACE_SPAN("floc/order_actions");
-      order = scheduler.Order(actions, rng);
-    }
-
-    // --- Perform actions sequentially, tracking the best intermediate
-    // clustering. ---
-    std::vector<Cluster> start_clusters;
-    start_clusters.reserve(k);
-    for (const ClusterWorkspace& v : views) start_clusters.push_back(v.cluster());
-
-    BestPrefixSelector selector(best_average);
-    Stopwatch apply_watch;
-    std::vector<AppliedAction> applied;
-    {
-      DC_TRACE_SPAN("floc/apply_actions");
-      applied = applier.Apply(actions, order, iteration, views, scores,
-                              score_sum, tracker, rng, selector);
-    }
-    double apply_seconds = apply_watch.ElapsedSeconds();
-    collector.run().apply_seconds += apply_seconds;
-
-    double needed = std::max(
-        config_.min_improvement,
-        config_.relative_improvement * std::abs(best_average));
-    bool improved =
-        selector.has_best() && selector.best_average() < best_average - needed;
-    result.history.push_back(
-        {selector.has_best() ? selector.best_average() : best_average,
-         applied.size(), improved});
-
-    {
-      const FlocMetrics& m = FlocMetrics::Get();
-      m.actions_applied->Inc(applied.size());
-      double iteration_seconds = iter_watch.ElapsedSeconds();
-      m.iteration_seconds->Observe(iteration_seconds);
-      m.iteration_latency->Observe(iteration_seconds);
-    }
-    if (itel != nullptr) {
-      itel->apply_seconds = apply_seconds;
-      itel->actions_applied = applied.size();
-      itel->best_prefix = selector.best_prefix();
-      itel->best_average_score =
-          selector.has_best() ? selector.best_average() : best_average;
-      itel->improved = improved;
-    }
-    // Seals the iteration record. Called after the rewind on improving
-    // iterations so best_so_far and the kFull cluster snapshot reflect
-    // the updated best clustering, and before the break on the final one.
-    auto seal_iteration = [&]() {
-      if (itel == nullptr) return;
-      itel->best_so_far = best_average;
-      if (collector.full()) {
-        itel->cluster_residues.resize(k);
-        itel->cluster_volumes.resize(k);
-        for (size_t c = 0; c < k; ++c) {
-          itel->cluster_residues[c] = engine.Residue(views[c]);
-          itel->cluster_volumes[c] = views[c].stats().Volume();
-        }
-      }
-      itel->wall_seconds = iter_watch.ElapsedSeconds();
-      collector.FinishIteration();
-    };
-
-    if (!improved) {
-      seal_iteration();
-      break;
-    }
-
-    // Rewind to the start of the iteration and replay the winning prefix;
-    // that clustering both becomes best_clustering and seeds the next
-    // iteration.
-    for (size_t c = 0; c < k; ++c) {
-      views[c].Reset(std::move(start_clusters[c]));
-    }
-    for (size_t a = 0; a < selector.best_prefix(); ++a) {
-      const AppliedAction& act = applied[a];
-      if (act.target == ActionTarget::kRow) {
-        views[act.cluster].ToggleRow(act.index);
-      } else {
-        views[act.cluster].ToggleCol(act.index);
-      }
-    }
-    // Rebuild stats-derived state from scratch: cheap relative to the
-    // iteration and keeps floating-point drift from accumulating.
-    for (size_t c = 0; c < k; ++c) {
-      views[c].Reset(views[c].cluster());
-    }
-    score_sum = recompute_scores();
-    tracker.Rebuild(views);
-
-    best_average = score_sum / k;
-    best_clusters.clear();
-    for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
-    seal_iteration();
-  }
-  collector.run().move_phase_seconds += phase_watch.ElapsedSeconds();
-  };  // move_phase
-
-  // Cluster-centric refinement of the best clustering (see
-  // FlocConfig::refine_passes). The last move-phase iteration left `views`
-  // dirty (its sweep did not improve), so restore the best clustering
-  // first.
-  auto refine = [&]() {
-  if (config_.refine_passes > 0) {
-    DC_TRACE_SPAN("floc/refine");
-    Stopwatch refine_watch;
-    for (size_t c = 0; c < k; ++c) views[c].Reset(best_clusters[c]);
-    recompute_scores();
-    tracker.Rebuild(views);
-    // Wholesale reassignment cannot shrink coverage-constrained
-    // clusterings safely, so it only runs when coverage is off; overlap
-    // bounds are validated directly against the candidate.
-    bool can_reanchor = !config_.constraints.coverage_active();
-    for (size_t pass = 0; pass < config_.refine_passes; ++pass) {
-      size_t changes = 0;
-      if (can_reanchor) {
-        for (size_t c = 0; c < k; ++c) {
-          changes += ReanchorCluster(matrix, views, c, &scores[c]);
-        }
-        tracker.Rebuild(views);
-      }
-      changes += RefineSweep(matrix, views, scores, tracker);
-      if (changes == 0) break;
-    }
-    score_sum = recompute_scores();
-    best_average = score_sum / k;
-    best_clusters.clear();
-    for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
-    collector.run().refine_seconds += refine_watch.ElapsedSeconds();
-  }
-  };  // refine
-
-  move_phase();
-  refine();
-
-  // --- Restart rounds: re-seed stagnant slots and retry (see
-  // FlocConfig::reseed_rounds). ---
-  for (size_t round = 0;
-       round < config_.reseed_rounds && config_.target_residue > 0; ++round) {
-    DC_TRACE_SPAN("floc/reseed_round");
-    // reseed_seconds covers only the restart bookkeeping (stagnant
-    // detection, fresh seeding, restore) -- the rerun move phase and
-    // refinement accumulate into their own phase timers.
-    Stopwatch reseed_watch;
-    // `views` holds best_clusters after refine().
-    std::vector<size_t> stagnant;
-    for (size_t c = 0; c < k; ++c) {
-      if (engine.Residue(views[c]) > 2.0 * config_.target_residue) {
-        stagnant.push_back(c);
-      }
-    }
-    if (stagnant.empty()) {
-      collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
-      break;
-    }
-
-    std::vector<Cluster> saved;
-    std::vector<double> saved_scores;
-    saved.reserve(stagnant.size());
-    for (size_t c : stagnant) {
-      saved.push_back(views[c].cluster());
-      saved_scores.push_back(scores[c]);
-      std::vector<Cluster> fresh =
-          GenerateSeeds(matrix, config_.seeding, 1, rng);
-      RepairSeed(matrix, config_.constraints, &fresh[0], rng, pool);
-      views[c].Reset(std::move(fresh[0]));
-    }
-    score_sum = recompute_scores();
-    tracker.Rebuild(views);
-    best_average = score_sum / k;
-    best_clusters.clear();
-    for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
-    FlocMetrics::Get().reseed_slots->Inc(stagnant.size());
-    collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
-
-    move_phase();
-    refine();
-
-    // Restore any slot the restart left worse than before.
-    reseed_watch.Reset();
-    bool restored = false;
-    for (size_t t = 0; t < stagnant.size(); ++t) {
-      size_t c = stagnant[t];
-      if (scores[c] > saved_scores[t] - config_.min_improvement) {
-        views[c].Reset(std::move(saved[t]));
-        restored = true;
-      }
-    }
-    if (restored) {
-      score_sum = recompute_scores();
-      tracker.Rebuild(views);
-      best_average = score_sum / k;
-      best_clusters.clear();
-      for (const ClusterWorkspace& v : views) best_clusters.push_back(v.cluster());
-    }
-    collector.run().reseed_seconds += reseed_watch.ElapsedSeconds();
-  }
-
-  result.clusters = std::move(best_clusters);
-  result.residues.resize(k);
-  double sum = 0.0;
-  for (size_t c = 0; c < k; ++c) {
-    ClusterView v(matrix, result.clusters[c]);
-    result.residues[c] = engine.Residue(v);
-    sum += result.residues[c];
-  }
-  result.average_residue = k == 0 ? 0.0 : sum / k;
-  result.elapsed_seconds = stopwatch.ElapsedSeconds();
-
-  {
-    const FlocMetrics& m = FlocMetrics::Get();
-    m.runs->Inc();
-    m.last_average_residue->Set(result.average_residue);
-  }
-  collector.run().num_clusters = k;
-  collector.run().iterations = result.iterations;
-  // Phase-1 time measured by Run() before it delegated here; zero when
-  // the caller provided the seeds directly.
-  collector.run().seeding_seconds = seed_phase_seconds_;
-  seed_phase_seconds_ = 0.0;
-  double cpu_seconds = stopwatch.CpuSeconds();
-  result.telemetry = collector.Finish(result.elapsed_seconds, cpu_seconds,
-                                      result.average_residue);
-
-  // Phase walls come from the telemetry accumulators (which run at every
-  // level, including kOff); CPU attribution joins on the span names. The
-  // report total includes Phase-1 seeding (measured by Run() outside
-  // this stopwatch) so phase shares are of the whole run.
-  const obs::RunTelemetry& tel = result.telemetry;
-  result.perf = perf_accounting_->Finish(
-      "floc", result.elapsed_seconds + tel.seeding_seconds, cpu_seconds,
-      result.iterations,
-      {{"seeding", tel.seeding_seconds},
-       {"move_phase", tel.move_phase_seconds},
-       {"determine", tel.determine_seconds},
-       {"apply", tel.apply_seconds},
-       {"refine", tel.refine_seconds},
-       {"reseed", tel.reseed_seconds}},
-      {"floc/phase1_seeding", "floc/move_phase", "floc/determine_actions",
-       "floc/apply_actions", "floc/refine", "floc/reseed_round"});
-  perf_accounting_.reset();
-  return result;
 }
 
 double AverageResidue(const DataMatrix& matrix,

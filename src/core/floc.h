@@ -44,12 +44,17 @@
 #include "src/obs/perf_report.h"
 #include "src/obs/telemetry.h"
 #include "src/util/rng.h"
+#include "src/util/stop_token.h"
 
 namespace deltaclus {
 
 namespace engine {
 class ThreadPool;
 }  // namespace engine
+
+namespace session {
+class MiningSession;
+}  // namespace session
 
 /// Tuning knobs for one FLOC run.
 struct FlocConfig {
@@ -173,6 +178,40 @@ struct FlocConfig {
   /// Seed for all randomness (seeding, ordering).
   uint64_t rng_seed = 1;
 
+  /// Wall-clock budget in seconds (0 disables). Checked at session Step()
+  /// boundaries only: the run stops *between* deterministic iterations
+  /// with the best clustering found so far and stopped_reason "deadline"
+  /// in telemetry / the perf report. Because the check sits at step
+  /// granularity, a run may overshoot the deadline by up to one
+  /// iteration; it never truncates work mid-iteration, which is what
+  /// keeps every produced clustering a valid, reproducible state.
+  double deadline_seconds = 0.0;
+
+  /// Cap on *total* Phase-2 iterations across every move phase and reseed
+  /// round of the run (0 disables). Unlike max_iterations -- the paper's
+  /// per-move-phase convergence cap -- this is a session budget: when the
+  /// running iteration count reaches it the session stops at the next
+  /// step boundary with stopped_reason "iteration_cap", returning the
+  /// best clustering so far. The natural checkpoint knob: run N
+  /// iterations, checkpoint, resume later.
+  size_t max_total_iterations = 0;
+
+  /// Byte budget for the gain memo's entry table (0 = unbounded, the
+  /// pre-budget behaviour). Under a budget only a subset of clusters has
+  /// resident memo stripes -- re-picked each iteration by churn heat,
+  /// hottest evicted first (see GainMemo::Rebalance) -- and evaluations
+  /// against non-resident clusters recompute exactly as with memoization
+  /// off, so the budget trades cache hit rate for memory without ever
+  /// changing results. Only consulted when memoize_gains is true.
+  size_t memo_budget_bytes = 0;
+
+  /// Optional cooperative cancellation token (non-owning; must outlive
+  /// the run). May be fired from any thread; the run polls it at session
+  /// step boundaries and at engine shard-claim boundaries, stopping with
+  /// stopped_reason "cancelled" and the best clustering found so far.
+  /// See src/util/stop_token.h for why this cannot perturb results.
+  const StopToken* stop = nullptr;
+
   /// Worker-thread count of the execution engine (gain determination,
   /// seeding anchor search). 1 = fully sequential; 0 = use
   /// std::thread::hardware_concurrency(). Results are bit-identical for
@@ -269,7 +308,9 @@ class Floc {
   Floc(Floc&&) = default;
   Floc& operator=(Floc&&) = default;
 
-  /// Runs both phases on `matrix`.
+  /// Runs both phases on `matrix`. Equivalent to StartSession() stepped
+  /// to completion; budget fields of the config (deadline, iteration
+  /// cap, stop token) are honoured.
   FlocResult Run(const DataMatrix& matrix);
 
   /// Runs Phase 2 from caller-provided seed clusters (used by the
@@ -278,7 +319,38 @@ class Floc {
   FlocResult RunWithSeeds(const DataMatrix& matrix,
                           std::vector<Cluster> seeds);
 
+  /// Opens a stepwise mining session: Phase-1 seeding runs eagerly, then
+  /// the returned session owns the Phase-2 state machine -- call Step()
+  /// until it returns false, then Finish() (see
+  /// src/session/mining_session.h for the full contract, including
+  /// Checkpoint()). The session borrows this Floc and `matrix`; both
+  /// must outlive it, and the Floc must not run anything else while the
+  /// session is live.
+  std::unique_ptr<session::MiningSession> StartSession(
+      const DataMatrix& matrix);
+
+  /// StartSession() from caller-provided seed clusters (the session
+  /// analogue of RunWithSeeds; `seeds.size()` overrides
+  /// config.num_clusters).
+  std::unique_ptr<session::MiningSession> StartSessionWithSeeds(
+      const DataMatrix& matrix, std::vector<Cluster> seeds);
+
+  /// Reopens a session from a checkpoint file written by
+  /// MiningSession::Checkpoint(). `matrix` must be the same data and the
+  /// config must agree with the checkpointing run on every
+  /// result-affecting field (enforced via a config fingerprint in the
+  /// checkpoint header; threads/pool/audit/telemetry/budgets may
+  /// differ). Stepping the returned session to completion produces
+  /// byte-identical output to the uninterrupted run. Throws
+  /// std::runtime_error naming the defect for invalid checkpoints.
+  std::unique_ptr<session::MiningSession> ResumeSession(
+      const DataMatrix& matrix, const std::string& checkpoint_path);
+
  private:
+  // The session layer drives the private phase helpers below
+  // (ClusterScore, MaybeAudit, RefineSweep, ReanchorCluster, EnsurePool)
+  // and the perf-accounting members; see src/session/mining_session.h.
+  friend class session::MiningSession;
   // Per-cluster objective value: residue - target * ln(volume). With
   // target_residue == 0 this is exactly the residue.
   double ClusterScore(double residue, size_t volume) const;

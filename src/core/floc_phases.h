@@ -107,11 +107,15 @@ class GainDeterminer {
   /// for t < rows()), then columns. `scores` holds the current
   /// per-cluster objective values. When `blocked` is non-null, candidate
   /// toggles rejected by a constraint are tallied into it by reason.
+  /// `stop` (optional) cancels at shard boundaries per the ParallelApply
+  /// contract; the caller must check stop_requested() afterwards and
+  /// discard the (partially filled) action vector wholesale.
   std::vector<Action> Determine(const DataMatrix& matrix,
                                 const std::vector<ClusterWorkspace>& views,
                                 const std::vector<double>& scores,
                                 const ConstraintTracker& tracker,
-                                obs::BlockCounts* blocked) const;
+                                obs::BlockCounts* blocked,
+                                const StopToken* stop = nullptr) const;
 
  private:
   ResidueNorm norm_;

@@ -53,8 +53,10 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
     }
     size_t new_volume = 0;
     double after_residue = 0.0;
+    // Slot() is null for non-resident clusters under a memo byte budget;
+    // that path is identical to having no memo at all.
     GainMemo::Entry* slot =
-        ctx.memo != nullptr ? &ctx.memo->Slot(is_row, index, c) : nullptr;
+        ctx.memo != nullptr ? ctx.memo->Slot(is_row, index, c) : nullptr;
     uint64_t epoch = views[c].epoch();
     if (slot != nullptr && slot->epoch == epoch) {
       // Cache hit: the cluster's membership (hence its stats, hence the
@@ -104,7 +106,7 @@ Action BestActionFor(bool is_row, size_t index, const GainContext& ctx,
 std::vector<Action> GainDeterminer::Determine(
     const DataMatrix& matrix, const std::vector<ClusterWorkspace>& views,
     const std::vector<double>& scores, const ConstraintTracker& tracker,
-    obs::BlockCounts* blocked) const {
+    obs::BlockCounts* blocked, const StopToken* stop) const {
   DC_TRACE_SPAN("floc/determine_actions");
   size_t num_rows = matrix.rows();
   size_t total = num_rows + matrix.cols();
@@ -136,7 +138,7 @@ std::vector<Action> GainDeterminer::Determine(
           actions[t] = BestActionFor(is_row, index, ctx, engine);
         }
       },
-      serial_cutoff_);
+      serial_cutoff_, stop);
 
   if (blocked != nullptr) {
     for (const obs::BlockCounts& sc : shard_counts) blocked->Merge(sc);

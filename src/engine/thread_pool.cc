@@ -79,6 +79,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::RunShards(Job& job) {
   while (true) {
+    // Cancellation is honoured at the claim boundary only: a shard that
+    // was claimed before the token fired still runs to completion, so
+    // every shard that exists in the output is bit-identical to the
+    // uncancelled sweep.
+    if (job.stop != nullptr && job.stop->stop_requested()) return;
     size_t shard = job.next.fetch_add(1, std::memory_order_relaxed);
     if (shard >= job.shards) return;
     size_t begin = shard * job.grain;
@@ -120,7 +125,8 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
-void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
+void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn,
+                             const StopToken* stop) {
   if (total == 0) return;
   if (grain == 0) grain = ShardGrain(total);
   Job job;
@@ -128,6 +134,7 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
   job.total = total;
   job.grain = grain;
   job.shards = ShardCount(total, grain);
+  job.stop = stop;
 
   // Per-shard wall-time accounting for the imbalance histogram. When
   // metrics are off this is one predicted branch and zero allocation
@@ -198,19 +205,21 @@ void ThreadPool::ParallelFor(size_t total, size_t grain, const ShardFn& fn) {
 }
 
 void ParallelApply(ThreadPool* pool, size_t total, const ThreadPool::ShardFn& fn,
-                   size_t serial_cutoff) {
+                   size_t serial_cutoff, const StopToken* stop) {
   if (total == 0) return;
   if (pool == nullptr || pool->threads() <= 1 || total < serial_cutoff) {
     size_t grain = ShardGrain(total);
     size_t shards = ShardCount(total, grain);
     for (size_t shard = 0; shard < shards; ++shard) {
+      // Same cancellation boundary as the pooled path: between shards.
+      if (stop != nullptr && stop->stop_requested()) return;
       size_t begin = shard * grain;
       size_t end = std::min(begin + grain, total);
       fn(begin, end, shard);
     }
     return;
   }
-  pool->ParallelFor(total, fn);
+  pool->ParallelFor(total, fn, stop);
 }
 
 }  // namespace deltaclus::engine

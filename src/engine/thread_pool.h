@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/util/mutex.h"
+#include "src/util/stop_token.h"
 #include "src/util/thread_annotations.h"
 
 namespace deltaclus::engine {
@@ -113,12 +114,22 @@ class ThreadPool {
   /// All shards run even if one throws; afterwards the exception from
   /// the lowest-indexed throwing shard is rethrown on the caller (a
   /// deterministic choice, since shard bodies are deterministic).
-  void ParallelFor(size_t total, size_t grain, const ShardFn& fn)
-      DC_EXCLUDES(mutex_);
+  ///
+  /// `stop` (optional, non-owning) is the cooperative cancellation
+  /// token: it is consulted only at shard-*claim* boundaries, so every
+  /// shard either runs to completion (bit-identical to the uncancelled
+  /// sweep) or never starts. Once the token fires the remaining shards
+  /// are skipped and ParallelFor returns normally; the caller owns
+  /// checking stop_requested() afterwards and discarding the sweep's
+  /// (partial) output wholesale -- which is what keeps cancellation
+  /// unable to perturb any result that is kept.
+  void ParallelFor(size_t total, size_t grain, const ShardFn& fn,
+                   const StopToken* stop = nullptr) DC_EXCLUDES(mutex_);
 
   /// ParallelFor with the default grain.
-  void ParallelFor(size_t total, const ShardFn& fn) {
-    ParallelFor(total, 0, fn);
+  void ParallelFor(size_t total, const ShardFn& fn,
+                   const StopToken* stop = nullptr) {
+    ParallelFor(total, 0, fn, stop);
   }
 
  private:
@@ -131,6 +142,9 @@ class ThreadPool {
     size_t total = 0;
     size_t grain = 0;
     size_t shards = 0;
+    // Optional cancellation token, checked before each shard claim (see
+    // ParallelFor). Written once by the coordinator before publication.
+    const StopToken* stop = nullptr;
     // DC_LOCK_FREE: the shard-claim cursor. fetch_add(relaxed) is
     // sufficient because the claim itself is the only communication --
     // each shard index is handed to exactly one claimant, and all data
@@ -168,9 +182,13 @@ class ThreadPool {
 /// otherwise (null/1-thread pool, or total below the cutoff). Both paths
 /// iterate the identical ShardGrain(total) boundaries, so per-shard
 /// accumulators merge identically and results are bit-identical either
-/// way. This is the entry point phase components use.
+/// way. This is the entry point phase components use. `stop` follows
+/// the ParallelFor contract: consulted at shard boundaries on both
+/// paths, remaining shards skipped once it fires, and the caller
+/// discards the sweep's partial output after checking the token.
 void ParallelApply(ThreadPool* pool, size_t total, const ThreadPool::ShardFn& fn,
-                   size_t serial_cutoff = EngineConfig::kDefaultSerialCutoff);
+                   size_t serial_cutoff = EngineConfig::kDefaultSerialCutoff,
+                   const StopToken* stop = nullptr);
 
 }  // namespace deltaclus::engine
 

@@ -162,6 +162,7 @@ void PerfReport::WriteJson(std::ostream& out) const {
   w.Key("total_seconds").Number(total_seconds);
   w.Key("total_cpu_seconds").Number(total_cpu_seconds);
   w.Key("iterations").Uint(iterations);
+  w.Key("stopped_reason").String(stopped_reason);
   w.Key("metrics_valid").Bool(metrics_valid);
   w.Key("trace_valid").Bool(trace_valid);
   w.Key("phases").BeginArray();
@@ -210,6 +211,10 @@ void PerfReport::PrintTable(std::ostream& out) const {
                 algorithm.c_str(), total_seconds, total_cpu_seconds,
                 static_cast<unsigned long long>(iterations));
   out << buf;
+  if (!stopped_reason.empty()) {
+    out << "  stopped early: " << stopped_reason
+        << " (result is the best clustering found so far)\n";
+  }
   std::snprintf(buf, sizeof(buf), "  %-20s %12s %12s %7s\n", "phase",
                 "wall (s)", "cpu (s)", "share");
   out << buf;

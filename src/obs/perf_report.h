@@ -51,6 +51,10 @@ struct PerfReport {
   double total_seconds = 0.0;
   double total_cpu_seconds = 0.0;
   uint64_t iterations = 0;
+  /// Why the run stopped early ("deadline" / "iteration_cap" /
+  /// "cancelled", see RunTelemetry::stopped_reason); empty when the run
+  /// converged naturally.
+  std::string stopped_reason;
   std::vector<PerfPhase> phases;
 
   bool metrics_valid = false;

@@ -94,6 +94,7 @@ void WriteRun(JsonWriter& w, const RunTelemetry& run, bool with_log) {
   w.Key("total_actions_applied").Uint(run.total_actions_applied);
   w.Key("best_iteration").Uint(run.best_iteration);
   w.Key("final_average_residue").Number(run.final_average_residue);
+  w.Key("stopped_reason").String(run.stopped_reason);
   if (with_log) {
     w.Key("gain_bucket_bounds").BeginArray();
     for (double b : kGainBucketBounds) w.Number(b);

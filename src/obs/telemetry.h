@@ -137,6 +137,11 @@ struct RunTelemetry {
   size_t best_iteration = 0;
   /// Mirrors FlocResult::average_residue.
   double final_average_residue = 0.0;
+  /// Why the run stopped before natural convergence: "deadline",
+  /// "iteration_cap", or "cancelled" when a session budget cut it short
+  /// (src/session/mining_session.h); empty for a run that converged.
+  /// The result is still a valid best-so-far clustering either way.
+  std::string stopped_reason;
 
   /// Per-iteration records; empty at kOff.
   std::vector<IterationTelemetry> iteration_log;
@@ -208,6 +213,12 @@ class TelemetryCollector {
   /// Seals the current iteration: appends it to the run log and streams
   /// it to the sink. No-op when disabled or with no open iteration.
   void FinishIteration();
+
+  /// Discards the current iteration record without logging or streaming
+  /// it -- used when a cancellation token fires mid-sweep and the
+  /// iteration's partial work is thrown away wholesale. No-op when
+  /// disabled or with no open iteration.
+  void AbandonIteration() { iteration_open_ = false; }
 
   /// Direct access to the run-level record (phase timings etc.). Valid
   /// at every level; callers should guard expensive fills on enabled().

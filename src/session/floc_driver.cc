@@ -1,0 +1,120 @@
+// Floc's run entry points, implemented in the session layer: Run() and
+// RunWithSeeds() are thin drivers that open a MiningSession, step it to
+// completion, and finish it -- the monolithic Phase-2 loop they used to
+// carry lives in src/session/mining_session.cc now, unchanged in
+// behaviour (byte-identical outputs at any thread count). StartSession
+// runs Phase-1 seeding eagerly, so the session itself only ever owns
+// Phase-2 state; ResumeSession is the checkpoint entry point, binding a
+// decoded .dcs file to this Floc's config (fingerprint-checked) and
+// matrix (shape-checked).
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/floc.h"
+#include "src/core/seeding.h"
+#include "src/obs/clock.h"
+#include "src/obs/trace.h"
+#include "src/session/mining_session.h"
+#include "src/session/session_format.h"
+
+namespace deltaclus {
+
+namespace {
+
+FlocResult DriveToCompletion(session::MiningSession* s) {
+  while (s->Step()) {
+  }
+  return s->Finish();
+}
+
+}  // namespace
+
+FlocResult Floc::Run(const DataMatrix& matrix) {
+  std::unique_ptr<session::MiningSession> s = StartSession(matrix);
+  return DriveToCompletion(s.get());
+}
+
+FlocResult Floc::RunWithSeeds(const DataMatrix& matrix,
+                              std::vector<Cluster> seeds) {
+  std::unique_ptr<session::MiningSession> s =
+      StartSessionWithSeeds(matrix, std::move(seeds));
+  return DriveToCompletion(s.get());
+}
+
+std::unique_ptr<session::MiningSession> Floc::StartSession(
+    const DataMatrix& matrix) {
+  Rng rng(config_.rng_seed);
+  // Open the perf delta window before seeding so the report's counter
+  // deltas and trace attribution cover Phase 1 too.
+  perf_accounting_.emplace();
+  Stopwatch seed_watch;
+  std::vector<Cluster> seeds;
+  {
+    DC_TRACE_SPAN("floc/phase1_seeding");
+    seeds = GenerateSeeds(matrix, config_.seeding, config_.num_clusters, rng);
+    // Section 4.3: initial clusters must comply with the constraints; the
+    // action-blocking machinery then preserves compliance throughout.
+    for (Cluster& seed : seeds) {
+      RepairSeed(matrix, config_.constraints, &seed, rng, EnsurePool());
+    }
+  }
+  seed_phase_seconds_ = seed_watch.ElapsedSeconds();
+  return StartSessionWithSeeds(matrix, std::move(seeds));
+}
+
+std::unique_ptr<session::MiningSession> Floc::StartSessionWithSeeds(
+    const DataMatrix& matrix, std::vector<Cluster> seeds) {
+  // Not make_unique: the session's constructor is private to keep the
+  // borrowing contract (Floc + matrix must outlive it) behind these
+  // factory methods, and Floc is its friend.
+  return std::unique_ptr<session::MiningSession>(
+      new session::MiningSession(this, matrix, std::move(seeds), nullptr));
+}
+
+std::unique_ptr<session::MiningSession> Floc::ResumeSession(
+    const DataMatrix& matrix, const std::string& checkpoint_path) {
+  session::SessionCheckpoint cp =
+      session::ReadSessionCheckpoint(checkpoint_path, checkpoint_path);
+  if (cp.rows != matrix.rows() || cp.cols != matrix.cols()) {
+    std::ostringstream os;
+    os << checkpoint_path << ": checkpoint does not match this run: matrix "
+       << "shape mismatch (checkpoint was taken over " << cp.rows << "x"
+       << cp.cols << ", this matrix is " << matrix.rows() << "x"
+       << matrix.cols() << ")";
+    throw std::runtime_error(os.str());
+  }
+  if (session::FingerprintMatrix(matrix) != cp.matrix_fingerprint) {
+    throw std::runtime_error(
+        checkpoint_path +
+        ": checkpoint does not match this run: matrix content mismatch (the "
+        "shape agrees but the values or missing-entry mask differ; a "
+        "checkpoint's stats bits are only meaningful against the exact data "
+        "set that produced them)");
+  }
+  uint64_t fingerprint =
+      session::FingerprintConfig(config_, cp.rows, cp.cols, cp.current.size());
+  if (fingerprint != cp.config_fingerprint) {
+    throw std::runtime_error(
+        checkpoint_path +
+        ": checkpoint does not match this run: config fingerprint mismatch "
+        "(a result-affecting configuration field differs from the "
+        "checkpointing run; threads, budgets, audit, and telemetry are "
+        "free to change, everything else must agree)");
+  }
+  std::vector<Cluster> seeds;
+  seeds.reserve(cp.current.size());
+  for (const session::ViewState& v : cp.current) {
+    seeds.push_back(Cluster::FromMembers(
+        matrix.rows(), matrix.cols(),
+        std::vector<size_t>(v.members.rows.begin(), v.members.rows.end()),
+        std::vector<size_t>(v.members.cols.begin(), v.members.cols.end())));
+  }
+  return std::unique_ptr<session::MiningSession>(
+      new session::MiningSession(this, matrix, std::move(seeds), &cp));
+}
+
+}  // namespace deltaclus

@@ -1,0 +1,763 @@
+#include "src/session/mining_session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/core/audit.h"
+#include "src/core/floc_metrics.h"
+#include "src/core/seeding.h"
+#include "src/engine/thread_pool.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/check.h"
+
+namespace deltaclus::session {
+
+namespace {
+
+// Registry handles for the session-layer metric family (the core FLOC
+// family lives in src/core/floc_metrics.h). Same discipline: resolved
+// once, stable pointers, relaxed no-op increments while disabled.
+struct SessionMetrics {
+  obs::Counter* steps;
+  obs::Counter* checkpoints_written;
+  obs::Counter* restores;
+  obs::Counter* memo_evictions;
+  obs::Counter* constraints_disabled;
+  obs::Gauge* memo_resident_bytes;
+
+  static const SessionMetrics& Get() {
+    static const SessionMetrics m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return SessionMetrics{
+          r.GetCounter("floc.session.steps"),
+          r.GetCounter("floc.session.checkpoints_written"),
+          r.GetCounter("floc.session.restores"),
+          r.GetCounter("floc.session.memo_evictions"),
+          r.GetCounter("floc.constraints.disabled"),
+          r.GetGauge("floc.session.memo_resident_bytes"),
+      };
+    }();
+    return m;
+  }
+};
+
+Cluster ClusterFromMembers(const DataMatrix& matrix,
+                           const ClusterMembers& members) {
+  return Cluster::FromMembers(
+      matrix.rows(), matrix.cols(),
+      std::vector<size_t>(members.rows.begin(), members.rows.end()),
+      std::vector<size_t>(members.cols.begin(), members.cols.end()));
+}
+
+ClusterMembers MembersOf(const Cluster& cluster) {
+  ClusterMembers m;
+  m.rows = cluster.row_ids();
+  m.cols = cluster.col_ids();
+  return m;
+}
+
+}  // namespace
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kMovePhase:
+      return "move_phase";
+    case SessionState::kRefine:
+      return "refine";
+    case SessionState::kReseedCheck:
+      return "reseed_check";
+    case SessionState::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+const char* StopReasonName(StopReason reason) {
+  switch (reason) {
+    case StopReason::kNone:
+      return "";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kIterationCap:
+      return "iteration_cap";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "";
+}
+
+void SessionStatus::WriteJson(std::ostream& out) const {
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("kind").String("session_status");
+  w.Key("state").String(SessionStateName(state));
+  w.Key("stopped_reason").String(StopReasonName(stop_reason));
+  w.Key("round").Uint(round);
+  w.Key("iterations").Uint(iterations);
+  w.Key("best_average_score").Number(best_average_score);
+  w.Key("memo_resident_bytes").Uint(memo_resident_bytes);
+  w.Key("memo_budget_bytes").Uint(memo_budget_bytes);
+  w.Key("memo_evictions").Uint(memo_evictions);
+  w.Key("pane_bytes").Uint(pane_bytes);
+  w.Key("elapsed_seconds").Number(elapsed_seconds);
+  w.Key("done").Bool(done);
+  w.EndObject();
+  out << "\n";
+}
+
+std::string SessionStatus::Json() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+MiningSession::MiningSession(Floc* floc, const DataMatrix& matrix,
+                             std::vector<Cluster> seeds,
+                             const SessionCheckpoint* restore_from)
+    : floc_(floc),
+      matrix_(matrix),
+      config_(floc->config_),
+      k_(seeds.size()),
+      rng_(floc->config_.rng_seed ^ 0x5eedf10cULL),
+      collector_(floc->config_.telemetry, floc->config_.telemetry_sink),
+      engine_(floc->config_.norm),
+      pool_(floc->EnsurePool()),
+      memo_(floc->config_.memoize_gains ? &gain_memo_ : nullptr),
+      determiner_(floc->config_.norm, floc->config_.target_residue, pool_,
+                  engine::EngineConfig::kDefaultSerialCutoff, memo_,
+                  floc->config_.audit),
+      scheduler_(floc->config_.ordering),
+      applier_(
+          floc->config_,
+          [](void* self, const ClusterWorkspace& ws) {
+            static_cast<const Floc*>(self)->MaybeAudit(ws, "move_phase");
+          },
+          floc, memo_),
+      tracker_(matrix, floc->config_.constraints) {
+  // Samples the registry counters now (unless StartSession already did,
+  // before seeding) so the perf report reflects only this run's deltas.
+  if (!floc_->perf_accounting_) floc_->perf_accounting_.emplace();
+  // Phase-1 time measured by StartSession before it delegated here; zero
+  // when the caller provided the seeds directly.
+  seeding_seconds_ = floc_->seed_phase_seconds_;
+  floc_->seed_phase_seconds_ = 0.0;
+
+  if (k_ == 0) {
+    state_ = SessionState::kDone;
+    return;
+  }
+
+  if (memo_ != nullptr) {
+    gain_memo_.Configure(matrix.rows(), matrix.cols(), k_,
+                         config_.memo_budget_bytes);
+    if (config_.audit && config_.memo_budget_bytes > 0) {
+      DC_CHECK(gain_memo_.bytes() <= config_.memo_budget_bytes)
+          << "gain memo table (" << gain_memo_.bytes()
+          << " bytes) exceeds its budget (" << config_.memo_budget_bytes
+          << ")";
+    }
+  }
+
+  views_.reserve(k_);
+  for (Cluster& seed : seeds) {
+    views_.emplace_back(matrix, std::move(seed));
+  }
+  tracker_.Rebuild(views_);
+
+  // Initial-clustering occupancy compliance. FLOC's action blocking
+  // *preserves* alpha-occupancy but cannot establish it, so a caller
+  // handing non-compliant seeds (only possible via RunWithSeeds /
+  // StartSessionWithSeeds -- Phase 1 repairs its own) gets one explicit
+  // warning instead of silently unenforceable constraints; audit mode's
+  // occupancy re-validation is disabled for the run either way, exactly
+  // as before, since it would fail on the callers' own clusters.
+  seeds_compliant_ = true;
+  if (config_.constraints.alpha > 0.0 && restore_from == nullptr) {
+    size_t violating = 0;
+    for (const ClusterWorkspace& v : views_) {
+      if (!OccupancySatisfied(matrix, v.cluster(),
+                              config_.constraints.alpha)) {
+        ++violating;
+      }
+    }
+    seeds_compliant_ = violating == 0;
+    if (!seeds_compliant_) {
+      SessionMetrics::Get().constraints_disabled->Inc();
+      std::cerr << "deltaclus: warning: " << violating << " of " << k_
+                << " initial clusters violate the alpha-occupancy "
+                   "constraint (alpha="
+                << config_.constraints.alpha
+                << "); FLOC preserves compliance but cannot establish it, "
+                   "and audit-mode occupancy re-validation is disabled for "
+                   "this run\n";
+    }
+  }
+
+  scores_.resize(k_);
+  score_sum_ = RecomputeScores();
+  SnapshotBest();
+  heat_.assign(k_, 0);
+
+  if (restore_from != nullptr) {
+    const SessionCheckpoint& cp = *restore_from;
+    state_ = static_cast<SessionState>(cp.state);
+    round_ = cp.round;
+    move_iteration_ = static_cast<size_t>(cp.move_iteration);
+    result_.iterations = static_cast<size_t>(cp.total_iterations);
+    result_.history = cp.history;
+    seeds_compliant_ = cp.seeds_compliant != 0;
+    pending_restore_ = cp.pending_restore != 0;
+    best_average_ = cp.best_average;
+    prior_elapsed_seconds_ = cp.prior_elapsed_seconds;
+    seeding_seconds_ = cp.seeding_seconds;
+    {
+      std::istringstream is(cp.rng_state);
+      is >> rng_.engine();
+      DC_CHECK(static_cast<bool>(is)) << "checkpoint RNG state unparseable "
+                                         "(ReadSessionCheckpoint validated "
+                                         "it)";
+    }
+    best_clusters_.clear();
+    for (const ClusterMembers& m : cp.best) {
+      best_clusters_.push_back(ClusterFromMembers(matrix, m));
+    }
+    stagnant_.assign(cp.stagnant.begin(), cp.stagnant.end());
+    saved_.clear();
+    for (const ClusterMembers& m : cp.saved) {
+      saved_.push_back(ClusterFromMembers(matrix, m));
+    }
+    saved_scores_ = cp.saved_scores;
+    heat_ = cp.heat;
+    // Overwrite the freshly built (canonical) stats with the captured
+    // incremental bits, then recompute the scores from them: at every
+    // step boundary the live scores are exactly RecomputeScores() over
+    // the live stats, so this reproduces them bit-for-bit.
+    for (size_t c = 0; c < k_; ++c) {
+      const ViewState& vs = cp.current[c];
+      ClusterStats& st = views_[c].StatsForRestore();
+      for (size_t i = 0; i < vs.members.rows.size(); ++i) {
+        st.SetRowExact(vs.members.rows[i], vs.row_sums[i],
+                       static_cast<size_t>(vs.row_counts[i]));
+      }
+      for (size_t j = 0; j < vs.members.cols.size(); ++j) {
+        st.SetColExact(vs.members.cols[j], vs.col_sums[j],
+                       static_cast<size_t>(vs.col_counts[j]));
+      }
+      st.SetTotalsExact(vs.total, static_cast<size_t>(vs.volume));
+    }
+    score_sum_ = RecomputeScores();
+    SessionMetrics::Get().restores->Inc();
+  }
+
+  floc_->audit_check_occupancy_ = config_.audit &&
+                                  config_.constraints.alpha > 0.0 &&
+                                  seeds_compliant_;
+}
+
+MiningSession::~MiningSession() = default;
+
+double MiningSession::RecomputeScores() {
+  double sum = 0.0;
+  for (size_t c = 0; c < k_; ++c) {
+    scores_[c] = floc_->ClusterScore(engine_.Residue(views_[c]),
+                                     views_[c].stats().Volume());
+    sum += scores_[c];
+  }
+  return sum;
+}
+
+void MiningSession::SnapshotBest() {
+  best_average_ = score_sum_ / static_cast<double>(k_);
+  best_clusters_.clear();
+  for (const ClusterWorkspace& v : views_) {
+    best_clusters_.push_back(v.cluster());
+  }
+}
+
+double MiningSession::ElapsedSeconds() const {
+  return prior_elapsed_seconds_ + stopwatch_.ElapsedSeconds();
+}
+
+bool MiningSession::BudgetStop() {
+  if (config_.stop != nullptr && config_.stop->stop_requested()) {
+    stop_reason_ = StopReason::kCancelled;
+  } else if (config_.deadline_seconds > 0.0 &&
+             ElapsedSeconds() >= config_.deadline_seconds) {
+    stop_reason_ = StopReason::kDeadline;
+  } else if (config_.max_total_iterations > 0 &&
+             state_ == SessionState::kMovePhase &&
+             result_.iterations >= config_.max_total_iterations) {
+    stop_reason_ = StopReason::kIterationCap;
+  } else {
+    return false;
+  }
+  stopped_ = true;
+  return true;
+}
+
+bool MiningSession::Step() {
+  if (finished_ || stopped_ || state_ == SessionState::kDone) return false;
+  if (BudgetStop()) return false;
+  SessionMetrics::Get().steps->Inc();
+  DC_TRACE_SPAN("floc/run");
+  switch (state_) {
+    case SessionState::kMovePhase:
+      StepMove();
+      break;
+    case SessionState::kRefine:
+      StepRefine();
+      break;
+    case SessionState::kReseedCheck:
+      StepReseedCheck();
+      break;
+    case SessionState::kDone:
+      break;
+  }
+  return !finished_ && !stopped_ && state_ != SessionState::kDone;
+}
+
+void MiningSession::StepMove() {
+  if (move_iteration_ >= config_.max_iterations) {
+    state_ = SessionState::kRefine;
+    return;
+  }
+  DC_TRACE_SPAN("floc/move_phase");
+  Stopwatch phase_watch;
+
+  // Budgeted memo residency: re-pick the resident stripes from last
+  // iteration's churn heat before the sweeps run (performance-only --
+  // entries are served on exact epoch match, so residency can never
+  // change which actions are chosen).
+  if (memo_ != nullptr && gain_memo_.budget_bytes() > 0) {
+    gain_memo_.Rebalance(heat_);
+    const SessionMetrics& sm = SessionMetrics::Get();
+    uint64_t evictions = gain_memo_.evictions();
+    sm.memo_evictions->Inc(evictions - memo_evictions_seen_);
+    memo_evictions_seen_ = evictions;
+    sm.memo_resident_bytes->Set(static_cast<double>(gain_memo_.bytes()));
+    if (config_.audit) {
+      DC_CHECK(gain_memo_.bytes() <= gain_memo_.budget_bytes())
+          << "gain memo table (" << gain_memo_.bytes()
+          << " bytes) exceeds its budget (" << gain_memo_.budget_bytes()
+          << ")";
+    }
+  }
+
+  {
+    DC_TRACE_SPAN("floc/iteration");
+    Stopwatch iter_watch;
+    ++result_.iterations;
+    // One branch when telemetry is off: itel stays null and every
+    // telemetry fill below is skipped (the off path allocates nothing).
+    obs::IterationTelemetry* itel =
+        collector_.BeginIteration(result_.iterations - 1);
+
+    // --- Determine the best action for every row and column. ---
+    Stopwatch determine_watch;
+    std::vector<Action> actions = determiner_.Determine(
+        matrix_, views_, scores_, tracker_,
+        itel != nullptr ? &itel->blocked_by : nullptr, config_.stop);
+    if (config_.stop != nullptr && config_.stop->stop_requested()) {
+      // The token fired mid-sweep: the action vector is only partially
+      // filled, so the iteration is discarded wholesale -- not counted,
+      // not logged, views untouched (determination is read-only). The
+      // session stops at this boundary in a fully reproducible state.
+      --result_.iterations;
+      collector_.AbandonIteration();
+      stop_reason_ = StopReason::kCancelled;
+      stopped_ = true;
+      collector_.run().move_phase_seconds += phase_watch.ElapsedSeconds();
+      return;
+    }
+    double determine_seconds = determine_watch.ElapsedSeconds();
+    collector_.run().determine_seconds += determine_seconds;
+
+    if (itel != nullptr) {
+      itel->determine_seconds = determine_seconds;
+      double gain_sum = 0.0;
+      for (const Action& a : actions) {
+        if (a.blocked()) {
+          ++itel->fully_blocked;
+          continue;
+        }
+        ++itel->determined;
+        gain_sum += a.gain;
+        if (itel->determined == 1 || a.gain > itel->best_gain) {
+          itel->best_gain = a.gain;
+        }
+        if (collector_.full()) {
+          ++itel->gain_histogram[obs::GainBucket(a.gain)];
+        }
+      }
+      itel->mean_gain =
+          itel->determined > 0 ? gain_sum / itel->determined : 0.0;
+    }
+    if (obs::MetricsRegistry::Enabled()) {
+      const FlocMetrics& m = FlocMetrics::Get();
+      m.iterations->Inc();
+      uint64_t fully_blocked = 0;
+      for (const Action& a : actions) fully_blocked += a.blocked() ? 1 : 0;
+      m.actions_blocked->Inc(fully_blocked);
+    }
+
+    // --- Order the actions. ---
+    std::vector<size_t> order;
+    {
+      DC_TRACE_SPAN("floc/order_actions");
+      order = scheduler_.Order(actions, rng_);
+    }
+
+    // --- Perform actions sequentially, tracking the best intermediate
+    // clustering. ---
+    std::vector<Cluster> start_clusters;
+    start_clusters.reserve(k_);
+    for (const ClusterWorkspace& v : views_) {
+      start_clusters.push_back(v.cluster());
+    }
+
+    BestPrefixSelector selector(best_average_);
+    Stopwatch apply_watch;
+    std::vector<AppliedAction> applied;
+    {
+      DC_TRACE_SPAN("floc/apply_actions");
+      applied = applier_.Apply(actions, order, move_iteration_, views_,
+                               scores_, score_sum_, tracker_, rng_, selector);
+    }
+    double apply_seconds = apply_watch.ElapsedSeconds();
+    collector_.run().apply_seconds += apply_seconds;
+
+    // Memo churn heat: exponential decay plus this sweep's applied
+    // toggles per cluster (a hot cluster invalidates its own stripe
+    // constantly, so under a budget it is the *worst* cache citizen).
+    if (memo_ != nullptr && gain_memo_.budget_bytes() > 0) {
+      for (uint64_t& h : heat_) h /= 2;
+      for (const AppliedAction& act : applied) ++heat_[act.cluster];
+    }
+
+    double needed =
+        std::max(config_.min_improvement,
+                 config_.relative_improvement * std::abs(best_average_));
+    bool improved = selector.has_best() &&
+                    selector.best_average() < best_average_ - needed;
+    result_.history.push_back(
+        {selector.has_best() ? selector.best_average() : best_average_,
+         applied.size(), improved});
+
+    {
+      const FlocMetrics& m = FlocMetrics::Get();
+      m.actions_applied->Inc(applied.size());
+      double iteration_seconds = iter_watch.ElapsedSeconds();
+      m.iteration_seconds->Observe(iteration_seconds);
+      m.iteration_latency->Observe(iteration_seconds);
+    }
+    if (itel != nullptr) {
+      itel->apply_seconds = apply_seconds;
+      itel->actions_applied = applied.size();
+      itel->best_prefix = selector.best_prefix();
+      itel->best_average_score =
+          selector.has_best() ? selector.best_average() : best_average_;
+      itel->improved = improved;
+    }
+    // Seals the iteration record. Called after the rewind on improving
+    // iterations so best_so_far and the kFull cluster snapshot reflect
+    // the updated best clustering, and before the phase exit on the
+    // final one.
+    auto seal_iteration = [&]() {
+      if (itel == nullptr) return;
+      itel->best_so_far = best_average_;
+      if (collector_.full()) {
+        itel->cluster_residues.resize(k_);
+        itel->cluster_volumes.resize(k_);
+        for (size_t c = 0; c < k_; ++c) {
+          itel->cluster_residues[c] = engine_.Residue(views_[c]);
+          itel->cluster_volumes[c] = views_[c].stats().Volume();
+        }
+      }
+      itel->wall_seconds = iter_watch.ElapsedSeconds();
+      collector_.FinishIteration();
+    };
+
+    if (!improved) {
+      // The final, non-improving sweep is never rewound: views keep its
+      // full applied-action membership and incremental stats, exactly as
+      // the monolithic loop's `break` left them (checkpoints capture
+      // those stats bits verbatim, so this dirty state is resumable).
+      seal_iteration();
+      state_ = SessionState::kRefine;
+      collector_.run().move_phase_seconds += phase_watch.ElapsedSeconds();
+      return;
+    }
+
+    // Rewind to the start of the iteration and replay the winning
+    // prefix; that clustering both becomes best_clustering and seeds the
+    // next iteration.
+    for (size_t c = 0; c < k_; ++c) {
+      views_[c].Reset(std::move(start_clusters[c]));
+    }
+    for (size_t a = 0; a < selector.best_prefix(); ++a) {
+      const AppliedAction& act = applied[a];
+      if (act.target == ActionTarget::kRow) {
+        views_[act.cluster].ToggleRow(act.index);
+      } else {
+        views_[act.cluster].ToggleCol(act.index);
+      }
+    }
+    // Rebuild stats-derived state from scratch: cheap relative to the
+    // iteration and keeps floating-point drift from accumulating.
+    for (size_t c = 0; c < k_; ++c) {
+      views_[c].Reset(views_[c].cluster());
+    }
+    score_sum_ = RecomputeScores();
+    tracker_.Rebuild(views_);
+
+    SnapshotBest();
+    seal_iteration();
+    ++move_iteration_;
+  }
+  collector_.run().move_phase_seconds += phase_watch.ElapsedSeconds();
+}
+
+void MiningSession::StepRefine() {
+  // Cluster-centric refinement of the best clustering (see
+  // FlocConfig::refine_passes). The move phase left `views_` on its
+  // end-of-sweep membership, so restore the best clustering first.
+  if (config_.refine_passes > 0) {
+    DC_TRACE_SPAN("floc/refine");
+    Stopwatch refine_watch;
+    for (size_t c = 0; c < k_; ++c) views_[c].Reset(best_clusters_[c]);
+    RecomputeScores();
+    tracker_.Rebuild(views_);
+    // Wholesale reassignment cannot shrink coverage-constrained
+    // clusterings safely, so it only runs when coverage is off; overlap
+    // bounds are validated directly against the candidate.
+    bool can_reanchor = !config_.constraints.coverage_active();
+    for (size_t pass = 0; pass < config_.refine_passes; ++pass) {
+      size_t changes = 0;
+      if (can_reanchor) {
+        for (size_t c = 0; c < k_; ++c) {
+          changes += floc_->ReanchorCluster(matrix_, views_, c, &scores_[c]);
+        }
+        tracker_.Rebuild(views_);
+      }
+      changes += floc_->RefineSweep(matrix_, views_, scores_, tracker_);
+      if (changes == 0) break;
+    }
+    score_sum_ = RecomputeScores();
+    SnapshotBest();
+    collector_.run().refine_seconds += refine_watch.ElapsedSeconds();
+  }
+
+  if (pending_restore_) {
+    // A reseed round just reran move+refine over the reseeded slots:
+    // restore any slot the restart left worse than before.
+    Stopwatch reseed_watch;
+    bool restored = false;
+    for (size_t t = 0; t < stagnant_.size(); ++t) {
+      size_t c = stagnant_[t];
+      if (scores_[c] > saved_scores_[t] - config_.min_improvement) {
+        views_[c].Reset(std::move(saved_[t]));
+        restored = true;
+      }
+    }
+    if (restored) {
+      score_sum_ = RecomputeScores();
+      tracker_.Rebuild(views_);
+      SnapshotBest();
+    }
+    collector_.run().reseed_seconds += reseed_watch.ElapsedSeconds();
+    pending_restore_ = false;
+    stagnant_.clear();
+    saved_.clear();
+    saved_scores_.clear();
+  }
+  state_ = SessionState::kReseedCheck;
+}
+
+void MiningSession::StepReseedCheck() {
+  // Restart rounds: re-seed stagnant slots and retry (see
+  // FlocConfig::reseed_rounds).
+  if (round_ >= config_.reseed_rounds || config_.target_residue <= 0) {
+    state_ = SessionState::kDone;
+    return;
+  }
+  DC_TRACE_SPAN("floc/reseed_round");
+  // reseed_seconds covers only the restart bookkeeping (stagnant
+  // detection, fresh seeding, restore) -- the rerun move phase and
+  // refinement accumulate into their own phase timers.
+  Stopwatch reseed_watch;
+  // `views_` holds best_clusters after refine (or the canonicalized
+  // end-of-move state when refinement is off).
+  stagnant_.clear();
+  for (size_t c = 0; c < k_; ++c) {
+    if (engine_.Residue(views_[c]) > 2.0 * config_.target_residue) {
+      stagnant_.push_back(c);
+    }
+  }
+  if (stagnant_.empty()) {
+    collector_.run().reseed_seconds += reseed_watch.ElapsedSeconds();
+    state_ = SessionState::kDone;
+    return;
+  }
+
+  saved_.clear();
+  saved_scores_.clear();
+  saved_.reserve(stagnant_.size());
+  for (size_t c : stagnant_) {
+    saved_.push_back(views_[c].cluster());
+    saved_scores_.push_back(scores_[c]);
+    std::vector<Cluster> fresh =
+        GenerateSeeds(matrix_, config_.seeding, 1, rng_);
+    RepairSeed(matrix_, config_.constraints, &fresh[0], rng_, pool_);
+    views_[c].Reset(std::move(fresh[0]));
+  }
+  score_sum_ = RecomputeScores();
+  tracker_.Rebuild(views_);
+  SnapshotBest();
+  FlocMetrics::Get().reseed_slots->Inc(stagnant_.size());
+  collector_.run().reseed_seconds += reseed_watch.ElapsedSeconds();
+
+  pending_restore_ = true;
+  ++round_;
+  move_iteration_ = 0;
+  state_ = SessionState::kMovePhase;
+}
+
+SessionStatus MiningSession::Status() const {
+  SessionStatus s;
+  s.state = state_;
+  s.stop_reason = stop_reason_;
+  s.round = round_;
+  s.iterations = result_.iterations;
+  s.best_average_score = best_average_;
+  s.memo_resident_bytes = gain_memo_.bytes();
+  s.memo_budget_bytes = gain_memo_.budget_bytes();
+  s.memo_evictions = gain_memo_.evictions();
+  uint64_t pane_bytes = 0;
+  for (const ClusterWorkspace& v : views_) pane_bytes += v.PaneBytes();
+  s.pane_bytes = pane_bytes;
+  s.elapsed_seconds = ElapsedSeconds();
+  s.done = state_ == SessionState::kDone;
+  return s;
+}
+
+void MiningSession::Checkpoint(const std::string& path) const {
+  if (finished_) {
+    throw std::logic_error(
+        "MiningSession::Checkpoint: session already finished");
+  }
+  SessionCheckpoint cp;
+  cp.rows = matrix_.rows();
+  cp.cols = matrix_.cols();
+  cp.config_fingerprint =
+      FingerprintConfig(config_, cp.rows, cp.cols, k_);
+  cp.matrix_fingerprint = FingerprintMatrix(matrix_);
+  cp.state = static_cast<uint32_t>(state_);
+  cp.round = round_;
+  cp.move_iteration = move_iteration_;
+  cp.total_iterations = result_.iterations;
+  cp.seeds_compliant = seeds_compliant_ ? 1 : 0;
+  cp.pending_restore = pending_restore_ ? 1 : 0;
+  cp.best_average = best_average_;
+  cp.prior_elapsed_seconds = ElapsedSeconds();
+  cp.seeding_seconds = seeding_seconds_;
+  {
+    std::ostringstream os;
+    os << rng_.engine();
+    cp.rng_state = os.str();
+  }
+  cp.current.reserve(k_);
+  for (const ClusterWorkspace& v : views_) {
+    ViewState vs;
+    vs.members = MembersOf(v.cluster());
+    const ClusterStats& st = v.stats();
+    vs.row_sums.reserve(vs.members.rows.size());
+    vs.row_counts.reserve(vs.members.rows.size());
+    for (uint32_t i : vs.members.rows) {
+      vs.row_sums.push_back(st.RowSum(i));
+      vs.row_counts.push_back(st.RowCount(i));
+    }
+    vs.col_sums.reserve(vs.members.cols.size());
+    vs.col_counts.reserve(vs.members.cols.size());
+    for (uint32_t j : vs.members.cols) {
+      vs.col_sums.push_back(st.ColSum(j));
+      vs.col_counts.push_back(st.ColCount(j));
+    }
+    vs.total = st.Total();
+    vs.volume = st.Volume();
+    cp.current.push_back(std::move(vs));
+  }
+  cp.best.reserve(best_clusters_.size());
+  for (const Cluster& c : best_clusters_) cp.best.push_back(MembersOf(c));
+  cp.history = result_.history;
+  cp.stagnant.assign(stagnant_.begin(), stagnant_.end());
+  cp.saved.reserve(saved_.size());
+  for (const Cluster& c : saved_) cp.saved.push_back(MembersOf(c));
+  cp.saved_scores = saved_scores_;
+  cp.heat = heat_;
+  WriteSessionCheckpoint(cp, path);
+  SessionMetrics::Get().checkpoints_written->Inc();
+}
+
+FlocResult MiningSession::Finish() {
+  if (finished_) {
+    throw std::logic_error("MiningSession::Finish: session already finished");
+  }
+  finished_ = true;
+  if (k_ == 0) {
+    floc_->perf_accounting_.reset();
+    return FlocResult{};
+  }
+
+  result_.clusters = std::move(best_clusters_);
+  result_.residues.resize(k_);
+  double sum = 0.0;
+  for (size_t c = 0; c < k_; ++c) {
+    ClusterView v(matrix_, result_.clusters[c]);
+    result_.residues[c] = engine_.Residue(v);
+    sum += result_.residues[c];
+  }
+  result_.average_residue = sum / static_cast<double>(k_);
+  result_.elapsed_seconds = ElapsedSeconds();
+
+  {
+    const FlocMetrics& m = FlocMetrics::Get();
+    m.runs->Inc();
+    m.last_average_residue->Set(result_.average_residue);
+  }
+  collector_.run().num_clusters = k_;
+  collector_.run().iterations = result_.iterations;
+  collector_.run().seeding_seconds = seeding_seconds_;
+  collector_.run().stopped_reason = StopReasonName(stop_reason_);
+  double cpu_seconds = stopwatch_.CpuSeconds();
+  result_.telemetry = collector_.Finish(result_.elapsed_seconds, cpu_seconds,
+                                        result_.average_residue);
+
+  // Phase walls come from the telemetry accumulators (which run at every
+  // level, including kOff); CPU attribution joins on the span names. The
+  // report total includes Phase-1 seeding (measured by StartSession
+  // outside this session's stopwatch) so phase shares are of the whole
+  // run.
+  const obs::RunTelemetry& tel = result_.telemetry;
+  result_.perf = floc_->perf_accounting_->Finish(
+      "floc", result_.elapsed_seconds + tel.seeding_seconds, cpu_seconds,
+      result_.iterations,
+      {{"seeding", tel.seeding_seconds},
+       {"move_phase", tel.move_phase_seconds},
+       {"determine", tel.determine_seconds},
+       {"apply", tel.apply_seconds},
+       {"refine", tel.refine_seconds},
+       {"reseed", tel.reseed_seconds}},
+      {"floc/phase1_seeding", "floc/move_phase", "floc/determine_actions",
+       "floc/apply_actions", "floc/refine", "floc/reseed_round"});
+  result_.perf.stopped_reason = tel.stopped_reason;
+  floc_->perf_accounting_.reset();
+  return std::move(result_);
+}
+
+}  // namespace deltaclus::session

@@ -69,8 +69,12 @@ class Rng {
   /// experiment repetition its own stream.
   Rng Fork();
 
-  /// Access to the raw engine for std distributions not wrapped here.
+  /// Access to the raw engine for std distributions not wrapped here,
+  /// and for exact-state serialization (the standard guarantees the
+  /// textual stream form round-trips the engine state bit-exactly --
+  /// MiningSession checkpoints lean on this).
   std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
 
  private:
   std::mt19937_64 engine_;

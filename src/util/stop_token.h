@@ -1,0 +1,46 @@
+// StopToken: a cooperative, one-way cancellation flag.
+//
+// A long-running mining session polls the token at *deterministic*
+// points only -- engine shard-claim boundaries (src/engine/thread_pool)
+// and session Step() boundaries (src/session/mining_session.h) -- and
+// any unit of work that started before the flag flipped either runs to
+// completion or is discarded wholesale. Cancellation therefore never
+// perturbs results that complete: a sweep is either present in full,
+// bit-identical to the uncancelled run, or absent entirely.
+//
+// The flag is one-way: there is no reset. A caller that wants to mine
+// again after cancelling supplies a fresh token.
+#ifndef DELTACLUS_UTIL_STOP_TOKEN_H_
+#define DELTACLUS_UTIL_STOP_TOKEN_H_
+
+#include <atomic>
+
+namespace deltaclus {
+
+class StopToken {
+ public:
+  StopToken() = default;
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  /// Requests cancellation. Safe to call from any thread, repeatedly.
+  void RequestStop() { stopped_.store(true, std::memory_order_relaxed); }
+
+  /// True once RequestStop() has been called.
+  bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // DC_LOCK_FREE: a monotone one-way flag with relaxed ordering. The
+  // flag carries no data: observers use it only to stop *claiming* new
+  // work at shard boundaries, and everything a completed shard wrote is
+  // published by the pool's join-side mutex acquire, never by this
+  // atomic. Observing the flip late only means one more shard runs --
+  // which is always safe, because completed work is deterministic.
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_UTIL_STOP_TOKEN_H_

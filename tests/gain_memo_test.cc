@@ -54,22 +54,70 @@ TEST(GainMemoTest, SlotsAreEntityMajorAndZeroInitialized) {
   EXPECT_FALSE(memo.configured());
   memo.Configure(/*rows=*/3, /*cols=*/2, /*clusters=*/4);
   EXPECT_TRUE(memo.configured());
+  // Unbounded: every cluster resident.
+  EXPECT_EQ(memo.resident_clusters(), 4u);
   // Every slot starts at epoch 0, which can never match a live workspace
   // epoch (NextMembershipEpoch starts at 1).
-  EXPECT_EQ(memo.Slot(true, 0, 0).epoch, 0u);
-  EXPECT_EQ(memo.Slot(false, 1, 3).epoch, 0u);
+  EXPECT_EQ(memo.Slot(true, 0, 0)->epoch, 0u);
+  EXPECT_EQ(memo.Slot(false, 1, 3)->epoch, 0u);
 
   // Distinct (entity, cluster) pairs get distinct slots: stamping one
   // leaves the others untouched.
-  memo.Slot(true, 2, 1).epoch = 42;
-  memo.Slot(false, 0, 1).epoch = 43;  // col 0 = entity rows + 0
-  EXPECT_EQ(memo.Slot(true, 2, 1).epoch, 42u);
-  EXPECT_EQ(memo.Slot(false, 0, 1).epoch, 43u);
-  EXPECT_EQ(memo.Slot(true, 2, 0).epoch, 0u);
-  EXPECT_EQ(memo.Slot(true, 0, 1).epoch, 0u);
+  memo.Slot(true, 2, 1)->epoch = 42;
+  memo.Slot(false, 0, 1)->epoch = 43;  // col 0 = entity rows + 0
+  EXPECT_EQ(memo.Slot(true, 2, 1)->epoch, 42u);
+  EXPECT_EQ(memo.Slot(false, 0, 1)->epoch, 43u);
+  EXPECT_EQ(memo.Slot(true, 2, 0)->epoch, 0u);
+  EXPECT_EQ(memo.Slot(true, 0, 1)->epoch, 0u);
 
   memo.Clear();
-  EXPECT_EQ(memo.Slot(true, 2, 1).epoch, 0u);
+  EXPECT_EQ(memo.Slot(true, 2, 1)->epoch, 0u);
+}
+
+TEST(GainMemoTest, ByteBudgetLimitsResidencyAndRebalanceFollowsHeat) {
+  GainMemo memo;
+  // 3 + 2 = 5 entities; a stripe is 5 * sizeof(Entry) bytes. Budget two
+  // stripes exactly: clusters 0 and 1 resident, 2 and 3 not.
+  size_t stripe = 5 * sizeof(GainMemo::Entry);
+  memo.Configure(/*rows=*/3, /*cols=*/2, /*clusters=*/4,
+                 /*budget_bytes=*/2 * stripe);
+  EXPECT_EQ(memo.resident_clusters(), 2u);
+  EXPECT_LE(memo.bytes(), memo.budget_bytes());
+  ASSERT_NE(memo.Slot(true, 0, 0), nullptr);
+  ASSERT_NE(memo.Slot(true, 0, 1), nullptr);
+  EXPECT_EQ(memo.Slot(true, 0, 2), nullptr);
+  EXPECT_EQ(memo.Slot(true, 0, 3), nullptr);
+
+  memo.Slot(true, 0, 0)->epoch = 7;
+  memo.Slot(true, 0, 1)->epoch = 9;
+
+  // Cluster 1 ran hot (many mutations), cluster 3 stayed cool: the
+  // rebalance keeps the two coolest clusters {0, 3}, evicting 1 and
+  // admitting 3 into the freed slot with a cleared stripe. Cluster 0's
+  // stripe survives untouched.
+  memo.Rebalance({/*c0=*/1, /*c1=*/50, /*c2=*/20, /*c3=*/0});
+  EXPECT_EQ(memo.evictions(), 1u);
+  ASSERT_NE(memo.Slot(true, 0, 0), nullptr);
+  EXPECT_EQ(memo.Slot(true, 0, 0)->epoch, 7u);
+  EXPECT_EQ(memo.Slot(true, 0, 1), nullptr);
+  ASSERT_NE(memo.Slot(true, 0, 3), nullptr);
+  EXPECT_EQ(memo.Slot(true, 0, 3)->epoch, 0u);
+  EXPECT_LE(memo.bytes(), memo.budget_bytes());
+
+  // A no-change rebalance (same resident set wins) evicts nothing.
+  memo.Rebalance({0, 50, 20, 1});
+  EXPECT_EQ(memo.evictions(), 1u);
+  EXPECT_EQ(memo.Slot(true, 0, 0)->epoch, 7u);
+}
+
+TEST(GainMemoTest, BudgetTooSmallForOneStripeDisablesTheTable) {
+  GainMemo memo;
+  memo.Configure(/*rows=*/3, /*cols=*/2, /*clusters=*/4, /*budget_bytes=*/1);
+  EXPECT_EQ(memo.resident_clusters(), 0u);
+  EXPECT_FALSE(memo.configured());
+  EXPECT_EQ(memo.Slot(true, 0, 0), nullptr);
+  EXPECT_EQ(memo.bytes(), 0u);
+  memo.Rebalance({0, 0, 0, 0});  // No-op; must not crash.
 }
 
 TEST(GainMemoTest, WorkspaceEpochAdvancesOnEveryMutation) {

@@ -1,0 +1,729 @@
+// Session-layer tests: the determinism gate of the MiningSession
+// refactor (DESIGN.md "The session layer").
+//
+// The contract under test:
+//   * Floc::Run and a manually stepped session are the same machine, so
+//     a session checkpointed at *any* Step() boundary and resumed in a
+//     fresh process-worth of state finishes byte-identical to the
+//     uninterrupted run -- across thread counts, dense/sparse data,
+//     memoization on/off, and mem/mmap backends;
+//   * budget stops (deadline, iteration cap, cooperative cancellation)
+//     return a valid best-so-far clustering with stopped_reason set in
+//     the telemetry and the perf report, and stopped sessions keep
+//     their machine position so checkpoint+resume continues exactly
+//     where the budget cut in;
+//   * a size-budgeted gain memo never exceeds its byte budget (audit
+//     mode DC_CHECKs it) and eviction never changes mined results;
+//   * every corrupted, truncated, or mismatched .dcs checkpoint is
+//     rejected with an exception naming the defect (mirroring the .dcm
+//     rejection suite in tests/storage_test.cc);
+//   * RunWithSeeds warns (stderr + floc.constraints.disabled counter)
+//     when caller seeds silently disable constraint enforcement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/core/data_matrix.h"
+#include "src/core/floc.h"
+#include "src/data/cluster_io.h"
+#include "src/data/matrix_io.h"
+#include "src/data/synthetic.h"
+#include "src/obs/metrics.h"
+#include "src/session/mining_session.h"
+#include "src/session/session_format.h"
+#include "src/util/stop_token.h"
+
+namespace deltaclus {
+namespace {
+
+using session::MiningSession;
+using session::ReadSessionCheckpoint;
+using session::SessionCheckpoint;
+using session::SessionState;
+using session::SessionStatus;
+using session::StopReason;
+using session::WriteSessionCheckpoint;
+
+// Per-process unique paths: ctest runs each gtest case as its own
+// process, and the SessionRejectTest fixture writes the same fixture
+// checkpoint in every one of them -- without the pid prefix, parallel
+// test processes race on /tmp/session_valid.dcs (the atomic-rename
+// discipline shares the .tmp name too, so concurrent writers tear it).
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
+}
+
+SyntheticDataset MakeData(uint64_t seed, double missing_fraction) {
+  SyntheticConfig config;
+  config.rows = 60;
+  config.cols = 24;
+  config.num_clusters = 3;
+  config.volume_mean = 60;
+  config.col_fraction = 0.25;
+  config.noise_stddev = 0.5;
+  config.missing_fraction = missing_fraction;
+  config.seed = seed;
+  return GenerateSynthetic(config);
+}
+
+FlocConfig MakeConfig() {
+  FlocConfig config;
+  config.num_clusters = 3;
+  config.rng_seed = 11;
+  config.target_residue = 1.0;
+  config.reseed_rounds = 2;
+  return config;
+}
+
+/// Serializes a clustering to its canonical text form -- the unit of
+/// "byte-identical output".
+std::string ClustersAsText(const std::vector<Cluster>& clusters) {
+  std::ostringstream os;
+  WriteClusters(clusters, os);
+  return os.str();
+}
+
+/// Exact-equality comparison of two mining results: same clusters, same
+/// iteration count, and bit-equal residues (both sides ran the same
+/// arithmetic over the same bits, so == is the right operator).
+void ExpectSameResult(const FlocResult& expected, const FlocResult& actual,
+                      const std::string& label) {
+  EXPECT_EQ(ClustersAsText(expected.clusters), ClustersAsText(actual.clusters))
+      << label;
+  EXPECT_EQ(expected.iterations, actual.iterations) << label;
+  EXPECT_EQ(expected.average_residue, actual.average_residue) << label;
+  ASSERT_EQ(expected.residues.size(), actual.residues.size()) << label;
+  for (size_t c = 0; c < expected.residues.size(); ++c) {
+    EXPECT_EQ(expected.residues[c], actual.residues[c]) << label << " [" << c
+                                                        << "]";
+  }
+}
+
+/// Steps a fresh session `stop_after` times, checkpoints, resumes in a
+/// separate Floc, and finishes. Returns true and stores the result if
+/// the run still had work at that boundary; false once `stop_after`
+/// exceeds the run's total step count.
+bool CheckpointAtBoundary(const FlocConfig& config, const DataMatrix& matrix,
+                          size_t stop_after, const std::string& path,
+                          const FlocConfig& resume_config,
+                          const DataMatrix& resume_matrix,
+                          FlocResult* result) {
+  Floc floc(config);
+  std::unique_ptr<MiningSession> first = floc.StartSession(matrix);
+  size_t steps = 0;
+  bool more = true;
+  while (steps < stop_after && (more = first->Step())) ++steps;
+  if (!more) return false;  // The run ended before this boundary.
+  first->Checkpoint(path);
+
+  Floc fresh(resume_config);
+  std::unique_ptr<MiningSession> second =
+      fresh.ResumeSession(resume_matrix, path);
+  while (second->Step()) {
+  }
+  *result = second->Finish();
+  return true;
+}
+
+// -- Checkpoint/resume determinism -----------------------------------
+
+// The core gate: a checkpoint taken at *every* step boundary of a run
+// resumes to a byte-identical finish. This sweeps through move-phase,
+// refine, and reseed-check boundaries without needing to aim at them.
+TEST(SessionTest, CheckpointAtEveryBoundaryResumesIdentically) {
+  SyntheticDataset data = MakeData(7, 0.0);
+  FlocConfig config = MakeConfig();
+  config.threads = 2;
+  FlocResult reference = Floc(config).Run(data.matrix);
+
+  std::string path = TempPath("session_boundary.dcs");
+  for (size_t boundary = 0;; ++boundary) {
+    FlocResult resumed;
+    if (!CheckpointAtBoundary(config, data.matrix, boundary, path, config,
+                              data.matrix, &resumed)) {
+      EXPECT_GT(boundary, 4u) << "run ended suspiciously early";
+      break;
+    }
+    ExpectSameResult(reference, resumed,
+                     "boundary " + std::to_string(boundary));
+  }
+}
+
+// The full configuration sweep the issue demands: stop at iteration k
+// via the budget machinery, resume under different thread counts and
+// memoization settings, dense and sparse data. All must reproduce the
+// single-threaded uninterrupted run exactly.
+TEST(SessionTest, StopResumeMatrixOfConfigs) {
+  for (double missing : {0.0, 0.3}) {
+    SyntheticDataset data = MakeData(13, missing);
+    FlocConfig base = MakeConfig();
+    FlocResult reference = Floc(base).Run(data.matrix);
+
+    struct Case {
+      int stop_threads;
+      int resume_threads;
+      bool memoize;
+      size_t cap;
+    };
+    const Case cases[] = {
+        {1, 8, true, 1}, {2, 1, false, 1}, {8, 2, true, 3},
+        {1, 2, false, 3}, {8, 1, true, 2}, {2, 8, false, 2},
+    };
+    for (const Case& c : cases) {
+      std::string label = "missing=" + std::to_string(missing) + " threads=" +
+                          std::to_string(c.stop_threads) + "->" +
+                          std::to_string(c.resume_threads) +
+                          " memoize=" + std::to_string(c.memoize) +
+                          " cap=" + std::to_string(c.cap);
+      std::string path = TempPath("session_sweep.dcs");
+
+      FlocConfig stop_config = base;
+      stop_config.threads = c.stop_threads;
+      stop_config.memoize_gains = c.memoize;
+      stop_config.max_total_iterations = c.cap;
+      Floc stopper(stop_config);
+      std::unique_ptr<MiningSession> first =
+          stopper.StartSession(data.matrix);
+      while (first->Step()) {
+      }
+      if (first->stop_reason() != StopReason::kIterationCap) {
+        // The run converged before the cap could bind at a move-phase
+        // boundary (the cap only stops *upcoming* move iterations); it
+        // must then simply be the uninterrupted result. The cap=1
+        // cases always bind, so the resume path below is exercised.
+        EXPECT_TRUE(first->done()) << label;
+        ExpectSameResult(reference, first->Finish(), label);
+        continue;
+      }
+      ASSERT_FALSE(first->done()) << label;
+      first->Checkpoint(path);
+
+      FlocConfig resume_config = base;
+      resume_config.threads = c.resume_threads;
+      resume_config.memoize_gains = !c.memoize;  // Budgets/caches may change.
+      Floc resumer(resume_config);
+      std::unique_ptr<MiningSession> second =
+          resumer.ResumeSession(data.matrix, path);
+      while (second->Step()) {
+      }
+      ExpectSameResult(reference, second->Finish(), label);
+    }
+  }
+}
+
+// A checkpoint written against the in-memory backend resumes against an
+// mmap-backed view of the same data (and vice versa would too): the
+// matrix fingerprint digests contents, not the backend.
+TEST(SessionTest, ResumeAcrossStorageBackends) {
+  SyntheticDataset data = MakeData(21, 0.2);
+  std::string dcm_path = TempPath("session_backend.dcm");
+  WriteDcmFile(data.matrix, dcm_path);
+  DataMatrix mapped = ReadMatrixFile(dcm_path, MatrixBackend::kMmap);
+
+  FlocConfig config = MakeConfig();
+  FlocResult reference = Floc(config).Run(data.matrix);
+
+  FlocConfig capped = config;
+  capped.max_total_iterations = 2;
+  std::string path = TempPath("session_backend.dcs");
+  Floc stopper(capped);
+  std::unique_ptr<MiningSession> first = stopper.StartSession(data.matrix);
+  while (first->Step()) {
+  }
+  ASSERT_EQ(first->stop_reason(), StopReason::kIterationCap);
+  first->Checkpoint(path);
+
+  Floc resumer(config);
+  std::unique_ptr<MiningSession> second = resumer.ResumeSession(mapped, path);
+  while (second->Step()) {
+  }
+  ExpectSameResult(reference, second->Finish(), "mem->mmap resume");
+}
+
+// -- Budget stops ------------------------------------------------------
+
+TEST(SessionTest, IterationCapStopsWithValidBestSoFar) {
+  SyntheticDataset data = MakeData(5, 0.0);
+  FlocConfig config = MakeConfig();
+  config.max_total_iterations = 1;
+  Floc floc(config);
+  std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+  while (session->Step()) {
+  }
+  EXPECT_EQ(session->stop_reason(), StopReason::kIterationCap);
+  EXPECT_FALSE(session->done());
+  // A stopped session stays stopped.
+  EXPECT_FALSE(session->Step());
+
+  FlocResult result = session->Finish();
+  EXPECT_EQ(result.iterations, 1u);
+  EXPECT_EQ(result.clusters.size(), config.num_clusters);
+  EXPECT_EQ(result.telemetry.stopped_reason, "iteration_cap");
+  EXPECT_EQ(result.perf.stopped_reason, "iteration_cap");
+  for (const Cluster& c : result.clusters) {
+    EXPECT_FALSE(c.row_ids().empty());
+    EXPECT_FALSE(c.col_ids().empty());
+  }
+}
+
+TEST(SessionTest, DeadlineStopsImmediately) {
+  SyntheticDataset data = MakeData(5, 0.0);
+  FlocConfig config = MakeConfig();
+  config.deadline_seconds = 1e-12;  // Already expired at the first step.
+  Floc floc(config);
+  std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+  EXPECT_FALSE(session->Step());
+  EXPECT_EQ(session->stop_reason(), StopReason::kDeadline);
+  FlocResult result = session->Finish();
+  EXPECT_EQ(result.telemetry.stopped_reason, "deadline");
+  // Zero iterations ran, but the seeds are still a valid clustering.
+  EXPECT_EQ(result.clusters.size(), config.num_clusters);
+}
+
+TEST(SessionTest, PreCancelledTokenStopsBeforeAnyWork) {
+  SyntheticDataset data = MakeData(5, 0.0);
+  StopToken token;
+  token.RequestStop();
+  FlocConfig config = MakeConfig();
+  config.stop = &token;
+  Floc floc(config);
+  std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+  EXPECT_FALSE(session->Step());
+  EXPECT_EQ(session->stop_reason(), StopReason::kCancelled);
+  FlocResult result = session->Finish();
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.telemetry.stopped_reason, "cancelled");
+}
+
+// Fires cancellation from another thread mid-run. Wherever it lands --
+// between steps or inside a parallel sweep (then the sweep is discarded
+// wholesale) -- the checkpointed session must resume to the exact
+// uninterrupted result; if the run wins the race, the result already is
+// it. Either way the determinism claim is exercised.
+TEST(SessionTest, AsynchronousCancelResumesIdentically) {
+  SyntheticDataset data = MakeData(29, 0.3);
+  FlocConfig config = MakeConfig();
+  FlocResult reference = Floc(config).Run(data.matrix);
+
+  StopToken token;
+  FlocConfig cancellable = MakeConfig();
+  cancellable.stop = &token;
+  cancellable.threads = 4;
+  Floc floc(cancellable);
+  std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+  std::thread firer([&token] {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    token.RequestStop();
+  });
+  while (session->Step()) {
+  }
+  firer.join();
+
+  if (session->stop_reason() == StopReason::kCancelled) {
+    std::string path = TempPath("session_cancel.dcs");
+    session->Checkpoint(path);
+    Floc resumer(MakeConfig());
+    std::unique_ptr<MiningSession> resumed =
+        resumer.ResumeSession(data.matrix, path);
+    while (resumed->Step()) {
+    }
+    ExpectSameResult(reference, resumed->Finish(), "post-cancel resume");
+  } else {
+    ExpectSameResult(reference, session->Finish(), "cancel lost the race");
+  }
+}
+
+// -- Memo budget -------------------------------------------------------
+
+TEST(SessionTest, MemoBudgetNeverChangesResultsAndStaysUnderBudget) {
+  SyntheticDataset data = MakeData(17, 0.2);
+  FlocConfig config = MakeConfig();
+  FlocResult reference = Floc(config).Run(data.matrix);
+
+  // First discover the unbounded working-set size.
+  uint64_t full_bytes = 0;
+  {
+    Floc floc(config);
+    std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+    while (session->Step()) {
+      full_bytes = std::max(full_bytes, session->Status().memo_resident_bytes);
+    }
+    ExpectSameResult(reference, session->Finish(), "unbounded");
+  }
+  ASSERT_GT(full_bytes, 0u);
+
+  for (uint64_t budget : {full_bytes / 2, full_bytes / 10}) {
+    FlocConfig budgeted = config;
+    budgeted.memo_budget_bytes = budget;
+    budgeted.audit = true;  // DC_CHECKs the byte ledger every rebalance.
+    Floc floc(budgeted);
+    std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+    while (session->Step()) {
+      SessionStatus status = session->Status();
+      EXPECT_LE(status.memo_resident_bytes, budget);
+      EXPECT_EQ(status.memo_budget_bytes, budget);
+    }
+    ExpectSameResult(reference, session->Finish(),
+                     "budget=" + std::to_string(budget));
+  }
+}
+
+// -- SessionStatus -----------------------------------------------------
+
+TEST(SessionTest, StatusSnapshotsProgressAndSerializesAsJson) {
+  SyntheticDataset data = MakeData(5, 0.0);
+  FlocConfig config = MakeConfig();
+  Floc floc(config);
+  std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+
+  SessionStatus initial = session->Status();
+  EXPECT_EQ(initial.state, SessionState::kMovePhase);
+  EXPECT_EQ(initial.iterations, 0u);
+  EXPECT_FALSE(initial.done);
+  EXPECT_GT(initial.best_average_score, 0.0);
+
+  while (session->Step()) {
+  }
+  SessionStatus final_status = session->Status();
+  EXPECT_TRUE(final_status.done);
+  EXPECT_EQ(final_status.state, SessionState::kDone);
+  EXPECT_GT(final_status.iterations, 0u);
+
+  std::string json = final_status.Json();
+  EXPECT_NE(json.find("\"kind\":\"session_status\""), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":"), std::string::npos);
+  EXPECT_NE(json.find("\"memo_resident_bytes\":"), std::string::npos);
+  session->Finish();
+}
+
+TEST(SessionTest, FinishedSessionRefusesFurtherUse) {
+  SyntheticDataset data = MakeData(5, 0.0);
+  Floc floc(MakeConfig());
+  std::unique_ptr<MiningSession> session = floc.StartSession(data.matrix);
+  while (session->Step()) {
+  }
+  session->Finish();
+  EXPECT_THROW(session->Finish(), std::logic_error);
+  EXPECT_THROW(session->Checkpoint(TempPath("after_finish.dcs")),
+               std::logic_error);
+  EXPECT_FALSE(session->Step());
+}
+
+// -- Checkpoint rejection suite ---------------------------------------
+
+std::vector<char> ReadAllBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void WriteAllBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Writes a valid mid-run checkpoint (and its source data) once per
+/// suite; every rejection case corrupts a copy of these bytes.
+class SessionRejectTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new SyntheticDataset(MakeData(7, 0.1));
+    valid_path_ = new std::string(TempPath("session_valid.dcs"));
+    FlocConfig config = MakeConfig();
+    Floc floc(config);
+    std::unique_ptr<MiningSession> session = floc.StartSession(data_->matrix);
+    ASSERT_TRUE(session->Step());
+    ASSERT_TRUE(session->Step());
+    session->Checkpoint(*valid_path_);
+    session->Finish();
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+    delete valid_path_;
+    valid_path_ = nullptr;
+  }
+
+  /// Asserts that decoding `path` throws a runtime_error naming both
+  /// the origin and the expected defect.
+  static void ExpectRejects(const std::string& path,
+                            const std::string& defect) {
+    try {
+      ReadSessionCheckpoint(path, path);
+      FAIL() << "expected rejection naming '" << defect << "' for " << path;
+    } catch (const std::runtime_error& e) {
+      std::string what = e.what();
+      EXPECT_NE(what.find(path), std::string::npos) << what;
+      EXPECT_NE(what.find(defect), std::string::npos) << what;
+    }
+  }
+
+  /// Decodes the valid checkpoint, applies `mutate`, re-encodes (with
+  /// fresh checksums, so the corruption reaches the structural
+  /// validator), and asserts the named rejection.
+  template <typename Fn>
+  static void ExpectStructuralReject(const std::string& name, Fn mutate,
+                                     const std::string& defect) {
+    SessionCheckpoint cp = ReadSessionCheckpoint(*valid_path_, *valid_path_);
+    mutate(&cp);
+    std::string path = TempPath(name);
+    WriteSessionCheckpoint(cp, path);
+    ExpectRejects(path, defect);
+  }
+
+  static SyntheticDataset* data_;
+  static std::string* valid_path_;
+};
+
+SyntheticDataset* SessionRejectTest::data_ = nullptr;
+std::string* SessionRejectTest::valid_path_ = nullptr;
+
+TEST_F(SessionRejectTest, ValidCheckpointRoundTrips) {
+  SessionCheckpoint cp = ReadSessionCheckpoint(*valid_path_, *valid_path_);
+  EXPECT_EQ(cp.rows, data_->matrix.rows());
+  EXPECT_EQ(cp.cols, data_->matrix.cols());
+  EXPECT_EQ(cp.current.size(), 3u);
+  EXPECT_TRUE(session::LooksLikeDcsFile(*valid_path_));
+}
+
+TEST_F(SessionRejectTest, TruncatedHeaderRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  bytes.resize(40);
+  std::string path = TempPath("session_trunc_header.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "truncated");
+}
+
+TEST_F(SessionRejectTest, BadMagicRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  bytes[0] = 'X';
+  std::string path = TempPath("session_bad_magic.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "bad magic");
+  EXPECT_FALSE(session::LooksLikeDcsFile(path));
+}
+
+TEST_F(SessionRejectTest, VersionMismatchRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  bytes[4] = 99;
+  std::string path = TempPath("session_bad_version.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "version mismatch");
+}
+
+TEST_F(SessionRejectTest, EndiannessMismatchRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  std::swap(bytes[8], bytes[11]);
+  std::string path = TempPath("session_bad_endian.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "endianness mismatch");
+}
+
+TEST_F(SessionRejectTest, CorruptHeaderFieldRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  bytes[17] ^= 0x5a;  // Rows field: caught by the header checksum.
+  std::string path = TempPath("session_bad_header.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "header checksum mismatch");
+}
+
+TEST_F(SessionRejectTest, CorruptPayloadRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  bytes[bytes.size() - 3] ^= 0x5a;
+  std::string path = TempPath("session_bad_payload.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "payload checksum mismatch");
+}
+
+TEST_F(SessionRejectTest, TruncatedPayloadRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  bytes.resize(bytes.size() - 10);
+  std::string path = TempPath("session_trunc_payload.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "truncated");
+}
+
+TEST_F(SessionRejectTest, TrailingBytesRejected) {
+  std::vector<char> bytes = ReadAllBytes(*valid_path_);
+  bytes.push_back('x');
+  std::string path = TempPath("session_trailing.dcs");
+  WriteAllBytes(path, bytes);
+  ExpectRejects(path, "truncated");
+}
+
+TEST_F(SessionRejectTest, MissingFileRejected) {
+  EXPECT_THROW(ReadSessionCheckpoint(TempPath("session_no_such_file.dcs"),
+                                     "origin"),
+               std::runtime_error);
+}
+
+TEST_F(SessionRejectTest, UnknownStateRejected) {
+  ExpectStructuralReject(
+      "session_bad_state.dcs", [](SessionCheckpoint* cp) { cp->state = 7; },
+      "unknown state-machine position");
+}
+
+TEST_F(SessionRejectTest, UnparseableRngRejected) {
+  ExpectStructuralReject(
+      "session_bad_rng.dcs",
+      [](SessionCheckpoint* cp) { cp->rng_state = "not an engine"; },
+      "unparseable RNG engine state");
+}
+
+TEST_F(SessionRejectTest, SaveSlotDisagreementRejected) {
+  ExpectStructuralReject(
+      "session_bad_slots.dcs",
+      [](SessionCheckpoint* cp) { cp->stagnant.push_back(0); },
+      "save-slot arrays disagree");
+}
+
+TEST_F(SessionRejectTest, PendingRestoreWithoutSlotsRejected) {
+  ExpectStructuralReject(
+      "session_bad_pending.dcs",
+      [](SessionCheckpoint* cp) { cp->pending_restore = 1; },
+      "pending restore with no reseeded slots");
+}
+
+TEST_F(SessionRejectTest, HeatLengthMismatchRejected) {
+  ExpectStructuralReject(
+      "session_bad_heat.dcs",
+      [](SessionCheckpoint* cp) { cp->heat.pop_back(); },
+      "heat array length");
+}
+
+TEST_F(SessionRejectTest, MemberIdOutOfBoundsRejected) {
+  ExpectStructuralReject(
+      "session_bad_id.dcs",
+      [](SessionCheckpoint* cp) {
+        cp->current[0].members.rows[0] =
+            static_cast<uint32_t>(cp->rows) + 5;
+      },
+      "out of bounds");
+}
+
+TEST_F(SessionRejectTest, StatsRowCountOverflowRejected) {
+  ExpectStructuralReject(
+      "session_bad_rowcount.dcs",
+      [](SessionCheckpoint* cp) { cp->current[0].row_counts[0] = 9999; },
+      "row count exceeds the member-column count");
+}
+
+TEST_F(SessionRejectTest, StatsVolumeDisagreementRejected) {
+  ExpectStructuralReject(
+      "session_bad_volume.dcs",
+      [](SessionCheckpoint* cp) { cp->current[0].volume += 1; },
+      "volume disagrees");
+}
+
+// -- Resume binding checks --------------------------------------------
+
+TEST_F(SessionRejectTest, ResumeRejectsShapeMismatch) {
+  SyntheticConfig sc;
+  sc.rows = 61;  // One row off.
+  sc.cols = 24;
+  sc.num_clusters = 3;
+  sc.seed = 7;
+  DataMatrix other = GenerateSynthetic(sc).matrix;
+  Floc floc(MakeConfig());
+  try {
+    floc.ResumeSession(other, *valid_path_);
+    FAIL() << "expected shape-mismatch rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("matrix shape mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SessionRejectTest, ResumeRejectsMatrixContentMismatch) {
+  // Same shape, different data: only the content fingerprint can tell.
+  DataMatrix other = MakeData(8, 0.1).matrix;
+  Floc floc(MakeConfig());
+  try {
+    floc.ResumeSession(other, *valid_path_);
+    FAIL() << "expected content-mismatch rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("matrix content mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SessionRejectTest, ResumeRejectsConfigFingerprintMismatch) {
+  FlocConfig other = MakeConfig();
+  other.rng_seed = 999;  // Result-affecting: fingerprint differs.
+  Floc floc(other);
+  try {
+    floc.ResumeSession(data_->matrix, *valid_path_);
+    FAIL() << "expected config-mismatch rejection";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("config fingerprint mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SessionRejectTest, ResumeAcceptsResultNeutralConfigChanges) {
+  // Threads, budgets, audit, telemetry may all change across a resume.
+  FlocConfig other = MakeConfig();
+  other.threads = 8;
+  other.audit = true;
+  other.deadline_seconds = 3600.0;
+  other.memo_budget_bytes = 1 << 20;
+  Floc floc(other);
+  std::unique_ptr<MiningSession> session =
+      floc.ResumeSession(data_->matrix, *valid_path_);
+  while (session->Step()) {
+  }
+  FlocResult resumed = session->Finish();
+  ExpectSameResult(Floc(MakeConfig()).Run(data_->matrix), resumed,
+                   "result-neutral config changes");
+}
+
+// -- RunWithSeeds compliance warning (satellite bugfix) ---------------
+
+TEST(SessionTest, NonCompliantSeedsWarnAndCount) {
+  SyntheticDataset data = MakeData(31, 0.5);
+  FlocConfig config = MakeConfig();
+  config.num_clusters = 1;
+  config.constraints.alpha = 0.99;  // Half-missing data cannot satisfy it.
+
+  std::vector<size_t> rows(20), cols(10);
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  for (size_t j = 0; j < cols.size(); ++j) cols[j] = j;
+  std::vector<Cluster> seeds = {Cluster::FromMembers(
+      data.matrix.rows(), data.matrix.cols(), rows, cols)};
+
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::Counter* disabled =
+      obs::MetricsRegistry::Global().GetCounter("floc.constraints.disabled");
+  uint64_t before = disabled->Value();
+
+  testing::internal::CaptureStderr();
+  FlocResult result = Floc(config).RunWithSeeds(data.matrix, seeds);
+  std::string warning = testing::internal::GetCapturedStderr();
+  obs::MetricsRegistry::SetEnabled(false);
+
+  EXPECT_EQ(disabled->Value(), before + 1);
+  EXPECT_NE(warning.find("violate the alpha-occupancy constraint"),
+            std::string::npos)
+      << warning;
+  EXPECT_EQ(result.clusters.size(), 1u);
+}
+
+}  // namespace
+}  // namespace deltaclus

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """dcstat: aggregate, diff, and render deltaclus telemetry artifacts.
 
-One tool for the four JSON shapes the observability stack emits
+One tool for the five JSON shapes the observability stack emits
 (docs/OBSERVABILITY.md):
 
   bench records   BENCH_<name>.json from bench/ drivers
   perf reports    --perf-report=PATH from the CLI (scripts/perf_report_schema.json)
   telemetry JSONL --telemetry-out streams ({"event": ...} per line)
   Chrome traces   --trace-out files ({"traceEvents": [...]})
+  session status  --session-status=PATH from the CLI ("kind": "session_status")
 
 Subcommands:
 
@@ -56,8 +57,8 @@ _MEASUREMENT_KEYS = frozenset({
 
 def load_artifact(path):
     """Returns (kind, payload) where kind is one of bench / perf_report /
-    metrics / trace / telemetry. Telemetry payloads are lists of events;
-    everything else is the parsed JSON object."""
+    metrics / trace / telemetry / session_status. Telemetry payloads are
+    lists of events; everything else is the parsed JSON object."""
     with open(path) as f:
         text = f.read()
     stripped = text.lstrip()
@@ -77,6 +78,8 @@ def load_artifact(path):
                 raise ValueError(f"{path}:{lineno}: not JSON or JSONL: {err}")
         return "telemetry", events
     if isinstance(doc, dict):
+        if doc.get("kind") == "session_status":
+            return "session_status", doc
         if "traceEvents" in doc:
             return "trace", doc
         if "phases" in doc and "algorithm" in doc:
@@ -183,6 +186,19 @@ def summarize(path):
                         "quantile_histograms"):
             if doc.get(section):
                 print(f"  {section}: {len(doc[section])}")
+    elif kind == "session_status":
+        stopped = doc.get("stopped_reason") or "none"
+        print(f"  state={doc.get('state')} round={doc.get('round', 0)} "
+              f"iterations={doc.get('iterations', 0)} "
+              f"stopped={stopped} done={doc.get('done')}")
+        print(f"  best_average_score={doc.get('best_average_score', 0.0):.4g} "
+              f"elapsed={doc.get('elapsed_seconds', 0.0):.4g}s")
+        budget = doc.get("memo_budget_bytes", 0)
+        budget_text = f"{budget}B" if budget else "unbounded"
+        print(f"  memo: resident={doc.get('memo_resident_bytes', 0)}B "
+              f"budget={budget_text} "
+              f"evictions={doc.get('memo_evictions', 0)}; "
+              f"panes={doc.get('pane_bytes', 0)}B")
     return 0
 
 

@@ -260,6 +260,41 @@ class SummaryTest(unittest.TestCase):
                      "metrics"):
             self.assertIn(kind, stdout)
 
+    def test_session_status_digest(self):
+        # The exact document shape the CLI's --session-status flag
+        # writes (SessionStatus::WriteJson in src/session).
+        status = {
+            "kind": "session_status", "state": "move_phase",
+            "stopped_reason": "iteration_cap", "round": 1,
+            "iterations": 7, "best_average_score": 2.5,
+            "memo_resident_bytes": 9200, "memo_budget_bytes": 16384,
+            "memo_evictions": 3, "pane_bytes": 1422,
+            "elapsed_seconds": 0.25, "done": False,
+        }
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_json(tmp, "status.json", status)
+            rc, stdout, _ = run_dcstat("summary", path)
+        self.assertEqual(rc, 0, stdout)
+        self.assertIn("session_status", stdout)
+        self.assertIn("state=move_phase", stdout)
+        self.assertIn("stopped=iteration_cap", stdout)
+        self.assertIn("iterations=7", stdout)
+        self.assertIn("budget=16384B", stdout)
+        self.assertIn("evictions=3", stdout)
+
+    def test_session_status_unbounded_budget(self):
+        status = {"kind": "session_status", "state": "done",
+                  "stopped_reason": "", "round": 2, "iterations": 12,
+                  "best_average_score": 0.6, "memo_resident_bytes": 9200,
+                  "memo_budget_bytes": 0, "memo_evictions": 0,
+                  "pane_bytes": 1422, "elapsed_seconds": 1.5, "done": True}
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_json(tmp, "status.json", status)
+            rc, stdout, _ = run_dcstat("summary", path)
+        self.assertEqual(rc, 0, stdout)
+        self.assertIn("stopped=none", stdout)
+        self.assertIn("budget=unbounded", stdout)
+
     def test_unrecognized_file_is_an_error(self):
         with tempfile.TemporaryDirectory() as tmp:
             path = os.path.join(tmp, "junk.txt")

@@ -45,13 +45,14 @@ import sys
 REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), "..", ".."))
 
 # Directory groups used by rule scopes. "Result-affecting" is the code
-# whose behavior reaches mined clusters: the core algorithm and the
-# execution engine. src/obs and bench/ are observability -- they may
-# read clocks, but nothing they compute flows back into results.
-RESULT_AFFECTING = ("src/core", "src/engine")
+# whose behavior reaches mined clusters: the core algorithm, the
+# execution engine, and the session layer that drives them. src/obs and
+# bench/ are observability -- they may read clocks, but nothing they
+# compute flows back into results.
+RESULT_AFFECTING = ("src/core", "src/engine", "src/session")
 ALL_SRC = ("src",)
 SRC_AND_TOOLS = ("src", "tools")
-CONCURRENT_SUBSYSTEMS = ("src/core", "src/engine", "src/obs")
+CONCURRENT_SUBSYSTEMS = ("src/core", "src/engine", "src/obs", "src/session")
 
 # Each rule: name, scope (path prefixes it applies to), exclude (path
 # prefixes exempt within the scope), trigger (compiled regex, matched
@@ -201,6 +202,35 @@ RULES = [
             "src/util is the leaf layer everything else may include; a "
             "util header including core/engine/obs creates cycles and "
             "drags algorithm types into every translation unit.",
+    },
+    {
+        "name": "layer-session-private",
+        "match_raw": True,
+        "scope": SRC_AND_TOOLS,
+        "exclude": ("src/session", "src/cli"),
+        "trigger": re.compile(r'#\s*include\s+"src/session/'),
+        "rationale":
+            "The session layer sits *above* the algorithm layers: "
+            "src/session drives core/engine, never the reverse, and "
+            "only the CLI adapter consumes sessions directly. Core "
+            "code that needs session types forward-declares them (see "
+            "src/core/floc.h); anything more couples the algorithm to "
+            "checkpoint/driver concerns (DESIGN.md, \"The session "
+            "layer\").",
+    },
+    {
+        "name": "layer-session-format-internal",
+        "match_raw": True,
+        "scope": SRC_AND_TOOLS,
+        "exclude": ("src/session",),
+        "trigger": re.compile(
+            r'#\s*include\s+"src/session/session_format\.h"'),
+        "rationale":
+            "The .dcs wire format is a private detail of src/session: "
+            "every other layer -- the CLI included -- goes through "
+            "MiningSession::Checkpoint and Floc::ResumeSession, so the "
+            "on-disk layout can evolve behind the versioned header "
+            "without rippling through consumers.",
     },
     {
         "name": "raw-mutex",

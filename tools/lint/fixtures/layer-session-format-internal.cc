@@ -1,0 +1,7 @@
+// dclint-as: src/cli/fixture.cc
+// Fixture: must trigger exactly dclint rule `layer-session-format-internal`.
+// The CLI may drive sessions (mining_session.h) but never the wire
+// format header itself.
+#include "src/session/session_format.h"
+
+namespace deltaclus {}

@@ -1,0 +1,5 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `layer-session-private`.
+#include "src/session/mining_session.h"
+
+namespace deltaclus {}
