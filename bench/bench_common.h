@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/simd_dispatch.h"
 #include "src/obs/clock.h"
 #include "src/obs/json.h"
 
@@ -119,6 +120,11 @@ class BenchReport {
     w.Key("git_sha").String(GitSha());
     w.Key("quick").Bool(quick_);
     w.Key("threads").Int(Threads());
+    // Machine identity for the kernel numbers: trajectory records are
+    // only comparable when the CPU features and the SIMD path that
+    // actually ran match.
+    w.Key("cpu_features").String(DetectedCpuFeatures());
+    w.Key("simd_path").String(ActiveSimdPath());
     std::time_t now = std::time(nullptr);
     w.Key("timestamp_unix").Int(static_cast<int64_t>(now));
     w.Key("timestamp_utc").String(FormatUtc(now));

@@ -162,6 +162,108 @@ void BM_GainEvalColToggleWideSparse(benchmark::State& state) {
 }
 BENCHMARK(BM_GainEvalColToggleWideSparse)->Unit(benchmark::kMicrosecond);
 
+// Applied-toggle twins: each iteration actually commits a membership
+// toggle (and reverts it, so the cluster shape is steady-state) before
+// re-evaluating a gain. This is the FLOC inner-loop sequence -- apply,
+// then re-probe -- so the pane maintenance cost sits on the measured
+// path: a workspace that patches pays one row splice / column shift,
+// while one that rebuilds pays the full O(|I| x |J|) gather per apply.
+void BM_GainApplyRowToggleTall(benchmark::State& state) {
+  SyntheticDataset data = MakeData(10000, 100);
+  ClusterWorkspace ws(data.matrix, MakeCluster(10000, 100, 600, 60));
+  ResidueEngine engine;
+  size_t row = 0;
+  for (auto _ : state) {
+    ws.ToggleRow(row);
+    benchmark::DoNotOptimize(engine.GainToggleRow(ws, row + 1));
+    ws.ToggleRow(row);
+    benchmark::DoNotOptimize(engine.GainToggleRow(ws, row + 1));
+    row = (row + 1) % 9000;
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_GainApplyRowToggleTall)->Unit(benchmark::kMicrosecond);
+
+void BM_GainApplyColToggleWide(benchmark::State& state) {
+  SyntheticDataset data = MakeData(100, 10000);
+  ClusterWorkspace ws(data.matrix, MakeCluster(100, 10000, 60, 600));
+  ResidueEngine engine;
+  size_t col = 0;
+  for (auto _ : state) {
+    ws.ToggleCol(col);
+    benchmark::DoNotOptimize(engine.GainToggleCol(ws, col + 1));
+    ws.ToggleCol(col);
+    benchmark::DoNotOptimize(engine.GainToggleCol(ws, col + 1));
+    col = (col + 1) % 9000;
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_GainApplyColToggleWide)->Unit(benchmark::kMicrosecond);
+
+// Incremental pane patching vs the full gather rebuild it replaces: the
+// identical single-toggle sequence, once with the pane kept fresh (each
+// toggle is an O(|J|) / O(|I|) in-place patch, with the occasional
+// compacting rebuild when slack runs out) and once with the pane
+// deliberately staled before every EnsurePane (the pre-patching
+// behaviour: every toggle pays the O(|I| x |J|) gather).
+void BM_PaneToggleRowPatch(benchmark::State& state) {
+  SyntheticDataset data = MakeData(10000, 100);
+  ClusterWorkspace ws(data.matrix, MakeCluster(10000, 100, 600, 60));
+  ws.EnsurePane();
+  size_t row = 0;
+  for (auto _ : state) {
+    ws.ToggleRow(row % 10000);
+    benchmark::DoNotOptimize(&ws.EnsurePane());
+    ++row;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaneToggleRowPatch)->Unit(benchmark::kMicrosecond);
+
+void BM_PaneToggleRowRebuild(benchmark::State& state) {
+  SyntheticDataset data = MakeData(10000, 100);
+  ClusterWorkspace ws(data.matrix, MakeCluster(10000, 100, 600, 60));
+  ws.EnsurePane();
+  size_t row = 0;
+  for (auto _ : state) {
+    ws.ToggleRow(row % 10000);
+    ws.InvalidatePane();
+    benchmark::DoNotOptimize(&ws.EnsurePane());
+    ++row;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaneToggleRowRebuild)->Unit(benchmark::kMicrosecond);
+
+void BM_PaneToggleColPatch(benchmark::State& state) {
+  SyntheticDataset data = MakeData(100, 10000);
+  ClusterWorkspace ws(data.matrix, MakeCluster(100, 10000, 60, 600));
+  ws.EnsurePane();
+  size_t col = 0;
+  for (auto _ : state) {
+    ws.ToggleCol(col % 10000);
+    benchmark::DoNotOptimize(&ws.EnsurePane());
+    ++col;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaneToggleColPatch)->Unit(benchmark::kMicrosecond);
+
+void BM_PaneToggleColRebuild(benchmark::State& state) {
+  SyntheticDataset data = MakeData(100, 10000);
+  ClusterWorkspace ws(data.matrix, MakeCluster(100, 10000, 60, 600));
+  ws.EnsurePane();
+  size_t col = 0;
+  for (auto _ : state) {
+    ws.ToggleCol(col % 10000);
+    ws.InvalidatePane();
+    benchmark::DoNotOptimize(&ws.EnsurePane());
+    ++col;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PaneToggleColRebuild)->Unit(benchmark::kMicrosecond);
+
 void BM_StatsIncrementalToggle(benchmark::State& state) {
   SyntheticDataset data = MakeData(1000, 100);
   ClusterView view(data.matrix, MakeCluster(1000, 100, 64, 20));

@@ -228,6 +228,42 @@ stage_bench() {
   else
     fail "session-layer bench floor (pre_pr9 vs pr9 micro-kernel records)"
   fi
+  # Kernel-story gate (PR 10): runtime-dispatched SIMD, incremental
+  # pane patching, and cross-iteration memo reuse. pre_pr10 is the pr9
+  # tip re-recorded back-to-back with pr10 on one machine (same
+  # protocol as pre_pr9). Floors: the applied-toggle composites --
+  # where a committed toggle's pane maintenance sits on the measured
+  # path -- hold the headline >= 2x; the standing gain-eval kernels
+  # stay >= 0.95x (the dense pair actually lands >= 1.3x; the floor
+  # also covers the scalar masked twins, which have only timer noise
+  # to lose); whole FLOC runs >= 1.1x and the memoless determination
+  # sweep >= 1.4x pin the SIMD win end to end. Deterministic: compares
+  # two checked-in records.
+  if python3 scripts/bench_compare.py \
+        bench/trajectory/BENCH_micro_kernels_pre_pr10.json \
+        bench/trajectory/BENCH_micro_kernels_pr10.json \
+        --min-ratio 'BM_GainApply=2.0' \
+        --min-ratio 'BM_GainEval=0.95' \
+        --min-ratio 'BM_Floc=1.1' \
+        --min-ratio 'BM_GainDeterminationNoMemo=1.4'; then
+    echo "bench: kernel-story speedups hold"
+  else
+    fail "kernel-story bench gate (pre_pr10 vs pr10 micro-kernel records)"
+  fi
+  # End-to-end iteration-time gate (PR 10): the Table-2/3 whole-run
+  # records, recorded back-to-back pre/post on one machine, must show
+  # the 500-row configurations >= 1.2x and the tiny 100-row ones (4-8
+  # ms end to end, dominated by setup) no worse than noise.
+  # Deterministic: compares two checked-in records.
+  if python3 scripts/bench_compare.py \
+        bench/trajectory/BENCH_table2_3_scaling_pre_pr10.json \
+        bench/trajectory/BENCH_table2_3_scaling_pr10.json \
+        --min-ratio 'run:cols=50=1.2' \
+        --min-ratio 'run:=0.9'; then
+    echo "bench: end-to-end iteration-time gate holds"
+  else
+    fail "end-to-end bench gate (pre_pr10 vs pr10 table2_3 records)"
+  fi
   # Load-path floor: a fresh quick run of the storage load benchmarks
   # (CSV parse, .dcm convert, mmap open, heap copy) must stay within 3x
   # of the checked-in record. Loose for CI-hardware tolerance, but an

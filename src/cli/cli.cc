@@ -15,6 +15,7 @@
 #include "src/core/cluster_tools.h"
 #include "src/core/floc.h"
 #include "src/core/predict.h"
+#include "src/core/simd_dispatch.h"
 #include "src/data/cluster_io.h"
 #include "src/data/matrix_io.h"
 #include "src/data/microarray_synth.h"
@@ -76,6 +77,11 @@ commands:
             .dcm inputs directly; text inputs are compiled to an
             unlinked temporary .dcm first. Results are bit-identical
             across backends.
+            [--simd=auto|off] picks the gain-kernel dispatch (default
+            auto = best ISA the CPU reports, e.g. AVX2; off pins the
+            scalar reference kernels; the DELTACLUS_SIMD environment
+            variable supplies the default when the flag is absent).
+            Results are bit-identical either way.
             observability (see docs/OBSERVABILITY.md):
             [--telemetry off|summary|full] [--telemetry-out run.jsonl]
             [--trace-out trace.json] [--metrics-out metrics.json]
@@ -86,14 +92,15 @@ commands:
             --metrics-out in Prometheus text exposition format.
   stats     summarize a clustering
             --input matrix.csv --clusters clusters.txt
-            [--truth truth.txt] [--backend=mem|mmap]
+            [--truth truth.txt] [--backend=mem|mmap] [--simd=auto|off]
   impute    fill missing entries from a clustering
             --input matrix.csv --clusters clusters.txt --out imputed.csv
             [--combine best|weighted] [--backend=mem|mmap]
+            [--simd=auto|off]
   holdout   hold-out prediction evaluation
             --input matrix.csv --clusters clusters.txt
             [--fraction F] [--seed S] [--combine best|weighted]
-            [--backend=mem|mmap]
+            [--backend=mem|mmap] [--simd=auto|off]
   help      print this message
 
 Matrices are dense CSV with "NA" (or empty) for missing entries, or
@@ -131,6 +138,37 @@ int ResolveBackend(FlagParser& flags, std::ostream& err,
   } else {
     return UsageError(err, "unknown --backend '" + selected +
                                "' (expected mem|mmap)");
+  }
+  return 0;
+}
+
+// SIMD kernel dispatch: --simd wins, then DELTACLUS_SIMD, then auto.
+// `auto` picks the best ISA the CPU reports; `off` pins the scalar
+// reference kernels. Result-neutral either way (the SIMD kernels are
+// bit-identical to scalar by the LaneAcc contract), so like --threads
+// and --backend this never enters the config fingerprint. Env reads
+// stay at the CLI boundary (dclint banned-getenv).
+int ResolveSimd(FlagParser& flags, std::ostream& err) {
+  std::string selected = "auto";
+  // Read once at startup, before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* env = std::getenv("DELTACLUS_SIMD");
+      env != nullptr && env[0] != '\0') {
+    selected = env;
+    if (selected != "auto" && selected != "off") {
+      err << "error: DELTACLUS_SIMD must be 'auto' or 'off', got "
+          << selected << "\n";
+      return 2;
+    }
+  }
+  selected = flags.StringOr("simd", selected);
+  if (selected == "auto") {
+    SetSimdMode(SimdMode::kAuto);
+  } else if (selected == "off") {
+    SetSimdMode(SimdMode::kOff);
+  } else {
+    return UsageError(err,
+                      "unknown --simd '" + selected + "' (expected auto|off)");
   }
   return 0;
 }
@@ -399,6 +437,7 @@ int CmdMine(FlagParser& flags, std::ostream& out, std::ostream& err) {
   std::string session_status_path = flags.StringOr("session-status", "");
   MatrixBackend backend = MatrixBackend::kMem;
   if (int rc = ResolveBackend(flags, err, &backend)) return rc;
+  if (int rc = ResolveSimd(flags, err)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
 
   // Path preflights, before any mining work starts.
@@ -587,6 +626,7 @@ int CmdStats(FlagParser& flags, std::ostream& out, std::ostream& err) {
   }
   MatrixBackend backend = MatrixBackend::kMem;
   if (int rc = ResolveBackend(flags, err, &backend)) return rc;
+  if (int rc = ResolveSimd(flags, err)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
   if (int rc = RequireReadable("input", *input, err)) return rc;
   if (int rc = RequireReadable("clusters", *clusters_path, err)) return rc;
@@ -641,6 +681,7 @@ int CmdImpute(FlagParser& flags, std::ostream& out, std::ostream& err) {
   if (!ok) return UsageError(err, "unknown --combine '" + combine_raw + "'");
   MatrixBackend backend = MatrixBackend::kMem;
   if (int rc = ResolveBackend(flags, err, &backend)) return rc;
+  if (int rc = ResolveSimd(flags, err)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
   if (int rc = RequireReadable("input", *input, err)) return rc;
   if (int rc = RequireReadable("clusters", *clusters_path, err)) return rc;
@@ -676,6 +717,7 @@ int CmdHoldout(FlagParser& flags, std::ostream& out, std::ostream& err) {
   if (!ok) return UsageError(err, "unknown --combine '" + combine_raw + "'");
   MatrixBackend backend = MatrixBackend::kMem;
   if (int rc = ResolveBackend(flags, err, &backend)) return rc;
+  if (int rc = ResolveSimd(flags, err)) return rc;
   if (int rc = FinishFlags(flags, err)) return rc;
   if (int rc = RequireReadable("input", *input, err)) return rc;
   if (int rc = RequireReadable("clusters", *clusters_path, err)) return rc;

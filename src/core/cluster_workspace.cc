@@ -1,0 +1,178 @@
+#include "src/core/cluster_workspace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/obs/metrics.h"
+
+namespace deltaclus {
+
+namespace {
+
+// Full gather rebuilds of a stale pane (the compaction path included).
+obs::Counter* PaneRebuildsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("floc.pane.rebuilds");
+  return counter;
+}
+
+// Single-toggle patches applied in place of a rebuild.
+obs::Counter* PanePatchesCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("floc.pane.patches");
+  return counter;
+}
+
+// Patches declined -- dead fraction or physical capacity over threshold
+// -- leaving the pane stale so the next EnsurePane() performs a
+// compacting rebuild.
+obs::Counter* PaneCompactionsCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("floc.pane.compactions");
+  return counter;
+}
+
+// Physical slack a rebuild leaves for future appends. Proportional so
+// big clusters absorb proportionally more toggles between compactions;
+// the +8 floor keeps small clusters patchable at all.
+size_t PaneSlack(size_t n) { return n / 8 + 8; }
+
+// Logical deletions tolerated before a patch declines in favor of a
+// compacting rebuild: half the live extent, with the same small floor.
+bool DeadOverThreshold(size_t dead, size_t live) {
+  return dead > live / 2 + 8;
+}
+
+size_t SortedIndexOf(const std::vector<uint32_t>& ids, size_t id) {
+  return static_cast<size_t>(
+      std::lower_bound(ids.begin(), ids.end(), static_cast<uint32_t>(id)) -
+      ids.begin());
+}
+
+}  // namespace
+
+void ClusterWorkspace::RebuildPane() const {
+  const DataMatrix& m = view_.matrix();
+  const Cluster& c = view_.cluster();
+  const auto& row_ids = c.row_ids();
+  const auto& col_ids = c.col_ids();
+  size_t n = col_ids.size();
+  size_t rows = row_ids.size();
+  size_t stride = n + PaneSlack(n);
+  size_t row_capacity = rows + PaneSlack(rows);
+  pane_.num_cols = n;
+  pane_.phys_stride = stride;
+  pane_.values.resize(row_capacity * stride);
+  pane_.mask.resize(row_capacity * stride);
+  pane_.row_slots.resize(rows);
+  pane_.next_phys_row = rows;
+  pane_.dead_rows = 0;
+  for (size_t pr = 0; pr < rows; ++pr) {
+    pane_.row_slots[pr] = static_cast<uint32_t>(pr);
+    uint32_t i = row_ids[pr];
+    const double* values = m.RowValues(i).data();
+    const uint8_t* mask = m.RowMask(i).data();
+    double* dst_values = pane_.values.data() + pr * stride;
+    uint8_t* dst_mask = pane_.mask.data() + pr * stride;
+    for (size_t idx = 0; idx < n; ++idx) {
+      dst_values[idx] = values[col_ids[idx]];
+      dst_mask[idx] = mask[col_ids[idx]];
+    }
+  }
+  pane_epoch_ = epoch_;
+  PaneRebuildsCounter()->Inc();
+}
+
+void ClusterWorkspace::PatchPaneRow(size_t i, bool removed) {
+  PackedPane& pane = pane_;
+  const auto& row_ids = view_.cluster().row_ids();  // post-toggle
+  if (removed) {
+    if (DeadOverThreshold(pane.dead_rows + 1, pane.row_slots.size())) {
+      PaneCompactionsCounter()->Inc();
+      return;
+    }
+    // i is absent post-toggle, so lower_bound lands on its old slot.
+    size_t pr = SortedIndexOf(row_ids, i);
+    pane.row_slots.erase(pane.row_slots.begin() +
+                         static_cast<ptrdiff_t>(pr));
+    ++pane.dead_rows;
+  } else {
+    size_t row_capacity =
+        pane.phys_stride == 0 ? 0 : pane.values.size() / pane.phys_stride;
+    if (pane.next_phys_row >= row_capacity) {
+      PaneCompactionsCounter()->Inc();
+      return;
+    }
+    // Gather the new row into a fresh physical row and splice its slot
+    // in at the sorted logical position.
+    const DataMatrix& m = view_.matrix();
+    const auto& col_ids = view_.cluster().col_ids();
+    size_t phys = pane.next_phys_row++;
+    const double* values = m.RowValues(i).data();
+    const uint8_t* mask = m.RowMask(i).data();
+    double* dst_values = pane.values.data() + phys * pane.phys_stride;
+    uint8_t* dst_mask = pane.mask.data() + phys * pane.phys_stride;
+    for (size_t idx = 0; idx < pane.num_cols; ++idx) {
+      uint32_t col = col_ids[idx];
+      dst_values[idx] = values[col];
+      dst_mask[idx] = mask[col];
+    }
+    size_t pr = SortedIndexOf(row_ids, i);
+    pane.row_slots.insert(pane.row_slots.begin() + static_cast<ptrdiff_t>(pr),
+                          static_cast<uint32_t>(phys));
+  }
+  pane_epoch_ = epoch_;
+  PanePatchesCounter()->Inc();
+}
+
+void ClusterWorkspace::PatchPaneCol(size_t j, bool removed) {
+  PackedPane& pane = pane_;
+  const auto& col_ids = view_.cluster().col_ids();  // post-toggle
+  // Both directions shift each live row's tail in place with memmove,
+  // keeping the pane's columns one contiguous run: the moves are
+  // contiguous bytes over rows the toggle's own evaluation just pulled
+  // through cache, several times cheaper than a rebuild's scattered
+  // matrix gathers -- and the read side never sees fragmentation. A
+  // removal frees capacity, so only an addition can decline.
+  if (removed) {
+    // j is absent post-toggle, so lower_bound lands on its old position.
+    size_t pc = SortedIndexOf(col_ids, j);
+    size_t tail = pane.num_cols - pc - 1;
+    for (uint32_t slot : pane.row_slots) {
+      size_t base = slot * pane.phys_stride;
+      std::memmove(pane.values.data() + base + pc,
+                   pane.values.data() + base + pc + 1,
+                   tail * sizeof(double));
+      std::memmove(pane.mask.data() + base + pc,
+                   pane.mask.data() + base + pc + 1, tail * sizeof(uint8_t));
+    }
+    --pane.num_cols;
+  } else {
+    if (pane.num_cols >= pane.phys_stride) {
+      PaneCompactionsCounter()->Inc();
+      return;
+    }
+    size_t pc = SortedIndexOf(col_ids, j);  // j's post-toggle position
+    size_t tail = pane.num_cols - pc;
+    // Open a hole at pc in every live row, then fill it stride-1 from
+    // the matrix's column-major mirror.
+    const DataMatrix& m = view_.matrix();
+    const auto& row_ids = view_.cluster().row_ids();
+    const double* col_values = m.ColValues(j).data();
+    const uint8_t* col_mask = m.ColMask(j).data();
+    for (size_t pr = 0; pr < row_ids.size(); ++pr) {
+      size_t base = pane.row_slots[pr] * pane.phys_stride;
+      std::memmove(pane.values.data() + base + pc + 1,
+                   pane.values.data() + base + pc, tail * sizeof(double));
+      std::memmove(pane.mask.data() + base + pc + 1,
+                   pane.mask.data() + base + pc, tail * sizeof(uint8_t));
+      pane.values[base + pc] = col_values[row_ids[pr]];
+      pane.mask[base + pc] = col_mask[row_ids[pr]];
+    }
+    ++pane.num_cols;
+  }
+  pane_epoch_ = epoch_;
+  PanePatchesCounter()->Inc();
+}
+
+}  // namespace deltaclus

@@ -33,15 +33,29 @@
 // uncached path -- cached and uncached reads are bit-identical.
 //
 // The workspace also carries a *packed pane*: the cluster's submatrix
-// (values + mask) copied into a contiguous |I| x |J| row-major block,
+// (values + mask) copied into a contiguous row-major block,
 // epoch-stamped like the residue cache. The gain kernels' inner loops
 // are gather loops over scattered column ids when run against the raw
-// matrix; against the pane they are unit-stride streams the compiler
-// vectorizes, which is where the bulk of the kernel speedup comes from
-// (DESIGN.md "The gain kernel"). Rebuilding the pane costs one gather
-// pass -- the same order as a single gain evaluation -- and is amortized
-// over the hundreds of evaluations a sweep makes against an unchanged
-// cluster.
+// matrix; against the pane they are unit-stride streams the vector
+// kernels eat 4-wide, which is where the bulk of the kernel speedup
+// comes from (DESIGN.md "The gain kernel").
+//
+// The pane is *incrementally patched*: a single row toggle splices or
+// erases one `row_slots` entry (gathering the new row in O(|J|) on an
+// addition), and a single column toggle shifts each live row's tail in
+// place with memmove -- instead of the full |I| x |J| gather rebuild a
+// stale pane pays. The column shift moves O(|I| x |J|) bytes in the
+// worst case, but they are contiguous moves over rows already resident
+// in cache, measured several times cheaper than the rebuild's scattered
+// matrix gathers. Crucially the pane's columns stay one contiguous run
+// at all times, so every kernel scan after any patch sequence is the
+// same single unit-stride pass a fresh rebuild serves -- patches never
+// tax reads, and reads vastly outnumber toggles. (An earlier design
+// kept a column span list and let patches split it; the per-span kernel
+// restarts on read made that a net loss.) A patch declines -- leaving
+// the pane stale for a compacting rebuild on the next EnsurePane() --
+// when dead rows cross half the live count or physical capacity runs
+// out. floc.pane.{rebuilds,patches,compactions} count the outcomes.
 //
 // Filling the caches (residue cache, pane) is NOT thread-safe: all cache
 // fills and mutations happen on the coordinating thread. The parallel
@@ -85,20 +99,38 @@ inline uint64_t NextMembershipEpoch() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
-/// The cluster's submatrix packed contiguous: row-major |I| x |J|, rows
-/// in cluster().row_ids() order, columns in cluster().col_ids() order.
-/// mask[..] != 0 marks specified entries, exactly mirroring the parent
-/// matrix. Owned and epoch-stamped by ClusterWorkspace (EnsurePane).
+/// The cluster's submatrix packed contiguous: rows in
+/// cluster().row_ids() order resolved through `row_slots`, columns in
+/// cluster().col_ids() order occupying [0, num_cols) of every physical
+/// row -- one contiguous run, always, which is what keeps every kernel
+/// scan a single unit-stride pass (see file comment). mask[..] != 0
+/// marks specified entries, exactly mirroring the parent matrix. Owned
+/// and epoch-stamped by ClusterWorkspace (EnsurePane); patched in place
+/// by single membership toggles.
 struct PackedPane {
   std::vector<double> values;
   std::vector<uint8_t> mask;
-  size_t num_cols = 0;
+  size_t num_cols = 0;      ///< logical (= physical) column count
+  size_t phys_stride = 0;   ///< physical row width, >= num_cols
+  std::vector<uint32_t> row_slots;  ///< logical pane row -> physical row
+  size_t next_phys_row = 0;  ///< first unused physical row
+  size_t dead_rows = 0;      ///< logically-deleted physical rows
 
+  /// Physical base of the logical pane row (row-slot indirection). The
+  /// row's columns are values[0..num_cols) from that base.
   const double* Row(size_t pane_row) const {
-    return values.data() + pane_row * num_cols;
+    return values.data() + row_slots[pane_row] * phys_stride;
   }
   const uint8_t* MaskRow(size_t pane_row) const {
-    return mask.data() + pane_row * num_cols;
+    return mask.data() + row_slots[pane_row] * phys_stride;
+  }
+
+  /// Logical (pane_row, pane_col) entry -- for tests and audits.
+  double ValueAt(size_t pane_row, size_t pane_col) const {
+    return Row(pane_row)[pane_col];
+  }
+  uint8_t MaskAt(size_t pane_row, size_t pane_col) const {
+    return MaskRow(pane_row)[pane_col];
   }
 };
 
@@ -131,7 +163,8 @@ class ClusterWorkspace {
   /// epoch -- even when the new membership equals the old one, because
   /// the rebuilt stats may differ from the incremental ones by
   /// floating-point reassociation and epoch-stamped caches must not
-  /// serve numbers derived from the pre-rebuild bits.
+  /// serve numbers derived from the pre-rebuild bits. The pane goes
+  /// stale (wholesale changes are what the compacting rebuild is for).
   void Reset(Cluster cluster) {
     view_.Reset(std::move(cluster));
     epoch_ = NextMembershipEpoch();
@@ -146,16 +179,27 @@ class ClusterWorkspace {
     return view_.StatsForRestore();
   }
 
-  /// Membership toggles: stats stay incrementally consistent, the epoch
-  /// advances (implicitly invalidating the residue cache and any gain
-  /// memo entries stamped with the old epoch).
+  /// Membership toggles: stats stay incrementally consistent and the
+  /// epoch advances (implicitly invalidating the residue cache and any
+  /// gain memo entries stamped with the old epoch). A pane that was
+  /// fresh going in is *patched* to the new membership in place (slot
+  /// splice for rows, tail shift for columns; see file comment) and
+  /// re-stamped with the new epoch, so single toggles -- the only
+  /// mutations the FLOC sweeps perform -- never trigger a full pane
+  /// rebuild (unless the compaction threshold declines the patch).
   void ToggleRow(size_t i) {
+    bool pane_was_fresh = pane_epoch_ == epoch_;
+    bool removed = view_.cluster().HasRow(i);
     view_.ToggleRow(i);
     epoch_ = NextMembershipEpoch();
+    if (pane_was_fresh) PatchPaneRow(i, removed);
   }
   void ToggleCol(size_t j) {
+    bool pane_was_fresh = pane_epoch_ == epoch_;
+    bool removed = view_.cluster().HasCol(j);
     view_.ToggleCol(j);
     epoch_ = NextMembershipEpoch();
+    if (pane_was_fresh) PatchPaneCol(j, removed);
   }
 
   // --- Residue cache plumbing (used by ResidueEngine and audit) ---
@@ -194,46 +238,45 @@ class ClusterWorkspace {
 
   /// Returns the packed pane for the current membership, rebuilding it
   /// if its epoch stamp is stale. The rebuild is one gather pass over
-  /// the submatrix. NOT safe to call concurrently while stale: callers
-  /// that fan evaluations out over threads must call this once per
-  /// cluster on the coordinating thread first (GainDeterminer does);
-  /// once fresh, concurrent calls only read.
+  /// the submatrix into the canonical compact layout (with physical
+  /// slack for future patches). NOT safe to call concurrently while
+  /// stale: callers that fan evaluations out over threads must call
+  /// this once per cluster on the coordinating thread first
+  /// (GainDeterminer does); once fresh, concurrent calls only read.
   const PackedPane& EnsurePane() const {
-    if (pane_epoch_ != epoch_) {
-      const DataMatrix& m = view_.matrix();
-      const Cluster& c = view_.cluster();
-      const auto& row_ids = c.row_ids();
-      const auto& col_ids = c.col_ids();
-      size_t n = col_ids.size();
-      pane_.num_cols = n;
-      pane_.values.resize(row_ids.size() * n);
-      pane_.mask.resize(row_ids.size() * n);
-      size_t out = 0;
-      for (uint32_t i : row_ids) {
-        const double* values = m.RowValues(i).data();
-        const uint8_t* mask = m.RowMask(i).data();
-        for (size_t idx = 0; idx < n; ++idx, ++out) {
-          pane_.values[out] = values[col_ids[idx]];
-          pane_.mask[out] = mask[col_ids[idx]];
-        }
-      }
-      pane_epoch_ = epoch_;
-    }
+    if (pane_epoch_ != epoch_) RebuildPane();
     return pane_;
   }
 
   /// True if the pane is fresh for the current membership (test hook).
   bool PaneValid() const { return pane_epoch_ == epoch_; }
 
-  /// Bytes the packed pane currently holds (values + mask), fresh or
-  /// stale. Feeds the session-status memory ledger
-  /// (src/session/mining_session.h); costs two vector-size reads.
+  /// Drops the pane's epoch stamp so the next EnsurePane() pays a full
+  /// gather rebuild. Test/bench hook (mirrors InvalidateResidue): lets
+  /// patch-vs-rebuild costs be compared on identical toggle sequences.
+  void InvalidatePane() const { pane_epoch_ = 0; }
+
+  /// Bytes the packed pane currently holds (values + mask, including
+  /// patch slack), fresh or stale. Feeds the session-status memory
+  /// ledger (src/session/mining_session.h); costs two vector-size
+  /// reads.
   size_t PaneBytes() const {
     return pane_.values.size() * sizeof(double) +
            pane_.mask.size() * sizeof(uint8_t);
   }
 
  private:
+  /// Full gather rebuild into the canonical layout (cluster_workspace.cc;
+  /// counts floc.pane.rebuilds).
+  void RebuildPane() const;
+  /// Single-toggle patches (slot splice / tail shift). Applied only when
+  /// the pane was fresh for the pre-toggle membership; on success the
+  /// pane is re-stamped with the (already advanced) epoch and
+  /// floc.pane.patches counts, otherwise the pane stays stale and
+  /// floc.pane.compactions counts the declined patch.
+  void PatchPaneRow(size_t i, bool removed);
+  void PatchPaneCol(size_t j, bool removed);
+
   ClusterView view_;
   uint64_t epoch_;
   mutable CachedNormTag cached_norm_ = CachedNormTag::kNone;

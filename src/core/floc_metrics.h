@@ -22,6 +22,7 @@ struct FlocMetrics {
   obs::Counter* actions_blocked;
   obs::Counter* refine_toggles;
   obs::Counter* reseed_slots;
+  obs::Counter* clusters_skipped_clean;
   obs::Gauge* last_average_residue;
   obs::Histogram* iteration_seconds;
   obs::QuantileHistogram* iteration_latency;
@@ -36,6 +37,7 @@ struct FlocMetrics {
           r.GetCounter("floc.actions.fully_blocked"),
           r.GetCounter("floc.refine.toggles"),
           r.GetCounter("floc.reseed.slots"),
+          r.GetCounter("floc.sweep.clusters_skipped_clean"),
           r.GetGauge("floc.last.average_residue"),
           r.GetHistogram("floc.iteration.seconds",
                          {0.001, 0.01, 0.1, 1.0, 10.0}),

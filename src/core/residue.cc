@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/core/residue_kernels.h"
+#include "src/core/simd_dispatch.h"
 #include "src/obs/metrics.h"
 
 namespace deltaclus {
@@ -32,27 +34,21 @@ obs::Counter* GainEvalEntriesDenseCounter() {
   return counter;
 }
 
-// Per-entry contribution to the residue numerator in the given norm.
-template <bool kSquared>
-inline double Contribution(double value, double row_base, double col_base,
-                           double cluster_base) {
-  double r = value - row_base - col_base + cluster_base;
-  if (kSquared) return r * r;
-  // std::fabs compiles to a branchless sign-bit mask. A conditional
-  // negation here costs a data-dependent branch per entry, and residue
-  // signs are close to a coin flip -- the mispredictions dominate the
-  // whole scan.
-  return std::fabs(r);
-}
-
-// Lane-split row passes (DESIGN.md "The gain kernel"). Both accumulate a
-// row's contributions into four independent lanes -- the p-th *visited*
-// entry lands in lane p mod 4 -- and reduce as (l0 + l1) + (l2 + l3).
-// Four accumulators break the loop-carried FP-add dependency chain (the
-// scalar kernel's bottleneck), letting the adds pipeline; tying the lane
-// index to visit order (not memory position) makes the two passes
-// bit-identical whenever every visited entry is specified, so dispatch
-// between them can never change a result.
+// Lane-split row passes (DESIGN.md "The gain kernel"). All passes
+// accumulate a row's contributions into four independent lanes -- the
+// p-th *visited* entry lands in lane p mod 4 -- and reduce as
+// (l0 + l1) + (l2 + l3). Four accumulators break the loop-carried
+// FP-add dependency chain (the scalar kernel's bottleneck), letting the
+// adds pipeline; tying the lane index to visit order (not memory
+// position) makes every pass bit-identical whenever every visited entry
+// is specified, so dispatch between them can never change a result.
+//
+// The *dense* bodies (LaneAcc, Contribution, SegPassDenseScalar,
+// RowPassDenseScalar) live in src/core/residue_kernels.h, shared with
+// the per-ISA SIMD translation units; the scan loops below call them
+// through the runtime-dispatched table (src/core/simd_dispatch.h),
+// which is bit-invisible by the same lane contract. The masked
+// (gap-skipping) passes stay scalar here.
 
 // Masked pass: skips unspecified entries; p counts only visited ones.
 // `values`/`mask` are one matrix row (DataMatrix::RowValues/RowMask),
@@ -73,84 +69,6 @@ inline double RowPassMasked(const double* values, const uint8_t* mask,
   return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
 }
 
-// Dense pass: no mask reads, no branches; with every entry specified,
-// visit order equals position order, so lane idx mod 4 reproduces the
-// masked pass's lane pattern exactly.
-template <bool kSquared>
-inline double RowPassDense(const double* values, const uint32_t* cols,
-                           const double* col_bases, size_t n,
-                           double row_base, double cluster_base) {
-  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
-  size_t idx = 0;
-  for (; idx + 4 <= n; idx += 4) {
-    l0 += Contribution<kSquared>(values[cols[idx + 0]], row_base,
-                                 col_bases[idx + 0], cluster_base);
-    l1 += Contribution<kSquared>(values[cols[idx + 1]], row_base,
-                                 col_bases[idx + 1], cluster_base);
-    l2 += Contribution<kSquared>(values[cols[idx + 2]], row_base,
-                                 col_bases[idx + 2], cluster_base);
-    l3 += Contribution<kSquared>(values[cols[idx + 3]], row_base,
-                                 col_bases[idx + 3], cluster_base);
-  }
-  double lanes[4] = {l0, l1, l2, l3};
-  for (; idx < n; ++idx) {
-    lanes[idx & 3] += Contribution<kSquared>(values[cols[idx]], row_base,
-                                             col_bases[idx], cluster_base);
-  }
-  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-}
-
-// Segment passes over the packed pane (ClusterWorkspace::EnsurePane).
-// These stream a contiguous slice of a pane row -- no column-id gather,
-// so the compiler vectorizes the dense body -- while carrying the lane
-// phase in LaneAcc across segments: the p-th entry *visited across all
-// of a row's segments* lands in lane p mod 4, and each lane accumulates
-// its entries in visit order. That makes any segmentation of a row's
-// visit sequence (full row; two slices around an excluded column; a
-// slice plus one appended entry) produce per-lane addition chains
-// identical to the single-pass gather kernels above, hence bit-identical
-// reductions.
-struct LaneAcc {
-  double l[4] = {0.0, 0.0, 0.0, 0.0};
-  size_t p = 0;  // entries visited so far (lane phase)
-  double Reduce() const { return (l[0] + l[1]) + (l[2] + l[3]); }
-};
-
-// Dense segment: every entry specified, no mask reads.
-template <bool kSquared>
-inline void SegPassDense(const double* values, const double* col_bases,
-                         size_t n, double row_base, double cluster_base,
-                         LaneAcc& acc) {
-  size_t k = 0;
-  // Peel to a lane-0 boundary so the unrolled body maps offset to lane
-  // without tracking the phase per iteration.
-  for (; (acc.p & 3) != 0 && k < n; ++k, ++acc.p) {
-    acc.l[acc.p & 3] += Contribution<kSquared>(values[k], row_base,
-                                               col_bases[k], cluster_base);
-  }
-  double l0 = acc.l[0], l1 = acc.l[1], l2 = acc.l[2], l3 = acc.l[3];
-  size_t unrolled_start = k;
-  for (; k + 4 <= n; k += 4) {
-    l0 += Contribution<kSquared>(values[k + 0], row_base, col_bases[k + 0],
-                                 cluster_base);
-    l1 += Contribution<kSquared>(values[k + 1], row_base, col_bases[k + 1],
-                                 cluster_base);
-    l2 += Contribution<kSquared>(values[k + 2], row_base, col_bases[k + 2],
-                                 cluster_base);
-    l3 += Contribution<kSquared>(values[k + 3], row_base, col_bases[k + 3],
-                                 cluster_base);
-  }
-  acc.p += k - unrolled_start;
-  acc.l[0] = l0;
-  acc.l[1] = l1;
-  acc.l[2] = l2;
-  acc.l[3] = l3;
-  for (; k < n; ++k, ++acc.p) {
-    acc.l[acc.p & 3] += Contribution<kSquared>(values[k], row_base,
-                                               col_bases[k], cluster_base);
-  }
-}
-
 // Masked segment: skips unspecified entries; the phase advances only on
 // visited ones, exactly like RowPassMasked.
 template <bool kSquared>
@@ -163,6 +81,24 @@ inline void SegPassMasked(const double* values, const uint8_t* mask,
                                                col_bases[k], cluster_base);
     ++acc.p;
   }
+}
+
+// Whole masked pane row from fresh lanes, reduced -- the masked twin of
+// the table's seg_full_* slots. Deliberately out of line: inlined into
+// the big scan loops the lane array lands deep in the caller's frame
+// and the loop's encodings bloat past the uop-cache sweet spot (a
+// measured ~25% tax on sparse scans); as a leaf with its own tiny frame
+// the loop stays compact.
+template <bool kSquared>
+[[gnu::noinline]] double PaneRowMaskedFull(const double* values,
+                                           const uint8_t* mask,
+                                           const double* col_bases, size_t n,
+                                           double row_base,
+                                           double cluster_base) {
+  LaneAcc acc;
+  SegPassMasked<kSquared>(values, mask, col_bases, n, row_base, cluster_base,
+                          acc);
+  return acc.Reduce();
 }
 
 }  // namespace
@@ -294,8 +230,8 @@ double ResidueEngine::NumeratorImpl(const ClusterView& view) {
     // A member row whose specified count over the cluster's columns
     // equals |J| has no gaps to skip: take the branch-free pass.
     if (stats.RowCount(i) == n) {
-      acc += RowPassDense<kSquared>(row_values, cols, col_bases, n,
-                                    row_base, cluster_base);
+      acc += RowPassDenseScalar<kSquared>(row_values, cols, col_bases, n,
+                                          row_base, cluster_base);
       dense_entries += n;
     } else {
       acc += RowPassMasked<kSquared>(row_values, m.RowMask(i).data(), cols,
@@ -407,8 +343,8 @@ double ResidueEngine::AfterToggleRowImpl(const ClusterView& view, size_t i,
     const double* row_values = m.RowValues(r).data();
     double row_base = stats.RowBase(r);
     if (stats.RowCount(r) == n) {
-      acc += RowPassDense<kSquared>(row_values, cols, col_bases, n,
-                                    row_base, cluster_base);
+      acc += RowPassDenseScalar<kSquared>(row_values, cols, col_bases, n,
+                                          row_base, cluster_base);
       dense_entries += n;
     } else {
       acc += RowPassMasked<kSquared>(row_values, m.RowMask(r).data(), cols,
@@ -419,8 +355,8 @@ double ResidueEngine::AfterToggleRowImpl(const ClusterView& view, size_t i,
   if (!removing && toggled_cnt > 0) {
     double row_base = toggled_sum / toggled_cnt;
     if (row_i_dense) {
-      acc += RowPassDense<kSquared>(row_values_i, cols, col_bases, n,
-                                    row_base, cluster_base);
+      acc += RowPassDenseScalar<kSquared>(row_values_i, cols, col_bases, n,
+                                          row_base, cluster_base);
       dense_entries += n;
     } else {
       acc += RowPassMasked<kSquared>(row_values_i, row_mask_i, cols,
@@ -515,8 +451,8 @@ double ResidueEngine::AfterToggleColImpl(const ClusterView& view, size_t j,
     double row_base = row_cnt == 0 ? 0.0 : row_sum / row_cnt;
 
     if (row_cnt == n) {
-      acc += RowPassDense<kSquared>(row_values, cols, col_bases, n,
-                                    row_base, cluster_base);
+      acc += RowPassDenseScalar<kSquared>(row_values, cols, col_bases, n,
+                                          row_base, cluster_base);
       dense_entries += n;
     } else {
       acc += RowPassMasked<kSquared>(row_values, m.RowMask(i).data(), cols,
@@ -554,21 +490,26 @@ double ResidueEngine::NumeratorPaneImpl(const ClusterWorkspace& ws) {
   double cluster_base = stats.ClusterBase();
   const double* col_bases = scratch_col_base_.data();
 
+  const SimdKernels& simd = ActiveSimdKernels();
+  SimdKernels::SegDenseFullFn seg_full =
+      kSquared ? simd.seg_full_sq : simd.seg_full_abs;
+  // The pane's columns are always one contiguous run, so a dense row is
+  // a single whole-row call that keeps the lanes in registers --
+  // bit-identical to the gather path by the LaneAcc contract, and
+  // roughly half the per-row cost of a spill-around-the-call shape on
+  // short rows.
   double acc = 0.0;
   size_t dense_entries = 0;
   for (size_t pr = 0; pr < row_ids.size(); ++pr) {
     uint32_t i = row_ids[pr];
     double row_base = stats.RowBase(i);
-    LaneAcc lanes;
     if (stats.RowCount(i) == n) {
-      SegPassDense<kSquared>(pane.Row(pr), col_bases, n, row_base,
-                             cluster_base, lanes);
       dense_entries += n;
+      acc += seg_full(pane.Row(pr), col_bases, n, row_base, cluster_base);
     } else {
-      SegPassMasked<kSquared>(pane.Row(pr), pane.MaskRow(pr), col_bases, n,
-                              row_base, cluster_base, lanes);
+      acc += PaneRowMaskedFull<kSquared>(pane.Row(pr), pane.MaskRow(pr),
+                                         col_bases, n, row_base, cluster_base);
     }
-    acc += lanes.Reduce();
   }
   dense_entries_last_scan_ = dense_entries;
   return acc;
@@ -629,6 +570,12 @@ double ResidueEngine::AfterToggleRowPaneImpl(const ClusterWorkspace& ws,
   const double* col_bases = scratch_col_base_.data();
 
   const PackedPane& pane = ws.EnsurePane();
+  const SimdKernels& simd = ActiveSimdKernels();
+  SimdKernels::SegDenseFullFn seg_full =
+      kSquared ? simd.seg_full_sq : simd.seg_full_abs;
+  // This loop is the determination sweep's hot interior (it runs per
+  // candidate row eval), so the per-row call shape matters as much as
+  // the kernel: dense rows take the one-call whole-row pass.
   double acc = 0.0;
   size_t dense_entries = 0;
   // Existing member rows stream from the pane (their row bases are
@@ -637,24 +584,21 @@ double ResidueEngine::AfterToggleRowPaneImpl(const ClusterWorkspace& ws,
     uint32_t r = row_ids[pr];
     if (removing && r == i) continue;
     double row_base = stats.RowBase(r);
-    LaneAcc lanes;
     if (stats.RowCount(r) == n) {
-      SegPassDense<kSquared>(pane.Row(pr), col_bases, n, row_base,
-                             cluster_base, lanes);
       dense_entries += n;
+      acc += seg_full(pane.Row(pr), col_bases, n, row_base, cluster_base);
     } else {
-      SegPassMasked<kSquared>(pane.Row(pr), pane.MaskRow(pr), col_bases, n,
-                              row_base, cluster_base, lanes);
+      acc += PaneRowMaskedFull<kSquared>(pane.Row(pr), pane.MaskRow(pr),
+                                         col_bases, n, row_base, cluster_base);
     }
-    acc += lanes.Reduce();
   }
   // The newly-added row lives outside the pane: one gathered row pass.
   if (!removing && toggled_cnt > 0) {
     double row_base = toggled_sum / toggled_cnt;
     const uint32_t* cols = col_ids.data();
     if (row_i_dense) {
-      acc += RowPassDense<kSquared>(row_values_i, cols, col_bases, n,
-                                    row_base, cluster_base);
+      acc += RowPassDenseScalar<kSquared>(row_values_i, cols, col_bases, n,
+                                          row_base, cluster_base);
       dense_entries += n;
     } else {
       acc += RowPassMasked<kSquared>(row_values_i, row_mask_i, cols,
@@ -722,6 +666,9 @@ double ResidueEngine::AfterToggleColPaneImpl(const ClusterWorkspace& ws,
   const uint8_t* col_mask_j = m.ColMask(j).data();
 
   const PackedPane& pane = ws.EnsurePane();
+  const SimdKernels& simd = ActiveSimdKernels();
+  SimdKernels::SegDenseFn seg_dense =
+      kSquared ? simd.seg_dense_sq : simd.seg_dense_abs;
   double acc = 0.0;
   size_t dense_entries = 0;
   for (size_t pr = 0; pr < row_ids.size(); ++pr) {
@@ -747,28 +694,23 @@ double ResidueEngine::AfterToggleColPaneImpl(const ClusterWorkspace& ws,
     const uint8_t* mrow = pane.MaskRow(pr);
     bool dense = row_cnt == n;
     LaneAcc lanes;
+    auto scan = [&](size_t pos, const double* bases, size_t len) {
+      if (dense) {
+        seg_dense(row + pos, bases, len, row_base, cluster_base, lanes);
+      } else {
+        SegPassMasked<kSquared>(row + pos, mrow + pos, bases, len, row_base,
+                                cluster_base, lanes);
+      }
+    };
     if (removing) {
-      if (dense) {
-        SegPassDense<kSquared>(row, col_bases, jj, row_base, cluster_base,
-                               lanes);
-        SegPassDense<kSquared>(row + jj + 1, col_bases + jj,
-                               n_pane - jj - 1, row_base, cluster_base,
-                               lanes);
-      } else {
-        SegPassMasked<kSquared>(row, mrow, col_bases, jj, row_base,
-                                cluster_base, lanes);
-        SegPassMasked<kSquared>(row + jj + 1, mrow + jj + 1, col_bases + jj,
-                                n_pane - jj - 1, row_base, cluster_base,
-                                lanes);
-      }
+      // Skip pane column jj: two contiguous chunks with the lane phase
+      // carried across the split, which keeps the visit sequence -- and
+      // hence the per-lane addition chains -- identical to the
+      // single-pass scan the gather path performs.
+      if (jj > 0) scan(0, col_bases, jj);
+      if (jj + 1 < n_pane) scan(jj + 1, col_bases + jj, n_pane - jj - 1);
     } else {
-      if (dense) {
-        SegPassDense<kSquared>(row, col_bases, n_pane, row_base,
-                               cluster_base, lanes);
-      } else {
-        SegPassMasked<kSquared>(row, mrow, col_bases, n_pane, row_base,
-                                cluster_base, lanes);
-      }
+      scan(0, col_bases, n_pane);
       // Column j is outside the pane; it is visited last, matching the
       // gather path's compacted column order.
       if (col_mask_j[i]) {

@@ -1,0 +1,121 @@
+// AVX2 dense gain kernels. The ONLY translation unit (with the NEON
+// twin) allowed to use vector intrinsics (dclint rule simd-confined),
+// and the only one compiled with -mavx2 -- plus -ffp-contract=off and
+// deliberately WITHOUT -mfma, so no fused multiply-adds can change a
+// rounding (src/CMakeLists.txt sets the per-TU options).
+//
+// Bit-identity argument (the LaneAcc contract,
+// src/core/residue_kernels.h): vector element p carries scalar lane p.
+// The scalar 4-unrolled body adds contribution k+p into lane p each
+// iteration; vaddpd does the same for all four lanes at once, with
+// vsubpd/vaddpd/vmulpd performing the exact IEEE-754 operations the
+// scalar subsd/addsd/mulsd perform and vandnpd clearing the sign bit
+// exactly like std::fabs. Peel and tail reuse the scalar Contribution
+// body. Nothing reassociates, nothing fuses, so every double produced
+// here equals the scalar kernel's bit for bit.
+//
+// Only the unit-stride pane passes are vectorized; the gathered row
+// pass (row_*) stays scalar in the table -- see simd_dispatch.h.
+#include "src/core/simd_dispatch.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace deltaclus {
+
+namespace {
+
+// value - row_base - col_base + cluster_base per lane, in the scalar
+// evaluation order, then |r| (sign-bit clear) or r*r.
+template <bool kSquared>
+inline __m256d ContributionVec(__m256d values, __m256d row_base,
+                               __m256d col_bases, __m256d cluster_base,
+                               __m256d sign_mask) {
+  __m256d r = _mm256_add_pd(
+      _mm256_sub_pd(_mm256_sub_pd(values, row_base), col_bases),
+      cluster_base);
+  if (kSquared) return _mm256_mul_pd(r, r);
+  return _mm256_andnot_pd(sign_mask, r);
+}
+
+template <bool kSquared>
+void SegPassDenseAvx2(const double* values, const double* col_bases,
+                      size_t n, double row_base, double cluster_base,
+                      LaneAcc& acc) {
+  size_t k = 0;
+  // Scalar peel to a lane-0 boundary, identical to the scalar kernel.
+  for (; (acc.p & 3) != 0 && k < n; ++k, ++acc.p) {
+    acc.l[acc.p & 3] += Contribution<kSquared>(values[k], row_base,
+                                               col_bases[k], cluster_base);
+  }
+  const __m256d rb = _mm256_set1_pd(row_base);
+  const __m256d cb = _mm256_set1_pd(cluster_base);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d lanes = _mm256_loadu_pd(acc.l);
+  size_t unrolled_start = k;
+  for (; k + 4 <= n; k += 4) {
+    __m256d v = _mm256_loadu_pd(values + k);
+    __m256d b = _mm256_loadu_pd(col_bases + k);
+    lanes = _mm256_add_pd(lanes, ContributionVec<kSquared>(v, rb, b, cb,
+                                                           sign));
+  }
+  _mm256_storeu_pd(acc.l, lanes);
+  acc.p += k - unrolled_start;
+  // Scalar tail, identical to the scalar kernel.
+  for (; k < n; ++k, ++acc.p) {
+    acc.l[acc.p & 3] += Contribution<kSquared>(values[k], row_base,
+                                               col_bases[k], cluster_base);
+  }
+}
+
+// Whole row from fresh lanes (phase 0): no peel, vector body, scalar
+// tail, then the standard (l0 + l1) + (l2 + l3) reduction. The lanes
+// never touch memory, which is the point -- this is the one-call-per-row
+// shape the hot scan loops use.
+template <bool kSquared>
+double SegPassDenseFullAvx2(const double* values, const double* col_bases,
+                            size_t n, double row_base, double cluster_base) {
+  const __m256d rb = _mm256_set1_pd(row_base);
+  const __m256d cb = _mm256_set1_pd(cluster_base);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  __m256d lanes_v = _mm256_setzero_pd();
+  size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    __m256d v = _mm256_loadu_pd(values + k);
+    __m256d b = _mm256_loadu_pd(col_bases + k);
+    lanes_v = _mm256_add_pd(lanes_v, ContributionVec<kSquared>(v, rb, b, cb,
+                                                               sign));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, lanes_v);
+  for (; k < n; ++k) {
+    lanes[k & 3] += Contribution<kSquared>(values[k], row_base, col_bases[k],
+                                           cluster_base);
+  }
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+}  // namespace
+
+const SimdKernels* Avx2KernelsOrNull() {
+  // row_* stay scalar: vgatherdpd loses to pipelined scalar loads on
+  // the target Xeons (see simd_dispatch.h).
+  static const SimdKernels table = {
+      SegPassDenseAvx2<false>,     SegPassDenseAvx2<true>,
+      SegPassDenseFullAvx2<false>, SegPassDenseFullAvx2<true>,
+      "avx2"};
+  return &table;
+}
+
+}  // namespace deltaclus
+
+#else  // !defined(__AVX2__)
+
+namespace deltaclus {
+
+const SimdKernels* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace deltaclus
+
+#endif

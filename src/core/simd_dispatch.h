@@ -1,0 +1,86 @@
+// Runtime CPU-feature dispatch for the dense gain kernels.
+//
+// The CPU is probed once (first use); the best available kernel table --
+// AVX2 on x86-64 that reports it, NEON on AArch64, the scalar bodies in
+// src/core/residue_kernels.h otherwise -- is selected behind a
+// function-pointer table that ResidueEngine's scan loops call through.
+// Every table implements the LaneAcc contract, so which one runs is
+// bit-invisible: SIMD and scalar outputs are identical to the last bit,
+// which is why the mode is NOT part of the result-affecting config
+// fingerprint (unlike --norm, and like --threads / --backend).
+//
+// Mode selection follows the --backend pattern: the CLI reads the
+// DELTACLUS_SIMD env default, lets an explicit --simd=auto|off flag win,
+// and calls SetSimdMode before mining starts. This layer never reads
+// the environment itself (dclint banned-getenv: env translation happens
+// at the CLI boundary). `off` pins the scalar table -- the lever the
+// scalar-vs-SIMD cmp tests and the CI determinism matrix pull.
+#ifndef DELTACLUS_CORE_SIMD_DISPATCH_H_
+#define DELTACLUS_CORE_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/core/residue_kernels.h"
+
+namespace deltaclus {
+
+/// How the kernel table is chosen. kAuto picks the best ISA the CPU
+/// reports; kOff pins the scalar reference table.
+enum class SimdMode { kAuto, kOff };
+
+/// A complete dense-kernel table for one ISA. seg_* stream a contiguous
+/// packed-pane slice into a caller-carried LaneAcc; seg_full_* scan a
+/// whole row from fresh lanes and return the reduction (the hot per-row
+/// call -- no LaneAcc spills around the call). _abs/_sq select the
+/// residue norm (|r| vs r^2).
+///
+/// Only the unit-stride pane passes are dispatched. The gathered
+/// matrix-row pass (RowPassDenseScalar in residue_kernels.h) is NOT in
+/// the table: vgatherdpd costs more than four pipelined scalar loads on
+/// the server Xeons we target (measured 0.67x at n=200), so no ISA ever
+/// overrides it -- and keeping it out of the table lets the scalar
+/// template inline into the view-scan loops instead of paying an
+/// indirect call per row.
+struct SimdKernels {
+  using SegDenseFn = void (*)(const double* values, const double* col_bases,
+                              size_t n, double row_base, double cluster_base,
+                              LaneAcc& acc);
+  using SegDenseFullFn = double (*)(const double* values,
+                                    const double* col_bases, size_t n,
+                                    double row_base, double cluster_base);
+  SegDenseFn seg_dense_abs;
+  SegDenseFn seg_dense_sq;
+  SegDenseFullFn seg_full_abs;
+  SegDenseFullFn seg_full_sq;
+  const char* name;  ///< "scalar" | "avx2" | "neon"
+};
+
+/// Sets the dispatch mode. Called once at CLI startup (before worker
+/// threads exist) or by tests; result-neutral by the bit-identity
+/// contract above.
+void SetSimdMode(SimdMode mode);
+SimdMode GetSimdMode();
+
+/// The table the current mode selects. Cheap enough for per-scan reads.
+const SimdKernels& ActiveSimdKernels();
+
+/// Name of the table ActiveSimdKernels() currently returns.
+const char* ActiveSimdPath();
+
+/// Comma-separated ISA features the running CPU reports (e.g.
+/// "sse2,sse4.2,avx,avx2"); "baseline" when nothing notable. Recorded
+/// in every BENCH_*.json so trajectory records taken on different
+/// machines stay comparable.
+const char* DetectedCpuFeatures();
+
+/// Per-ISA tables, defined in their own translation units (the only TUs
+/// compiled with vector-ISA flags; see src/CMakeLists.txt). Null when
+/// the TU was built without that ISA. Returning a table does not imply
+/// the CPU can run it -- dispatch checks the CPU feature first.
+const SimdKernels* Avx2KernelsOrNull();
+const SimdKernels* NeonKernelsOrNull();
+
+}  // namespace deltaclus
+
+#endif  // DELTACLUS_CORE_SIMD_DISPATCH_H_

@@ -23,6 +23,10 @@ constexpr char kMemoServed[] = "floc.gain_evals_served_from_cache";
 constexpr char kMemoRecomputed[] = "floc.gain_evals_recomputed";
 constexpr char kPoolSweeps[] = "engine.pool.sweeps";
 constexpr char kPoolShards[] = "engine.pool.shards";
+constexpr char kPaneRebuilds[] = "floc.pane.rebuilds";
+constexpr char kPanePatches[] = "floc.pane.patches";
+constexpr char kPaneCompactions[] = "floc.pane.compactions";
+constexpr char kClustersSkippedClean[] = "floc.sweep.clusters_skipped_clean";
 constexpr char kShardImbalance[] = "engine.pool.shard_imbalance";
 constexpr char kIterationLatency[] = "floc.iteration.latency";
 
@@ -52,6 +56,10 @@ PerfAccounting::PerfAccounting() : start_ns_(MonotonicNowNs()) {
   gain_evals_recomputed_ = r.GetCounter(kMemoRecomputed)->Value();
   pool_sweeps_ = r.GetCounter(kPoolSweeps)->Value();
   pool_shards_ = r.GetCounter(kPoolShards)->Value();
+  pane_rebuilds_ = r.GetCounter(kPaneRebuilds)->Value();
+  pane_patches_ = r.GetCounter(kPanePatches)->Value();
+  pane_compactions_ = r.GetCounter(kPaneCompactions)->Value();
+  clusters_skipped_clean_ = r.GetCounter(kClustersSkippedClean)->Value();
   shard_imbalance_ =
       r.GetQuantileHistogram(kShardImbalance, RatioOptions())->Snapshot();
   iteration_latency_ =
@@ -87,6 +95,14 @@ PerfReport PerfAccounting::Finish(
         SatSub(r.GetCounter(kPoolSweeps)->Value(), pool_sweeps_);
     report.pool_shards =
         SatSub(r.GetCounter(kPoolShards)->Value(), pool_shards_);
+    report.pane_rebuilds =
+        SatSub(r.GetCounter(kPaneRebuilds)->Value(), pane_rebuilds_);
+    report.pane_patches =
+        SatSub(r.GetCounter(kPanePatches)->Value(), pane_patches_);
+    report.pane_compactions =
+        SatSub(r.GetCounter(kPaneCompactions)->Value(), pane_compactions_);
+    report.clusters_skipped_clean = SatSub(
+        r.GetCounter(kClustersSkippedClean)->Value(), clusters_skipped_clean_);
     report.entries_per_second =
         total_seconds > 0.0
             ? static_cast<double>(report.entries_scanned) / total_seconds
@@ -183,6 +199,10 @@ void PerfReport::WriteJson(std::ostream& out) const {
   w.Key("gain_memo_hit_rate").Number(gain_memo_hit_rate);
   w.Key("pool_sweeps").Uint(pool_sweeps);
   w.Key("pool_shards").Uint(pool_shards);
+  w.Key("pane_rebuilds").Uint(pane_rebuilds);
+  w.Key("pane_patches").Uint(pane_patches);
+  w.Key("pane_compactions").Uint(pane_compactions);
+  w.Key("clusters_skipped_clean").Uint(clusters_skipped_clean);
   w.Key("shard_imbalance");
   WriteQuantilesJson(w, shard_imbalance);
   w.Key("iteration_latency");
@@ -244,6 +264,14 @@ void PerfReport::PrintTable(std::ostream& out) const {
       gain_memo_hit_rate * 100.0,
       static_cast<unsigned long long>(gain_evals_served),
       static_cast<unsigned long long>(gain_evals_recomputed));
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  pane              : %llu patches / %llu rebuilds "
+                "(%llu compactions), %llu clean-cluster sweeps skipped\n",
+                static_cast<unsigned long long>(pane_patches),
+                static_cast<unsigned long long>(pane_rebuilds),
+                static_cast<unsigned long long>(pane_compactions),
+                static_cast<unsigned long long>(clusters_skipped_clean));
   out << buf;
   std::snprintf(buf, sizeof(buf),
                 "  pool              : %llu sweeps, %llu shards, imbalance "

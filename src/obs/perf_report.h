@@ -67,6 +67,10 @@ struct PerfReport {
   double gain_memo_hit_rate = 0.0;   // served / (served + recomputed)
   uint64_t pool_sweeps = 0;
   uint64_t pool_shards = 0;
+  uint64_t pane_rebuilds = 0;      // full gather rebuilds of a packed pane
+  uint64_t pane_patches = 0;       // single-toggle in-place pane patches
+  uint64_t pane_compactions = 0;   // declined patches (compacting rebuild)
+  uint64_t clusters_skipped_clean = 0;  // sweeps served whole from the memo
   PerfQuantiles shard_imbalance;    // max/mean shard wall time per sweep
   PerfQuantiles iteration_latency;  // seconds per FLOC iteration
 
@@ -103,6 +107,10 @@ class PerfAccounting {
   uint64_t gain_evals_recomputed_ = 0;
   uint64_t pool_sweeps_ = 0;
   uint64_t pool_shards_ = 0;
+  uint64_t pane_rebuilds_ = 0;
+  uint64_t pane_patches_ = 0;
+  uint64_t pane_compactions_ = 0;
+  uint64_t clusters_skipped_clean_ = 0;
   QuantileHistogramSnapshot shard_imbalance_;
   QuantileHistogramSnapshot iteration_latency_;
 };

@@ -203,6 +203,13 @@ MiningSession::MiningSession(Floc* floc, const DataMatrix& matrix,
   score_sum_ = RecomputeScores();
   SnapshotBest();
   heat_.assign(k_, 0);
+  // Conservative: construction (and a checkpoint restore below, which
+  // overwrites stats with captured incremental bits) leaves stats whose
+  // bit-equality with a canonical rebuild is unknown, so the first
+  // rewind must Reset every cluster. False is always safe -- it only
+  // forces work the skip would have avoided.
+  stats_canonical_.assign(k_, 0);
+  last_sweep_epoch_.assign(k_, 0);
 
   if (restore_from != nullptr) {
     const SessionCheckpoint& cp = *restore_from;
@@ -358,6 +365,24 @@ void MiningSession::StepMove() {
     obs::IterationTelemetry* itel =
         collector_.BeginIteration(result_.iterations - 1);
 
+    // Clusters whose epoch is unchanged since the previous sweep (the
+    // rewind skipped them as clean) are served wholesale from the gain
+    // memo below: every (entity, cluster) stripe still carries a
+    // matching stamp, so the determiner performs zero rescans of them.
+    if (memo_ != nullptr) {
+      uint64_t clean = 0;
+      for (size_t c = 0; c < k_; ++c) {
+        if (last_sweep_epoch_[c] != 0 &&
+            views_[c].epoch() == last_sweep_epoch_[c]) {
+          ++clean;
+        }
+      }
+      FlocMetrics::Get().clusters_skipped_clean->Inc(clean);
+    }
+    for (size_t c = 0; c < k_; ++c) {
+      last_sweep_epoch_[c] = views_[c].epoch();
+    }
+
     // --- Determine the best action for every row and column. ---
     Stopwatch determine_watch;
     std::vector<Action> actions = determiner_.Determine(
@@ -496,8 +521,21 @@ void MiningSession::StepMove() {
 
     // Rewind to the start of the iteration and replay the winning
     // prefix; that clustering both becomes best_clustering and seeds the
-    // next iteration.
+    // next iteration. Clusters no applied action touched are *skipped*
+    // wholesale when their stats are already canonical: for them the
+    // Reset pair below would be a bit-identical no-op that only burns a
+    // stats rebuild and -- critically -- advances the epoch, which would
+    // invalidate the residue cache, the packed pane, and every
+    // (entity, cluster) gain-memo stripe for a membership that did not
+    // change. Preserving the epoch is what lets the next determination
+    // sweep serve the whole cluster from the memo without a rescan.
+    std::vector<uint8_t> dirty(k_, 0);
+    for (const AppliedAction& act : applied) dirty[act.cluster] = 1;
+    auto rewind_skips = [&](size_t c) {
+      return dirty[c] == 0 && stats_canonical_[c] != 0;
+    };
     for (size_t c = 0; c < k_; ++c) {
+      if (rewind_skips(c)) continue;
       views_[c].Reset(std::move(start_clusters[c]));
     }
     for (size_t a = 0; a < selector.best_prefix(); ++a) {
@@ -509,9 +547,12 @@ void MiningSession::StepMove() {
       }
     }
     // Rebuild stats-derived state from scratch: cheap relative to the
-    // iteration and keeps floating-point drift from accumulating.
+    // iteration and keeps floating-point drift from accumulating. After
+    // this loop every cluster's stats are canonical for its membership.
     for (size_t c = 0; c < k_; ++c) {
+      if (rewind_skips(c)) continue;
       views_[c].Reset(views_[c].cluster());
+      stats_canonical_[c] = 1;
     }
     score_sum_ = RecomputeScores();
     tracker_.Rebuild(views_);
@@ -524,6 +565,11 @@ void MiningSession::StepMove() {
 }
 
 void MiningSession::StepRefine() {
+  // Refinement and the reseed round mutate views outside the rewind's
+  // canonicalizing discipline, so a later move phase (after a reseed)
+  // must not trust any cluster's stats bits until it re-canonicalizes
+  // them itself.
+  stats_canonical_.assign(k_, 0);
   // Cluster-centric refinement of the best clustering (see
   // FlocConfig::refine_passes). The move phase left `views_` on its
   // end-of-sweep membership, so restore the best clustering first.

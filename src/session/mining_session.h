@@ -237,6 +237,22 @@ class MiningSession {
   std::vector<uint64_t> heat_;
   uint64_t memo_evictions_seen_ = 0;
 
+  // Cross-iteration memo reuse. stats_canonical_[c] is true when
+  // views_[c]'s stats bits are known to equal a from-scratch
+  // Reset(cluster) rebuild -- set after the rewind's canonicalizing
+  // Reset, cleared by every path that leaves path-dependent bits
+  // (construction, checkpoint restore, refine, reseed). Only then may
+  // the rewind skip a cluster untouched by the sweep's applied actions:
+  // the skip is a bit-identical no-op that *preserves the epoch*, so the
+  // residue cache, packed pane, and every (entity, cluster) gain-memo
+  // stripe stay valid into the next determination sweep.
+  // last_sweep_epoch_[c] remembers the epoch the previous sweep
+  // determined against; a matching epoch entering the next sweep counts
+  // floc.sweep.clusters_skipped_clean (the memo serves that cluster's
+  // untouched gains without a rescan).
+  std::vector<uint8_t> stats_canonical_;
+  std::vector<uint64_t> last_sweep_epoch_;
+
   bool seeds_compliant_ = true;
 
   FlocResult result_;

@@ -4,6 +4,7 @@
 
 #include "src/core/audit.h"
 #include "src/core/residue.h"
+#include "src/obs/metrics.h"
 #include "src/data/synthetic.h"
 #include "src/util/rng.h"
 
@@ -188,34 +189,111 @@ TEST(ClusterWorkspaceTest, AlternatingNormsNeverServeStaleNumerators) {
   }
 }
 
-TEST(ClusterWorkspaceTest, PaneTracksMembershipEpoch) {
-  DataMatrix m = SmallMatrix();
-  ClusterWorkspace ws(m, SmallCluster());
-  EXPECT_FALSE(ws.PaneValid());
+// The logical pane contents (resolved through both indirections) must
+// mirror the cluster's submatrix exactly.
+void ExpectPaneMirrorsCluster(const ClusterWorkspace& ws) {
   const PackedPane& pane = ws.EnsurePane();
-  EXPECT_TRUE(ws.PaneValid());
-
-  // Packed in row_ids x col_ids order, mirroring values and mask.
   const Cluster& c = ws.cluster();
+  const DataMatrix& m = ws.matrix();
   ASSERT_EQ(pane.num_cols, c.col_ids().size());
-  ASSERT_EQ(pane.values.size(), c.row_ids().size() * c.col_ids().size());
+  ASSERT_EQ(pane.row_slots.size(), c.row_ids().size());
   for (size_t pr = 0; pr < c.row_ids().size(); ++pr) {
     for (size_t pc = 0; pc < c.col_ids().size(); ++pc) {
       size_t i = c.row_ids()[pr];
       size_t j = c.col_ids()[pc];
-      EXPECT_EQ(pane.MaskRow(pr)[pc] != 0, m.IsSpecified(i, j));
+      ASSERT_EQ(pane.MaskAt(pr, pc) != 0, m.IsSpecified(i, j))
+          << "pr=" << pr << " pc=" << pc;
       if (m.IsSpecified(i, j)) {
-        EXPECT_EQ(pane.Row(pr)[pc], m.Value(i, j));
+        ASSERT_EQ(pane.ValueAt(pr, pc), m.Value(i, j))
+            << "pr=" << pr << " pc=" << pc;
       }
     }
   }
+}
 
-  // Mutations stale the pane; EnsurePane rebuilds for the new shape.
+TEST(ClusterWorkspaceTest, PaneTracksMembershipEpoch) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  EXPECT_FALSE(ws.PaneValid());
+  ws.EnsurePane();
+  EXPECT_TRUE(ws.PaneValid());
+  ExpectPaneMirrorsCluster(ws);
+
+  // A single toggle against a fresh pane *patches* it -- the pane stays
+  // valid without a rebuild and still mirrors the new membership.
   ws.ToggleCol(1);
+  EXPECT_TRUE(ws.PaneValid());
+  ExpectPaneMirrorsCluster(ws);
+
+  // Reset is a wholesale change: the pane goes stale and EnsurePane
+  // performs the compacting rebuild for the new shape.
+  ws.Reset(SmallCluster());
   EXPECT_FALSE(ws.PaneValid());
   const PackedPane& rebuilt = ws.EnsurePane();
   EXPECT_TRUE(ws.PaneValid());
   EXPECT_EQ(rebuilt.num_cols, ws.cluster().col_ids().size());
+  EXPECT_EQ(rebuilt.dead_rows, 0u);  // canonical compact layout
+  EXPECT_GE(rebuilt.phys_stride, rebuilt.num_cols);
+}
+
+TEST(ClusterWorkspaceTest, SingleTogglesPatchThePaneWithoutRebuilds) {
+  DataMatrix m = SmallMatrix();
+  ClusterWorkspace ws(m, SmallCluster());
+  bool was_enabled = obs::MetricsRegistry::Enabled();
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* rebuilds = registry.GetCounter("floc.pane.rebuilds");
+  obs::Counter* patches = registry.GetCounter("floc.pane.patches");
+
+  ws.EnsurePane();
+  uint64_t rebuilds_before = rebuilds->Value();
+  uint64_t patches_before = patches->Value();
+
+  // The FLOC sweep's only mutations are single toggles; none of these
+  // may pay a full pane rebuild.
+  ws.ToggleRow(3);   // add a row
+  ws.ToggleCol(1);   // add a column
+  ws.ToggleRow(0);   // remove a row
+  ws.ToggleCol(3);   // remove a column
+  EXPECT_TRUE(ws.PaneValid());
+  ws.EnsurePane();
+  EXPECT_EQ(rebuilds->Value(), rebuilds_before);
+  EXPECT_EQ(patches->Value(), patches_before + 4);
+  ExpectPaneMirrorsCluster(ws);
+
+  obs::MetricsRegistry::SetEnabled(was_enabled);
+}
+
+TEST(ClusterWorkspaceTest, RandomizedTogglePatchingMatchesRebuild) {
+  SyntheticConfig config;
+  config.rows = 60;
+  config.cols = 40;
+  config.num_clusters = 3;
+  config.noise_stddev = 1.0;
+  config.missing_fraction = 0.15;
+  config.seed = 23;
+  SyntheticDataset data = GenerateSynthetic(config);
+
+  ClusterWorkspace ws(data.matrix,
+                      Cluster::FromMembers(60, 40, {0, 1, 2, 3, 4},
+                                           {0, 1, 2, 3}));
+  ws.EnsurePane();
+  Rng rng(7);
+  // Long biased walk: more adds than removals early, then flip, so the
+  // pane crosses append-capacity and dead-fraction compaction
+  // boundaries as well as interior column shifts. After *every* toggle
+  // the logical pane must equal a from-scratch gather of the cluster's
+  // submatrix, entry for entry -- whether the toggle was patched or the
+  // pane was rebuilt.
+  for (int step = 0; step < 600; ++step) {
+    if (rng.Bernoulli(0.5)) {
+      ws.ToggleRow(rng.UniformIndex(60));
+    } else {
+      ws.ToggleCol(rng.UniformIndex(40));
+    }
+    ExpectPaneMirrorsCluster(ws);
+    if (HasFatalFailure()) return;
+  }
 }
 
 }  // namespace

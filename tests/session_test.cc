@@ -725,5 +725,41 @@ TEST(SessionTest, NonCompliantSeedsWarnAndCount) {
   EXPECT_EQ(result.clusters.size(), 1u);
 }
 
+// -- Cross-iteration memo reuse (clean-cluster skip) ------------------
+
+// A determination sweep after an apply phase that kept no actions for a
+// cluster must serve that cluster's gains from the epoch-stamped memo
+// without rescanning it. The floc.sweep.clusters_skipped_clean counter
+// only increments for clusters whose membership epoch is unchanged
+// since the previous sweep, so any positive delta proves zero-rescan
+// sweeps happened. With several clusters and a multi-iteration run,
+// most iterations touch only a few clusters, so the skip must fire.
+TEST(SessionTest, MemoizedSweepsSkipCleanClusters) {
+  SyntheticDataset data = MakeData(47, 0.0);
+  FlocConfig config = MakeConfig();
+  config.num_clusters = 6;  // More clusters => more stay untouched.
+  ASSERT_TRUE(config.memoize_gains);
+
+  bool was_enabled = obs::MetricsRegistry::Enabled();
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::Counter* skipped = obs::MetricsRegistry::Global().GetCounter(
+      "floc.sweep.clusters_skipped_clean");
+  uint64_t before = skipped->Value();
+
+  FlocResult memoized = Floc(config).Run(data.matrix);
+  uint64_t skipped_clean = skipped->Value() - before;
+  EXPECT_GT(skipped_clean, 0u)
+      << "no sweep served a clean cluster from the memo";
+
+  // The skip is a pure perf optimization: results must match a run with
+  // memoization (and thus the skip path) disabled.
+  FlocConfig no_memo = config;
+  no_memo.memoize_gains = false;
+  ExpectSameResult(Floc(no_memo).Run(data.matrix), memoized,
+                   "memoized clean-skip vs full rescan");
+
+  obs::MetricsRegistry::SetEnabled(was_enabled);
+}
+
 }  // namespace
 }  // namespace deltaclus

@@ -165,6 +165,14 @@ def summarize(path):
             print(f"  entries/s={doc.get('entries_per_second', 0.0):.4g} "
                   f"memo_hit={100.0 * doc.get('gain_memo_hit_rate', 0.0):.1f}% "
                   f"dense={100.0 * doc.get('dense_dispatch_rate', 0.0):.1f}%")
+            # Pane/sweep reuse counters (absent in pre-PR10 reports).
+            patches = doc.get("pane_patches")
+            if patches is not None:
+                print(f"  pane: {patches} patches / "
+                      f"{doc.get('pane_rebuilds', 0)} rebuilds "
+                      f"({doc.get('pane_compactions', 0)} compactions), "
+                      f"{doc.get('clusters_skipped_clean', 0)} "
+                      f"clean-cluster sweeps skipped")
     elif kind == "telemetry":
         iters = sum(1 for e in doc if e.get("event") == "iteration")
         end = run_end(doc)
@@ -283,7 +291,9 @@ def diff_perf_reports(base, new):
         if base_total > 0.0 and abs(d) >= 0.02 * base_total:
             movers.append((name, d))
     for key in ("entries_per_second", "gain_memo_hit_rate",
-                "dense_dispatch_rate", "shard_imbalance"):
+                "dense_dispatch_rate", "shard_imbalance",
+                "pane_patches", "pane_rebuilds", "pane_compactions",
+                "clusters_skipped_clean"):
         b, n = base.get(key), new.get(key)
         if isinstance(b, dict) or isinstance(n, dict):
             b = (b or {}).get("p99", 0.0)

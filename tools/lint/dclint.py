@@ -290,6 +290,26 @@ RULES = [
             "CLI/obs boundary.",
     },
     {
+        "name": "simd-confined",
+        "scope": SRC_AND_TOOLS,
+        "exclude": (
+            "src/core/residue_kernels_avx2.cc",
+            "src/core/residue_kernels_neon.cc",
+        ),
+        "trigger": re.compile(
+            r"immintrin\.h|arm_neon\.h|x86intrin\.h"
+            r"|(?<![\w:])_mm\d*_\w+|(?<![\w:])__m(128|256|512)[di]?\b"
+            r"|(?<![\w:])v(ld1|st1|add|sub|mul|abs|dup)q?_f64"),
+        "rationale":
+            "Vector intrinsics are confined to the per-ISA kernel TUs "
+            "(src/core/residue_kernels_*.cc) -- the only files compiled "
+            "with vector-ISA flags, so nothing else can emit "
+            "instructions the runtime dispatcher "
+            "(src/core/simd_dispatch.h) hasn't verified the CPU "
+            "supports. Everything else calls through "
+            "ActiveSimdKernels().",
+    },
+    {
         "name": "lock-free-comment",
         "scope": ALL_SRC,
         "multiline_context": True,

@@ -1,0 +1,14 @@
+// dclint-as: src/core/fixture.cc
+// Fixture: must trigger exactly dclint rule `simd-confined`.
+namespace deltaclus {
+
+// A hand-rolled intrinsic outside the kernel TUs: exactly what the rule
+// exists to reject (the TU is not compiled with -mavx2, and the call
+// bypasses the runtime dispatcher's CPU-feature check).
+double SumFour(const double* values) {
+  double lanes[4];
+  _mm256_storeu_pd(lanes, _mm256_loadu_pd(values));
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+}  // namespace deltaclus
